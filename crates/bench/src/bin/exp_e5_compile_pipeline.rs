@@ -1,0 +1,73 @@
+//! **E5 — Figure 3, the `vm_c` execution pipeline.**
+//!
+//! Runs an agent carrying source through the seven-step compile pipeline,
+//! prints the steps, and compares its latency against the same agent
+//! pre-compiled for `vm_bin` — the cost the pipeline buys its
+//! language-independence with.
+
+use std::time::Instant;
+
+use tacoma_bench::{header, row};
+use tacoma_core::{AgentSpec, EventKind, SystemBuilder};
+use tacoma_taxscript::compile_source;
+
+const SOURCE: &str = r#"
+    fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+    fn main() {
+        display("fib(18) = " + str(fib(18)));
+        exit(0);
+    }
+"#;
+
+fn main() {
+    println!("E5: the Figure-3 vm_c pipeline\n");
+
+    // Run through vm_c and print the numbered steps from the trace.
+    let mut system = SystemBuilder::new().host("alpha").unwrap().trust_all().build();
+    system
+        .launch("alpha", AgentSpec::script("csource", SOURCE).on_vm("vm_c"))
+        .unwrap();
+    system.run_until_quiet();
+
+    let alpha = system.host("alpha").unwrap();
+    let trace = alpha
+        .events()
+        .iter()
+        .find_map(|e| match &e.kind {
+            EventKind::ExecutionTrace(lines) => Some(lines.clone()),
+            _ => None,
+        })
+        .expect("vm_c leaves a trace");
+    for line in &trace {
+        println!("  {line}");
+    }
+    assert!(trace.iter().any(|l| l.starts_with("7:")), "all seven steps present");
+    println!("\nagent output: {:?}\n", system.agent_outputs());
+
+    // Latency comparison over repeated runs (wall clock).
+    const RUNS: usize = 30;
+    let timed = |vm: &str, spec_for: &dyn Fn() -> AgentSpec| {
+        let mut total = std::time::Duration::ZERO;
+        for _ in 0..RUNS {
+            let mut system = SystemBuilder::new().host("alpha").unwrap().trust_all().build();
+            let started = Instant::now();
+            system.launch("alpha", spec_for().on_vm(vm)).unwrap();
+            system.run_until_quiet();
+            total += started.elapsed();
+        }
+        total / RUNS as u32
+    };
+
+    let via_vm_c = timed("vm_c", &|| AgentSpec::script("src", SOURCE));
+    let program = compile_source(SOURCE).unwrap();
+    let via_vm_bin = timed("vm_bin", &|| AgentSpec::bytecode("bin", program.clone()));
+    let via_vm_script = timed("vm_script", &|| AgentSpec::script("scr", SOURCE));
+
+    let widths = [34, 16];
+    header(&["path", "mean latency"], &widths);
+    row(&["vm_c (compile at destination)".into(), format!("{via_vm_c:?}")], &widths);
+    row(&["vm_script (interpret source)".into(), format!("{via_vm_script:?}")], &widths);
+    row(&["vm_bin (pre-compiled binary)".into(), format!("{via_vm_bin:?}")], &widths);
+    println!("\nexpected shape: vm_bin <= vm_script ~ vm_c; the compile step is the pipeline's cost,");
+    println!("paid once — the briefcase then carries the binary to later hops.");
+}

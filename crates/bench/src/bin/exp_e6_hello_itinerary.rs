@@ -1,0 +1,80 @@
+//! **E6 — Figure 4, the hello-world itinerary agent.**
+//!
+//! The exact agent of the figure, translated from C to TaxScript: drain
+//! the `HOSTS` folder one hop at a time, displaying at each host; the
+//! `if (go(next))` failure branch fires for an unreachable host.
+
+use tacoma_bench::{header, row};
+use tacoma_core::{AgentSpec, EventKind, SystemBuilder};
+
+fn main() {
+    println!("E6: the Figure-4 agent on a five-host itinerary (one host down)\n");
+
+    let hosts = ["h1", "h2", "h3", "h4", "h5"];
+    let mut builder = SystemBuilder::new();
+    for h in hosts {
+        builder = builder.host(h).unwrap();
+    }
+    let mut system = builder.trust_all().build();
+
+    // h3 is down — the failure branch of Figure 4 must fire.
+    system.network().with_topology(|t| {
+        t.crash_host(&"h3".parse().unwrap());
+    });
+
+    // Figure 4, line for line.
+    let agent = AgentSpec::script(
+        "hello",
+        r#"
+        fn main() {
+            while (1) {
+                display("Hello world");
+                let e = bc_remove("HOSTS", 0);
+                if (e == nil) { exit(0); }
+                if (go(e)) { display("Unable to reach " + e); }
+            }
+        }
+        "#,
+    )
+    .itinerary(hosts.iter().skip(1).map(|h| format!("tacoma://{h}/vm_script")));
+
+    system.launch("h1", agent).unwrap();
+    system.run_until_quiet();
+
+    println!("agent output, in virtual-time order:");
+    for line in system.agent_outputs() {
+        println!("  {line}");
+    }
+
+    println!("\nper-host lifecycle:");
+    let widths = [6, 12, 12, 12];
+    header(&["host", "installed", "departed", "completed"], &widths);
+    for h in hosts {
+        let events = system.host(h).unwrap().events();
+        let count = |pred: &dyn Fn(&EventKind) -> bool| {
+            events.iter().filter(|e| pred(&e.kind)).count().to_string()
+        };
+        row(
+            &[
+                h.to_owned(),
+                count(&|k| matches!(k, EventKind::Installed { .. })),
+                count(&|k| matches!(k, EventKind::Departed { .. })),
+                count(&|k| matches!(k, EventKind::Completed(_))),
+            ],
+            &widths,
+        );
+    }
+
+    let outputs = system.agent_outputs();
+    // Figure 4 greets at the top of every loop iteration: once per hop
+    // (h1, h2, h4, h5) plus the extra iteration on h2 after the failed
+    // hop to h3 — five in total, none on the dead host.
+    assert_eq!(outputs.iter().filter(|l| l.as_str() == "Hello world").count(), 5);
+    assert_eq!(
+        outputs.iter().filter(|l| l.starts_with("Unable to reach")).count(),
+        1,
+        "exactly one unreachable host"
+    );
+    println!("\nshape check passed: 5 greetings (4 hosts + 1 retry iteration), 1 failure branch,");
+    println!("termination on empty HOSTS.");
+}

@@ -1,0 +1,79 @@
+//! **E7 — Figure 5, the wrapped Webbot stack.**
+//!
+//! `rwWebbot(mwWebbot(Webbot))`: the monitoring wrapper reports every
+//! move to the home log while the mobility wrapper runs the robot at the
+//! server and performs the second validation step on the rejected
+//! external URIs — the full case-study stack, with its observable
+//! artefacts printed.
+
+use tacoma_bench::{fmt_bytes, header, row};
+use tacoma_core::{folders, Briefcase, Principal};
+use tacoma_webbot::experiment::{build_system, CaseStudyParams, CLIENT, SERVER};
+use tacoma_webbot::mobile::{mw_webbot_spec, REPORT_DRAWER};
+use tacoma_webbot::{WebbotConfig, WebbotReport};
+
+fn main() {
+    println!("E7: the Figure-5 wrapper stack on the paper site (externals checked)\n");
+
+    let params = CaseStudyParams::paper().with_external_checks();
+    let mut system = build_system(&params);
+
+    let config = WebbotConfig::scan_site(SERVER);
+    let monitor = format!("tacoma://{CLIENT}/ag_log");
+    let spec = mw_webbot_spec(SERVER, CLIENT, &config, true, Some(&monitor));
+    system.launch(CLIENT, spec).unwrap();
+    system.run_until_quiet();
+
+    // The rwWebbot layer: what the monitoring tool saw.
+    let principal = Principal::local_system(CLIENT);
+    let mut read = Briefcase::new();
+    read.set_single(folders::COMMAND, "read");
+    let log = system.call_service(CLIENT, "ag_log", &principal, read).unwrap();
+    println!("monitoring log at {CLIENT} (rwWebbot reports):");
+    let mut hops = 0;
+    if let Some(lines) = log.folder("LINES") {
+        for line in lines {
+            println!("  {}", line.as_str().unwrap_or("?"));
+            hops += 1;
+        }
+    }
+    assert_eq!(hops, 2, "outbound and homebound hops reported");
+
+    // The mwWebbot layer: the combined report that came home.
+    let mut fetch = Briefcase::new();
+    fetch.set_single(folders::COMMAND, "fetch");
+    fetch.append(folders::ARGS, REPORT_DRAWER);
+    let reply = system.call_service(CLIENT, "ag_cabinet", &principal, fetch).unwrap();
+    let parked = Briefcase::decode(reply.element("CABINET-DATA", 0).unwrap().data()).unwrap();
+    let report = WebbotReport::read_from(&parked);
+
+    println!("\ncombined report: {}", report.summary());
+    let internal: Vec<_> =
+        report.invalid.iter().filter(|i| i.url.starts_with(&format!("http://{SERVER}/"))).collect();
+    let external: Vec<_> =
+        report.invalid.iter().filter(|i| !i.url.starts_with(&format!("http://{SERVER}/"))).collect();
+
+    let widths = [34, 10];
+    header(&["finding", "count"], &widths);
+    row(&["pages scanned".into(), report.pages_scanned.to_string()], &widths);
+    row(&["invalid internal links".into(), internal.len().to_string()], &widths);
+    row(&["rejected (external) URIs".into(), report.prefix_rejected().count().to_string()], &widths);
+    row(&["invalid external links".into(), external.len().to_string()], &widths);
+    row(
+        &["bytes scanned at the server".into(), fmt_bytes(report.bytes_fetched)],
+        &widths,
+    );
+
+    println!("\nsample findings:");
+    for issue in internal.iter().take(3) {
+        println!("  [{}] {} -> {}", issue.status, issue.referrer, issue.url);
+    }
+    for issue in external.iter().take(3) {
+        println!("  [{}] {} -> {} (external)", issue.status, issue.referrer, issue.url);
+    }
+
+    assert!(!internal.is_empty(), "the generated site plants dead internal links");
+    assert!(!external.is_empty(), "some external links point at missing pages");
+    assert_eq!(report.pages_scanned, 917);
+    println!("\nshape check passed: both steps of §5 produced findings; only the report crossed the LAN.");
+}

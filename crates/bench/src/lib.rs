@@ -1,0 +1,46 @@
+//! Shared machinery for the experiment regenerators: table printing and
+//! the §4 data-mining scenario (a record store service plus an itinerant
+//! mining agent).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod mining;
+
+/// Prints a fixed-width table row.
+pub fn row(cells: &[String], widths: &[usize]) {
+    let mut line = String::new();
+    for (cell, width) in cells.iter().zip(widths) {
+        line.push_str(&format!("{cell:>width$}  "));
+    }
+    println!("{}", line.trim_end());
+}
+
+/// Prints a header row plus a rule.
+pub fn header(cells: &[&str], widths: &[usize]) {
+    row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>(), widths);
+    let total: usize = widths.iter().sum::<usize>() + 2 * widths.len();
+    println!("{}", "-".repeat(total));
+}
+
+/// Formats a `Duration` in adaptive units.
+pub fn fmt_duration(d: std::time::Duration) -> String {
+    if d.as_secs() >= 10 {
+        format!("{:.1}s", d.as_secs_f64())
+    } else if d.as_millis() >= 1 {
+        format!("{:.1}ms", d.as_secs_f64() * 1e3)
+    } else {
+        format!("{}µs", d.as_micros())
+    }
+}
+
+/// Formats bytes in adaptive units.
+pub fn fmt_bytes(b: u64) -> String {
+    if b >= 10_000_000 {
+        format!("{:.1}MB", b as f64 / 1e6)
+    } else if b >= 10_000 {
+        format!("{:.1}KB", b as f64 / 1e3)
+    } else {
+        format!("{b}B")
+    }
+}

@@ -1,0 +1,280 @@
+//! The TAX briefcase wire format.
+//!
+//! Briefcases are "the TACOMA data structure that is language and
+//! architecture independent" (§3.3); this module defines the concrete byte
+//! layout used by every firewall and VM in this implementation:
+//!
+//! ```text
+//! header:  MAGIC "TAXB" (4) | version u8 (1) | folder count u32-LE (4)
+//! folder:  name len u16-LE | name bytes (UTF-8) | element count u32-LE
+//! element: data len u32-LE | data bytes
+//! ```
+//!
+//! All integers are little-endian. Lengths are bounded by sanity limits so a
+//! hostile peer cannot make the decoder allocate absurd amounts up front.
+
+use crate::{Briefcase, BriefcaseError, Element, Folder};
+
+/// Magic bytes opening every encoded briefcase.
+pub const MAGIC: [u8; 4] = *b"TAXB";
+
+/// Current codec version. Decoders reject other versions.
+pub const CODEC_VERSION: u8 = 1;
+
+/// Upper bound on a single element's declared length (64 MiB). Larger
+/// payloads should be chunked across elements.
+const MAX_ELEMENT_LEN: u64 = 64 << 20;
+
+/// Upper bound on a folder name length.
+const MAX_NAME_LEN: u64 = u16::MAX as u64;
+
+/// Upper bound on declared counts, to bound eager allocation.
+const MAX_COUNT: u64 = 1 << 24;
+
+/// Exact length in bytes of [`encode_briefcase`]'s output.
+pub(crate) fn encoded_len(bc: &Briefcase) -> usize {
+    let mut len = 4 + 1 + 4;
+    for folder in bc.iter() {
+        len += 2 + folder.name().len() + 4;
+        for element in folder {
+            len += 4 + element.len();
+        }
+    }
+    len
+}
+
+/// Encodes a briefcase into the TAX wire format.
+pub fn encode_briefcase(bc: &Briefcase) -> Vec<u8> {
+    let mut out = Vec::with_capacity(encoded_len(bc));
+    out.extend_from_slice(&MAGIC);
+    out.push(CODEC_VERSION);
+    out.extend_from_slice(&(bc.folder_count() as u32).to_le_bytes());
+    for folder in bc.iter() {
+        let name = folder.name().as_bytes();
+        debug_assert!(name.len() <= MAX_NAME_LEN as usize);
+        out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+        out.extend_from_slice(name);
+        out.extend_from_slice(&(folder.len() as u32).to_le_bytes());
+        for element in folder {
+            out.extend_from_slice(&(element.len() as u32).to_le_bytes());
+            out.extend_from_slice(element.data());
+        }
+    }
+    out
+}
+
+/// Decodes a briefcase from the TAX wire format.
+///
+/// # Errors
+///
+/// Returns a [`BriefcaseError`] describing the first malformation
+/// encountered; never panics on arbitrary input.
+pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
+    let mut r = Reader { buf: wire, pos: 0 };
+
+    let magic = r.take(4, "magic")?;
+    if magic != MAGIC {
+        let mut found = [0u8; 4];
+        found[..magic.len()].copy_from_slice(magic);
+        return Err(BriefcaseError::BadMagic { found });
+    }
+    let version = r.take(1, "version")?[0];
+    if version != CODEC_VERSION {
+        return Err(BriefcaseError::UnsupportedVersion { found: version });
+    }
+
+    let folder_count = r.u32("folder count")? as u64;
+    if folder_count > MAX_COUNT {
+        return Err(BriefcaseError::LengthOverflow { declared: folder_count, context: "folder count" });
+    }
+
+    let mut bc = Briefcase::new();
+    for _ in 0..folder_count {
+        let name_len = r.u16("folder name length")? as u64;
+        if name_len > MAX_NAME_LEN {
+            return Err(BriefcaseError::LengthOverflow { declared: name_len, context: "folder name" });
+        }
+        let name_bytes = r.take(name_len as usize, "folder name")?;
+        let name = std::str::from_utf8(name_bytes).map_err(|_| BriefcaseError::BadFolderName)?;
+        if bc.contains_folder(name) {
+            return Err(BriefcaseError::DuplicateFolder { name: name.to_owned() });
+        }
+        let mut folder = Folder::new(name);
+
+        let element_count = r.u32("element count")? as u64;
+        if element_count > MAX_COUNT {
+            return Err(BriefcaseError::LengthOverflow { declared: element_count, context: "element count" });
+        }
+        for _ in 0..element_count {
+            let len = r.u32("element length")? as u64;
+            if len > MAX_ELEMENT_LEN {
+                return Err(BriefcaseError::LengthOverflow { declared: len, context: "element" });
+            }
+            let data = r.take(len as usize, "element data")?;
+            folder.append(Element::from(data));
+        }
+        bc.insert_folder(folder);
+    }
+
+    if r.pos != wire.len() {
+        return Err(BriefcaseError::TrailingBytes { remaining: wire.len() - r.pos });
+    }
+    Ok(bc)
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], BriefcaseError> {
+        if self.buf.len() - self.pos < n {
+            // Report what little remains so BadMagic can show partial bytes.
+            if context == "magic" {
+                return Ok(&self.buf[self.pos..]);
+            }
+            return Err(BriefcaseError::Truncated { offset: self.pos, context });
+        }
+        let slice = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    fn u16(&mut self, context: &'static str) -> Result<u16, BriefcaseError> {
+        let b = self.take(2, context)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, BriefcaseError> {
+        let b = self.take(4, context)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::folders;
+
+    fn sample() -> Briefcase {
+        let mut bc = Briefcase::new();
+        bc.append(folders::HOSTS, "tacoma://h1/vm_script")
+            .append(folders::HOSTS, "tacoma://h2/vm_script")
+            .append(folders::CODE, vec![0u8, 1, 2, 255])
+            .set_single(folders::CODE_TYPE, "taxscript-bytecode");
+        bc.ensure_folder("EMPTY");
+        bc
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let bc = sample();
+        let wire = bc.encode();
+        assert_eq!(wire.len(), bc.encoded_len());
+        let back = Briefcase::decode(&wire).unwrap();
+        assert_eq!(bc, back);
+        assert!(back.contains_folder("EMPTY"));
+        assert!(back.folder("EMPTY").unwrap().is_empty());
+    }
+
+    #[test]
+    fn empty_briefcase_roundtrips() {
+        let bc = Briefcase::new();
+        let wire = bc.encode();
+        assert_eq!(wire.len(), 9);
+        assert_eq!(Briefcase::decode(&wire).unwrap(), bc);
+    }
+
+    #[test]
+    fn bad_magic_is_reported() {
+        let err = Briefcase::decode(b"NOPE\x01\x00\x00\x00\x00").unwrap_err();
+        assert!(matches!(err, BriefcaseError::BadMagic { found } if &found == b"NOPE"));
+    }
+
+    #[test]
+    fn short_input_is_bad_magic_not_panic() {
+        assert!(matches!(Briefcase::decode(b"TA"), Err(BriefcaseError::BadMagic { .. })));
+        assert!(matches!(Briefcase::decode(b""), Err(BriefcaseError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn wrong_version_is_rejected() {
+        let mut wire = sample().encode();
+        wire[4] = 99;
+        assert_eq!(
+            Briefcase::decode(&wire).unwrap_err(),
+            BriefcaseError::UnsupportedVersion { found: 99 }
+        );
+    }
+
+    #[test]
+    fn truncation_anywhere_is_detected() {
+        let wire = sample().encode();
+        for cut in 5..wire.len() {
+            let err = Briefcase::decode(&wire[..cut]).unwrap_err();
+            assert!(
+                matches!(err, BriefcaseError::Truncated { .. }),
+                "cut at {cut} gave {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_detected() {
+        let mut wire = sample().encode();
+        wire.push(0);
+        assert_eq!(
+            Briefcase::decode(&wire).unwrap_err(),
+            BriefcaseError::TrailingBytes { remaining: 1 }
+        );
+    }
+
+    #[test]
+    fn hostile_length_is_bounded() {
+        // Header claiming u32::MAX folders must fail fast, not allocate.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(CODEC_VERSION);
+        wire.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = Briefcase::decode(&wire).unwrap_err();
+        assert!(matches!(err, BriefcaseError::LengthOverflow { context: "folder count", .. }));
+    }
+
+    #[test]
+    fn duplicate_folder_on_wire_is_rejected() {
+        // Hand-craft: two folders both named "X" with zero elements.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(CODEC_VERSION);
+        wire.extend_from_slice(&2u32.to_le_bytes());
+        for _ in 0..2 {
+            wire.extend_from_slice(&1u16.to_le_bytes());
+            wire.push(b'X');
+            wire.extend_from_slice(&0u32.to_le_bytes());
+        }
+        assert_eq!(
+            Briefcase::decode(&wire).unwrap_err(),
+            BriefcaseError::DuplicateFolder { name: "X".into() }
+        );
+    }
+
+    #[test]
+    fn non_utf8_folder_name_is_rejected() {
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(CODEC_VERSION);
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&2u16.to_le_bytes());
+        wire.extend_from_slice(&[0xff, 0xfe]);
+        wire.extend_from_slice(&0u32.to_le_bytes());
+        assert_eq!(Briefcase::decode(&wire).unwrap_err(), BriefcaseError::BadFolderName);
+    }
+
+    #[test]
+    fn encoded_len_matches_for_binary_payloads() {
+        let mut bc = Briefcase::new();
+        bc.append("BIN", vec![0u8; 100_000]);
+        assert_eq!(bc.encode().len(), bc.encoded_len());
+    }
+}

@@ -1,0 +1,204 @@
+use std::fmt;
+
+use bytes::Bytes;
+use serde::{Deserialize, Serialize};
+
+use crate::BriefcaseError;
+
+/// An element: an uninterpreted sequence of bits, the most basic data type
+/// in TAX (§3.1).
+///
+/// Elements are cheaply cloneable (reference counted). Interpretation —
+/// text, integer, nested structure — is applied by the consumer, never by
+/// the system; this is what keeps the briefcase language- and
+/// architecture-independent.
+///
+/// ```
+/// use tacoma_briefcase::Element;
+///
+/// let e = Element::from("42");
+/// assert_eq!(e.as_str().unwrap(), "42");
+/// assert_eq!(e.as_i64().unwrap(), 42);
+/// assert_eq!(e.len(), 2);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Element(Bytes);
+
+impl Element {
+    /// Creates an empty element.
+    ///
+    /// An empty element is distinct from an absent one; Figure 4's agent
+    /// terminates when `HOSTS` yields no element at all, not an empty one.
+    pub fn new() -> Self {
+        Element(Bytes::new())
+    }
+
+    /// Creates an element from raw bytes.
+    pub fn from_bytes(data: impl Into<Bytes>) -> Self {
+        Element(data.into())
+    }
+
+    /// Creates an element holding the decimal text rendering of an integer.
+    pub fn from_i64(value: i64) -> Self {
+        Element(Bytes::from(value.to_string().into_bytes()))
+    }
+
+    /// The raw data (the `eData()` of the original C API).
+    pub fn data(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// The underlying shared byte buffer.
+    pub fn bytes(&self) -> &Bytes {
+        &self.0
+    }
+
+    /// Length of the element in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the element holds zero bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Interprets the element as UTF-8 text.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BriefcaseError::NotUtf8`] if the bytes are not valid UTF-8.
+    pub fn as_str(&self) -> Result<&str, BriefcaseError> {
+        std::str::from_utf8(&self.0).map_err(|_| BriefcaseError::NotUtf8)
+    }
+
+    /// Interprets the element as a decimal integer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BriefcaseError::NotInteger`] if the bytes are not the UTF-8
+    /// decimal rendering of an `i64`.
+    pub fn as_i64(&self) -> Result<i64, BriefcaseError> {
+        self.as_str()
+            .map_err(|_| BriefcaseError::NotInteger)?
+            .trim()
+            .parse()
+            .map_err(|_| BriefcaseError::NotInteger)
+    }
+
+    /// Consumes the element, returning its byte buffer.
+    pub fn into_bytes(self) -> Bytes {
+        self.0
+    }
+}
+
+impl fmt::Debug for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Render printable text directly; hex-dump a bounded prefix otherwise.
+        match std::str::from_utf8(&self.0) {
+            Ok(s) if s.chars().all(|c| !c.is_control() || c == '\n' || c == '\t') => {
+                write!(f, "Element({s:?})")
+            }
+            _ => {
+                let shown: Vec<u8> = self.0.iter().copied().take(16).collect();
+                write!(f, "Element({} bytes: {shown:02x?}…)", self.0.len())
+            }
+        }
+    }
+}
+
+impl From<&str> for Element {
+    fn from(s: &str) -> Self {
+        Element(Bytes::copy_from_slice(s.as_bytes()))
+    }
+}
+
+impl From<String> for Element {
+    fn from(s: String) -> Self {
+        Element(Bytes::from(s.into_bytes()))
+    }
+}
+
+impl From<Vec<u8>> for Element {
+    fn from(v: Vec<u8>) -> Self {
+        Element(Bytes::from(v))
+    }
+}
+
+impl From<&[u8]> for Element {
+    fn from(v: &[u8]) -> Self {
+        Element(Bytes::copy_from_slice(v))
+    }
+}
+
+impl From<Bytes> for Element {
+    fn from(b: Bytes) -> Self {
+        Element(b)
+    }
+}
+
+impl From<i64> for Element {
+    fn from(v: i64) -> Self {
+        Element::from_i64(v)
+    }
+}
+
+impl AsRef<[u8]> for Element {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_element_is_empty_but_exists() {
+        let e = Element::new();
+        assert!(e.is_empty());
+        assert_eq!(e.len(), 0);
+        assert_eq!(e.as_str().unwrap(), "");
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let e = Element::from("tacoma://cl2.cs.uit.no:27017//vm_c:933821661");
+        assert_eq!(e.as_str().unwrap(), "tacoma://cl2.cs.uit.no:27017//vm_c:933821661");
+    }
+
+    #[test]
+    fn integer_roundtrip() {
+        assert_eq!(Element::from_i64(-12345).as_i64().unwrap(), -12345);
+        assert_eq!(Element::from(i64::MAX).as_i64().unwrap(), i64::MAX);
+        assert_eq!(Element::from(i64::MIN).as_i64().unwrap(), i64::MIN);
+    }
+
+    #[test]
+    fn integer_parse_tolerates_whitespace_only() {
+        assert_eq!(Element::from(" 7 ").as_i64().unwrap(), 7);
+        assert_eq!(Element::from("7x").as_i64(), Err(BriefcaseError::NotInteger));
+        assert_eq!(Element::from("").as_i64(), Err(BriefcaseError::NotInteger));
+    }
+
+    #[test]
+    fn non_utf8_is_rejected_as_text() {
+        let e = Element::from(vec![0xff, 0xfe, 0x00]);
+        assert_eq!(e.as_str(), Err(BriefcaseError::NotUtf8));
+        assert_eq!(e.len(), 3);
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert!(!format!("{:?}", Element::new()).is_empty());
+        assert!(format!("{:?}", Element::from(vec![0u8, 1, 2])).contains("bytes"));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let big = Element::from(vec![7u8; 1 << 20]);
+        let copy = big.clone();
+        // Bytes clones share the same backing allocation.
+        assert_eq!(big.bytes().as_ptr(), copy.bytes().as_ptr());
+    }
+}

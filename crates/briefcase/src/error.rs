@@ -1,0 +1,95 @@
+use std::fmt;
+
+/// Errors produced by briefcase operations and the wire codec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BriefcaseError {
+    /// The wire bytes did not start with the briefcase magic number.
+    BadMagic {
+        /// The four bytes actually found (or fewer, zero padded).
+        found: [u8; 4],
+    },
+    /// The wire bytes used a codec version this library does not speak.
+    UnsupportedVersion {
+        /// Version tag found in the header.
+        found: u8,
+    },
+    /// The wire bytes ended before the structure they promised.
+    Truncated {
+        /// Byte offset at which more input was required.
+        offset: usize,
+        /// What the decoder was reading when input ran out.
+        context: &'static str,
+    },
+    /// A declared length exceeds the sanity limit for a single field.
+    LengthOverflow {
+        /// The declared length.
+        declared: u64,
+        /// What field declared it.
+        context: &'static str,
+    },
+    /// Trailing bytes followed a complete briefcase.
+    TrailingBytes {
+        /// Number of bytes left over.
+        remaining: usize,
+    },
+    /// Two folders with the same name appeared in one encoded briefcase.
+    DuplicateFolder {
+        /// The offending folder name.
+        name: String,
+    },
+    /// A folder name was not valid UTF-8 on the wire.
+    BadFolderName,
+    /// An element was interpreted as UTF-8 text but is not valid UTF-8.
+    NotUtf8,
+    /// An element was interpreted as an integer but does not parse as one.
+    NotInteger,
+    /// The named folder does not exist in this briefcase.
+    NoSuchFolder {
+        /// The name looked up.
+        name: String,
+    },
+    /// The folder exists but the element index is out of range.
+    NoSuchElement {
+        /// Folder name.
+        folder: String,
+        /// Index requested.
+        index: usize,
+        /// Number of elements actually present.
+        len: usize,
+    },
+}
+
+impl fmt::Display for BriefcaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BriefcaseError::BadMagic { found } => {
+                write!(f, "input is not a briefcase (magic bytes {found:02x?})")
+            }
+            BriefcaseError::UnsupportedVersion { found } => {
+                write!(f, "unsupported briefcase codec version {found}")
+            }
+            BriefcaseError::Truncated { offset, context } => {
+                write!(f, "briefcase truncated at byte {offset} while reading {context}")
+            }
+            BriefcaseError::LengthOverflow { declared, context } => {
+                write!(f, "declared length {declared} for {context} exceeds sanity limit")
+            }
+            BriefcaseError::TrailingBytes { remaining } => {
+                write!(f, "{remaining} trailing bytes after briefcase")
+            }
+            BriefcaseError::DuplicateFolder { name } => {
+                write!(f, "duplicate folder {name:?} in encoded briefcase")
+            }
+            BriefcaseError::BadFolderName => write!(f, "folder name is not valid UTF-8"),
+            BriefcaseError::NotUtf8 => write!(f, "element is not valid UTF-8 text"),
+            BriefcaseError::NotInteger => write!(f, "element does not contain an integer"),
+            BriefcaseError::NoSuchFolder { name } => write!(f, "no folder named {name:?}"),
+            BriefcaseError::NoSuchElement { folder, index, len } => {
+                write!(f, "folder {folder:?} has {len} elements, index {index} is out of range")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BriefcaseError {}

@@ -1,0 +1,227 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::Element;
+
+/// A folder: an ordered list of [`Element`]s under a name inside a
+/// [`Briefcase`](crate::Briefcase) (§3.1).
+///
+/// Folders behave like queues in the common itinerary idiom (Figure 4 pops
+/// the next hop off the front of `HOSTS`) but allow arbitrary indexed
+/// access.
+///
+/// ```
+/// use tacoma_briefcase::{Element, Folder};
+///
+/// let mut f = Folder::new("HOSTS");
+/// f.append("alpha");
+/// f.append("beta");
+/// assert_eq!(f.len(), 2);
+/// assert_eq!(f.remove_front().unwrap().as_str().unwrap(), "alpha");
+/// ```
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Folder {
+    name: String,
+    elements: Vec<Element>,
+}
+
+impl Folder {
+    /// Creates an empty folder with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        Folder { name: name.into(), elements: Vec::new() }
+    }
+
+    /// The folder's name, its key in the briefcase.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of elements in the folder.
+    pub fn len(&self) -> usize {
+        self.elements.len()
+    }
+
+    /// Whether the folder holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.elements.is_empty()
+    }
+
+    /// Appends an element at the back.
+    pub fn append(&mut self, element: impl Into<Element>) -> &mut Self {
+        self.elements.push(element.into());
+        self
+    }
+
+    /// Inserts an element at `index`, shifting later elements back.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index > len`.
+    pub fn insert(&mut self, index: usize, element: impl Into<Element>) {
+        self.elements.insert(index, element.into());
+    }
+
+    /// The element at `index`, if present.
+    pub fn get(&self, index: usize) -> Option<&Element> {
+        self.elements.get(index)
+    }
+
+    /// The first element, if present.
+    pub fn front(&self) -> Option<&Element> {
+        self.elements.first()
+    }
+
+    /// The last element, if present.
+    pub fn back(&self) -> Option<&Element> {
+        self.elements.last()
+    }
+
+    /// Removes and returns the element at `index`, or `None` if out of
+    /// range. This is the `fRemove()` of the original C API.
+    pub fn remove(&mut self, index: usize) -> Option<Element> {
+        if index < self.elements.len() {
+            Some(self.elements.remove(index))
+        } else {
+            None
+        }
+    }
+
+    /// Removes and returns the first element — the Figure-4 itinerary pop.
+    pub fn remove_front(&mut self) -> Option<Element> {
+        self.remove(0)
+    }
+
+    /// Replaces the element at `index`, returning the old element, or
+    /// `None` (leaving the folder unchanged) if out of range.
+    pub fn replace(&mut self, index: usize, element: impl Into<Element>) -> Option<Element> {
+        let slot = self.elements.get_mut(index)?;
+        Some(std::mem::replace(slot, element.into()))
+    }
+
+    /// Drops all elements. The agent idiom for "state no longer needed",
+    /// minimizing bytes moved on the next `go()` (§3.1).
+    pub fn clear(&mut self) {
+        self.elements.clear();
+    }
+
+    /// Iterates over the elements in order.
+    pub fn iter(&self) -> std::slice::Iter<'_, Element> {
+        self.elements.iter()
+    }
+
+    /// Iterates mutably over the elements in order.
+    pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Element> {
+        self.elements.iter_mut()
+    }
+
+    /// Total payload bytes across all elements (excluding codec framing).
+    pub fn payload_len(&self) -> usize {
+        self.elements.iter().map(Element::len).sum()
+    }
+
+    /// Consumes the folder, returning its elements.
+    pub fn into_elements(self) -> Vec<Element> {
+        self.elements
+    }
+}
+
+impl fmt::Debug for Folder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Folder")
+            .field("name", &self.name)
+            .field("elements", &self.elements)
+            .finish()
+    }
+}
+
+impl<'a> IntoIterator for &'a Folder {
+    type Item = &'a Element;
+    type IntoIter = std::slice::Iter<'a, Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl IntoIterator for Folder {
+    type Item = Element;
+    type IntoIter = std::vec::IntoIter<Element>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.elements.into_iter()
+    }
+}
+
+impl<E: Into<Element>> Extend<E> for Folder {
+    fn extend<T: IntoIterator<Item = E>>(&mut self, iter: T) {
+        self.elements.extend(iter.into_iter().map(Into::into));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn append_preserves_order() {
+        let mut f = Folder::new("T");
+        f.append("a").append("b").append("c");
+        let texts: Vec<_> = f.iter().map(|e| e.as_str().unwrap().to_owned()).collect();
+        assert_eq!(texts, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn remove_front_drains_in_order() {
+        let mut f = Folder::new("HOSTS");
+        f.extend(["h1", "h2", "h3"]);
+        assert_eq!(f.remove_front().unwrap().as_str().unwrap(), "h1");
+        assert_eq!(f.remove_front().unwrap().as_str().unwrap(), "h2");
+        assert_eq!(f.remove_front().unwrap().as_str().unwrap(), "h3");
+        assert!(f.remove_front().is_none());
+        assert!(f.is_empty());
+    }
+
+    #[test]
+    fn remove_out_of_range_is_none_and_nondestructive() {
+        let mut f = Folder::new("T");
+        f.append("x");
+        assert!(f.remove(5).is_none());
+        assert_eq!(f.len(), 1);
+    }
+
+    #[test]
+    fn replace_swaps_in_place() {
+        let mut f = Folder::new("T");
+        f.extend(["old0", "old1"]);
+        let prev = f.replace(1, "new1").unwrap();
+        assert_eq!(prev.as_str().unwrap(), "old1");
+        assert_eq!(f.get(1).unwrap().as_str().unwrap(), "new1");
+        assert!(f.replace(9, "nope").is_none());
+        assert_eq!(f.len(), 2);
+    }
+
+    #[test]
+    fn insert_shifts() {
+        let mut f = Folder::new("T");
+        f.extend(["a", "c"]);
+        f.insert(1, "b");
+        let texts: Vec<_> = f.iter().map(|e| e.as_str().unwrap().to_owned()).collect();
+        assert_eq!(texts, ["a", "b", "c"]);
+    }
+
+    #[test]
+    fn payload_len_counts_only_data() {
+        let mut f = Folder::new("T");
+        f.append(vec![0u8; 10]);
+        f.append(vec![0u8; 22]);
+        assert_eq!(f.payload_len(), 32);
+    }
+
+    #[test]
+    fn clear_drops_state() {
+        let mut f = Folder::new("RESULTS");
+        f.extend(["r"; 100]);
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(f.payload_len(), 0);
+    }
+}

@@ -1,0 +1,75 @@
+//! Well-known folder names used by the TAX runtime and service agents.
+//!
+//! The briefcase itself attaches no meaning to folder names; these constants
+//! are conventions shared between the kernel, VMs, and the standard service
+//! agents, mirroring the folders the TACOMA papers mention (`CODE`, `HOSTS`,
+//! …). Application agents are free to use any other names.
+
+/// The agent's transportable code (TaxScript source, bytecode, or a signed
+/// binary artifact — discriminated by [`CODE_TYPE`]).
+pub const CODE: &str = "CODE";
+
+/// Discriminator for [`CODE`]: `"taxscript-source"`, `"taxscript-bytecode"`,
+/// or `"binary-artifact"`.
+pub const CODE_TYPE: &str = "CODE-TYPE";
+
+/// Itinerary: agent URIs still to visit, drained front-first (Figure 4).
+pub const HOSTS: &str = "HOSTS";
+
+/// Accumulated results carried home by a mining agent.
+pub const RESULTS: &str = "RESULTS";
+
+/// Signature over the agent core, checked by the firewall on arrival.
+pub const SIGNATURE: &str = "SIG";
+
+/// Principal (owner identity) on whose behalf the agent acts.
+pub const PRINCIPAL: &str = "PRINCIPAL";
+
+/// Symbolic agent name (the `name` part of the agent URI).
+pub const AGENT_NAME: &str = "AGENT-NAME";
+
+/// Command verb for messages addressed to service agents or the firewall.
+pub const COMMAND: &str = "CMD";
+
+/// Positional arguments accompanying [`COMMAND`].
+pub const ARGS: &str = "ARGS";
+
+/// Status or error report in a reply briefcase.
+pub const STATUS: &str = "STATUS";
+
+/// Reply address (agent URI) for `meet()`-style exchanges.
+pub const REPLY_TO: &str = "REPLY-TO";
+
+/// Architecture tags for binary artifacts submitted to `ag_exec` (§5: "an
+/// agent may submit a list of binaries matching different architectures").
+pub const ARCH: &str = "ARCH";
+
+/// Free-form human-readable log lines appended by wrappers such as the
+/// monitoring wrapper `rwWebbot`.
+pub const LOG: &str = "LOG";
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn names_are_distinct() {
+        let all = [
+            super::CODE,
+            super::CODE_TYPE,
+            super::HOSTS,
+            super::RESULTS,
+            super::SIGNATURE,
+            super::PRINCIPAL,
+            super::AGENT_NAME,
+            super::COMMAND,
+            super::ARGS,
+            super::STATUS,
+            super::REPLY_TO,
+            super::ARCH,
+            super::LOG,
+        ];
+        let mut set = std::collections::HashSet::new();
+        for name in all {
+            assert!(set.insert(name), "duplicate well-known folder name {name}");
+        }
+    }
+}

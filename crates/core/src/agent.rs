@@ -1,0 +1,249 @@
+//! [`AgentSpec`]: how applications describe an agent before launching it.
+
+use tacoma_briefcase::{folders, Briefcase, Element};
+use tacoma_security::{Keyring, Principal};
+use tacoma_taxscript::Program;
+use tacoma_vm::{code_types, ArtifactBundle};
+
+use crate::wrapper::WRAPPERS_FOLDER;
+use crate::TaxError;
+
+/// What kind of code the agent carries.
+#[derive(Debug, Clone)]
+enum AgentCode {
+    /// TaxScript source — the Figure 4 style of agent; runs on `vm_script`
+    /// (or `vm_c` if explicitly targeted, which compiles it first).
+    Script(String),
+    /// Pre-compiled bytecode; runs on `vm_bin`.
+    Bytecode(Program),
+    /// A bundle of per-architecture binaries; runs on `vm_bin`.
+    Bundle(ArtifactBundle),
+}
+
+/// A launchable agent description: code, identity, initial state, and
+/// wrappers.
+///
+/// ```
+/// use tacoma_core::AgentSpec;
+///
+/// let spec = AgentSpec::script("hello", r#"fn main() { display("hi"); }"#)
+///     .folder("RESULTS", ["seed"])
+///     .wrap("logging");
+/// # let _ = spec;
+/// ```
+#[derive(Debug, Clone)]
+pub struct AgentSpec {
+    name: String,
+    code: AgentCode,
+    vm: Option<String>,
+    principal: Option<Principal>,
+    keyring: Option<Keyring>,
+    wrappers: Vec<String>,
+    state: Vec<(String, Vec<Element>)>,
+}
+
+impl AgentSpec {
+    /// An agent carrying TaxScript source.
+    pub fn script(name: impl Into<String>, source: impl Into<String>) -> Self {
+        AgentSpec {
+            name: name.into(),
+            code: AgentCode::Script(source.into()),
+            vm: None,
+            principal: None,
+            keyring: None,
+            wrappers: Vec::new(),
+            state: Vec::new(),
+        }
+    }
+
+    /// An agent carrying pre-compiled bytecode.
+    pub fn bytecode(name: impl Into<String>, program: Program) -> Self {
+        AgentSpec {
+            name: name.into(),
+            code: AgentCode::Bytecode(program),
+            vm: None,
+            principal: None,
+            keyring: None,
+            wrappers: Vec::new(),
+            state: Vec::new(),
+        }
+    }
+
+    /// An agent carrying a bundle of per-architecture binaries (the §5
+    /// Webbot shape).
+    pub fn bundle(name: impl Into<String>, bundle: ArtifactBundle) -> Self {
+        AgentSpec {
+            name: name.into(),
+            code: AgentCode::Bundle(bundle),
+            vm: None,
+            principal: None,
+            keyring: None,
+            wrappers: Vec::new(),
+            state: Vec::new(),
+        }
+    }
+
+    /// The agent's symbolic name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Targets a specific VM instead of the code kind's default.
+    pub fn on_vm(mut self, vm: impl Into<String>) -> Self {
+        self.vm = Some(vm.into());
+        self
+    }
+
+    /// Sets the owning principal (defaults to the launching host's system
+    /// principal).
+    pub fn owned_by(mut self, principal: Principal) -> Self {
+        self.principal = Some(principal);
+        self
+    }
+
+    /// Signs the agent core at launch so remote firewalls can
+    /// authenticate it; also sets the principal from the keyring.
+    pub fn signed_by(mut self, keyring: Keyring) -> Self {
+        self.principal = Some(keyring.principal().clone());
+        self.keyring = Some(keyring);
+        self
+    }
+
+    /// Adds a wrapper spec *around* the current stack (first call is
+    /// innermost, matching Figure 5 where `mwWebbot` is added before
+    /// `rwWebbot`).
+    pub fn wrap(mut self, spec: impl Into<String>) -> Self {
+        self.wrappers.push(spec.into());
+        self
+    }
+
+    /// Seeds a briefcase folder with text elements.
+    pub fn folder<I, E>(mut self, name: impl Into<String>, elements: I) -> Self
+    where
+        I: IntoIterator<Item = E>,
+        E: Into<Element>,
+    {
+        self.state.push((name.into(), elements.into_iter().map(Into::into).collect()));
+        self
+    }
+
+    /// Seeds the `HOSTS` itinerary folder (Figure 4).
+    pub fn itinerary<I, S>(self, hosts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.folder(folders::HOSTS, hosts.into_iter().map(|h| Element::from(h.into())))
+    }
+
+    /// The VM this agent should start on.
+    pub(crate) fn target_vm(&self) -> String {
+        if let Some(vm) = &self.vm {
+            return vm.clone();
+        }
+        match self.code {
+            AgentCode::Script(_) => "vm_script".to_owned(),
+            AgentCode::Bytecode(_) | AgentCode::Bundle(_) => "vm_bin".to_owned(),
+        }
+    }
+
+    /// The principal this agent runs as, given the launching host's system
+    /// principal as default.
+    pub(crate) fn resolve_principal(&self, local_system: &Principal) -> Principal {
+        self.principal.clone().unwrap_or_else(|| local_system.clone())
+    }
+
+    /// Assembles the agent's briefcase: code, name, state, wrappers, and
+    /// (if a keyring was provided) the signature over the code.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::BadAgentSpec`] if the spec is internally inconsistent.
+    pub(crate) fn build_briefcase(&self, principal: &Principal) -> Result<Briefcase, TaxError> {
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, self.name.as_str());
+        bc.set_single(folders::PRINCIPAL, principal.as_str());
+
+        let (code, code_type): (Vec<u8>, &str) = match &self.code {
+            AgentCode::Script(source) => {
+                if source.trim().is_empty() {
+                    return Err(TaxError::BadAgentSpec { detail: "empty source".into() });
+                }
+                (source.clone().into_bytes(), code_types::TAXSCRIPT_SOURCE)
+            }
+            AgentCode::Bytecode(program) => (program.encode(), code_types::TAXSCRIPT_BYTECODE),
+            AgentCode::Bundle(bundle) => {
+                if bundle.artifacts().is_empty() {
+                    return Err(TaxError::BadAgentSpec { detail: "empty artifact bundle".into() });
+                }
+                (bundle.encode(), code_types::BINARY_ARTIFACT)
+            }
+        };
+        if let Some(keyring) = &self.keyring {
+            bc.set_single(folders::SIGNATURE, keyring.sign(&code).digest().to_hex());
+        }
+        bc.append(folders::CODE, code);
+        bc.set_single(folders::CODE_TYPE, code_type);
+
+        for spec in &self.wrappers {
+            bc.append(WRAPPERS_FOLDER, spec.as_str());
+        }
+        for (name, elements) in &self.state {
+            let folder = bc.ensure_folder(name);
+            folder.extend(elements.iter().cloned());
+        }
+        Ok(bc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn script_spec_builds_briefcase() {
+        let p = Principal::new("alice").unwrap();
+        let bc = AgentSpec::script("hello", "fn main() { }")
+            .itinerary(["tacoma://h2/vm_script"])
+            .wrap("logging")
+            .build_briefcase(&p)
+            .unwrap();
+        assert_eq!(bc.single_str(folders::AGENT_NAME).unwrap(), "hello");
+        assert_eq!(bc.single_str(folders::PRINCIPAL).unwrap(), "alice");
+        assert_eq!(bc.single_str(folders::CODE_TYPE).unwrap(), code_types::TAXSCRIPT_SOURCE);
+        assert_eq!(bc.folder(folders::HOSTS).unwrap().len(), 1);
+        assert_eq!(bc.folder(WRAPPERS_FOLDER).unwrap().len(), 1);
+    }
+
+    #[test]
+    fn signing_adds_verifiable_signature() {
+        use tacoma_security::TrustStore;
+        let keys = Keyring::generate(&Principal::new("alice").unwrap(), 5);
+        let bc = AgentSpec::script("a", "fn main() { }")
+            .signed_by(keys.clone())
+            .build_briefcase(keys.principal())
+            .unwrap();
+        let mut trust = TrustStore::new();
+        trust.trust(keys.public());
+        let sig = tacoma_security::Signature::from_digest(
+            tacoma_security::Digest::from_hex(bc.single_str(folders::SIGNATURE).unwrap()).unwrap(),
+        );
+        let code = bc.element(folders::CODE, 0).unwrap();
+        assert!(trust.verify(keys.principal(), code.data(), &sig).is_ok());
+    }
+
+    #[test]
+    fn default_vm_tracks_code_kind() {
+        assert_eq!(AgentSpec::script("a", "x").target_vm(), "vm_script");
+        let program = tacoma_taxscript::compile_source("fn main() { }").unwrap();
+        assert_eq!(AgentSpec::bytecode("a", program).target_vm(), "vm_bin");
+        assert_eq!(AgentSpec::script("a", "x").on_vm("vm_c").target_vm(), "vm_c");
+    }
+
+    #[test]
+    fn empty_specs_rejected() {
+        let p = Principal::new("p").unwrap();
+        assert!(AgentSpec::script("a", "  ").build_briefcase(&p).is_err());
+        assert!(AgentSpec::bundle("a", ArtifactBundle::new()).build_briefcase(&p).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+use std::fmt;
+
+use tacoma_firewall::FirewallError;
+use tacoma_security::SecurityError;
+use tacoma_simnet::NetError;
+use tacoma_uri::ParseUriError;
+use tacoma_vm::VmError;
+
+/// Top-level errors from the TAX kernel.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TaxError {
+    /// A URI failed to parse.
+    Uri(ParseUriError),
+    /// The network refused a transfer.
+    Net(NetError),
+    /// The firewall refused an operation.
+    Firewall(FirewallError),
+    /// Authentication or authorization failed outside the firewall.
+    Security(SecurityError),
+    /// A virtual machine failed to execute an agent.
+    Vm(VmError),
+    /// A host name is not part of this system.
+    UnknownHost {
+        /// The name that resolved to nothing.
+        host: String,
+    },
+    /// An agent spec is unusable (no code, bad wrapper spec, …).
+    BadAgentSpec {
+        /// What was wrong.
+        detail: String,
+    },
+    /// The scheduler hit its step limit before the system went quiet —
+    /// usually a ping-pong agent loop.
+    Livelock {
+        /// Steps executed before giving up.
+        steps: usize,
+    },
+}
+
+impl fmt::Display for TaxError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TaxError::Uri(e) => e.fmt(f),
+            TaxError::Net(e) => e.fmt(f),
+            TaxError::Firewall(e) => e.fmt(f),
+            TaxError::Security(e) => e.fmt(f),
+            TaxError::Vm(e) => e.fmt(f),
+            TaxError::UnknownHost { host } => write!(f, "unknown host {host:?}"),
+            TaxError::BadAgentSpec { detail } => write!(f, "bad agent spec: {detail}"),
+            TaxError::Livelock { steps } => {
+                write!(f, "system did not go quiet within {steps} scheduler steps")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TaxError {}
+
+impl From<ParseUriError> for TaxError {
+    fn from(e: ParseUriError) -> Self {
+        TaxError::Uri(e)
+    }
+}
+
+impl From<NetError> for TaxError {
+    fn from(e: NetError) -> Self {
+        TaxError::Net(e)
+    }
+}
+
+impl From<FirewallError> for TaxError {
+    fn from(e: FirewallError) -> Self {
+        TaxError::Firewall(e)
+    }
+}
+
+impl From<SecurityError> for TaxError {
+    fn from(e: SecurityError) -> Self {
+        TaxError::Security(e)
+    }
+}
+
+impl From<VmError> for TaxError {
+    fn from(e: VmError) -> Self {
+        TaxError::Vm(e)
+    }
+}

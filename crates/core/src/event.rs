@@ -1,0 +1,79 @@
+//! Host event log: what happened on each host, for tests, examples, and
+//! the monitoring tools.
+
+use std::fmt;
+
+use tacoma_simnet::SimTime;
+use tacoma_taxscript::Outcome;
+use tacoma_uri::AgentAddress;
+
+/// One recorded host event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostEvent {
+    /// Virtual time of the event.
+    pub at: SimTime,
+    /// The agent involved, when known.
+    pub agent: Option<AgentAddress>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+/// The kinds of host events.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// An agent called `display(...)`.
+    Display(String),
+    /// An agent was installed (launched locally or arrived by transfer).
+    Installed {
+        /// The VM it was installed on.
+        vm: String,
+    },
+    /// An agent left for another location (`go`).
+    Departed {
+        /// Destination URI text.
+        to: String,
+    },
+    /// An agent finished its run on this host.
+    Completed(Outcome),
+    /// An agent faulted; the VM contained the error.
+    Faulted(String),
+    /// The firewall or kernel rejected something.
+    Rejected(String),
+    /// A wrapper emitted a note (logging wrapper, monitor reports, …).
+    Wrapper {
+        /// The wrapper's name.
+        wrapper: String,
+        /// The note.
+        note: String,
+    },
+    /// A service agent served a request.
+    Service {
+        /// The service's name.
+        service: String,
+        /// The command verb served.
+        command: String,
+    },
+    /// The VM's step-by-step execution trace (Figure 3's numbered arrows
+    /// for `vm_c`).
+    ExecutionTrace(Vec<String>),
+}
+
+impl fmt::Display for HostEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] ", self.at)?;
+        if let Some(agent) = &self.agent {
+            write!(f, "{agent}: ")?;
+        }
+        match &self.kind {
+            EventKind::Display(text) => write!(f, "display {text:?}"),
+            EventKind::Installed { vm } => write!(f, "installed on {vm}"),
+            EventKind::Departed { to } => write!(f, "departed for {to}"),
+            EventKind::Completed(outcome) => write!(f, "completed: {outcome:?}"),
+            EventKind::Faulted(err) => write!(f, "faulted: {err}"),
+            EventKind::Rejected(err) => write!(f, "rejected: {err}"),
+            EventKind::Wrapper { wrapper, note } => write!(f, "wrapper {wrapper}: {note}"),
+            EventKind::Service { service, command } => write!(f, "service {service}: {command}"),
+            EventKind::ExecutionTrace(lines) => write!(f, "trace: {} steps", lines.len()),
+        }
+    }
+}

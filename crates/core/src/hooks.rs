@@ -1,0 +1,628 @@
+//! [`KernelHooks`]: the TAX library (§3.1) as seen by running agents, and
+//! the shared [`Kernel`] machinery behind it and the scheduler.
+//!
+//! Every primitive is firewall-mediated (Figure 1) and charged to the
+//! virtual network:
+//!
+//! * `go`/`spawn` — agent transfers; the briefcase ships whole.
+//! * `activate` — asynchronous briefcase send.
+//! * `meet` — RPC; synchronous against *service agents* (local or
+//!   remote). A `meet` addressed to another mobile agent degrades to a
+//!   delivery (the reply would require preemptive scheduling, which the
+//!   deterministic scheduler deliberately avoids); the caller gets `None`.
+//! * `await` — reads the agent's mailbox, filled by earlier `activate`s.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::time::Duration;
+
+use parking_lot::RwLock;
+use tacoma_briefcase::Briefcase;
+use tacoma_firewall::{ControlKind, Decision, Message};
+use tacoma_security::{Principal, Rights};
+use tacoma_simnet::{HostId, MessageBus, Network, SimTime};
+use tacoma_taxscript::GoDecision;
+use tacoma_uri::{AgentAddress, AgentUri};
+use tacoma_vm::{ExecContext, HostHooks};
+
+use crate::event::EventKind;
+use crate::host::{AgentTask, TaxHost};
+use crate::service::{error_reply, ServiceAgent, ServiceEnv};
+use crate::TaxError;
+
+/// The folder a requester sets to receive a service's reply
+/// asynchronously (used with `activate`; `meet` replies synchronously).
+pub const REPLY_TO_FOLDER: &str = "REPLY-TO";
+
+/// Service-call recursion limit (an exec'd program meeting a service that
+/// execs a program …).
+const MAX_SERVICE_DEPTH: u32 = 8;
+
+pub(crate) type Directory = Arc<RwLock<BTreeMap<String, TaxHost>>>;
+
+/// Shared kernel context: host directory, transport, network.
+#[derive(Clone)]
+pub(crate) struct Kernel {
+    pub directory: Directory,
+    pub bus: MessageBus,
+    pub net: Arc<Network>,
+}
+
+impl Kernel {
+    pub fn host(&self, name: &str) -> Option<TaxHost> {
+        self.directory.read().get(name).cloned()
+    }
+
+    pub fn now(&self) -> SimTime {
+        self.net.clock().now()
+    }
+
+    /// Decodes and routes one arrived envelope on `host`.
+    pub fn process_envelope(&self, host: &TaxHost, envelope: tacoma_simnet::Envelope) {
+        let now = self.now();
+        let message = match Message::decode(&envelope.payload) {
+            Ok(m) => m,
+            Err(e) => {
+                host.record(now, None, EventKind::Rejected(e.to_string()));
+                return;
+            }
+        };
+        match host.with_firewall(|fw| fw.route_inbound(message, now)) {
+            Ok(decision) => {
+                if let Err(e) = self.execute_deliver_decision(host, decision, 0) {
+                    host.record(now, None, EventKind::Rejected(e.to_string()));
+                }
+            }
+            Err(e) => host.record(now, None, EventKind::Rejected(e.to_string())),
+        }
+    }
+
+    /// Drains every envelope waiting on `host`; returns how many were
+    /// processed.
+    pub fn pump_inbox(&self, host: &TaxHost) -> usize {
+        let mut n = 0;
+        while let Some(envelope) = host.try_recv_envelope() {
+            self.process_envelope(host, envelope);
+            n += 1;
+        }
+        n
+    }
+
+    /// Pumps every host's inbox until no envelope remains anywhere —
+    /// models the other machines' firewall threads making progress while
+    /// an agent blocks in `await`. Agent *tasks* are not run here; only
+    /// message delivery (and the synchronous service work it triggers)
+    /// proceeds.
+    pub fn pump_all(&self) -> usize {
+        let hosts: Vec<TaxHost> = self.directory.read().values().cloned().collect();
+        let mut total = 0;
+        loop {
+            let mut this_pass = 0;
+            for host in &hosts {
+                this_pass += self.pump_inbox(host);
+            }
+            if this_pass == 0 {
+                return total;
+            }
+            total += this_pass;
+        }
+    }
+
+    /// Installs an agent on a host: builds its wrapper stack, registers it
+    /// with the firewall, delivers any queued mail, and schedules its run.
+    pub fn install(
+        &self,
+        host: &TaxHost,
+        vm: String,
+        address: AgentAddress,
+        briefcase: Briefcase,
+    ) -> Result<(), TaxError> {
+        let stack = host.core.factory.read().build_stack(&briefcase)?;
+        host.core.wrappers.lock().insert(address.clone(), stack);
+
+        let pending = host.with_firewall(|fw| fw.register_agent(address.clone(), vm.clone(), self.now()));
+        host.record(self.now(), Some(address.clone()), EventKind::Installed { vm: vm.clone() });
+        for message in pending {
+            self.deliver_mail(host, &address, message.briefcase);
+        }
+        host.push_task(AgentTask { vm, address, briefcase });
+        Ok(())
+    }
+
+    /// Delivers a briefcase to a local mobile agent's mailbox, running its
+    /// inbound wrapper chain first ("any briefcase addressed to the agent
+    /// is sent to the wrapper first").
+    pub fn deliver_mail(&self, host: &TaxHost, agent: &AgentAddress, mut briefcase: Briefcase) {
+        let now = self.now();
+        let effects = {
+            let mut wrappers = host.core.wrappers.lock();
+            match wrappers.get_mut(agent) {
+                Some(stack) => stack.apply_inbound(&mut briefcase, agent, host.name(), now),
+                None => Default::default(),
+            }
+        };
+        for note in &effects.notes {
+            host.record(now, Some(agent.clone()), EventKind::Wrapper {
+                wrapper: "inbound".into(),
+                note: note.clone(),
+            });
+        }
+        let absorbed = effects.absorbed;
+        self.send_emissions(host, agent, effects.emit);
+        if !absorbed {
+            host.push_mail(agent, briefcase);
+        }
+    }
+
+    /// Sends wrapper side-emissions as plain messages (no wrapper
+    /// re-entry).
+    pub fn send_emissions(&self, host: &TaxHost, from: &AgentAddress, emissions: Vec<(String, Briefcase)>) {
+        for (to, bc) in emissions {
+            let principal = match Principal::new(from.principal()) {
+                Ok(p) => p,
+                Err(_) => continue,
+            };
+            if let Err(e) = self.send_plain(host, principal, Some(from.clone()), &to, bc, 0) {
+                host.record(self.now(), Some(from.clone()), EventKind::Rejected(e.to_string()));
+            }
+        }
+    }
+
+    /// Routes and executes a plain (wrapper-free) deliver message from a
+    /// local sender.
+    pub fn send_plain(
+        &self,
+        host: &TaxHost,
+        from_principal: Principal,
+        from_agent: Option<AgentAddress>,
+        to: &str,
+        briefcase: Briefcase,
+        depth: u32,
+    ) -> Result<(), TaxError> {
+        let target: AgentUri = to.parse()?;
+        let message = Message::deliver(host.name(), from_principal, from_agent, target, briefcase);
+        let decision = host.with_firewall(|fw| fw.route_outbound(message, self.now()))?;
+        self.execute_deliver_decision(host, decision, depth)
+    }
+
+    /// Carries out a routing decision for a deliver-kind message.
+    pub fn execute_deliver_decision(
+        &self,
+        host: &TaxHost,
+        decision: Decision,
+        depth: u32,
+    ) -> Result<(), TaxError> {
+        match decision {
+            Decision::DeliverLocal { vm, agent, message } if vm == "service" => {
+                let _reply = self.call_service_on(host, &agent, message, depth)?;
+                Ok(())
+            }
+            Decision::DeliverLocal { agent, message, .. } => {
+                self.deliver_mail(host, &agent, message.briefcase);
+                Ok(())
+            }
+            Decision::ForwardRemote { host: remote, message, .. } => {
+                self.bus.send(host.host_id(), &HostId::new(&remote)?, message.encode())?;
+                Ok(())
+            }
+            Decision::Queued => Ok(()),
+            Decision::InstallAgent { vm, address, briefcase, .. } => {
+                self.install(host, vm, address, briefcase)
+            }
+            Decision::Admin { reply, control } => {
+                self.apply_admin(host, reply, control, depth);
+                Ok(())
+            }
+        }
+    }
+
+    /// Invokes a *local* service agent and returns its reply; also honours
+    /// the request's `REPLY-TO` folder.
+    fn call_service_on(
+        &self,
+        host: &TaxHost,
+        service_addr: &AgentAddress,
+        message: Message,
+        depth: u32,
+    ) -> Result<Briefcase, TaxError> {
+        let name = service_addr.name().to_owned();
+        let Some(service) = host.service(&name) else {
+            return Ok(error_reply(format!("service {name} not installed")));
+        };
+        let mut request = message.briefcase;
+        let reply_to = request.single_str(REPLY_TO_FOLDER).ok().map(str::to_owned);
+        let requester = message.from_principal.clone();
+        let authenticated =
+            message.from_host == host.name() || host.with_firewall(|fw| fw.is_sender_trusted(&message.from_host));
+        let rights = host.with_firewall(|fw| fw.rights_of(&requester, authenticated));
+
+        let reply = self.run_service(host, service, &mut request, requester.clone(), rights, depth);
+        host.record(self.now(), Some(service_addr.clone()), EventKind::Service {
+            service: name,
+            command: crate::service::command_of(&request).to_owned(),
+        });
+
+        if let Some(reply_to) = reply_to {
+            let _ = self.send_plain(host, requester, None, &reply_to, reply.clone(), depth + 1);
+        }
+        Ok(reply)
+    }
+
+    /// Runs a service handler with a fresh set of hooks scoped to the
+    /// service's host.
+    pub(crate) fn run_service(
+        &self,
+        host: &TaxHost,
+        service: Arc<dyn ServiceAgent>,
+        request: &mut Briefcase,
+        requester: Principal,
+        rights: Rights,
+        depth: u32,
+    ) -> Briefcase {
+        if depth >= MAX_SERVICE_DEPTH {
+            return error_reply("service call recursion limit reached");
+        }
+        let natives = host.core.natives.read().clone();
+        let exec_address = AgentAddress::new(
+            requester.as_str(),
+            service.name(),
+            tacoma_uri::Instance::from_u64(depth as u64),
+        );
+        let mut hooks = KernelHooks {
+            kernel: self.clone(),
+            host: host.clone(),
+            agent: exec_address,
+            principal: requester.clone(),
+            depth: depth + 1,
+        };
+        let mut env = ServiceEnv {
+            host: host.name(),
+            host_arch: host.arch().clone(),
+            requester,
+            rights,
+            now: self.now(),
+            natives: &natives,
+            hooks: &mut hooks,
+            fuel: host.core.fuel,
+        };
+        service.handle(request, &mut env)
+    }
+
+    /// Applies an admin decision: deliver the reply (if the requester
+    /// asked) and enforce the control action.
+    pub fn apply_admin(
+        &self,
+        host: &TaxHost,
+        _reply: Briefcase,
+        control: Option<tacoma_firewall::ControlAction>,
+        _depth: u32,
+    ) {
+        if let Some(action) = control {
+            match action.kind {
+                ControlKind::Kill => {
+                    // Remove any queued execution and per-agent state; the
+                    // registry entry was already dropped by the firewall.
+                    let mut tasks = host.core.tasks.lock();
+                    tasks.retain(|t| t.address != action.agent);
+                    drop(tasks);
+                    host.drop_agent_state(&action.agent);
+                    host.record(self.now(), Some(action.agent), EventKind::Rejected("killed by admin".into()));
+                }
+                ControlKind::Stop => {
+                    // Status lives in the firewall registry; the scheduler
+                    // parks queued tasks for stopped agents.
+                }
+                ControlKind::Resume => {
+                    // Re-queue any executions parked while stopped.
+                    let mut parked = host.core.parked.lock();
+                    let mut tasks = host.core.tasks.lock();
+                    let mut keep = Vec::new();
+                    for task in parked.drain(..) {
+                        if task.address == action.agent {
+                            tasks.push_back(task);
+                        } else {
+                            keep.push(task);
+                        }
+                    }
+                    *parked = keep;
+                }
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for Kernel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Kernel({} hosts)", self.directory.read().len())
+    }
+}
+
+/// The host-side implementation of [`HostHooks`] handed to every running
+/// agent: the TAX library of §3.1.
+pub struct KernelHooks {
+    pub(crate) kernel: Kernel,
+    pub(crate) host: TaxHost,
+    pub(crate) agent: AgentAddress,
+    pub(crate) principal: Principal,
+    pub(crate) depth: u32,
+}
+
+impl KernelHooks {
+    fn now(&self) -> SimTime {
+        self.kernel.now()
+    }
+
+    /// Runs the agent's wrapper chain for an outbound/move event. Returns
+    /// `(possibly rewritten target, absorbed?)`.
+    fn run_wrappers(
+        &mut self,
+        kind: WrapKind,
+        to: &str,
+        briefcase: &mut Briefcase,
+    ) -> (String, bool) {
+        let mut target = to.to_owned();
+        let now = self.now();
+        let effects = {
+            let mut wrappers = self.host.core.wrappers.lock();
+            match wrappers.get_mut(&self.agent) {
+                Some(stack) => match kind {
+                    WrapKind::Send => {
+                        stack.apply_outbound(&mut target, briefcase, &self.agent, self.host.name(), now)
+                    }
+                    WrapKind::Move => {
+                        stack.apply_move(&mut target, briefcase, &self.agent, self.host.name(), now)
+                    }
+                },
+                None => Default::default(),
+            }
+        };
+        for note in &effects.notes {
+            self.host.record(now, Some(self.agent.clone()), EventKind::Wrapper {
+                wrapper: "outbound".into(),
+                note: note.clone(),
+            });
+        }
+        let absorbed = effects.absorbed;
+        self.kernel.send_emissions(&self.host, &self.agent, effects.emit);
+        (target, absorbed)
+    }
+
+    /// The shared transfer path behind `go` and `spawn`.
+    fn transfer(&mut self, uri: &str, briefcase: &Briefcase, spawned: bool) -> Result<(), TaxError> {
+        let mut travelling = briefcase.clone();
+        let (target_text, absorbed) = self.run_wrappers(WrapKind::Move, uri, &mut travelling);
+        if absorbed {
+            return Err(TaxError::BadAgentSpec { detail: "move vetoed by wrapper".into() });
+        }
+        let target: AgentUri = target_text.parse()?;
+        let message =
+            Message::transfer(self.host.name(), self.principal.clone(), target, travelling, spawned);
+        let decision = self.host.with_firewall(|fw| fw.route_outbound(message, self.now()))?;
+        match decision {
+            Decision::ForwardRemote { host: remote, message, .. } => {
+                self.kernel.bus.send(self.host.host_id(), &HostId::new(&remote)?, message.encode())?;
+                Ok(())
+            }
+            Decision::InstallAgent { vm, address, briefcase, .. } => {
+                self.kernel.install(&self.host, vm, address, briefcase)
+            }
+            other => Err(TaxError::BadAgentSpec {
+                detail: format!("unexpected transfer decision {other:?}"),
+            }),
+        }
+    }
+}
+
+enum WrapKind {
+    Send,
+    Move,
+}
+
+impl HostHooks for KernelHooks {
+    fn display(&mut self, text: &str) {
+        self.host
+            .record(self.now(), Some(self.agent.clone()), EventKind::Display(text.to_owned()));
+    }
+
+    fn go(&mut self, uri: &str, briefcase: &Briefcase) -> GoDecision {
+        match self.transfer(uri, briefcase, false) {
+            Ok(()) => {
+                self.host.record(self.now(), Some(self.agent.clone()), EventKind::Departed {
+                    to: uri.to_owned(),
+                });
+                GoDecision::Moved
+            }
+            Err(e) => {
+                self.host
+                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                GoDecision::Unreachable
+            }
+        }
+    }
+
+    fn spawn(&mut self, uri: &str, briefcase: &Briefcase) -> Option<String> {
+        // Pre-allocate the child's instance so it can be reported back
+        // (§3.1: "which is then reported back to the calling agent").
+        let instance = self.host.with_firewall(|fw| fw.allocate_instance());
+        let mut child = briefcase.clone();
+        child.set_single("SYS:INSTANCE", instance.as_str());
+        match self.transfer(uri, &child, true) {
+            Ok(()) => Some(instance.as_str().to_owned()),
+            Err(e) => {
+                self.host
+                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                None
+            }
+        }
+    }
+
+    fn activate(&mut self, uri: &str, briefcase: &Briefcase) -> bool {
+        let mut outgoing = briefcase.clone();
+        let (target, absorbed) = self.run_wrappers(WrapKind::Send, uri, &mut outgoing);
+        if absorbed {
+            return true; // The wrapper handled it.
+        }
+        match self.kernel.send_plain(
+            &self.host,
+            self.principal.clone(),
+            Some(self.agent.clone()),
+            &target,
+            outgoing,
+            self.depth,
+        ) {
+            Ok(()) => true,
+            Err(e) => {
+                self.host
+                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                false
+            }
+        }
+    }
+
+    fn meet(&mut self, uri: &str, briefcase: &Briefcase) -> Option<Briefcase> {
+        let mut request = briefcase.clone();
+        let (target_text, absorbed) = self.run_wrappers(WrapKind::Send, uri, &mut request);
+        if absorbed {
+            return None;
+        }
+        let target: AgentUri = match target_text.parse() {
+            Ok(t) => t,
+            Err(_) => return None,
+        };
+        let message = Message::deliver(
+            self.host.name(),
+            self.principal.clone(),
+            Some(self.agent.clone()),
+            target,
+            request,
+        );
+        let request_len = message.encoded_len() as u64;
+        let decision = match self.host.with_firewall(|fw| fw.route_outbound(message, self.now())) {
+            Ok(d) => d,
+            Err(e) => {
+                self.host
+                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                return None;
+            }
+        };
+
+        match decision {
+            // Local service: loopback-cost RPC.
+            Decision::DeliverLocal { vm, agent, message } if vm == "service" => {
+                let self_id = self.host.host_id().clone();
+                let _ = self.kernel.net.transfer(&self_id, &self_id, request_len);
+                let reply =
+                    self.kernel.call_service_on(&self.host, &agent, message, self.depth).ok()?;
+                let _ = self.kernel.net.transfer(&self_id, &self_id, reply.encoded_len() as u64);
+                Some(reply)
+            }
+            // Remote target: ship the request; if it lands on a service,
+            // RPC synchronously and ship the reply back.
+            Decision::ForwardRemote { host: remote, message, .. } => {
+                let remote_id = HostId::new(&remote).ok()?;
+                let remote_host = self.kernel.host(&remote)?;
+                self.kernel.net.transfer(self.host.host_id(), &remote_id, request_len).ok()?;
+                let inbound =
+                    remote_host.with_firewall(|fw| fw.route_inbound(message, self.kernel.now()));
+                match inbound {
+                    Ok(Decision::DeliverLocal { vm, agent, message }) if vm == "service" => {
+                        let reply = self
+                            .kernel
+                            .call_service_on(&remote_host, &agent, message, self.depth)
+                            .ok()?;
+                        self.kernel
+                            .net
+                            .transfer(&remote_id, self.host.host_id(), reply.encoded_len() as u64)
+                            .ok()?;
+                        Some(reply)
+                    }
+                    Ok(other) => {
+                        // Not a service: degrade to a delivery.
+                        let _ = self.kernel.execute_deliver_decision(&remote_host, other, self.depth);
+                        None
+                    }
+                    Err(e) => {
+                        self.host.record(
+                            self.now(),
+                            Some(self.agent.clone()),
+                            EventKind::Rejected(e.to_string()),
+                        );
+                        None
+                    }
+                }
+            }
+            // A local mobile agent: deliver, no synchronous reply.
+            Decision::DeliverLocal { agent, message, .. } => {
+                self.kernel.deliver_mail(&self.host, &agent, message.briefcase);
+                None
+            }
+            Decision::Admin { reply, control } => {
+                self.kernel.apply_admin(&self.host, reply.clone(), control, self.depth);
+                Some(reply)
+            }
+            Decision::Queued => None,
+            Decision::InstallAgent { .. } => None,
+        }
+    }
+
+    fn await_bc(&mut self, timeout_ms: i64) -> Option<Briefcase> {
+        if let Some(mail) = self.host.pop_mail(&self.agent) {
+            return Some(mail);
+        }
+        // While this agent blocks, every host's firewall thread keeps
+        // delivering — in-flight request/reply chains complete.
+        self.kernel.pump_all();
+        if let Some(mail) = self.host.pop_mail(&self.agent) {
+            return Some(mail);
+        }
+        // Model the blocking wait: virtual time passes, then one last
+        // delivery check.
+        if timeout_ms > 0 {
+            self.kernel.net.clock().advance(Duration::from_millis(timeout_ms as u64));
+        }
+        self.kernel.pump_all();
+        self.host.pop_mail(&self.agent)
+    }
+
+    fn now_ms(&mut self) -> i64 {
+        (self.now().as_nanos() / 1_000_000) as i64
+    }
+
+    fn host_name(&mut self) -> String {
+        self.host.name().to_owned()
+    }
+
+    fn work_ns(&mut self, nanos: u64) {
+        self.kernel.net.clock().advance(Duration::from_nanos(nanos));
+    }
+}
+
+impl std::fmt::Debug for KernelHooks {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "KernelHooks({} on {})", self.agent, self.host.name())
+    }
+}
+
+/// Builds a VM execution context for a task on `host`. The trust store is
+/// snapshotted so the firewall lock is not held across agent execution.
+pub(crate) fn exec_context_for(host: &TaxHost) -> (tacoma_security::TrustStore, tacoma_vm::NativeRegistry) {
+    let trust = host.with_firewall(|fw| fw.trust().clone());
+    let natives = host.core.natives.read().clone();
+    (trust, natives)
+}
+
+/// Assembles an [`ExecContext`] from snapshotted parts.
+pub(crate) fn make_ctx<'a>(
+    host: &TaxHost,
+    trust: &'a tacoma_security::TrustStore,
+    natives: &'a tacoma_vm::NativeRegistry,
+) -> ExecContext<'a> {
+    let mut ctx = ExecContext::new(trust, natives)
+        .with_arch(host.arch().clone())
+        .with_fuel(host.core.fuel);
+    if host.core.allow_unsigned {
+        ctx = ctx.allow_unsigned();
+    }
+    ctx
+}
+

@@ -1,0 +1,76 @@
+//! The **TAX 2.0 kernel**: everything that turns the substrate crates into
+//! the running agent system of the paper.
+//!
+//! * [`TaxSystem`] — a simulated deployment: hosts over a virtual-time
+//!   network, with a deterministic scheduler ([`TaxSystem::run_until_quiet`]).
+//! * [`TaxHost`] — one machine (Figure 1): a firewall guarding a set of
+//!   virtual machines, standard service agents, and the native-code
+//!   registry.
+//! * [`KernelHooks`] — the TAX library (§3.1) as seen by running agents:
+//!   `go`, `spawn`, `activate`, `meet`, `await`, all mediated by the
+//!   firewall and charged to the virtual network.
+//! * **Service agents** (§3.3): [`services::AgExec`], [`services::AgCc`],
+//!   [`services::AgFs`], [`services::AgCabinet`], [`services::AgLog`] — a
+//!   host's resources behind briefcase RPC.
+//! * **Wrappers** (§4): [`Wrapper`]s are stacked around agents without
+//!   modifying them; [`wrappers::LoggingWrapper`],
+//!   [`wrappers::MonitorWrapper`], [`wrappers::GroupWrapper`],
+//!   [`wrappers::LocationWrapper`] are provided, and
+//!   [`WrapperFactory`] lets applications define more.
+//!
+//! # Quick start
+//!
+//! ```
+//! use tacoma_core::{AgentSpec, SystemBuilder};
+//!
+//! # fn main() -> Result<(), tacoma_core::TaxError> {
+//! let mut system = SystemBuilder::new().host("alpha")?.host("beta")?.trust_all().build();
+//!
+//! // A Figure-4 style itinerant agent.
+//! let code = r#"
+//!     fn main() {
+//!         bc_append("VISITED", host_name());
+//!         let next = bc_remove("HOSTS", 0);
+//!         if (next == nil) { exit(0); }
+//!         go(next);
+//!     }
+//! "#;
+//! let spec = AgentSpec::script("hello", code)
+//!     .itinerary(["tacoma://beta/vm_script"]);
+//! system.launch("alpha", spec)?;
+//! system.run_until_quiet();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod agent;
+mod error;
+mod event;
+mod hooks;
+mod host;
+mod service;
+pub mod services;
+mod system;
+mod wrapper;
+pub mod wrappers;
+
+pub use agent::AgentSpec;
+pub use error::TaxError;
+pub use event::{EventKind, HostEvent};
+pub use hooks::KernelHooks;
+pub use host::{HostBuilder, TaxHost};
+pub use service::{arg, command_of, error_reply, ok_reply, reply_ok, ServiceAgent, ServiceEnv};
+pub use system::{SystemBuilder, TaxSystem};
+pub use wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperFactory, WrapperStack, WrapperVerdict};
+
+// Commonly needed re-exports so applications can depend on tacoma-core
+// alone.
+pub use tacoma_briefcase::{folders, Briefcase, Element, Folder};
+pub use tacoma_security::{Keyring, Policy, Principal, Rights, TrustStore};
+pub use tacoma_simnet::{HostId, LinkSpec, Network, SimClock, SimTime, Topology};
+pub use tacoma_taxscript::{NullHooks, Outcome};
+pub use tacoma_uri::{AgentAddress, AgentUri, Instance};
+pub use tacoma_vm::{Architecture, ArtifactBundle, BinaryArtifact, GoDecision, HostHooks, NativeRegistry};

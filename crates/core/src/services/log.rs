@@ -1,0 +1,56 @@
+//! `ag_log`: a host-local append-only log, used by monitoring wrappers to
+//! report and by operators to inspect.
+
+use parking_lot::Mutex;
+use tacoma_briefcase::Briefcase;
+
+use crate::service::{arg, command_of, error_reply, ok_reply, ServiceAgent, ServiceEnv};
+
+/// The log service. Commands: `append <line>`, `read` → `LINES`,
+/// `clear`.
+#[derive(Debug, Default)]
+pub struct AgLog {
+    lines: Mutex<Vec<String>>,
+}
+
+impl AgLog {
+    /// A new, empty log.
+    pub fn new() -> Self {
+        AgLog::default()
+    }
+
+    /// Snapshot of the log lines (host-side inspection).
+    pub fn lines(&self) -> Vec<String> {
+        self.lines.lock().clone()
+    }
+}
+
+impl ServiceAgent for AgLog {
+    fn name(&self) -> &str {
+        "ag_log"
+    }
+
+    fn handle(&self, request: &mut Briefcase, env: &mut ServiceEnv<'_>) -> Briefcase {
+        match command_of(request) {
+            "append" => {
+                let Some(line) = arg(request, 0) else {
+                    return error_reply("append: missing line");
+                };
+                self.lines.lock().push(format!("[{}] {} {}", env.now, env.requester, line));
+                ok_reply()
+            }
+            "read" => {
+                let mut reply = ok_reply();
+                for line in self.lines.lock().iter() {
+                    reply.append("LINES", line.as_str());
+                }
+                reply
+            }
+            "clear" => {
+                self.lines.lock().clear();
+                ok_reply()
+            }
+            other => error_reply(format!("ag_log: unknown command {other:?}")),
+        }
+    }
+}

@@ -1,0 +1,13 @@
+//! The standard service agents every TAX site runs (§3.3, §5).
+
+mod cabinet;
+mod cc;
+mod exec;
+mod fs;
+mod log;
+
+pub use cabinet::AgCabinet;
+pub use cc::AgCc;
+pub use exec::AgExec;
+pub use fs::AgFs;
+pub use log::AgLog;

@@ -1,0 +1,415 @@
+//! [`TaxSystem`]: a whole simulated deployment, with a deterministic
+//! scheduler.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use tacoma_briefcase::{folders, Briefcase};
+use tacoma_firewall::{AgentStatus, Message};
+use tacoma_security::{Keyring, Principal};
+use tacoma_simnet::{LinkSpec, MessageBus, Network, SimClock, Topology};
+use tacoma_taxscript::Outcome;
+use tacoma_uri::AgentAddress;
+use tacoma_vm::VirtualMachine;
+
+use crate::agent::AgentSpec;
+use crate::event::{EventKind, HostEvent};
+use crate::hooks::{exec_context_for, make_ctx, Kernel, KernelHooks};
+use crate::host::{HostBuilder, TaxHost};
+use crate::TaxError;
+
+/// Hard cap on scheduler steps per [`TaxSystem::run_until_quiet`] call —
+/// a backstop against agent ping-pong loops.
+const MAX_STEPS: usize = 1_000_000;
+
+/// Builds a [`TaxSystem`].
+#[derive(Debug)]
+pub struct SystemBuilder {
+    hosts: Vec<HostBuilder>,
+    default_link: LinkSpec,
+    links: Vec<(String, String, LinkSpec)>,
+    seed: u64,
+    trust_all: bool,
+}
+
+impl SystemBuilder {
+    /// An empty deployment with the paper's 100 Mbit LAN as the default
+    /// link.
+    pub fn new() -> Self {
+        SystemBuilder {
+            hosts: Vec::new(),
+            default_link: LinkSpec::lan_100mbit(),
+            links: Vec::new(),
+            seed: 1,
+            trust_all: false,
+        }
+    }
+
+    /// Adds a host with default configuration.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::Net`] on an invalid host name.
+    pub fn host(mut self, name: &str) -> Result<Self, TaxError> {
+        self.hosts.push(HostBuilder::new(name)?);
+        Ok(self)
+    }
+
+    /// Adds a fully configured host.
+    pub fn host_with(mut self, builder: HostBuilder) -> Self {
+        self.hosts.push(builder);
+        self
+    }
+
+    /// Sets the link used by host pairs without an explicit one.
+    pub fn default_link(mut self, link: LinkSpec) -> Self {
+        self.default_link = link;
+        self
+    }
+
+    /// Sets a specific link between two hosts.
+    pub fn link(mut self, a: &str, b: &str, link: LinkSpec) -> Self {
+        self.links.push((a.to_owned(), b.to_owned(), link));
+        self
+    }
+
+    /// Seeds the network's loss randomness (and the system keyrings).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Generates a system keyring per host and cross-installs all
+    /// verification keys: every host trusts every other host's system
+    /// principal (one administrative domain, the paper's deployment).
+    pub fn trust_all(mut self) -> Self {
+        self.trust_all = true;
+        self
+    }
+
+    /// Builds the system.
+    pub fn build(self) -> TaxSystem {
+        let mut topology = Topology::new(self.default_link);
+        for hb in &self.hosts {
+            topology.add_host(hb.name().clone());
+        }
+        for (a, b, link) in &self.links {
+            if let (Ok(a), Ok(b)) = (tacoma_simnet::HostId::new(a.clone()), tacoma_simnet::HostId::new(b.clone())) {
+                topology.set_link(&a, &b, *link);
+            }
+        }
+        let net = Arc::new(Network::new(topology, self.seed));
+        let bus = MessageBus::new(Arc::clone(&net));
+
+        let mut hosts = BTreeMap::new();
+        let mut keyrings = BTreeMap::new();
+
+        let built: Vec<TaxHost> = self.hosts.into_iter().map(HostBuilder::build).collect();
+
+        if self.trust_all {
+            for (i, host) in built.iter().enumerate() {
+                let system = Principal::local_system(host.name());
+                let keyring = Keyring::generate(&system, self.seed.wrapping_add(i as u64));
+                keyrings.insert(host.name().to_owned(), keyring);
+            }
+            for host in &built {
+                host.with_firewall(|fw| {
+                    for keyring in keyrings.values() {
+                        fw.trust_mut().trust(keyring.public());
+                    }
+                });
+            }
+        }
+
+        for host in built {
+            let inbox = bus.register(host.host_id().clone());
+            host.set_inbox(inbox);
+            hosts.insert(host.name().to_owned(), host);
+        }
+
+        let directory = Arc::new(RwLock::new(hosts));
+        TaxSystem { kernel: Kernel { directory, bus, net }, keyrings }
+    }
+}
+
+impl Default for SystemBuilder {
+    fn default() -> Self {
+        SystemBuilder::new()
+    }
+}
+
+/// A running deployment: hosts, network, and the deterministic scheduler.
+pub struct TaxSystem {
+    kernel: Kernel,
+    keyrings: BTreeMap<String, Keyring>,
+}
+
+impl TaxSystem {
+    /// The host with the given name.
+    pub fn host(&self, name: &str) -> Option<TaxHost> {
+        self.kernel.host(name)
+    }
+
+    /// All host names, sorted.
+    pub fn host_names(&self) -> Vec<String> {
+        self.kernel.directory.read().keys().cloned().collect()
+    }
+
+    /// The simulated network (stats, fault injection, clock).
+    pub fn network(&self) -> Arc<Network> {
+        Arc::clone(&self.kernel.net)
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> SimClock {
+        self.kernel.net.clock().clone()
+    }
+
+    /// The system keyring generated for a host by
+    /// [`SystemBuilder::trust_all`], if any.
+    pub fn keyring(&self, host: &str) -> Option<&Keyring> {
+        self.keyrings.get(host)
+    }
+
+    /// Installs a user keyring's verification key on every host.
+    pub fn trust_everywhere(&self, keyring: &Keyring) {
+        for host in self.kernel.directory.read().values() {
+            host.with_firewall(|fw| {
+                fw.trust_mut().trust(keyring.public());
+            });
+        }
+    }
+
+    /// Launches an agent on a host; returns its address.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] or spec/install failures.
+    pub fn launch(&mut self, host_name: &str, spec: AgentSpec) -> Result<AgentAddress, TaxError> {
+        let host = self
+            .host(host_name)
+            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
+        let local_system = host.with_firewall(|fw| fw.local_system().clone());
+        let principal = spec.resolve_principal(&local_system);
+        let briefcase = spec.build_briefcase(&principal)?;
+        let instance = host.with_firewall(|fw| fw.allocate_instance());
+        let address = AgentAddress::new(principal.as_str(), spec.name(), instance);
+        self.kernel.install(&host, spec.target_vm(), address.clone(), briefcase)?;
+        Ok(address)
+    }
+
+    /// Sends an admin command (`list`, `runtime`, `stop`, `resume`,
+    /// `kill`) to a host's firewall on behalf of `principal`, returning
+    /// the reply.
+    ///
+    /// # Errors
+    ///
+    /// Firewall denials and admin errors.
+    pub fn admin(
+        &mut self,
+        host_name: &str,
+        principal: &Principal,
+        command: &str,
+        args: &[&str],
+    ) -> Result<Briefcase, TaxError> {
+        let host = self
+            .host(host_name)
+            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
+        let mut request = Briefcase::new();
+        request.set_single(folders::COMMAND, command);
+        for a in args {
+            request.append(folders::ARGS, *a);
+        }
+        let message = Message::deliver(
+            host.name(),
+            principal.clone(),
+            None,
+            tacoma_firewall::FIREWALL_AGENT_NAME.parse()?,
+            request,
+        );
+        let now = self.kernel.now();
+        let decision = host.with_firewall(|fw| fw.route_outbound(message, now))?;
+        match decision {
+            tacoma_firewall::Decision::Admin { reply, control } => {
+                self.kernel.apply_admin(&host, reply.clone(), control, 0);
+                Ok(reply)
+            }
+            other => Err(TaxError::BadAgentSpec {
+                detail: format!("admin produced unexpected decision {other:?}"),
+            }),
+        }
+    }
+
+    /// Calls a service agent on a host directly (tooling path — e.g. an
+    /// operator fetching a parked report from `ag_cabinet`). The call is
+    /// authorized as `principal` with its authenticated rights.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] / [`TaxError::BadAgentSpec`] when the
+    /// host or service does not exist.
+    pub fn call_service(
+        &mut self,
+        host_name: &str,
+        service_name: &str,
+        principal: &Principal,
+        mut request: Briefcase,
+    ) -> Result<Briefcase, TaxError> {
+        let host = self
+            .host(host_name)
+            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
+        let service = host.service(service_name).ok_or_else(|| TaxError::BadAgentSpec {
+            detail: format!("no service {service_name:?} on {host_name}"),
+        })?;
+        let rights = host.with_firewall(|fw| fw.rights_of(principal, true));
+        Ok(self.kernel.run_service(&host, service, &mut request, principal.clone(), rights, 0))
+    }
+
+    /// Performs one unit of scheduler work: drains arrived messages on
+    /// every host, then executes at most one queued agent task. Returns
+    /// whether anything happened.
+    pub fn step(&mut self) -> bool {
+        let mut worked = false;
+
+        // Phase 1: message delivery, every host, deterministic order.
+        let host_names = self.host_names();
+        for name in &host_names {
+            let Some(host) = self.host(name) else { continue };
+            if self.kernel.pump_inbox(&host) > 0 {
+                worked = true;
+            }
+        }
+
+        // Phase 2: run one agent task (first host in order with work).
+        for name in &host_names {
+            let Some(host) = self.host(name) else { continue };
+            if let Some(task) = host.pop_task() {
+                self.run_task(&host, task);
+                worked = true;
+                break;
+            }
+        }
+        worked
+    }
+
+    /// Runs the scheduler until no work remains (or a million steps, as a
+    /// livelock backstop). Returns the number of steps executed.
+    pub fn run_until_quiet(&mut self) -> usize {
+        let mut steps = 0;
+        while steps < MAX_STEPS && self.step() {
+            steps += 1;
+        }
+        steps
+    }
+
+    /// Whether no messages or tasks are outstanding.
+    pub fn is_quiet(&self) -> bool {
+        self.kernel
+            .directory
+            .read()
+            .values()
+            .all(|h| h.inbox_is_empty() && h.queued_tasks() == 0)
+    }
+
+    /// All events across hosts, ordered by virtual time.
+    pub fn events(&self) -> Vec<(String, HostEvent)> {
+        let mut all: Vec<(String, HostEvent)> = Vec::new();
+        for (name, host) in self.kernel.directory.read().iter() {
+            for event in host.events() {
+                all.push((name.clone(), event));
+            }
+        }
+        all.sort_by_key(|(_, e)| e.at);
+        all
+    }
+
+    /// Every `display` line across all hosts, in virtual-time order.
+    pub fn agent_outputs(&self) -> Vec<String> {
+        self.events()
+            .into_iter()
+            .filter_map(|(_, e)| match e.kind {
+                EventKind::Display(text) => Some(text),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn run_task(&mut self, host: &TaxHost, task: crate::host::AgentTask) {
+        let now = self.kernel.now();
+
+        // Respect kill/stop decided while the task was queued.
+        let status = host.with_firewall(|fw| fw.registry().get(&task.address).map(|r| r.status));
+        match status {
+            None => return, // killed
+            Some(AgentStatus::Stopped) => {
+                host.core.parked.lock().push(task);
+                return;
+            }
+            Some(AgentStatus::Running) => {}
+        }
+
+        let vm: Option<Arc<dyn VirtualMachine>> = host.core.vms.read().get(&task.vm).cloned();
+        let Some(vm) = vm else {
+            host.record(now, Some(task.address.clone()), EventKind::Rejected(format!(
+                "no VM named {:?}",
+                task.vm
+            )));
+            host.with_firewall(|fw| fw.unregister_agent(&task.address));
+            return;
+        };
+
+        let principal = match Principal::new(task.address.principal()) {
+            Ok(p) => p,
+            Err(e) => {
+                host.record(now, Some(task.address.clone()), EventKind::Rejected(e.to_string()));
+                return;
+            }
+        };
+
+        let (trust, natives) = exec_context_for(host);
+        let ctx = make_ctx(host, &trust, &natives);
+        let mut hooks = KernelHooks {
+            kernel: self.kernel.clone(),
+            host: host.clone(),
+            agent: task.address.clone(),
+            principal,
+            depth: 0,
+        };
+        let mut briefcase = task.briefcase;
+        let result = vm.execute(&mut briefcase, &mut hooks, &ctx);
+        let after = self.kernel.now();
+
+        match result {
+            Ok(execution) => {
+                if execution.trace.len() > 1 {
+                    host.record(
+                        after,
+                        Some(task.address.clone()),
+                        EventKind::ExecutionTrace(execution.trace.clone()),
+                    );
+                }
+                match execution.outcome {
+                    Outcome::Moved { .. } => {
+                        // Departure was recorded by the go() hook; this
+                        // instance is terminated.
+                    }
+                    outcome @ (Outcome::Finished | Outcome::Exit(_)) => {
+                        host.record(after, Some(task.address.clone()), EventKind::Completed(outcome));
+                    }
+                }
+            }
+            Err(e) => {
+                host.record(after, Some(task.address.clone()), EventKind::Faulted(e.to_string()));
+            }
+        }
+        host.with_firewall(|fw| fw.unregister_agent(&task.address));
+        host.drop_agent_state(&task.address);
+    }
+}
+
+impl std::fmt::Debug for TaxSystem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "TaxSystem({:?})", self.host_names())
+    }
+}

@@ -1,0 +1,248 @@
+//! The group-communication wrapper of §4.
+//!
+//! > "For instance, a group communication wrapper can be used to wrap an
+//! > application agent. As the wrapper is instantiated, it is given
+//! > parameters such as group membership (all agents sharing common
+//! > class), and desired properties of communication (casual, FIFO,
+//! > atomic, etc)."
+//!
+//! The wrapped agent multicasts by sending a briefcase to the literal
+//! target `group`; the wrapper absorbs it and fans it out to every member
+//! with ordering metadata. Inbound group messages are buffered until the
+//! chosen order allows delivery, then re-injected to the agent.
+
+use tacoma_briefcase::Briefcase;
+
+use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
+use crate::wrappers::ordering::{CausalBuffer, FifoBuffer, FifoSender, TotalBuffer, VectorClock};
+use crate::TaxError;
+
+/// The literal send target the wrapped agent uses to multicast.
+pub const GROUP_TARGET: &str = "group";
+
+mod meta {
+    pub const SENDER: &str = "GRP:SENDER";
+    pub const SEQ: &str = "GRP:SEQ";
+    pub const VCLOCK: &str = "GRP:VC";
+    pub const FORWARD: &str = "GRP:FORWARD";
+    pub const DELIVERED: &str = "GRP:DELIVERED";
+}
+
+/// The ordering property the group enforces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GroupOrder {
+    /// Per-sender FIFO.
+    Fifo,
+    /// Causal order via vector clocks.
+    Causal,
+    /// Total (atomic) order via a fixed sequencer — the first member.
+    Total,
+}
+
+/// One group member: a stable name and the host it lives on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    /// The member's agent name.
+    pub name: String,
+    /// The member's host.
+    pub host: String,
+}
+
+impl Member {
+    fn uri(&self) -> String {
+        format!("tacoma://{}/{}", self.host, self.name)
+    }
+}
+
+enum Buffer {
+    Fifo(FifoBuffer<Briefcase>),
+    Causal(CausalBuffer<Briefcase>),
+    Total(TotalBuffer<Briefcase>),
+}
+
+/// Spec: `group:<order>:<name@host,name@host,...>` with order one of
+/// `fifo`, `causal`, `total`. The wrapped agent's own name must be one of
+/// the members.
+pub struct GroupWrapper {
+    order: GroupOrder,
+    members: Vec<Member>,
+    fifo_sender: FifoSender,
+    total_seq: u64,
+    buffer: Buffer,
+}
+
+impl GroupWrapper {
+    /// Builds a group wrapper from its parts.
+    pub fn new(order: GroupOrder, members: Vec<Member>) -> Self {
+        let buffer = match order {
+            GroupOrder::Fifo => Buffer::Fifo(FifoBuffer::new()),
+            GroupOrder::Causal => Buffer::Causal(CausalBuffer::new()),
+            GroupOrder::Total => Buffer::Total(TotalBuffer::new()),
+        };
+        GroupWrapper { order, members, fifo_sender: FifoSender::default(), total_seq: 0, buffer }
+    }
+
+    /// Parses the `group:<order>:<members>` spec.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::BadAgentSpec`] on malformed order or member list.
+    pub fn from_spec(spec: &str) -> Result<Self, TaxError> {
+        let bad = |detail: String| TaxError::BadAgentSpec { detail };
+        let mut parts = spec.splitn(3, ':');
+        let _ = parts.next(); // "group"
+        let order = match parts.next() {
+            Some("fifo") => GroupOrder::Fifo,
+            Some("causal") => GroupOrder::Causal,
+            Some("total") => GroupOrder::Total,
+            other => return Err(bad(format!("unknown group order {other:?}"))),
+        };
+        let members_text = parts.next().ok_or_else(|| bad("missing member list".into()))?;
+        let mut members = Vec::new();
+        for entry in members_text.split(',').filter(|e| !e.is_empty()) {
+            let (name, host) = entry
+                .split_once('@')
+                .ok_or_else(|| bad(format!("member {entry:?} must be name@host")))?;
+            members.push(Member { name: name.to_owned(), host: host.to_owned() });
+        }
+        if members.is_empty() {
+            return Err(bad("empty member list".into()));
+        }
+        Ok(GroupWrapper::new(order, members))
+    }
+
+    fn sequencer(&self) -> &Member {
+        &self.members[0]
+    }
+
+    fn is_sequencer(&self, ctx: &WrapperCtx<'_>) -> bool {
+        self.sequencer().name == ctx.agent.name()
+    }
+
+    /// Fans a payload out to the members; when `include_self` is false,
+    /// the wrapped agent's own member entry is skipped.
+    fn multicast(
+        &self,
+        payload: &Briefcase,
+        include_self: bool,
+        ctx: &mut WrapperCtx<'_>,
+    ) {
+        for member in &self.members {
+            if !include_self && member.name == ctx.agent.name() {
+                continue;
+            }
+            ctx.emit.push((member.uri(), payload.clone()));
+        }
+    }
+
+    /// Assigns the next global sequence number (sequencer only).
+    fn assign_total(&mut self, payload: &mut Briefcase) {
+        self.total_seq += 1;
+        payload.set_single(meta::SEQ, self.total_seq as i64);
+        payload.remove_folder(meta::FORWARD);
+    }
+
+    fn deliver_ready(&mut self, ready: Vec<Briefcase>, ctx: &mut WrapperCtx<'_>) {
+        let self_uri = ctx.agent.to_uri().to_string();
+        for mut bc in ready {
+            bc.set_single(meta::DELIVERED, 1i64);
+            ctx.emit.push((self_uri.clone(), bc));
+        }
+    }
+}
+
+impl Wrapper for GroupWrapper {
+    fn name(&self) -> &str {
+        "group"
+    }
+
+    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        match event {
+            WrapperEvent::Outbound { to, briefcase } => {
+                if to.as_str() != GROUP_TARGET {
+                    return WrapperVerdict::Continue;
+                }
+                let mut payload = briefcase.clone();
+                payload.set_single(meta::SENDER, ctx.agent.name());
+                match self.order {
+                    GroupOrder::Fifo => {
+                        payload.set_single(meta::SEQ, self.fifo_sender.allocate() as i64);
+                        self.multicast(&payload, false, ctx);
+                    }
+                    GroupOrder::Causal => {
+                        let stamp = match &mut self.buffer {
+                            Buffer::Causal(buf) => buf.stamp_send(ctx.agent.name()),
+                            _ => VectorClock::new(),
+                        };
+                        payload.set_single(meta::VCLOCK, stamp.render());
+                        self.multicast(&payload, false, ctx);
+                    }
+                    GroupOrder::Total => {
+                        if self.is_sequencer(ctx) {
+                            self.assign_total(&mut payload);
+                            self.multicast(&payload, true, ctx);
+                        } else {
+                            payload.set_single(meta::FORWARD, 1i64);
+                            ctx.emit.push((self.sequencer().uri(), payload));
+                        }
+                    }
+                }
+                ctx.notes.push(format!("multicast as {:?}", self.order));
+                WrapperVerdict::Absorb
+            }
+            WrapperEvent::Inbound { briefcase } => {
+                // Already-ordered re-injections pass through to the agent.
+                if briefcase.contains_folder(meta::DELIVERED) {
+                    briefcase.remove_folder(meta::DELIVERED);
+                    return WrapperVerdict::Continue;
+                }
+                // Sequencer duty: order forwarded sends.
+                if briefcase.contains_folder(meta::FORWARD) {
+                    if self.order == GroupOrder::Total && self.is_sequencer(ctx) {
+                        let mut payload = briefcase.clone();
+                        self.assign_total(&mut payload);
+                        self.multicast(&payload, true, ctx);
+                        ctx.notes.push("sequenced forwarded multicast".to_owned());
+                    }
+                    return WrapperVerdict::Absorb;
+                }
+                let Ok(sender) = briefcase.single_str(meta::SENDER).map(str::to_owned) else {
+                    // Not a group message; let it through untouched.
+                    return WrapperVerdict::Continue;
+                };
+                let ready = match &mut self.buffer {
+                    Buffer::Fifo(buf) => {
+                        let seq = briefcase.single_i64(meta::SEQ).unwrap_or(0).max(0) as u64;
+                        buf.offer(&sender, seq, briefcase.clone())
+                    }
+                    Buffer::Causal(buf) => {
+                        let stamp =
+                            VectorClock::parse(briefcase.single_str(meta::VCLOCK).unwrap_or(""));
+                        buf.offer(&sender, stamp, briefcase.clone())
+                    }
+                    Buffer::Total(buf) => {
+                        let seq = briefcase.single_i64(meta::SEQ).unwrap_or(0).max(0) as u64;
+                        buf.offer(seq, briefcase.clone())
+                    }
+                };
+                if !ready.is_empty() {
+                    ctx.notes.push(format!("released {} ordered message(s)", ready.len()));
+                }
+                self.deliver_ready(ready, ctx);
+                WrapperVerdict::Absorb
+            }
+            WrapperEvent::Move { .. } => {
+                // Moving resets in-memory ordering state; note it so
+                // operators can see why a moved member re-syncs.
+                ctx.notes.push("group member moving; ordering buffers reset at destination".into());
+                WrapperVerdict::Continue
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for GroupWrapper {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "GroupWrapper({:?}, {} members)", self.order, self.members.len())
+    }
+}

@@ -1,0 +1,119 @@
+//! The location-transparency wrapper of §4: "if the agents are to move,
+//! one can add a location transparent wrapper".
+//!
+//! A home host runs the `ag_locator` service (a name → URI registry); the
+//! wrapper updates the registry on every move, so tools and other agents
+//! can always resolve the wrapped agent's stable name to its current
+//! location.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use tacoma_briefcase::{folders, Briefcase};
+
+use crate::service::{arg, command_of, error_reply, ok_reply, ServiceAgent, ServiceEnv};
+use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
+
+/// The home-base name registry service. Commands:
+/// `update <name> <uri>`, `lookup <name>` → `URI`, `forget <name>`.
+#[derive(Debug, Default)]
+pub struct AgLocator {
+    locations: Mutex<BTreeMap<String, String>>,
+}
+
+impl AgLocator {
+    /// A new, empty locator.
+    pub fn new() -> Self {
+        AgLocator::default()
+    }
+}
+
+impl ServiceAgent for AgLocator {
+    fn name(&self) -> &str {
+        "ag_locator"
+    }
+
+    fn handle(&self, request: &mut Briefcase, _env: &mut ServiceEnv<'_>) -> Briefcase {
+        let mut locations = self.locations.lock();
+        match command_of(request) {
+            "update" => {
+                let (Some(name), Some(uri)) = (arg(request, 0), arg(request, 1)) else {
+                    return error_reply("update: need name and uri");
+                };
+                locations.insert(name.to_owned(), uri.to_owned());
+                ok_reply()
+            }
+            "lookup" => {
+                let Some(name) = arg(request, 0) else {
+                    return error_reply("lookup: need name");
+                };
+                match locations.get(name) {
+                    Some(uri) => {
+                        let mut reply = ok_reply();
+                        reply.set_single("URI", uri.as_str());
+                        reply
+                    }
+                    None => error_reply(format!("lookup: {name:?} unknown")),
+                }
+            }
+            "forget" => {
+                let Some(name) = arg(request, 0) else {
+                    return error_reply("forget: need name");
+                };
+                locations.remove(name);
+                ok_reply()
+            }
+            other => error_reply(format!("ag_locator: unknown command {other:?}")),
+        }
+    }
+}
+
+/// Spec: `location:<locator-uri>`, e.g.
+/// `location:tacoma://home/ag_locator`. On every move, sends
+/// `update <agent-name> tacoma://<dest-host>/<agent-name>` to the locator.
+#[derive(Debug)]
+pub struct LocationWrapper {
+    locator: String,
+}
+
+impl LocationWrapper {
+    /// A wrapper registering with the given locator service URI.
+    pub fn new(locator: impl Into<String>) -> Self {
+        LocationWrapper { locator: locator.into() }
+    }
+
+    /// Parses the `location:<uri>` spec.
+    pub fn from_spec(spec: &str) -> Result<Self, crate::TaxError> {
+        match spec.split_once(':') {
+            Some(("location", uri)) if !uri.is_empty() => Ok(LocationWrapper::new(uri)),
+            _ => Err(crate::TaxError::BadAgentSpec {
+                detail: format!("location spec must be location:<uri>, got {spec:?}"),
+            }),
+        }
+    }
+}
+
+impl Wrapper for LocationWrapper {
+    fn name(&self) -> &str {
+        "location"
+    }
+
+    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        if let WrapperEvent::Move { dest, .. } = event {
+            // The stable handle is the agent's name; its new address is
+            // host-qualified.
+            let host = dest
+                .parse::<tacoma_uri::AgentUri>()
+                .ok()
+                .and_then(|u| u.host().map(str::to_owned))
+                .unwrap_or_else(|| ctx.host.to_owned());
+            let new_uri = format!("tacoma://{host}/{}", ctx.agent.name());
+            let mut request = Briefcase::new();
+            request.set_single(folders::COMMAND, "update");
+            request.append(folders::ARGS, ctx.agent.name());
+            request.append(folders::ARGS, new_uri);
+            ctx.emit.push((self.locator.clone(), request));
+            ctx.notes.push(format!("location registered with {}", self.locator));
+        }
+        WrapperVerdict::Continue
+    }
+}

@@ -1,0 +1,48 @@
+//! A logging wrapper: observes every interaction of the wrapped agent and
+//! records it, without the agent knowing (Figure 5's "Logging" layer).
+
+use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
+
+/// Spec: `logging`. Appends a `LOG` entry to every briefcase the agent
+/// sends and notes every event on the host log.
+#[derive(Debug, Default)]
+pub struct LoggingWrapper {
+    events_seen: u64,
+}
+
+impl LoggingWrapper {
+    /// A new logging wrapper.
+    pub fn new() -> Self {
+        LoggingWrapper::default()
+    }
+}
+
+impl Wrapper for LoggingWrapper {
+    fn name(&self) -> &str {
+        "logging"
+    }
+
+    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        self.events_seen += 1;
+        match event {
+            WrapperEvent::Outbound { to, briefcase } => {
+                briefcase.append(
+                    tacoma_briefcase::folders::LOG,
+                    format!("[{}] {} -> {} (event {})", ctx.now, ctx.agent, to, self.events_seen),
+                );
+                ctx.notes.push(format!("send to {to}"));
+            }
+            WrapperEvent::Inbound { .. } => {
+                ctx.notes.push("received briefcase".to_owned());
+            }
+            WrapperEvent::Move { dest, briefcase } => {
+                briefcase.append(
+                    tacoma_briefcase::folders::LOG,
+                    format!("[{}] {} moving {} -> {}", ctx.now, ctx.agent, ctx.host, dest),
+                );
+                ctx.notes.push(format!("moving to {dest}"));
+            }
+        }
+        WrapperVerdict::Continue
+    }
+}

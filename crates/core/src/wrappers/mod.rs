@@ -1,0 +1,59 @@
+//! The stock wrappers (§4) and the standard factory every host starts
+//! with.
+
+mod group;
+mod location;
+mod logging;
+mod monitor;
+pub mod ordering;
+mod seal;
+
+pub use group::{GroupOrder, GroupWrapper, Member, GROUP_TARGET};
+pub use location::{AgLocator, LocationWrapper};
+pub use logging::LoggingWrapper;
+pub use monitor::MonitorWrapper;
+pub use seal::{SealWrapper, SEAL_FOLDER};
+
+use crate::wrapper::WrapperFactory;
+
+/// The factory installed on every host: knows `logging`,
+/// `monitor:<uri>`, `location:<uri>`, `group:<order>:<name@host,...>`,
+/// and `seal:<hex-key>`.
+pub fn standard_factory() -> WrapperFactory {
+    let mut factory = WrapperFactory::new();
+    factory.register("logging", |_spec| Ok(Box::new(LoggingWrapper::new())));
+    factory.register("monitor", |spec| Ok(Box::new(MonitorWrapper::from_spec(spec)?)));
+    factory.register("location", |spec| Ok(Box::new(LocationWrapper::from_spec(spec)?)));
+    factory.register("group", |spec| Ok(Box::new(GroupWrapper::from_spec(spec)?)));
+    factory.register("seal", |spec| Ok(Box::new(SealWrapper::from_spec(spec)?)));
+    factory
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_factory_knows_stock_wrappers() {
+        let factory = standard_factory();
+        assert!(factory.build("logging").is_ok());
+        assert!(factory.build("monitor:tacoma://h/ag_log").is_ok());
+        assert!(factory.build("location:tacoma://h/ag_locator").is_ok());
+        assert!(factory.build("group:fifo:a@h1,b@h2").is_ok());
+        assert!(factory.build("group:causal:a@h1,b@h2,c@h3").is_ok());
+        assert!(factory.build("group:total:a@h1,b@h2").is_ok());
+        assert!(factory.build("seal:c0ffee").is_ok());
+    }
+
+    #[test]
+    fn malformed_specs_rejected() {
+        let factory = standard_factory();
+        assert!(factory.build("monitor").is_err());
+        assert!(factory.build("monitor:").is_err());
+        assert!(factory.build("location").is_err());
+        assert!(factory.build("group:banana:a@h1").is_err());
+        assert!(factory.build("group:fifo:").is_err());
+        assert!(factory.build("group:fifo:no-at-sign").is_err());
+        assert!(factory.build("unknown").is_err());
+    }
+}

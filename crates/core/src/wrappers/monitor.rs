@@ -1,0 +1,81 @@
+//! The monitoring wrapper — the `rwWebbot` of Figure 5.
+//!
+//! > "This wrapper reports back to a monitoring tool about the location of
+//! > the agent it wraps (mwWebbot and Webbot) and can be queried about the
+//! > status of the computation."
+
+use tacoma_briefcase::{folders, Briefcase};
+
+use crate::hooks::REPLY_TO_FOLDER;
+use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
+
+/// Spec: `monitor:<report-uri>`, e.g. `monitor:tacoma://home/ag_log`.
+///
+/// * On every move, reports the new location to the monitoring URI (an
+///   `ag_log append` request, so any host's log service can be the tool).
+/// * Absorbs inbound briefcases whose `CMD` is `status` and answers them
+///   directly (to the query's `REPLY-TO`) with the agent's current host —
+///   the wrapped agent never sees monitoring traffic.
+#[derive(Debug)]
+pub struct MonitorWrapper {
+    report_to: String,
+    hops: u64,
+}
+
+impl MonitorWrapper {
+    /// A monitor reporting to the given URI.
+    pub fn new(report_to: impl Into<String>) -> Self {
+        MonitorWrapper { report_to: report_to.into(), hops: 0 }
+    }
+
+    /// Parses the `monitor:<uri>` spec.
+    pub fn from_spec(spec: &str) -> Result<Self, crate::TaxError> {
+        match spec.split_once(':') {
+            Some(("monitor", uri)) if !uri.is_empty() => Ok(MonitorWrapper::new(uri)),
+            _ => Err(crate::TaxError::BadAgentSpec {
+                detail: format!("monitor spec must be monitor:<uri>, got {spec:?}"),
+            }),
+        }
+    }
+
+    fn report(&self, ctx: &mut WrapperCtx<'_>, line: String) {
+        let mut request = Briefcase::new();
+        request.set_single(folders::COMMAND, "append");
+        request.append(folders::ARGS, line);
+        ctx.emit.push((self.report_to.clone(), request));
+    }
+}
+
+impl Wrapper for MonitorWrapper {
+    fn name(&self) -> &str {
+        "monitor"
+    }
+
+    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        match event {
+            WrapperEvent::Move { dest, .. } => {
+                self.hops += 1;
+                let line = format!("{} hop {} : {} -> {}", ctx.agent, self.hops, ctx.host, dest);
+                self.report(ctx, line);
+                ctx.notes.push(format!("reported move to {}", self.report_to));
+                WrapperVerdict::Continue
+            }
+            WrapperEvent::Inbound { briefcase } => {
+                if briefcase.single_str(folders::COMMAND) == Ok("status") {
+                    if let Ok(reply_to) = briefcase.single_str(REPLY_TO_FOLDER) {
+                        let mut reply = Briefcase::new();
+                        reply.set_single(folders::STATUS, "ok");
+                        reply.set_single("LOCATION", ctx.host);
+                        reply.set_single("AGENT", ctx.agent.to_string());
+                        reply.set_single("HOPS", self.hops as i64);
+                        ctx.emit.push((reply_to.to_owned(), reply));
+                    }
+                    ctx.notes.push("answered status query".to_owned());
+                    return WrapperVerdict::Absorb;
+                }
+                WrapperVerdict::Continue
+            }
+            WrapperEvent::Outbound { .. } => WrapperVerdict::Continue,
+        }
+    }
+}

@@ -1,0 +1,368 @@
+//! Message-ordering machinery for the group-communication wrapper:
+//! FIFO (per-sender sequence numbers), causal (vector clocks), and total
+//! (fixed sequencer) — the "desired properties of communication (casual,
+//! FIFO, atomic, etc)" of §4.
+
+use std::collections::{BTreeMap, VecDeque};
+
+use serde::{Deserialize, Serialize};
+
+/// A vector clock over member names.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorClock {
+    counters: BTreeMap<String, u64>,
+}
+
+impl VectorClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        VectorClock::default()
+    }
+
+    /// The counter for `member`.
+    pub fn get(&self, member: &str) -> u64 {
+        self.counters.get(member).copied().unwrap_or(0)
+    }
+
+    /// Increments `member`'s counter, returning the new value.
+    pub fn tick(&mut self, member: &str) -> u64 {
+        let c = self.counters.entry(member.to_owned()).or_insert(0);
+        *c += 1;
+        *c
+    }
+
+    /// Pointwise maximum with another clock.
+    pub fn merge(&mut self, other: &VectorClock) {
+        for (member, &count) in &other.counters {
+            let c = self.counters.entry(member.clone()).or_insert(0);
+            *c = (*c).max(count);
+        }
+    }
+
+    /// Whether a message stamped `msg` from `sender` is causally
+    /// deliverable at a receiver whose clock is `self`:
+    /// `msg[sender] == self[sender] + 1` and `msg[m] <= self[m]` for every
+    /// other member.
+    pub fn deliverable(&self, sender: &str, msg: &VectorClock) -> bool {
+        if msg.get(sender) != self.get(sender) + 1 {
+            return false;
+        }
+        msg.counters
+            .iter()
+            .all(|(member, &count)| member == sender || count <= self.get(member))
+    }
+
+    /// Serializes to `member=count` pairs joined by `,` for carrying in a
+    /// briefcase element.
+    pub fn render(&self) -> String {
+        let parts: Vec<String> =
+            self.counters.iter().map(|(m, c)| format!("{m}={c}")).collect();
+        parts.join(",")
+    }
+
+    /// Parses the [`VectorClock::render`] format. Unparseable entries are
+    /// dropped (hostile metadata degrades, it does not crash).
+    pub fn parse(text: &str) -> Self {
+        let mut vc = VectorClock::new();
+        for part in text.split(',').filter(|p| !p.is_empty()) {
+            if let Some((member, count)) = part.split_once('=') {
+                if let Ok(count) = count.parse::<u64>() {
+                    vc.counters.insert(member.to_owned(), count);
+                }
+            }
+        }
+        vc
+    }
+}
+
+/// A message queued inside an ordering buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Held<T> {
+    /// The sending member.
+    pub sender: String,
+    /// Sequence metadata (per-sender or global, depending on the order).
+    pub seq: u64,
+    /// Vector timestamp (causal order only).
+    pub clock: VectorClock,
+    /// The payload.
+    pub payload: T,
+}
+
+/// A FIFO-order delivery buffer: messages from each sender are released in
+/// per-sender sequence order; cross-sender order is unconstrained.
+#[derive(Debug, Clone, Default)]
+pub struct FifoBuffer<T> {
+    next: BTreeMap<String, u64>,
+    held: Vec<Held<T>>,
+}
+
+impl<T> FifoBuffer<T> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        FifoBuffer { next: BTreeMap::new(), held: Vec::new() }
+    }
+
+    /// Offers a message; returns every message now deliverable, in order.
+    pub fn offer(&mut self, sender: &str, seq: u64, payload: T) -> Vec<T> {
+        self.held.push(Held { sender: sender.to_owned(), seq, clock: VectorClock::new(), payload });
+        self.drain_ready()
+    }
+
+    /// Messages still held back.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+
+    fn drain_ready(&mut self) -> Vec<T> {
+        let mut out = Vec::new();
+        loop {
+            let next = &self.next;
+            let pos = self
+                .held
+                .iter()
+                .position(|h| h.seq == next.get(&h.sender).copied().unwrap_or(0) + 1);
+            match pos {
+                Some(i) => {
+                    let h = self.held.remove(i);
+                    self.next.insert(h.sender.clone(), h.seq);
+                    out.push(h.payload);
+                }
+                None => return out,
+            }
+        }
+    }
+}
+
+/// A causal-order delivery buffer over vector clocks.
+#[derive(Debug, Clone, Default)]
+pub struct CausalBuffer<T> {
+    clock: VectorClock,
+    held: Vec<Held<T>>,
+}
+
+impl<T> CausalBuffer<T> {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        CausalBuffer { clock: VectorClock::new(), held: Vec::new() }
+    }
+
+    /// The receiver's current vector clock.
+    pub fn clock(&self) -> &VectorClock {
+        &self.clock
+    }
+
+    /// Stamps an outgoing message: ticks `sender`'s own entry (a send is
+    /// causally after everything delivered so far) and returns the stamp.
+    pub fn stamp_send(&mut self, sender: &str) -> VectorClock {
+        self.clock.tick(sender);
+        self.clock.clone()
+    }
+
+    /// Offers a stamped message; returns everything now deliverable, in
+    /// causal order.
+    pub fn offer(&mut self, sender: &str, stamp: VectorClock, payload: T) -> Vec<T> {
+        self.held.push(Held { sender: sender.to_owned(), seq: 0, clock: stamp, payload });
+        let mut out = Vec::new();
+        loop {
+            let pos = self.held.iter().position(|h| self.clock.deliverable(&h.sender, &h.clock));
+            match pos {
+                Some(i) => {
+                    let h = self.held.remove(i);
+                    self.clock.merge(&h.clock);
+                    out.push(h.payload);
+                }
+                None => return out,
+            }
+        }
+    }
+
+    /// Messages still held back.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// A total-order delivery buffer: a single global sequence, released
+/// gaplessly.
+#[derive(Debug, Clone, Default)]
+pub struct TotalBuffer<T> {
+    next: u64,
+    held: BTreeMap<u64, T>,
+}
+
+impl<T> TotalBuffer<T> {
+    /// An empty buffer expecting global sequence 1 first.
+    pub fn new() -> Self {
+        TotalBuffer { next: 1, held: BTreeMap::new() }
+    }
+
+    /// Offers a message with its global sequence number; returns
+    /// everything now deliverable, in sequence order. Duplicate sequence
+    /// numbers keep the first.
+    pub fn offer(&mut self, seq: u64, payload: T) -> Vec<T> {
+        if seq >= self.next {
+            self.held.entry(seq).or_insert(payload);
+        }
+        let mut out = Vec::new();
+        while let Some(p) = self.held.remove(&self.next) {
+            out.push(p);
+            self.next += 1;
+        }
+        out
+    }
+
+    /// Messages still held back.
+    pub fn held_count(&self) -> usize {
+        self.held.len()
+    }
+}
+
+/// Outbound sequence-number allocation for FIFO senders.
+#[derive(Debug, Clone, Default)]
+pub struct FifoSender {
+    seq: u64,
+}
+
+impl FifoSender {
+    /// Allocates the next per-sender sequence number (starting at 1).
+    pub fn allocate(&mut self) -> u64 {
+        self.seq += 1;
+        self.seq
+    }
+}
+
+/// A simple reorder queue used in tests to model adversarial delivery.
+#[derive(Debug, Default)]
+pub struct Scrambler<T> {
+    items: VecDeque<T>,
+}
+
+impl<T> Scrambler<T> {
+    /// An empty scrambler.
+    pub fn new() -> Self {
+        Scrambler { items: VecDeque::new() }
+    }
+
+    /// Adds an item.
+    pub fn push(&mut self, item: T) {
+        self.items.push_back(item);
+    }
+
+    /// Removes items in reversed order (worst case for FIFO).
+    pub fn drain_reversed(&mut self) -> Vec<T> {
+        let mut v: Vec<T> = self.items.drain(..).collect();
+        v.reverse();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_clock_tick_merge() {
+        let mut a = VectorClock::new();
+        a.tick("p");
+        a.tick("p");
+        let mut b = VectorClock::new();
+        b.tick("q");
+        b.merge(&a);
+        assert_eq!(b.get("p"), 2);
+        assert_eq!(b.get("q"), 1);
+    }
+
+    #[test]
+    fn vector_clock_render_parse_roundtrip() {
+        let mut vc = VectorClock::new();
+        vc.tick("alpha");
+        vc.tick("beta");
+        vc.tick("beta");
+        assert_eq!(VectorClock::parse(&vc.render()), vc);
+        assert_eq!(VectorClock::parse(""), VectorClock::new());
+        assert_eq!(VectorClock::parse("garbage,x=y,ok=3").get("ok"), 3);
+    }
+
+    #[test]
+    fn causal_deliverability_rule() {
+        let mut receiver = VectorClock::new();
+        // First message from p: p=1.
+        let mut m1 = VectorClock::new();
+        m1.tick("p");
+        assert!(receiver.deliverable("p", &m1));
+        // p=2 is not deliverable before p=1.
+        let mut m2 = m1.clone();
+        m2.tick("p");
+        assert!(!receiver.deliverable("p", &m2));
+        receiver.merge(&m1);
+        assert!(receiver.deliverable("p", &m2));
+        // A message from q that depends on p=1 is blocked until p=1 seen.
+        let mut fresh = VectorClock::new();
+        let mut mq = m1.clone();
+        mq.tick("q");
+        assert!(!fresh.deliverable("q", &mq));
+        fresh.merge(&m1);
+        assert!(fresh.deliverable("q", &mq));
+    }
+
+    #[test]
+    fn fifo_buffer_reorders_per_sender() {
+        let mut buf = FifoBuffer::new();
+        assert!(buf.offer("p", 2, "p2").is_empty());
+        assert!(buf.offer("p", 3, "p3").is_empty());
+        assert_eq!(buf.offer("q", 1, "q1"), vec!["q1"], "other senders are independent");
+        assert_eq!(buf.offer("p", 1, "p1"), vec!["p1", "p2", "p3"]);
+        assert_eq!(buf.held_count(), 0);
+    }
+
+    #[test]
+    fn fifo_buffer_is_robust_to_reversal() {
+        let mut scrambler = Scrambler::new();
+        for seq in 1..=10u64 {
+            scrambler.push(seq);
+        }
+        let mut buf = FifoBuffer::new();
+        let mut delivered = Vec::new();
+        for seq in scrambler.drain_reversed() {
+            delivered.extend(buf.offer("s", seq, seq));
+        }
+        assert_eq!(delivered, (1..=10).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn causal_buffer_respects_dependencies() {
+        // p sends m1; q receives m1 then sends m2. A third member must
+        // deliver m1 before m2 even if m2 arrives first.
+        let mut p = VectorClock::new();
+        p.tick("p"); // m1 stamp: p=1
+        let m1_stamp = p.clone();
+
+        let mut q = VectorClock::new();
+        q.merge(&m1_stamp);
+        q.tick("q"); // m2 stamp: p=1, q=1
+        let m2_stamp = q.clone();
+
+        let mut third = CausalBuffer::new();
+        assert!(third.offer("q", m2_stamp, "m2").is_empty(), "m2 must wait for m1");
+        assert_eq!(third.offer("p", m1_stamp, "m1"), vec!["m1", "m2"]);
+        assert_eq!(third.held_count(), 0);
+    }
+
+    #[test]
+    fn total_buffer_releases_gaplessly() {
+        let mut buf = TotalBuffer::new();
+        assert!(buf.offer(3, "c").is_empty());
+        assert!(buf.offer(2, "b").is_empty());
+        assert_eq!(buf.offer(1, "a"), vec!["a", "b", "c"]);
+        // Duplicates and stale sequence numbers are ignored.
+        assert!(buf.offer(2, "b-dup").is_empty());
+        assert_eq!(buf.offer(4, "d"), vec!["d"]);
+    }
+
+    #[test]
+    fn fifo_sender_counts_from_one() {
+        let mut s = FifoSender::default();
+        assert_eq!(s.allocate(), 1);
+        assert_eq!(s.allocate(), 2);
+    }
+}

@@ -1,0 +1,218 @@
+//! The integrity (seal) wrapper: an example of agents "carrying with
+//! them the system support they need" (§4) for hostile networks — every
+//! outbound briefcase is MACed, every inbound briefcase is verified, and
+//! tampered messages never reach the wrapped agent.
+
+use tacoma_briefcase::Briefcase;
+use tacoma_security::{Hasher, Digest};
+
+use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
+
+/// The folder carrying the seal.
+pub const SEAL_FOLDER: &str = "WRAP:SEAL";
+
+/// Spec: `seal:<hex-key>`. Both endpoints must be wrapped with the same
+/// key (distributed out of band, e.g. at launch).
+///
+/// * Outbound briefcases get a `WRAP:SEAL` folder: a MAC over every other
+///   folder's contents.
+/// * Inbound briefcases without a valid seal are absorbed, with a note on
+///   the host event log; sealed-and-valid ones pass through (seal
+///   stripped).
+/// * Moves are left alone — agent transfers are already authenticated by
+///   the firewall's signature check.
+#[derive(Debug)]
+pub struct SealWrapper {
+    key: Vec<u8>,
+    rejected: u64,
+}
+
+impl SealWrapper {
+    /// A wrapper sealing with the given key bytes.
+    pub fn new(key: Vec<u8>) -> Self {
+        SealWrapper { key, rejected: 0 }
+    }
+
+    /// Parses the `seal:<hex>` spec.
+    pub fn from_spec(spec: &str) -> Result<Self, crate::TaxError> {
+        let bad = |detail: String| crate::TaxError::BadAgentSpec { detail };
+        let Some(("seal", hex)) = spec.split_once(':') else {
+            return Err(bad(format!("seal spec must be seal:<hex-key>, got {spec:?}")));
+        };
+        if hex.is_empty() || hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(bad(format!("seal key must be non-empty hex, got {hex:?}")));
+        }
+        let key = (0..hex.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).expect("validated hex"))
+            .collect();
+        Ok(SealWrapper::new(key))
+    }
+
+    /// MAC over every folder except the seal itself, order-independent
+    /// thanks to the briefcase's sorted iteration.
+    fn mac(&self, bc: &Briefcase) -> Digest {
+        let mut h = Hasher::new();
+        h.update(&self.key);
+        for folder in bc.iter() {
+            if folder.name() == SEAL_FOLDER {
+                continue;
+            }
+            h.update(folder.name().as_bytes()).update(&[0]);
+            for element in folder {
+                h.update(&(element.len() as u64).to_le_bytes());
+                h.update(element.data());
+            }
+        }
+        h.update(&self.key);
+        h.finalize()
+    }
+
+    /// Messages this wrapper has rejected so far.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+}
+
+impl Wrapper for SealWrapper {
+    fn name(&self) -> &str {
+        "seal"
+    }
+
+    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        match event {
+            WrapperEvent::Outbound { briefcase, .. } => {
+                let mac = self.mac(briefcase);
+                briefcase.set_single(SEAL_FOLDER, mac.to_hex());
+                WrapperVerdict::Continue
+            }
+            WrapperEvent::Inbound { briefcase } => {
+                let presented = briefcase
+                    .single_str(SEAL_FOLDER)
+                    .ok()
+                    .and_then(|hex| Digest::from_hex(hex).ok());
+                let expected = self.mac(briefcase);
+                match presented {
+                    Some(d) if d == expected => {
+                        briefcase.remove_folder(SEAL_FOLDER);
+                        WrapperVerdict::Continue
+                    }
+                    Some(_) => {
+                        self.rejected += 1;
+                        ctx.notes.push("seal: rejected tampered briefcase".to_owned());
+                        WrapperVerdict::Absorb
+                    }
+                    None => {
+                        self.rejected += 1;
+                        ctx.notes.push("seal: rejected unsealed briefcase".to_owned());
+                        WrapperVerdict::Absorb
+                    }
+                }
+            }
+            WrapperEvent::Move { .. } => WrapperVerdict::Continue,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_simnet::SimTime;
+    use tacoma_uri::{AgentAddress, Instance};
+
+    fn ctx_parts() -> AgentAddress {
+        AgentAddress::new("p", "a", Instance::from_u64(1))
+    }
+
+    fn run_event(w: &mut SealWrapper, mut event: WrapperEvent<'_>) -> (WrapperVerdict, Vec<String>) {
+        let agent = ctx_parts();
+        let mut notes = Vec::new();
+        let mut emit = Vec::new();
+        let mut ctx = WrapperCtx {
+            agent: &agent,
+            host: "h",
+            now: SimTime::ZERO,
+            notes: &mut notes,
+            emit: &mut emit,
+        };
+        let verdict = w.on_event(&mut event, &mut ctx);
+        (verdict, notes)
+    }
+
+    #[test]
+    fn spec_parsing() {
+        assert!(SealWrapper::from_spec("seal:deadbeef").is_ok());
+        assert!(SealWrapper::from_spec("seal:").is_err());
+        assert!(SealWrapper::from_spec("seal:xyz").is_err());
+        assert!(SealWrapper::from_spec("seal:abc").is_err(), "odd length");
+        assert!(SealWrapper::from_spec("banana:aa").is_err());
+    }
+
+    #[test]
+    fn sealed_roundtrip_passes_and_strips() {
+        let mut sender = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut receiver = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("PAYLOAD", "secret");
+
+        let mut to = "x".to_owned();
+        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        assert!(bc.contains_folder(SEAL_FOLDER));
+
+        let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        assert_eq!(verdict, WrapperVerdict::Continue);
+        assert!(!bc.contains_folder(SEAL_FOLDER), "seal stripped before the agent sees it");
+        assert_eq!(bc.single_str("PAYLOAD").unwrap(), "secret");
+    }
+
+    #[test]
+    fn tampering_is_detected() {
+        let mut sender = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut receiver = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("PAYLOAD", "secret");
+        let mut to = "x".to_owned();
+        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+
+        bc.set_single("PAYLOAD", "forged");
+        let (verdict, notes) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        assert_eq!(verdict, WrapperVerdict::Absorb);
+        assert!(notes[0].contains("tampered"));
+        assert_eq!(receiver.rejected(), 1);
+    }
+
+    #[test]
+    fn wrong_key_is_detected() {
+        let mut sender = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut receiver = SealWrapper::from_spec("seal:0103").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("PAYLOAD", "secret");
+        let mut to = "x".to_owned();
+        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        assert_eq!(verdict, WrapperVerdict::Absorb);
+    }
+
+    #[test]
+    fn unsealed_messages_are_rejected() {
+        let mut receiver = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("PAYLOAD", "bare");
+        let (verdict, notes) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        assert_eq!(verdict, WrapperVerdict::Absorb);
+        assert!(notes[0].contains("unsealed"));
+    }
+
+    #[test]
+    fn adding_a_folder_breaks_the_seal() {
+        let mut sender = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut receiver = SealWrapper::from_spec("seal:0102").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("PAYLOAD", "secret");
+        let mut to = "x".to_owned();
+        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        bc.set_single("INJECTED", "extra");
+        let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        assert_eq!(verdict, WrapperVerdict::Absorb);
+    }
+}

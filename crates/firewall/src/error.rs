@@ -1,0 +1,77 @@
+use std::fmt;
+
+use tacoma_security::SecurityError;
+use tacoma_uri::AgentUri;
+
+/// Errors from firewall mediation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FirewallError {
+    /// The sender lacks the right the operation needs.
+    Denied(SecurityError),
+    /// The target URI matched no registered agent and queueing was not
+    /// permitted (e.g. an agent transfer for an unknown VM).
+    NoSuchVm {
+        /// The VM name requested in the target URI.
+        vm: String,
+    },
+    /// The target URI is ambiguous where a unique agent is required.
+    Ambiguous {
+        /// The ambiguous target.
+        target: AgentUri,
+        /// How many registered agents matched.
+        matches: usize,
+    },
+    /// An agent transfer arrived without a usable agent name.
+    MissingAgentName,
+    /// A message failed to decode from its wire form.
+    BadWire {
+        /// Human-readable decode failure.
+        detail: String,
+    },
+    /// An admin operation named an agent that is not registered.
+    UnknownAgent {
+        /// The target that matched nothing.
+        target: AgentUri,
+    },
+    /// An admin command verb was not recognized.
+    UnknownCommand {
+        /// The verb received.
+        command: String,
+    },
+}
+
+impl fmt::Display for FirewallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FirewallError::Denied(e) => write!(f, "denied: {e}"),
+            FirewallError::NoSuchVm { vm } => write!(f, "no virtual machine named {vm:?}"),
+            FirewallError::Ambiguous { target, matches } => {
+                write!(f, "target {target} matches {matches} agents, need exactly one")
+            }
+            FirewallError::MissingAgentName => {
+                write!(f, "agent transfer carries no agent name")
+            }
+            FirewallError::BadWire { detail } => write!(f, "malformed message: {detail}"),
+            FirewallError::UnknownAgent { target } => write!(f, "no agent matches {target}"),
+            FirewallError::UnknownCommand { command } => {
+                write!(f, "unknown firewall command {command:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FirewallError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FirewallError::Denied(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<SecurityError> for FirewallError {
+    fn from(e: SecurityError) -> Self {
+        FirewallError::Denied(e)
+    }
+}

@@ -1,0 +1,772 @@
+//! The firewall proper: policy decisions for every mediated message.
+
+use std::collections::BTreeSet;
+use std::time::Duration;
+
+use tacoma_briefcase::{folders, Briefcase};
+use tacoma_security::{Policy, Principal, Rights, SecurityError, Signature, TrustStore};
+use tacoma_security::Digest;
+use tacoma_simnet::SimTime;
+use tacoma_uri::{AgentAddress, AgentUri, Instance};
+
+use crate::registry::AgentStatus;
+use crate::{FirewallError, FirewallStats, Message, MessageKind, PendingQueue, Registry, DEFAULT_QUEUE_TIMEOUT};
+
+/// The reserved agent name that addresses the firewall itself ("all this
+/// is achieved by addressing messages directly to the firewall", §3.2).
+pub const FIREWALL_AGENT_NAME: &str = "firewall";
+
+/// What the kernel must do with a routed message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Decision {
+    /// Hand the message to a local VM for a specific agent.
+    DeliverLocal {
+        /// VM executing the receiver.
+        vm: String,
+        /// The receiver's concrete address.
+        agent: AgentAddress,
+        /// The message.
+        message: Message,
+    },
+    /// Ship the message to the firewall at `host:port`.
+    ForwardRemote {
+        /// Destination host name.
+        host: String,
+        /// Destination firewall port.
+        port: u16,
+        /// The message.
+        message: Message,
+    },
+    /// The receiver is absent or not ready; the message was queued with a
+    /// timeout.
+    Queued,
+    /// Install an arriving agent on a VM (the landing half of `go`/`spawn`).
+    InstallAgent {
+        /// VM chosen by the target URI's name part.
+        vm: String,
+        /// The address allocated to the new arrival.
+        address: AgentAddress,
+        /// The agent's briefcase (code + state).
+        briefcase: Briefcase,
+        /// Whether this was a `spawn`.
+        spawned: bool,
+    },
+    /// The firewall handled an admin operation itself; deliver `reply` to
+    /// the requester, and apply `control` to a VM if present.
+    Admin {
+        /// The reply briefcase (status, listings, …).
+        reply: Briefcase,
+        /// A control action for the kernel to apply, if the command
+        /// demanded one.
+        control: Option<ControlAction>,
+    },
+}
+
+/// A control action the firewall orders a VM to carry out. "Agents with
+/// sufficient privileges need support for operations such as listing
+/// running agents, determining their run time, and killing or stopping
+/// agents" (§3.2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ControlAction {
+    /// The VM running the target agent.
+    pub vm: String,
+    /// The target agent.
+    pub agent: AgentAddress,
+    /// What to do.
+    pub kind: ControlKind,
+}
+
+/// The kinds of admin control.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ControlKind {
+    /// Terminate the agent.
+    Kill,
+    /// Suspend the agent (it stops receiving messages; they queue).
+    Stop,
+    /// Resume a stopped agent.
+    Resume,
+}
+
+/// The per-host firewall.
+#[derive(Debug)]
+pub struct Firewall {
+    host: String,
+    port: u16,
+    local_system: Principal,
+    policy: Policy,
+    trust: TrustStore,
+    registry: Registry,
+    pending: PendingQueue,
+    vms: BTreeSet<String>,
+    stats: FirewallStats,
+    queue_timeout: Duration,
+    next_instance: u64,
+}
+
+impl Firewall {
+    /// A firewall for `host`, listening on `port`, with the given policy
+    /// and trust store.
+    pub fn new(host: impl Into<String>, port: u16, policy: Policy, trust: TrustStore) -> Self {
+        let host = host.into();
+        Firewall {
+            local_system: Principal::local_system(&host),
+            host,
+            port,
+            policy,
+            trust,
+            registry: Registry::new(),
+            pending: PendingQueue::new(),
+            vms: BTreeSet::new(),
+            stats: FirewallStats::default(),
+            queue_timeout: DEFAULT_QUEUE_TIMEOUT,
+            next_instance: 1,
+        }
+    }
+
+    /// The host this firewall guards.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The firewall's port.
+    pub fn port(&self) -> u16 {
+        self.port
+    }
+
+    /// The local system principal (`system@<host>`).
+    pub fn local_system(&self) -> &Principal {
+        &self.local_system
+    }
+
+    /// Mediation counters.
+    pub fn stats(&self) -> FirewallStats {
+        self.stats
+    }
+
+    /// The agent registry (read-only view).
+    pub fn registry(&self) -> &Registry {
+        &self.registry
+    }
+
+    /// The trust store, for installing keys.
+    pub fn trust_mut(&mut self) -> &mut TrustStore {
+        &mut self.trust
+    }
+
+    /// Read access to the trust store (e.g. to clone it into a VM
+    /// execution context).
+    pub fn trust(&self) -> &TrustStore {
+        &self.trust
+    }
+
+    /// Overrides the pending-queue timeout.
+    pub fn set_queue_timeout(&mut self, timeout: Duration) {
+        self.queue_timeout = timeout;
+    }
+
+    /// Declares a virtual machine; each VM thread announces itself here so
+    /// agent transfers can target it by name.
+    pub fn add_vm(&mut self, name: impl Into<String>) {
+        self.vms.insert(name.into());
+    }
+
+    /// The declared VM names.
+    pub fn vms(&self) -> impl Iterator<Item = &str> {
+        self.vms.iter().map(String::as_str)
+    }
+
+    /// Allocates a fresh instance number (monotonic per firewall).
+    pub fn allocate_instance(&mut self) -> Instance {
+        let i = self.next_instance;
+        self.next_instance += 1;
+        // Mix the host name in so instances allocated by different hosts
+        // differ, like timestamps did in the original (933821661).
+        let mixed = i.wrapping_mul(0x100).wrapping_add(self.host.len() as u64 & 0xff);
+        Instance::from_u64(mixed)
+    }
+
+    /// Registers an agent on behalf of a VM; returns any queued messages
+    /// that were waiting for it (now deliverable).
+    pub fn register_agent(
+        &mut self,
+        address: AgentAddress,
+        vm: impl Into<String>,
+        now: SimTime,
+    ) -> Vec<Message> {
+        let vm = vm.into();
+        self.registry.register(address.clone(), vm, now);
+        let (mail, expired) = self.pending.take_matching(&address, self.local_system.as_str(), now);
+        self.stats.expired += expired as u64;
+        self.stats.delivered_local += mail.len() as u64;
+        mail
+    }
+
+    /// Unregisters an agent (it finished, moved away, or was killed).
+    pub fn unregister_agent(&mut self, address: &AgentAddress) -> bool {
+        self.registry.unregister(address)
+    }
+
+    /// Drops expired queued messages; to be called periodically.
+    pub fn expire_pending(&mut self, now: SimTime) -> usize {
+        let n = self.pending.expire(now);
+        self.stats.expired += n as u64;
+        n
+    }
+
+    /// Number of messages currently queued.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// The rights `principal` holds on this host, given whether it has
+    /// been authenticated.
+    pub fn rights_of(&self, principal: &Principal, authenticated: bool) -> Rights {
+        self.policy.rights_for(principal, authenticated)
+    }
+
+    /// Whether the sending *host* is trusted ("the presence of an
+    /// authenticated and trusted sender", §3.2): its system principal has
+    /// a key in our trust store.
+    pub fn is_sender_trusted(&self, from_host: &str) -> bool {
+        self.trust.is_trusted(&Principal::local_system(from_host))
+    }
+
+    /// First-level authentication of an arriving agent: the briefcase must
+    /// carry `PRINCIPAL` and `SIG` folders, and the signature must verify
+    /// over the `CODE` element with that principal's trusted key.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError`] describing the failure (unknown principal, bad
+    /// signature, missing folders map to `BadSignature`).
+    pub fn authenticate_transfer(&self, briefcase: &Briefcase) -> Result<Principal, SecurityError> {
+        let principal_name = briefcase
+            .single_str(folders::PRINCIPAL)
+            .map_err(|_| SecurityError::BadPrincipal { name: "<missing>".into() })?;
+        let principal = Principal::new(principal_name)?;
+        let sig_hex = briefcase
+            .single_str(folders::SIGNATURE)
+            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
+        let digest = Digest::from_hex(sig_hex)
+            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
+        let code = briefcase
+            .element(folders::CODE, 0)
+            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
+        self.trust.verify(&principal, code.data(), &Signature::from_digest(digest))?;
+        Ok(principal)
+    }
+
+    /// Routes a message sent by a *local* agent or tool.
+    ///
+    /// # Errors
+    ///
+    /// [`FirewallError::Denied`] if the sender lacks the send right for
+    /// the destination's scope; admin errors for firewall-addressed
+    /// messages.
+    pub fn route_outbound(&mut self, message: Message, now: SimTime) -> Result<Decision, FirewallError> {
+        let rights = self.rights_of(&message.from_principal, true);
+        let is_remote = message.to.host().is_some_and(|h| h != self.host);
+        if is_remote {
+            if let Err(e) = rights.require(Rights::SEND_REMOTE, &message.from_principal) {
+                self.stats.denied += 1;
+                return Err(e.into());
+            }
+            let host = message.to.host().expect("checked is_remote").to_owned();
+            let port = message.to.location().expect("checked is_remote").effective_port();
+            self.stats.forwarded_remote += 1;
+            return Ok(Decision::ForwardRemote { host, port, message });
+        }
+        if let MessageKind::AgentTransfer { spawned } = message.kind {
+            // A local `go`/`spawn`: the agent hops to another VM on this
+            // host (Figure 3's intra-host moves).
+            return self.install(message, spawned, now);
+        }
+        if let Err(e) = rights.require(Rights::SEND_LOCAL, &message.from_principal) {
+            self.stats.denied += 1;
+            return Err(e.into());
+        }
+        self.resolve_local(message, rights, now)
+    }
+
+    /// Routes a message that arrived from the network.
+    ///
+    /// # Errors
+    ///
+    /// Authentication and authorization failures; [`FirewallError::BadWire`]
+    /// never occurs here (decode happens in the transport layer).
+    pub fn route_inbound(&mut self, message: Message, now: SimTime) -> Result<Decision, FirewallError> {
+        match message.kind {
+            MessageKind::AgentTransfer { spawned } => self.install(message, spawned, now),
+            MessageKind::Deliver => {
+                let authenticated = self.is_sender_trusted(&message.from_host);
+                let rights = self.rights_of(&message.from_principal, authenticated);
+                if let Err(e) = rights.require(Rights::SEND_LOCAL, &message.from_principal) {
+                    self.stats.denied += 1;
+                    return Err(e.into());
+                }
+                self.resolve_local(message, rights, now)
+            }
+        }
+    }
+
+    fn install(&mut self, message: Message, spawned: bool, now: SimTime) -> Result<Decision, FirewallError> {
+        // First-level authentication of the agent core.
+        let principal = match self.authenticate_transfer(&message.briefcase) {
+            Ok(p) => p,
+            // A local hop (agent moving between this host's own VMs) is
+            // already authenticated: the agent is running here.
+            Err(_) if message.from_host == self.host => message.from_principal.clone(),
+            Err(e) => {
+                // An unsigned agent may still land if policy grants
+                // unauthenticated principals EXECUTE (the single-domain
+                // "trusting" deployment of §2).
+                let claimed = message.from_principal.clone();
+                let rights = self.rights_of(&claimed, false);
+                if rights.contains(Rights::EXECUTE) {
+                    claimed
+                } else {
+                    self.stats.denied += 1;
+                    return Err(e.into());
+                }
+            }
+        };
+        let rights = self.rights_of(&principal, true);
+        if let Err(e) = rights.require(Rights::EXECUTE, &principal) {
+            self.stats.denied += 1;
+            return Err(e.into());
+        }
+
+        // The target URI's name part picks the VM (Figure 4's agent moves
+        // "to the VM specified by the URI").
+        let vm = message.to.name().ok_or(FirewallError::MissingAgentName)?.to_owned();
+        if !self.vms.contains(&vm) {
+            self.stats.denied += 1;
+            return Err(FirewallError::NoSuchVm { vm });
+        }
+
+        let agent_name = message
+            .briefcase
+            .single_str(folders::AGENT_NAME)
+            .map_err(|_| FirewallError::MissingAgentName)?
+            .to_owned();
+        // `spawn` pre-allocates the instance at the origin so it can be
+        // "reported back to the calling agent" (§3.1) synchronously; the
+        // briefcase carries it in SYS:INSTANCE.
+        let instance = message
+            .briefcase
+            .single_str("SYS:INSTANCE")
+            .ok()
+            .and_then(|s| s.parse::<Instance>().ok())
+            .unwrap_or_else(|| self.allocate_instance());
+        let address = AgentAddress::new(principal.as_str(), agent_name, instance);
+        self.stats.agents_installed += 1;
+        let _ = now;
+        Ok(Decision::InstallAgent { vm, address, briefcase: message.briefcase, spawned })
+    }
+
+    fn resolve_local(
+        &mut self,
+        message: Message,
+        rights: Rights,
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
+        // Messages addressed to the firewall itself: admin operations.
+        if message.to.name() == Some(FIREWALL_AGENT_NAME) {
+            return self.admin(message, rights);
+        }
+
+        let sender = message.from_principal.as_str().to_owned();
+        let found = self
+            .registry
+            .matches(&message.to, self.local_system.as_str(), &sender)
+            .next()
+            .map(|r| (r.vm.clone(), r.address.clone(), r.status));
+
+        match found {
+            Some((vm, agent, AgentStatus::Running)) => {
+                self.stats.delivered_local += 1;
+                Ok(Decision::DeliverLocal { vm, agent, message })
+            }
+            // "…queued with a timeout value if the receiving agent is not
+            // ready to receive, or has not yet arrived at the site."
+            Some((_, _, AgentStatus::Stopped)) | None => {
+                self.pending.enqueue(message, now, self.queue_timeout);
+                self.stats.queued += 1;
+                Ok(Decision::Queued)
+            }
+        }
+    }
+
+    fn admin(&mut self, message: Message, rights: Rights) -> Result<Decision, FirewallError> {
+        if let Err(e) = rights.require(Rights::ADMIN, &message.from_principal) {
+            self.stats.denied += 1;
+            return Err(e.into());
+        }
+        let command = message
+            .briefcase
+            .single_str(folders::COMMAND)
+            .map_err(|e| FirewallError::BadWire { detail: e.to_string() })?
+            .to_owned();
+        self.stats.admin_ops += 1;
+
+        let mut reply = Briefcase::new();
+        match command.as_str() {
+            "list" => {
+                reply.set_single(folders::STATUS, "ok");
+                for reg in self.registry.iter() {
+                    let status = match reg.status {
+                        AgentStatus::Running => "running",
+                        AgentStatus::Stopped => "stopped",
+                    };
+                    reply.append(
+                        "AGENTS",
+                        format!("{} vm={} status={} since={}", reg.address, reg.vm, status, reg.registered_at),
+                    );
+                }
+                Ok(Decision::Admin { reply, control: None })
+            }
+            "runtime" => {
+                let target = self.admin_target(&message)?;
+                let reg = self.registry.get(&target).expect("admin_target checked presence");
+                reply.set_single(folders::STATUS, "ok");
+                let now: SimTime = message
+                    .briefcase
+                    .single_i64("NOW-NS")
+                    .map(|ns| SimTime::from_nanos(ns.max(0) as u64))
+                    .unwrap_or(reg.registered_at);
+                let runtime = now.saturating_since(reg.registered_at);
+                reply.set_single("RUNTIME-MS", runtime.as_millis() as i64);
+                Ok(Decision::Admin { reply, control: None })
+            }
+            "kill" | "stop" | "resume" => {
+                let target = self.admin_target(&message)?;
+                let kind = match command.as_str() {
+                    "kill" => ControlKind::Kill,
+                    "stop" => ControlKind::Stop,
+                    _ => ControlKind::Resume,
+                };
+                let vm = {
+                    let reg = self.registry.get_mut(&target).expect("admin_target checked presence");
+                    match kind {
+                        ControlKind::Stop => reg.status = AgentStatus::Stopped,
+                        ControlKind::Resume => reg.status = AgentStatus::Running,
+                        ControlKind::Kill => {}
+                    }
+                    reg.vm.clone()
+                };
+                if kind == ControlKind::Kill {
+                    self.registry.unregister(&target);
+                }
+                reply.set_single(folders::STATUS, "ok");
+                Ok(Decision::Admin {
+                    reply,
+                    control: Some(ControlAction { vm, agent: target, kind }),
+                })
+            }
+            other => {
+                reply.set_single(folders::STATUS, format!("error: unknown command {other}"));
+                Err(FirewallError::UnknownCommand { command: other.to_owned() })
+            }
+        }
+    }
+
+    /// Resolves the admin command's target (first `ARGS` element, an agent
+    /// URI) to a uniquely registered agent.
+    fn admin_target(&self, message: &Message) -> Result<AgentAddress, FirewallError> {
+        let text = message
+            .briefcase
+            .single_str(folders::ARGS)
+            .map_err(|e| FirewallError::BadWire { detail: e.to_string() })?;
+        let target: AgentUri =
+            text.parse().map_err(|e: tacoma_uri::ParseUriError| FirewallError::BadWire { detail: e.to_string() })?;
+        match self.registry.unique_match(&target, self.local_system.as_str(), message.from_principal.as_str())
+        {
+            Ok(Some(reg)) => Ok(reg.address.clone()),
+            Ok(None) => Err(FirewallError::UnknownAgent { target }),
+            Err(matches) => Err(FirewallError::Ambiguous { target, matches }),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fw() -> Firewall {
+        let mut fw = Firewall::new("h1", 27017, Policy::new(), TrustStore::new());
+        fw.add_vm("vm_script");
+        fw
+    }
+
+    fn msg(from: &str, to: &str) -> Message {
+        Message::deliver("h1", Principal::new(from).unwrap(), None, to.parse().unwrap(), Briefcase::new())
+    }
+
+    fn register(fw: &mut Firewall, principal: &str, name: &str, inst: u64) -> AgentAddress {
+        let addr = AgentAddress::new(principal, name, Instance::from_u64(inst));
+        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+        addr
+    }
+
+    #[test]
+    fn local_delivery_to_running_agent() {
+        let mut fw = fw();
+        let addr = register(&mut fw, "alice", "webbot", 1);
+        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        assert!(matches!(d, Decision::DeliverLocal { agent, .. } if agent == addr));
+        assert_eq!(fw.stats().delivered_local, 1);
+    }
+
+    #[test]
+    fn absent_receiver_queues_then_flushes_on_registration() {
+        let mut fw = fw();
+        let d = fw.route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO).unwrap();
+        assert_eq!(d, Decision::Queued);
+        assert_eq!(fw.pending_len(), 1);
+
+        let mail = fw.register_agent(
+            AgentAddress::new("alice", "webbot", Instance::from_u64(5)),
+            "vm_script",
+            SimTime::from_nanos(1000),
+        );
+        assert_eq!(mail.len(), 1);
+        assert_eq!(fw.pending_len(), 0);
+    }
+
+    #[test]
+    fn remote_target_forwards_with_effective_port() {
+        let mut fw = fw();
+        let d = fw
+            .route_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO)
+            .unwrap();
+        assert!(matches!(d, Decision::ForwardRemote { ref host, port: 27017, .. } if host == "h2"));
+    }
+
+    #[test]
+    fn own_host_in_target_is_local() {
+        let mut fw = fw();
+        register(&mut fw, "alice", "webbot", 1);
+        let d = fw
+            .route_outbound(msg("alice", "tacoma://h1/alice/webbot"), SimTime::ZERO)
+            .unwrap();
+        assert!(matches!(d, Decision::DeliverLocal { .. }));
+    }
+
+    #[test]
+    fn stopped_agent_queues_mail() {
+        let mut fw = fw();
+        let addr = register(&mut fw, "alice", "webbot", 1);
+        fw.registry.get_mut(&addr).unwrap().status = AgentStatus::Stopped;
+        let d = fw.route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO).unwrap();
+        assert_eq!(d, Decision::Queued);
+    }
+
+    #[test]
+    fn unauthenticated_remote_sender_is_denied() {
+        let mut fw = fw();
+        register(&mut fw, "alice", "webbot", 1);
+        let mut m = msg("mallory@evil", "alice/webbot:1");
+        m.from_host = "evil.example".into();
+        let err = fw.route_inbound(m, SimTime::ZERO).unwrap_err();
+        assert!(matches!(err, FirewallError::Denied(_)));
+        assert_eq!(fw.stats().denied, 1);
+    }
+
+    #[test]
+    fn trusted_remote_sender_delivers() {
+        use tacoma_security::Keyring;
+        let mut fw = fw();
+        register(&mut fw, "alice", "webbot", 1);
+        // Trust the sending host's system principal.
+        let sender_sys = Principal::local_system("h2");
+        fw.trust_mut().trust(Keyring::generate(&sender_sys, 3).public());
+        let mut m = msg("alice", "alice/webbot:1");
+        m.from_host = "h2".into();
+        let d = fw.route_inbound(m, SimTime::ZERO).unwrap();
+        assert!(matches!(d, Decision::DeliverLocal { .. }));
+    }
+
+    #[test]
+    fn signed_transfer_installs_on_named_vm() {
+        use tacoma_security::Keyring;
+        let mut fw = fw();
+        let alice = Principal::new("alice").unwrap();
+        let keys = Keyring::generate(&alice, 9);
+        fw.trust_mut().trust(keys.public());
+
+        let code = b"compiled agent bytes".to_vec();
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "webbot");
+        bc.set_single(folders::PRINCIPAL, "alice");
+        bc.append(folders::CODE, code.clone());
+        bc.set_single(folders::SIGNATURE, keys.sign(&code).digest().to_hex());
+
+        let m = Message::transfer("h2", alice, "tacoma://h1/vm_script".parse().unwrap(), bc, false);
+        let d = fw.route_inbound(m, SimTime::ZERO).unwrap();
+        let Decision::InstallAgent { vm, address, spawned, .. } = d else {
+            panic!("expected install, got {d:?}")
+        };
+        assert_eq!(vm, "vm_script");
+        assert_eq!(address.name(), "webbot");
+        assert_eq!(address.principal(), "alice");
+        assert!(!spawned);
+        assert_eq!(fw.stats().agents_installed, 1);
+    }
+
+    #[test]
+    fn tampered_transfer_is_denied() {
+        use tacoma_security::Keyring;
+        let mut fw = fw();
+        let alice = Principal::new("alice").unwrap();
+        let keys = Keyring::generate(&alice, 9);
+        fw.trust_mut().trust(keys.public());
+
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "webbot");
+        bc.set_single(folders::PRINCIPAL, "alice");
+        bc.append(folders::CODE, b"tampered code".to_vec());
+        bc.set_single(folders::SIGNATURE, keys.sign(b"original code").digest().to_hex());
+
+        let m = Message::transfer("h2", alice, "tacoma://h1/vm_script".parse().unwrap(), bc, false);
+        assert!(matches!(fw.route_inbound(m, SimTime::ZERO), Err(FirewallError::Denied(_))));
+    }
+
+    #[test]
+    fn unsigned_transfer_lands_only_under_trusting_policy() {
+        let alice = Principal::new("alice").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "webbot");
+        let make = |bc: Briefcase| {
+            Message::transfer("h2", alice.clone(), "tacoma://h1/vm_script".parse().unwrap(), bc, true)
+        };
+
+        // Default policy: denied.
+        let mut strict = fw();
+        assert!(strict.route_inbound(make(bc.clone()), SimTime::ZERO).is_err());
+
+        // Trusting policy (§2's single administrative domain): installed.
+        let mut open = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        open.add_vm("vm_script");
+        let d = open.route_inbound(make(bc), SimTime::ZERO).unwrap();
+        assert!(matches!(d, Decision::InstallAgent { spawned: true, .. }));
+    }
+
+    #[test]
+    fn transfer_to_unknown_vm_is_rejected() {
+        let mut open = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        open.add_vm("vm_script");
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "x");
+        let m = Message::transfer(
+            "h2",
+            Principal::new("p").unwrap(),
+            "tacoma://h1/vm_java".parse().unwrap(),
+            bc,
+            false,
+        );
+        assert!(matches!(
+            open.route_inbound(m, SimTime::ZERO),
+            Err(FirewallError::NoSuchVm { vm }) if vm == "vm_java"
+        ));
+    }
+
+    #[test]
+    fn admin_list_requires_admin_right() {
+        let mut fw = fw();
+        register(&mut fw, "alice", "webbot", 1);
+        let mut m = msg("alice", "firewall");
+        m.briefcase.set_single(folders::COMMAND, "list");
+        assert!(matches!(
+            fw.route_outbound(m, SimTime::ZERO),
+            Err(FirewallError::Denied(_))
+        ));
+    }
+
+    #[test]
+    fn admin_list_and_kill_flow() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let addr = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+
+        let mut list = msg("admin@h1", "firewall");
+        list.briefcase.set_single(folders::COMMAND, "list");
+        let Decision::Admin { reply, control: None } = fw.route_outbound(list, SimTime::ZERO).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(reply.folder("AGENTS").unwrap().len(), 1);
+
+        let mut kill = msg("admin@h1", "firewall");
+        kill.briefcase.set_single(folders::COMMAND, "kill");
+        kill.briefcase.set_single(folders::ARGS, "alice/webbot:1");
+        let Decision::Admin { control: Some(action), .. } = fw.route_outbound(kill, SimTime::ZERO).unwrap()
+        else {
+            panic!()
+        };
+        assert_eq!(action.kind, ControlKind::Kill);
+        assert_eq!(action.agent, addr);
+        assert!(fw.registry().is_empty());
+    }
+
+    #[test]
+    fn admin_stop_makes_agent_queue_mail_then_resume_flushes() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let addr = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+
+        let mut stop = msg("admin@h1", "firewall");
+        stop.briefcase.set_single(folders::COMMAND, "stop");
+        stop.briefcase.set_single(folders::ARGS, "alice/webbot:1");
+        fw.route_outbound(stop, SimTime::ZERO).unwrap();
+
+        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        assert_eq!(d, Decision::Queued);
+
+        let mut resume = msg("admin@h1", "firewall");
+        resume.briefcase.set_single(folders::COMMAND, "resume");
+        resume.briefcase.set_single(folders::ARGS, "alice/webbot:1");
+        fw.route_outbound(resume, SimTime::ZERO).unwrap();
+
+        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        assert!(matches!(d, Decision::DeliverLocal { .. }));
+    }
+
+    #[test]
+    fn admin_unknown_command_and_target_errors() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let mut bad = msg("admin@h1", "firewall");
+        bad.briefcase.set_single(folders::COMMAND, "explode");
+        assert!(matches!(
+            fw.route_outbound(bad, SimTime::ZERO),
+            Err(FirewallError::UnknownCommand { .. })
+        ));
+
+        let mut kill = msg("admin@h1", "firewall");
+        kill.briefcase.set_single(folders::COMMAND, "kill");
+        kill.briefcase.set_single(folders::ARGS, "alice/ghost");
+        assert!(matches!(
+            fw.route_outbound(kill, SimTime::ZERO),
+            Err(FirewallError::UnknownAgent { .. })
+        ));
+    }
+
+    #[test]
+    fn instances_are_unique_and_monotone() {
+        let mut fw = fw();
+        let a = fw.allocate_instance();
+        let b = fw.allocate_instance();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn expire_pending_counts() {
+        let mut fw = fw();
+        fw.set_queue_timeout(Duration::from_millis(10));
+        fw.route_outbound(msg("alice", "alice/nobody"), SimTime::ZERO).unwrap();
+        assert_eq!(fw.expire_pending(SimTime::ZERO + Duration::from_secs(1)), 1);
+        assert_eq!(fw.stats().expired, 1);
+    }
+}

@@ -1,0 +1,249 @@
+//! The inter-firewall message: everything on the wire is a briefcase.
+
+use serde::{Deserialize, Serialize};
+use tacoma_briefcase::Briefcase;
+use tacoma_security::Principal;
+use tacoma_uri::{AgentAddress, AgentUri};
+
+use crate::FirewallError;
+
+/// What a message *is*, from the firewall's point of view.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MessageKind {
+    /// An ordinary briefcase exchange between agents (`activate`, `meet`,
+    /// `await` replies — the kernel layers RPC correlation on top).
+    Deliver,
+    /// A moving agent (`go`): the briefcase carries the agent itself; on
+    /// arrival the firewall authenticates it and installs it on a VM
+    /// instead of delivering it to a running agent.
+    AgentTransfer {
+        /// `true` for `spawn` (fresh instance, origin keeps running),
+        /// `false` for `go` (origin instance terminated).
+        spawned: bool,
+    },
+}
+
+/// A mediated message: sender identity, target pattern, and payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// What kind of delivery this is.
+    pub kind: MessageKind,
+    /// The host the message was sent from.
+    pub from_host: String,
+    /// The principal on whose behalf the sender acts.
+    pub from_principal: Principal,
+    /// The sending agent, when the sender is an agent (admin tools and the
+    /// kernel itself send agent-less messages).
+    pub from_agent: Option<AgentAddress>,
+    /// The target pattern (Figure 2 URI).
+    pub to: AgentUri,
+    /// The payload.
+    pub briefcase: Briefcase,
+}
+
+/// Well-known system folders used to frame a [`Message`] on the wire. The
+/// payload briefcase is nested whole, so application folders can never
+/// collide with framing.
+mod wire {
+    pub const KIND: &str = "SYS:KIND";
+    pub const FROM_HOST: &str = "SYS:FROM-HOST";
+    pub const FROM_PRINCIPAL: &str = "SYS:FROM-PRINCIPAL";
+    pub const FROM_AGENT: &str = "SYS:FROM-AGENT";
+    pub const TO: &str = "SYS:TO";
+    pub const PAYLOAD: &str = "SYS:PAYLOAD";
+}
+
+impl Message {
+    /// A plain delivery from an agent.
+    pub fn deliver(
+        from_host: impl Into<String>,
+        from_principal: Principal,
+        from_agent: Option<AgentAddress>,
+        to: AgentUri,
+        briefcase: Briefcase,
+    ) -> Self {
+        Message {
+            kind: MessageKind::Deliver,
+            from_host: from_host.into(),
+            from_principal,
+            from_agent,
+            to,
+            briefcase,
+        }
+    }
+
+    /// An agent transfer (`go` when `spawned` is false, `spawn` otherwise).
+    pub fn transfer(
+        from_host: impl Into<String>,
+        from_principal: Principal,
+        to: AgentUri,
+        briefcase: Briefcase,
+        spawned: bool,
+    ) -> Self {
+        Message {
+            kind: MessageKind::AgentTransfer { spawned },
+            from_host: from_host.into(),
+            from_principal,
+            from_agent: None,
+            to,
+            briefcase,
+        }
+    }
+
+    /// Frames the message as a single briefcase and encodes it for the
+    /// network. This is the only wire format between firewalls —
+    /// briefcases all the way down (§3.3: a VM's sole obligation is to
+    /// "issue briefcases for communication").
+    pub fn encode(&self) -> Vec<u8> {
+        let mut frame = Briefcase::new();
+        let kind = match self.kind {
+            MessageKind::Deliver => "deliver".to_owned(),
+            MessageKind::AgentTransfer { spawned: false } => "go".to_owned(),
+            MessageKind::AgentTransfer { spawned: true } => "spawn".to_owned(),
+        };
+        frame.set_single(wire::KIND, kind);
+        frame.set_single(wire::FROM_HOST, self.from_host.as_str());
+        frame.set_single(wire::FROM_PRINCIPAL, self.from_principal.as_str());
+        if let Some(agent) = &self.from_agent {
+            frame.set_single(wire::FROM_AGENT, agent.to_string());
+        }
+        frame.set_single(wire::TO, self.to.to_string());
+        frame.set_single(wire::PAYLOAD, self.briefcase.encode());
+        frame.encode()
+    }
+
+    /// Decodes a message from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`FirewallError::BadWire`] on any malformation; hostile input
+    /// cannot panic the firewall.
+    pub fn decode(bytes: &[u8]) -> Result<Self, FirewallError> {
+        let frame = Briefcase::decode(bytes).map_err(bad)?;
+        let kind = match frame.single_str(wire::KIND).map_err(bad)? {
+            "deliver" => MessageKind::Deliver,
+            "go" => MessageKind::AgentTransfer { spawned: false },
+            "spawn" => MessageKind::AgentTransfer { spawned: true },
+            other => return Err(FirewallError::BadWire { detail: format!("unknown kind {other:?}") }),
+        };
+        let from_host = frame.single_str(wire::FROM_HOST).map_err(bad)?.to_owned();
+        let from_principal =
+            Principal::new(frame.single_str(wire::FROM_PRINCIPAL).map_err(bad)?).map_err(bad)?;
+        let from_agent = match frame.single_str(wire::FROM_AGENT) {
+            Ok(text) => Some(parse_address(text)?),
+            Err(_) => None,
+        };
+        let to: AgentUri = frame.single_str(wire::TO).map_err(bad)?.parse().map_err(bad)?;
+        let payload_bytes = frame.element(wire::PAYLOAD, 0).map_err(bad)?;
+        let briefcase = Briefcase::decode(payload_bytes.data()).map_err(bad)?;
+        Ok(Message { kind, from_host, from_principal, from_agent, to, briefcase })
+    }
+
+    /// The exact encoded size, for transfer-cost accounting.
+    pub fn encoded_len(&self) -> usize {
+        // Framing is small; measuring via encode is exact and still cheap
+        // relative to payloads.
+        self.encode().len()
+    }
+}
+
+fn bad(e: impl std::fmt::Display) -> FirewallError {
+    FirewallError::BadWire { detail: e.to_string() }
+}
+
+/// Parses the `principal/name:instance` rendering of [`AgentAddress`].
+fn parse_address(text: &str) -> Result<AgentAddress, FirewallError> {
+    let (principal, id) = text
+        .rsplit_once('/')
+        .ok_or_else(|| FirewallError::BadWire { detail: format!("bad agent address {text:?}") })?;
+    let (name, instance) = id
+        .split_once(':')
+        .ok_or_else(|| FirewallError::BadWire { detail: format!("bad agent id {id:?}") })?;
+    let instance = instance.parse().map_err(bad)?;
+    Ok(AgentAddress::new(principal, name, instance))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_uri::Instance;
+
+    fn sample() -> Message {
+        let mut payload = Briefcase::new();
+        payload.append("RESULTS", "found 3 dead links");
+        Message::deliver(
+            "h1.cs.uit.no",
+            Principal::new("alice@h1").unwrap(),
+            Some(AgentAddress::new("alice@h1", "webbot", Instance::from_u64(9))),
+            "tacoma://h2.cs.uit.no/ag_fs".parse().unwrap(),
+            payload,
+        )
+    }
+
+    #[test]
+    fn roundtrip_deliver() {
+        let m = sample();
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn roundtrip_transfers() {
+        for spawned in [false, true] {
+            let m = Message::transfer(
+                "h1",
+                Principal::new("p").unwrap(),
+                "tacoma://h2/vm_script".parse().unwrap(),
+                Briefcase::new(),
+                spawned,
+            );
+            let back = Message::decode(&m.encode()).unwrap();
+            assert_eq!(back.kind, MessageKind::AgentTransfer { spawned });
+        }
+    }
+
+    #[test]
+    fn roundtrip_without_agent() {
+        let m = Message::deliver(
+            "h1",
+            Principal::new("p").unwrap(),
+            None,
+            "ag_fs".parse().unwrap(),
+            Briefcase::new(),
+        );
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back.from_agent, None);
+    }
+
+    #[test]
+    fn payload_folders_cannot_collide_with_framing() {
+        let mut payload = Briefcase::new();
+        payload.set_single("SYS:KIND", "spoofed");
+        payload.set_single("SYS:TO", "spoofed");
+        let m = Message::deliver(
+            "h1",
+            Principal::new("p").unwrap(),
+            None,
+            "ag_fs".parse().unwrap(),
+            payload.clone(),
+        );
+        let back = Message::decode(&m.encode()).unwrap();
+        assert_eq!(back.kind, MessageKind::Deliver);
+        assert_eq!(back.briefcase, payload);
+    }
+
+    #[test]
+    fn garbage_is_rejected_not_panicked() {
+        assert!(matches!(Message::decode(b"junk"), Err(FirewallError::BadWire { .. })));
+        assert!(matches!(Message::decode(&[]), Err(FirewallError::BadWire { .. })));
+        // A valid briefcase that is not a message frame:
+        let empty = Briefcase::new().encode();
+        assert!(matches!(Message::decode(&empty), Err(FirewallError::BadWire { .. })));
+    }
+
+    #[test]
+    fn encoded_len_matches_encode() {
+        let m = sample();
+        assert_eq!(m.encoded_len(), m.encode().len());
+    }
+}

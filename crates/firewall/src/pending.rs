@@ -1,0 +1,161 @@
+//! The pending-message queue.
+//!
+//! "Messages passing through the firewall are queued with a timeout value
+//! if the receiving agent is not ready to receive, or has not yet arrived
+//! at the site" (§3.2).
+
+use std::time::Duration;
+
+use tacoma_simnet::SimTime;
+use tacoma_uri::AgentAddress;
+
+use crate::Message;
+
+/// Default time a message may wait for its receiver.
+pub const DEFAULT_QUEUE_TIMEOUT: Duration = Duration::from_secs(30);
+
+#[derive(Debug, Clone)]
+struct PendingEntry {
+    message: Message,
+    deadline: SimTime,
+}
+
+/// Messages waiting for their receiver to arrive or become ready.
+#[derive(Debug, Clone, Default)]
+pub struct PendingQueue {
+    entries: Vec<PendingEntry>,
+}
+
+impl PendingQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        PendingQueue::default()
+    }
+
+    /// Queues a message until `now + timeout`.
+    pub fn enqueue(&mut self, message: Message, now: SimTime, timeout: Duration) {
+        self.entries.push(PendingEntry { message, deadline: now + timeout });
+    }
+
+    /// Removes and returns every queued message whose target matches the
+    /// newly available agent (same matching rules the live path uses).
+    /// Expired entries encountered on the way are dropped and counted.
+    pub fn take_matching(
+        &mut self,
+        agent: &AgentAddress,
+        local_system: &str,
+        now: SimTime,
+    ) -> (Vec<Message>, usize) {
+        let mut matched = Vec::new();
+        let mut expired = 0;
+        self.entries.retain(|entry| {
+            if entry.deadline < now {
+                expired += 1;
+                return false;
+            }
+            let sender = entry.message.from_principal.as_str();
+            if agent.matches(&entry.message.to, local_system, sender).is_match() {
+                matched.push(entry.message.clone());
+                false
+            } else {
+                true
+            }
+        });
+        (matched, expired)
+    }
+
+    /// Drops every entry whose deadline has passed; returns how many.
+    pub fn expire(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.deadline >= now);
+        before - self.entries.len()
+    }
+
+    /// Number of messages currently waiting.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the queue is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_briefcase::Briefcase;
+    use tacoma_security::Principal;
+    use tacoma_uri::Instance;
+
+    fn msg(to: &str, from: &str) -> Message {
+        Message::deliver(
+            "h1",
+            Principal::new(from).unwrap(),
+            None,
+            to.parse().unwrap(),
+            Briefcase::new(),
+        )
+    }
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + Duration::from_millis(ms)
+    }
+
+    #[test]
+    fn arriving_agent_collects_its_mail() {
+        let mut q = PendingQueue::new();
+        q.enqueue(msg("alice/webbot", "alice"), t(0), DEFAULT_QUEUE_TIMEOUT);
+        q.enqueue(msg("bob/other", "bob"), t(0), DEFAULT_QUEUE_TIMEOUT);
+
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(7));
+        let (mail, expired) = q.take_matching(&agent, "system@h1", t(10));
+        assert_eq!(mail.len(), 1);
+        assert_eq!(expired, 0);
+        assert_eq!(q.len(), 1, "unrelated mail stays queued");
+    }
+
+    #[test]
+    fn expired_mail_is_dropped_on_expire() {
+        let mut q = PendingQueue::new();
+        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(100));
+        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(900));
+        assert_eq!(q.expire(t(500)), 1);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn expired_mail_not_delivered_to_late_arrival() {
+        let mut q = PendingQueue::new();
+        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(100));
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        let (mail, expired) = q.take_matching(&agent, "system@h1", t(5000));
+        assert!(mail.is_empty());
+        assert_eq!(expired, 1);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn name_only_target_matches_any_instance_on_arrival() {
+        let mut q = PendingQueue::new();
+        q.enqueue(msg("alice/webbot", "alice"), t(0), DEFAULT_QUEUE_TIMEOUT);
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(12345));
+        let (mail, _) = q.take_matching(&agent, "system@h1", t(1));
+        assert_eq!(mail.len(), 1);
+    }
+
+    #[test]
+    fn multiple_matching_messages_all_flush_in_order() {
+        let mut q = PendingQueue::new();
+        for i in 0..3 {
+            let mut m = msg("alice/webbot", "alice");
+            m.briefcase.set_single("SEQ", i as i64);
+            q.enqueue(m, t(i), DEFAULT_QUEUE_TIMEOUT);
+        }
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        let (mail, _) = q.take_matching(&agent, "system@h1", t(10));
+        let seqs: Vec<i64> = mail.iter().map(|m| m.briefcase.single_i64("SEQ").unwrap()).collect();
+        assert_eq!(seqs, [0, 1, 2]);
+    }
+}

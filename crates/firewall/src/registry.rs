@@ -1,0 +1,206 @@
+//! The agent registry: which agents run on which local VM.
+//!
+//! "Virtual machines need to be able to register and unregister agents
+//! running inside them with the firewall, in order for the firewall to be
+//! able to locate them when communication is addressed to these agents"
+//! (§3.2).
+
+use serde::{Deserialize, Serialize};
+use tacoma_simnet::SimTime;
+use tacoma_uri::{AgentAddress, AgentUri};
+
+/// Whether a registered agent is currently runnable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum AgentStatus {
+    /// Running normally.
+    Running,
+    /// Stopped by an admin operation; can be resumed.
+    Stopped,
+}
+
+/// One registered agent.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Registration {
+    /// The agent's full concrete address.
+    pub address: AgentAddress,
+    /// Name of the VM executing it.
+    pub vm: String,
+    /// Virtual time of registration (for the admin "run time" query).
+    pub registered_at: SimTime,
+    /// Current status.
+    pub status: AgentStatus,
+}
+
+/// The registry of local agents.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Registry {
+    agents: Vec<Registration>,
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// Registers an agent on a VM. Re-registering the same address
+    /// replaces the old entry (an agent that moved away and came back).
+    pub fn register(&mut self, address: AgentAddress, vm: impl Into<String>, now: SimTime) {
+        self.unregister(&address);
+        self.agents.push(Registration {
+            address,
+            vm: vm.into(),
+            registered_at: now,
+            status: AgentStatus::Running,
+        });
+    }
+
+    /// Unregisters an agent; returns whether it was present.
+    pub fn unregister(&mut self, address: &AgentAddress) -> bool {
+        let before = self.agents.len();
+        self.agents.retain(|r| &r.address != address);
+        self.agents.len() != before
+    }
+
+    /// All registrations whose address matches the target pattern, under
+    /// the §3.2 matching rules.
+    pub fn matches<'s>(
+        &'s self,
+        target: &AgentUri,
+        local_system: &str,
+        sender: &str,
+    ) -> impl Iterator<Item = &'s Registration> + 's {
+        let target = target.clone();
+        let local_system = local_system.to_owned();
+        let sender = sender.to_owned();
+        self.agents
+            .iter()
+            .filter(move |r| r.address.matches(&target, &local_system, &sender).is_match())
+    }
+
+    /// Looks up exactly one matching agent; `None` on zero matches,
+    /// `Err(count)` on ambiguity.
+    pub fn unique_match(
+        &self,
+        target: &AgentUri,
+        local_system: &str,
+        sender: &str,
+    ) -> Result<Option<&Registration>, usize> {
+        let mut it = self.matches(target, local_system, sender);
+        let Some(first) = it.next() else { return Ok(None) };
+        let extra = it.count();
+        if extra == 0 {
+            Ok(Some(first))
+        } else {
+            Err(extra + 1)
+        }
+    }
+
+    /// Direct lookup by concrete address.
+    pub fn get(&self, address: &AgentAddress) -> Option<&Registration> {
+        self.agents.iter().find(|r| &r.address == address)
+    }
+
+    /// Mutable lookup by concrete address.
+    pub fn get_mut(&mut self, address: &AgentAddress) -> Option<&mut Registration> {
+        self.agents.iter_mut().find(|r| &r.address == address)
+    }
+
+    /// All registrations, in registration order.
+    pub fn iter(&self) -> impl Iterator<Item = &Registration> {
+        self.agents.iter()
+    }
+
+    /// Number of registered agents.
+    pub fn len(&self) -> usize {
+        self.agents.len()
+    }
+
+    /// Whether no agents are registered.
+    pub fn is_empty(&self) -> bool {
+        self.agents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_uri::Instance;
+
+    fn addr(principal: &str, name: &str, inst: u64) -> AgentAddress {
+        AgentAddress::new(principal, name, Instance::from_u64(inst))
+    }
+
+    fn registry() -> Registry {
+        let mut r = Registry::new();
+        r.register(addr("system@h1", "ag_fs", 1), "vm_native", SimTime::ZERO);
+        r.register(addr("alice", "webbot", 2), "vm_script", SimTime::from_nanos(5));
+        r.register(addr("alice", "webbot", 3), "vm_script", SimTime::from_nanos(9));
+        r
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let r = registry();
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.get(&addr("alice", "webbot", 2)).unwrap().vm, "vm_script");
+        assert!(r.get(&addr("alice", "webbot", 99)).is_none());
+    }
+
+    #[test]
+    fn name_only_matches_all_instances() {
+        let r = registry();
+        let target: AgentUri = "alice/webbot".parse().unwrap();
+        assert_eq!(r.matches(&target, "system@h1", "alice").count(), 2);
+    }
+
+    #[test]
+    fn unique_match_reports_ambiguity() {
+        let r = registry();
+        let target: AgentUri = "alice/webbot".parse().unwrap();
+        assert_eq!(r.unique_match(&target, "system@h1", "alice"), Err(2));
+        let exact: AgentUri = "alice/webbot:2".parse().unwrap();
+        let found = r.unique_match(&exact, "system@h1", "alice").unwrap().unwrap();
+        assert_eq!(found.address, addr("alice", "webbot", 2));
+        let none: AgentUri = "alice/ghost".parse().unwrap();
+        assert_eq!(r.unique_match(&none, "system@h1", "alice").unwrap(), None);
+    }
+
+    #[test]
+    fn reregistration_replaces() {
+        let mut r = registry();
+        r.register(addr("alice", "webbot", 2), "vm_bin", SimTime::from_nanos(100));
+        assert_eq!(r.len(), 3);
+        let reg = r.get(&addr("alice", "webbot", 2)).unwrap();
+        assert_eq!(reg.vm, "vm_bin");
+        assert_eq!(reg.registered_at, SimTime::from_nanos(100));
+    }
+
+    #[test]
+    fn unregister_is_precise() {
+        let mut r = registry();
+        assert!(r.unregister(&addr("alice", "webbot", 2)));
+        assert!(!r.unregister(&addr("alice", "webbot", 2)));
+        assert_eq!(r.len(), 2);
+        assert!(r.get(&addr("alice", "webbot", 3)).is_some());
+    }
+
+    #[test]
+    fn principal_scoping_hides_foreign_agents() {
+        let r = registry();
+        // bob addressing bare "webbot" (no principal): alice's agents are
+        // neither bob's nor the local system's.
+        let target: AgentUri = "webbot".parse().unwrap();
+        assert_eq!(r.matches(&target, "system@h1", "bob").count(), 0);
+        // but the system service resolves for anyone:
+        let fs: AgentUri = "ag_fs".parse().unwrap();
+        assert_eq!(r.matches(&fs, "system@h1", "bob").count(), 1);
+    }
+
+    #[test]
+    fn status_toggles() {
+        let mut r = registry();
+        r.get_mut(&addr("alice", "webbot", 2)).unwrap().status = AgentStatus::Stopped;
+        assert_eq!(r.get(&addr("alice", "webbot", 2)).unwrap().status, AgentStatus::Stopped);
+    }
+}

@@ -1,0 +1,52 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Counters for firewall mediation, used by tests and the architecture
+/// benchmarks (every briefcase that crosses a VM boundary shows up here —
+/// the Figure-1 mediation property).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FirewallStats {
+    /// Messages delivered to a local agent.
+    pub delivered_local: u64,
+    /// Messages forwarded to a remote firewall.
+    pub forwarded_remote: u64,
+    /// Messages queued for an absent receiver.
+    pub queued: u64,
+    /// Queued messages that timed out.
+    pub expired: u64,
+    /// Messages rejected by access control or authentication.
+    pub denied: u64,
+    /// Agents installed from arriving transfers (`go`/`spawn`).
+    pub agents_installed: u64,
+    /// Admin operations served.
+    pub admin_ops: u64,
+}
+
+impl FirewallStats {
+    /// Total mediation events.
+    pub fn total(&self) -> u64 {
+        self.delivered_local
+            + self.forwarded_remote
+            + self.queued
+            + self.denied
+            + self.agents_installed
+            + self.admin_ops
+    }
+}
+
+impl fmt::Display for FirewallStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "local={} remote={} queued={} expired={} denied={} installed={} admin={}",
+            self.delivered_local,
+            self.forwarded_remote,
+            self.queued,
+            self.expired,
+            self.denied,
+            self.agents_installed,
+            self.admin_ops
+        )
+    }
+}

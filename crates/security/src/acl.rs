@@ -1,0 +1,257 @@
+use std::collections::HashMap;
+use std::fmt;
+use std::ops::{BitOr, BitOrAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Principal, SecurityError};
+
+/// A set of access rights, enforced by the firewall as it mediates
+/// communication (§3.2) and by service agents guarding resources (§3.3).
+///
+/// Represented as a flag set (the paper's "access rights, based on first
+/// level authentication of the origin of the agent").
+///
+/// ```
+/// use tacoma_security::Rights;
+///
+/// let r = Rights::EXECUTE | Rights::SEND_LOCAL;
+/// assert!(r.contains(Rights::EXECUTE));
+/// assert!(!r.contains(Rights::ADMIN));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct Rights(u32);
+
+impl Rights {
+    /// No rights at all.
+    pub const NONE: Rights = Rights(0);
+    /// May run agent code on a VM.
+    pub const EXECUTE: Rights = Rights(1 << 0);
+    /// May send briefcases to agents on the same host.
+    pub const SEND_LOCAL: Rights = Rights(1 << 1);
+    /// May send briefcases to remote firewalls (includes `go`/`spawn`).
+    pub const SEND_REMOTE: Rights = Rights(1 << 2);
+    /// May read files through `ag_fs`.
+    pub const FS_READ: Rights = Rights(1 << 3);
+    /// May write files through `ag_fs`.
+    pub const FS_WRITE: Rights = Rights(1 << 4);
+    /// May list, stop, and kill other agents via the firewall.
+    pub const ADMIN: Rights = Rights(1 << 5);
+
+    /// Everything — "if sufficient trust can be achieved, an agent should
+    /// have all the capabilities of a regular process" (§2).
+    pub const ALL: Rights = Rights((1 << 6) - 1);
+
+    /// The standard grant for an authenticated, trusted mobile agent:
+    /// execute and communicate, but no file writes or admin.
+    pub fn standard() -> Rights {
+        Rights::EXECUTE | Rights::SEND_LOCAL | Rights::SEND_REMOTE | Rights::FS_READ
+    }
+
+    /// Whether every right in `needle` is present.
+    pub fn contains(self, needle: Rights) -> bool {
+        self.0 & needle.0 == needle.0
+    }
+
+    /// This set with `extra` added.
+    pub fn with(self, extra: Rights) -> Rights {
+        self | extra
+    }
+
+    /// This set with `removed` taken away.
+    pub fn without(self, removed: Rights) -> Rights {
+        Rights(self.0 & !removed.0)
+    }
+
+    /// Checks a single required right, producing a firewall-grade error.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::AccessDenied`] naming the missing right.
+    pub fn require(self, needed: Rights, principal: &Principal) -> Result<(), SecurityError> {
+        if self.contains(needed) {
+            Ok(())
+        } else {
+            Err(SecurityError::AccessDenied {
+                principal: principal.to_string(),
+                missing: needed.name(),
+            })
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            Rights::EXECUTE => "EXECUTE",
+            Rights::SEND_LOCAL => "SEND_LOCAL",
+            Rights::SEND_REMOTE => "SEND_REMOTE",
+            Rights::FS_READ => "FS_READ",
+            Rights::FS_WRITE => "FS_WRITE",
+            Rights::ADMIN => "ADMIN",
+            Rights::NONE => "NONE",
+            Rights::ALL => "ALL",
+            _ => "COMBINATION",
+        }
+    }
+}
+
+impl BitOr for Rights {
+    type Output = Rights;
+    fn bitor(self, rhs: Rights) -> Rights {
+        Rights(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Rights {
+    fn bitor_assign(&mut self, rhs: Rights) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl fmt::Debug for Rights {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 == 0 {
+            return write!(f, "Rights(NONE)");
+        }
+        let mut parts = Vec::new();
+        for (flag, label) in [
+            (Rights::EXECUTE, "EXECUTE"),
+            (Rights::SEND_LOCAL, "SEND_LOCAL"),
+            (Rights::SEND_REMOTE, "SEND_REMOTE"),
+            (Rights::FS_READ, "FS_READ"),
+            (Rights::FS_WRITE, "FS_WRITE"),
+            (Rights::ADMIN, "ADMIN"),
+        ] {
+            if self.contains(flag) {
+                parts.push(label);
+            }
+        }
+        write!(f, "Rights({})", parts.join("|"))
+    }
+}
+
+/// A host's authorization policy: what rights a principal gets, based on
+/// how (and whether) it authenticated.
+///
+/// The paper's observation that "safety enforcement is not always needed
+/// nor desired" (§2) maps to a permissive policy; the hostile-Internet
+/// deployment maps to a restrictive one.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Policy {
+    authenticated_default: Rights,
+    unauthenticated_default: Rights,
+    overrides: HashMap<Principal, Rights>,
+}
+
+impl Policy {
+    /// The default policy: authenticated agents get
+    /// [`Rights::standard`], unauthenticated agents get nothing.
+    pub fn new() -> Self {
+        Policy {
+            authenticated_default: Rights::standard(),
+            unauthenticated_default: Rights::NONE,
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// A fully trusting policy — every agent runs "with all the
+    /// capabilities of a regular process". Suitable inside one
+    /// administrative domain.
+    pub fn trusting() -> Self {
+        Policy {
+            authenticated_default: Rights::ALL,
+            unauthenticated_default: Rights::standard(),
+            overrides: HashMap::new(),
+        }
+    }
+
+    /// Sets the default rights for authenticated principals.
+    pub fn authenticated_default(mut self, rights: Rights) -> Self {
+        self.authenticated_default = rights;
+        self
+    }
+
+    /// Sets the default rights for unauthenticated senders.
+    pub fn unauthenticated_default(mut self, rights: Rights) -> Self {
+        self.unauthenticated_default = rights;
+        self
+    }
+
+    /// Grants a specific principal specific rights, overriding defaults.
+    pub fn grant(&mut self, principal: Principal, rights: Rights) -> &mut Self {
+        self.overrides.insert(principal, rights);
+        self
+    }
+
+    /// The rights of a principal given its authentication status.
+    pub fn rights_for(&self, principal: &Principal, authenticated: bool) -> Rights {
+        if let Some(r) = self.overrides.get(principal) {
+            return *r;
+        }
+        if authenticated {
+            self.authenticated_default
+        } else {
+            self.unauthenticated_default
+        }
+    }
+}
+
+impl Default for Policy {
+    fn default() -> Self {
+        Policy::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(name: &str) -> Principal {
+        Principal::new(name).unwrap()
+    }
+
+    #[test]
+    fn flag_algebra() {
+        let r = Rights::EXECUTE | Rights::FS_READ;
+        assert!(r.contains(Rights::EXECUTE));
+        assert!(r.contains(Rights::FS_READ));
+        assert!(!r.contains(Rights::EXECUTE | Rights::ADMIN));
+        assert!(r.without(Rights::EXECUTE) == Rights::FS_READ);
+        assert!(Rights::ALL.contains(Rights::ADMIN));
+    }
+
+    #[test]
+    fn require_names_the_missing_right() {
+        let err = Rights::standard().require(Rights::ADMIN, &p("alice")).unwrap_err();
+        assert!(matches!(err, SecurityError::AccessDenied { missing: "ADMIN", .. }));
+        assert!(Rights::ALL.require(Rights::ADMIN, &p("alice")).is_ok());
+    }
+
+    #[test]
+    fn default_policy_distinguishes_authentication() {
+        let policy = Policy::new();
+        assert_eq!(policy.rights_for(&p("x"), true), Rights::standard());
+        assert_eq!(policy.rights_for(&p("x"), false), Rights::NONE);
+    }
+
+    #[test]
+    fn overrides_beat_defaults_even_when_unauthenticated() {
+        let mut policy = Policy::new();
+        policy.grant(p("admin@h1"), Rights::ALL);
+        assert_eq!(policy.rights_for(&p("admin@h1"), false), Rights::ALL);
+        assert_eq!(policy.rights_for(&p("other"), true), Rights::standard());
+    }
+
+    #[test]
+    fn trusting_policy_is_wide_open() {
+        let policy = Policy::trusting();
+        assert_eq!(policy.rights_for(&p("anyone"), true), Rights::ALL);
+        assert!(policy.rights_for(&p("anyone"), false).contains(Rights::EXECUTE));
+    }
+
+    #[test]
+    fn debug_lists_flags() {
+        let shown = format!("{:?}", Rights::EXECUTE | Rights::ADMIN);
+        assert!(shown.contains("EXECUTE") && shown.contains("ADMIN"));
+        assert_eq!(format!("{:?}", Rights::NONE), "Rights(NONE)");
+    }
+}

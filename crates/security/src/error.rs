@@ -1,0 +1,51 @@
+use std::fmt;
+
+/// Errors from authentication and authorization.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SecurityError {
+    /// A principal name failed validation.
+    BadPrincipal {
+        /// The rejected name.
+        name: String,
+    },
+    /// No key is known for the principal, so nothing it signs can verify.
+    UnknownPrincipal {
+        /// The unknown principal name.
+        name: String,
+    },
+    /// A signature did not verify against the principal's key.
+    BadSignature {
+        /// The principal whose key was used.
+        principal: String,
+    },
+    /// A digest had the wrong length or was not valid hex.
+    BadDigest,
+    /// The principal is authenticated but lacks a required right.
+    AccessDenied {
+        /// The principal denied.
+        principal: String,
+        /// Human-readable name of the missing right.
+        missing: &'static str,
+    },
+}
+
+impl fmt::Display for SecurityError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SecurityError::BadPrincipal { name } => write!(f, "invalid principal name {name:?}"),
+            SecurityError::UnknownPrincipal { name } => {
+                write!(f, "no key known for principal {name}")
+            }
+            SecurityError::BadSignature { principal } => {
+                write!(f, "signature verification failed for principal {principal}")
+            }
+            SecurityError::BadDigest => write!(f, "malformed digest"),
+            SecurityError::AccessDenied { principal, missing } => {
+                write!(f, "principal {principal} lacks right {missing}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SecurityError {}

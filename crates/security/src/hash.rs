@@ -1,0 +1,226 @@
+//! A 256-bit Merkle–Damgård hash over a 64-bit ARX compression function.
+//!
+//! **Not cryptographically secure** — see the crate-level documentation.
+//! It is deterministic, has good avalanche behaviour for accidental
+//! corruption, and is collision-resistant against non-adversarial inputs,
+//! which is all the simulation needs.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SecurityError;
+
+/// A 256-bit digest.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Digest(pub(crate) [u8; 32]);
+
+impl Digest {
+    /// The raw digest bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        &self.0
+    }
+
+    /// Parses a digest from 64 hex characters.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::BadDigest`] on wrong length or non-hex input.
+    pub fn from_hex(hex: &str) -> Result<Self, SecurityError> {
+        if hex.len() != 64 {
+            return Err(SecurityError::BadDigest);
+        }
+        let mut out = [0u8; 32];
+        for (i, chunk) in hex.as_bytes().chunks(2).enumerate() {
+            let s = std::str::from_utf8(chunk).map_err(|_| SecurityError::BadDigest)?;
+            out[i] = u8::from_str_radix(s, 16).map_err(|_| SecurityError::BadDigest)?;
+        }
+        Ok(Digest(out))
+    }
+
+    /// Renders the digest as 64 lowercase hex characters.
+    pub fn to_hex(&self) -> String {
+        let mut s = String::with_capacity(64);
+        for b in self.0 {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s
+    }
+
+    /// A short 16-hex-character prefix, for logs and artifact names.
+    pub fn short(&self) -> String {
+        self.to_hex()[..16].to_owned()
+    }
+}
+
+impl fmt::Debug for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Digest({}…)", self.short())
+    }
+}
+
+impl fmt::Display for Digest {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_hex())
+    }
+}
+
+const IV: [u64; 4] = [
+    0x6a09_e667_f3bc_c908,
+    0xbb67_ae85_84ca_a73b,
+    0x3c6e_f372_fe94_f82b,
+    0xa54f_f53a_5f1d_36f1,
+];
+
+#[inline]
+fn mix(state: &mut [u64; 4], block: u64) {
+    // One ARX round per lane, cross-feeding lanes; constants from
+    // splitmix64 so single-bit input changes avalanche across the state.
+    state[0] = (state[0] ^ block).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    state[0] ^= state[0] >> 30;
+    state[1] = state[1].wrapping_add(state[0]).rotate_left(13) ^ block.rotate_left(7);
+    state[1] = state[1].wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    state[2] = (state[2] ^ state[1]).rotate_left(31).wrapping_add(block);
+    state[2] = state[2].wrapping_mul(0x94d0_49bb_1331_11eb);
+    state[3] = state[3].wrapping_add(state[2] ^ state[0]).rotate_left(17);
+}
+
+/// Incremental hasher; use [`hash_bytes`] for one-shot hashing.
+#[derive(Debug, Clone)]
+pub struct Hasher {
+    state: [u64; 4],
+    buf: [u8; 8],
+    buf_len: usize,
+    total: u64,
+}
+
+impl Hasher {
+    /// A fresh hasher.
+    pub fn new() -> Self {
+        Hasher { state: IV, buf: [0; 8], buf_len: 0, total: 0 }
+    }
+
+    /// Absorbs more input.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        self.total = self.total.wrapping_add(data.len() as u64);
+        let mut rest = data;
+        while !rest.is_empty() {
+            let take = (8 - self.buf_len).min(rest.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&rest[..take]);
+            self.buf_len += take;
+            rest = &rest[take..];
+            if self.buf_len == 8 {
+                mix(&mut self.state, u64::from_le_bytes(self.buf));
+                self.buf_len = 0;
+            }
+        }
+        self
+    }
+
+    /// Finishes and returns the digest. Padding encodes both the tail and
+    /// the total length so `"ab" + "c"` and `"a" + "bc"` agree while
+    /// `"abc"` and `"abc\0"` differ.
+    pub fn finalize(mut self) -> Digest {
+        let mut tail = [0u8; 8];
+        tail[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+        tail[7] = 0x80 | self.buf_len as u8;
+        mix(&mut self.state, u64::from_le_bytes(tail));
+        mix(&mut self.state, self.total);
+        // Output transformation: two blank rounds, then serialize.
+        mix(&mut self.state, 0x5bd1_e995);
+        mix(&mut self.state, 0xc2b2_ae35);
+        let mut out = [0u8; 32];
+        for (i, lane) in self.state.iter().enumerate() {
+            out[i * 8..(i + 1) * 8].copy_from_slice(&lane.to_le_bytes());
+        }
+        Digest(out)
+    }
+}
+
+impl Default for Hasher {
+    fn default() -> Self {
+        Hasher::new()
+    }
+}
+
+/// One-shot hash of a byte string.
+///
+/// ```
+/// use tacoma_security::hash_bytes;
+///
+/// let a = hash_bytes(b"agent core");
+/// let b = hash_bytes(b"agent core");
+/// assert_eq!(a, b);
+/// assert_ne!(a, hash_bytes(b"agent corE"));
+/// ```
+pub fn hash_bytes(data: &[u8]) -> Digest {
+    let mut h = Hasher::new();
+    h.update(data);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(hash_bytes(b"hello"), hash_bytes(b"hello"));
+    }
+
+    #[test]
+    fn single_bit_avalanche() {
+        let a = hash_bytes(b"hello world");
+        let b = hash_bytes(b"hello worle"); // differs in last byte by 1 bit
+        let differing: u32 = a
+            .as_bytes()
+            .iter()
+            .zip(b.as_bytes())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
+        // Expect roughly half of 256 bits to flip; demand at least 60.
+        assert!(differing >= 60, "only {differing} bits flipped");
+    }
+
+    #[test]
+    fn incremental_matches_oneshot() {
+        let mut h = Hasher::new();
+        h.update(b"ab").update(b"").update(b"cdefg").update(b"hij");
+        assert_eq!(h.finalize(), hash_bytes(b"abcdefghij"));
+    }
+
+    #[test]
+    fn length_extension_padding_distinguishes() {
+        assert_ne!(hash_bytes(b"abc"), hash_bytes(b"abc\0"));
+        assert_ne!(hash_bytes(b""), hash_bytes(b"\0"));
+        assert_ne!(hash_bytes(b"12345678"), hash_bytes(b"1234567"));
+    }
+
+    #[test]
+    fn hex_roundtrip() {
+        let d = hash_bytes(b"roundtrip");
+        let parsed = Digest::from_hex(&d.to_hex()).unwrap();
+        assert_eq!(d, parsed);
+    }
+
+    #[test]
+    fn bad_hex_rejected() {
+        assert_eq!(Digest::from_hex("zz"), Err(SecurityError::BadDigest));
+        assert_eq!(Digest::from_hex(&"g".repeat(64)), Err(SecurityError::BadDigest));
+    }
+
+    #[test]
+    fn no_trivial_collisions_over_small_corpus() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u32 {
+            assert!(seen.insert(hash_bytes(&i.to_le_bytes())), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn short_is_prefix() {
+        let d = hash_bytes(b"x");
+        assert!(d.to_hex().starts_with(&d.short()));
+        assert_eq!(d.short().len(), 16);
+    }
+}

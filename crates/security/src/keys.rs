@@ -1,0 +1,165 @@
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{hash::Hasher, Digest, Principal};
+
+/// A signature: a keyed MAC over the signed bytes. See the crate docs for
+/// the security model (shared-key, simulation-grade).
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Signature(Digest);
+
+impl Signature {
+    /// The signature's raw bytes.
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+
+    /// Reconstructs a signature from a digest (e.g. read from a briefcase
+    /// folder).
+    pub fn from_digest(digest: Digest) -> Self {
+        Signature(digest)
+    }
+
+    /// The underlying digest.
+    pub fn digest(&self) -> Digest {
+        self.0
+    }
+}
+
+impl fmt::Debug for Signature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Signature({}…)", self.0.short())
+    }
+}
+
+/// The public (verification) half of a keyring: the principal's identity
+/// plus the 32-byte MAC key. Distributing this *is* the act of trusting
+/// the principal — see [`crate::TrustStore::trust`].
+#[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PublicKey {
+    principal: Principal,
+    key: [u8; 32],
+}
+
+impl PublicKey {
+    /// The principal this key authenticates.
+    pub fn principal(&self) -> &Principal {
+        &self.principal
+    }
+
+    /// Verifies `signature` over `message`.
+    pub fn verify(&self, message: &[u8], signature: &Signature) -> bool {
+        mac(&self.key, message) == signature.0
+    }
+}
+
+impl fmt::Debug for PublicKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Never print key material.
+        write!(f, "PublicKey({})", self.principal)
+    }
+}
+
+/// A principal's signing keyring.
+#[derive(Clone)]
+pub struct Keyring {
+    public: PublicKey,
+}
+
+impl Keyring {
+    /// Deterministically generates a keyring for `principal` from a seed.
+    /// Same seed, same keys — so experiments are reproducible.
+    pub fn generate(principal: &Principal, seed: u64) -> Self {
+        // Domain-separate by principal so two principals sharing a seed
+        // still get distinct keys.
+        let mut material = [0u8; 32];
+        let mut rng = StdRng::seed_from_u64(seed);
+        rng.fill_bytes(&mut material);
+        let mut h = Hasher::new();
+        h.update(principal.as_str().as_bytes()).update(&material);
+        let key = *h.finalize().as_bytes();
+        Keyring { public: PublicKey { principal: principal.clone(), key } }
+    }
+
+    /// The principal this keyring signs for.
+    pub fn principal(&self) -> &Principal {
+        &self.public.principal
+    }
+
+    /// The distributable verification key.
+    pub fn public(&self) -> PublicKey {
+        self.public.clone()
+    }
+
+    /// Signs a message.
+    pub fn sign(&self, message: &[u8]) -> Signature {
+        Signature(mac(&self.public.key, message))
+    }
+}
+
+impl fmt::Debug for Keyring {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Keyring({})", self.public.principal)
+    }
+}
+
+/// Keyed MAC: H(key ‖ pad ‖ message ‖ key). The sandwich construction
+/// avoids trivial extension given our Merkle–Damgård hash.
+fn mac(key: &[u8; 32], message: &[u8]) -> Digest {
+    let mut h = Hasher::new();
+    h.update(key).update(&[0x36; 8]).update(message).update(key);
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn alice() -> Keyring {
+        Keyring::generate(&Principal::new("alice@h1").unwrap(), 7)
+    }
+
+    #[test]
+    fn sign_verify_roundtrip() {
+        let k = alice();
+        let sig = k.sign(b"payload");
+        assert!(k.public().verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn tampered_message_fails() {
+        let k = alice();
+        let sig = k.sign(b"payload");
+        assert!(!k.public().verify(b"payloae", &sig));
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let sig = alice().sign(b"payload");
+        let eve = Keyring::generate(&Principal::new("eve@h9").unwrap(), 8);
+        assert!(!eve.public().verify(b"payload", &sig));
+    }
+
+    #[test]
+    fn generation_is_deterministic_and_domain_separated() {
+        let p = Principal::new("alice@h1").unwrap();
+        let a1 = Keyring::generate(&p, 7);
+        let a2 = Keyring::generate(&p, 7);
+        assert_eq!(a1.sign(b"m"), a2.sign(b"m"));
+
+        let q = Principal::new("bob@h1").unwrap();
+        let b = Keyring::generate(&q, 7);
+        assert_ne!(a1.sign(b"m"), b.sign(b"m"), "same seed must not share keys across principals");
+    }
+
+    #[test]
+    fn debug_never_leaks_key_material() {
+        let k = alice();
+        let shown = format!("{:?} {:?}", k, k.public());
+        assert!(!shown.contains("key"));
+        assert!(shown.contains("alice@h1"));
+    }
+}

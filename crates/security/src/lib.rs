@@ -1,0 +1,55 @@
+//! Security substrate for the TAX firewall: principals, signatures, trust
+//! stores, and access rights.
+//!
+//! The paper's firewall "does an initial authentication, based on
+//! parameters such as the presence of a signed agent core or the presence
+//! of an authenticated and trusted sender" (§3.2), and `vm_bin` "executes
+//! binaries directly on top of the operating system, provided the binary is
+//! signed by a trusted principal" (§3.3). This crate provides those
+//! mechanisms.
+//!
+//! # Not cryptographically secure
+//!
+//! The hash ([`Digest`], [`hash_bytes`]) is a homegrown 256-bit
+//! Merkle–Damgård construction and the "signatures" are keyed MACs over
+//! it: signing and verification use the **same** 32-byte key, distributed
+//! through the [`TrustStore`]. This faithfully reproduces the *protocol*
+//! (sign the agent core, verify on arrival, derive rights from the
+//! authenticated principal) while staying inside the allowed dependency
+//! set; an adversarial deployment would swap in real public-key
+//! signatures behind the same API. This is a documented substitution, not
+//! an oversight.
+//!
+//! ```
+//! use tacoma_security::{Keyring, Principal, TrustStore};
+//!
+//! # fn main() -> Result<(), tacoma_security::SecurityError> {
+//! let alice = Principal::new("alice@h1")?;
+//! let keyring = Keyring::generate(&alice, 42);
+//!
+//! let mut store = TrustStore::new();
+//! store.trust(keyring.public());
+//!
+//! let sig = keyring.sign(b"agent core bytes");
+//! assert!(store.verify(&alice, b"agent core bytes", &sig).is_ok());
+//! assert!(store.verify(&alice, b"tampered bytes", &sig).is_err());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod acl;
+mod error;
+mod hash;
+mod keys;
+mod principal;
+mod trust;
+
+pub use acl::{Policy, Rights};
+pub use error::SecurityError;
+pub use hash::{hash_bytes, Digest, Hasher};
+pub use keys::{Keyring, PublicKey, Signature};
+pub use principal::Principal;
+pub use trust::TrustStore;

@@ -1,0 +1,93 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::SecurityError;
+
+/// A principal: the identity on whose behalf an agent acts, e.g.
+/// `tacoma@cl2.cs.uit.no` or a bare project name like `tacomaproject`
+/// (Figure 2's examples).
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Principal(String);
+
+impl Principal {
+    /// Validates and creates a principal name.
+    ///
+    /// # Errors
+    ///
+    /// [`SecurityError::BadPrincipal`] unless the name is non-empty
+    /// `[A-Za-z0-9_.@-]`.
+    pub fn new(name: impl Into<String>) -> Result<Self, SecurityError> {
+        let name = name.into();
+        let valid = !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'.' | b'@' | b'-'));
+        if valid {
+            Ok(Principal(name))
+        } else {
+            Err(SecurityError::BadPrincipal { name })
+        }
+    }
+
+    /// The conventional principal for a host's own system services
+    /// (`system@<host>`).
+    pub fn local_system(host: &str) -> Self {
+        Principal(format!("system@{host}"))
+    }
+
+    /// The principal name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Principal {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Principal({})", self.0)
+    }
+}
+
+impl AsRef<str> for Principal {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for Principal {
+    type Err = SecurityError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Principal::new(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_examples_validate() {
+        assert!(Principal::new("tacoma@cl2.cs.uit.no").is_ok());
+        assert!(Principal::new("tacomaproject").is_ok());
+    }
+
+    #[test]
+    fn invalid_rejected() {
+        assert!(Principal::new("").is_err());
+        assert!(Principal::new("has space").is_err());
+        assert!(Principal::new("slash/name").is_err());
+    }
+
+    #[test]
+    fn local_system_is_host_scoped() {
+        let p = Principal::local_system("h1.example");
+        assert_eq!(p.as_str(), "system@h1.example");
+        assert_ne!(p, Principal::local_system("h2.example"));
+    }
+}

@@ -1,0 +1,138 @@
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{Principal, PublicKey, SecurityError, Signature};
+
+/// A host's trust store: the verification keys of the principals it
+/// accepts signed agent cores from.
+///
+/// The firewall consults this for "first level authentication of the
+/// origin of the agent" (§3.2), and `vm_bin` consults it before executing
+/// a binary "signed by a trusted principal" (§3.3).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrustStore {
+    keys: HashMap<Principal, PublicKey>,
+}
+
+impl TrustStore {
+    /// An empty store trusting no one.
+    pub fn new() -> Self {
+        TrustStore::default()
+    }
+
+    /// Installs a principal's verification key, trusting it. Replaces any
+    /// previous key for the same principal.
+    pub fn trust(&mut self, key: PublicKey) -> &mut Self {
+        self.keys.insert(key.principal().clone(), key);
+        self
+    }
+
+    /// Revokes trust in a principal.
+    pub fn revoke(&mut self, principal: &Principal) -> bool {
+        self.keys.remove(principal).is_some()
+    }
+
+    /// Whether the principal is trusted at all.
+    pub fn is_trusted(&self, principal: &Principal) -> bool {
+        self.keys.contains_key(principal)
+    }
+
+    /// Number of trusted principals.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the store trusts no one.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Verifies that `signature` over `message` was produced by
+    /// `principal`.
+    ///
+    /// # Errors
+    ///
+    /// * [`SecurityError::UnknownPrincipal`] if the principal has no key
+    ///   here (untrusted).
+    /// * [`SecurityError::BadSignature`] if the signature does not verify.
+    pub fn verify(
+        &self,
+        principal: &Principal,
+        message: &[u8],
+        signature: &Signature,
+    ) -> Result<(), SecurityError> {
+        let key = self
+            .keys
+            .get(principal)
+            .ok_or_else(|| SecurityError::UnknownPrincipal { name: principal.to_string() })?;
+        if key.verify(message, signature) {
+            Ok(())
+        } else {
+            Err(SecurityError::BadSignature { principal: principal.to_string() })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Keyring;
+
+    fn setup() -> (Keyring, TrustStore) {
+        let k = Keyring::generate(&Principal::new("alice@h1").unwrap(), 1);
+        let mut store = TrustStore::new();
+        store.trust(k.public());
+        (k, store)
+    }
+
+    #[test]
+    fn trusted_signature_verifies() {
+        let (k, store) = setup();
+        let sig = k.sign(b"core");
+        assert!(store.verify(k.principal(), b"core", &sig).is_ok());
+    }
+
+    #[test]
+    fn untrusted_principal_is_unknown() {
+        let (_, store) = setup();
+        let mallory = Keyring::generate(&Principal::new("mallory").unwrap(), 2);
+        let sig = mallory.sign(b"core");
+        assert!(matches!(
+            store.verify(mallory.principal(), b"core", &sig),
+            Err(SecurityError::UnknownPrincipal { .. })
+        ));
+    }
+
+    #[test]
+    fn forged_signature_detected() {
+        let (k, store) = setup();
+        let mallory = Keyring::generate(&Principal::new("alice@h1").unwrap(), 99);
+        // Mallory generated keys claiming alice's name, but the store holds
+        // the real key.
+        let sig = mallory.sign(b"core");
+        assert!(matches!(
+            store.verify(k.principal(), b"core", &sig),
+            Err(SecurityError::BadSignature { .. })
+        ));
+    }
+
+    #[test]
+    fn revoke_removes_trust() {
+        let (k, mut store) = setup();
+        assert!(store.revoke(k.principal()));
+        assert!(!store.is_trusted(k.principal()));
+        assert!(!store.revoke(k.principal()), "second revoke is a no-op");
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn rekey_replaces() {
+        let (k, mut store) = setup();
+        let new = Keyring::generate(k.principal(), 500);
+        store.trust(new.public());
+        assert_eq!(store.len(), 1);
+        assert!(store.verify(k.principal(), b"m", &new.sign(b"m")).is_ok());
+        assert!(store.verify(k.principal(), b"m", &k.sign(b"m")).is_err());
+    }
+}

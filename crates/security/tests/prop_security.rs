@@ -1,0 +1,52 @@
+//! Property tests for the hash and signature scheme.
+
+use proptest::prelude::*;
+use tacoma_security::{hash_bytes, Digest, Hasher, Keyring, Principal};
+
+proptest! {
+    /// Hashing is deterministic and any single-bit flip changes the
+    /// digest.
+    #[test]
+    fn hash_detects_any_flip(data in prop::collection::vec(any::<u8>(), 1..512), idx in any::<prop::sample::Index>(), bit in 0u8..8) {
+        let original = hash_bytes(&data);
+        prop_assert_eq!(original, hash_bytes(&data));
+        let mut tampered = data.clone();
+        let i = idx.index(tampered.len());
+        tampered[i] ^= 1 << bit;
+        prop_assert_ne!(original, hash_bytes(&tampered));
+    }
+
+    /// Incremental hashing agrees with one-shot hashing for every split.
+    #[test]
+    fn incremental_agrees(data in prop::collection::vec(any::<u8>(), 0..512), split in any::<prop::sample::Index>()) {
+        let i = if data.is_empty() { 0 } else { split.index(data.len()) };
+        let mut h = Hasher::new();
+        h.update(&data[..i]).update(&data[i..]);
+        prop_assert_eq!(h.finalize(), hash_bytes(&data));
+    }
+
+    /// Digest hex serialization roundtrips.
+    #[test]
+    fn digest_hex_roundtrip(data in prop::collection::vec(any::<u8>(), 0..64)) {
+        let d = hash_bytes(&data);
+        prop_assert_eq!(Digest::from_hex(&d.to_hex()).unwrap(), d);
+    }
+
+    /// Signatures verify for the signer and fail for any other message or
+    /// any other principal's key.
+    #[test]
+    fn signature_soundness(
+        message in prop::collection::vec(any::<u8>(), 0..256),
+        other in prop::collection::vec(any::<u8>(), 0..256),
+        seed in any::<u64>(),
+    ) {
+        let alice = Keyring::generate(&Principal::new("alice").unwrap(), seed);
+        let sig = alice.sign(&message);
+        prop_assert!(alice.public().verify(&message, &sig));
+        if other != message {
+            prop_assert!(!alice.public().verify(&other, &sig));
+        }
+        let eve = Keyring::generate(&Principal::new("eve").unwrap(), seed.wrapping_add(1));
+        prop_assert!(!eve.public().verify(&message, &sig));
+    }
+}

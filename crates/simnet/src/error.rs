@@ -1,0 +1,66 @@
+use std::fmt;
+
+use crate::HostId;
+
+/// Errors from the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum NetError {
+    /// A host name failed validation.
+    BadHostName {
+        /// The rejected name.
+        name: String,
+    },
+    /// The host is not part of the topology.
+    UnknownHost {
+        /// The unknown host.
+        host: HostId,
+    },
+    /// The host has crashed (fault injection).
+    HostDown {
+        /// The crashed host.
+        host: HostId,
+    },
+    /// The pair of hosts is partitioned (fault injection).
+    Partitioned {
+        /// One endpoint.
+        a: HostId,
+        /// The other endpoint.
+        b: HostId,
+    },
+    /// The message was lost in transit (probabilistic loss on the link).
+    MessageLost {
+        /// Source host.
+        from: HostId,
+        /// Destination host.
+        to: HostId,
+    },
+    /// The destination host has no registered endpoint on the message bus.
+    NoEndpoint {
+        /// The endpoint-less host.
+        host: HostId,
+    },
+    /// The destination endpoint's channel is closed (receiver dropped).
+    EndpointClosed {
+        /// The dead host.
+        host: HostId,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::BadHostName { name } => write!(f, "invalid host name {name:?}"),
+            NetError::UnknownHost { host } => write!(f, "unknown host {host}"),
+            NetError::HostDown { host } => write!(f, "host {host} is down"),
+            NetError::Partitioned { a, b } => write!(f, "network partition between {a} and {b}"),
+            NetError::MessageLost { from, to } => {
+                write!(f, "message from {from} to {to} lost in transit")
+            }
+            NetError::NoEndpoint { host } => write!(f, "no endpoint registered for host {host}"),
+            NetError::EndpointClosed { host } => write!(f, "endpoint for host {host} is closed"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}

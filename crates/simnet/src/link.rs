@@ -1,0 +1,140 @@
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// The characteristics of a network link: one-way latency, bandwidth, and a
+/// message-loss probability.
+///
+/// The transfer cost model is the standard first-order one:
+/// `cost(bytes) = latency + bytes * 8 / bandwidth`.
+///
+/// ```
+/// use tacoma_simnet::LinkSpec;
+///
+/// let lan = LinkSpec::lan_100mbit();
+/// // 3 MB over 100 Mbit/s is 240 ms of serialization delay.
+/// assert_eq!(lan.transfer_time(3_000_000).as_millis(), 240);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinkSpec {
+    /// One-way propagation + protocol latency per message.
+    pub latency: Duration,
+    /// Usable bandwidth in bits per second.
+    pub bandwidth_bps: u64,
+    /// Probability in `[0, 1)` that a message is lost in transit.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A link with the given latency and bandwidth and no loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bandwidth_bps` is zero.
+    pub fn new(latency: Duration, bandwidth_bps: u64) -> Self {
+        assert!(bandwidth_bps > 0, "a link must have nonzero bandwidth");
+        LinkSpec { latency, bandwidth_bps, loss: 0.0 }
+    }
+
+    /// Returns this link with the given loss probability.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0`.
+    pub fn with_loss(mut self, loss: f64) -> Self {
+        assert!((0.0..1.0).contains(&loss), "loss must be in [0, 1)");
+        self.loss = loss;
+        self
+    }
+
+    /// The paper's test environment: a 100 Mbit switched department LAN
+    /// (§5), with sub-millisecond latency.
+    pub fn lan_100mbit() -> Self {
+        LinkSpec::new(Duration::from_micros(150), 100_000_000)
+    }
+
+    /// A 10 Mbit shared LAN — the older department network generation.
+    pub fn lan_10mbit() -> Self {
+        LinkSpec::new(Duration::from_micros(800), 10_000_000)
+    }
+
+    /// A wide-area link, parameterized — the paper's conjecture case ("if
+    /// the client and server is separated by a wide area network …").
+    pub fn wan(bandwidth_bps: u64, latency: Duration) -> Self {
+        LinkSpec::new(latency, bandwidth_bps)
+    }
+
+    /// The loopback pseudo-link used when source and destination are the
+    /// same host: memory-bus bandwidth, negligible latency.
+    pub fn loopback() -> Self {
+        LinkSpec::new(Duration::from_micros(5), 8_000_000_000)
+    }
+
+    /// Time to move `bytes` across this link: latency plus serialization
+    /// delay at the link's bandwidth.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let bits = bytes.saturating_mul(8);
+        let secs = bits as f64 / self.bandwidth_bps as f64;
+        self.latency + Duration::from_secs_f64(secs)
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan_100mbit()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transfer_time_is_latency_plus_serialization() {
+        let link = LinkSpec::new(Duration::from_millis(10), 8_000_000); // 1 MB/s
+        assert_eq!(link.transfer_time(0), Duration::from_millis(10));
+        assert_eq!(link.transfer_time(1_000_000), Duration::from_millis(1010));
+    }
+
+    #[test]
+    fn paper_lan_preset_moves_3mb_in_about_240ms() {
+        let t = LinkSpec::lan_100mbit().transfer_time(3_000_000);
+        assert!(t >= Duration::from_millis(240) && t < Duration::from_millis(242), "{t:?}");
+    }
+
+    #[test]
+    fn loopback_is_orders_of_magnitude_faster() {
+        let lan = LinkSpec::lan_100mbit().transfer_time(3_000_000);
+        let local = LinkSpec::loopback().transfer_time(3_000_000);
+        assert!(lan.as_nanos() > 50 * local.as_nanos());
+    }
+
+    #[test]
+    fn wan_slower_than_lan() {
+        let wan = LinkSpec::wan(2_000_000, Duration::from_millis(50));
+        assert!(wan.transfer_time(1_000_000) > LinkSpec::lan_100mbit().transfer_time(1_000_000));
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero bandwidth")]
+    fn zero_bandwidth_rejected() {
+        let _ = LinkSpec::new(Duration::ZERO, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "loss must be")]
+    fn bad_loss_rejected() {
+        let _ = LinkSpec::lan_100mbit().with_loss(1.5);
+    }
+
+    #[test]
+    fn transfer_time_monotone_in_bytes() {
+        let link = LinkSpec::lan_10mbit();
+        let mut prev = Duration::ZERO;
+        for bytes in [0u64, 1, 100, 10_000, 1_000_000, 100_000_000] {
+            let t = link.transfer_time(bytes);
+            assert!(t >= prev);
+            prev = t;
+        }
+    }
+}

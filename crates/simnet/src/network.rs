@@ -1,0 +1,183 @@
+use std::time::Duration;
+
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::{HostId, NetError, SimClock, SimTime, Topology, TrafficStats};
+
+/// The outcome of a successful simulated transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferOutcome {
+    /// Virtual time the transfer started.
+    pub departed: SimTime,
+    /// Virtual time the last byte arrived.
+    pub arrived: SimTime,
+    /// `arrived - departed`.
+    pub cost: Duration,
+}
+
+/// A network: a [`Topology`] plus a virtual clock, deterministic loss
+/// randomness, and traffic accounting.
+///
+/// Transfers advance the shared clock — modelling the serial execution of
+/// one logical activity, which is the execution shape of every §5
+/// experiment (one robot scanning one site).
+#[derive(Debug)]
+pub struct Network {
+    topology: Mutex<Topology>,
+    clock: SimClock,
+    stats: Mutex<TrafficStats>,
+    rng: Mutex<StdRng>,
+}
+
+impl Network {
+    /// Creates a network over the topology; `seed` fixes loss randomness.
+    pub fn new(topology: Topology, seed: u64) -> Self {
+        Network {
+            topology: Mutex::new(topology),
+            clock: SimClock::new(),
+            stats: Mutex::new(TrafficStats::new()),
+            rng: Mutex::new(StdRng::seed_from_u64(seed)),
+        }
+    }
+
+    /// The shared virtual clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Runs `f` with mutable access to the topology (fault injection,
+    /// adding hosts mid-run).
+    pub fn with_topology<R>(&self, f: impl FnOnce(&mut Topology) -> R) -> R {
+        f(&mut self.topology.lock())
+    }
+
+    /// Whether the topology knows this host.
+    pub fn contains(&self, host: &HostId) -> bool {
+        self.topology.lock().contains(host)
+    }
+
+    /// A snapshot of the traffic counters.
+    pub fn stats(&self) -> TrafficStats {
+        self.stats.lock().clone()
+    }
+
+    /// Zeroes the traffic counters (clock is left running).
+    pub fn reset_stats(&self) {
+        *self.stats.lock() = TrafficStats::new();
+    }
+
+    /// The transfer cost `bytes` would incur from `from` to `to` right now,
+    /// without performing the transfer.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors from [`Topology::route`].
+    pub fn probe(&self, from: &HostId, to: &HostId, bytes: u64) -> Result<Duration, NetError> {
+        Ok(self.topology.lock().route(from, to)?.transfer_time(bytes))
+    }
+
+    /// Moves `bytes` from `from` to `to`: advances the virtual clock by the
+    /// link's transfer time and records the traffic.
+    ///
+    /// # Errors
+    ///
+    /// Routing errors from [`Topology::route`], or
+    /// [`NetError::MessageLost`] if the link's loss probability fires (the
+    /// clock still advances by the latency spent discovering the loss).
+    pub fn transfer(&self, from: &HostId, to: &HostId, bytes: u64) -> Result<TransferOutcome, NetError> {
+        let link = self.topology.lock().route(from, to)?;
+        let departed = self.clock.now();
+
+        if link.loss > 0.0 && self.rng.lock().random::<f64>() < link.loss {
+            self.clock.advance(link.latency);
+            self.stats.lock().record_loss(from, to);
+            return Err(NetError::MessageLost { from: from.clone(), to: to.clone() });
+        }
+
+        let cost = link.transfer_time(bytes);
+        let arrived = self.clock.advance(cost);
+        self.stats.lock().record_delivery(from, to, bytes, cost);
+        Ok(TransferOutcome { departed, arrived, cost })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::LinkSpec;
+
+    fn h(name: &str) -> HostId {
+        HostId::new(name).unwrap()
+    }
+
+    fn net() -> Network {
+        let mut t = Topology::new(LinkSpec::lan_100mbit());
+        t.add_hosts([h("a"), h("b")]);
+        Network::new(t, 42)
+    }
+
+    #[test]
+    fn transfer_advances_clock_and_counts_bytes() {
+        let net = net();
+        let out = net.transfer(&h("a"), &h("b"), 1_000_000).unwrap();
+        assert_eq!(out.departed, SimTime::ZERO);
+        assert_eq!(net.clock().now(), out.arrived);
+        assert_eq!(net.stats().pair(&h("a"), &h("b")).bytes, 1_000_000);
+        // 1 MB over 100 Mbit ≈ 80 ms.
+        assert!(out.cost >= Duration::from_millis(80));
+    }
+
+    #[test]
+    fn probe_does_not_advance_or_count() {
+        let net = net();
+        let cost = net.probe(&h("a"), &h("b"), 1_000_000).unwrap();
+        assert!(cost > Duration::ZERO);
+        assert_eq!(net.clock().now(), SimTime::ZERO);
+        assert_eq!(net.stats().total_messages(), 0);
+    }
+
+    #[test]
+    fn sequential_transfers_accumulate_time() {
+        let net = net();
+        let first = net.transfer(&h("a"), &h("b"), 500_000).unwrap();
+        let second = net.transfer(&h("b"), &h("a"), 500_000).unwrap();
+        assert_eq!(second.departed, first.arrived);
+        assert_eq!(second.arrived.saturating_since(SimTime::ZERO), first.cost + second.cost);
+    }
+
+    #[test]
+    fn lossy_link_is_deterministic_under_seed() {
+        let run = |seed| {
+            let mut t = Topology::new(LinkSpec::lan_100mbit().with_loss(0.5));
+            t.add_hosts([h("a"), h("b")]);
+            let net = Network::new(t, seed);
+            (0..32)
+                .map(|_| net.transfer(&h("a"), &h("b"), 10).is_ok())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        let outcomes = run(7);
+        assert!(outcomes.iter().any(|ok| *ok) && outcomes.iter().any(|ok| !*ok));
+    }
+
+    #[test]
+    fn crash_mid_run_blocks_transfer() {
+        let net = net();
+        net.transfer(&h("a"), &h("b"), 1).unwrap();
+        net.with_topology(|t| {
+            t.crash_host(&h("b"));
+        });
+        assert!(matches!(net.transfer(&h("a"), &h("b"), 1), Err(NetError::HostDown { .. })));
+    }
+
+    #[test]
+    fn loss_records_loss_stat() {
+        let mut t = Topology::new(LinkSpec::lan_100mbit().with_loss(0.999_999));
+        t.add_hosts([h("a"), h("b")]);
+        let net = Network::new(t, 1);
+        assert!(matches!(net.transfer(&h("a"), &h("b"), 1), Err(NetError::MessageLost { .. })));
+        assert_eq!(net.stats().total_lost(), 1);
+    }
+}

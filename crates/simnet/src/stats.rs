@@ -1,0 +1,151 @@
+use std::collections::BTreeMap;
+use std::fmt;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+use crate::HostId;
+
+/// Traffic counters for one (directed) host pair.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PairStats {
+    /// Messages successfully delivered.
+    pub messages: u64,
+    /// Payload bytes successfully delivered.
+    pub bytes: u64,
+    /// Messages lost to link loss.
+    pub lost: u64,
+}
+
+/// Aggregated traffic accounting across the whole network. This is the
+/// "bandwidth preserved for other uses" evidence in the paper's argument:
+/// experiments compare total bytes moved by the mobile and stationary
+/// designs.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TrafficStats {
+    pairs: BTreeMap<(HostId, HostId), PairStats>,
+    busy: Duration,
+}
+
+impl TrafficStats {
+    /// A zeroed accounting.
+    pub fn new() -> Self {
+        TrafficStats::default()
+    }
+
+    pub(crate) fn record_delivery(&mut self, from: &HostId, to: &HostId, bytes: u64, cost: Duration) {
+        let entry = self.pairs.entry((from.clone(), to.clone())).or_default();
+        entry.messages += 1;
+        entry.bytes += bytes;
+        self.busy += cost;
+    }
+
+    pub(crate) fn record_loss(&mut self, from: &HostId, to: &HostId) {
+        self.pairs.entry((from.clone(), to.clone())).or_default().lost += 1;
+    }
+
+    /// Counters for one directed pair, zeroed if the pair never talked.
+    pub fn pair(&self, from: &HostId, to: &HostId) -> PairStats {
+        self.pairs.get(&(from.clone(), to.clone())).copied().unwrap_or_default()
+    }
+
+    /// Total bytes delivered network-wide, excluding loopback traffic.
+    ///
+    /// Loopback is excluded because the paper's bandwidth argument concerns
+    /// the *network*; data an agent reads at its own host costs no
+    /// bandwidth.
+    pub fn network_bytes(&self) -> u64 {
+        self.pairs
+            .iter()
+            .filter(|((from, to), _)| from != to)
+            .map(|(_, s)| s.bytes)
+            .sum()
+    }
+
+    /// Total bytes delivered including loopback.
+    pub fn total_bytes(&self) -> u64 {
+        self.pairs.values().map(|s| s.bytes).sum()
+    }
+
+    /// Total messages delivered.
+    pub fn total_messages(&self) -> u64 {
+        self.pairs.values().map(|s| s.messages).sum()
+    }
+
+    /// Total messages lost.
+    pub fn total_lost(&self) -> u64 {
+        self.pairs.values().map(|s| s.lost).sum()
+    }
+
+    /// Accumulated virtual transfer time across all deliveries.
+    pub fn busy_time(&self) -> Duration {
+        self.busy
+    }
+
+    /// Iterates over all directed pairs with their counters.
+    pub fn iter(&self) -> impl Iterator<Item = (&(HostId, HostId), &PairStats)> {
+        self.pairs.iter()
+    }
+}
+
+impl fmt::Display for TrafficStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "traffic: {} msgs, {} bytes on network ({} lost)",
+            self.total_messages(),
+            self.network_bytes(),
+            self.total_lost()
+        )?;
+        for ((from, to), s) in &self.pairs {
+            writeln!(f, "  {from} -> {to}: {} msgs, {} bytes, {} lost", s.messages, s.bytes, s.lost)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn h(name: &str) -> HostId {
+        HostId::new(name).unwrap()
+    }
+
+    #[test]
+    fn deliveries_accumulate_per_pair() {
+        let mut s = TrafficStats::new();
+        s.record_delivery(&h("a"), &h("b"), 100, Duration::from_millis(1));
+        s.record_delivery(&h("a"), &h("b"), 50, Duration::from_millis(1));
+        s.record_delivery(&h("b"), &h("a"), 10, Duration::from_millis(1));
+        assert_eq!(s.pair(&h("a"), &h("b")).bytes, 150);
+        assert_eq!(s.pair(&h("a"), &h("b")).messages, 2);
+        assert_eq!(s.pair(&h("b"), &h("a")).bytes, 10);
+        assert_eq!(s.total_bytes(), 160);
+        assert_eq!(s.busy_time(), Duration::from_millis(3));
+    }
+
+    #[test]
+    fn loopback_excluded_from_network_bytes() {
+        let mut s = TrafficStats::new();
+        s.record_delivery(&h("a"), &h("a"), 1000, Duration::ZERO);
+        s.record_delivery(&h("a"), &h("b"), 7, Duration::ZERO);
+        assert_eq!(s.network_bytes(), 7);
+        assert_eq!(s.total_bytes(), 1007);
+    }
+
+    #[test]
+    fn losses_counted_separately() {
+        let mut s = TrafficStats::new();
+        s.record_loss(&h("a"), &h("b"));
+        s.record_loss(&h("a"), &h("b"));
+        assert_eq!(s.total_lost(), 2);
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn unknown_pair_reads_zero() {
+        let s = TrafficStats::new();
+        assert_eq!(s.pair(&h("x"), &h("y")), PairStats::default());
+    }
+}

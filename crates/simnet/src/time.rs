@@ -1,0 +1,169 @@
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in nanoseconds since the simulation epoch.
+///
+/// ```
+/// use std::time::Duration;
+/// use tacoma_simnet::SimTime;
+///
+/// let t = SimTime::ZERO + Duration::from_millis(5);
+/// assert_eq!(t - SimTime::ZERO, Duration::from_millis(5));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// The simulation epoch.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs a time from nanoseconds since the epoch.
+    pub fn from_nanos(nanos: u64) -> Self {
+        SimTime(nanos)
+    }
+
+    /// Nanoseconds since the epoch.
+    pub fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed duration since the epoch.
+    pub fn since_epoch(self) -> Duration {
+        Duration::from_nanos(self.0)
+    }
+
+    /// Saturating duration since an earlier time (zero if `earlier` is
+    /// actually later).
+    pub fn saturating_since(self, earlier: SimTime) -> Duration {
+        Duration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<Duration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: Duration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+    }
+}
+
+impl AddAssign<Duration> for SimTime {
+    fn add_assign(&mut self, rhs: Duration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = Duration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`; use
+    /// [`SimTime::saturating_since`] when order is uncertain.
+    fn sub(self, rhs: SimTime) -> Duration {
+        debug_assert!(self.0 >= rhs.0, "SimTime subtraction went negative");
+        Duration::from_nanos(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let d = self.since_epoch();
+        if d.as_secs() > 0 {
+            write!(f, "{:.3}s", d.as_secs_f64())
+        } else if d.as_millis() > 0 {
+            write!(f, "{:.3}ms", d.as_secs_f64() * 1e3)
+        } else {
+            write!(f, "{}ns", self.0)
+        }
+    }
+}
+
+/// A shared, monotonically advancing virtual clock.
+///
+/// Cloning a `SimClock` yields a handle to the *same* clock; every
+/// [`crate::Network`] advances its clock as transfers complete, which
+/// models the serial execution of one agent's work — the execution shape
+/// of every experiment in the paper.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock(Arc<AtomicU64>);
+
+impl SimClock {
+    /// A new clock at the epoch.
+    pub fn new() -> Self {
+        SimClock::default()
+    }
+
+    /// The current virtual time.
+    pub fn now(&self) -> SimTime {
+        SimTime(self.0.load(Ordering::SeqCst))
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> SimTime {
+        let nanos = d.as_nanos().min(u64::MAX as u128) as u64;
+        SimTime(self.0.fetch_add(nanos, Ordering::SeqCst) + nanos)
+    }
+
+    /// Moves the clock forward to `t` if it is currently behind it; the
+    /// clock never moves backwards.
+    pub fn advance_to(&self, t: SimTime) -> SimTime {
+        self.0.fetch_max(t.0, Ordering::SeqCst);
+        self.now()
+    }
+
+    /// Resets the clock to the epoch. Intended for reusing a topology
+    /// across experiment repetitions.
+    pub fn reset(&self) {
+        self.0.store(0, Ordering::SeqCst);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_handles_share_state() {
+        let a = SimClock::new();
+        let b = a.clone();
+        a.advance(Duration::from_secs(1));
+        assert_eq!(b.now(), SimTime::ZERO + Duration::from_secs(1));
+    }
+
+    #[test]
+    fn advance_to_never_goes_backwards() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(10));
+        c.advance_to(SimTime::from_nanos(5));
+        assert_eq!(c.now().since_epoch(), Duration::from_secs(10));
+        c.advance_to(SimTime::ZERO + Duration::from_secs(20));
+        assert_eq!(c.now().since_epoch(), Duration::from_secs(20));
+    }
+
+    #[test]
+    fn saturating_since_clamps() {
+        let early = SimTime::from_nanos(10);
+        let late = SimTime::from_nanos(30);
+        assert_eq!(late.saturating_since(early), Duration::from_nanos(20));
+        assert_eq!(early.saturating_since(late), Duration::ZERO);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!((SimTime::ZERO + Duration::from_nanos(7)).to_string(), "7ns");
+        assert_eq!((SimTime::ZERO + Duration::from_millis(7)).to_string(), "7.000ms");
+        assert_eq!((SimTime::ZERO + Duration::from_secs(7)).to_string(), "7.000s");
+    }
+
+    #[test]
+    fn reset_returns_to_epoch() {
+        let c = SimClock::new();
+        c.advance(Duration::from_secs(3));
+        c.reset();
+        assert_eq!(c.now(), SimTime::ZERO);
+    }
+}

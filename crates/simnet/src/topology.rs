@@ -1,0 +1,247 @@
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinkSpec, NetError};
+
+/// A simulated host's identity — a lowercase hostname such as the paper's
+/// `cl2.cs.uit.no`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(String);
+
+impl HostId {
+    /// Validates and creates a host id.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::BadHostName`] unless the name is non-empty lowercase
+    /// `[a-z0-9.-]`.
+    pub fn new(name: impl Into<String>) -> Result<Self, NetError> {
+        let name = name.into();
+        let valid = !name.is_empty()
+            && name
+                .bytes()
+                .all(|b| b.is_ascii_lowercase() || b.is_ascii_digit() || b == b'.' || b == b'-');
+        if valid {
+            Ok(HostId(name))
+        } else {
+            Err(NetError::BadHostName { name })
+        }
+    }
+
+    /// The host name.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl AsRef<str> for HostId {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl std::str::FromStr for HostId {
+    type Err = NetError;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        HostId::new(s)
+    }
+}
+
+/// An unordered host pair, the key for link specs and partitions.
+fn pair(a: &HostId, b: &HostId) -> (HostId, HostId) {
+    if a <= b {
+        (a.clone(), b.clone())
+    } else {
+        (b.clone(), a.clone())
+    }
+}
+
+/// The network's shape: which hosts exist, what links connect them, and
+/// which hosts or links are currently failed.
+///
+/// Links are symmetric. Pairs without an explicit link use the topology's
+/// default; a host talking to itself uses [`LinkSpec::loopback`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Topology {
+    default_link: LinkSpec,
+    hosts: BTreeSet<HostId>,
+    links: BTreeMap<(HostId, HostId), LinkSpec>,
+    down_hosts: BTreeSet<HostId>,
+    partitions: BTreeSet<(HostId, HostId)>,
+}
+
+impl Topology {
+    /// An empty topology whose unlisted host pairs use `default_link`.
+    pub fn new(default_link: LinkSpec) -> Self {
+        Topology {
+            default_link,
+            hosts: BTreeSet::new(),
+            links: BTreeMap::new(),
+            down_hosts: BTreeSet::new(),
+            partitions: BTreeSet::new(),
+        }
+    }
+
+    /// Adds a host (idempotent).
+    pub fn add_host(&mut self, host: HostId) -> &mut Self {
+        self.hosts.insert(host);
+        self
+    }
+
+    /// Adds several hosts at once.
+    pub fn add_hosts<I: IntoIterator<Item = HostId>>(&mut self, hosts: I) -> &mut Self {
+        self.hosts.extend(hosts);
+        self
+    }
+
+    /// Whether the host is known to the topology.
+    pub fn contains(&self, host: &HostId) -> bool {
+        self.hosts.contains(host)
+    }
+
+    /// All hosts in name order.
+    pub fn hosts(&self) -> impl Iterator<Item = &HostId> {
+        self.hosts.iter()
+    }
+
+    /// Installs a specific link between two hosts (symmetric).
+    pub fn set_link(&mut self, a: &HostId, b: &HostId, link: LinkSpec) -> &mut Self {
+        self.links.insert(pair(a, b), link);
+        self
+    }
+
+    /// Marks a host as crashed: all communication to or from it fails.
+    pub fn crash_host(&mut self, host: &HostId) -> &mut Self {
+        self.down_hosts.insert(host.clone());
+        self
+    }
+
+    /// Restores a crashed host.
+    pub fn restore_host(&mut self, host: &HostId) -> &mut Self {
+        self.down_hosts.remove(host);
+        self
+    }
+
+    /// Whether the host is currently crashed.
+    pub fn is_down(&self, host: &HostId) -> bool {
+        self.down_hosts.contains(host)
+    }
+
+    /// Severs the link between two hosts (both directions).
+    pub fn partition(&mut self, a: &HostId, b: &HostId) -> &mut Self {
+        self.partitions.insert(pair(a, b));
+        self
+    }
+
+    /// Heals a severed link.
+    pub fn heal(&mut self, a: &HostId, b: &HostId) -> &mut Self {
+        self.partitions.remove(&pair(a, b));
+        self
+    }
+
+    /// The link a message from `a` to `b` would traverse right now.
+    ///
+    /// # Errors
+    ///
+    /// * [`NetError::UnknownHost`] if either endpoint is not in the topology.
+    /// * [`NetError::HostDown`] if either endpoint has crashed.
+    /// * [`NetError::Partitioned`] if the pair is partitioned.
+    pub fn route(&self, a: &HostId, b: &HostId) -> Result<LinkSpec, NetError> {
+        for h in [a, b] {
+            if !self.hosts.contains(h) {
+                return Err(NetError::UnknownHost { host: h.clone() });
+            }
+            if self.down_hosts.contains(h) {
+                return Err(NetError::HostDown { host: h.clone() });
+            }
+        }
+        if a == b {
+            return Ok(LinkSpec::loopback());
+        }
+        if self.partitions.contains(&pair(a, b)) {
+            return Err(NetError::Partitioned { a: a.clone(), b: b.clone() });
+        }
+        Ok(self.links.get(&pair(a, b)).copied().unwrap_or(self.default_link))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn h(name: &str) -> HostId {
+        HostId::new(name).unwrap()
+    }
+
+    fn topo() -> Topology {
+        let mut t = Topology::new(LinkSpec::lan_100mbit());
+        t.add_hosts([h("a"), h("b"), h("c")]);
+        t
+    }
+
+    #[test]
+    fn host_names_validated() {
+        assert!(HostId::new("cl2.cs.uit.no").is_ok());
+        assert!(HostId::new("").is_err());
+        assert!(HostId::new("UPPER").is_err());
+        assert!(HostId::new("sp ace").is_err());
+    }
+
+    #[test]
+    fn default_link_applies_to_unlisted_pairs() {
+        let t = topo();
+        assert_eq!(t.route(&h("a"), &h("b")).unwrap(), LinkSpec::lan_100mbit());
+    }
+
+    #[test]
+    fn explicit_link_is_symmetric() {
+        let mut t = topo();
+        let wan = LinkSpec::wan(1_000_000, Duration::from_millis(80));
+        t.set_link(&h("a"), &h("c"), wan);
+        assert_eq!(t.route(&h("a"), &h("c")).unwrap(), wan);
+        assert_eq!(t.route(&h("c"), &h("a")).unwrap(), wan);
+        assert_eq!(t.route(&h("a"), &h("b")).unwrap(), LinkSpec::lan_100mbit());
+    }
+
+    #[test]
+    fn self_route_is_loopback() {
+        let t = topo();
+        assert_eq!(t.route(&h("a"), &h("a")).unwrap(), LinkSpec::loopback());
+    }
+
+    #[test]
+    fn unknown_host_detected() {
+        let t = topo();
+        assert!(matches!(t.route(&h("a"), &h("zz")), Err(NetError::UnknownHost { .. })));
+    }
+
+    #[test]
+    fn crashed_host_blocks_both_directions() {
+        let mut t = topo();
+        t.crash_host(&h("b"));
+        assert!(matches!(t.route(&h("a"), &h("b")), Err(NetError::HostDown { .. })));
+        assert!(matches!(t.route(&h("b"), &h("a")), Err(NetError::HostDown { .. })));
+        t.restore_host(&h("b"));
+        assert!(t.route(&h("a"), &h("b")).is_ok());
+    }
+
+    #[test]
+    fn partition_and_heal() {
+        let mut t = topo();
+        t.partition(&h("a"), &h("c"));
+        assert!(matches!(t.route(&h("c"), &h("a")), Err(NetError::Partitioned { .. })));
+        // Unrelated pairs unaffected.
+        assert!(t.route(&h("a"), &h("b")).is_ok());
+        t.heal(&h("a"), &h("c"));
+        assert!(t.route(&h("a"), &h("c")).is_ok());
+    }
+}

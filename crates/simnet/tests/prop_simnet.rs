@@ -1,0 +1,77 @@
+//! Property tests for the network cost model and topology.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use tacoma_simnet::{HostId, LinkSpec, Network, Topology};
+
+fn arb_link() -> impl Strategy<Value = LinkSpec> {
+    (1u64..1_000_000, 1u64..10_000_000_000).prop_map(|(latency_us, bandwidth)| {
+        LinkSpec::new(Duration::from_micros(latency_us), bandwidth)
+    })
+}
+
+proptest! {
+    /// Transfer time is monotone in bytes and never below the latency.
+    #[test]
+    fn cost_monotone_in_bytes(link in arb_link(), a in 0u64..1_000_000_000, b in 0u64..1_000_000_000) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        prop_assert!(link.transfer_time(lo) <= link.transfer_time(hi));
+        prop_assert!(link.transfer_time(lo) >= link.latency);
+    }
+
+    /// More bandwidth never makes a transfer slower (same latency).
+    #[test]
+    fn cost_antitone_in_bandwidth(
+        latency_us in 1u64..100_000,
+        bw_lo in 1u64..1_000_000_000,
+        extra in 1u64..1_000_000_000,
+        bytes in 0u64..100_000_000,
+    ) {
+        let latency = Duration::from_micros(latency_us);
+        let slow = LinkSpec::new(latency, bw_lo);
+        let fast = LinkSpec::new(latency, bw_lo.saturating_add(extra));
+        prop_assert!(fast.transfer_time(bytes) <= slow.transfer_time(bytes));
+    }
+
+    /// The virtual clock advances by exactly the sum of transfer costs,
+    /// and byte accounting is exact, for any sequence of transfers.
+    #[test]
+    fn clock_and_stats_are_exact(sizes in prop::collection::vec(0u64..1_000_000, 1..20)) {
+        let mut topo = Topology::new(LinkSpec::lan_100mbit());
+        let a = HostId::new("a").unwrap();
+        let b = HostId::new("b").unwrap();
+        topo.add_hosts([a.clone(), b.clone()]);
+        let net = Network::new(topo, 0);
+
+        let mut expected = Duration::ZERO;
+        let mut expected_bytes = 0u64;
+        for &size in &sizes {
+            let out = net.transfer(&a, &b, size).unwrap();
+            expected += out.cost;
+            expected_bytes += size;
+        }
+        prop_assert_eq!(net.clock().now().since_epoch(), expected);
+        prop_assert_eq!(net.stats().pair(&a, &b).bytes, expected_bytes);
+        prop_assert_eq!(net.stats().pair(&a, &b).messages, sizes.len() as u64);
+    }
+
+    /// Partitions are symmetric and exact: only the severed pair fails.
+    #[test]
+    fn partitions_are_symmetric_and_scoped(cut in 0usize..3) {
+        let names = ["a", "b", "c"];
+        let hosts: Vec<HostId> = names.iter().map(|n| HostId::new(*n).unwrap()).collect();
+        let mut topo = Topology::new(LinkSpec::lan_100mbit());
+        topo.add_hosts(hosts.clone());
+        let (x, y) = (hosts[cut].clone(), hosts[(cut + 1) % 3].clone());
+        topo.partition(&x, &y);
+
+        for i in 0..3 {
+            for j in 0..3 {
+                if i == j { continue; }
+                let severed = (hosts[i] == x && hosts[j] == y) || (hosts[i] == y && hosts[j] == x);
+                prop_assert_eq!(topo.route(&hosts[i], &hosts[j]).is_err(), severed);
+            }
+        }
+    }
+}

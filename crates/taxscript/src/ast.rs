@@ -1,0 +1,153 @@
+//! The TaxScript abstract syntax tree.
+
+/// A top-level item: a function definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnDef {
+    /// Function name (`main` is the agent entry point).
+    pub name: String,
+    /// Parameter names.
+    pub params: Vec<String>,
+    /// Function body.
+    pub body: Block,
+    /// Source line of the `fn` keyword.
+    pub line: u32,
+}
+
+/// A `{ ... }` statement sequence introducing a lexical scope.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+}
+
+/// A statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Stmt {
+    /// `let name = expr;`
+    Let {
+        /// Variable name.
+        name: String,
+        /// Initializer.
+        value: Expr,
+    },
+    /// `name = expr;`
+    Assign {
+        /// Target variable (must be bound by an enclosing `let` or param).
+        name: String,
+        /// New value.
+        value: Expr,
+    },
+    /// `if (cond) {..} else {..}` — else branch optional.
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_block: Block,
+        /// Optional else branch.
+        else_block: Option<Block>,
+    },
+    /// `while (cond) {..}`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `return expr?;`
+    Return(Option<Expr>),
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// An expression evaluated for effect; its value is discarded.
+    Expr(Expr),
+}
+
+/// An expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Integer literal.
+    Int(i64),
+    /// String literal.
+    Str(String),
+    /// Boolean literal.
+    Bool(bool),
+    /// `nil`
+    Nil,
+    /// Variable reference.
+    Var(String),
+    /// `[a, b, c]` list literal.
+    List(Vec<Expr>),
+    /// `expr[index]`
+    Index {
+        /// The list or string being indexed.
+        target: Box<Expr>,
+        /// The index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operator application.
+    Unary {
+        /// The operator.
+        op: UnaryOp,
+        /// The operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operator application. `&&`/`||` short-circuit.
+    Binary {
+        /// The operator.
+        op: BinaryOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// A call to a builtin or user-defined function.
+    Call {
+        /// Callee name.
+        name: String,
+        /// Arguments.
+        args: Vec<Expr>,
+        /// Source line, for diagnostics.
+        line: u32,
+    },
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnaryOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not.
+    Not,
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BinaryOp {
+    /// `+` (integer addition or string concatenation)
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&` (short-circuit)
+    And,
+    /// `||` (short-circuit)
+    Or,
+}

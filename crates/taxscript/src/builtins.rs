@@ -1,0 +1,213 @@
+//! The builtin function table.
+//!
+//! Builtins fall into three groups, mirroring the TAX library (§3.1):
+//!
+//! * **briefcase** — `bc_get`, `bc_remove`, `bc_append`, `bc_set`,
+//!   `bc_len`, `bc_clear`, `bc_has`: operate on the agent's own briefcase.
+//! * **mobility & communication** — `go`, `spawn`, `activate`, `meet`,
+//!   `await_bc`: dispatched to the host through
+//!   [`HostHooks`](crate::HostHooks).
+//! * **pure** — strings, lists, conversions, `display`, `exit`.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies a builtin in bytecode. The numeric discriminants are part of
+/// the program wire format, so they are explicit and append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[repr(u8)]
+#[allow(missing_docs)]
+pub enum Builtin {
+    Display = 0,
+    Exit = 1,
+    BcGet = 2,
+    BcRemove = 3,
+    BcAppend = 4,
+    BcSet = 5,
+    BcLen = 6,
+    BcClear = 7,
+    BcHas = 8,
+    Go = 9,
+    Spawn = 10,
+    Activate = 11,
+    Meet = 12,
+    AwaitBc = 13,
+    Str = 14,
+    Int = 15,
+    Len = 16,
+    Substr = 17,
+    Find = 18,
+    Split = 19,
+    Join = 20,
+    StartsWith = 21,
+    Contains = 22,
+    Push = 23,
+    Get = 24,
+    NowMs = 25,
+    HostName = 26,
+}
+
+impl Builtin {
+    /// All builtins, for table-driven tests.
+    pub const ALL: [Builtin; 27] = [
+        Builtin::Display,
+        Builtin::Exit,
+        Builtin::BcGet,
+        Builtin::BcRemove,
+        Builtin::BcAppend,
+        Builtin::BcSet,
+        Builtin::BcLen,
+        Builtin::BcClear,
+        Builtin::BcHas,
+        Builtin::Go,
+        Builtin::Spawn,
+        Builtin::Activate,
+        Builtin::Meet,
+        Builtin::AwaitBc,
+        Builtin::Str,
+        Builtin::Int,
+        Builtin::Len,
+        Builtin::Substr,
+        Builtin::Find,
+        Builtin::Split,
+        Builtin::Join,
+        Builtin::StartsWith,
+        Builtin::Contains,
+        Builtin::Push,
+        Builtin::Get,
+        Builtin::NowMs,
+        Builtin::HostName,
+    ];
+
+    /// Looks a builtin up by its source-level name.
+    pub fn from_name(name: &str) -> Option<Builtin> {
+        Some(match name {
+            "display" => Builtin::Display,
+            "exit" => Builtin::Exit,
+            "bc_get" => Builtin::BcGet,
+            "bc_remove" => Builtin::BcRemove,
+            "bc_append" => Builtin::BcAppend,
+            "bc_set" => Builtin::BcSet,
+            "bc_len" => Builtin::BcLen,
+            "bc_clear" => Builtin::BcClear,
+            "bc_has" => Builtin::BcHas,
+            "go" => Builtin::Go,
+            "spawn" => Builtin::Spawn,
+            "activate" => Builtin::Activate,
+            // The paper's low-level primitive names (§3.1) are aliases for
+            // the communication builtins.
+            "bc_send" => Builtin::Activate,
+            "meet" => Builtin::Meet,
+            "await_bc" => Builtin::AwaitBc,
+            "bc_recv" => Builtin::AwaitBc,
+            "str" => Builtin::Str,
+            "int" => Builtin::Int,
+            "len" => Builtin::Len,
+            "substr" => Builtin::Substr,
+            "find" => Builtin::Find,
+            "split" => Builtin::Split,
+            "join" => Builtin::Join,
+            "starts_with" => Builtin::StartsWith,
+            "contains" => Builtin::Contains,
+            "push" => Builtin::Push,
+            "get" => Builtin::Get,
+            "now_ms" => Builtin::NowMs,
+            "host_name" => Builtin::HostName,
+            _ => return None,
+        })
+    }
+
+    /// The source-level name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Builtin::Display => "display",
+            Builtin::Exit => "exit",
+            Builtin::BcGet => "bc_get",
+            Builtin::BcRemove => "bc_remove",
+            Builtin::BcAppend => "bc_append",
+            Builtin::BcSet => "bc_set",
+            Builtin::BcLen => "bc_len",
+            Builtin::BcClear => "bc_clear",
+            Builtin::BcHas => "bc_has",
+            Builtin::Go => "go",
+            Builtin::Spawn => "spawn",
+            Builtin::Activate => "activate",
+            Builtin::Meet => "meet",
+            Builtin::AwaitBc => "await_bc",
+            Builtin::Str => "str",
+            Builtin::Int => "int",
+            Builtin::Len => "len",
+            Builtin::Substr => "substr",
+            Builtin::Find => "find",
+            Builtin::Split => "split",
+            Builtin::Join => "join",
+            Builtin::StartsWith => "starts_with",
+            Builtin::Contains => "contains",
+            Builtin::Push => "push",
+            Builtin::Get => "get",
+            Builtin::NowMs => "now_ms",
+            Builtin::HostName => "host_name",
+        }
+    }
+
+    /// The exact arity, or `None` for variadic (`display`).
+    pub fn arity(self) -> Option<usize> {
+        Some(match self {
+            Builtin::Display => return None,
+            Builtin::Exit => 1,
+            Builtin::BcGet | Builtin::BcRemove | Builtin::BcAppend | Builtin::BcSet => 2,
+            Builtin::BcLen | Builtin::BcClear | Builtin::BcHas => 1,
+            Builtin::Go | Builtin::Spawn | Builtin::Activate | Builtin::Meet => 1,
+            Builtin::AwaitBc => 1,
+            Builtin::Str | Builtin::Int | Builtin::Len => 1,
+            Builtin::Substr => 3,
+            Builtin::Find | Builtin::Split | Builtin::Join => 2,
+            Builtin::StartsWith | Builtin::Contains => 2,
+            Builtin::Push | Builtin::Get => 2,
+            Builtin::NowMs | Builtin::HostName => 0,
+        })
+    }
+
+    /// Decodes a builtin from its wire discriminant.
+    pub fn from_code(code: u8) -> Option<Builtin> {
+        Builtin::ALL.get(code as usize).copied()
+    }
+
+    /// The wire discriminant.
+    pub fn code(self) -> u8 {
+        self as u8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_roundtrip() {
+        for b in Builtin::ALL {
+            assert_eq!(Builtin::from_name(b.name()), Some(b));
+        }
+    }
+
+    #[test]
+    fn codes_roundtrip_and_are_dense() {
+        for (i, b) in Builtin::ALL.iter().enumerate() {
+            assert_eq!(b.code() as usize, i, "ALL must be ordered by discriminant");
+            assert_eq!(Builtin::from_code(b.code()), Some(*b));
+        }
+        assert_eq!(Builtin::from_code(Builtin::ALL.len() as u8), None);
+    }
+
+    #[test]
+    fn unknown_names_are_none() {
+        assert_eq!(Builtin::from_name("not_a_builtin"), None);
+        assert_eq!(Builtin::from_name(""), None);
+    }
+
+    #[test]
+    fn only_display_is_variadic() {
+        for b in Builtin::ALL {
+            assert_eq!(b.arity().is_none(), b == Builtin::Display, "{b:?}");
+        }
+    }
+}

@@ -1,0 +1,100 @@
+//! The TaxScript bytecode instruction set: a small stack machine.
+
+use serde::{Deserialize, Serialize};
+
+use crate::Builtin;
+
+/// One bytecode instruction.
+///
+/// Jump targets are absolute instruction indices within the owning
+/// function's code vector.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Op {
+    /// Push constant `pool[idx]`.
+    Const(u16),
+    /// Push `nil`.
+    Nil,
+    /// Push `true`.
+    True,
+    /// Push `false`.
+    False,
+    /// Push a copy of local slot `idx`.
+    Load(u16),
+    /// Pop into local slot `idx`.
+    Store(u16),
+    /// Pop and discard.
+    Pop,
+    /// Arithmetic/logic; each pops its operands and pushes the result.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division (errors on zero divisor).
+    Div,
+    /// Modulo (errors on zero divisor).
+    Mod,
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (truthiness-based).
+    Not,
+    /// Equality (`==`): structural, `false` across types.
+    Eq,
+    /// Inequality.
+    Ne,
+    /// Less-than (ints and strings).
+    Lt,
+    /// Less-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-or-equal.
+    Ge,
+    /// Unconditional jump to instruction `target`.
+    Jump(u32),
+    /// Pop; jump to `target` if the popped value is falsy.
+    JumpIfFalse(u32),
+    /// Pop; jump if truthy (used by `||` short-circuit).
+    JumpIfTrue(u32),
+    /// Duplicate the top of stack.
+    Dup,
+    /// Pop `argc` arguments, call function `fn_idx`, push its return.
+    Call {
+        /// Index into the program's function table.
+        fn_idx: u16,
+        /// Argument count (must equal the callee's arity; checked at
+        /// compile time, revalidated at run time for corrupt programs).
+        argc: u8,
+    },
+    /// Pop `argc` arguments, invoke the builtin, push its result.
+    CallBuiltin {
+        /// Which builtin.
+        builtin: Builtin,
+        /// Argument count.
+        argc: u8,
+    },
+    /// Pop `n` values, push a list of them (in evaluation order).
+    MakeList(u16),
+    /// Pop index and target, push `target[index]` (nil when out of range).
+    Index,
+    /// Return the top of stack from the current function.
+    Return,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ops_are_small() {
+        // The interpreter copies Ops freely; keep them register-sized.
+        assert!(std::mem::size_of::<Op>() <= 8, "{}", std::mem::size_of::<Op>());
+    }
+
+    #[test]
+    fn ops_compare() {
+        assert_eq!(Op::Const(3), Op::Const(3));
+        assert_ne!(Op::Const(3), Op::Const(4));
+        assert_ne!(Op::Jump(0), Op::JumpIfFalse(0));
+    }
+}

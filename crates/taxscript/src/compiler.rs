@@ -1,0 +1,476 @@
+//! The AST → bytecode compiler.
+
+use std::collections::HashMap;
+
+use crate::ast::{BinaryOp, Block, Expr, FnDef, Stmt, UnaryOp};
+use crate::program::{Const, FnProto, Program};
+use crate::{Builtin, CompileError, Op};
+
+/// Compiles parsed function definitions into a [`Program`].
+///
+/// # Errors
+///
+/// [`CompileError`] on undefined names, arity mismatches, a missing
+/// `main`, or resource-limit overflows.
+pub fn compile(items: &[FnDef]) -> Result<Program, CompileError> {
+    // Pass 1: the function table, so calls can be forward references.
+    let mut fn_indices: HashMap<&str, u16> = HashMap::new();
+    for (i, f) in items.iter().enumerate() {
+        if fn_indices.insert(&f.name, i as u16).is_some() {
+            return Err(CompileError::DuplicateFunction { name: f.name.clone() });
+        }
+    }
+    let main_idx = *fn_indices.get("main").ok_or(CompileError::NoMain)?;
+    if !items[main_idx as usize].params.is_empty() {
+        return Err(CompileError::ArityMismatch {
+            name: "main".to_owned(),
+            expected: 0,
+            got: items[main_idx as usize].params.len(),
+        });
+    }
+
+    // Pass 2: compile bodies against a shared constant pool.
+    let mut pool = ConstPool::default();
+    let mut functions = Vec::with_capacity(items.len());
+    for f in items {
+        functions.push(FnCompiler::new(items, &fn_indices, &mut pool).compile_fn(f)?);
+    }
+
+    let program = Program { constants: pool.constants, functions, main_idx };
+    debug_assert!(program.validate().is_ok(), "compiler emitted invalid bytecode");
+    Ok(program)
+}
+
+#[derive(Default)]
+struct ConstPool {
+    constants: Vec<Const>,
+    int_index: HashMap<i64, u16>,
+    str_index: HashMap<String, u16>,
+}
+
+impl ConstPool {
+    fn intern_int(&mut self, v: i64) -> Result<u16, CompileError> {
+        if let Some(&i) = self.int_index.get(&v) {
+            return Ok(i);
+        }
+        let i = self.push(Const::Int(v))?;
+        self.int_index.insert(v, i);
+        Ok(i)
+    }
+
+    fn intern_str(&mut self, s: &str) -> Result<u16, CompileError> {
+        if let Some(&i) = self.str_index.get(s) {
+            return Ok(i);
+        }
+        let i = self.push(Const::Str(s.to_owned()))?;
+        self.str_index.insert(s.to_owned(), i);
+        Ok(i)
+    }
+
+    fn push(&mut self, c: Const) -> Result<u16, CompileError> {
+        let idx = self.constants.len();
+        if idx > u16::MAX as usize {
+            return Err(CompileError::TooManyConstants);
+        }
+        self.constants.push(c);
+        Ok(idx as u16)
+    }
+}
+
+struct FnCompiler<'a> {
+    items: &'a [FnDef],
+    fn_indices: &'a HashMap<&'a str, u16>,
+    pool: &'a mut ConstPool,
+    code: Vec<Op>,
+    /// Lexical scopes: innermost last. Each maps name → slot.
+    scopes: Vec<HashMap<String, u16>>,
+    next_slot: u16,
+    /// (break-patch-sites, continue-target) per enclosing loop.
+    loops: Vec<LoopCtx>,
+}
+
+struct LoopCtx {
+    start: u32,
+    break_sites: Vec<usize>,
+}
+
+impl<'a> FnCompiler<'a> {
+    fn new(
+        items: &'a [FnDef],
+        fn_indices: &'a HashMap<&'a str, u16>,
+        pool: &'a mut ConstPool,
+    ) -> Self {
+        FnCompiler {
+            items,
+            fn_indices,
+            pool,
+            code: Vec::new(),
+            scopes: vec![HashMap::new()],
+            next_slot: 0,
+            loops: Vec::new(),
+        }
+    }
+
+    fn compile_fn(mut self, f: &FnDef) -> Result<FnProto, CompileError> {
+        for param in &f.params {
+            self.declare(param)?;
+        }
+        self.block(&f.body)?;
+        // Implicit `return nil` falling off the end.
+        self.code.push(Op::Nil);
+        self.code.push(Op::Return);
+        Ok(FnProto {
+            name: f.name.clone(),
+            arity: f.params.len() as u8,
+            n_locals: self.next_slot,
+            code: self.code,
+        })
+    }
+
+    fn declare(&mut self, name: &str) -> Result<u16, CompileError> {
+        let slot = self.next_slot;
+        self.next_slot = self.next_slot.checked_add(1).ok_or(CompileError::TooManyLocals)?;
+        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_owned(), slot);
+        Ok(slot)
+    }
+
+    fn lookup(&self, name: &str) -> Option<u16> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn here(&self) -> u32 {
+        self.code.len() as u32
+    }
+
+    fn block(&mut self, block: &Block) -> Result<(), CompileError> {
+        self.scopes.push(HashMap::new());
+        for stmt in &block.stmts {
+            self.stmt(stmt)?;
+        }
+        self.scopes.pop();
+        Ok(())
+    }
+
+    fn stmt(&mut self, stmt: &Stmt) -> Result<(), CompileError> {
+        match stmt {
+            Stmt::Let { name, value } => {
+                self.expr(value)?;
+                let slot = self.declare(name)?;
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::Assign { name, value } => {
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::UndefinedVariable { name: name.clone() })?;
+                self.expr(value)?;
+                self.code.push(Op::Store(slot));
+            }
+            Stmt::If { cond, then_block, else_block } => {
+                self.expr(cond)?;
+                let to_else = self.emit_patch(Op::JumpIfFalse(0));
+                self.block(then_block)?;
+                match else_block {
+                    Some(else_block) => {
+                        let to_end = self.emit_patch(Op::Jump(0));
+                        self.patch(to_else);
+                        self.block(else_block)?;
+                        self.patch(to_end);
+                    }
+                    None => self.patch(to_else),
+                }
+            }
+            Stmt::While { cond, body } => {
+                let start = self.here();
+                self.expr(cond)?;
+                let to_end = self.emit_patch(Op::JumpIfFalse(0));
+                self.loops.push(LoopCtx { start, break_sites: Vec::new() });
+                self.block(body)?;
+                self.code.push(Op::Jump(start));
+                let ctx = self.loops.pop().expect("loop context pushed above");
+                self.patch(to_end);
+                for site in ctx.break_sites {
+                    self.patch(site);
+                }
+            }
+            Stmt::Return(value) => {
+                match value {
+                    Some(e) => self.expr(e)?,
+                    None => self.code.push(Op::Nil),
+                }
+                self.code.push(Op::Return);
+            }
+            Stmt::Break => {
+                if self.loops.is_empty() {
+                    return Err(CompileError::NotInLoop { keyword: "break" });
+                }
+                let site = self.emit_patch(Op::Jump(0));
+                self.loops.last_mut().expect("checked nonempty").break_sites.push(site);
+            }
+            Stmt::Continue => {
+                let start = self
+                    .loops
+                    .last()
+                    .ok_or(CompileError::NotInLoop { keyword: "continue" })?
+                    .start;
+                self.code.push(Op::Jump(start));
+            }
+            Stmt::Expr(e) => {
+                self.expr(e)?;
+                self.code.push(Op::Pop);
+            }
+        }
+        Ok(())
+    }
+
+    /// Emits a jump with a placeholder target, returning the patch site.
+    fn emit_patch(&mut self, op: Op) -> usize {
+        let site = self.code.len();
+        self.code.push(op);
+        site
+    }
+
+    /// Points the jump at `site` to the current position.
+    fn patch(&mut self, site: usize) {
+        let target = self.here();
+        match &mut self.code[site] {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => *t = target,
+            other => unreachable!("patched a non-jump {other:?}"),
+        }
+    }
+
+    fn expr(&mut self, expr: &Expr) -> Result<(), CompileError> {
+        match expr {
+            Expr::Int(v) => {
+                let idx = self.pool.intern_int(*v)?;
+                self.code.push(Op::Const(idx));
+            }
+            Expr::Str(s) => {
+                let idx = self.pool.intern_str(s)?;
+                self.code.push(Op::Const(idx));
+            }
+            Expr::Bool(true) => self.code.push(Op::True),
+            Expr::Bool(false) => self.code.push(Op::False),
+            Expr::Nil => self.code.push(Op::Nil),
+            Expr::Var(name) => {
+                let slot = self
+                    .lookup(name)
+                    .ok_or_else(|| CompileError::UndefinedVariable { name: name.clone() })?;
+                self.code.push(Op::Load(slot));
+            }
+            Expr::List(items) => {
+                for item in items {
+                    self.expr(item)?;
+                }
+                self.code.push(Op::MakeList(items.len() as u16));
+            }
+            Expr::Index { target, index } => {
+                self.expr(target)?;
+                self.expr(index)?;
+                self.code.push(Op::Index);
+            }
+            Expr::Unary { op, operand } => {
+                self.expr(operand)?;
+                self.code.push(match op {
+                    UnaryOp::Neg => Op::Neg,
+                    UnaryOp::Not => Op::Not,
+                });
+            }
+            Expr::Binary { op: BinaryOp::And, lhs, rhs } => {
+                // a && b  ⇒  bool, short-circuit.
+                self.expr(lhs)?;
+                let lhs_false = self.emit_patch(Op::JumpIfFalse(0));
+                self.expr(rhs)?;
+                let rhs_false = self.emit_patch(Op::JumpIfFalse(0));
+                self.code.push(Op::True);
+                let to_end = self.emit_patch(Op::Jump(0));
+                self.patch(lhs_false);
+                self.patch(rhs_false);
+                self.code.push(Op::False);
+                self.patch(to_end);
+            }
+            Expr::Binary { op: BinaryOp::Or, lhs, rhs } => {
+                self.expr(lhs)?;
+                let lhs_true = self.emit_patch(Op::JumpIfTrue(0));
+                self.expr(rhs)?;
+                let rhs_true = self.emit_patch(Op::JumpIfTrue(0));
+                self.code.push(Op::False);
+                let to_end = self.emit_patch(Op::Jump(0));
+                self.patch(lhs_true);
+                self.patch(rhs_true);
+                self.code.push(Op::True);
+                self.patch(to_end);
+            }
+            Expr::Binary { op, lhs, rhs } => {
+                self.expr(lhs)?;
+                self.expr(rhs)?;
+                self.code.push(match op {
+                    BinaryOp::Add => Op::Add,
+                    BinaryOp::Sub => Op::Sub,
+                    BinaryOp::Mul => Op::Mul,
+                    BinaryOp::Div => Op::Div,
+                    BinaryOp::Mod => Op::Mod,
+                    BinaryOp::Eq => Op::Eq,
+                    BinaryOp::Ne => Op::Ne,
+                    BinaryOp::Lt => Op::Lt,
+                    BinaryOp::Le => Op::Le,
+                    BinaryOp::Gt => Op::Gt,
+                    BinaryOp::Ge => Op::Ge,
+                    BinaryOp::And | BinaryOp::Or => unreachable!("handled above"),
+                });
+            }
+            Expr::Call { name, args, .. } => {
+                // User-defined functions shadow builtins.
+                if let Some(&fn_idx) = self.fn_indices.get(name.as_str()) {
+                    let expected = self.items[fn_idx as usize].params.len();
+                    if args.len() != expected {
+                        return Err(CompileError::ArityMismatch {
+                            name: name.clone(),
+                            expected,
+                            got: args.len(),
+                        });
+                    }
+                    for arg in args {
+                        self.expr(arg)?;
+                    }
+                    self.code.push(Op::Call { fn_idx, argc: args.len() as u8 });
+                } else if let Some(builtin) = Builtin::from_name(name) {
+                    if let Some(expected) = builtin.arity() {
+                        if args.len() != expected {
+                            return Err(CompileError::ArityMismatch {
+                                name: name.clone(),
+                                expected,
+                                got: args.len(),
+                            });
+                        }
+                    }
+                    for arg in args {
+                        self.expr(arg)?;
+                    }
+                    self.code.push(Op::CallBuiltin { builtin, argc: args.len() as u8 });
+                } else {
+                    return Err(CompileError::UndefinedFunction { name: name.clone() });
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    #[test]
+    fn missing_main_rejected() {
+        let err = compile_source("fn helper() { return 1; }").unwrap_err();
+        assert!(matches!(err, crate::ScriptError::Compile(CompileError::NoMain)));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let err = compile_source("fn main(x) { return x; }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_variable_rejected() {
+        let err = compile_source("fn main() { let x = y; }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::UndefinedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn variable_out_of_scope_rejected() {
+        let err = compile_source("fn main() { if (1) { let x = 1; } let y = x; }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::UndefinedVariable { .. })
+        ));
+    }
+
+    #[test]
+    fn undefined_function_rejected() {
+        let err = compile_source("fn main() { frobnicate(); }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::UndefinedFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn user_function_arity_checked() {
+        let err = compile_source("fn f(a, b) { return a; } fn main() { f(1); }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::ArityMismatch { expected: 2, got: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn builtin_arity_checked() {
+        let err = compile_source("fn main() { bc_len(); }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::ArityMismatch { expected: 1, got: 0, .. })
+        ));
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        let err = compile_source("fn main() { break; }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::NotInLoop { keyword: "break" })
+        ));
+    }
+
+    #[test]
+    fn duplicate_functions_rejected() {
+        let err = compile_source("fn main() { } fn main() { }").unwrap_err();
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::DuplicateFunction { .. })
+        ));
+    }
+
+    #[test]
+    fn constants_are_interned() {
+        let p = compile_source(r#"fn main() { let a = "x"; let b = "x"; let c = 5; let d = 5; }"#)
+            .unwrap();
+        assert_eq!(p.constants().len(), 2);
+    }
+
+    #[test]
+    fn user_function_shadows_builtin() {
+        // Defining `display` locally must compile to a Call, not CallBuiltin.
+        let p = compile_source("fn display(x) { return x; } fn main() { display(1); }").unwrap();
+        let main = &p.functions()[p.main_index()];
+        assert!(main.code.iter().any(|op| matches!(op, Op::Call { .. })));
+        assert!(!main.code.iter().any(|op| matches!(op, Op::CallBuiltin { .. })));
+    }
+
+    #[test]
+    fn compiled_programs_validate() {
+        let p = compile_source(
+            r#"
+            fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
+            fn main() {
+                let i = 0;
+                while (i < 5) {
+                    if (i == 3) { break; }
+                    if (i % 2 == 0 && i > 0 || false) { display(fib(i)); }
+                    i = i + 1;
+                }
+            }
+            "#,
+        )
+        .unwrap();
+        assert!(p.validate().is_ok());
+    }
+}

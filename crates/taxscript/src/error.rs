@@ -1,0 +1,215 @@
+use std::fmt;
+
+/// A lexical error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LexError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for LexError {}
+
+/// A syntax error with source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A semantic error found while compiling the AST to bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A variable was used before any `let` bound it.
+    UndefinedVariable {
+        /// The variable name.
+        name: String,
+    },
+    /// A call targeted a name that is neither a builtin nor a defined
+    /// function.
+    UndefinedFunction {
+        /// The function name.
+        name: String,
+    },
+    /// A call had the wrong number of arguments.
+    ArityMismatch {
+        /// The function name.
+        name: String,
+        /// Parameters the function declares.
+        expected: usize,
+        /// Arguments the call supplied.
+        got: usize,
+    },
+    /// `break` or `continue` appeared outside a loop.
+    NotInLoop {
+        /// `"break"` or `"continue"`.
+        keyword: &'static str,
+    },
+    /// No `main` function was defined.
+    NoMain,
+    /// Two functions share a name.
+    DuplicateFunction {
+        /// The duplicated name.
+        name: String,
+    },
+    /// More locals than the bytecode's 16-bit slot space.
+    TooManyLocals,
+    /// More constants than the constant pool can index.
+    TooManyConstants,
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::UndefinedVariable { name } => write!(f, "undefined variable `{name}`"),
+            CompileError::UndefinedFunction { name } => write!(f, "undefined function `{name}`"),
+            CompileError::ArityMismatch { name, expected, got } => {
+                write!(f, "`{name}` takes {expected} arguments, {got} given")
+            }
+            CompileError::NotInLoop { keyword } => write!(f, "`{keyword}` outside of a loop"),
+            CompileError::NoMain => write!(f, "no `main` function defined"),
+            CompileError::DuplicateFunction { name } => {
+                write!(f, "function `{name}` defined twice")
+            }
+            CompileError::TooManyLocals => write!(f, "function uses too many local variables"),
+            CompileError::TooManyConstants => write!(f, "program uses too many constants"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// A runtime fault inside the VM. Faults terminate the agent — the VM's
+/// sandbox guarantee is that they can never escape as panics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RuntimeError {
+    /// An operator was applied to operands of the wrong type.
+    TypeError {
+        /// The operation attempted.
+        op: &'static str,
+        /// Rendered operand types.
+        got: String,
+    },
+    /// Integer division or modulo by zero.
+    DivisionByZero,
+    /// The instruction budget was exhausted — the sandbox's CPU limit.
+    OutOfFuel,
+    /// The call stack exceeded its depth limit.
+    StackOverflow,
+    /// A builtin received the wrong number of arguments.
+    BuiltinArity {
+        /// The builtin's name.
+        name: &'static str,
+        /// Expected argument count.
+        expected: usize,
+        /// Supplied argument count.
+        got: usize,
+    },
+    /// A builtin received an argument of the wrong type.
+    BuiltinType {
+        /// The builtin's name.
+        name: &'static str,
+        /// What was expected.
+        expected: &'static str,
+    },
+    /// Malformed bytecode (bad jump target, constant index, …) — only
+    /// possible for hand-crafted or corrupted programs, but contained as
+    /// an error rather than a panic.
+    CorruptProgram {
+        /// Description of the corruption.
+        detail: &'static str,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::TypeError { op, got } => write!(f, "type error: cannot {op} {got}"),
+            RuntimeError::DivisionByZero => write!(f, "division by zero"),
+            RuntimeError::OutOfFuel => write!(f, "agent exceeded its instruction budget"),
+            RuntimeError::StackOverflow => write!(f, "call stack overflow"),
+            RuntimeError::BuiltinArity { name, expected, got } => {
+                write!(f, "builtin `{name}` takes {expected} arguments, {got} given")
+            }
+            RuntimeError::BuiltinType { name, expected } => {
+                write!(f, "builtin `{name}` expected {expected}")
+            }
+            RuntimeError::CorruptProgram { detail } => write!(f, "corrupt program: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// Any error from source text to a compiled program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ScriptError {
+    /// Lexical error.
+    Lex(LexError),
+    /// Syntax error.
+    Parse(ParseError),
+    /// Semantic error.
+    Compile(CompileError),
+}
+
+impl fmt::Display for ScriptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScriptError::Lex(e) => e.fmt(f),
+            ScriptError::Parse(e) => e.fmt(f),
+            ScriptError::Compile(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ScriptError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ScriptError::Lex(e) => Some(e),
+            ScriptError::Parse(e) => Some(e),
+            ScriptError::Compile(e) => Some(e),
+        }
+    }
+}
+
+impl From<LexError> for ScriptError {
+    fn from(e: LexError) -> Self {
+        ScriptError::Lex(e)
+    }
+}
+
+impl From<ParseError> for ScriptError {
+    fn from(e: ParseError) -> Self {
+        ScriptError::Parse(e)
+    }
+}
+
+impl From<CompileError> for ScriptError {
+    fn from(e: CompileError) -> Self {
+        ScriptError::Compile(e)
+    }
+}

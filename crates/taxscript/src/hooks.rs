@@ -1,0 +1,102 @@
+//! The host interface: how a running agent reaches the TAX library
+//! primitives (§3.1) from inside the VM sandbox.
+
+use tacoma_briefcase::Briefcase;
+
+/// The host's answer to a `go(uri)` request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GoDecision {
+    /// The move will happen: the VM stops with
+    /// [`Outcome::Moved`](crate::Outcome) and the host ships the
+    /// briefcase. Per TACOMA semantics the current instance terminates.
+    Moved,
+    /// The destination is unreachable; `go` returns nonzero to the script
+    /// (the Figure-4 `if (go(next, bc))` failure branch).
+    Unreachable,
+}
+
+/// Host callbacks for mobility, communication, and environment queries.
+///
+/// The VM calls these when the script invokes the corresponding builtin.
+/// The kernel's implementation routes through the firewall; tests can use
+/// [`NullHooks`].
+pub trait HostHooks {
+    /// `display(...)` — a line of agent output.
+    fn display(&mut self, text: &str);
+
+    /// `go(uri)` — request relocation. The current briefcase is provided
+    /// so the host can validate the destination against it.
+    fn go(&mut self, uri: &str, briefcase: &Briefcase) -> GoDecision;
+
+    /// `spawn(uri)` — request a clone at `uri` with a fresh instance
+    /// number. Returns the new instance (hex) or `None` on failure.
+    fn spawn(&mut self, uri: &str, briefcase: &Briefcase) -> Option<String>;
+
+    /// `activate(uri)` — asynchronously send a copy of the briefcase.
+    /// Returns whether the send was accepted.
+    fn activate(&mut self, uri: &str, briefcase: &Briefcase) -> bool;
+
+    /// `meet(uri)` — RPC: send the briefcase, wait for the reply.
+    /// Returns the reply briefcase, or `None` on failure/timeout.
+    fn meet(&mut self, uri: &str, briefcase: &Briefcase) -> Option<Briefcase>;
+
+    /// `await_bc(timeout_ms)` — block for an incoming briefcase.
+    fn await_bc(&mut self, timeout_ms: i64) -> Option<Briefcase>;
+
+    /// `now_ms()` — the host's (virtual) clock in milliseconds.
+    fn now_ms(&mut self) -> i64;
+
+    /// `host_name()` — where the agent is currently executing.
+    fn host_name(&mut self) -> String;
+
+    /// Charges `nanos` of simulated CPU work to the host's clock. Used by
+    /// native programs (and cost-calibrated services) so computation has a
+    /// virtual-time cost alongside communication. The default is a no-op,
+    /// which is right for hosts without a virtual clock.
+    fn work_ns(&mut self, nanos: u64) {
+        let _ = nanos;
+    }
+}
+
+/// A null host: collects `display` output, fails every `go`/`spawn`/
+/// communication, reports time zero. Useful for unit tests and for
+/// running pure computations.
+#[derive(Debug, Default)]
+pub struct NullHooks {
+    /// Everything the agent displayed, in order.
+    pub displayed: Vec<String>,
+}
+
+impl HostHooks for NullHooks {
+    fn display(&mut self, text: &str) {
+        self.displayed.push(text.to_owned());
+    }
+
+    fn go(&mut self, _uri: &str, _briefcase: &Briefcase) -> GoDecision {
+        GoDecision::Unreachable
+    }
+
+    fn spawn(&mut self, _uri: &str, _briefcase: &Briefcase) -> Option<String> {
+        None
+    }
+
+    fn activate(&mut self, _uri: &str, _briefcase: &Briefcase) -> bool {
+        false
+    }
+
+    fn meet(&mut self, _uri: &str, _briefcase: &Briefcase) -> Option<Briefcase> {
+        None
+    }
+
+    fn await_bc(&mut self, _timeout_ms: i64) -> Option<Briefcase> {
+        None
+    }
+
+    fn now_ms(&mut self) -> i64 {
+        0
+    }
+
+    fn host_name(&mut self) -> String {
+        "localhost".to_owned()
+    }
+}

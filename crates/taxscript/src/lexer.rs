@@ -1,0 +1,430 @@
+//! The TaxScript lexer.
+
+use crate::LexError;
+
+/// A lexical token with its source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// The token's kind and payload.
+    pub kind: TokenKind,
+    /// 1-based source line.
+    pub line: u32,
+    /// 1-based source column.
+    pub col: u32,
+}
+
+/// The kinds of TaxScript tokens.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// String literal (escapes already processed).
+    Str(String),
+    /// Identifier.
+    Ident(String),
+    /// `fn`
+    Fn,
+    /// `let`
+    Let,
+    /// `if`
+    If,
+    /// `else`
+    Else,
+    /// `while`
+    While,
+    /// `return`
+    Return,
+    /// `break`
+    Break,
+    /// `continue`
+    Continue,
+    /// `true`
+    True,
+    /// `false`
+    False,
+    /// `nil`
+    Nil,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `,`
+    Comma,
+    /// `;`
+    Semi,
+    /// `=`
+    Assign,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `%`
+    Percent,
+    /// `==`
+    EqEq,
+    /// `!=`
+    NotEq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `&&`
+    AndAnd,
+    /// `||`
+    OrOr,
+    /// `!`
+    Bang,
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Short human name for diagnostics.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(v) => format!("integer {v}"),
+            TokenKind::Str(_) => "string literal".to_owned(),
+            TokenKind::Ident(name) => format!("identifier `{name}`"),
+            TokenKind::Eof => "end of input".to_owned(),
+            other => format!("`{}`", token_text(other)),
+        }
+    }
+}
+
+fn token_text(kind: &TokenKind) -> &'static str {
+    match kind {
+        TokenKind::Fn => "fn",
+        TokenKind::Let => "let",
+        TokenKind::If => "if",
+        TokenKind::Else => "else",
+        TokenKind::While => "while",
+        TokenKind::Return => "return",
+        TokenKind::Break => "break",
+        TokenKind::Continue => "continue",
+        TokenKind::True => "true",
+        TokenKind::False => "false",
+        TokenKind::Nil => "nil",
+        TokenKind::LParen => "(",
+        TokenKind::RParen => ")",
+        TokenKind::LBrace => "{",
+        TokenKind::RBrace => "}",
+        TokenKind::LBracket => "[",
+        TokenKind::RBracket => "]",
+        TokenKind::Comma => ",",
+        TokenKind::Semi => ";",
+        TokenKind::Assign => "=",
+        TokenKind::Plus => "+",
+        TokenKind::Minus => "-",
+        TokenKind::Star => "*",
+        TokenKind::Slash => "/",
+        TokenKind::Percent => "%",
+        TokenKind::EqEq => "==",
+        TokenKind::NotEq => "!=",
+        TokenKind::Lt => "<",
+        TokenKind::Le => "<=",
+        TokenKind::Gt => ">",
+        TokenKind::Ge => ">=",
+        TokenKind::AndAnd => "&&",
+        TokenKind::OrOr => "||",
+        TokenKind::Bang => "!",
+        _ => "?",
+    }
+}
+
+/// Tokenizes TaxScript source. `//` starts a line comment.
+///
+/// # Errors
+///
+/// [`LexError`] on unterminated strings, bad escapes, overflowing integer
+/// literals, or stray characters.
+pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
+    Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn run(mut self) -> Result<Vec<Token>, LexError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let (line, col) = (self.line, self.col);
+            let Some(b) = self.peek() else {
+                tokens.push(Token { kind: TokenKind::Eof, line, col });
+                return Ok(tokens);
+            };
+            let kind = match b {
+                b'0'..=b'9' => self.number()?,
+                b'"' => self.string()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                _ => self.symbol()?,
+            };
+            tokens.push(Token { kind, line, col });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(b)
+    }
+
+    fn err(&self, message: impl Into<String>) -> LexError {
+        LexError { line: self.line, col: self.col, message: message.into() }
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(b) if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(b) = self.peek() {
+                        if b == b'\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<TokenKind, LexError> {
+        let mut value: i64 = 0;
+        while let Some(b @ b'0'..=b'9') = self.peek() {
+            self.bump();
+            value = value
+                .checked_mul(10)
+                .and_then(|v| v.checked_add((b - b'0') as i64))
+                .ok_or_else(|| self.err("integer literal overflows i64"))?;
+        }
+        Ok(TokenKind::Int(value))
+    }
+
+    fn string(&mut self) -> Result<TokenKind, LexError> {
+        self.bump(); // opening quote
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => return Err(self.err("unterminated string literal")),
+                Some(b'"') => return Ok(TokenKind::Str(out)),
+                Some(b'\\') => match self.bump() {
+                    Some(b'n') => out.push('\n'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'"') => out.push('"'),
+                    Some(other) => {
+                        return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                    }
+                    None => return Err(self.err("unterminated string literal")),
+                },
+                Some(b'\n') => return Err(self.err("newline in string literal")),
+                Some(b) => out.push(b as char),
+            }
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if b.is_ascii_alphanumeric() || b == b'_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
+        match text {
+            "fn" => TokenKind::Fn,
+            "let" => TokenKind::Let,
+            "if" => TokenKind::If,
+            "else" => TokenKind::Else,
+            "while" => TokenKind::While,
+            "return" => TokenKind::Return,
+            "break" => TokenKind::Break,
+            "continue" => TokenKind::Continue,
+            "true" => TokenKind::True,
+            "false" => TokenKind::False,
+            "nil" => TokenKind::Nil,
+            other => TokenKind::Ident(other.to_owned()),
+        }
+    }
+
+    fn symbol(&mut self) -> Result<TokenKind, LexError> {
+        let b = self.bump().expect("peeked");
+        let two = |lexer: &mut Self, second: u8, yes: TokenKind, no: TokenKind| {
+            if lexer.peek() == Some(second) {
+                lexer.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match b {
+            b'(' => TokenKind::LParen,
+            b')' => TokenKind::RParen,
+            b'{' => TokenKind::LBrace,
+            b'}' => TokenKind::RBrace,
+            b'[' => TokenKind::LBracket,
+            b']' => TokenKind::RBracket,
+            b',' => TokenKind::Comma,
+            b';' => TokenKind::Semi,
+            b'+' => TokenKind::Plus,
+            b'-' => TokenKind::Minus,
+            b'*' => TokenKind::Star,
+            b'/' => TokenKind::Slash,
+            b'%' => TokenKind::Percent,
+            b'=' => two(self, b'=', TokenKind::EqEq, TokenKind::Assign),
+            b'!' => two(self, b'=', TokenKind::NotEq, TokenKind::Bang),
+            b'<' => two(self, b'=', TokenKind::Le, TokenKind::Lt),
+            b'>' => two(self, b'=', TokenKind::Ge, TokenKind::Gt),
+            b'&' => {
+                if self.peek() == Some(b'&') {
+                    self.bump();
+                    TokenKind::AndAnd
+                } else {
+                    return Err(self.err("expected `&&`"));
+                }
+            }
+            b'|' => {
+                if self.peek() == Some(b'|') {
+                    self.bump();
+                    TokenKind::OrOr
+                } else {
+                    return Err(self.err("expected `||`"));
+                }
+            }
+            other => {
+                return Err(self.err(format!("unexpected character `{}`", other as char)));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        assert_eq!(
+            kinds("fn main while whilex"),
+            vec![
+                TokenKind::Fn,
+                TokenKind::Ident("main".into()),
+                TokenKind::While,
+                TokenKind::Ident("whilex".into()),
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers_and_strings() {
+        assert_eq!(
+            kinds(r#"42 "a\nb""#),
+            vec![TokenKind::Int(42), TokenKind::Str("a\nb".into()), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= && || = < >"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::AndAnd,
+                TokenKind::OrOr,
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("1 // comment with * tokens\n2"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!((tokens[0].line, tokens[0].col), (1, 1));
+        assert_eq!((tokens[1].line, tokens[1].col), (2, 3));
+    }
+
+    #[test]
+    fn unterminated_string_errors() {
+        assert!(lex("\"abc").is_err());
+        assert!(lex("\"ab\ncd\"").is_err());
+    }
+
+    #[test]
+    fn integer_overflow_detected() {
+        assert!(lex("99999999999999999999").is_err());
+        assert!(lex("9223372036854775807").is_ok());
+    }
+
+    #[test]
+    fn stray_characters_rejected() {
+        assert!(lex("@").is_err());
+        assert!(lex("a & b").is_err());
+        assert!(lex("a | b").is_err());
+    }
+
+    #[test]
+    fn escapes() {
+        assert_eq!(kinds(r#""q\"t\\\n""#), vec![TokenKind::Str("q\"t\\\n".into()), TokenKind::Eof]);
+        assert!(lex(r#""\x""#).is_err());
+    }
+}

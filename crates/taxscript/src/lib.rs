@@ -1,0 +1,89 @@
+//! **TaxScript** — the mobile-agent language of this TAX reproduction.
+//!
+//! The original TACOMA/TAX agents were ordinary C programs (Figure 4)
+//! compiled by `ag_cc`/`ag_exec` at the destination host and executed by
+//! `vm_bin`. Rust cannot safely load foreign machine code, so TaxScript
+//! stands in for C: a small C-flavoured language whose *source* or
+//! compiled *bytecode* travels inside the agent's briefcase, is compiled
+//! at the destination (reproducing the Figure 3 pipeline), and runs on a
+//! sandboxed stack VM with a fuel limit.
+//!
+//! The pipeline mirrors a real toolchain:
+//!
+//! * [`lex`] — source text → tokens
+//! * [`parse`] — tokens → AST
+//! * [`compile`] — AST → [`Program`] (bytecode + constant pool)
+//! * [`Program::encode`] / [`Program::decode`] — the "binary" that rides
+//!   in a briefcase `CODE` folder
+//! * [`Vm::run`] — executes a program against the agent's briefcase and a
+//!   [`HostHooks`] implementation supplying mobility and communication
+//!
+//! Faithful to TACOMA, there is **no execution-state capture**: a
+//! successful `go(uri)` ends the current run with
+//! [`Outcome::Moved`]; the destination VM re-enters `main` from the top
+//! with the (updated) briefcase.
+//!
+//! # Example: the Figure 4 agent
+//!
+//! ```
+//! use tacoma_briefcase::Briefcase;
+//! use tacoma_taxscript::{compile_source, NullHooks, Outcome, Vm};
+//!
+//! let source = r#"
+//!     fn main() {
+//!         while (1) {
+//!             display("Hello world");
+//!             let e = bc_remove("HOSTS", 0);
+//!             if (e == nil) { exit(0); }
+//!             if (go(e)) { display("Unable to reach " + e); }
+//!         }
+//!     }
+//! "#;
+//! let program = compile_source(source).unwrap();
+//!
+//! let mut bc = Briefcase::new();
+//! bc.append("HOSTS", "tacoma://h1/vm_script");
+//!
+//! // NullHooks: every go() fails, so the agent drains HOSTS and exits.
+//! let mut vm = Vm::new(&program, NullHooks::default());
+//! let outcome = vm.run(&mut bc).unwrap();
+//! assert_eq!(outcome, Outcome::Exit(0));
+//! assert_eq!(vm.hooks().displayed.len(), 3); // hello, unable-to-reach, hello
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+mod builtins;
+mod bytecode;
+mod compiler;
+mod error;
+mod hooks;
+mod lexer;
+mod parser;
+mod program;
+mod value;
+mod vm;
+
+pub use builtins::Builtin;
+pub use bytecode::Op;
+pub use compiler::compile;
+pub use error::{CompileError, LexError, ParseError, RuntimeError, ScriptError};
+pub use hooks::{GoDecision, HostHooks, NullHooks};
+pub use lexer::lex;
+pub use parser::parse;
+pub use program::{Program, PROGRAM_MAGIC};
+pub use value::Value;
+pub use vm::{Outcome, Vm, DEFAULT_FUEL};
+
+/// Compiles TaxScript source straight to a runnable [`Program`].
+///
+/// # Errors
+///
+/// Any [`ScriptError`] from lexing, parsing, or compilation.
+pub fn compile_source(source: &str) -> Result<Program, ScriptError> {
+    let tokens = lex(source)?;
+    let items = parse(&tokens)?;
+    Ok(compile(&items)?)
+}

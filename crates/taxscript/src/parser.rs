@@ -1,0 +1,450 @@
+//! Recursive-descent parser for TaxScript.
+
+use crate::ast::{BinaryOp, Block, Expr, FnDef, Stmt, UnaryOp};
+use crate::lexer::{Token, TokenKind};
+use crate::ParseError;
+
+/// Parses a token stream (ending in `Eof`) into a list of function
+/// definitions.
+///
+/// # Errors
+///
+/// [`ParseError`] on the first syntax error, with source position.
+pub fn parse(tokens: &[Token]) -> Result<Vec<FnDef>, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let mut items = Vec::new();
+    while !p.check(&TokenKind::Eof) {
+        items.push(p.fn_def()?);
+    }
+    Ok(items)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> &Token {
+        // The token stream always ends with Eof, so clamp.
+        self.tokens.get(self.pos).unwrap_or_else(|| self.tokens.last().expect("nonempty"))
+    }
+
+    fn check(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.check(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind, what: &str) -> Result<Token, ParseError> {
+        if self.check(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error(format!("expected {what}, found {}", self.peek().kind.describe())))
+        }
+    }
+
+    fn error(&self, message: String) -> ParseError {
+        let t = self.peek();
+        ParseError { line: t.line, col: t.col, message }
+    }
+
+    fn ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(name) => {
+                let name = name.clone();
+                self.bump();
+                Ok(name)
+            }
+            other => Err(self.error(format!("expected {what}, found {}", other.describe()))),
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, ParseError> {
+        let fn_token = self.expect(&TokenKind::Fn, "`fn`")?;
+        let name = self.ident("function name")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let mut params = Vec::new();
+        if !self.check(&TokenKind::RParen) {
+            loop {
+                params.push(self.ident("parameter name")?);
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let body = self.block()?;
+        Ok(FnDef { name, params, body, line: fn_token.line })
+    }
+
+    fn block(&mut self) -> Result<Block, ParseError> {
+        self.expect(&TokenKind::LBrace, "`{`")?;
+        let mut stmts = Vec::new();
+        while !self.check(&TokenKind::RBrace) {
+            if self.check(&TokenKind::Eof) {
+                return Err(self.error("unterminated block: expected `}`".to_owned()));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.bump(); // `}`
+        Ok(Block { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, ParseError> {
+        match &self.peek().kind {
+            TokenKind::Let => {
+                self.bump();
+                let name = self.ident("variable name")?;
+                self.expect(&TokenKind::Assign, "`=`")?;
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Let { name, value })
+            }
+            TokenKind::If => self.if_stmt(),
+            TokenKind::While => {
+                self.bump();
+                self.expect(&TokenKind::LParen, "`(`")?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::Return => {
+                self.bump();
+                let value = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Return(value))
+            }
+            TokenKind::Break => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Break)
+            }
+            TokenKind::Continue => {
+                self.bump();
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Continue)
+            }
+            // `ident = expr;` is an assignment; anything else is an
+            // expression statement.
+            TokenKind::Ident(_)
+                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Assign)) =>
+            {
+                let name = self.ident("variable name")?;
+                self.bump(); // `=`
+                let value = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Assign { name, value })
+            }
+            _ => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::Semi, "`;`")?;
+                Ok(Stmt::Expr(e))
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, ParseError> {
+        self.expect(&TokenKind::If, "`if`")?;
+        self.expect(&TokenKind::LParen, "`(`")?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen, "`)`")?;
+        let then_block = self.block()?;
+        let else_block = if self.eat(&TokenKind::Else) {
+            if self.check(&TokenKind::If) {
+                // `else if`: wrap the nested if in a synthetic block.
+                Some(Block { stmts: vec![self.if_stmt()?] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If { cond, then_block, else_block })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseError> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.and_expr()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.and_expr()?;
+            lhs = Expr::Binary { op: BinaryOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary { op: BinaryOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.comparison()?;
+        loop {
+            let op = if self.eat(&TokenKind::EqEq) {
+                BinaryOp::Eq
+            } else if self.eat(&TokenKind::NotEq) {
+                BinaryOp::Ne
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.comparison()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn comparison(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.term()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinaryOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinaryOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinaryOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinaryOp::Ge
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.term()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.factor()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinaryOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinaryOp::Sub
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.factor()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinaryOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinaryOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinaryOp::Mod
+            } else {
+                return Ok(lhs);
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+        }
+    }
+
+    fn unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(self.unary()?) })
+        } else if self.eat(&TokenKind::Bang) {
+            Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(self.unary()?) })
+        } else {
+            self.postfix()
+        }
+    }
+
+    fn postfix(&mut self) -> Result<Expr, ParseError> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::LBracket) {
+                let index = self.expr()?;
+                self.expect(&TokenKind::RBracket, "`]`")?;
+                expr = Expr::Index { target: Box::new(expr), index: Box::new(index) };
+            } else {
+                return Ok(expr);
+            }
+        }
+    }
+
+    fn primary(&mut self) -> Result<Expr, ParseError> {
+        let token = self.peek().clone();
+        match token.kind {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr::Int(v))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Str(s))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Nil => {
+                self.bump();
+                Ok(Expr::Nil)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let inner = self.expr()?;
+                self.expect(&TokenKind::RParen, "`)`")?;
+                Ok(inner)
+            }
+            TokenKind::LBracket => {
+                self.bump();
+                let mut items = Vec::new();
+                if !self.check(&TokenKind::RBracket) {
+                    loop {
+                        items.push(self.expr()?);
+                        if !self.eat(&TokenKind::Comma) {
+                            break;
+                        }
+                    }
+                }
+                self.expect(&TokenKind::RBracket, "`]`")?;
+                Ok(Expr::List(items))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if !self.check(&TokenKind::RParen) {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen, "`)`")?;
+                    Ok(Expr::Call { name, args, line: token.line })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(self.error(format!("expected expression, found {}", other.describe()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Result<Vec<FnDef>, ParseError> {
+        parse(&lex(src).unwrap())
+    }
+
+    #[test]
+    fn figure4_agent_parses() {
+        let src = r#"
+            fn main() {
+                while (1) {
+                    display("Hello world");
+                    let e = bc_remove("HOSTS", 0);
+                    if (e == nil) { exit(0); }
+                    if (go(e)) { display("Unable to reach " + e); }
+                }
+            }
+        "#;
+        let items = parse_src(src).unwrap();
+        assert_eq!(items.len(), 1);
+        assert_eq!(items[0].name, "main");
+        assert!(items[0].params.is_empty());
+    }
+
+    #[test]
+    fn precedence_binds_mul_over_add_over_cmp_over_and() {
+        let items = parse_src("fn main() { let x = 1 + 2 * 3 < 7 && true; }").unwrap();
+        let Stmt::Let { value, .. } = &items[0].body.stmts[0] else { panic!() };
+        // Outermost must be `&&`.
+        let Expr::Binary { op: BinaryOp::And, lhs, .. } = value else {
+            panic!("expected And at top, got {value:?}")
+        };
+        let Expr::Binary { op: BinaryOp::Lt, lhs: add, .. } = lhs.as_ref() else {
+            panic!("expected Lt under And")
+        };
+        assert!(matches!(add.as_ref(), Expr::Binary { op: BinaryOp::Add, .. }));
+    }
+
+    #[test]
+    fn else_if_chains() {
+        let items =
+            parse_src("fn main() { if (1) { a(); } else if (2) { b(); } else { c(); } }").unwrap();
+        let Stmt::If { else_block: Some(block), .. } = &items[0].body.stmts[0] else { panic!() };
+        assert!(matches!(block.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn assignment_vs_equality() {
+        let items = parse_src("fn main() { let x = 0; x = x + 1; x == 2; }").unwrap();
+        assert!(matches!(items[0].body.stmts[1], Stmt::Assign { .. }));
+        assert!(matches!(items[0].body.stmts[2], Stmt::Expr(Expr::Binary { op: BinaryOp::Eq, .. })));
+    }
+
+    #[test]
+    fn list_literals_and_indexing() {
+        let items = parse_src("fn main() { let l = [1, 2, 3]; let x = l[0]; }").unwrap();
+        assert!(matches!(&items[0].body.stmts[0], Stmt::Let { value: Expr::List(v), .. } if v.len() == 3));
+        assert!(matches!(&items[0].body.stmts[1], Stmt::Let { value: Expr::Index { .. }, .. }));
+    }
+
+    #[test]
+    fn missing_semicolon_reports_position() {
+        let err = parse_src("fn main() { let x = 1 }").unwrap_err();
+        assert!(err.message.contains("`;`"), "{}", err.message);
+        assert_eq!(err.line, 1);
+    }
+
+    #[test]
+    fn unterminated_block_detected() {
+        assert!(parse_src("fn main() { let x = 1;").is_err());
+    }
+
+    #[test]
+    fn params_parse() {
+        let items = parse_src("fn add(a, b) { return a + b; }").unwrap();
+        assert_eq!(items[0].params, vec!["a", "b"]);
+    }
+
+    #[test]
+    fn unary_chains() {
+        let items = parse_src("fn main() { let x = --1; let y = !!true; }").unwrap();
+        assert_eq!(items[0].body.stmts.len(), 2);
+    }
+
+    #[test]
+    fn garbage_after_function_rejected() {
+        assert!(parse_src("fn main() { } 42").is_err());
+    }
+}

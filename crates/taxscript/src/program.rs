@@ -1,0 +1,441 @@
+//! Compiled programs and their wire format — the "binary" a mobile agent
+//! carries in its briefcase `CODE` folder.
+
+use std::fmt;
+
+use crate::{Builtin, Op, RuntimeError};
+
+/// Magic bytes opening an encoded program.
+pub const PROGRAM_MAGIC: [u8; 4] = *b"TAXP";
+
+const FORMAT_VERSION: u8 = 1;
+
+/// A constant-pool entry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Const {
+    /// Integer constant.
+    Int(i64),
+    /// String constant.
+    Str(String),
+}
+
+/// A compiled function.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FnProto {
+    /// Source-level name.
+    pub name: String,
+    /// Number of parameters.
+    pub arity: u8,
+    /// Total local slots (parameters first).
+    pub n_locals: u16,
+    /// The function body.
+    pub code: Vec<Op>,
+}
+
+/// A compiled TaxScript program: constant pool, function table, and the
+/// index of `main`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    pub(crate) constants: Vec<Const>,
+    pub(crate) functions: Vec<FnProto>,
+    pub(crate) main_idx: u16,
+}
+
+impl Program {
+    /// The function table.
+    pub fn functions(&self) -> &[FnProto] {
+        &self.functions
+    }
+
+    /// The constant pool.
+    pub fn constants(&self) -> &[Const] {
+        &self.constants
+    }
+
+    /// Index of `main` in the function table.
+    pub fn main_index(&self) -> usize {
+        self.main_idx as usize
+    }
+
+    /// Total instruction count across all functions (a size metric used by
+    /// benchmarks).
+    pub fn instruction_count(&self) -> usize {
+        self.functions.iter().map(|f| f.code.len()).sum()
+    }
+
+    /// Encodes the program to its briefcase wire format.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&PROGRAM_MAGIC);
+        out.push(FORMAT_VERSION);
+        out.extend_from_slice(&(self.constants.len() as u32).to_le_bytes());
+        for c in &self.constants {
+            match c {
+                Const::Int(v) => {
+                    out.push(0);
+                    out.extend_from_slice(&v.to_le_bytes());
+                }
+                Const::Str(s) => {
+                    out.push(1);
+                    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+                    out.extend_from_slice(s.as_bytes());
+                }
+            }
+        }
+        out.extend_from_slice(&(self.functions.len() as u16).to_le_bytes());
+        out.extend_from_slice(&self.main_idx.to_le_bytes());
+        for f in &self.functions {
+            out.extend_from_slice(&(f.name.len() as u16).to_le_bytes());
+            out.extend_from_slice(f.name.as_bytes());
+            out.push(f.arity);
+            out.extend_from_slice(&f.n_locals.to_le_bytes());
+            out.extend_from_slice(&(f.code.len() as u32).to_le_bytes());
+            for op in &f.code {
+                encode_op(*op, &mut out);
+            }
+        }
+        out
+    }
+
+    /// Decodes and validates a program from wire bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::CorruptProgram`] on any malformation: bad magic,
+    /// truncation, out-of-range constant/jump/function references. A
+    /// decoded program is safe to run.
+    pub fn decode(wire: &[u8]) -> Result<Program, RuntimeError> {
+        let mut r = Reader { buf: wire, pos: 0 };
+        if r.take(4)? != PROGRAM_MAGIC {
+            return Err(corrupt("bad magic"));
+        }
+        if r.u8()? != FORMAT_VERSION {
+            return Err(corrupt("unsupported version"));
+        }
+        let n_consts = r.u32()? as usize;
+        if n_consts > 1 << 20 {
+            return Err(corrupt("constant pool too large"));
+        }
+        let mut constants = Vec::with_capacity(n_consts.min(1024));
+        for _ in 0..n_consts {
+            match r.u8()? {
+                0 => constants.push(Const::Int(i64::from_le_bytes(
+                    r.take(8)?.try_into().expect("len 8"),
+                ))),
+                1 => {
+                    let len = r.u32()? as usize;
+                    let bytes = r.take(len)?;
+                    let s = std::str::from_utf8(bytes).map_err(|_| corrupt("non-utf8 string constant"))?;
+                    constants.push(Const::Str(s.to_owned()));
+                }
+                _ => return Err(corrupt("unknown constant tag")),
+            }
+        }
+        let n_fns = r.u16()? as usize;
+        let main_idx = r.u16()?;
+        if (main_idx as usize) >= n_fns {
+            return Err(corrupt("main index out of range"));
+        }
+        let mut functions = Vec::with_capacity(n_fns.min(1024));
+        for _ in 0..n_fns {
+            let name_len = r.u16()? as usize;
+            let name = std::str::from_utf8(r.take(name_len)?)
+                .map_err(|_| corrupt("non-utf8 function name"))?
+                .to_owned();
+            let arity = r.u8()?;
+            let n_locals = r.u16()?;
+            if (arity as u16) > n_locals {
+                return Err(corrupt("arity exceeds local slots"));
+            }
+            let code_len = r.u32()? as usize;
+            if code_len > 1 << 22 {
+                return Err(corrupt("function body too large"));
+            }
+            let mut code = Vec::with_capacity(code_len.min(4096));
+            for _ in 0..code_len {
+                code.push(decode_op(&mut r)?);
+            }
+            functions.push(FnProto { name, arity, n_locals, code });
+        }
+        if r.pos != wire.len() {
+            return Err(corrupt("trailing bytes"));
+        }
+        let program = Program { constants, functions, main_idx };
+        program.validate()?;
+        Ok(program)
+    }
+
+    /// Checks every instruction's static references; called by
+    /// [`Program::decode`] and by the compiler's tests.
+    ///
+    /// # Errors
+    ///
+    /// [`RuntimeError::CorruptProgram`] describing the first bad reference.
+    pub fn validate(&self) -> Result<(), RuntimeError> {
+        for f in &self.functions {
+            let code_len = f.code.len() as u32;
+            for op in &f.code {
+                match *op {
+                    Op::Const(idx)
+                        if idx as usize >= self.constants.len() => {
+                            return Err(corrupt("constant index out of range"));
+                        }
+                    Op::Load(slot) | Op::Store(slot)
+                        if slot >= f.n_locals => {
+                            return Err(corrupt("local slot out of range"));
+                        }
+                    Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t)
+                        if t > code_len => {
+                            return Err(corrupt("jump target out of range"));
+                        }
+                    Op::Call { fn_idx, argc } => {
+                        let Some(callee) = self.functions.get(fn_idx as usize) else {
+                            return Err(corrupt("call target out of range"));
+                        };
+                        if callee.arity != argc {
+                            return Err(corrupt("call arity mismatch"));
+                        }
+                    }
+                    Op::CallBuiltin { builtin, argc } => {
+                        if let Some(expected) = builtin.arity() {
+                            if expected != argc as usize {
+                                return Err(corrupt("builtin arity mismatch"));
+                            }
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "program: {} functions, {} constants, {} instructions",
+            self.functions.len(),
+            self.constants.len(),
+            self.instruction_count()
+        )?;
+        for func in &self.functions {
+            writeln!(f, "  fn {}({} args, {} locals): {} ops", func.name, func.arity, func.n_locals, func.code.len())?;
+        }
+        Ok(())
+    }
+}
+
+fn corrupt(detail: &'static str) -> RuntimeError {
+    RuntimeError::CorruptProgram { detail }
+}
+
+fn encode_op(op: Op, out: &mut Vec<u8>) {
+    match op {
+        Op::Const(i) => {
+            out.push(0);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Op::Nil => out.push(1),
+        Op::True => out.push(2),
+        Op::False => out.push(3),
+        Op::Load(i) => {
+            out.push(4);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Op::Store(i) => {
+            out.push(5);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Op::Pop => out.push(6),
+        Op::Add => out.push(7),
+        Op::Sub => out.push(8),
+        Op::Mul => out.push(9),
+        Op::Div => out.push(10),
+        Op::Mod => out.push(11),
+        Op::Neg => out.push(12),
+        Op::Not => out.push(13),
+        Op::Eq => out.push(14),
+        Op::Ne => out.push(15),
+        Op::Lt => out.push(16),
+        Op::Le => out.push(17),
+        Op::Gt => out.push(18),
+        Op::Ge => out.push(19),
+        Op::Jump(t) => {
+            out.push(20);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Op::JumpIfFalse(t) => {
+            out.push(21);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Op::JumpIfTrue(t) => {
+            out.push(22);
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        Op::Dup => out.push(23),
+        Op::Call { fn_idx, argc } => {
+            out.push(24);
+            out.extend_from_slice(&fn_idx.to_le_bytes());
+            out.push(argc);
+        }
+        Op::CallBuiltin { builtin, argc } => {
+            out.push(25);
+            out.push(builtin.code());
+            out.push(argc);
+        }
+        Op::MakeList(n) => {
+            out.push(26);
+            out.extend_from_slice(&n.to_le_bytes());
+        }
+        Op::Index => out.push(27),
+        Op::Return => out.push(28),
+    }
+}
+
+fn decode_op(r: &mut Reader<'_>) -> Result<Op, RuntimeError> {
+    Ok(match r.u8()? {
+        0 => Op::Const(r.u16()?),
+        1 => Op::Nil,
+        2 => Op::True,
+        3 => Op::False,
+        4 => Op::Load(r.u16()?),
+        5 => Op::Store(r.u16()?),
+        6 => Op::Pop,
+        7 => Op::Add,
+        8 => Op::Sub,
+        9 => Op::Mul,
+        10 => Op::Div,
+        11 => Op::Mod,
+        12 => Op::Neg,
+        13 => Op::Not,
+        14 => Op::Eq,
+        15 => Op::Ne,
+        16 => Op::Lt,
+        17 => Op::Le,
+        18 => Op::Gt,
+        19 => Op::Ge,
+        20 => Op::Jump(r.u32()?),
+        21 => Op::JumpIfFalse(r.u32()?),
+        22 => Op::JumpIfTrue(r.u32()?),
+        23 => Op::Dup,
+        24 => Op::Call { fn_idx: r.u16()?, argc: r.u8()? },
+        25 => {
+            let code = r.u8()?;
+            let builtin = Builtin::from_code(code).ok_or_else(|| corrupt("unknown builtin"))?;
+            Op::CallBuiltin { builtin, argc: r.u8()? }
+        }
+        26 => Op::MakeList(r.u16()?),
+        27 => Op::Index,
+        28 => Op::Return,
+        _ => return Err(corrupt("unknown opcode")),
+    })
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take(&mut self, n: usize) -> Result<&'a [u8], RuntimeError> {
+        if self.buf.len() - self.pos < n {
+            return Err(corrupt("truncated program"));
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, RuntimeError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, RuntimeError> {
+        let b = self.take(2)?;
+        Ok(u16::from_le_bytes([b[0], b[1]]))
+    }
+
+    fn u32(&mut self) -> Result<u32, RuntimeError> {
+        let b = self.take(4)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn sample() -> Program {
+        compile_source(
+            r#"
+            fn helper(x) { return x * 2; }
+            fn main() {
+                let total = 0;
+                let i = 0;
+                while (i < 10) { total = total + helper(i); i = i + 1; }
+                display("total " + str(total));
+                exit(0);
+            }
+            "#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let p = sample();
+        let wire = p.encode();
+        let back = Program::decode(&wire).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn truncation_is_detected_everywhere() {
+        let wire = sample().encode();
+        for cut in 0..wire.len() {
+            assert!(Program::decode(&wire[..cut]).is_err(), "cut at {cut} decoded");
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut wire = sample().encode();
+        wire.push(0);
+        assert!(Program::decode(&wire).is_err());
+    }
+
+    #[test]
+    fn corrupt_jump_target_rejected_at_decode() {
+        let mut p = sample();
+        let main = p.main_idx as usize;
+        p.functions[main].code[0] = Op::Jump(1_000_000);
+        assert!(Program::decode(&p.encode()).is_err());
+    }
+
+    #[test]
+    fn corrupt_constant_index_rejected() {
+        let mut p = sample();
+        let main = p.main_idx as usize;
+        p.functions[main].code[0] = Op::Const(u16::MAX);
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn corrupt_call_arity_rejected() {
+        let mut p = sample();
+        let main = p.main_idx as usize;
+        // helper has arity 1; force a 2-arg call.
+        p.functions[main].code[0] = Op::Call { fn_idx: 0, argc: 2 };
+        assert!(p.validate().is_err());
+    }
+
+    #[test]
+    fn display_summarizes() {
+        let shown = sample().to_string();
+        assert!(shown.contains("fn main"));
+        assert!(shown.contains("fn helper"));
+    }
+}

@@ -1,0 +1,179 @@
+//! Golden corpus: small TaxScript programs with exact expected outputs —
+//! broad behavioural coverage of the language in one table.
+
+use tacoma_briefcase::Briefcase;
+use tacoma_taxscript::{compile_source, NullHooks, Outcome, Vm};
+
+fn run(src: &str) -> (Outcome, Vec<String>) {
+    let program = compile_source(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    let mut bc = Briefcase::new();
+    let mut vm = Vm::new(&program, NullHooks::default());
+    let outcome = vm.run(&mut bc).unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
+    (outcome, vm.into_hooks().displayed)
+}
+
+#[track_caller]
+fn expect(src: &str, expected: &[&str]) {
+    let (_, displayed) = run(src);
+    assert_eq!(displayed, expected, "program:\n{src}");
+}
+
+#[test]
+fn arithmetic_table() {
+    expect("fn main() { display(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); }", &["10 4 21 2 1"]);
+    expect("fn main() { display(-7 / 2, -7 % 2); }", &["-3 -1"]);
+    expect("fn main() { display(2 + 3 * 4 - 10 / 2); }", &["9"]);
+    expect("fn main() { display((2 + 3) * (4 - 1)); }", &["15"]);
+    expect("fn main() { display(--5, -(-5)); }", &["5 5"]);
+}
+
+#[test]
+fn comparison_and_logic_table() {
+    expect("fn main() { display(1 < 2, 2 <= 2, 3 > 4, 4 >= 4); }", &["true true false true"]);
+    expect(r#"fn main() { display("a" < "b", "b" < "a", "x" == "x"); }"#, &["true false true"]);
+    expect("fn main() { display(1 == 1 && 2 == 2, 1 == 2 || 2 == 2); }", &["true true"]);
+    expect("fn main() { display(!true, !0, !nil, !1); }", &["false true true false"]);
+    expect("fn main() { display(nil == nil, nil == 0, 0 == false); }", &["true false false"]);
+}
+
+#[test]
+fn short_circuit_side_effects() {
+    // The right-hand side must not run when the left decides.
+    expect(
+        r#"
+        fn noisy(v) { display("evaluated"); return v; }
+        fn main() {
+            let a = false && noisy(true);
+            let b = true || noisy(false);
+            display(a, b);
+        }
+        "#,
+        &["false true"],
+    );
+}
+
+#[test]
+fn strings_table() {
+    expect(r#"fn main() { display("a" + "b" + str(1 + 2)); }"#, &["ab3"]);
+    expect(r#"fn main() { display(len("hello"), len("")); }"#, &["5 0"]);
+    expect(r#"fn main() { display(substr("tacoma", 2, 3)); }"#, &["com"]);
+    expect(r#"fn main() { display(substr("abc", 10, 5), substr("abc", 0, 99)); }"#, &[" abc"]);
+    expect(r#"fn main() { display(find("hello", "ll"), find("hello", "z")); }"#, &["2 -1"]);
+    expect(r#"fn main() { display(join(split("a:b:c", ":"), "-")); }"#, &["a-b-c"]);
+    expect(r#"fn main() { display(starts_with("tacoma://x", "tacoma://")); }"#, &["true"]);
+    expect(r#"fn main() { display(contains("briefcase", "ief")); }"#, &["true"]);
+    expect(r#"fn main() { display("s"[0], "s"[9] == nil); }"#, &["s true"]);
+}
+
+#[test]
+fn conversions_table() {
+    expect(r#"fn main() { display(int("42") + 1, int(" 7 "), int("x") == nil); }"#, &["43 7 true"]);
+    expect(r#"fn main() { display(int(true), int(false), int(9)); }"#, &["1 0 9"]);
+    expect(r#"fn main() { display(str(42), str(true), str(nil)); }"#, &["42 true nil"]);
+}
+
+#[test]
+fn lists_table() {
+    expect("fn main() { let l = [1, 2, 3]; display(len(l), l[1], l[5] == nil); }", &["3 2 true"]);
+    expect("fn main() { display(len([] + [1] + [2, 3])); }", &["3"]);
+    expect("fn main() { let l = push([], 9); display(l[0], len(l)); }", &["9 1"]);
+    expect("fn main() { display([1, [2, 3]][1][0]); }", &["2"]);
+    expect("fn main() { display(get([4, 5], 1), get([4, 5], 9) == nil); }", &["5 true"]);
+}
+
+#[test]
+fn control_flow_table() {
+    expect(
+        "fn main() { let s = 0; let i = 0; while (i < 5) { i = i + 1; s = s + i; } display(s); }",
+        &["15"],
+    );
+    expect(
+        "fn main() { let i = 0; while (1) { i = i + 1; if (i == 3) { break; } } display(i); }",
+        &["3"],
+    );
+    expect(
+        r#"
+        fn main() {
+            let out = "";
+            let i = 0;
+            while (i < 6) {
+                i = i + 1;
+                if (i % 2 == 0) { continue; }
+                out = out + str(i);
+            }
+            display(out);
+        }
+        "#,
+        &["135"],
+    );
+    expect(
+        "fn main() { if (0) { display(1); } else if (nil) { display(2); } else { display(3); } }",
+        &["3"],
+    );
+}
+
+#[test]
+fn functions_table() {
+    expect(
+        r#"
+        fn add(a, b) { return a + b; }
+        fn twice(x) { return add(x, x); }
+        fn main() { display(twice(add(2, 3))); }
+        "#,
+        &["10"],
+    );
+    expect(
+        r#"
+        fn ack(m, n) {
+            if (m == 0) { return n + 1; }
+            if (n == 0) { return ack(m - 1, 1); }
+            return ack(m - 1, ack(m, n - 1));
+        }
+        fn main() { display(ack(2, 3)); }
+        "#,
+        &["9"],
+    );
+    // Implicit nil return.
+    expect("fn nothing() { } fn main() { display(nothing() == nil); }", &["true"]);
+    // Shadowing in nested scopes.
+    expect(
+        "fn main() { let x = 1; if (1) { let x = 2; display(x); } display(x); }",
+        &["2", "1"],
+    );
+}
+
+#[test]
+fn briefcase_interplay() {
+    let src = r#"
+        fn main() {
+            bc_append("L", "a");
+            bc_append("L", "b");
+            bc_append("L", "c");
+            let joined = "";
+            while (bc_len("L") > 0) {
+                joined = joined + bc_remove("L", 0);
+            }
+            display(joined, bc_has("L"), bc_len("MISSING"));
+        }
+    "#;
+    // Folder exists (emptied) after removals; missing folder has length 0.
+    expect(src, &["abc true 0"]);
+}
+
+#[test]
+fn paper_primitive_aliases() {
+    // bc_send/bc_recv are the §3.1 names for activate/await.
+    expect(
+        r#"fn main() { display(bc_send("nowhere"), bc_recv(0)); }"#,
+        &["0 0"],
+    );
+}
+
+#[test]
+fn exit_codes() {
+    let (outcome, displayed) = run("fn main() { display(1); exit(42); display(2); }");
+    assert_eq!(outcome, Outcome::Exit(42));
+    assert_eq!(displayed, ["1"]);
+    let (outcome, _) = run("fn main() { display(1); }");
+    assert_eq!(outcome, Outcome::Finished);
+}

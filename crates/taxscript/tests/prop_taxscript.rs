@@ -1,0 +1,127 @@
+//! Property-based tests: the toolchain is total (never panics) and the VM
+//! agrees with a reference evaluator on pure arithmetic.
+
+use proptest::prelude::*;
+use tacoma_briefcase::Briefcase;
+use tacoma_taxscript::{compile_source, lex, parse, NullHooks, Outcome, Program, Vm};
+
+/// A little arithmetic AST we can both render to TaxScript and evaluate in
+/// Rust, for differential testing.
+#[derive(Debug, Clone)]
+enum Arith {
+    Lit(i32),
+    Add(Box<Arith>, Box<Arith>),
+    Sub(Box<Arith>, Box<Arith>),
+    Mul(Box<Arith>, Box<Arith>),
+}
+
+impl Arith {
+    fn render(&self) -> String {
+        match self {
+            Arith::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", -(*v as i64))
+                } else {
+                    v.to_string()
+                }
+            }
+            Arith::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            Arith::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            Arith::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+        }
+    }
+
+    fn eval(&self) -> i64 {
+        match self {
+            Arith::Lit(v) => *v as i64,
+            Arith::Add(a, b) => a.eval().wrapping_add(b.eval()),
+            Arith::Sub(a, b) => a.eval().wrapping_sub(b.eval()),
+            Arith::Mul(a, b) => a.eval().wrapping_mul(b.eval()),
+        }
+    }
+}
+
+fn arb_arith() -> impl Strategy<Value = Arith> {
+    let leaf = any::<i32>().prop_map(Arith::Lit);
+    leaf.prop_recursive(5, 32, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Arith::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Arith::Mul(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+proptest! {
+    /// The lexer never panics on arbitrary input.
+    #[test]
+    fn lexer_total(src in "\\PC{0,200}") {
+        let _ = lex(&src);
+    }
+
+    /// Lex + parse never panics on arbitrary input.
+    #[test]
+    fn parser_total(src in "\\PC{0,200}") {
+        if let Ok(tokens) = lex(&src) {
+            let _ = parse(&tokens);
+        }
+    }
+
+    /// The full compile pipeline never panics on syntactically plausible
+    /// fragments embedded in a function body.
+    #[test]
+    fn compiler_total(body in "[a-z0-9 +*()<>=!;{}\"]{0,120}") {
+        let src = format!("fn main() {{ {body} }}");
+        let _ = compile_source(&src);
+    }
+
+    /// The VM agrees with a direct Rust evaluation of random arithmetic.
+    #[test]
+    fn vm_matches_reference_arithmetic(expr in arb_arith()) {
+        let src = format!("fn main() {{ exit({}); }}", expr.render());
+        let program = compile_source(&src).unwrap();
+        let mut bc = Briefcase::new();
+        let mut vm = Vm::new(&program, NullHooks::default());
+        let outcome = vm.run(&mut bc).unwrap();
+        prop_assert_eq!(outcome, Outcome::Exit(expr.eval()));
+    }
+
+    /// Program decode never panics on arbitrary bytes.
+    #[test]
+    fn program_decode_total(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Program::decode(&bytes);
+    }
+
+    /// encode → decode is the identity for every compiled program.
+    #[test]
+    fn program_roundtrip(expr in arb_arith()) {
+        let src = format!(
+            "fn helper(a, b) {{ return a + b; }} fn main() {{ display(helper({}, 1)); }}",
+            expr.render()
+        );
+        let program = compile_source(&src).unwrap();
+        let back = Program::decode(&program.encode()).unwrap();
+        prop_assert_eq!(program, back);
+    }
+
+    /// Corrupting one byte of an encoded program either fails to decode or
+    /// decodes to something that still runs without panicking under a
+    /// small fuel budget (sandbox holds under corruption).
+    #[test]
+    fn corrupted_programs_are_contained(
+        expr in arb_arith(),
+        idx in any::<prop::sample::Index>(),
+        xor in 1u8..,
+    ) {
+        let src = format!("fn main() {{ display({}); }}", expr.render());
+        let program = compile_source(&src).unwrap();
+        let mut wire = program.encode();
+        let i = idx.index(wire.len());
+        wire[i] ^= xor;
+        if let Ok(decoded) = Program::decode(&wire) {
+            let mut bc = Briefcase::new();
+            let mut vm = Vm::new(&decoded, NullHooks::default()).with_fuel(100_000);
+            let _ = vm.run(&mut bc);
+        }
+    }
+}

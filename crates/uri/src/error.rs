@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors from parsing an agent URI against the Figure-2 grammar.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ParseUriError {
+    /// The input was empty.
+    Empty,
+    /// The `tacoma://` remote part was present but the host was empty or
+    /// contained an invalid character.
+    BadHost {
+        /// The offending host text.
+        host: String,
+    },
+    /// The port was present but not a decimal `u16`.
+    BadPort {
+        /// The offending port text.
+        port: String,
+    },
+    /// A name contained a character outside `alphanum` (we also accept `_`
+    /// and `-`, which the paper's own examples such as `vm_c` use).
+    BadName {
+        /// The offending name text.
+        name: String,
+    },
+    /// An instance contained a non-hexadecimal character or was empty.
+    BadInstance {
+        /// The offending instance text.
+        instance: String,
+    },
+    /// A principal segment contained an invalid character.
+    BadPrincipal {
+        /// The offending principal text.
+        principal: String,
+    },
+    /// The agent id was absent: neither a name nor an instance was given.
+    MissingAgentId,
+    /// More path segments appeared than `[principal/]agentid` allows.
+    TooManySegments {
+        /// Number of `/`-separated segments found in the agent path.
+        found: usize,
+    },
+}
+
+impl fmt::Display for ParseUriError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseUriError::Empty => write!(f, "empty agent URI"),
+            ParseUriError::BadHost { host } => write!(f, "invalid host {host:?}"),
+            ParseUriError::BadPort { port } => write!(f, "invalid port {port:?}"),
+            ParseUriError::BadName { name } => write!(f, "invalid agent name {name:?}"),
+            ParseUriError::BadInstance { instance } => {
+                write!(f, "invalid instance {instance:?} (expected hex digits)")
+            }
+            ParseUriError::BadPrincipal { principal } => {
+                write!(f, "invalid principal {principal:?}")
+            }
+            ParseUriError::MissingAgentId => {
+                write!(f, "agent id missing: need a name, an instance, or both")
+            }
+            ParseUriError::TooManySegments { found } => {
+                write!(f, "agent path has {found} segments, at most principal/agentid allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ParseUriError {}

@@ -1,0 +1,115 @@
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::ParseUriError;
+
+/// An agent instance number: a non-empty hexadecimal string (Figure 2:
+/// `instance ::= hex [instance]`).
+///
+/// Instances distinguish entities sharing a name; `spawn()` "creates a new
+/// agent with a different instance number" (§3.1). Stored in normalized
+/// form (lowercase, leading zeros stripped) so that `0x00FF` and `ff`
+/// compare equal.
+///
+/// ```
+/// use tacoma_uri::Instance;
+///
+/// let i: Instance = "933821661".parse().unwrap();
+/// assert_eq!(i.to_string(), "933821661");
+/// assert_eq!("00FF".parse::<Instance>().unwrap(), "ff".parse().unwrap());
+/// ```
+#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Instance(String);
+
+impl Instance {
+    /// Builds an instance from an integer value.
+    pub fn from_u64(value: u64) -> Self {
+        Instance(format!("{value:x}"))
+    }
+
+    /// The normalized hexadecimal text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// The numeric value, if it fits in a `u64`.
+    pub fn as_u64(&self) -> Option<u64> {
+        u64::from_str_radix(&self.0, 16).ok()
+    }
+}
+
+impl std::str::FromStr for Instance {
+    type Err = ParseUriError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(ParseUriError::BadInstance { instance: s.to_owned() });
+        }
+        let normalized = s.trim_start_matches('0').to_ascii_lowercase();
+        if normalized.is_empty() {
+            // All-zero instances normalize to "0".
+            return Ok(Instance("0".to_owned()));
+        }
+        Ok(Instance(normalized))
+    }
+}
+
+impl fmt::Display for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Instance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Instance({})", self.0)
+    }
+}
+
+impl From<u64> for Instance {
+    fn from(value: u64) -> Self {
+        Instance::from_u64(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hex_normalization() {
+        let a: Instance = "00FF".parse().unwrap();
+        let b: Instance = "ff".parse().unwrap();
+        assert_eq!(a, b);
+        assert_eq!(a.as_u64(), Some(255));
+    }
+
+    #[test]
+    fn zero_normalizes_to_single_zero() {
+        let z: Instance = "0000".parse().unwrap();
+        assert_eq!(z.to_string(), "0");
+        assert_eq!(z.as_u64(), Some(0));
+    }
+
+    #[test]
+    fn from_u64_roundtrips() {
+        let i = Instance::from_u64(0x933821661);
+        assert_eq!(i.as_u64(), Some(0x933821661));
+    }
+
+    #[test]
+    fn empty_and_nonhex_rejected() {
+        assert!("".parse::<Instance>().is_err());
+        assert!("xyz".parse::<Instance>().is_err());
+        assert!("12 34".parse::<Instance>().is_err());
+    }
+
+    #[test]
+    fn huge_instances_allowed_without_numeric_value() {
+        let big = "f".repeat(40);
+        let i: Instance = big.parse().unwrap();
+        assert_eq!(i.as_u64(), None);
+        assert_eq!(i.as_str().len(), 40);
+    }
+}

@@ -1,0 +1,65 @@
+//! Agent URIs: the shorthand EBNF notation of TAX 2.0, Figure 2.
+//!
+//! ```text
+//! tacomauri ::= [tacoma://hostport/] agpath
+//! hostport  ::= host [":" port]
+//! agpath    ::= [principal "/"] agentid
+//! agentid   ::= name ":" instance | name | ":" instance
+//! name      ::= alphanum [name]
+//! instance  ::= hex [instance]
+//! ```
+//!
+//! An agent is addressed by *host, port, principal, name, and instance*
+//! (§3.2), every part optional except that at least a name or an instance
+//! must be present:
+//!
+//! * If the remote part (`tacoma://host[:port]/`) is left out, the firewall
+//!   assumes a **local** target.
+//! * If the principal is left out, only two principals are considered
+//!   valid: the local system, or the principal of the sending agent.
+//! * Supplying only a name addresses "a broader class of agents like
+//!   service agents"; supplying the instance pins a specific entity.
+//!
+//! The paper's own examples all parse:
+//!
+//! ```
+//! use tacoma_uri::AgentUri;
+//!
+//! # fn main() -> Result<(), tacoma_uri::ParseUriError> {
+//! let a: AgentUri = "tacoma://cl2.cs.uit.no:27017//vm_c:933821661".parse()?;
+//! assert_eq!(a.host().unwrap(), "cl2.cs.uit.no");
+//! assert_eq!(a.port(), Some(27017));
+//! assert_eq!(a.name(), Some("vm_c"));
+//!
+//! let b: AgentUri = "tacoma://cl2.cs.uit.no/tacoma@cl2.cs.uit.no/ag_cron".parse()?;
+//! assert_eq!(b.principal().unwrap(), "tacoma@cl2.cs.uit.no");
+//! assert_eq!(b.instance(), None);
+//!
+//! let c: AgentUri = "tacomaproject/:933821661".parse()?;
+//! assert!(c.is_local());
+//! assert_eq!(c.principal().unwrap(), "tacomaproject");
+//! assert_eq!(c.name(), None);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod instance;
+mod matcher;
+mod parse;
+mod uri;
+
+pub use error::ParseUriError;
+pub use instance::Instance;
+pub use matcher::{AgentAddress, MatchOutcome};
+pub use uri::{AgentId, AgentUri, HostPort};
+
+/// The default firewall port assumed when an agent URI names a host without
+/// a port (the paper's examples use 27017).
+pub const DEFAULT_PORT: u16 = 27017;
+
+/// The URI scheme prefix.
+pub const SCHEME: &str = "tacoma://";

@@ -1,0 +1,183 @@
+//! Recursive-descent parser for the Figure-2 agent-URI grammar.
+
+use crate::uri::{validate_name, validate_principal};
+use crate::{AgentId, AgentUri, HostPort, Instance, ParseUriError, SCHEME};
+
+pub(crate) fn parse_agent_uri(input: &str) -> Result<AgentUri, ParseUriError> {
+    if input.is_empty() {
+        return Err(ParseUriError::Empty);
+    }
+
+    // Optional remote part: `tacoma://hostport/`.
+    let (location, path) = match input.strip_prefix(SCHEME) {
+        Some(rest) => {
+            let slash = rest.find('/').ok_or_else(|| ParseUriError::BadHost {
+                // `tacoma://host` without the closing slash leaves no agent
+                // path at all; report the host text for context.
+                host: rest.to_owned(),
+            })?;
+            let (hostport, after) = rest.split_at(slash);
+            let location = parse_hostport(hostport)?;
+            (Some(location), &after[1..])
+        }
+        None => (None, input),
+    };
+
+    // Agent path: `[principal/] agentid`.
+    let segments: Vec<&str> = path.split('/').collect();
+    let (principal, id_text) = match segments.as_slice() {
+        [id] => (None, *id),
+        [principal, id] => {
+            // The paper writes `tacoma://host//vm_c:...` — an empty
+            // principal segment means "principal omitted".
+            if principal.is_empty() {
+                (None, *id)
+            } else {
+                validate_principal(principal)?;
+                (Some((*principal).to_owned()), *id)
+            }
+        }
+        parts => return Err(ParseUriError::TooManySegments { found: parts.len() }),
+    };
+
+    let id = parse_agent_id(id_text)?;
+    Ok(AgentUri::from_parts(location, principal, id))
+}
+
+fn parse_hostport(text: &str) -> Result<HostPort, ParseUriError> {
+    match text.split_once(':') {
+        Some((host, port)) => {
+            let port: u16 = port
+                .parse()
+                .map_err(|_| ParseUriError::BadPort { port: port.to_owned() })?;
+            HostPort::with_port(host, port)
+        }
+        None => HostPort::new(text),
+    }
+}
+
+fn parse_agent_id(text: &str) -> Result<AgentId, ParseUriError> {
+    if text.is_empty() {
+        return Err(ParseUriError::MissingAgentId);
+    }
+    match text.split_once(':') {
+        Some(("", instance)) => Ok(AgentId::instance_only(instance.parse::<Instance>()?)),
+        Some((name, instance)) => AgentId::exact(name, instance.parse::<Instance>()?),
+        None => {
+            validate_name(text)?;
+            AgentId::named(text)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_1_full_form() {
+        let uri = parse_agent_uri("tacoma://cl2.cs.uit.no:27017//vm_c:933821661").unwrap();
+        assert_eq!(uri.host(), Some("cl2.cs.uit.no"));
+        assert_eq!(uri.port(), Some(27017));
+        assert_eq!(uri.principal(), None);
+        assert_eq!(uri.name(), Some("vm_c"));
+        assert_eq!(uri.instance().unwrap().as_str(), "933821661");
+    }
+
+    #[test]
+    fn paper_example_2_principal_no_instance() {
+        let uri = parse_agent_uri("tacoma://cl2.cs.uit.no/tacoma@cl2.cs.uit.no/ag_cron").unwrap();
+        assert_eq!(uri.host(), Some("cl2.cs.uit.no"));
+        assert_eq!(uri.port(), None);
+        assert_eq!(uri.principal(), Some("tacoma@cl2.cs.uit.no"));
+        assert_eq!(uri.name(), Some("ag_cron"));
+        assert_eq!(uri.instance(), None);
+    }
+
+    #[test]
+    fn paper_example_3_local_instance_only() {
+        let uri = parse_agent_uri("tacomaproject/:933821661").unwrap();
+        assert!(uri.is_local());
+        assert_eq!(uri.principal(), Some("tacomaproject"));
+        assert_eq!(uri.name(), None);
+        assert_eq!(uri.instance().unwrap().as_str(), "933821661");
+    }
+
+    #[test]
+    fn bare_name_is_local_service_address() {
+        let uri = parse_agent_uri("ag_fs").unwrap();
+        assert!(uri.is_local());
+        assert_eq!(uri.principal(), None);
+        assert_eq!(uri.name(), Some("ag_fs"));
+        assert_eq!(uri.instance(), None);
+    }
+
+    #[test]
+    fn bare_instance_is_accepted() {
+        let uri = parse_agent_uri(":deadbeef").unwrap();
+        assert_eq!(uri.name(), None);
+        assert_eq!(uri.instance().unwrap().as_u64(), Some(0xdead_beef));
+    }
+
+    #[test]
+    fn name_and_instance() {
+        let uri = parse_agent_uri("webbot:42").unwrap();
+        assert_eq!(uri.name(), Some("webbot"));
+        assert_eq!(uri.instance().unwrap().as_u64(), Some(0x42));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        assert_eq!(parse_agent_uri(""), Err(ParseUriError::Empty));
+    }
+
+    #[test]
+    fn remote_without_path_rejected() {
+        assert!(matches!(
+            parse_agent_uri("tacoma://host.only"),
+            Err(ParseUriError::BadHost { .. })
+        ));
+    }
+
+    #[test]
+    fn remote_with_empty_id_rejected() {
+        assert_eq!(parse_agent_uri("tacoma://h1/"), Err(ParseUriError::MissingAgentId));
+        assert_eq!(parse_agent_uri("tacoma://h1//"), Err(ParseUriError::MissingAgentId));
+    }
+
+    #[test]
+    fn bad_port_rejected() {
+        assert!(matches!(
+            parse_agent_uri("tacoma://h1:99999/ag_fs"),
+            Err(ParseUriError::BadPort { .. })
+        ));
+        assert!(matches!(
+            parse_agent_uri("tacoma://h1:abc/ag_fs"),
+            Err(ParseUriError::BadPort { .. })
+        ));
+    }
+
+    #[test]
+    fn too_many_segments_rejected() {
+        assert_eq!(
+            parse_agent_uri("a/b/c/d"),
+            Err(ParseUriError::TooManySegments { found: 4 })
+        );
+    }
+
+    #[test]
+    fn colon_with_bad_hex_rejected() {
+        assert!(matches!(
+            parse_agent_uri("name:zz"),
+            Err(ParseUriError::BadInstance { .. })
+        ));
+        assert!(matches!(parse_agent_uri("name:"), Err(ParseUriError::BadInstance { .. })));
+    }
+
+    #[test]
+    fn principal_with_at_sign_accepted_in_local_form() {
+        let uri = parse_agent_uri("tacoma@h1/ag_cc").unwrap();
+        assert_eq!(uri.principal(), Some("tacoma@h1"));
+        assert_eq!(uri.name(), Some("ag_cc"));
+    }
+}

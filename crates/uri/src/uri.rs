@@ -1,0 +1,327 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{parse, Instance, ParseUriError, DEFAULT_PORT, SCHEME};
+
+/// The `hostport` production of Figure 2: a host name with an optional
+/// firewall port.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct HostPort {
+    host: String,
+    port: Option<u16>,
+}
+
+impl HostPort {
+    /// Creates a host with no explicit port.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseUriError::BadHost`] if `host` is empty or contains characters
+    /// outside `[A-Za-z0-9.-]`.
+    pub fn new(host: impl Into<String>) -> Result<Self, ParseUriError> {
+        let host = host.into();
+        if host.is_empty() || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-') {
+            return Err(ParseUriError::BadHost { host });
+        }
+        Ok(HostPort { host, port: None })
+    }
+
+    /// Creates a host with an explicit port.
+    ///
+    /// # Errors
+    ///
+    /// As [`HostPort::new`].
+    pub fn with_port(host: impl Into<String>, port: u16) -> Result<Self, ParseUriError> {
+        let mut hp = HostPort::new(host)?;
+        hp.port = Some(port);
+        Ok(hp)
+    }
+
+    /// The host name.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The explicit port, if one was given.
+    pub fn port(&self) -> Option<u16> {
+        self.port
+    }
+
+    /// The port to actually connect to: the explicit port, or
+    /// [`DEFAULT_PORT`].
+    pub fn effective_port(&self) -> u16 {
+        self.port.unwrap_or(DEFAULT_PORT)
+    }
+}
+
+impl fmt::Display for HostPort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.port {
+            Some(p) => write!(f, "{}:{p}", self.host),
+            None => f.write_str(&self.host),
+        }
+    }
+}
+
+/// The `agentid` production of Figure 2: a name, an instance, or both.
+///
+/// At least one of the two is always present — this invariant is enforced
+/// by the constructors.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AgentId {
+    name: Option<String>,
+    instance: Option<Instance>,
+}
+
+impl AgentId {
+    /// An id addressing a whole class of agents by name — "useful if one
+    /// wishes to establish communication with a broader class of agents
+    /// like service agents" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseUriError::BadName`] on invalid name characters.
+    pub fn named(name: impl Into<String>) -> Result<Self, ParseUriError> {
+        let name = name.into();
+        validate_name(&name)?;
+        Ok(AgentId { name: Some(name), instance: None })
+    }
+
+    /// An id addressing a specific instance regardless of name.
+    pub fn instance_only(instance: Instance) -> Self {
+        AgentId { name: None, instance: Some(instance) }
+    }
+
+    /// An id addressing a specific named instance — "the instance number
+    /// may be used if one wishes to make sure one continues to communicate
+    /// with the same entity" (§3.2).
+    ///
+    /// # Errors
+    ///
+    /// [`ParseUriError::BadName`] on invalid name characters.
+    pub fn exact(name: impl Into<String>, instance: Instance) -> Result<Self, ParseUriError> {
+        let name = name.into();
+        validate_name(&name)?;
+        Ok(AgentId { name: Some(name), instance: Some(instance) })
+    }
+
+    /// The name part, if present.
+    pub fn name(&self) -> Option<&str> {
+        self.name.as_deref()
+    }
+
+    /// The instance part, if present.
+    pub fn instance(&self) -> Option<&Instance> {
+        self.instance.as_ref()
+    }
+
+    /// Whether this id pins both name and instance.
+    pub fn is_exact(&self) -> bool {
+        self.name.is_some() && self.instance.is_some()
+    }
+}
+
+impl fmt::Display for AgentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (&self.name, &self.instance) {
+            (Some(n), Some(i)) => write!(f, "{n}:{i}"),
+            (Some(n), None) => f.write_str(n),
+            (None, Some(i)) => write!(f, ":{i}"),
+            (None, None) => unreachable!("AgentId invariant: name or instance present"),
+        }
+    }
+}
+
+pub(crate) fn validate_name(name: &str) -> Result<(), ParseUriError> {
+    // Figure 2 says `alphanum`; the paper's own examples (`vm_c`,
+    // `ag_cron`) include underscores, so `_` and `-` are accepted too.
+    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
+        return Err(ParseUriError::BadName { name: name.to_owned() });
+    }
+    Ok(())
+}
+
+pub(crate) fn validate_principal(principal: &str) -> Result<(), ParseUriError> {
+    // Principals look like `tacoma@cl2.cs.uit.no` or a bare project name.
+    if principal.is_empty()
+        || !principal
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'@'))
+    {
+        return Err(ParseUriError::BadPrincipal { principal: principal.to_owned() });
+    }
+    Ok(())
+}
+
+/// A full agent URI (Figure 2): optional location, optional principal, and
+/// an agent id.
+///
+/// `AgentUri` is an address *pattern*, not necessarily a unique key: a URI
+/// with only a name matches every instance carrying that name (see
+/// [`crate::AgentAddress`] for the matcher).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct AgentUri {
+    location: Option<HostPort>,
+    principal: Option<String>,
+    id: AgentId,
+}
+
+impl AgentUri {
+    /// A local URI (no remote part) addressing agents by name.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseUriError::BadName`] on invalid name characters.
+    pub fn local(name: impl Into<String>) -> Result<Self, ParseUriError> {
+        Ok(AgentUri { location: None, principal: None, id: AgentId::named(name)? })
+    }
+
+    /// A URI from parts.
+    pub fn from_parts(location: Option<HostPort>, principal: Option<String>, id: AgentId) -> Self {
+        AgentUri { location, principal, id }
+    }
+
+    /// Returns this URI relocated to the given host (used when a local
+    /// name must be advertised remotely).
+    pub fn at(mut self, location: HostPort) -> Self {
+        self.location = Some(location);
+        self
+    }
+
+    /// Returns this URI with the principal set.
+    ///
+    /// # Errors
+    ///
+    /// [`ParseUriError::BadPrincipal`] on invalid principal characters.
+    pub fn owned_by(mut self, principal: impl Into<String>) -> Result<Self, ParseUriError> {
+        let principal = principal.into();
+        validate_principal(&principal)?;
+        self.principal = Some(principal);
+        Ok(self)
+    }
+
+    /// Returns this URI with the instance pinned.
+    pub fn with_instance(mut self, instance: Instance) -> Self {
+        self.id.instance = Some(instance);
+        self
+    }
+
+    /// The location part, if the URI is remote.
+    pub fn location(&self) -> Option<&HostPort> {
+        self.location.as_ref()
+    }
+
+    /// The host name, if the URI is remote.
+    pub fn host(&self) -> Option<&str> {
+        self.location.as_ref().map(HostPort::host)
+    }
+
+    /// The explicit port, if one was given.
+    pub fn port(&self) -> Option<u16> {
+        self.location.as_ref().and_then(HostPort::port)
+    }
+
+    /// Whether the remote part is absent — "the firewall will assume a
+    /// local target" (§3.2).
+    pub fn is_local(&self) -> bool {
+        self.location.is_none()
+    }
+
+    /// The principal, if given.
+    pub fn principal(&self) -> Option<&str> {
+        self.principal.as_deref()
+    }
+
+    /// The agent id (name and/or instance).
+    pub fn id(&self) -> &AgentId {
+        &self.id
+    }
+
+    /// The name part of the agent id, if present.
+    pub fn name(&self) -> Option<&str> {
+        self.id.name()
+    }
+
+    /// The instance part of the agent id, if present.
+    pub fn instance(&self) -> Option<&Instance> {
+        self.id.instance()
+    }
+}
+
+impl FromStr for AgentUri {
+    type Err = ParseUriError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        parse::parse_agent_uri(s)
+    }
+}
+
+// Display is the exact inverse of the parser.
+impl fmt::Display for AgentUri {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(loc) = &self.location {
+            write!(f, "{SCHEME}{loc}/")?;
+        }
+        if let Some(p) = &self.principal {
+            write!(f, "{p}/")?;
+        }
+        write!(f, "{}", self.id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_roundtrips_all_shapes() {
+        for text in [
+            "tacoma://cl2.cs.uit.no:27017/proj/vm_c:933821661",
+            "tacoma://cl2.cs.uit.no/tacoma@cl2.cs.uit.no/ag_cron",
+            "tacomaproject/:933821661",
+            "ag_fs",
+            ":beef",
+            "tacoma://h1/ag_exec",
+        ] {
+            let uri: AgentUri = text.parse().unwrap();
+            assert_eq!(uri.to_string(), text, "roundtrip failed for {text}");
+        }
+    }
+
+    #[test]
+    fn effective_port_defaults() {
+        let hp = HostPort::new("h1").unwrap();
+        assert_eq!(hp.effective_port(), DEFAULT_PORT);
+        let hp = HostPort::with_port("h1", 9).unwrap();
+        assert_eq!(hp.effective_port(), 9);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let uri = AgentUri::local("ag_fs")
+            .unwrap()
+            .owned_by("sys@h1")
+            .unwrap()
+            .at(HostPort::with_port("h1", 27017).unwrap())
+            .with_instance(Instance::from_u64(7));
+        assert_eq!(uri.to_string(), "tacoma://h1:27017/sys@h1/ag_fs:7");
+        assert!(!uri.is_local());
+        assert!(uri.id().is_exact());
+    }
+
+    #[test]
+    fn empty_host_rejected() {
+        assert!(HostPort::new("").is_err());
+        assert!(HostPort::new("bad host").is_err());
+    }
+
+    #[test]
+    fn bad_names_rejected() {
+        assert!(AgentId::named("").is_err());
+        assert!(AgentId::named("has space").is_err());
+        assert!(AgentId::named("vm_c").is_ok());
+        assert!(AgentId::named("ag-exec2").is_ok());
+    }
+}

@@ -1,0 +1,85 @@
+//! Property-based tests for the agent-URI grammar.
+
+use proptest::prelude::*;
+use tacoma_uri::{AgentAddress, AgentId, AgentUri, HostPort, Instance};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9_-]{0,15}"
+}
+
+fn arb_host() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9]{0,8}(\\.[a-z][a-z0-9]{0,8}){0,3}"
+}
+
+fn arb_instance() -> impl Strategy<Value = Instance> {
+    any::<u64>().prop_map(Instance::from_u64)
+}
+
+fn arb_id() -> impl Strategy<Value = AgentId> {
+    prop_oneof![
+        arb_name().prop_map(|n| AgentId::named(n).unwrap()),
+        arb_instance().prop_map(AgentId::instance_only),
+        (arb_name(), arb_instance()).prop_map(|(n, i)| AgentId::exact(n, i).unwrap()),
+    ]
+}
+
+fn arb_uri() -> impl Strategy<Value = AgentUri> {
+    (
+        prop::option::of((arb_host(), prop::option::of(any::<u16>()))),
+        prop::option::of("[a-z][a-z0-9@.]{0,12}"),
+        arb_id(),
+    )
+        .prop_map(|(loc, principal, id)| {
+            let location = loc.map(|(h, p)| match p {
+                Some(p) => HostPort::with_port(h, p).unwrap(),
+                None => HostPort::new(h).unwrap(),
+            });
+            AgentUri::from_parts(location, principal, id)
+        })
+}
+
+proptest! {
+    /// Display → parse is the identity on every constructible URI.
+    #[test]
+    fn display_parse_roundtrip(uri in arb_uri()) {
+        let text = uri.to_string();
+        let back: AgentUri = text.parse().unwrap();
+        prop_assert_eq!(uri, back);
+    }
+
+    /// The parser is total: arbitrary ASCII input never panics.
+    #[test]
+    fn parser_total(s in "\\PC{0,60}") {
+        let _ = s.parse::<AgentUri>();
+    }
+
+    /// An address always matches a URI derived from itself, and matching is
+    /// monotone: dropping parts from the target never turns a match into a
+    /// mismatch (for the same-principal case).
+    #[test]
+    fn self_match_and_monotonicity(
+        principal in "[a-z]{1,8}",
+        name in arb_name(),
+        inst in arb_instance(),
+    ) {
+        let addr = AgentAddress::new(principal.clone(), name.clone(), inst.clone());
+        let exact = addr.to_uri();
+        prop_assert!(addr.matches(&exact, "system", "someone").is_match());
+
+        // Drop the instance: still matches.
+        let name_only = AgentUri::from_parts(None, Some(principal.clone()), AgentId::named(name).unwrap());
+        prop_assert!(addr.matches(&name_only, "system", "someone").is_match());
+
+        // Drop the name: still matches.
+        let inst_only = AgentUri::from_parts(None, Some(principal), AgentId::instance_only(inst));
+        prop_assert!(addr.matches(&inst_only, "system", "someone").is_match());
+    }
+
+    /// Instances compare by value, not by textual form.
+    #[test]
+    fn instance_value_equality(v in any::<u64>()) {
+        let canonical = Instance::from_u64(v);
+        let padded: Instance = format!("000{v:X}").parse().unwrap();
+        prop_assert_eq!(canonical, padded);
+    }
+}

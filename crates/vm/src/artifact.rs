@@ -1,0 +1,265 @@
+//! Binary artifacts: the signed, per-architecture "binaries" agents carry.
+//!
+//! §5: "Ag_exec extracts the binary matching the architecture of the local
+//! machine (an agent may submit a list of binaries matching different
+//! architectures to ag_exec), and executes it."
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::VmError;
+
+/// Magic bytes opening an encoded artifact bundle.
+pub const ARTIFACT_MAGIC: [u8; 4] = *b"TAXA";
+
+/// A target architecture tag, e.g. `i386-linux` or `sparc-solaris` (the
+/// platforms of the paper's era).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Architecture(String);
+
+impl Architecture {
+    /// The x86 Linux boxes of the Tromsø department.
+    pub fn i386_linux() -> Self {
+        Architecture("i386-linux".to_owned())
+    }
+
+    /// The SPARC Solaris servers.
+    pub fn sparc_solaris() -> Self {
+        Architecture("sparc-solaris".to_owned())
+    }
+
+    /// The architecture tag of this simulation's hosts.
+    pub fn simulated() -> Self {
+        Architecture("taxvm-sim".to_owned())
+    }
+
+    /// A custom tag.
+    pub fn custom(tag: impl Into<String>) -> Self {
+        Architecture(tag.into())
+    }
+
+    /// The tag text.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for Architecture {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// One binary: a payload compiled for a specific architecture.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BinaryArtifact {
+    /// Program name (e.g. `webbot`).
+    pub name: String,
+    /// Target architecture.
+    pub arch: Architecture,
+    /// The executable payload: either encoded TaxScript bytecode
+    /// (starts with [`tacoma_taxscript::PROGRAM_MAGIC`]) or a native
+    /// reference `native:<key>\0<padding>` resolved against the host's
+    /// [`crate::NativeRegistry`]. Padding lets experiments give the
+    /// "binary" a realistic transfer size.
+    pub payload: Vec<u8>,
+}
+
+impl BinaryArtifact {
+    /// An artifact holding compiled TaxScript bytecode.
+    pub fn bytecode(name: impl Into<String>, arch: Architecture, program: &tacoma_taxscript::Program) -> Self {
+        BinaryArtifact { name: name.into(), arch, payload: program.encode() }
+    }
+
+    /// An artifact referencing a native program by registry key, padded to
+    /// `total_size` bytes so it costs like a real binary on the wire.
+    pub fn native(name: impl Into<String>, arch: Architecture, key: &str, total_size: usize) -> Self {
+        let mut payload = format!("native:{key}").into_bytes();
+        payload.push(0);
+        if payload.len() < total_size {
+            payload.resize(total_size, 0xCC);
+        }
+        BinaryArtifact { name: name.into(), arch, payload }
+    }
+
+    /// If this payload is a native reference, its registry key.
+    pub fn native_key(&self) -> Option<&str> {
+        let rest = self.payload.strip_prefix(b"native:")?;
+        let end = rest.iter().position(|&b| b == 0).unwrap_or(rest.len());
+        std::str::from_utf8(&rest[..end]).ok()
+    }
+}
+
+/// A list of binaries for different architectures, as submitted to
+/// `ag_exec`.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ArtifactBundle {
+    artifacts: Vec<BinaryArtifact>,
+}
+
+impl ArtifactBundle {
+    /// An empty bundle.
+    pub fn new() -> Self {
+        ArtifactBundle::default()
+    }
+
+    /// Adds an artifact (builder style).
+    pub fn with(mut self, artifact: BinaryArtifact) -> Self {
+        self.artifacts.push(artifact);
+        self
+    }
+
+    /// Adds an artifact.
+    pub fn push(&mut self, artifact: BinaryArtifact) {
+        self.artifacts.push(artifact);
+    }
+
+    /// The artifacts in submission order.
+    pub fn artifacts(&self) -> &[BinaryArtifact] {
+        &self.artifacts
+    }
+
+    /// Selects the first artifact matching `arch` — what `ag_exec` does on
+    /// landing.
+    pub fn select(&self, arch: &Architecture) -> Option<&BinaryArtifact> {
+        self.artifacts.iter().find(|a| &a.arch == arch)
+    }
+
+    /// The architectures present, for diagnostics.
+    pub fn architectures(&self) -> Vec<String> {
+        self.artifacts.iter().map(|a| a.arch.to_string()).collect()
+    }
+
+    /// Encodes the bundle for a briefcase `CODE` element.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&ARTIFACT_MAGIC);
+        out.extend_from_slice(&(self.artifacts.len() as u16).to_le_bytes());
+        for a in &self.artifacts {
+            let name = a.name.as_bytes();
+            let arch = a.arch.as_str().as_bytes();
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name);
+            out.extend_from_slice(&(arch.len() as u16).to_le_bytes());
+            out.extend_from_slice(arch);
+            out.extend_from_slice(&(a.payload.len() as u32).to_le_bytes());
+            out.extend_from_slice(&a.payload);
+        }
+        out
+    }
+
+    /// Decodes a bundle from briefcase bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::BadArtifact`] on malformed input; never panics.
+    pub fn decode(bytes: &[u8]) -> Result<Self, VmError> {
+        let bad = |detail: &'static str| VmError::BadArtifact { detail };
+        let mut pos = 0usize;
+        let take = |pos: &mut usize, n: usize| -> Result<&[u8], VmError> {
+            if bytes.len() - *pos < n {
+                return Err(bad("truncated"));
+            }
+            let s = &bytes[*pos..*pos + n];
+            *pos += n;
+            Ok(s)
+        };
+        if take(&mut pos, 4)? != ARTIFACT_MAGIC {
+            return Err(bad("bad magic"));
+        }
+        let count = {
+            let b = take(&mut pos, 2)?;
+            u16::from_le_bytes([b[0], b[1]]) as usize
+        };
+        let mut artifacts = Vec::with_capacity(count.min(64));
+        for _ in 0..count {
+            let name_len = {
+                let b = take(&mut pos, 2)?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let name = std::str::from_utf8(take(&mut pos, name_len)?)
+                .map_err(|_| bad("non-utf8 name"))?
+                .to_owned();
+            let arch_len = {
+                let b = take(&mut pos, 2)?;
+                u16::from_le_bytes([b[0], b[1]]) as usize
+            };
+            let arch = std::str::from_utf8(take(&mut pos, arch_len)?)
+                .map_err(|_| bad("non-utf8 arch"))?
+                .to_owned();
+            let payload_len = {
+                let b = take(&mut pos, 4)?;
+                u32::from_le_bytes([b[0], b[1], b[2], b[3]]) as usize
+            };
+            if payload_len > 256 << 20 {
+                return Err(bad("payload too large"));
+            }
+            let payload = take(&mut pos, payload_len)?.to_vec();
+            artifacts.push(BinaryArtifact { name, arch: Architecture::custom(arch), payload });
+        }
+        if pos != bytes.len() {
+            return Err(bad("trailing bytes"));
+        }
+        Ok(ArtifactBundle { artifacts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_taxscript::compile_source;
+
+    fn bundle() -> ArtifactBundle {
+        let program = compile_source("fn main() { exit(7); }").unwrap();
+        ArtifactBundle::new()
+            .with(BinaryArtifact::bytecode("agent", Architecture::simulated(), &program))
+            .with(BinaryArtifact::native("webbot", Architecture::i386_linux(), "webbot-4.0", 50_000))
+    }
+
+    #[test]
+    fn roundtrip() {
+        let b = bundle();
+        assert_eq!(ArtifactBundle::decode(&b.encode()).unwrap(), b);
+    }
+
+    #[test]
+    fn select_by_architecture() {
+        let b = bundle();
+        assert_eq!(b.select(&Architecture::simulated()).unwrap().name, "agent");
+        assert_eq!(b.select(&Architecture::i386_linux()).unwrap().name, "webbot");
+        assert!(b.select(&Architecture::sparc_solaris()).is_none());
+    }
+
+    #[test]
+    fn native_key_parses_through_padding() {
+        let a = BinaryArtifact::native("webbot", Architecture::i386_linux(), "webbot-4.0", 50_000);
+        assert_eq!(a.payload.len(), 50_000);
+        assert_eq!(a.native_key(), Some("webbot-4.0"));
+    }
+
+    #[test]
+    fn bytecode_payload_has_no_native_key() {
+        let program = compile_source("fn main() { }").unwrap();
+        let a = BinaryArtifact::bytecode("x", Architecture::simulated(), &program);
+        assert_eq!(a.native_key(), None);
+    }
+
+    #[test]
+    fn small_native_payload_is_not_padded_down() {
+        let a = BinaryArtifact::native("x", Architecture::simulated(), "k", 0);
+        assert_eq!(a.native_key(), Some("k"));
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert!(ArtifactBundle::decode(b"").is_err());
+        assert!(ArtifactBundle::decode(b"NOPE\x00\x00").is_err());
+        let mut wire = bundle().encode();
+        wire.truncate(wire.len() - 1);
+        assert!(ArtifactBundle::decode(&wire).is_err());
+        let mut wire = bundle().encode();
+        wire.push(1);
+        assert!(ArtifactBundle::decode(&wire).is_err());
+    }
+}

@@ -1,0 +1,156 @@
+//! The native-code registry: this reproduction's loader for "machine
+//! code".
+//!
+//! Rust cannot safely load and run foreign machine code, so a native
+//! binary's payload carries a *registry key*; every host installs the Rust
+//! implementations it can execute, keyed by name. The transfer cost, the
+//! signature check, and the architecture match are all still exercised —
+//! only the final `exec()` is table lookup instead of `mmap`. This is the
+//! substitution DESIGN.md documents for the repro band's "static binaries
+//! make agent migration awkward to emulate".
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use tacoma_briefcase::Briefcase;
+use tacoma_taxscript::{HostHooks, Outcome};
+
+use crate::VmError;
+
+/// A natively implemented program (the stand-in for a compiled C binary
+/// such as the W3C Webbot).
+pub trait NativeProgram: Send + Sync {
+    /// Runs the program against the agent's briefcase and host hooks.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError`] if the program faults.
+    fn run(&self, briefcase: &mut Briefcase, hooks: &mut dyn HostHooks) -> Result<Outcome, VmError>;
+}
+
+impl<F> NativeProgram for F
+where
+    F: Fn(&mut Briefcase, &mut dyn HostHooks) -> Result<Outcome, VmError> + Send + Sync,
+{
+    fn run(&self, briefcase: &mut Briefcase, hooks: &mut dyn HostHooks) -> Result<Outcome, VmError> {
+        self(briefcase, hooks)
+    }
+}
+
+/// The per-host table of installed native programs.
+#[derive(Clone, Default)]
+pub struct NativeRegistry {
+    programs: HashMap<String, Arc<dyn NativeProgram>>,
+}
+
+impl NativeRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        NativeRegistry::default()
+    }
+
+    /// Installs a program under `key`; replaces any previous program.
+    pub fn install(&mut self, key: impl Into<String>, program: Arc<dyn NativeProgram>) {
+        self.programs.insert(key.into(), program);
+    }
+
+    /// Installs a closure-backed program.
+    pub fn install_fn<F>(&mut self, key: impl Into<String>, f: F)
+    where
+        F: Fn(&mut Briefcase, &mut dyn HostHooks) -> Result<Outcome, VmError> + Send + Sync + 'static,
+    {
+        self.install(key, Arc::new(f));
+    }
+
+    /// Looks up a program.
+    ///
+    /// # Errors
+    ///
+    /// [`VmError::UnknownNativeProgram`] if nothing is installed under
+    /// `key`.
+    pub fn get(&self, key: &str) -> Result<Arc<dyn NativeProgram>, VmError> {
+        self.programs
+            .get(key)
+            .cloned()
+            .ok_or_else(|| VmError::UnknownNativeProgram { name: key.to_owned() })
+    }
+
+    /// Whether `key` is installed.
+    pub fn contains(&self, key: &str) -> bool {
+        self.programs.contains_key(key)
+    }
+
+    /// Installed keys, unordered.
+    pub fn keys(&self) -> impl Iterator<Item = &str> {
+        self.programs.keys().map(String::as_str)
+    }
+
+    /// Number of installed programs.
+    pub fn len(&self) -> usize {
+        self.programs.len()
+    }
+
+    /// Whether the registry is empty.
+    pub fn is_empty(&self) -> bool {
+        self.programs.is_empty()
+    }
+}
+
+impl fmt::Debug for NativeRegistry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut keys: Vec<&str> = self.keys().collect();
+        keys.sort_unstable();
+        f.debug_struct("NativeRegistry").field("programs", &keys).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_taxscript::NullHooks;
+
+    #[test]
+    fn install_and_run() {
+        let mut reg = NativeRegistry::new();
+        reg.install_fn("double", |bc, _hooks| {
+            let v = bc.single_i64("IN").unwrap_or(0);
+            bc.set_single("OUT", v * 2);
+            Ok(Outcome::Finished)
+        });
+        let program = reg.get("double").unwrap();
+        let mut bc = Briefcase::new();
+        bc.set_single("IN", 21i64);
+        let mut hooks = NullHooks::default();
+        assert_eq!(program.run(&mut bc, &mut hooks).unwrap(), Outcome::Finished);
+        assert_eq!(bc.single_i64("OUT").unwrap(), 42);
+    }
+
+    #[test]
+    fn unknown_key_errors() {
+        let reg = NativeRegistry::new();
+        assert!(matches!(
+            reg.get("ghost"),
+            Err(VmError::UnknownNativeProgram { name }) if name == "ghost"
+        ));
+    }
+
+    #[test]
+    fn reinstall_replaces() {
+        let mut reg = NativeRegistry::new();
+        reg.install_fn("p", |_, _| Ok(Outcome::Exit(1)));
+        reg.install_fn("p", |_, _| Ok(Outcome::Exit(2)));
+        assert_eq!(reg.len(), 1);
+        let mut bc = Briefcase::new();
+        let mut hooks = NullHooks::default();
+        assert_eq!(reg.get("p").unwrap().run(&mut bc, &mut hooks).unwrap(), Outcome::Exit(2));
+    }
+
+    #[test]
+    fn clone_shares_programs() {
+        let mut reg = NativeRegistry::new();
+        reg.install_fn("p", |_, _| Ok(Outcome::Finished));
+        let copy = reg.clone();
+        assert!(copy.contains("p"));
+    }
+}

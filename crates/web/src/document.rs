@@ -1,0 +1,125 @@
+use serde::{Deserialize, Serialize};
+
+/// A document's media type, as the web server reports it. Webbot follows
+/// links only inside HTML; other types are checked but not parsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ContentType {
+    /// `text/html` — parsed for links.
+    Html,
+    /// `image/gif` — checked, not followed.
+    Image,
+    /// `application/postscript` — the era's paper format.
+    Postscript,
+}
+
+impl ContentType {
+    /// The MIME-ish string on the wire.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ContentType::Html => "text/html",
+            ContentType::Image => "image/gif",
+            ContentType::Postscript => "application/postscript",
+        }
+    }
+
+    /// Parses the wire string, defaulting unknown types to non-HTML.
+    pub fn from_str_lossy(s: &str) -> Self {
+        match s {
+            "text/html" => ContentType::Html,
+            "image/gif" => ContentType::Image,
+            _ => ContentType::Postscript,
+        }
+    }
+}
+
+/// One page on a [`crate::Site`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Document {
+    /// Absolute path on its site (`/research/index.html`).
+    pub path: String,
+    /// Body size in bytes — what a `get` transfers.
+    pub size: u64,
+    /// Media type.
+    pub content_type: ContentType,
+    /// Age in days (Webbot "can be used to gather statistics on web pages
+    /// such as link validity, age, and type").
+    pub age_days: u32,
+    /// Link targets as they appear in the page: absolute paths for
+    /// internal links, full `http://` URLs for external ones.
+    pub links: Vec<String>,
+    /// When set, requests for this path answer `301 Moved` pointing at
+    /// the target instead of serving a body.
+    pub redirect_to: Option<String>,
+}
+
+impl Document {
+    /// A new HTML document.
+    pub fn html(path: impl Into<String>, size: u64) -> Self {
+        Document {
+            path: path.into(),
+            size,
+            content_type: ContentType::Html,
+            age_days: 0,
+            links: Vec::new(),
+            redirect_to: None,
+        }
+    }
+
+    /// A new non-HTML asset.
+    pub fn asset(path: impl Into<String>, size: u64, content_type: ContentType) -> Self {
+        Document {
+            path: path.into(),
+            size,
+            content_type,
+            age_days: 0,
+            links: Vec::new(),
+            redirect_to: None,
+        }
+    }
+
+    /// A `301 Moved Permanently` stub pointing at `target`.
+    pub fn moved(path: impl Into<String>, target: impl Into<String>) -> Self {
+        Document {
+            path: path.into(),
+            size: 0,
+            content_type: ContentType::Html,
+            age_days: 0,
+            links: Vec::new(),
+            redirect_to: Some(target.into()),
+        }
+    }
+
+    /// Adds a link target.
+    pub fn link(mut self, target: impl Into<String>) -> Self {
+        self.links.push(target.into());
+        self
+    }
+
+    /// Whether Webbot parses this page for further links.
+    pub fn is_html(&self) -> bool {
+        self.content_type == ContentType::Html
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn content_type_roundtrip() {
+        for ct in [ContentType::Html, ContentType::Image, ContentType::Postscript] {
+            assert_eq!(ContentType::from_str_lossy(ct.as_str()), ct);
+        }
+        assert_eq!(ContentType::from_str_lossy("wat"), ContentType::Postscript);
+    }
+
+    #[test]
+    fn builders() {
+        let doc = Document::html("/index.html", 1234)
+            .link("/a.html")
+            .link("http://other.host/b.html");
+        assert!(doc.is_html());
+        assert_eq!(doc.links.len(), 2);
+        assert!(!Document::asset("/x.gif", 10, ContentType::Image).is_html());
+    }
+}

@@ -1,0 +1,31 @@
+//! The synthetic web: the substrate under the paper's §5 case study.
+//!
+//! The experiment needs "our local computer science department web server"
+//! — 917 HTML pages totalling 3 MB, a tree reachable from the topmost
+//! index page, some dead internal links, and links pointing outside the
+//! department (which Webbot logs as rejected). This crate builds exactly
+//! that, deterministically:
+//!
+//! * [`WebUrl`] — a minimal `http://host/path` URL type.
+//! * [`Document`] / [`Site`] — pages with sizes, content types, ages, and
+//!   link lists.
+//! * [`SiteSpec`] / [`Site::generate`] — a seeded generator whose page
+//!   count, byte volume, dead-link rate, and external-link rate are all
+//!   dialled in (the §5 numbers are [`SiteSpec::paper_site`]).
+//! * [`WebServer`] — the `ag_http` service agent: serves `get`/`head`
+//!   over briefcase RPC, with response bodies padded to the page's real
+//!   size so the simulated network charges real transfer costs, and a
+//!   calibrated per-request server processing time.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod document;
+mod server;
+mod site;
+mod url;
+
+pub use document::{ContentType, Document};
+pub use server::{FetchOutcome, WebClient, WebServer, DEFAULT_SERVER_WORK_NS};
+pub use site::{Site, SiteSpec};
+pub use url::{ParseWebUrlError, WebUrl};

@@ -1,0 +1,401 @@
+//! Sites and the seeded site generator.
+
+use std::collections::{BTreeMap, HashSet, VecDeque};
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+use crate::{ContentType, Document};
+
+/// Parameters for generating a synthetic site.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SiteSpec {
+    /// The host serving the site.
+    pub host: String,
+    /// Number of HTML pages.
+    pub pages: usize,
+    /// Total bytes across all documents (exact).
+    pub total_bytes: u64,
+    /// RNG seed: same spec, same site.
+    pub seed: u64,
+    /// Maximum tree depth from the index page (every page reachable
+    /// within this many hops — §5's "all pages can eventually be reached
+    /// from the topmost index page", within Webbot's depth-4 limit).
+    pub max_depth: usize,
+    /// Extra cross-links per page beyond the spanning tree.
+    pub extra_links_per_page: f64,
+    /// Fraction of links that dangle (point at missing local paths).
+    pub broken_internal_rate: f64,
+    /// Fraction of links that point at other hosts.
+    pub external_rate: f64,
+    /// The other hosts external links may target.
+    pub external_hosts: Vec<String>,
+    /// Fraction of external links that point at missing remote paths.
+    pub broken_external_rate: f64,
+    /// Fraction of additional non-HTML assets (relative to page count).
+    pub non_html_rate: f64,
+    /// Fraction of pages that additionally have a `301 Moved` alias
+    /// pointing at them (old URLs that relocated).
+    pub redirect_rate: f64,
+}
+
+impl SiteSpec {
+    /// The §5 department server: 917 HTML pages, 3 MB, reachable within
+    /// depth 4.
+    pub fn paper_site(host: impl Into<String>) -> Self {
+        SiteSpec {
+            host: host.into(),
+            pages: 917,
+            total_bytes: 3_000_000,
+            seed: 1900,
+            max_depth: 4,
+            extra_links_per_page: 4.0,
+            broken_internal_rate: 0.02,
+            external_rate: 0.08,
+            external_hosts: Vec::new(),
+            broken_external_rate: 0.25,
+            non_html_rate: 0.0,
+            redirect_rate: 0.01,
+        }
+    }
+
+    /// A small site for unit tests.
+    pub fn small(host: impl Into<String>, pages: usize, seed: u64) -> Self {
+        SiteSpec {
+            host: host.into(),
+            pages,
+            total_bytes: (pages as u64) * 2048,
+            seed,
+            max_depth: 4,
+            extra_links_per_page: 2.0,
+            broken_internal_rate: 0.05,
+            external_rate: 0.1,
+            external_hosts: Vec::new(),
+            broken_external_rate: 0.5,
+            non_html_rate: 0.1,
+            redirect_rate: 0.05,
+        }
+    }
+
+    /// Sets the external hosts links may point to.
+    pub fn with_external_hosts<I, S>(mut self, hosts: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.external_hosts = hosts.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Scales the byte volume (the E2 sweep), keeping everything else.
+    pub fn with_total_bytes(mut self, total: u64) -> Self {
+        self.total_bytes = total;
+        self
+    }
+}
+
+/// A complete web site: documents by path.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Site {
+    host: String,
+    documents: BTreeMap<String, Document>,
+}
+
+impl Site {
+    /// An empty site on `host`.
+    pub fn empty(host: impl Into<String>) -> Self {
+        Site { host: host.into(), documents: BTreeMap::new() }
+    }
+
+    /// Adds a document (hand-built sites for tests).
+    pub fn add(&mut self, doc: Document) -> &mut Self {
+        self.documents.insert(doc.path.clone(), doc);
+        self
+    }
+
+    /// Generates a site from a spec. Deterministic in the spec.
+    pub fn generate(spec: &SiteSpec) -> Site {
+        let mut rng = StdRng::seed_from_u64(spec.seed);
+        let mut site = Site::empty(spec.host.clone());
+        if spec.pages == 0 {
+            return site;
+        }
+
+        // Page paths and a depth-bounded spanning tree.
+        let paths: Vec<String> = (0..spec.pages)
+            .map(|i| if i == 0 { "/index.html".to_owned() } else { format!("/p/{i:04}.html") })
+            .collect();
+        let mut depths = vec![0usize; spec.pages];
+        let mut docs: Vec<Document> = paths.iter().map(|p| Document::html(p, 0)).collect();
+
+        for i in 1..spec.pages {
+            // Pick a parent that keeps this page within the depth bound.
+            let parent = loop {
+                let candidate = rng.random_range(0..i);
+                if depths[candidate] < spec.max_depth {
+                    break candidate;
+                }
+            };
+            depths[i] = depths[parent] + 1;
+            let child_path = paths[i].clone();
+            docs[parent].links.push(child_path);
+        }
+
+        // Extra links: cross links, dead links, external links.
+        let mut dead_counter = 0usize;
+        let mut ext_counter = 0usize;
+        for doc in docs.iter_mut().take(spec.pages) {
+            let n_extra = rng.random_range(0.0..spec.extra_links_per_page * 2.0) as usize;
+            for _ in 0..n_extra {
+                let roll: f64 = rng.random();
+                if roll < spec.broken_internal_rate {
+                    dead_counter += 1;
+                    doc.links.push(format!("/dead/{dead_counter:04}.html"));
+                } else if roll < spec.broken_internal_rate + spec.external_rate
+                    && !spec.external_hosts.is_empty()
+                {
+                    let host_idx = rng.random_range(0..spec.external_hosts.len());
+                    let host = &spec.external_hosts[host_idx];
+                    ext_counter += 1;
+                    if rng.random::<f64>() < spec.broken_external_rate {
+                        doc.links.push(format!("http://{host}/missing/{ext_counter:04}.html"));
+                    } else {
+                        doc.links.push(format!("http://{host}/index.html"));
+                    }
+                } else {
+                    let target = rng.random_range(0..spec.pages);
+                    let target_path = paths[target].clone();
+                    doc.links.push(target_path);
+                }
+            }
+            doc.age_days = rng.random_range(0..1500);
+        }
+
+        // Moved aliases: old URLs that 301 to a live page, linked from a
+        // random page so robots encounter them.
+        let n_moved = (spec.pages as f64 * spec.redirect_rate) as usize;
+        let mut moved = Vec::with_capacity(n_moved);
+        for m in 0..n_moved {
+            let target = rng.random_range(0..spec.pages);
+            let path = format!("/moved/{m:04}.html");
+            let owner = rng.random_range(0..spec.pages);
+            docs[owner].links.push(path.clone());
+            let target_path = paths[target].clone();
+            moved.push(Document::moved(path, target_path));
+        }
+
+        // Non-HTML assets hanging off random pages.
+        let n_assets = (spec.pages as f64 * spec.non_html_rate) as usize;
+        let mut assets = Vec::with_capacity(n_assets);
+        for a in 0..n_assets {
+            let content_type =
+                if rng.random::<f64>() < 0.5 { ContentType::Image } else { ContentType::Postscript };
+            let path = format!("/assets/{a:04}.{}", if content_type == ContentType::Image { "gif" } else { "ps" });
+            let owner = rng.random_range(0..spec.pages);
+            docs[owner].links.push(path.clone());
+            assets.push(Document::asset(path, 0, content_type));
+        }
+
+        // Distribute the byte budget exactly.
+        let mut all: Vec<Document> = docs.into_iter().chain(assets).collect();
+        // Moved stubs carry no bytes; append after budget distribution.
+        let weights: Vec<f64> = (0..all.len()).map(|_| rng.random_range(0.2..3.0)).collect();
+        let weight_sum: f64 = weights.iter().sum();
+        let mut assigned = 0u64;
+        for (doc, w) in all.iter_mut().zip(&weights) {
+            let share = ((spec.total_bytes as f64) * w / weight_sum) as u64;
+            doc.size = share.max(64);
+            assigned += doc.size;
+        }
+        // Correct rounding drift on the index page (clamped at a floor).
+        if let Some(first) = all.first_mut() {
+            let drift = spec.total_bytes as i64 - assigned as i64;
+            first.size = (first.size as i64 + drift).max(64) as u64;
+        }
+
+        for doc in all.into_iter().chain(moved) {
+            site.add(doc);
+        }
+        site
+    }
+
+    /// The serving host.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// Looks a document up by absolute path.
+    pub fn get(&self, path: &str) -> Option<&Document> {
+        self.documents.get(path)
+    }
+
+    /// Number of documents (HTML + assets).
+    pub fn document_count(&self) -> usize {
+        self.documents.len()
+    }
+
+    /// Number of real HTML pages (redirect stubs excluded).
+    pub fn html_page_count(&self) -> usize {
+        self.documents.values().filter(|d| d.is_html() && d.redirect_to.is_none()).count()
+    }
+
+    /// Number of `301 Moved` stubs.
+    pub fn moved_count(&self) -> usize {
+        self.documents.values().filter(|d| d.redirect_to.is_some()).count()
+    }
+
+    /// Total bytes across documents.
+    pub fn total_bytes(&self) -> u64 {
+        self.documents.values().map(|d| d.size).sum()
+    }
+
+    /// All documents in path order.
+    pub fn documents(&self) -> impl Iterator<Item = &Document> {
+        self.documents.values()
+    }
+
+    /// Paths reachable from `/index.html` within `max_depth` hops,
+    /// following only local HTML links that resolve.
+    pub fn reachable_within(&self, max_depth: usize) -> HashSet<String> {
+        let mut seen = HashSet::new();
+        let mut queue = VecDeque::new();
+        if self.documents.contains_key("/index.html") {
+            seen.insert("/index.html".to_owned());
+            queue.push_back(("/index.html".to_owned(), 0usize));
+        }
+        while let Some((path, depth)) = queue.pop_front() {
+            let Some(doc) = self.documents.get(&path) else { continue };
+            // A moved stub passes straight through to its target (the
+            // robot follows the 301 without spending a depth level).
+            if let Some(target) = &doc.redirect_to {
+                if self.documents.contains_key(target) && seen.insert(target.clone()) {
+                    queue.push_back((target.clone(), depth));
+                }
+                continue;
+            }
+            if depth >= max_depth {
+                continue;
+            }
+            if !doc.is_html() {
+                continue;
+            }
+            for link in &doc.links {
+                if link.starts_with('/') && self.documents.contains_key(link) && seen.insert(link.clone())
+                {
+                    queue.push_back((link.clone(), depth + 1));
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_site_matches_headline_numbers() {
+        let spec = SiteSpec::paper_site("server").with_external_hosts(["ext1", "ext2"]);
+        let site = Site::generate(&spec);
+        assert_eq!(site.html_page_count(), 917);
+        assert_eq!(site.total_bytes(), 3_000_000);
+        assert!(site.moved_count() > 0, "some URLs have moved");
+        for doc in site.documents().filter(|d| d.redirect_to.is_some()) {
+            let target = doc.redirect_to.as_deref().unwrap();
+            assert!(site.get(target).is_some(), "moved stub must point at a live page");
+        }
+        // Every real page reachable from the index within the depth bound
+        // (moved stubs may also appear in the reachable set).
+        let real_reachable = site
+            .reachable_within(4)
+            .iter()
+            .filter(|p| site.get(p).is_some_and(|d| d.redirect_to.is_none()))
+            .count();
+        assert_eq!(real_reachable, 917);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let spec = SiteSpec::small("h", 50, 7);
+        let a = Site::generate(&spec);
+        let b = Site::generate(&spec);
+        assert_eq!(a.total_bytes(), b.total_bytes());
+        let links_a: Vec<_> = a.documents().flat_map(|d| d.links.clone()).collect();
+        let links_b: Vec<_> = b.documents().flat_map(|d| d.links.clone()).collect();
+        assert_eq!(links_a, links_b);
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = Site::generate(&SiteSpec::small("h", 50, 1));
+        let b = Site::generate(&SiteSpec::small("h", 50, 2));
+        let links_a: Vec<_> = a.documents().flat_map(|d| d.links.clone()).collect();
+        let links_b: Vec<_> = b.documents().flat_map(|d| d.links.clone()).collect();
+        assert_ne!(links_a, links_b);
+    }
+
+    #[test]
+    fn dead_links_exist_and_dangle() {
+        let spec = SiteSpec::paper_site("server");
+        let site = Site::generate(&spec);
+        let dead: Vec<String> = site
+            .documents()
+            .flat_map(|d| d.links.iter())
+            .filter(|l| l.starts_with("/dead/"))
+            .cloned()
+            .collect();
+        assert!(!dead.is_empty(), "the case study needs dead links to find");
+        for d in dead {
+            assert!(site.get(&d).is_none());
+        }
+    }
+
+    #[test]
+    fn external_links_only_with_external_hosts() {
+        let without = Site::generate(&SiteSpec::paper_site("server"));
+        assert!(!without.documents().flat_map(|d| d.links.iter()).any(|l| l.starts_with("http://")));
+
+        let with = Site::generate(&SiteSpec::paper_site("server").with_external_hosts(["ext1"]));
+        let externals: Vec<&String> = with
+            .documents()
+            .flat_map(|d| d.links.iter())
+            .filter(|l| l.starts_with("http://"))
+            .collect();
+        assert!(!externals.is_empty());
+        assert!(externals.iter().all(|l| l.starts_with("http://ext1/")));
+    }
+
+    #[test]
+    fn assets_are_linked_and_not_html() {
+        let spec = SiteSpec::small("h", 40, 3);
+        let site = Site::generate(&spec);
+        let assets: Vec<&Document> = site.documents().filter(|d| !d.is_html()).collect();
+        assert!(!assets.is_empty());
+        for asset in assets {
+            assert!(site
+                .documents()
+                .any(|d| d.is_html() && d.links.contains(&asset.path)));
+        }
+    }
+
+    #[test]
+    fn volume_scaling_is_exact() {
+        // Totals large enough that the 64-byte per-document floor never
+        // binds; tiny totals are legitimately floored upward.
+        for total in [1_000_000u64, 3_000_000, 30_000_000] {
+            let spec = SiteSpec::paper_site("server").with_total_bytes(total);
+            assert_eq!(Site::generate(&spec).total_bytes(), total, "total {total}");
+        }
+    }
+
+    #[test]
+    fn empty_spec_yields_empty_site() {
+        let mut spec = SiteSpec::small("h", 0, 1);
+        spec.total_bytes = 0;
+        let site = Site::generate(&spec);
+        assert_eq!(site.document_count(), 0);
+        assert!(site.reachable_within(4).is_empty());
+    }
+}

@@ -1,0 +1,146 @@
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A minimal web URL: `http://host/path`.
+///
+/// ```
+/// use tacoma_web::WebUrl;
+///
+/// let url: WebUrl = "http://www.cs.uit.no/index.html".parse().unwrap();
+/// assert_eq!(url.host(), "www.cs.uit.no");
+/// assert_eq!(url.path(), "/index.html");
+/// assert!(url.to_string().starts_with("http://"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct WebUrl {
+    host: String,
+    path: String,
+}
+
+/// Error from parsing a [`WebUrl`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseWebUrlError {
+    /// The rejected input.
+    pub input: String,
+}
+
+impl fmt::Display for ParseWebUrlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid web URL {:?} (expected http://host/path)", self.input)
+    }
+}
+
+impl std::error::Error for ParseWebUrlError {}
+
+impl WebUrl {
+    /// Builds a URL from a host and an absolute path.
+    pub fn new(host: impl Into<String>, path: impl Into<String>) -> Self {
+        let mut path = path.into();
+        if !path.starts_with('/') {
+            path.insert(0, '/');
+        }
+        WebUrl { host: host.into(), path }
+    }
+
+    /// The host part.
+    pub fn host(&self) -> &str {
+        &self.host
+    }
+
+    /// The absolute path part.
+    pub fn path(&self) -> &str {
+        &self.path
+    }
+
+    /// Resolves a link target found on this page: absolute `http://` URLs
+    /// stand alone; absolute paths stay on this host.
+    pub fn join(&self, target: &str) -> Result<WebUrl, ParseWebUrlError> {
+        if target.starts_with("http://") {
+            target.parse()
+        } else if target.starts_with('/') {
+            Ok(WebUrl::new(self.host.clone(), target))
+        } else {
+            // Relative path: resolve against this page's directory.
+            let dir = match self.path.rfind('/') {
+                Some(i) => &self.path[..=i],
+                None => "/",
+            };
+            Ok(WebUrl::new(self.host.clone(), format!("{dir}{target}")))
+        }
+    }
+
+    /// Whether this URL's text starts with `prefix` — Webbot's constraint
+    /// ("restricting URIs checked to those matching a specific prefix").
+    pub fn matches_prefix(&self, prefix: &str) -> bool {
+        self.to_string().starts_with(prefix)
+    }
+}
+
+impl FromStr for WebUrl {
+    type Err = ParseWebUrlError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseWebUrlError { input: s.to_owned() };
+        let rest = s.strip_prefix("http://").ok_or_else(err)?;
+        let (host, path) = match rest.find('/') {
+            Some(i) => (&rest[..i], &rest[i..]),
+            None => (rest, "/"),
+        };
+        if host.is_empty()
+            || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
+        {
+            return Err(err());
+        }
+        Ok(WebUrl::new(host, path))
+    }
+}
+
+impl fmt::Display for WebUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "http://{}{}", self.host, self.path)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display_roundtrip() {
+        for text in ["http://a.b/", "http://a.b/x/y.html", "http://host/"] {
+            let url: WebUrl = text.parse().unwrap();
+            assert_eq!(url.to_string(), text);
+        }
+    }
+
+    #[test]
+    fn host_only_gets_root_path() {
+        let url: WebUrl = "http://example.org".parse().unwrap();
+        assert_eq!(url.path(), "/");
+    }
+
+    #[test]
+    fn bad_urls_rejected() {
+        assert!("ftp://x/".parse::<WebUrl>().is_err());
+        assert!("http:///x".parse::<WebUrl>().is_err());
+        assert!("http://bad host/".parse::<WebUrl>().is_err());
+        assert!("".parse::<WebUrl>().is_err());
+    }
+
+    #[test]
+    fn join_resolves_absolute_relative_and_full() {
+        let page: WebUrl = "http://h/dir/page.html".parse().unwrap();
+        assert_eq!(page.join("/top.html").unwrap().to_string(), "http://h/top.html");
+        assert_eq!(page.join("sib.html").unwrap().to_string(), "http://h/dir/sib.html");
+        assert_eq!(page.join("http://other/x").unwrap().to_string(), "http://other/x");
+    }
+
+    #[test]
+    fn prefix_constraint() {
+        let url: WebUrl = "http://www.cs.uit.no/research/x.html".parse().unwrap();
+        assert!(url.matches_prefix("http://www.cs.uit.no/"));
+        assert!(!url.matches_prefix("http://www.uit.no/"));
+    }
+}

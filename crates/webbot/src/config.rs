@@ -1,0 +1,81 @@
+use serde::{Deserialize, Serialize};
+use tacoma_briefcase::Briefcase;
+use tacoma_web::WebUrl;
+
+/// Webbot's run configuration: the §5 constraints.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WebbotConfig {
+    /// The reference page traversal starts from.
+    pub start: WebUrl,
+    /// Maximum search-tree depth. The paper used 4 ("Webbot became
+    /// unstable with a search tree deeper than 4").
+    pub max_depth: usize,
+    /// Only URIs whose text starts with this prefix are checked; others
+    /// are logged as rejected.
+    pub prefix: String,
+    /// Fixed robot CPU cost per page processed (parsing, bookkeeping).
+    pub page_work_ns: u64,
+    /// Robot CPU cost per body byte parsed.
+    pub byte_work_ns: u64,
+}
+
+impl WebbotConfig {
+    /// A scan of `host`'s whole site from its index page, depth 4 — the
+    /// §5 configuration.
+    pub fn scan_site(host: &str) -> Self {
+        WebbotConfig {
+            start: WebUrl::new(host, "/index.html"),
+            max_depth: 4,
+            prefix: format!("http://{host}/"),
+            page_work_ns: 500_000, // 0.5 ms fixed per page
+            byte_work_ns: 300,     // 0.3 µs per body byte
+        }
+    }
+
+    /// Writes the config into briefcase folders (the arguments mwWebbot
+    /// passes to `ag_exec`).
+    pub fn write_to(&self, bc: &mut Briefcase) {
+        bc.set_single("WBT:START", self.start.to_string());
+        bc.set_single("WBT:DEPTH", self.max_depth as i64);
+        bc.set_single("WBT:PREFIX", self.prefix.as_str());
+        bc.set_single("WBT:PAGE-WORK-NS", self.page_work_ns as i64);
+        bc.set_single("WBT:BYTE-WORK-NS", self.byte_work_ns as i64);
+    }
+
+    /// Reads a config back from briefcase folders.
+    pub fn read_from(bc: &Briefcase) -> Option<Self> {
+        Some(WebbotConfig {
+            start: bc.single_str("WBT:START").ok()?.parse().ok()?,
+            max_depth: bc.single_i64("WBT:DEPTH").ok()?.max(0) as usize,
+            prefix: bc.single_str("WBT:PREFIX").ok()?.to_owned(),
+            page_work_ns: bc.single_i64("WBT:PAGE-WORK-NS").unwrap_or(500_000).max(0) as u64,
+            byte_work_ns: bc.single_i64("WBT:BYTE-WORK-NS").unwrap_or(300).max(0) as u64,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn briefcase_roundtrip() {
+        let config = WebbotConfig::scan_site("www.cs.uit.no");
+        let mut bc = Briefcase::new();
+        config.write_to(&mut bc);
+        assert_eq!(WebbotConfig::read_from(&bc), Some(config));
+    }
+
+    #[test]
+    fn missing_folders_yield_none() {
+        assert_eq!(WebbotConfig::read_from(&Briefcase::new()), None);
+    }
+
+    #[test]
+    fn scan_site_uses_paper_constraints() {
+        let config = WebbotConfig::scan_site("server");
+        assert_eq!(config.max_depth, 4);
+        assert_eq!(config.prefix, "http://server/");
+        assert_eq!(config.start.path(), "/index.html");
+    }
+}

@@ -1,0 +1,40 @@
+//! The §5 case study: **mining for dead links** with a mobilized Webbot.
+//!
+//! > "The idea here is to take a stationary web robot and encapsulate it
+//! > using a mobile agent wrapper. […] We are able to achieve this by
+//! > reusing an existing freely available robot and without relying on
+//! > special system support in the execution environment of the web
+//! > server, beyond the basic TAX agent system."
+//!
+//! Three layers, matching Figure 5:
+//!
+//! * [`Webbot`] — the stationary robot itself (our reimplementation of the
+//!   W3C Webbot): depth-first link validation under a depth limit and a
+//!   URI-prefix constraint, logging followed, invalid, and **rejected**
+//!   links. It only talks to the web through
+//!   [`WebClient`](tacoma_web::WebClient), so the identical "binary" runs
+//!   from anywhere.
+//! * [`mw_webbot`](mobile) — the mobility wrapper: carries the Webbot
+//!   binary in its briefcase, relocates to the web server, runs it there
+//!   through `ag_exec`, re-checks the URIs Webbot rejected for pointing
+//!   outside the prefix, and ships only the combined report home.
+//! * `rwWebbot` — the monitoring layer is the kernel's stock
+//!   [`monitor`](tacoma_core::wrappers::MonitorWrapper) wrapper, stacked
+//!   around `mw_webbot` exactly as in Figure 5.
+//!
+//! [`experiment`] packages the paper's measurement: the same scan run
+//! stationary (pulling pages over the network) and mobile (at the
+//! server), on the same generated site, under the same cost model.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+pub mod experiment;
+pub mod mobile;
+mod report;
+mod robot;
+
+pub use config::WebbotConfig;
+pub use report::{LinkIssue, Rejected, RejectReason, WebbotReport};
+pub use robot::Webbot;

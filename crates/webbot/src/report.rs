@@ -1,0 +1,246 @@
+use serde::{Deserialize, Serialize};
+use tacoma_briefcase::Briefcase;
+
+/// Why a discovered link was not followed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RejectReason {
+    /// The URI falls outside the configured prefix — the links the §5
+    /// wrapper re-checks in its second step.
+    Prefix,
+    /// Following it would exceed the depth limit.
+    Depth,
+}
+
+impl RejectReason {
+    fn as_str(self) -> &'static str {
+        match self {
+            RejectReason::Prefix => "prefix",
+            RejectReason::Depth => "depth",
+        }
+    }
+
+    fn from_str_lossy(s: &str) -> Self {
+        if s == "depth" {
+            RejectReason::Depth
+        } else {
+            RejectReason::Prefix
+        }
+    }
+}
+
+/// An invalid link: where it was found and what failed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LinkIssue {
+    /// The page carrying the link.
+    pub referrer: String,
+    /// The broken target.
+    pub url: String,
+    /// Status observed (404, or 0 for unreachable host).
+    pub status: u16,
+}
+
+/// A link logged but not followed.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Rejected {
+    /// The page carrying the link.
+    pub referrer: String,
+    /// The target that was not followed.
+    pub url: String,
+    /// Why.
+    pub reason: RejectReason,
+}
+
+/// Everything a Webbot run produces — the statistics the paper's robot
+/// gathers (link validity, age, type) plus the rejected-link log the
+/// wrapper's second step consumes.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct WebbotReport {
+    /// Pages fetched and processed.
+    pub pages_scanned: u64,
+    /// Body bytes transferred by the scan.
+    pub bytes_fetched: u64,
+    /// Links checked (followed or validated).
+    pub links_checked: u64,
+    /// Sum of page ages, for the mean-age statistic.
+    pub age_days_total: u64,
+    /// Non-HTML documents encountered.
+    pub non_html: u64,
+    /// `301 Moved` responses followed.
+    pub redirects: u64,
+    /// Broken links found.
+    pub invalid: Vec<LinkIssue>,
+    /// Links rejected by constraints.
+    pub rejected: Vec<Rejected>,
+}
+
+impl WebbotReport {
+    /// Mean page age in days, if any pages were scanned.
+    pub fn mean_age_days(&self) -> Option<f64> {
+        if self.pages_scanned == 0 {
+            None
+        } else {
+            Some(self.age_days_total as f64 / self.pages_scanned as f64)
+        }
+    }
+
+    /// The prefix-rejected URIs — the §5 second-step work list.
+    pub fn prefix_rejected(&self) -> impl Iterator<Item = &Rejected> {
+        self.rejected.iter().filter(|r| r.reason == RejectReason::Prefix)
+    }
+
+    /// Serializes the report into `WBT:` briefcase folders.
+    pub fn write_to(&self, bc: &mut Briefcase) {
+        bc.set_single("WBT:PAGES", self.pages_scanned as i64);
+        bc.set_single("WBT:BYTES", self.bytes_fetched as i64);
+        bc.set_single("WBT:CHECKED", self.links_checked as i64);
+        bc.set_single("WBT:AGE-TOTAL", self.age_days_total as i64);
+        bc.set_single("WBT:NON-HTML", self.non_html as i64);
+        bc.set_single("WBT:REDIRECTS", self.redirects as i64);
+        let invalid = bc.ensure_folder("WBT:INVALID");
+        invalid.clear();
+        for issue in &self.invalid {
+            invalid.append(format!("{} {} {}", issue.status, issue.referrer, issue.url));
+        }
+        let rejected = bc.ensure_folder("WBT:REJECTED");
+        rejected.clear();
+        for r in &self.rejected {
+            rejected.append(format!("{} {} {}", r.reason.as_str(), r.referrer, r.url));
+        }
+    }
+
+    /// Reads a report back from `WBT:` folders (tolerant of missing
+    /// counters, strict enough to drop malformed lines).
+    pub fn read_from(bc: &Briefcase) -> WebbotReport {
+        let mut report = WebbotReport {
+            pages_scanned: bc.single_i64("WBT:PAGES").unwrap_or(0).max(0) as u64,
+            bytes_fetched: bc.single_i64("WBT:BYTES").unwrap_or(0).max(0) as u64,
+            links_checked: bc.single_i64("WBT:CHECKED").unwrap_or(0).max(0) as u64,
+            age_days_total: bc.single_i64("WBT:AGE-TOTAL").unwrap_or(0).max(0) as u64,
+            non_html: bc.single_i64("WBT:NON-HTML").unwrap_or(0).max(0) as u64,
+            redirects: bc.single_i64("WBT:REDIRECTS").unwrap_or(0).max(0) as u64,
+            ..WebbotReport::default()
+        };
+        if let Some(folder) = bc.folder("WBT:INVALID") {
+            for e in folder {
+                let Ok(line) = e.as_str() else { continue };
+                let mut parts = line.splitn(3, ' ');
+                let (Some(status), Some(referrer), Some(url)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                let Ok(status) = status.parse() else { continue };
+                report.invalid.push(LinkIssue {
+                    referrer: referrer.to_owned(),
+                    url: url.to_owned(),
+                    status,
+                });
+            }
+        }
+        if let Some(folder) = bc.folder("WBT:REJECTED") {
+            for e in folder {
+                let Ok(line) = e.as_str() else { continue };
+                let mut parts = line.splitn(3, ' ');
+                let (Some(reason), Some(referrer), Some(url)) =
+                    (parts.next(), parts.next(), parts.next())
+                else {
+                    continue;
+                };
+                report.rejected.push(Rejected {
+                    referrer: referrer.to_owned(),
+                    url: url.to_owned(),
+                    reason: RejectReason::from_str_lossy(reason),
+                });
+            }
+        }
+        report
+    }
+
+    /// A one-line human summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} pages, {} bytes, {} links checked, {} invalid, {} rejected",
+            self.pages_scanned,
+            self.bytes_fetched,
+            self.links_checked,
+            self.invalid.len(),
+            self.rejected.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> WebbotReport {
+        WebbotReport {
+            pages_scanned: 917,
+            bytes_fetched: 3_000_000,
+            links_checked: 5000,
+            age_days_total: 90_000,
+            non_html: 12,
+            redirects: 3,
+            invalid: vec![LinkIssue {
+                referrer: "http://s/index.html".into(),
+                url: "http://s/dead/0001.html".into(),
+                status: 404,
+            }],
+            rejected: vec![
+                Rejected {
+                    referrer: "http://s/p/0001.html".into(),
+                    url: "http://ext/x.html".into(),
+                    reason: RejectReason::Prefix,
+                },
+                Rejected {
+                    referrer: "http://s/p/0002.html".into(),
+                    url: "http://s/p/0003.html".into(),
+                    reason: RejectReason::Depth,
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn briefcase_roundtrip() {
+        let report = sample();
+        let mut bc = Briefcase::new();
+        report.write_to(&mut bc);
+        assert_eq!(WebbotReport::read_from(&bc), report);
+    }
+
+    #[test]
+    fn prefix_rejected_filters_depth() {
+        let report = sample();
+        let work: Vec<&Rejected> = report.prefix_rejected().collect();
+        assert_eq!(work.len(), 1);
+        assert_eq!(work[0].url, "http://ext/x.html");
+    }
+
+    #[test]
+    fn mean_age() {
+        assert_eq!(sample().mean_age_days(), Some(90_000.0 / 917.0));
+        assert_eq!(WebbotReport::default().mean_age_days(), None);
+    }
+
+    #[test]
+    fn read_from_empty_briefcase_is_default() {
+        assert_eq!(WebbotReport::read_from(&Briefcase::new()), WebbotReport::default());
+    }
+
+    #[test]
+    fn malformed_lines_are_dropped_not_fatal() {
+        let mut bc = Briefcase::new();
+        sample().write_to(&mut bc);
+        bc.ensure_folder("WBT:INVALID").append("garbage");
+        bc.ensure_folder("WBT:INVALID").append("notanumber a b");
+        let report = WebbotReport::read_from(&bc);
+        assert_eq!(report.invalid.len(), 1);
+    }
+
+    #[test]
+    fn summary_mentions_key_counts() {
+        let s = sample().summary();
+        assert!(s.contains("917 pages") && s.contains("1 invalid"));
+    }
+}

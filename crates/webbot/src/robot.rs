@@ -1,0 +1,447 @@
+//! The stationary robot: a faithful reimplementation of the W3C Webbot's
+//! link-validation behaviour (§5).
+
+use std::collections::HashSet;
+
+use tacoma_core::HostHooks;
+use tacoma_web::{ContentType, WebClient, WebUrl};
+
+use crate::{LinkIssue, Rejected, RejectReason, WebbotConfig, WebbotReport};
+
+/// The robot. Stateless between runs; everything it learns goes into the
+/// [`WebbotReport`].
+#[derive(Debug, Default)]
+pub struct Webbot;
+
+impl Webbot {
+    /// A new robot.
+    pub fn new() -> Self {
+        Webbot
+    }
+
+    /// Runs one scan. The robot reaches the web only through the hooks'
+    /// `meet` (via [`WebClient`]), so the caller decides whether that is a
+    /// loopback or a network path — mobility without modifying the robot.
+    pub fn run(&self, config: &WebbotConfig, hooks: &mut dyn HostHooks) -> WebbotReport {
+        let mut report = WebbotReport::default();
+        // Best depth a URL has been reached at. Depth-first traversal can
+        // first find a page on a long path; if it is later rediscovered
+        // on a shorter one, it is re-expanded (from the local page cache,
+        // never refetched) so the depth limit prunes the same set of
+        // pages the shortest paths define.
+        let mut best_depth: std::collections::HashMap<WebUrl, usize> = Default::default();
+        // Fetched pages: `(is_html, links)`; `None` marks a fetch failure
+        // that must not be retried.
+        let mut cache: std::collections::HashMap<WebUrl, Option<(bool, Vec<String>)>> =
+            Default::default();
+        let mut rejected_seen: HashSet<(String, RejectReason)> = HashSet::new();
+        // Depth-first, like the original ("following links in depth first
+        // manner, subjected to certain constraints").
+        let mut stack: Vec<(WebUrl, usize, String)> = Vec::new();
+
+        if !config.start.matches_prefix(&config.prefix) {
+            report.rejected.push(Rejected {
+                referrer: "-".to_owned(),
+                url: config.start.to_string(),
+                reason: RejectReason::Prefix,
+            });
+            return report;
+        }
+        stack.push((config.start.clone(), 0, "-".to_owned()));
+
+        while let Some((url, depth, referrer)) = stack.pop() {
+            match best_depth.get(&url) {
+                Some(&d) if d <= depth => continue,
+                _ => {}
+            }
+            best_depth.insert(url.clone(), depth);
+
+            if !cache.contains_key(&url) {
+                report.links_checked += 1;
+                let mut client = WebClient::new(hooks);
+                let fetched = match client.get(&url) {
+                    None => {
+                        report.invalid.push(LinkIssue {
+                            referrer: referrer.clone(),
+                            url: url.to_string(),
+                            status: 0,
+                        });
+                        None
+                    }
+                    Some(page) if page.status == 301 => {
+                        report.redirects += 1;
+                        // Follow the Location header as a link found at
+                        // this page (prefix/depth constraints reapply).
+                        match page.location.as_deref().and_then(|l| url.join(l).ok()) {
+                            Some(target) => Some((true, vec![target.to_string()])),
+                            None => {
+                                report.invalid.push(LinkIssue {
+                                    referrer: referrer.clone(),
+                                    url: url.to_string(),
+                                    status: 301,
+                                });
+                                None
+                            }
+                        }
+                    }
+                    Some(page) if !page.is_ok() => {
+                        report.invalid.push(LinkIssue {
+                            referrer: referrer.clone(),
+                            url: url.to_string(),
+                            status: page.status,
+                        });
+                        None
+                    }
+                    Some(page) => {
+                        report.pages_scanned += 1;
+                        report.bytes_fetched += page.size;
+                        report.age_days_total += page.age_days as u64;
+                        // Robot-side processing cost: parse and bookkeep.
+                        hooks.work_ns(config.page_work_ns + page.size * config.byte_work_ns);
+                        if page.content_type != ContentType::Html {
+                            report.non_html += 1;
+                            Some((false, Vec::new()))
+                        } else {
+                            Some((true, page.links))
+                        }
+                    }
+                };
+                cache.insert(url.clone(), fetched);
+            }
+
+            let Some(Some((is_html, links))) = cache.get(&url) else { continue };
+            if !is_html {
+                continue;
+            }
+            let links = links.clone();
+
+            let here = url.to_string();
+            for target in links.iter().rev() {
+                let Ok(resolved) = url.join(target) else {
+                    report.invalid.push(LinkIssue {
+                        referrer: here.clone(),
+                        url: target.clone(),
+                        status: 0,
+                    });
+                    continue;
+                };
+                if !resolved.matches_prefix(&config.prefix) {
+                    if rejected_seen.insert((resolved.to_string(), RejectReason::Prefix)) {
+                        report.rejected.push(Rejected {
+                            referrer: here.clone(),
+                            url: resolved.to_string(),
+                            reason: RejectReason::Prefix,
+                        });
+                    }
+                    continue;
+                }
+                if depth + 1 > config.max_depth {
+                    if rejected_seen.insert((resolved.to_string(), RejectReason::Depth)) {
+                        report.rejected.push(Rejected {
+                            referrer: here.clone(),
+                            url: resolved.to_string(),
+                            reason: RejectReason::Depth,
+                        });
+                    }
+                    continue;
+                }
+                match best_depth.get(&resolved) {
+                    Some(&d) if d <= depth + 1 => {}
+                    _ => stack.push((resolved, depth + 1, here.clone())),
+                }
+            }
+        }
+        report
+    }
+
+    /// The §5 second step: validate a list of URIs (typically the
+    /// prefix-rejected external links) with cheap `head` checks, returning
+    /// the invalid ones.
+    pub fn check_uris<'a, I>(
+        &self,
+        uris: I,
+        hooks: &mut dyn HostHooks,
+        per_check_work_ns: u64,
+    ) -> Vec<LinkIssue>
+    where
+        I: IntoIterator<Item = &'a Rejected>,
+    {
+        let mut invalid = Vec::new();
+        let mut checked: HashSet<String> = HashSet::new();
+        for rejected in uris {
+            if !checked.insert(rejected.url.clone()) {
+                continue;
+            }
+            hooks.work_ns(per_check_work_ns);
+            let Ok(url) = rejected.url.parse::<WebUrl>() else {
+                invalid.push(LinkIssue {
+                    referrer: rejected.referrer.clone(),
+                    url: rejected.url.clone(),
+                    status: 0,
+                });
+                continue;
+            };
+            let mut client = WebClient::new(hooks);
+            match client.head(&url) {
+                Some(outcome) if outcome.is_ok() => {}
+                Some(outcome) => invalid.push(LinkIssue {
+                    referrer: rejected.referrer.clone(),
+                    url: rejected.url.clone(),
+                    status: outcome.status,
+                }),
+                None => invalid.push(LinkIssue {
+                    referrer: rejected.referrer.clone(),
+                    url: rejected.url.clone(),
+                    status: 0,
+                }),
+            }
+        }
+        invalid
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_briefcase::{folders, Briefcase};
+    use tacoma_core::{GoDecision, NullHooks};
+    use tacoma_web::{Document, Site};
+
+    /// Hooks that answer `meet` by serving a set of in-memory sites —
+    /// letting robot logic be tested without a kernel.
+    struct FakeWeb {
+        sites: Vec<Site>,
+        requests: u64,
+        work: u64,
+    }
+
+    impl FakeWeb {
+        fn new(sites: Vec<Site>) -> Self {
+            FakeWeb { sites, requests: 0, work: 0 }
+        }
+    }
+
+    impl tacoma_core::HostHooks for FakeWeb {
+        fn display(&mut self, _: &str) {}
+        fn go(&mut self, _: &str, _: &Briefcase) -> GoDecision {
+            GoDecision::Unreachable
+        }
+        fn spawn(&mut self, _: &str, _: &Briefcase) -> Option<String> {
+            None
+        }
+        fn activate(&mut self, _: &str, _: &Briefcase) -> bool {
+            false
+        }
+        fn meet(&mut self, uri: &str, bc: &Briefcase) -> Option<Briefcase> {
+            self.requests += 1;
+            // uri is tacoma://<host>/ag_http
+            let host = uri.strip_prefix("tacoma://")?.split('/').next()?;
+            let site = self.sites.iter().find(|s| s.host() == host)?;
+            let verb = bc.single_str(folders::COMMAND).ok()?;
+            let path = bc.element(folders::ARGS, 0).ok()?.as_str().ok()?;
+            let mut reply = Briefcase::new();
+            reply.set_single(folders::STATUS, "ok");
+            match site.get(path) {
+                Some(doc) if doc.redirect_to.is_some() => {
+                    reply.set_single("HTTP-STATUS", 301i64);
+                    reply.set_single("LOCATION", doc.redirect_to.clone().unwrap());
+                    reply.set_single("SIZE", 0i64);
+                }
+                Some(doc) => {
+                    reply.set_single("HTTP-STATUS", 200i64);
+                    reply.set_single("CONTENT-TYPE", doc.content_type.as_str());
+                    reply.set_single("SIZE", doc.size as i64);
+                    reply.set_single("AGE-DAYS", doc.age_days as i64);
+                    if verb == "get" && doc.is_html() {
+                        for link in &doc.links {
+                            reply.append("LINKS", link.as_str());
+                        }
+                    }
+                }
+                None => {
+                    reply.set_single("HTTP-STATUS", 404i64);
+                    reply.set_single("SIZE", 0i64);
+                }
+            }
+            Some(reply)
+        }
+        fn await_bc(&mut self, _: i64) -> Option<Briefcase> {
+            None
+        }
+        fn now_ms(&mut self) -> i64 {
+            0
+        }
+        fn host_name(&mut self) -> String {
+            "tester".into()
+        }
+        fn work_ns(&mut self, nanos: u64) {
+            self.work += nanos;
+        }
+    }
+
+    fn dept_site() -> Site {
+        let mut s = Site::empty("cs");
+        s.add(
+            Document::html("/index.html", 1000)
+                .link("/a.html")
+                .link("/missing.html")
+                .link("http://outside/x.html")
+                .link("/pic.gif"),
+        );
+        s.add(Document::html("/a.html", 500).link("/b.html").link("/index.html"));
+        s.add(Document::html("/b.html", 400).link("/c.html"));
+        s.add(Document::html("/c.html", 300).link("/d.html"));
+        s.add(Document::html("/d.html", 200));
+        s.add(Document::asset("/pic.gif", 2000, ContentType::Image));
+        s
+    }
+
+    #[test]
+    fn finds_dead_links_and_counts_pages() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+
+        assert_eq!(report.pages_scanned, 6, "5 html + 1 gif");
+        assert_eq!(report.non_html, 1);
+        assert_eq!(report.invalid.len(), 1);
+        assert_eq!(report.invalid[0].url, "http://cs/missing.html");
+        assert_eq!(report.invalid[0].status, 404);
+        assert_eq!(report.bytes_fetched, 1000 + 500 + 400 + 300 + 200 + 2000);
+    }
+
+    #[test]
+    fn external_links_are_rejected_not_followed() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+        let prefix_rejected: Vec<_> = report.prefix_rejected().collect();
+        assert_eq!(prefix_rejected.len(), 1);
+        assert_eq!(prefix_rejected[0].url, "http://outside/x.html");
+    }
+
+    #[test]
+    fn depth_limit_rejects_deep_links() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let mut config = WebbotConfig::scan_site("cs");
+        config.max_depth = 3;
+        // index(0) -> a(1) -> b(2) -> c(3) -> d would be 4: rejected.
+        let report = Webbot::new().run(&config, &mut web);
+        assert!(report
+            .rejected
+            .iter()
+            .any(|r| r.reason == RejectReason::Depth && r.url == "http://cs/d.html"));
+        assert_eq!(report.pages_scanned, 5, "d.html not scanned");
+    }
+
+    #[test]
+    fn visited_pages_are_not_refetched() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+        // 6 ok documents + 1 404 = 7 fetches despite the back-link to
+        // index.
+        assert_eq!(web.requests, 7);
+        assert_eq!(report.links_checked, 7);
+    }
+
+    #[test]
+    fn robot_charges_cpu_work() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let config = WebbotConfig::scan_site("cs");
+        Webbot::new().run(&config, &mut web);
+        let expected_min = 6 * config.page_work_ns;
+        assert!(web.work >= expected_min, "work {} < {expected_min}", web.work);
+    }
+
+    #[test]
+    fn unreachable_server_is_invalid_status_zero() {
+        let mut web = FakeWeb::new(vec![]);
+        let config = WebbotConfig::scan_site("nowhere");
+        let report = Webbot::new().run(&config, &mut web);
+        assert_eq!(report.invalid.len(), 1);
+        assert_eq!(report.invalid[0].status, 0);
+        assert_eq!(report.pages_scanned, 0);
+    }
+
+    #[test]
+    fn out_of_prefix_start_is_rejected_immediately() {
+        let mut web = FakeWeb::new(vec![dept_site()]);
+        let mut config = WebbotConfig::scan_site("cs");
+        config.start = "http://other/index.html".parse().unwrap();
+        let report = Webbot::new().run(&config, &mut web);
+        assert_eq!(report.pages_scanned, 0);
+        assert_eq!(report.rejected.len(), 1);
+    }
+
+    #[test]
+    fn redirects_are_followed_and_counted() {
+        let mut site = dept_site();
+        site.add(Document::moved("/old-entry.html", "/hidden.html"));
+        site.add(Document::html("/hidden.html", 123));
+        // Link the moved stub from the index.
+        let mut index = site.get("/index.html").unwrap().clone();
+        index.links.push("/old-entry.html".to_owned());
+        site.add(index);
+
+        let mut web = FakeWeb::new(vec![site]);
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+        assert_eq!(report.redirects, 1);
+        // The redirect target was scanned like a normal page.
+        assert_eq!(report.pages_scanned, 7, "6 original docs + hidden.html");
+        assert!(report.bytes_fetched >= 123);
+    }
+
+    #[test]
+    fn redirect_chains_terminate_on_cycles() {
+        let mut site = Site::empty("cs");
+        site.add(Document::html("/index.html", 10).link("/a.html"));
+        site.add(Document::moved("/a.html", "/b.html"));
+        site.add(Document::moved("/b.html", "/a.html"));
+        let mut web = FakeWeb::new(vec![site]);
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+        // The visited set breaks the cycle: each stub fetched once.
+        assert_eq!(report.redirects, 2);
+        assert_eq!(report.pages_scanned, 1);
+    }
+
+    #[test]
+    fn second_step_checks_externals() {
+        let mut ext = Site::empty("outside");
+        ext.add(Document::html("/x.html", 10));
+        let mut web = FakeWeb::new(vec![dept_site(), ext]);
+
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut web);
+        let rejected: Vec<Rejected> = report.prefix_rejected().cloned().collect();
+        let invalid = Webbot::new().check_uris(rejected.iter(), &mut web, 100_000);
+        assert!(invalid.is_empty(), "x.html exists on outside: {invalid:?}");
+
+        // Now against a world where the external host lacks the page.
+        let mut web2 = FakeWeb::new(vec![dept_site(), Site::empty("outside")]);
+        let invalid = Webbot::new().check_uris(rejected.iter(), &mut web2, 100_000);
+        assert_eq!(invalid.len(), 1);
+        assert_eq!(invalid[0].status, 404);
+    }
+
+    #[test]
+    fn second_step_dedupes_urls() {
+        let rejected = [Rejected { referrer: "a".into(), url: "http://outside/x.html".into(), reason: RejectReason::Prefix },
+            Rejected { referrer: "b".into(), url: "http://outside/x.html".into(), reason: RejectReason::Prefix }];
+        let mut web = FakeWeb::new(vec![]);
+        let invalid = Webbot::new().check_uris(rejected.iter(), &mut web, 0);
+        assert_eq!(invalid.len(), 1, "same URL checked once");
+        assert_eq!(web.requests, 1);
+    }
+
+    #[test]
+    fn null_hooks_scan_reports_everything_unreachable() {
+        let mut hooks = NullHooks::default();
+        let config = WebbotConfig::scan_site("cs");
+        let report = Webbot::new().run(&config, &mut hooks);
+        assert_eq!(report.invalid.len(), 1);
+        assert_eq!(report.pages_scanned, 0);
+    }
+}

@@ -1,0 +1,47 @@
+//! Figure 3: an agent carrying *source code* arrives at `vm_c`; `ag_cc`
+//! extracts it, `ag_exec` runs the compiler, the binary goes back into
+//! the briefcase, and `vm_bin` executes it. The numbered steps are
+//! printed from the VM's execution trace.
+//!
+//! ```sh
+//! cargo run --example compile_pipeline
+//! ```
+
+use tacoma::core::{AgentSpec, EventKind, SystemBuilder, TaxError};
+
+fn main() -> Result<(), TaxError> {
+    let mut system = SystemBuilder::new().host("cl2")?.host("cl3")?.trust_all().build();
+
+    // Source in the briefcase, targeted at vm_c. After compiling on cl2
+    // the agent hops to cl3 — carrying the *binary* now, so vm_bin runs
+    // it there without recompiling.
+    let agent = AgentSpec::script(
+        "csource",
+        r#"
+        fn main() {
+            display("running on " + host_name());
+            if (host_name() == "cl2") {
+                go("tacoma://cl3/vm_bin");
+            }
+            exit(0);
+        }
+        "#,
+    )
+    .on_vm("vm_c");
+
+    system.launch("cl2", agent)?;
+    system.run_until_quiet();
+
+    for host in ["cl2", "cl3"] {
+        println!("--- execution trace on {host} ---");
+        for event in system.host(host).unwrap().events() {
+            if let EventKind::ExecutionTrace(lines) = &event.kind {
+                for line in lines {
+                    println!("  {line}");
+                }
+            }
+        }
+    }
+    println!("\nagent output: {:?}", system.agent_outputs());
+    Ok(())
+}

@@ -1,0 +1,113 @@
+//! A StormCast-flavoured distributed alarm — one of the application
+//! domains the TACOMA project used agents for ("data mining, distributed
+//! multi-media processing, software management, and distributed alarms").
+//!
+//! Sensor agents on weather-station hosts check their local readings
+//! (via each station's `ag_fs`); any reading over threshold raises a
+//! sealed alarm to the duty agent at the operations host. The seal
+//! wrapper drops a forged alarm injected by an unsealed host.
+//!
+//! ```sh
+//! cargo run --example distributed_alarm
+//! ```
+
+use tacoma::core::{AgentSpec, Principal, SystemBuilder, TaxError};
+
+fn main() -> Result<(), TaxError> {
+    let mut system = SystemBuilder::new()
+        .host("ops")?
+        .host("station1")?
+        .host("station2")?
+        .host("intruder")?
+        .trust_all()
+        .build();
+
+    // Seed each station's virtual file system with a wind reading.
+    let seed = |sys: &mut tacoma::core::TaxSystem, host: &str, value: &str| {
+        let principal = Principal::local_system(host);
+        let mut write = tacoma::core::Briefcase::new();
+        write.set_single("CMD", "write");
+        write.append("ARGS", "/sensors/wind.txt");
+        write.set_single("DATA", value.as_bytes().to_vec());
+        sys.call_service(host, "ag_fs", &principal, write).expect("seed reading");
+    };
+    seed(&mut system, "station1", "17");
+    seed(&mut system, "station2", "41"); // storm!
+
+    let key = "seal:57ac0a57";
+
+    // One itinerant inspector visits every station, reads the local
+    // sensor file, and raises an alarm when over threshold.
+    let inspector = AgentSpec::script(
+        "inspector",
+        r#"
+        fn main() {
+            if (host_name() != "ops") {
+                bc_set("CMD", "read");
+                bc_set("ARGS", "/sensors/wind.txt");
+                if (meet("ag_fs")) {
+                    let wind = int(bc_get("DATA", 0));
+                    display(host_name() + " wind " + str(wind) + " m/s");
+                    if (wind != nil && wind > 25) {
+                        bc_clear("CMD");
+                        bc_clear("ARGS");
+                        bc_set("ALARM", "storm at " + host_name() + ": " + str(wind) + " m/s");
+                        activate("tacoma://ops/duty");
+                    }
+                }
+                bc_clear("CMD");
+                bc_clear("ARGS");
+                bc_clear("DATA");
+                bc_clear("STATUS");
+            }
+            let next = bc_remove("HOSTS", 0);
+            if (next == nil) { exit(0); }
+            go(next);
+        }
+        "#,
+    )
+    .itinerary(["tacoma://station1/vm_script", "tacoma://station2/vm_script"])
+    .wrap(key);
+
+    // A forged alarm from a host without the seal key.
+    let intruder = AgentSpec::script(
+        "intruder",
+        r#"
+        fn main() {
+            bc_set("ALARM", "FORGED: evacuate immediately");
+            activate("tacoma://ops/duty");
+            exit(0);
+        }
+        "#,
+    );
+
+    // The duty agent at ops: accepts sealed alarms only.
+    let duty = AgentSpec::script(
+        "duty",
+        r#"
+        fn main() {
+            if (await_bc(5000)) {
+                display("ALARM RECEIVED: " + bc_get("ALARM", 0));
+            } else {
+                display("shift ended, no (valid) alarms");
+            }
+            exit(0);
+        }
+        "#,
+    )
+    .wrap(key);
+
+    system.launch("intruder", intruder)?; // fires first, must be dropped
+    system.launch("ops", inspector)?;
+    system.run_until_quiet();
+    system.launch("ops", duty)?;
+    system.run_until_quiet();
+
+    for line in system.agent_outputs() {
+        println!("{line}");
+    }
+    let out = system.agent_outputs();
+    assert!(out.iter().any(|l| l.contains("ALARM RECEIVED: storm at station2")));
+    assert!(!out.iter().any(|l| l.contains("FORGED")), "the seal must drop the forgery");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Figure 4, line for line: the hello-world itinerary agent, including
+//! the `if (go(next))` failure branch when a host is down.
+//!
+//! ```sh
+//! cargo run --example hello_itinerary
+//! ```
+
+use tacoma::core::{AgentSpec, SystemBuilder, TaxError};
+
+fn main() -> Result<(), TaxError> {
+    let mut system = SystemBuilder::new()
+        .host("tromso")?
+        .host("oslo")?
+        .host("bergen")?
+        .host("trondheim")?
+        .trust_all()
+        .build();
+
+    // bergen is down; the agent must take the failure branch there.
+    system.network().with_topology(|t| {
+        t.crash_host(&"bergen".parse().expect("valid host id"));
+    });
+
+    // The paper's Figure 4 agent. In the original C:
+    //
+    //   while (1) {
+    //       displaySomehow("Hello world");
+    //       e = fRemove(bcIndex(bc, "HOSTS"), 1);
+    //       if (!e) exit(0);
+    //       next = eData(e);
+    //       if (go(next, bc)) displaySomehow("Unable to reach %s", next);
+    //   }
+    let agent = AgentSpec::script(
+        "hello",
+        r#"
+        fn main() {
+            while (1) {
+                display("Hello world");
+                let e = bc_remove("HOSTS", 0);
+                if (e == nil) { exit(0); }
+                if (go(e)) { display("Unable to reach " + e); }
+            }
+        }
+        "#,
+    )
+    .itinerary([
+        "tacoma://oslo/vm_script",
+        "tacoma://bergen/vm_script",
+        "tacoma://trondheim/vm_script",
+    ]);
+
+    system.launch("tromso", agent)?;
+    system.run_until_quiet();
+
+    for (host, event) in system.events() {
+        println!("{host:>10}  {event}");
+    }
+    Ok(())
+}

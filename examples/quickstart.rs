@@ -1,0 +1,58 @@
+//! Quickstart: a two-host TAX system, one mobile agent, one service call.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use tacoma::core::{AgentSpec, SystemBuilder, TaxError};
+
+fn main() -> Result<(), TaxError> {
+    // 1. A deployment: two hosts on the default 100 Mbit LAN, trusting
+    //    each other's system principals (one administrative domain).
+    let mut system = SystemBuilder::new().host("alpha")?.host("beta")?.trust_all().build();
+
+    // 2. An agent in TaxScript. It greets, asks the local compiler
+    //    service for a build, hops to beta, and greets again — all state
+    //    rides in its briefcase.
+    let agent = AgentSpec::script(
+        "quickstart",
+        r#"
+        fn main() {
+            display("hello from " + host_name());
+            if (host_name() == "beta") {
+                display("journey complete, visited " + str(bc_len("TRAIL")) + " hosts");
+                exit(0);
+            }
+            bc_append("TRAIL", host_name());
+
+            // Service agents answer briefcase RPC: compile a program.
+            bc_set("CMD", "compile");
+            bc_set("SOURCE", "fn main() { exit(7); }");
+            if (meet("ag_cc")) {
+                display("ag_cc compiled " + bc_get("INSTR-COUNT", 0) + " instructions");
+            }
+
+            // And move: the briefcase travels, execution restarts at beta.
+            bc_append("TRAIL", "moving");
+            go("tacoma://beta/vm_script");
+        }
+        "#,
+    );
+
+    // 3. Launch and run the deterministic scheduler until quiet.
+    system.launch("alpha", agent)?;
+    system.run_until_quiet();
+
+    // 4. Everything agents displayed, in virtual-time order.
+    println!("agent output:");
+    for line in system.agent_outputs() {
+        println!("  {line}");
+    }
+
+    // 5. The firewalls mediated all of it (Figure 1).
+    for host in ["alpha", "beta"] {
+        let stats = system.host(host).unwrap().with_firewall(|fw| fw.stats());
+        println!("{host} firewall: {stats}");
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! # tacoma-rs
+//!
+//! A Rust reproduction of **TAX 2.0** (TACOMA on uniX) from *Adding
+//! Mobility to Non-mobile Web Robots* (Sudmann & Johansen, ICDCS 2000):
+//! a language-independent mobile-agent system, plus the paper's case study
+//! — wrapping a stationary web robot (Webbot) in mobility wrappers to mine
+//! for dead links at the data's source.
+//!
+//! This facade crate re-exports every workspace crate under one roof:
+//!
+//! * [`briefcase`] — the agent state container and wire codec (§3.1)
+//! * [`uri`] — the Figure-2 agent-URI grammar and matcher (§3.2)
+//! * [`simnet`] — virtual-time network simulation (substrate)
+//! * [`security`] — principals, signatures, trust stores (§3.2–3.3)
+//! * [`taxscript`] — the mobile agent language (substrate for `vm_c`/`vm_script`)
+//! * [`firewall`] — the per-host reference monitor (§3.2)
+//! * [`vm`] — virtual machines: `vm_bin`, `vm_script`, `vm_c` (§3.3)
+//! * [`core`] — the TAX kernel, library API, service agents, and wrappers (§3–4)
+//! * [`web`] — synthetic web sites and servers (substrate for §5)
+//! * [`webbot`] — the stationary robot and its mobility wrappers (§5)
+//!
+//! See `examples/quickstart.rs` for a five-minute tour.
+
+pub use tacoma_briefcase as briefcase;
+pub use tacoma_core as core;
+pub use tacoma_firewall as firewall;
+pub use tacoma_security as security;
+pub use tacoma_simnet as simnet;
+pub use tacoma_taxscript as taxscript;
+pub use tacoma_uri as uri;
+pub use tacoma_vm as vm;
+pub use tacoma_web as web;
+pub use tacoma_webbot as webbot;
