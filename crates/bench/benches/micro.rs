@@ -3,7 +3,7 @@
 //! the TaxScript toolchain, agent migration, library primitives, wrapper
 //! stacking depth, and group-ordering buffers.
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use tacoma_briefcase::{Briefcase, Folder};
 use tacoma_core::{AgentSpec, SystemBuilder};
 use tacoma_security::{hash_bytes, Keyring, Principal};
@@ -41,7 +41,9 @@ fn bench_briefcase_codec(c: &mut Criterion) {
 /// Figure-2 grammar: parse + format.
 fn bench_uri(c: &mut Criterion) {
     let text = "tacoma://cl2.cs.uit.no:27017/tacoma@cl2.cs.uit.no/vm_c:933821661";
-    c.bench_function("uri_parse", |b| b.iter(|| black_box(text.parse::<AgentUri>().unwrap())));
+    c.bench_function("uri_parse", |b| {
+        b.iter(|| black_box(text.parse::<AgentUri>().unwrap()))
+    });
     let uri: AgentUri = text.parse().unwrap();
     c.bench_function("uri_display", |b| b.iter(|| black_box(uri.to_string())));
 }
@@ -55,7 +57,9 @@ fn bench_security(c: &mut Criterion) {
     c.bench_function("sign_250k", |b| b.iter(|| black_box(keys.sign(&core))));
     let sig = keys.sign(&core);
     let public = keys.public();
-    c.bench_function("verify_250k", |b| b.iter(|| black_box(public.verify(&core, &sig))));
+    c.bench_function("verify_250k", |b| {
+        b.iter(|| black_box(public.verify(&core, &sig)))
+    });
 }
 
 const FIB_SRC: &str = r#"
@@ -82,33 +86,65 @@ fn bench_taxscript(c: &mut Criterion) {
     });
 }
 
+/// The firewall's admission tax: bytecode verification throughput in
+/// wire bytes per second, across program sizes. Programs are synthesized
+/// as chains of small functions so size grows without changing shape.
+fn bench_verify(c: &mut Criterion) {
+    let mut group = c.benchmark_group("verify");
+    for n_fns in [4usize, 32, 256] {
+        let mut src = String::new();
+        for i in 0..n_fns {
+            let callee = if i + 1 < n_fns {
+                format!("f{}(a + 1)", i + 1)
+            } else {
+                "a".into()
+            };
+            src.push_str(&format!(
+                "fn f{i}(a) {{ if (a < 0) {{ return 0; }} return {callee}; }}\n"
+            ));
+        }
+        src.push_str("fn main() { exit(f0(1)); }\n");
+        let program = compile_source(&src).unwrap();
+        let wire_len = program.encode().len() as u64;
+        group.throughput(Throughput::Bytes(wire_len));
+        group.bench_with_input(BenchmarkId::from_parameter(wire_len), &program, |b, p| {
+            b.iter(|| black_box(tacoma_taxscript::analysis::verify(p).unwrap()))
+        });
+    }
+    group.finish();
+}
+
 /// Agent migration cost as the carried state grows (§3.1's argument for
 /// dropping state before `go`).
 fn bench_migration(c: &mut Criterion) {
     let mut group = c.benchmark_group("migration_go");
     group.sample_size(20);
     for payload in [0usize, 100_000, 1_000_000] {
-        group.bench_with_input(BenchmarkId::from_parameter(payload), &payload, |b, &payload| {
-            b.iter(|| {
-                let mut system = SystemBuilder::new()
-                    .host("a")
-                    .unwrap()
-                    .host("b")
-                    .unwrap()
-                    .trust_all()
-                    .build();
-                let spec = AgentSpec::script(
-                    "mover",
-                    r#"fn main() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(payload),
+            &payload,
+            |b, &payload| {
+                b.iter(|| {
+                    let mut system = SystemBuilder::new()
+                        .host("a")
+                        .unwrap()
+                        .host("b")
+                        .unwrap()
+                        .trust_all()
+                        .build();
+                    let spec = AgentSpec::script(
+                        "mover",
+                        r#"fn main() {
                         if (host_name() == "b") { exit(0); }
                         go("tacoma://b/vm_script");
                     }"#,
-                )
-                .folder("BULK", [vec![0u8; payload]]);
-                system.launch("a", spec).unwrap();
-                black_box(system.run_until_quiet())
-            })
-        });
+                    )
+                    .folder("BULK", [vec![0u8; payload]]);
+                    system.launch("a", spec).unwrap();
+                    black_box(system.run_until_quiet())
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -119,9 +155,18 @@ fn bench_rpc(c: &mut Criterion) {
     let mut group = c.benchmark_group("library_primitives");
     group.sample_size(20);
     for (name, body) in [
-        ("meet_local_service", r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); meet("ag_log");"#),
-        ("activate_local_service", r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); activate("ag_log");"#),
-        ("meet_remote_service", r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); meet("tacoma://b/ag_log");"#),
+        (
+            "meet_local_service",
+            r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); meet("ag_log");"#,
+        ),
+        (
+            "activate_local_service",
+            r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); activate("ag_log");"#,
+        ),
+        (
+            "meet_remote_service",
+            r#"bc_set("CMD", "append"); bc_set("ARGS", "x"); meet("tacoma://b/ag_log");"#,
+        ),
     ] {
         let source =
             format!("fn main() {{ let i = 0; while (i < 50) {{ {body} i = i + 1; }} exit(0); }}");
@@ -134,7 +179,9 @@ fn bench_rpc(c: &mut Criterion) {
                     .unwrap()
                     .trust_all()
                     .build();
-                system.launch("a", AgentSpec::script("caller", source.clone())).unwrap();
+                system
+                    .launch("a", AgentSpec::script("caller", source.clone()))
+                    .unwrap();
                 black_box(system.run_until_quiet())
             })
         });
@@ -226,6 +273,7 @@ criterion_group!(
     bench_uri,
     bench_security,
     bench_taxscript,
+    bench_verify,
     bench_migration,
     bench_rpc,
     bench_wrapper_depth,

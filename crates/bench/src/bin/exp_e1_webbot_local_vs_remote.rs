@@ -21,8 +21,20 @@ fn main() {
     let mobile = run_mobile(&params);
 
     let widths = [24, 12, 12, 14, 12];
-    header(&["configuration", "pages", "scan time", "total journey", "LAN bytes"], &widths);
-    for (name, out) in [("stationary (remote)", &stationary), ("mobile (local scan)", &mobile)] {
+    header(
+        &[
+            "configuration",
+            "pages",
+            "scan time",
+            "total journey",
+            "LAN bytes",
+        ],
+        &widths,
+    );
+    for (name, out) in [
+        ("stationary (remote)", &stationary),
+        ("mobile (local scan)", &mobile),
+    ] {
         row(
             &[
                 name.to_owned(),

@@ -20,18 +20,33 @@ fn main() {
     let links: [(&str, LinkSpec); 4] = [
         ("100Mbit LAN 0.15ms", LinkSpec::lan_100mbit()),
         ("10Mbit LAN 0.8ms", LinkSpec::lan_10mbit()),
-        ("2Mbit WAN 25ms", LinkSpec::wan(2_000_000, Duration::from_millis(25))),
-        ("512kbit WAN 75ms", LinkSpec::wan(512_000, Duration::from_millis(75))),
+        (
+            "2Mbit WAN 25ms",
+            LinkSpec::wan(2_000_000, Duration::from_millis(25)),
+        ),
+        (
+            "512kbit WAN 75ms",
+            LinkSpec::wan(512_000, Duration::from_millis(75)),
+        ),
     ];
-    let volumes: [(&str, u64); 3] = [("3MB", 3_000_000), ("12MB", 12_000_000), ("30MB", 30_000_000)];
+    let volumes: [(&str, u64); 3] = [
+        ("3MB", 3_000_000),
+        ("12MB", 12_000_000),
+        ("30MB", 30_000_000),
+    ];
 
     let widths = [20, 14, 14, 14, 10];
-    header(&["link", "volume", "stationary", "mobile", "speedup"], &widths);
+    header(
+        &["link", "volume", "stationary", "mobile", "speedup"],
+        &widths,
+    );
 
     let mut prior_speedup_per_volume = vec![f64::MIN; volumes.len()];
     for (link_name, link) in links {
         for (vi, (vol_name, volume)) in volumes.iter().enumerate() {
-            let params = CaseStudyParams::paper().with_link(link).with_volume(*volume);
+            let params = CaseStudyParams::paper()
+                .with_link(link)
+                .with_volume(*volume);
             let stationary = run_stationary(&params);
             let mobile = run_mobile(&params);
             let s = speedup(stationary.scan_time, mobile.scan_time);

@@ -44,7 +44,9 @@ fn main() {
         "#
     );
     let started = Instant::now();
-    system.launch("alpha", AgentSpec::script("pinger", source)).unwrap();
+    system
+        .launch("alpha", AgentSpec::script("pinger", source))
+        .unwrap();
     system.run_until_quiet();
     let elapsed = started.elapsed();
 
@@ -52,7 +54,17 @@ fn main() {
     let beta = system.host("beta").unwrap().with_firewall(|fw| fw.stats());
 
     let widths = [10, 14, 14, 10, 10, 10];
-    header(&["firewall", "local deliv.", "fwd remote", "queued", "denied", "installed"], &widths);
+    header(
+        &[
+            "firewall",
+            "local deliv.",
+            "fwd remote",
+            "queued",
+            "denied",
+            "installed",
+        ],
+        &widths,
+    );
     for (name, s) in [("alpha", alpha), ("beta", beta)] {
         row(
             &[
@@ -69,13 +81,19 @@ fn main() {
 
     let mediated = alpha.total() + beta.total();
     println!();
-    println!("agent issued {} local + {} remote RPCs;", MESSAGES, MESSAGES);
+    println!(
+        "agent issued {} local + {} remote RPCs;",
+        MESSAGES, MESSAGES
+    );
     println!("firewalls mediated {mediated} events in {elapsed:?} wall time");
     println!(
         "mean mediation cost: {:.1} µs/event (host machine dependent)",
         elapsed.as_secs_f64() * 1e6 / mediated.max(1) as f64
     );
-    assert!(alpha.delivered_local as usize >= MESSAGES, "local RPCs must be mediated");
+    assert!(
+        alpha.delivered_local as usize >= MESSAGES,
+        "local RPCs must be mediated"
+    );
     assert!(
         beta.delivered_local as usize >= MESSAGES,
         "remote RPCs must be mediated by the remote firewall"

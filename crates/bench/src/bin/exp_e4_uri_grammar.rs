@@ -42,14 +42,20 @@ fn main() {
                 "host={} name={} inst={}",
                 uri.host().unwrap_or("-"),
                 uri.name().unwrap_or("-"),
-                uri.instance().map(|i| i.to_string()).unwrap_or_else(|| "-".into())
+                uri.instance()
+                    .map(|i| i.to_string())
+                    .unwrap_or_else(|| "-".into())
             ),
             Err(e) => format!("({e})"),
         };
         row(
             &[
                 format!("{input:?}"),
-                format!("{}{}", if parsed.is_ok() { "yes" } else { "no" }, if ok { "" } else { " !!" }),
+                format!(
+                    "{}{}",
+                    if parsed.is_ok() { "yes" } else { "no" },
+                    if ok { "" } else { " !!" }
+                ),
                 parts,
             ],
             &widths,
@@ -63,18 +69,31 @@ fn main() {
         ("alice/webbot:2a", "exact match"),
         ("alice/webbot", "name only — any instance"),
         ("alice/:2a", "instance only — any name"),
-        ("webbot", "no principal — sender must own it or be the system"),
+        (
+            "webbot",
+            "no principal — sender must own it or be the system",
+        ),
     ];
     let widths = [24, 18, 44];
     header(&["target", "match (as alice)?", "rule"], &widths);
     for (target, rule) in cases {
         let uri: AgentUri = target.parse().unwrap();
         let outcome = agent.matches(&uri, "system@h1", "alice");
-        row(&[target.to_owned(), format!("{:?}", outcome.is_match()), rule.to_owned()], &widths);
+        row(
+            &[
+                target.to_owned(),
+                format!("{:?}", outcome.is_match()),
+                rule.to_owned(),
+            ],
+            &widths,
+        );
         assert!(outcome.is_match());
     }
     let uri: AgentUri = "webbot".parse().unwrap();
     let denied = agent.matches(&uri, "system@h1", "mallory");
-    println!("\nas mallory, bare \"webbot\" resolves: {:?} (expected PrincipalDenied)", denied);
+    println!(
+        "\nas mallory, bare \"webbot\" resolves: {:?} (expected PrincipalDenied)",
+        denied
+    );
     assert!(!denied.is_match());
 }

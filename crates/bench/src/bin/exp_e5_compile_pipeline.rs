@@ -23,7 +23,11 @@ fn main() {
     println!("E5: the Figure-3 vm_c pipeline\n");
 
     // Run through vm_c and print the numbered steps from the trace.
-    let mut system = SystemBuilder::new().host("alpha").unwrap().trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("alpha")
+        .unwrap()
+        .trust_all()
+        .build();
     system
         .launch("alpha", AgentSpec::script("csource", SOURCE).on_vm("vm_c"))
         .unwrap();
@@ -41,7 +45,10 @@ fn main() {
     for line in &trace {
         println!("  {line}");
     }
-    assert!(trace.iter().any(|l| l.starts_with("7:")), "all seven steps present");
+    assert!(
+        trace.iter().any(|l| l.starts_with("7:")),
+        "all seven steps present"
+    );
     println!("\nagent output: {:?}\n", system.agent_outputs());
 
     // Latency comparison over repeated runs (wall clock).
@@ -49,7 +56,11 @@ fn main() {
     let timed = |vm: &str, spec_for: &dyn Fn() -> AgentSpec| {
         let mut total = std::time::Duration::ZERO;
         for _ in 0..RUNS {
-            let mut system = SystemBuilder::new().host("alpha").unwrap().trust_all().build();
+            let mut system = SystemBuilder::new()
+                .host("alpha")
+                .unwrap()
+                .trust_all()
+                .build();
             let started = Instant::now();
             system.launch("alpha", spec_for().on_vm(vm)).unwrap();
             system.run_until_quiet();
@@ -65,9 +76,29 @@ fn main() {
 
     let widths = [34, 16];
     header(&["path", "mean latency"], &widths);
-    row(&["vm_c (compile at destination)".into(), format!("{via_vm_c:?}")], &widths);
-    row(&["vm_script (interpret source)".into(), format!("{via_vm_script:?}")], &widths);
-    row(&["vm_bin (pre-compiled binary)".into(), format!("{via_vm_bin:?}")], &widths);
-    println!("\nexpected shape: vm_bin <= vm_script ~ vm_c; the compile step is the pipeline's cost,");
+    row(
+        &[
+            "vm_c (compile at destination)".into(),
+            format!("{via_vm_c:?}"),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "vm_script (interpret source)".into(),
+            format!("{via_vm_script:?}"),
+        ],
+        &widths,
+    );
+    row(
+        &[
+            "vm_bin (pre-compiled binary)".into(),
+            format!("{via_vm_bin:?}"),
+        ],
+        &widths,
+    );
+    println!(
+        "\nexpected shape: vm_bin <= vm_script ~ vm_c; the compile step is the pipeline's cost,"
+    );
     println!("paid once — the briefcase then carries the binary to later hops.");
 }

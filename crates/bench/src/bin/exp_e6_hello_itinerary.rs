@@ -36,7 +36,12 @@ fn main() {
         }
         "#,
     )
-    .itinerary(hosts.iter().skip(1).map(|h| format!("tacoma://{h}/vm_script")));
+    .itinerary(
+        hosts
+            .iter()
+            .skip(1)
+            .map(|h| format!("tacoma://{h}/vm_script")),
+    );
 
     system.launch("h1", agent).unwrap();
     system.run_until_quiet();
@@ -69,9 +74,18 @@ fn main() {
     // Figure 4 greets at the top of every loop iteration: once per hop
     // (h1, h2, h4, h5) plus the extra iteration on h2 after the failed
     // hop to h3 — five in total, none on the dead host.
-    assert_eq!(outputs.iter().filter(|l| l.as_str() == "Hello world").count(), 5);
     assert_eq!(
-        outputs.iter().filter(|l| l.starts_with("Unable to reach")).count(),
+        outputs
+            .iter()
+            .filter(|l| l.as_str() == "Hello world")
+            .count(),
+        5
+    );
+    assert_eq!(
+        outputs
+            .iter()
+            .filter(|l| l.starts_with("Unable to reach"))
+            .count(),
         1,
         "exactly one unreachable host"
     );

@@ -28,7 +28,9 @@ fn main() {
     let principal = Principal::local_system(CLIENT);
     let mut read = Briefcase::new();
     read.set_single(folders::COMMAND, "read");
-    let log = system.call_service(CLIENT, "ag_log", &principal, read).unwrap();
+    let log = system
+        .call_service(CLIENT, "ag_log", &principal, read)
+        .unwrap();
     println!("monitoring log at {CLIENT} (rwWebbot reports):");
     let mut hops = 0;
     if let Some(lines) = log.folder("LINES") {
@@ -43,24 +45,50 @@ fn main() {
     let mut fetch = Briefcase::new();
     fetch.set_single(folders::COMMAND, "fetch");
     fetch.append(folders::ARGS, REPORT_DRAWER);
-    let reply = system.call_service(CLIENT, "ag_cabinet", &principal, fetch).unwrap();
+    let reply = system
+        .call_service(CLIENT, "ag_cabinet", &principal, fetch)
+        .unwrap();
     let parked = Briefcase::decode(reply.element("CABINET-DATA", 0).unwrap().data()).unwrap();
     let report = WebbotReport::read_from(&parked);
 
     println!("\ncombined report: {}", report.summary());
-    let internal: Vec<_> =
-        report.invalid.iter().filter(|i| i.url.starts_with(&format!("http://{SERVER}/"))).collect();
-    let external: Vec<_> =
-        report.invalid.iter().filter(|i| !i.url.starts_with(&format!("http://{SERVER}/"))).collect();
+    let internal: Vec<_> = report
+        .invalid
+        .iter()
+        .filter(|i| i.url.starts_with(&format!("http://{SERVER}/")))
+        .collect();
+    let external: Vec<_> = report
+        .invalid
+        .iter()
+        .filter(|i| !i.url.starts_with(&format!("http://{SERVER}/")))
+        .collect();
 
     let widths = [34, 10];
     header(&["finding", "count"], &widths);
-    row(&["pages scanned".into(), report.pages_scanned.to_string()], &widths);
-    row(&["invalid internal links".into(), internal.len().to_string()], &widths);
-    row(&["rejected (external) URIs".into(), report.prefix_rejected().count().to_string()], &widths);
-    row(&["invalid external links".into(), external.len().to_string()], &widths);
     row(
-        &["bytes scanned at the server".into(), fmt_bytes(report.bytes_fetched)],
+        &["pages scanned".into(), report.pages_scanned.to_string()],
+        &widths,
+    );
+    row(
+        &["invalid internal links".into(), internal.len().to_string()],
+        &widths,
+    );
+    row(
+        &[
+            "rejected (external) URIs".into(),
+            report.prefix_rejected().count().to_string(),
+        ],
+        &widths,
+    );
+    row(
+        &["invalid external links".into(), external.len().to_string()],
+        &widths,
+    );
+    row(
+        &[
+            "bytes scanned at the server".into(),
+            fmt_bytes(report.bytes_fetched),
+        ],
         &widths,
     );
 
@@ -69,11 +97,20 @@ fn main() {
         println!("  [{}] {} -> {}", issue.status, issue.referrer, issue.url);
     }
     for issue in external.iter().take(3) {
-        println!("  [{}] {} -> {} (external)", issue.status, issue.referrer, issue.url);
+        println!(
+            "  [{}] {} -> {} (external)",
+            issue.status, issue.referrer, issue.url
+        );
     }
 
-    assert!(!internal.is_empty(), "the generated site plants dead internal links");
-    assert!(!external.is_empty(), "some external links point at missing pages");
+    assert!(
+        !internal.is_empty(),
+        "the generated site plants dead internal links"
+    );
+    assert!(
+        !external.is_empty(),
+        "some external links point at missing pages"
+    );
     assert_eq!(report.pages_scanned, 917);
     println!("\nshape check passed: both steps of §5 produced findings; only the report crossed the LAN.");
 }

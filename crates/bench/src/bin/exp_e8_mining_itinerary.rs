@@ -15,19 +15,36 @@ fn main() {
 
     let widths = [12, 13, 13, 13, 13, 9];
     header(
-        &["selectivity", "pull bytes", "agent bytes", "pull time", "agent time", "winner"],
+        &[
+            "selectivity",
+            "pull bytes",
+            "agent bytes",
+            "pull time",
+            "agent time",
+            "winner",
+        ],
         &widths,
     );
 
     let mut crossed_over = false;
     let mut prev_agent_bytes = 0u64;
     for selectivity in [0.01, 0.05, 0.10, 0.25, 0.50, 0.90] {
-        let params = MiningParams { selectivity, ..MiningParams::default() };
+        let params = MiningParams {
+            selectivity,
+            ..MiningParams::default()
+        };
         let pull = run_client_pull(&params);
         let agent = run_mobile_agent(&params);
-        assert_eq!(pull.matches, agent.matches, "designs must agree on the answer");
+        assert_eq!(
+            pull.matches, agent.matches,
+            "designs must agree on the answer"
+        );
 
-        let winner = if agent.network_bytes < pull.network_bytes { "agent" } else { "pull" };
+        let winner = if agent.network_bytes < pull.network_bytes {
+            "agent"
+        } else {
+            "pull"
+        };
         if winner == "pull" {
             crossed_over = true;
         }
@@ -53,7 +70,10 @@ fn main() {
     }
 
     println!();
-    assert!(crossed_over, "high selectivity must hand the win to client pull");
+    assert!(
+        crossed_over,
+        "high selectivity must hand the win to client pull"
+    );
     println!("expected shape: the agent wins at low selectivity (data condensed at the source),");
     println!("and loses past the crossover where carried results approach the raw data volume.");
 }

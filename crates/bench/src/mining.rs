@@ -23,7 +23,7 @@ use std::time::Duration;
 
 use tacoma_core::{
     command_of, error_reply, folders, ok_reply, AgentSpec, Architecture, ArtifactBundle,
-    BinaryArtifact, Briefcase, HostHooks, LinkSpec, Principal, ServiceAgent, ServiceEnv,
+    BinaryArtifact, Briefcase, Folder, HostHooks, LinkSpec, Principal, ServiceAgent, ServiceEnv,
     SystemBuilder, TaxSystem,
 };
 
@@ -96,7 +96,8 @@ impl ServiceAgent for RecordStore {
         match command_of(request) {
             "fetch-all" => {
                 // Serving costs CPU proportional to the records scanned.
-                env.hooks.work_ns(self.params.records_per_server as u64 * 2_000);
+                env.hooks
+                    .work_ns(self.params.records_per_server as u64 * 2_000);
                 let mut reply = ok_reply();
                 let records = reply.ensure_folder("RECORDS");
                 for i in 0..self.params.records_per_server {
@@ -168,7 +169,7 @@ fn install_programs(host: &tacoma_core::TaxHost, params: &MiningParams) {
         }
 
         // Next hop, or home.
-        let next = bc.folder_mut("HOSTS").and_then(|f| f.remove_front());
+        let next = bc.folder_mut("HOSTS").and_then(Folder::remove_front);
         let dest = match next {
             Some(e) => e.as_str().unwrap_or_default().to_owned(),
             None if here == home => {
@@ -194,7 +195,11 @@ fn install_programs(host: &tacoma_core::TaxHost, params: &MiningParams) {
     host.install_native(PULLER_KEY, move |bc, hooks| {
         let servers: Vec<String> = bc
             .folder("MINE:SERVERS")
-            .map(|f| f.iter().filter_map(|e| e.as_str().ok().map(str::to_owned)).collect())
+            .map(|f| {
+                f.iter()
+                    .filter_map(|e| e.as_str().ok().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default();
         for server in servers {
             let mut request = Briefcase::new();
@@ -232,7 +237,10 @@ fn build_system(params: &MiningParams) -> TaxSystem {
     let system = builder.build();
     for (i, name) in server_names(params).iter().enumerate() {
         let host = system.host(name).expect("server");
-        host.add_service(Arc::new(RecordStore { server_index: i, params: params.clone() }));
+        host.add_service(Arc::new(RecordStore {
+            server_index: i,
+            params: params.clone(),
+        }));
         install_programs(&host, params);
     }
     install_programs(&system.host("client").expect("client"), params);
@@ -248,10 +256,13 @@ fn collect(system: &mut TaxSystem) -> MiningOutcome {
         .call_service("client", "ag_cabinet", &principal, fetch)
         .expect("cabinet reachable");
     let parked = Briefcase::decode(
-        reply.element("CABINET-DATA", 0).expect("report parked").data(),
+        reply
+            .element("CABINET-DATA", 0)
+            .expect("report parked")
+            .data(),
     )
     .expect("parked briefcase decodes");
-    let matches = parked.folder("RESULTS").map_or(0, |f| f.len()) as u64;
+    let matches = parked.folder("RESULTS").map_or(0, Folder::len) as u64;
     let done_ms = parked.single_i64("MINE:T-DONE-MS").unwrap_or(0).max(0) as u64;
     MiningOutcome {
         matches,
@@ -269,8 +280,7 @@ pub fn run_client_pull(params: &MiningParams) -> MiningOutcome {
         PULLER_KEY,
         MINER_BINARY_SIZE,
     ));
-    let spec = AgentSpec::bundle("puller", bundle)
-        .folder("MINE:SERVERS", server_names(params));
+    let spec = AgentSpec::bundle("puller", bundle).folder("MINE:SERVERS", server_names(params));
     let mut system_ref = system;
     system_ref.launch("client", spec).expect("launch puller");
     system_ref.run_until_quiet();
@@ -286,8 +296,10 @@ pub fn run_mobile_agent(params: &MiningParams) -> MiningOutcome {
         MINER_KEY,
         MINER_BINARY_SIZE,
     ));
-    let itinerary: Vec<String> =
-        server_names(params).iter().map(|s| format!("tacoma://{s}/vm_bin")).collect();
+    let itinerary: Vec<String> = server_names(params)
+        .iter()
+        .map(|s| format!("tacoma://{s}/vm_bin"))
+        .collect();
     let spec = AgentSpec::bundle("miner", bundle)
         .folder("MINE:HOME", ["client"])
         .itinerary(itinerary);
@@ -316,7 +328,10 @@ mod tests {
         let pull = run_client_pull(&params);
         let mobile = run_mobile_agent(&params);
         assert_eq!(pull.matches, mobile.matches);
-        assert!(pull.matches > 0, "selectivity 0.1 over 120 records should match some");
+        assert!(
+            pull.matches > 0,
+            "selectivity 0.1 over 120 records should match some"
+        );
     }
 
     #[test]
@@ -344,7 +359,11 @@ mod tests {
     fn high_selectivity_favours_the_client_pull() {
         // Near-1 selectivity: the agent drags almost all data across
         // every remaining hop; pulling once is cheaper.
-        let params = MiningParams { selectivity: 0.95, servers: 4, ..small() };
+        let params = MiningParams {
+            selectivity: 0.95,
+            servers: 4,
+            ..small()
+        };
         let pull = run_client_pull(&params);
         let mobile = run_mobile_agent(&params);
         assert!(

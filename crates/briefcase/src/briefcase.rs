@@ -99,7 +99,9 @@ impl Briefcase {
     pub fn element(&self, folder: &str, index: usize) -> Result<&Element, BriefcaseError> {
         let f = self
             .folder(folder)
-            .ok_or_else(|| BriefcaseError::NoSuchFolder { name: folder.to_owned() })?;
+            .ok_or_else(|| BriefcaseError::NoSuchFolder {
+                name: folder.to_owned(),
+            })?;
         f.get(index).ok_or_else(|| BriefcaseError::NoSuchElement {
             folder: folder.to_owned(),
             index,
@@ -297,7 +299,11 @@ mod tests {
         ));
         assert!(matches!(
             bc.element("A", 3),
-            Err(BriefcaseError::NoSuchElement { len: 1, index: 3, .. })
+            Err(BriefcaseError::NoSuchElement {
+                len: 1,
+                index: 3,
+                ..
+            })
         ));
     }
 
@@ -318,14 +324,24 @@ mod tests {
         b.append("SHARED", "b1").append("ONLY-B", "y");
         a.merge(b);
         assert_eq!(a.folder("SHARED").unwrap().len(), 2);
-        assert_eq!(a.folder("SHARED").unwrap().get(1).unwrap().as_str().unwrap(), "b1");
+        assert_eq!(
+            a.folder("SHARED")
+                .unwrap()
+                .get(1)
+                .unwrap()
+                .as_str()
+                .unwrap(),
+            "b1"
+        );
         assert!(a.contains_folder("ONLY-A") && a.contains_folder("ONLY-B"));
     }
 
     #[test]
     fn iteration_is_name_sorted() {
         let mut bc = Briefcase::new();
-        bc.append("zeta", 1i64).append("alpha", 2i64).append("mid", 3i64);
+        bc.append("zeta", 1i64)
+            .append("alpha", 2i64)
+            .append("mid", 3i64);
         let names: Vec<_> = bc.names().collect();
         assert_eq!(names, ["alpha", "mid", "zeta"]);
     }
@@ -341,7 +357,8 @@ mod tests {
         // The Figure-4 agent: remove first HOSTS element each hop; empty
         // folder (no element) means terminate.
         let mut bc = Briefcase::new();
-        bc.append(folders::HOSTS, "tacoma://h1/vm").append(folders::HOSTS, "tacoma://h2/vm");
+        bc.append(folders::HOSTS, "tacoma://h1/vm")
+            .append(folders::HOSTS, "tacoma://h2/vm");
         let mut hops = Vec::new();
         while let Some(e) = bc.folder_mut(folders::HOSTS).and_then(Folder::remove_front) {
             hops.push(e.as_str().unwrap().to_owned());

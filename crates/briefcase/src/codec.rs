@@ -85,30 +85,44 @@ pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
 
     let folder_count = r.u32("folder count")? as u64;
     if folder_count > MAX_COUNT {
-        return Err(BriefcaseError::LengthOverflow { declared: folder_count, context: "folder count" });
+        return Err(BriefcaseError::LengthOverflow {
+            declared: folder_count,
+            context: "folder count",
+        });
     }
 
     let mut bc = Briefcase::new();
     for _ in 0..folder_count {
         let name_len = r.u16("folder name length")? as u64;
         if name_len > MAX_NAME_LEN {
-            return Err(BriefcaseError::LengthOverflow { declared: name_len, context: "folder name" });
+            return Err(BriefcaseError::LengthOverflow {
+                declared: name_len,
+                context: "folder name",
+            });
         }
         let name_bytes = r.take(name_len as usize, "folder name")?;
         let name = std::str::from_utf8(name_bytes).map_err(|_| BriefcaseError::BadFolderName)?;
         if bc.contains_folder(name) {
-            return Err(BriefcaseError::DuplicateFolder { name: name.to_owned() });
+            return Err(BriefcaseError::DuplicateFolder {
+                name: name.to_owned(),
+            });
         }
         let mut folder = Folder::new(name);
 
         let element_count = r.u32("element count")? as u64;
         if element_count > MAX_COUNT {
-            return Err(BriefcaseError::LengthOverflow { declared: element_count, context: "element count" });
+            return Err(BriefcaseError::LengthOverflow {
+                declared: element_count,
+                context: "element count",
+            });
         }
         for _ in 0..element_count {
             let len = r.u32("element length")? as u64;
             if len > MAX_ELEMENT_LEN {
-                return Err(BriefcaseError::LengthOverflow { declared: len, context: "element" });
+                return Err(BriefcaseError::LengthOverflow {
+                    declared: len,
+                    context: "element",
+                });
             }
             let data = r.take(len as usize, "element data")?;
             folder.append(Element::from(data));
@@ -117,7 +131,9 @@ pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
     }
 
     if r.pos != wire.len() {
-        return Err(BriefcaseError::TrailingBytes { remaining: wire.len() - r.pos });
+        return Err(BriefcaseError::TrailingBytes {
+            remaining: wire.len() - r.pos,
+        });
     }
     Ok(bc)
 }
@@ -134,7 +150,10 @@ impl<'a> Reader<'a> {
             if context == "magic" {
                 return Ok(&self.buf[self.pos..]);
             }
-            return Err(BriefcaseError::Truncated { offset: self.pos, context });
+            return Err(BriefcaseError::Truncated {
+                offset: self.pos,
+                context,
+            });
         }
         let slice = &self.buf[self.pos..self.pos + n];
         self.pos += n;
@@ -194,8 +213,14 @@ mod tests {
 
     #[test]
     fn short_input_is_bad_magic_not_panic() {
-        assert!(matches!(Briefcase::decode(b"TA"), Err(BriefcaseError::BadMagic { .. })));
-        assert!(matches!(Briefcase::decode(b""), Err(BriefcaseError::BadMagic { .. })));
+        assert!(matches!(
+            Briefcase::decode(b"TA"),
+            Err(BriefcaseError::BadMagic { .. })
+        ));
+        assert!(matches!(
+            Briefcase::decode(b""),
+            Err(BriefcaseError::BadMagic { .. })
+        ));
     }
 
     #[test]
@@ -238,7 +263,13 @@ mod tests {
         wire.push(CODEC_VERSION);
         wire.extend_from_slice(&u32::MAX.to_le_bytes());
         let err = Briefcase::decode(&wire).unwrap_err();
-        assert!(matches!(err, BriefcaseError::LengthOverflow { context: "folder count", .. }));
+        assert!(matches!(
+            err,
+            BriefcaseError::LengthOverflow {
+                context: "folder count",
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -268,7 +299,10 @@ mod tests {
         wire.extend_from_slice(&2u16.to_le_bytes());
         wire.extend_from_slice(&[0xff, 0xfe]);
         wire.extend_from_slice(&0u32.to_le_bytes());
-        assert_eq!(Briefcase::decode(&wire).unwrap_err(), BriefcaseError::BadFolderName);
+        assert_eq!(
+            Briefcase::decode(&wire).unwrap_err(),
+            BriefcaseError::BadFolderName
+        );
     }
 
     #[test]

@@ -164,7 +164,10 @@ mod tests {
     #[test]
     fn text_roundtrip() {
         let e = Element::from("tacoma://cl2.cs.uit.no:27017//vm_c:933821661");
-        assert_eq!(e.as_str().unwrap(), "tacoma://cl2.cs.uit.no:27017//vm_c:933821661");
+        assert_eq!(
+            e.as_str().unwrap(),
+            "tacoma://cl2.cs.uit.no:27017//vm_c:933821661"
+        );
     }
 
     #[test]
@@ -177,7 +180,10 @@ mod tests {
     #[test]
     fn integer_parse_tolerates_whitespace_only() {
         assert_eq!(Element::from(" 7 ").as_i64().unwrap(), 7);
-        assert_eq!(Element::from("7x").as_i64(), Err(BriefcaseError::NotInteger));
+        assert_eq!(
+            Element::from("7x").as_i64(),
+            Err(BriefcaseError::NotInteger)
+        );
         assert_eq!(Element::from("").as_i64(), Err(BriefcaseError::NotInteger));
     }
 

@@ -70,10 +70,16 @@ impl fmt::Display for BriefcaseError {
                 write!(f, "unsupported briefcase codec version {found}")
             }
             BriefcaseError::Truncated { offset, context } => {
-                write!(f, "briefcase truncated at byte {offset} while reading {context}")
+                write!(
+                    f,
+                    "briefcase truncated at byte {offset} while reading {context}"
+                )
             }
             BriefcaseError::LengthOverflow { declared, context } => {
-                write!(f, "declared length {declared} for {context} exceeds sanity limit")
+                write!(
+                    f,
+                    "declared length {declared} for {context} exceeds sanity limit"
+                )
             }
             BriefcaseError::TrailingBytes { remaining } => {
                 write!(f, "{remaining} trailing bytes after briefcase")
@@ -86,7 +92,10 @@ impl fmt::Display for BriefcaseError {
             BriefcaseError::NotInteger => write!(f, "element does not contain an integer"),
             BriefcaseError::NoSuchFolder { name } => write!(f, "no folder named {name:?}"),
             BriefcaseError::NoSuchElement { folder, index, len } => {
-                write!(f, "folder {folder:?} has {len} elements, index {index} is out of range")
+                write!(
+                    f,
+                    "folder {folder:?} has {len} elements, index {index} is out of range"
+                )
             }
         }
     }

@@ -29,7 +29,10 @@ pub struct Folder {
 impl Folder {
     /// Creates an empty folder with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Folder { name: name.into(), elements: Vec::new() }
+        Folder {
+            name: name.into(),
+            elements: Vec::new(),
+        }
     }
 
     /// The folder's name, its key in the briefcase.

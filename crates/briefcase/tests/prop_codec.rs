@@ -14,16 +14,20 @@ fn arb_name() -> impl Strategy<Value = String> {
 }
 
 fn arb_briefcase() -> impl Strategy<Value = Briefcase> {
-    prop::collection::btree_map(arb_name(), prop::collection::vec(arb_element(), 0..12), 0..12)
-        .prop_map(|map| {
-            map.into_iter()
-                .map(|(name, elements)| {
-                    let mut f = Folder::new(name);
-                    f.extend(elements);
-                    f
-                })
-                .collect()
-        })
+    prop::collection::btree_map(
+        arb_name(),
+        prop::collection::vec(arb_element(), 0..12),
+        0..12,
+    )
+    .prop_map(|map| {
+        map.into_iter()
+            .map(|(name, elements)| {
+                let mut f = Folder::new(name);
+                f.extend(elements);
+                f
+            })
+            .collect()
+    })
 }
 
 proptest! {

@@ -123,7 +123,8 @@ impl AgentSpec {
         I: IntoIterator<Item = E>,
         E: Into<Element>,
     {
-        self.state.push((name.into(), elements.into_iter().map(Into::into).collect()));
+        self.state
+            .push((name.into(), elements.into_iter().map(Into::into).collect()));
         self
     }
 
@@ -133,7 +134,10 @@ impl AgentSpec {
         I: IntoIterator<Item = S>,
         S: Into<String>,
     {
-        self.folder(folders::HOSTS, hosts.into_iter().map(|h| Element::from(h.into())))
+        self.folder(
+            folders::HOSTS,
+            hosts.into_iter().map(|h| Element::from(h.into())),
+        )
     }
 
     /// The VM this agent should start on.
@@ -150,7 +154,9 @@ impl AgentSpec {
     /// The principal this agent runs as, given the launching host's system
     /// principal as default.
     pub(crate) fn resolve_principal(&self, local_system: &Principal) -> Principal {
-        self.principal.clone().unwrap_or_else(|| local_system.clone())
+        self.principal
+            .clone()
+            .unwrap_or_else(|| local_system.clone())
     }
 
     /// Assembles the agent's briefcase: code, name, state, wrappers, and
@@ -167,14 +173,18 @@ impl AgentSpec {
         let (code, code_type): (Vec<u8>, &str) = match &self.code {
             AgentCode::Script(source) => {
                 if source.trim().is_empty() {
-                    return Err(TaxError::BadAgentSpec { detail: "empty source".into() });
+                    return Err(TaxError::BadAgentSpec {
+                        detail: "empty source".into(),
+                    });
                 }
                 (source.clone().into_bytes(), code_types::TAXSCRIPT_SOURCE)
             }
             AgentCode::Bytecode(program) => (program.encode(), code_types::TAXSCRIPT_BYTECODE),
             AgentCode::Bundle(bundle) => {
                 if bundle.artifacts().is_empty() {
-                    return Err(TaxError::BadAgentSpec { detail: "empty artifact bundle".into() });
+                    return Err(TaxError::BadAgentSpec {
+                        detail: "empty artifact bundle".into(),
+                    });
                 }
                 (bundle.encode(), code_types::BINARY_ARTIFACT)
             }
@@ -210,7 +220,10 @@ mod tests {
             .unwrap();
         assert_eq!(bc.single_str(folders::AGENT_NAME).unwrap(), "hello");
         assert_eq!(bc.single_str(folders::PRINCIPAL).unwrap(), "alice");
-        assert_eq!(bc.single_str(folders::CODE_TYPE).unwrap(), code_types::TAXSCRIPT_SOURCE);
+        assert_eq!(
+            bc.single_str(folders::CODE_TYPE).unwrap(),
+            code_types::TAXSCRIPT_SOURCE
+        );
         assert_eq!(bc.folder(folders::HOSTS).unwrap().len(), 1);
         assert_eq!(bc.folder(WRAPPERS_FOLDER).unwrap().len(), 1);
     }
@@ -237,13 +250,18 @@ mod tests {
         assert_eq!(AgentSpec::script("a", "x").target_vm(), "vm_script");
         let program = tacoma_taxscript::compile_source("fn main() { }").unwrap();
         assert_eq!(AgentSpec::bytecode("a", program).target_vm(), "vm_bin");
-        assert_eq!(AgentSpec::script("a", "x").on_vm("vm_c").target_vm(), "vm_c");
+        assert_eq!(
+            AgentSpec::script("a", "x").on_vm("vm_c").target_vm(),
+            "vm_c"
+        );
     }
 
     #[test]
     fn empty_specs_rejected() {
         let p = Principal::new("p").unwrap();
         assert!(AgentSpec::script("a", "  ").build_briefcase(&p).is_err());
-        assert!(AgentSpec::bundle("a", ArtifactBundle::new()).build_briefcase(&p).is_err());
+        assert!(AgentSpec::bundle("a", ArtifactBundle::new())
+            .build_briefcase(&p)
+            .is_err());
     }
 }

@@ -58,7 +58,7 @@ impl Kernel {
     }
 
     /// Decodes and routes one arrived envelope on `host`.
-    pub fn process_envelope(&self, host: &TaxHost, envelope: tacoma_simnet::Envelope) {
+    pub fn process_envelope(&self, host: &TaxHost, envelope: &tacoma_simnet::Envelope) {
         let now = self.now();
         let message = match Message::decode(&envelope.payload) {
             Ok(m) => m,
@@ -82,7 +82,7 @@ impl Kernel {
     pub fn pump_inbox(&self, host: &TaxHost) -> usize {
         let mut n = 0;
         while let Some(envelope) = host.try_recv_envelope() {
-            self.process_envelope(host, envelope);
+            self.process_envelope(host, &envelope);
             n += 1;
         }
         n
@@ -120,12 +120,20 @@ impl Kernel {
         let stack = host.core.factory.read().build_stack(&briefcase)?;
         host.core.wrappers.lock().insert(address.clone(), stack);
 
-        let pending = host.with_firewall(|fw| fw.register_agent(address.clone(), vm.clone(), self.now()));
-        host.record(self.now(), Some(address.clone()), EventKind::Installed { vm: vm.clone() });
+        let pending = host.with_firewall(|fw| fw.register_agent(&address, vm.clone(), self.now()));
+        host.record(
+            self.now(),
+            Some(address.clone()),
+            EventKind::Installed { vm: vm.clone() },
+        );
         for message in pending {
             self.deliver_mail(host, &address, message.briefcase);
         }
-        host.push_task(AgentTask { vm, address, briefcase });
+        host.push_task(AgentTask {
+            vm,
+            address,
+            briefcase,
+        });
         Ok(())
     }
 
@@ -142,10 +150,14 @@ impl Kernel {
             }
         };
         for note in &effects.notes {
-            host.record(now, Some(agent.clone()), EventKind::Wrapper {
-                wrapper: "inbound".into(),
-                note: note.clone(),
-            });
+            host.record(
+                now,
+                Some(agent.clone()),
+                EventKind::Wrapper {
+                    wrapper: "inbound".into(),
+                    note: note.clone(),
+                },
+            );
         }
         let absorbed = effects.absorbed;
         self.send_emissions(host, agent, effects.emit);
@@ -156,14 +168,22 @@ impl Kernel {
 
     /// Sends wrapper side-emissions as plain messages (no wrapper
     /// re-entry).
-    pub fn send_emissions(&self, host: &TaxHost, from: &AgentAddress, emissions: Vec<(String, Briefcase)>) {
+    pub fn send_emissions(
+        &self,
+        host: &TaxHost,
+        from: &AgentAddress,
+        emissions: Vec<(String, Briefcase)>,
+    ) {
         for (to, bc) in emissions {
-            let principal = match Principal::new(from.principal()) {
-                Ok(p) => p,
-                Err(_) => continue,
+            let Ok(principal) = Principal::new(from.principal()) else {
+                continue;
             };
             if let Err(e) = self.send_plain(host, principal, Some(from.clone()), &to, bc, 0) {
-                host.record(self.now(), Some(from.clone()), EventKind::Rejected(e.to_string()));
+                host.record(
+                    self.now(),
+                    Some(from.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
             }
         }
     }
@@ -201,14 +221,22 @@ impl Kernel {
                 self.deliver_mail(host, &agent, message.briefcase);
                 Ok(())
             }
-            Decision::ForwardRemote { host: remote, message, .. } => {
-                self.bus.send(host.host_id(), &HostId::new(&remote)?, message.encode())?;
+            Decision::ForwardRemote {
+                host: remote,
+                message,
+                ..
+            } => {
+                self.bus
+                    .send(host.host_id(), &HostId::new(&remote)?, message.encode())?;
                 Ok(())
             }
             Decision::Queued => Ok(()),
-            Decision::InstallAgent { vm, address, briefcase, .. } => {
-                self.install(host, vm, address, briefcase)
-            }
+            Decision::InstallAgent {
+                vm,
+                address,
+                briefcase,
+                ..
+            } => self.install(host, vm, address, briefcase),
             Decision::Admin { reply, control } => {
                 self.apply_admin(host, reply, control, depth);
                 Ok(())
@@ -232,15 +260,26 @@ impl Kernel {
         let mut request = message.briefcase;
         let reply_to = request.single_str(REPLY_TO_FOLDER).ok().map(str::to_owned);
         let requester = message.from_principal.clone();
-        let authenticated =
-            message.from_host == host.name() || host.with_firewall(|fw| fw.is_sender_trusted(&message.from_host));
+        let authenticated = message.from_host == host.name()
+            || host.with_firewall(|fw| fw.is_sender_trusted(&message.from_host));
         let rights = host.with_firewall(|fw| fw.rights_of(&requester, authenticated));
 
-        let reply = self.run_service(host, service, &mut request, requester.clone(), rights, depth);
-        host.record(self.now(), Some(service_addr.clone()), EventKind::Service {
-            service: name,
-            command: crate::service::command_of(&request).to_owned(),
-        });
+        let reply = self.run_service(
+            host,
+            service.as_ref(),
+            &mut request,
+            requester.clone(),
+            rights,
+            depth,
+        );
+        host.record(
+            self.now(),
+            Some(service_addr.clone()),
+            EventKind::Service {
+                service: name,
+                command: crate::service::command_of(&request).to_owned(),
+            },
+        );
 
         if let Some(reply_to) = reply_to {
             let _ = self.send_plain(host, requester, None, &reply_to, reply.clone(), depth + 1);
@@ -253,7 +292,7 @@ impl Kernel {
     pub(crate) fn run_service(
         &self,
         host: &TaxHost,
-        service: Arc<dyn ServiceAgent>,
+        service: &dyn ServiceAgent,
         request: &mut Briefcase,
         requester: Principal,
         rights: Rights,
@@ -306,7 +345,11 @@ impl Kernel {
                     tasks.retain(|t| t.address != action.agent);
                     drop(tasks);
                     host.drop_agent_state(&action.agent);
-                    host.record(self.now(), Some(action.agent), EventKind::Rejected("killed by admin".into()));
+                    host.record(
+                        self.now(),
+                        Some(action.agent),
+                        EventKind::Rejected("killed by admin".into()),
+                    );
                 }
                 ControlKind::Stop => {
                     // Status lives in the firewall registry; the scheduler
@@ -366,9 +409,13 @@ impl KernelHooks {
             let mut wrappers = self.host.core.wrappers.lock();
             match wrappers.get_mut(&self.agent) {
                 Some(stack) => match kind {
-                    WrapKind::Send => {
-                        stack.apply_outbound(&mut target, briefcase, &self.agent, self.host.name(), now)
-                    }
+                    WrapKind::Send => stack.apply_outbound(
+                        &mut target,
+                        briefcase,
+                        &self.agent,
+                        self.host.name(),
+                        now,
+                    ),
                     WrapKind::Move => {
                         stack.apply_move(&mut target, briefcase, &self.agent, self.host.name(), now)
                     }
@@ -377,35 +424,65 @@ impl KernelHooks {
             }
         };
         for note in &effects.notes {
-            self.host.record(now, Some(self.agent.clone()), EventKind::Wrapper {
-                wrapper: "outbound".into(),
-                note: note.clone(),
-            });
+            self.host.record(
+                now,
+                Some(self.agent.clone()),
+                EventKind::Wrapper {
+                    wrapper: "outbound".into(),
+                    note: note.clone(),
+                },
+            );
         }
         let absorbed = effects.absorbed;
-        self.kernel.send_emissions(&self.host, &self.agent, effects.emit);
+        self.kernel
+            .send_emissions(&self.host, &self.agent, effects.emit);
         (target, absorbed)
     }
 
     /// The shared transfer path behind `go` and `spawn`.
-    fn transfer(&mut self, uri: &str, briefcase: &Briefcase, spawned: bool) -> Result<(), TaxError> {
+    fn transfer(
+        &mut self,
+        uri: &str,
+        briefcase: &Briefcase,
+        spawned: bool,
+    ) -> Result<(), TaxError> {
         let mut travelling = briefcase.clone();
         let (target_text, absorbed) = self.run_wrappers(WrapKind::Move, uri, &mut travelling);
         if absorbed {
-            return Err(TaxError::BadAgentSpec { detail: "move vetoed by wrapper".into() });
+            return Err(TaxError::BadAgentSpec {
+                detail: "move vetoed by wrapper".into(),
+            });
         }
         let target: AgentUri = target_text.parse()?;
-        let message =
-            Message::transfer(self.host.name(), self.principal.clone(), target, travelling, spawned);
-        let decision = self.host.with_firewall(|fw| fw.route_outbound(message, self.now()))?;
+        let message = Message::transfer(
+            self.host.name(),
+            self.principal.clone(),
+            target,
+            travelling,
+            spawned,
+        );
+        let decision = self
+            .host
+            .with_firewall(|fw| fw.route_outbound(message, self.now()))?;
         match decision {
-            Decision::ForwardRemote { host: remote, message, .. } => {
-                self.kernel.bus.send(self.host.host_id(), &HostId::new(&remote)?, message.encode())?;
+            Decision::ForwardRemote {
+                host: remote,
+                message,
+                ..
+            } => {
+                self.kernel.bus.send(
+                    self.host.host_id(),
+                    &HostId::new(&remote)?,
+                    message.encode(),
+                )?;
                 Ok(())
             }
-            Decision::InstallAgent { vm, address, briefcase, .. } => {
-                self.kernel.install(&self.host, vm, address, briefcase)
-            }
+            Decision::InstallAgent {
+                vm,
+                address,
+                briefcase,
+                ..
+            } => self.kernel.install(&self.host, vm, address, briefcase),
             other => Err(TaxError::BadAgentSpec {
                 detail: format!("unexpected transfer decision {other:?}"),
             }),
@@ -413,6 +490,7 @@ impl KernelHooks {
     }
 }
 
+#[derive(Clone, Copy)]
 enum WrapKind {
     Send,
     Move,
@@ -420,21 +498,29 @@ enum WrapKind {
 
 impl HostHooks for KernelHooks {
     fn display(&mut self, text: &str) {
-        self.host
-            .record(self.now(), Some(self.agent.clone()), EventKind::Display(text.to_owned()));
+        self.host.record(
+            self.now(),
+            Some(self.agent.clone()),
+            EventKind::Display(text.to_owned()),
+        );
     }
 
     fn go(&mut self, uri: &str, briefcase: &Briefcase) -> GoDecision {
         match self.transfer(uri, briefcase, false) {
             Ok(()) => {
-                self.host.record(self.now(), Some(self.agent.clone()), EventKind::Departed {
-                    to: uri.to_owned(),
-                });
+                self.host.record(
+                    self.now(),
+                    Some(self.agent.clone()),
+                    EventKind::Departed { to: uri.to_owned() },
+                );
                 GoDecision::Moved
             }
             Err(e) => {
-                self.host
-                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                self.host.record(
+                    self.now(),
+                    Some(self.agent.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
                 GoDecision::Unreachable
             }
         }
@@ -443,14 +529,19 @@ impl HostHooks for KernelHooks {
     fn spawn(&mut self, uri: &str, briefcase: &Briefcase) -> Option<String> {
         // Pre-allocate the child's instance so it can be reported back
         // (§3.1: "which is then reported back to the calling agent").
-        let instance = self.host.with_firewall(|fw| fw.allocate_instance());
+        let instance = self
+            .host
+            .with_firewall(tacoma_firewall::Firewall::allocate_instance);
         let mut child = briefcase.clone();
         child.set_single("SYS:INSTANCE", instance.as_str());
         match self.transfer(uri, &child, true) {
             Ok(()) => Some(instance.as_str().to_owned()),
             Err(e) => {
-                self.host
-                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                self.host.record(
+                    self.now(),
+                    Some(self.agent.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
                 None
             }
         }
@@ -472,8 +563,11 @@ impl HostHooks for KernelHooks {
         ) {
             Ok(()) => true,
             Err(e) => {
-                self.host
-                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                self.host.record(
+                    self.now(),
+                    Some(self.agent.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
                 false
             }
         }
@@ -497,11 +591,17 @@ impl HostHooks for KernelHooks {
             request,
         );
         let request_len = message.encoded_len() as u64;
-        let decision = match self.host.with_firewall(|fw| fw.route_outbound(message, self.now())) {
+        let decision = match self
+            .host
+            .with_firewall(|fw| fw.route_outbound(message, self.now()))
+        {
             Ok(d) => d,
             Err(e) => {
-                self.host
-                    .record(self.now(), Some(self.agent.clone()), EventKind::Rejected(e.to_string()));
+                self.host.record(
+                    self.now(),
+                    Some(self.agent.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
                 return None;
             }
         };
@@ -511,17 +611,29 @@ impl HostHooks for KernelHooks {
             Decision::DeliverLocal { vm, agent, message } if vm == "service" => {
                 let self_id = self.host.host_id().clone();
                 let _ = self.kernel.net.transfer(&self_id, &self_id, request_len);
-                let reply =
-                    self.kernel.call_service_on(&self.host, &agent, message, self.depth).ok()?;
-                let _ = self.kernel.net.transfer(&self_id, &self_id, reply.encoded_len() as u64);
+                let reply = self
+                    .kernel
+                    .call_service_on(&self.host, &agent, message, self.depth)
+                    .ok()?;
+                let _ = self
+                    .kernel
+                    .net
+                    .transfer(&self_id, &self_id, reply.encoded_len() as u64);
                 Some(reply)
             }
             // Remote target: ship the request; if it lands on a service,
             // RPC synchronously and ship the reply back.
-            Decision::ForwardRemote { host: remote, message, .. } => {
+            Decision::ForwardRemote {
+                host: remote,
+                message,
+                ..
+            } => {
                 let remote_id = HostId::new(&remote).ok()?;
                 let remote_host = self.kernel.host(&remote)?;
-                self.kernel.net.transfer(self.host.host_id(), &remote_id, request_len).ok()?;
+                self.kernel
+                    .net
+                    .transfer(self.host.host_id(), &remote_id, request_len)
+                    .ok()?;
                 let inbound =
                     remote_host.with_firewall(|fw| fw.route_inbound(message, self.kernel.now()));
                 match inbound {
@@ -538,7 +650,9 @@ impl HostHooks for KernelHooks {
                     }
                     Ok(other) => {
                         // Not a service: degrade to a delivery.
-                        let _ = self.kernel.execute_deliver_decision(&remote_host, other, self.depth);
+                        let _ =
+                            self.kernel
+                                .execute_deliver_decision(&remote_host, other, self.depth);
                         None
                     }
                     Err(e) => {
@@ -553,11 +667,13 @@ impl HostHooks for KernelHooks {
             }
             // A local mobile agent: deliver, no synchronous reply.
             Decision::DeliverLocal { agent, message, .. } => {
-                self.kernel.deliver_mail(&self.host, &agent, message.briefcase);
+                self.kernel
+                    .deliver_mail(&self.host, &agent, message.briefcase);
                 None
             }
             Decision::Admin { reply, control } => {
-                self.kernel.apply_admin(&self.host, reply.clone(), control, self.depth);
+                self.kernel
+                    .apply_admin(&self.host, reply.clone(), control, self.depth);
                 Some(reply)
             }
             Decision::Queued => None,
@@ -578,7 +694,10 @@ impl HostHooks for KernelHooks {
         // Model the blocking wait: virtual time passes, then one last
         // delivery check.
         if timeout_ms > 0 {
-            self.kernel.net.clock().advance(Duration::from_millis(timeout_ms as u64));
+            self.kernel
+                .net
+                .clock()
+                .advance(Duration::from_millis(timeout_ms as u64));
         }
         self.kernel.pump_all();
         self.host.pop_mail(&self.agent)
@@ -605,7 +724,9 @@ impl std::fmt::Debug for KernelHooks {
 
 /// Builds a VM execution context for a task on `host`. The trust store is
 /// snapshotted so the firewall lock is not held across agent execution.
-pub(crate) fn exec_context_for(host: &TaxHost) -> (tacoma_security::TrustStore, tacoma_vm::NativeRegistry) {
+pub(crate) fn exec_context_for(
+    host: &TaxHost,
+) -> (tacoma_security::TrustStore, tacoma_vm::NativeRegistry) {
     let trust = host.with_firewall(|fw| fw.trust().clone());
     let natives = host.core.natives.read().clone();
     (trust, natives)
@@ -625,4 +746,3 @@ pub(crate) fn make_ctx<'a>(
     }
     ctx
 }
-

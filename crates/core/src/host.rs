@@ -8,8 +8,8 @@ use crossbeam::channel::Receiver;
 use parking_lot::{Mutex, RwLock};
 use tacoma_briefcase::Briefcase;
 use tacoma_firewall::Firewall;
-use tacoma_simnet::Envelope;
 use tacoma_security::{Policy, TrustStore};
+use tacoma_simnet::Envelope;
 use tacoma_simnet::{HostId, SimTime};
 use tacoma_uri::{AgentAddress, DEFAULT_PORT};
 use tacoma_vm::{Architecture, NativeRegistry, VirtualMachine, VmBin, VmC, VmScript};
@@ -77,7 +77,10 @@ impl TaxHost {
     /// Installs a native program (e.g. the Webbot binary) under `key`.
     pub fn install_native<F>(&self, key: impl Into<String>, program: F)
     where
-        F: Fn(&mut Briefcase, &mut dyn tacoma_vm::HostHooks) -> Result<tacoma_vm::Outcome, tacoma_vm::VmError>
+        F: Fn(
+                &mut Briefcase,
+                &mut dyn tacoma_vm::HostHooks,
+            ) -> Result<tacoma_vm::Outcome, tacoma_vm::VmError>
             + Send
             + Sync
             + 'static,
@@ -86,7 +89,11 @@ impl TaxHost {
     }
 
     /// Installs a native program given as a trait object.
-    pub fn install_native_program(&self, key: impl Into<String>, program: Arc<dyn tacoma_vm::NativeProgram>) {
+    pub fn install_native_program(
+        &self,
+        key: impl Into<String>,
+        program: Arc<dyn tacoma_vm::NativeProgram>,
+    ) {
         self.core.natives.write().install(key, program);
     }
 
@@ -98,7 +105,7 @@ impl TaxHost {
             let system = firewall.local_system().clone();
             let instance = firewall.allocate_instance();
             let address = AgentAddress::new(system.as_str(), &name, instance);
-            firewall.register_agent(address, "service", SimTime::ZERO);
+            firewall.register_agent(&address, "service", SimTime::ZERO);
         }
         self.core.services.write().insert(name, service);
     }
@@ -163,11 +170,20 @@ impl TaxHost {
     }
 
     pub(crate) fn push_mail(&self, to: &AgentAddress, briefcase: Briefcase) {
-        self.core.mailboxes.lock().entry(to.clone()).or_default().push_back(briefcase);
+        self.core
+            .mailboxes
+            .lock()
+            .entry(to.clone())
+            .or_default()
+            .push_back(briefcase);
     }
 
     pub(crate) fn pop_mail(&self, of: &AgentAddress) -> Option<Briefcase> {
-        self.core.mailboxes.lock().get_mut(of).and_then(VecDeque::pop_front)
+        self.core
+            .mailboxes
+            .lock()
+            .get_mut(of)
+            .and_then(VecDeque::pop_front)
     }
 
     pub(crate) fn set_inbox(&self, inbox: Receiver<Envelope>) {
@@ -175,11 +191,19 @@ impl TaxHost {
     }
 
     pub(crate) fn try_recv_envelope(&self) -> Option<Envelope> {
-        self.core.inbox.lock().as_ref().and_then(|rx| rx.try_recv().ok())
+        self.core
+            .inbox
+            .lock()
+            .as_ref()
+            .and_then(|rx| rx.try_recv().ok())
     }
 
     pub(crate) fn inbox_is_empty(&self) -> bool {
-        self.core.inbox.lock().as_ref().map(|rx| rx.is_empty()).unwrap_or(true)
+        self.core
+            .inbox
+            .lock()
+            .as_ref()
+            .is_none_or(crossbeam::channel::Receiver::is_empty)
     }
 
     pub(crate) fn drop_agent_state(&self, address: &AgentAddress) {
@@ -294,7 +318,10 @@ impl HostBuilder {
         // The host's own system principal always has full capabilities —
         // its service agents are the resource managers (§3.3).
         let mut policy = self.policy;
-        policy.grant(tacoma_security::Principal::local_system(self.name.as_str()), tacoma_security::Rights::ALL);
+        policy.grant(
+            tacoma_security::Principal::local_system(self.name.as_str()),
+            tacoma_security::Rights::ALL,
+        );
         let mut firewall = Firewall::new(self.name.as_str(), self.port, policy, self.trust);
 
         let mut vms: BTreeMap<String, Arc<dyn VirtualMachine>> = BTreeMap::new();

@@ -64,7 +64,9 @@ pub use hooks::KernelHooks;
 pub use host::{HostBuilder, TaxHost};
 pub use service::{arg, command_of, error_reply, ok_reply, reply_ok, ServiceAgent, ServiceEnv};
 pub use system::{SystemBuilder, TaxSystem};
-pub use wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperFactory, WrapperStack, WrapperVerdict};
+pub use wrapper::{
+    Wrapper, WrapperCtx, WrapperEvent, WrapperFactory, WrapperStack, WrapperVerdict,
+};
 
 // Commonly needed re-exports so applications can depend on tacoma-core
 // alone.
@@ -73,4 +75,6 @@ pub use tacoma_security::{Keyring, Policy, Principal, Rights, TrustStore};
 pub use tacoma_simnet::{HostId, LinkSpec, Network, SimClock, SimTime, Topology};
 pub use tacoma_taxscript::{NullHooks, Outcome};
 pub use tacoma_uri::{AgentAddress, AgentUri, Instance};
-pub use tacoma_vm::{Architecture, ArtifactBundle, BinaryArtifact, GoDecision, HostHooks, NativeRegistry};
+pub use tacoma_vm::{
+    Architecture, ArtifactBundle, BinaryArtifact, GoDecision, HostHooks, NativeRegistry,
+};

@@ -64,7 +64,7 @@ pub fn error_reply(reason: impl std::fmt::Display) -> Briefcase {
 
 /// Whether a reply reports success.
 pub fn reply_ok(reply: &Briefcase) -> bool {
-    reply.single_str(folders::STATUS).map(|s| s == "ok").unwrap_or(false)
+    reply.single_str(folders::STATUS).is_ok_and(|s| s == "ok")
 }
 
 /// The command verb of a request, or empty.

@@ -104,7 +104,14 @@ impl ServiceAgent for AgExec {
                     return error_reply("which: missing program name");
                 };
                 let mut reply = ok_reply();
-                reply.set_single("INSTALLED", if env.natives.contains(key) { 1i64 } else { 0i64 });
+                reply.set_single(
+                    "INSTALLED",
+                    if env.natives.contains(key) {
+                        1i64
+                    } else {
+                        0i64
+                    },
+                );
                 reply
             }
             other => error_reply(format!("ag_exec: unknown command {other:?}")),
@@ -117,7 +124,7 @@ struct HooksRef<'a>(&'a mut dyn tacoma_vm::HostHooks);
 
 impl tacoma_vm::HostHooks for HooksRef<'_> {
     fn display(&mut self, text: &str) {
-        self.0.display(text)
+        self.0.display(text);
     }
     fn go(&mut self, uri: &str, bc: &Briefcase) -> tacoma_taxscript::GoDecision {
         self.0.go(uri, bc)
@@ -141,6 +148,6 @@ impl tacoma_vm::HostHooks for HooksRef<'_> {
         self.0.host_name()
     }
     fn work_ns(&mut self, nanos: u64) {
-        self.0.work_ns(nanos)
+        self.0.work_ns(nanos);
     }
 }

@@ -36,7 +36,9 @@ impl ServiceAgent for AgLog {
                 let Some(line) = arg(request, 0) else {
                     return error_reply("append: missing line");
                 };
-                self.lines.lock().push(format!("[{}] {} {}", env.now, env.requester, line));
+                self.lines
+                    .lock()
+                    .push(format!("[{}] {} {}", env.now, env.requester, line));
                 ok_reply()
             }
             "read" => {

@@ -95,7 +95,10 @@ impl SystemBuilder {
             topology.add_host(hb.name().clone());
         }
         for (a, b, link) in &self.links {
-            if let (Ok(a), Ok(b)) = (tacoma_simnet::HostId::new(a.clone()), tacoma_simnet::HostId::new(b.clone())) {
+            if let (Ok(a), Ok(b)) = (
+                tacoma_simnet::HostId::new(a.clone()),
+                tacoma_simnet::HostId::new(b.clone()),
+            ) {
                 topology.set_link(&a, &b, *link);
             }
         }
@@ -129,7 +132,14 @@ impl SystemBuilder {
         }
 
         let directory = Arc::new(RwLock::new(hosts));
-        TaxSystem { kernel: Kernel { directory, bus, net }, keyrings }
+        TaxSystem {
+            kernel: Kernel {
+                directory,
+                bus,
+                net,
+            },
+            keyrings,
+        }
     }
 }
 
@@ -186,16 +196,18 @@ impl TaxSystem {
     /// # Errors
     ///
     /// [`TaxError::UnknownHost`] or spec/install failures.
+    #[allow(clippy::needless_pass_by_value)] // a spec describes exactly one launch; taking it keeps call sites builder-shaped
     pub fn launch(&mut self, host_name: &str, spec: AgentSpec) -> Result<AgentAddress, TaxError> {
-        let host = self
-            .host(host_name)
-            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
         let local_system = host.with_firewall(|fw| fw.local_system().clone());
         let principal = spec.resolve_principal(&local_system);
         let briefcase = spec.build_briefcase(&principal)?;
-        let instance = host.with_firewall(|fw| fw.allocate_instance());
+        let instance = host.with_firewall(tacoma_firewall::Firewall::allocate_instance);
         let address = AgentAddress::new(principal.as_str(), spec.name(), instance);
-        self.kernel.install(&host, spec.target_vm(), address.clone(), briefcase)?;
+        self.kernel
+            .install(&host, spec.target_vm(), address.clone(), briefcase)?;
         Ok(address)
     }
 
@@ -213,9 +225,9 @@ impl TaxSystem {
         command: &str,
         args: &[&str],
     ) -> Result<Briefcase, TaxError> {
-        let host = self
-            .host(host_name)
-            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
         let mut request = Briefcase::new();
         request.set_single(folders::COMMAND, command);
         for a in args {
@@ -256,14 +268,23 @@ impl TaxSystem {
         principal: &Principal,
         mut request: Briefcase,
     ) -> Result<Briefcase, TaxError> {
-        let host = self
-            .host(host_name)
-            .ok_or_else(|| TaxError::UnknownHost { host: host_name.to_owned() })?;
-        let service = host.service(service_name).ok_or_else(|| TaxError::BadAgentSpec {
-            detail: format!("no service {service_name:?} on {host_name}"),
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
         })?;
+        let service = host
+            .service(service_name)
+            .ok_or_else(|| TaxError::BadAgentSpec {
+                detail: format!("no service {service_name:?} on {host_name}"),
+            })?;
         let rights = host.with_firewall(|fw| fw.rights_of(principal, true));
-        Ok(self.kernel.run_service(&host, service, &mut request, principal.clone(), rights, 0))
+        Ok(self.kernel.run_service(
+            &host,
+            service.as_ref(),
+            &mut request,
+            principal.clone(),
+            rights,
+            0,
+        ))
     }
 
     /// Performs one unit of scheduler work: drains arrived messages on
@@ -275,7 +296,9 @@ impl TaxSystem {
         // Phase 1: message delivery, every host, deterministic order.
         let host_names = self.host_names();
         for name in &host_names {
-            let Some(host) = self.host(name) else { continue };
+            let Some(host) = self.host(name) else {
+                continue;
+            };
             if self.kernel.pump_inbox(&host) > 0 {
                 worked = true;
             }
@@ -283,7 +306,9 @@ impl TaxSystem {
 
         // Phase 2: run one agent task (first host in order with work).
         for name in &host_names {
-            let Some(host) = self.host(name) else { continue };
+            let Some(host) = self.host(name) else {
+                continue;
+            };
             if let Some(task) = host.pop_task() {
                 self.run_task(&host, task);
                 worked = true;
@@ -351,10 +376,11 @@ impl TaxSystem {
 
         let vm: Option<Arc<dyn VirtualMachine>> = host.core.vms.read().get(&task.vm).cloned();
         let Some(vm) = vm else {
-            host.record(now, Some(task.address.clone()), EventKind::Rejected(format!(
-                "no VM named {:?}",
-                task.vm
-            )));
+            host.record(
+                now,
+                Some(task.address.clone()),
+                EventKind::Rejected(format!("no VM named {:?}", task.vm)),
+            );
             host.with_firewall(|fw| fw.unregister_agent(&task.address));
             return;
         };
@@ -362,7 +388,11 @@ impl TaxSystem {
         let principal = match Principal::new(task.address.principal()) {
             Ok(p) => p,
             Err(e) => {
-                host.record(now, Some(task.address.clone()), EventKind::Rejected(e.to_string()));
+                host.record(
+                    now,
+                    Some(task.address.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
                 return;
             }
         };
@@ -395,12 +425,20 @@ impl TaxSystem {
                         // instance is terminated.
                     }
                     outcome @ (Outcome::Finished | Outcome::Exit(_)) => {
-                        host.record(after, Some(task.address.clone()), EventKind::Completed(outcome));
+                        host.record(
+                            after,
+                            Some(task.address.clone()),
+                            EventKind::Completed(outcome),
+                        );
                     }
                 }
             }
             Err(e) => {
-                host.record(after, Some(task.address.clone()), EventKind::Faulted(e.to_string()));
+                host.record(
+                    after,
+                    Some(task.address.clone()),
+                    EventKind::Faulted(e.to_string()),
+                );
             }
         }
         host.with_firewall(|fw| fw.unregister_agent(&task.address));

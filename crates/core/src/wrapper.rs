@@ -85,7 +85,11 @@ pub trait Wrapper: Send {
     fn name(&self) -> &str;
 
     /// Observes and possibly intercepts one event.
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict;
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict;
 }
 
 /// The effects of running an event through a wrapper stack.
@@ -136,10 +140,18 @@ impl WrapperStack {
         host: &str,
         now: SimTime,
     ) -> StackEffects {
-        self.apply(Direction::Out, |event_to, event_bc| WrapperEvent::Outbound {
-            to: event_to,
-            briefcase: event_bc,
-        }, to, briefcase, agent, host, now)
+        self.apply(
+            Direction::Out,
+            |event_to, event_bc| WrapperEvent::Outbound {
+                to: event_to,
+                briefcase: event_bc,
+            },
+            to,
+            briefcase,
+            agent,
+            host,
+            now,
+        )
     }
 
     /// Inbound events flow from the system inwards: outermost wrapper
@@ -153,8 +165,17 @@ impl WrapperStack {
         now: SimTime,
     ) -> StackEffects {
         let mut unused = String::new();
-        self.apply(Direction::In, |_, event_bc| WrapperEvent::Inbound { briefcase: event_bc },
-            &mut unused, briefcase, agent, host, now)
+        self.apply(
+            Direction::In,
+            |_, event_bc| WrapperEvent::Inbound {
+                briefcase: event_bc,
+            },
+            &mut unused,
+            briefcase,
+            agent,
+            host,
+            now,
+        )
     }
 
     /// Moves flow outwards like sends.
@@ -166,10 +187,18 @@ impl WrapperStack {
         host: &str,
         now: SimTime,
     ) -> StackEffects {
-        self.apply(Direction::Out, |event_dest, event_bc| WrapperEvent::Move {
-            dest: event_dest,
-            briefcase: event_bc,
-        }, dest, briefcase, agent, host, now)
+        self.apply(
+            Direction::Out,
+            |event_dest, event_bc| WrapperEvent::Move {
+                dest: event_dest,
+                briefcase: event_bc,
+            },
+            dest,
+            briefcase,
+            agent,
+            host,
+            now,
+        )
     }
 
     #[allow(clippy::too_many_arguments)] // internal dispatcher; the public entry points are narrow
@@ -210,6 +239,7 @@ impl WrapperStack {
     }
 }
 
+#[derive(Clone, Copy)]
 enum Direction {
     Out,
     In,
@@ -257,9 +287,12 @@ impl WrapperFactory {
     /// constructor rejects.
     pub fn build(&self, spec: &str) -> Result<Box<dyn Wrapper>, TaxError> {
         let name = spec.split(':').next().unwrap_or(spec);
-        let constructor = self.constructors.get(name).ok_or_else(|| TaxError::BadAgentSpec {
-            detail: format!("unknown wrapper {name:?} in spec {spec:?}"),
-        })?;
+        let constructor = self
+            .constructors
+            .get(name)
+            .ok_or_else(|| TaxError::BadAgentSpec {
+                detail: format!("unknown wrapper {name:?} in spec {spec:?}"),
+            })?;
         constructor(spec)
     }
 
@@ -304,7 +337,11 @@ mod tests {
         fn name(&self) -> &str {
             "tagger"
         }
-        fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+        fn on_event(
+            &mut self,
+            event: &mut WrapperEvent<'_>,
+            ctx: &mut WrapperCtx<'_>,
+        ) -> WrapperVerdict {
             match event {
                 WrapperEvent::Outbound { briefcase, .. } | WrapperEvent::Move { briefcase, .. } => {
                     briefcase.append("TAGS", self.tag.as_str());
@@ -329,8 +366,14 @@ mod tests {
 
     fn stack(absorb_outer: bool) -> WrapperStack {
         let mut s = WrapperStack::new();
-        s.wrap(Box::new(Tagger { tag: "inner".into(), absorb_inbound: false }));
-        s.wrap(Box::new(Tagger { tag: "outer".into(), absorb_inbound: absorb_outer }));
+        s.wrap(Box::new(Tagger {
+            tag: "inner".into(),
+            absorb_inbound: false,
+        }));
+        s.wrap(Box::new(Tagger {
+            tag: "outer".into(),
+            absorb_inbound: absorb_outer,
+        }));
         s
     }
 
@@ -365,7 +408,11 @@ mod tests {
         let mut bc = Briefcase::new();
         let fx = s.apply_inbound(&mut bc, &agent(), "h1", SimTime::ZERO);
         assert!(fx.absorbed);
-        assert_eq!(tags(&bc), ["outer"], "inner wrapper must not see the absorbed event");
+        assert_eq!(
+            tags(&bc),
+            ["outer"],
+            "inner wrapper must not see the absorbed event"
+        );
         assert_eq!(fx.notes, ["outer absorbed"]);
     }
 
@@ -374,7 +421,10 @@ mod tests {
         let mut factory = WrapperFactory::new();
         factory.register("tagger", |spec| {
             let tag = spec.split_once(':').map(|(_, t)| t).unwrap_or("?");
-            Ok(Box::new(Tagger { tag: tag.to_owned(), absorb_inbound: false }))
+            Ok(Box::new(Tagger {
+                tag: tag.to_owned(),
+                absorb_inbound: false,
+            }))
         });
         let mut bc = Briefcase::new();
         bc.append(WRAPPERS_FOLDER, "tagger:mw");
@@ -393,7 +443,10 @@ mod tests {
         let factory = WrapperFactory::new();
         let mut bc = Briefcase::new();
         bc.append(WRAPPERS_FOLDER, "ghost:x");
-        assert!(matches!(factory.build_stack(&bc), Err(TaxError::BadAgentSpec { .. })));
+        assert!(matches!(
+            factory.build_stack(&bc),
+            Err(TaxError::BadAgentSpec { .. })
+        ));
     }
 
     #[test]

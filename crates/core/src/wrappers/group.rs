@@ -79,7 +79,13 @@ impl GroupWrapper {
             GroupOrder::Causal => Buffer::Causal(CausalBuffer::new()),
             GroupOrder::Total => Buffer::Total(TotalBuffer::new()),
         };
-        GroupWrapper { order, members, fifo_sender: FifoSender::default(), total_seq: 0, buffer }
+        GroupWrapper {
+            order,
+            members,
+            fifo_sender: FifoSender::default(),
+            total_seq: 0,
+            buffer,
+        }
     }
 
     /// Parses the `group:<order>:<members>` spec.
@@ -97,13 +103,18 @@ impl GroupWrapper {
             Some("total") => GroupOrder::Total,
             other => return Err(bad(format!("unknown group order {other:?}"))),
         };
-        let members_text = parts.next().ok_or_else(|| bad("missing member list".into()))?;
+        let members_text = parts
+            .next()
+            .ok_or_else(|| bad("missing member list".into()))?;
         let mut members = Vec::new();
         for entry in members_text.split(',').filter(|e| !e.is_empty()) {
             let (name, host) = entry
                 .split_once('@')
                 .ok_or_else(|| bad(format!("member {entry:?} must be name@host")))?;
-            members.push(Member { name: name.to_owned(), host: host.to_owned() });
+            members.push(Member {
+                name: name.to_owned(),
+                host: host.to_owned(),
+            });
         }
         if members.is_empty() {
             return Err(bad("empty member list".into()));
@@ -121,12 +132,7 @@ impl GroupWrapper {
 
     /// Fans a payload out to the members; when `include_self` is false,
     /// the wrapped agent's own member entry is skipped.
-    fn multicast(
-        &self,
-        payload: &Briefcase,
-        include_self: bool,
-        ctx: &mut WrapperCtx<'_>,
-    ) {
+    fn multicast(&self, payload: &Briefcase, include_self: bool, ctx: &mut WrapperCtx<'_>) {
         for member in &self.members {
             if !include_self && member.name == ctx.agent.name() {
                 continue;
@@ -156,7 +162,11 @@ impl Wrapper for GroupWrapper {
         "group"
     }
 
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict {
         match event {
             WrapperEvent::Outbound { to, briefcase } => {
                 if to.as_str() != GROUP_TARGET {
@@ -226,7 +236,8 @@ impl Wrapper for GroupWrapper {
                     }
                 };
                 if !ready.is_empty() {
-                    ctx.notes.push(format!("released {} ordered message(s)", ready.len()));
+                    ctx.notes
+                        .push(format!("released {} ordered message(s)", ready.len()));
                 }
                 self.deliver_ready(ready, ctx);
                 WrapperVerdict::Absorb
@@ -234,7 +245,8 @@ impl Wrapper for GroupWrapper {
             WrapperEvent::Move { .. } => {
                 // Moving resets in-memory ordering state; note it so
                 // operators can see why a moved member re-syncs.
-                ctx.notes.push("group member moving; ordering buffers reset at destination".into());
+                ctx.notes
+                    .push("group member moving; ordering buffers reset at destination".into());
                 WrapperVerdict::Continue
             }
         }
@@ -243,6 +255,11 @@ impl Wrapper for GroupWrapper {
 
 impl std::fmt::Debug for GroupWrapper {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "GroupWrapper({:?}, {} members)", self.order, self.members.len())
+        write!(
+            f,
+            "GroupWrapper({:?}, {} members)",
+            self.order,
+            self.members.len()
+        )
     }
 }

@@ -78,7 +78,9 @@ pub struct LocationWrapper {
 impl LocationWrapper {
     /// A wrapper registering with the given locator service URI.
     pub fn new(locator: impl Into<String>) -> Self {
-        LocationWrapper { locator: locator.into() }
+        LocationWrapper {
+            locator: locator.into(),
+        }
     }
 
     /// Parses the `location:<uri>` spec.
@@ -97,7 +99,11 @@ impl Wrapper for LocationWrapper {
         "location"
     }
 
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict {
         if let WrapperEvent::Move { dest, .. } = event {
             // The stable handle is the agent's name; its new address is
             // host-qualified.
@@ -112,7 +118,8 @@ impl Wrapper for LocationWrapper {
             request.append(folders::ARGS, ctx.agent.name());
             request.append(folders::ARGS, new_uri);
             ctx.emit.push((self.locator.clone(), request));
-            ctx.notes.push(format!("location registered with {}", self.locator));
+            ctx.notes
+                .push(format!("location registered with {}", self.locator));
         }
         WrapperVerdict::Continue
     }

@@ -22,13 +22,20 @@ impl Wrapper for LoggingWrapper {
         "logging"
     }
 
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict {
         self.events_seen += 1;
         match event {
             WrapperEvent::Outbound { to, briefcase } => {
                 briefcase.append(
                     tacoma_briefcase::folders::LOG,
-                    format!("[{}] {} -> {} (event {})", ctx.now, ctx.agent, to, self.events_seen),
+                    format!(
+                        "[{}] {} -> {} (event {})",
+                        ctx.now, ctx.agent, to, self.events_seen
+                    ),
                 );
                 ctx.notes.push(format!("send to {to}"));
             }
@@ -38,7 +45,10 @@ impl Wrapper for LoggingWrapper {
             WrapperEvent::Move { dest, briefcase } => {
                 briefcase.append(
                     tacoma_briefcase::folders::LOG,
-                    format!("[{}] {} moving {} -> {}", ctx.now, ctx.agent, ctx.host, dest),
+                    format!(
+                        "[{}] {} moving {} -> {}",
+                        ctx.now, ctx.agent, ctx.host, dest
+                    ),
                 );
                 ctx.notes.push(format!("moving to {dest}"));
             }

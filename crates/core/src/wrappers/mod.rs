@@ -22,8 +22,12 @@ use crate::wrapper::WrapperFactory;
 pub fn standard_factory() -> WrapperFactory {
     let mut factory = WrapperFactory::new();
     factory.register("logging", |_spec| Ok(Box::new(LoggingWrapper::new())));
-    factory.register("monitor", |spec| Ok(Box::new(MonitorWrapper::from_spec(spec)?)));
-    factory.register("location", |spec| Ok(Box::new(LocationWrapper::from_spec(spec)?)));
+    factory.register("monitor", |spec| {
+        Ok(Box::new(MonitorWrapper::from_spec(spec)?))
+    });
+    factory.register("location", |spec| {
+        Ok(Box::new(LocationWrapper::from_spec(spec)?))
+    });
     factory.register("group", |spec| Ok(Box::new(GroupWrapper::from_spec(spec)?)));
     factory.register("seal", |spec| Ok(Box::new(SealWrapper::from_spec(spec)?)));
     factory

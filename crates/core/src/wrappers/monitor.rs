@@ -25,7 +25,10 @@ pub struct MonitorWrapper {
 impl MonitorWrapper {
     /// A monitor reporting to the given URI.
     pub fn new(report_to: impl Into<String>) -> Self {
-        MonitorWrapper { report_to: report_to.into(), hops: 0 }
+        MonitorWrapper {
+            report_to: report_to.into(),
+            hops: 0,
+        }
     }
 
     /// Parses the `monitor:<uri>` spec.
@@ -51,13 +54,18 @@ impl Wrapper for MonitorWrapper {
         "monitor"
     }
 
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict {
         match event {
             WrapperEvent::Move { dest, .. } => {
                 self.hops += 1;
                 let line = format!("{} hop {} : {} -> {}", ctx.agent, self.hops, ctx.host, dest);
                 self.report(ctx, line);
-                ctx.notes.push(format!("reported move to {}", self.report_to));
+                ctx.notes
+                    .push(format!("reported move to {}", self.report_to));
                 WrapperVerdict::Continue
             }
             WrapperEvent::Inbound { briefcase } => {

@@ -55,8 +55,11 @@ impl VectorClock {
     /// Serializes to `member=count` pairs joined by `,` for carrying in a
     /// briefcase element.
     pub fn render(&self) -> String {
-        let parts: Vec<String> =
-            self.counters.iter().map(|(m, c)| format!("{m}={c}")).collect();
+        let parts: Vec<String> = self
+            .counters
+            .iter()
+            .map(|(m, c)| format!("{m}={c}"))
+            .collect();
         parts.join(",")
     }
 
@@ -99,12 +102,20 @@ pub struct FifoBuffer<T> {
 impl<T> FifoBuffer<T> {
     /// An empty buffer.
     pub fn new() -> Self {
-        FifoBuffer { next: BTreeMap::new(), held: Vec::new() }
+        FifoBuffer {
+            next: BTreeMap::new(),
+            held: Vec::new(),
+        }
     }
 
     /// Offers a message; returns every message now deliverable, in order.
     pub fn offer(&mut self, sender: &str, seq: u64, payload: T) -> Vec<T> {
-        self.held.push(Held { sender: sender.to_owned(), seq, clock: VectorClock::new(), payload });
+        self.held.push(Held {
+            sender: sender.to_owned(),
+            seq,
+            clock: VectorClock::new(),
+            payload,
+        });
         self.drain_ready()
     }
 
@@ -143,7 +154,10 @@ pub struct CausalBuffer<T> {
 impl<T> CausalBuffer<T> {
     /// An empty buffer.
     pub fn new() -> Self {
-        CausalBuffer { clock: VectorClock::new(), held: Vec::new() }
+        CausalBuffer {
+            clock: VectorClock::new(),
+            held: Vec::new(),
+        }
     }
 
     /// The receiver's current vector clock.
@@ -161,10 +175,18 @@ impl<T> CausalBuffer<T> {
     /// Offers a stamped message; returns everything now deliverable, in
     /// causal order.
     pub fn offer(&mut self, sender: &str, stamp: VectorClock, payload: T) -> Vec<T> {
-        self.held.push(Held { sender: sender.to_owned(), seq: 0, clock: stamp, payload });
+        self.held.push(Held {
+            sender: sender.to_owned(),
+            seq: 0,
+            clock: stamp,
+            payload,
+        });
         let mut out = Vec::new();
         loop {
-            let pos = self.held.iter().position(|h| self.clock.deliverable(&h.sender, &h.clock));
+            let pos = self
+                .held
+                .iter()
+                .position(|h| self.clock.deliverable(&h.sender, &h.clock));
             match pos {
                 Some(i) => {
                     let h = self.held.remove(i);
@@ -193,7 +215,10 @@ pub struct TotalBuffer<T> {
 impl<T> TotalBuffer<T> {
     /// An empty buffer expecting global sequence 1 first.
     pub fn new() -> Self {
-        TotalBuffer { next: 1, held: BTreeMap::new() }
+        TotalBuffer {
+            next: 1,
+            held: BTreeMap::new(),
+        }
     }
 
     /// Offers a message with its global sequence number; returns
@@ -240,7 +265,9 @@ pub struct Scrambler<T> {
 impl<T> Scrambler<T> {
     /// An empty scrambler.
     pub fn new() -> Self {
-        Scrambler { items: VecDeque::new() }
+        Scrambler {
+            items: VecDeque::new(),
+        }
     }
 
     /// Adds an item.
@@ -310,7 +337,11 @@ mod tests {
         let mut buf = FifoBuffer::new();
         assert!(buf.offer("p", 2, "p2").is_empty());
         assert!(buf.offer("p", 3, "p3").is_empty());
-        assert_eq!(buf.offer("q", 1, "q1"), vec!["q1"], "other senders are independent");
+        assert_eq!(
+            buf.offer("q", 1, "q1"),
+            vec!["q1"],
+            "other senders are independent"
+        );
         assert_eq!(buf.offer("p", 1, "p1"), vec!["p1", "p2", "p3"]);
         assert_eq!(buf.held_count(), 0);
     }
@@ -343,7 +374,10 @@ mod tests {
         let m2_stamp = q.clone();
 
         let mut third = CausalBuffer::new();
-        assert!(third.offer("q", m2_stamp, "m2").is_empty(), "m2 must wait for m1");
+        assert!(
+            third.offer("q", m2_stamp, "m2").is_empty(),
+            "m2 must wait for m1"
+        );
         assert_eq!(third.offer("p", m1_stamp, "m1"), vec!["m1", "m2"]);
         assert_eq!(third.held_count(), 0);
     }

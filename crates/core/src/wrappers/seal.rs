@@ -4,7 +4,7 @@
 //! tampered messages never reach the wrapped agent.
 
 use tacoma_briefcase::Briefcase;
-use tacoma_security::{Hasher, Digest};
+use tacoma_security::{Digest, Hasher};
 
 use crate::wrapper::{Wrapper, WrapperCtx, WrapperEvent, WrapperVerdict};
 
@@ -37,7 +37,9 @@ impl SealWrapper {
     pub fn from_spec(spec: &str) -> Result<Self, crate::TaxError> {
         let bad = |detail: String| crate::TaxError::BadAgentSpec { detail };
         let Some(("seal", hex)) = spec.split_once(':') else {
-            return Err(bad(format!("seal spec must be seal:<hex-key>, got {spec:?}")));
+            return Err(bad(format!(
+                "seal spec must be seal:<hex-key>, got {spec:?}"
+            )));
         };
         if hex.is_empty() || hex.len() % 2 != 0 || !hex.bytes().all(|b| b.is_ascii_hexdigit()) {
             return Err(bad(format!("seal key must be non-empty hex, got {hex:?}")));
@@ -79,7 +81,11 @@ impl Wrapper for SealWrapper {
         "seal"
     }
 
-    fn on_event(&mut self, event: &mut WrapperEvent<'_>, ctx: &mut WrapperCtx<'_>) -> WrapperVerdict {
+    fn on_event(
+        &mut self,
+        event: &mut WrapperEvent<'_>,
+        ctx: &mut WrapperCtx<'_>,
+    ) -> WrapperVerdict {
         match event {
             WrapperEvent::Outbound { briefcase, .. } => {
                 let mac = self.mac(briefcase);
@@ -99,12 +105,14 @@ impl Wrapper for SealWrapper {
                     }
                     Some(_) => {
                         self.rejected += 1;
-                        ctx.notes.push("seal: rejected tampered briefcase".to_owned());
+                        ctx.notes
+                            .push("seal: rejected tampered briefcase".to_owned());
                         WrapperVerdict::Absorb
                     }
                     None => {
                         self.rejected += 1;
-                        ctx.notes.push("seal: rejected unsealed briefcase".to_owned());
+                        ctx.notes
+                            .push("seal: rejected unsealed briefcase".to_owned());
                         WrapperVerdict::Absorb
                     }
                 }
@@ -124,7 +132,10 @@ mod tests {
         AgentAddress::new("p", "a", Instance::from_u64(1))
     }
 
-    fn run_event(w: &mut SealWrapper, mut event: WrapperEvent<'_>) -> (WrapperVerdict, Vec<String>) {
+    fn run_event(
+        w: &mut SealWrapper,
+        mut event: WrapperEvent<'_>,
+    ) -> (WrapperVerdict, Vec<String>) {
         let agent = ctx_parts();
         let mut notes = Vec::new();
         let mut emit = Vec::new();
@@ -156,12 +167,21 @@ mod tests {
         bc.set_single("PAYLOAD", "secret");
 
         let mut to = "x".to_owned();
-        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        run_event(
+            &mut sender,
+            WrapperEvent::Outbound {
+                to: &mut to,
+                briefcase: &mut bc,
+            },
+        );
         assert!(bc.contains_folder(SEAL_FOLDER));
 
         let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
         assert_eq!(verdict, WrapperVerdict::Continue);
-        assert!(!bc.contains_folder(SEAL_FOLDER), "seal stripped before the agent sees it");
+        assert!(
+            !bc.contains_folder(SEAL_FOLDER),
+            "seal stripped before the agent sees it"
+        );
         assert_eq!(bc.single_str("PAYLOAD").unwrap(), "secret");
     }
 
@@ -172,10 +192,17 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.set_single("PAYLOAD", "secret");
         let mut to = "x".to_owned();
-        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        run_event(
+            &mut sender,
+            WrapperEvent::Outbound {
+                to: &mut to,
+                briefcase: &mut bc,
+            },
+        );
 
         bc.set_single("PAYLOAD", "forged");
-        let (verdict, notes) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        let (verdict, notes) =
+            run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
         assert_eq!(verdict, WrapperVerdict::Absorb);
         assert!(notes[0].contains("tampered"));
         assert_eq!(receiver.rejected(), 1);
@@ -188,7 +215,13 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.set_single("PAYLOAD", "secret");
         let mut to = "x".to_owned();
-        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        run_event(
+            &mut sender,
+            WrapperEvent::Outbound {
+                to: &mut to,
+                briefcase: &mut bc,
+            },
+        );
         let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
         assert_eq!(verdict, WrapperVerdict::Absorb);
     }
@@ -198,7 +231,8 @@ mod tests {
         let mut receiver = SealWrapper::from_spec("seal:0102").unwrap();
         let mut bc = Briefcase::new();
         bc.set_single("PAYLOAD", "bare");
-        let (verdict, notes) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
+        let (verdict, notes) =
+            run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
         assert_eq!(verdict, WrapperVerdict::Absorb);
         assert!(notes[0].contains("unsealed"));
     }
@@ -210,7 +244,13 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.set_single("PAYLOAD", "secret");
         let mut to = "x".to_owned();
-        run_event(&mut sender, WrapperEvent::Outbound { to: &mut to, briefcase: &mut bc });
+        run_event(
+            &mut sender,
+            WrapperEvent::Outbound {
+                to: &mut to,
+                briefcase: &mut bc,
+            },
+        );
         bc.set_single("INJECTED", "extra");
         let (verdict, _) = run_event(&mut receiver, WrapperEvent::Inbound { briefcase: &mut bc });
         assert_eq!(verdict, WrapperVerdict::Absorb);

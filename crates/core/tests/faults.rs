@@ -51,8 +51,13 @@ fn agent_retries_through_a_lossy_link() {
 /// the next traveller.
 #[test]
 fn partition_fails_cleanly_and_heals() {
-    let mut system =
-        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .trust_all()
+        .build();
     let a = "a".parse().unwrap();
     let b = "b".parse().unwrap();
     system.network().with_topology(|t| {
@@ -88,8 +93,13 @@ fn partition_fails_cleanly_and_heals() {
 /// too late gets nothing.
 #[test]
 fn queued_mail_expires_before_a_late_arrival() {
-    let mut system =
-        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .trust_all()
+        .build();
     system
         .host("a")
         .unwrap()
@@ -108,12 +118,21 @@ fn queued_mail_expires_before_a_late_arrival() {
     );
     system.launch("b", sender).unwrap();
     system.run_until_quiet();
-    assert_eq!(system.host("a").unwrap().with_firewall(|fw| fw.pending_len()), 1);
+    assert_eq!(
+        system
+            .host("a")
+            .unwrap()
+            .with_firewall(|fw| fw.pending_len()),
+        1
+    );
 
     // Virtual time passes beyond the timeout; the firewall sweeps.
     system.clock().advance(Duration::from_secs(2));
     let now = system.clock().now();
-    let expired = system.host("a").unwrap().with_firewall(|fw| fw.expire_pending(now));
+    let expired = system
+        .host("a")
+        .unwrap()
+        .with_firewall(|fw| fw.expire_pending(now));
     assert_eq!(expired, 1);
 
     // The latecomer arrives to an empty mailbox.
@@ -135,8 +154,13 @@ fn queued_mail_expires_before_a_late_arrival() {
 /// sender's message never reaches the wrapped agent.
 #[test]
 fn seal_wrapper_blocks_unsealed_senders() {
-    let mut system =
-        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .trust_all()
+        .build();
     let key = "seal:00112233";
 
     let receiver = AgentSpec::script(
@@ -191,9 +215,10 @@ fn seal_wrapper_blocks_unsealed_senders() {
     hostile.launch("a", receiver.clone()).unwrap();
     hostile.run_until_quiet();
     assert_eq!(hostile.agent_outputs(), vec!["nothing deliverable"]);
-    let rejected = hostile.host("a").unwrap().events().iter().any(|e| {
-        matches!(&e.kind, EventKind::Wrapper { note, .. } if note.contains("unsealed"))
-    });
+    let rejected =
+        hostile.host("a").unwrap().events().iter().any(
+            |e| matches!(&e.kind, EventKind::Wrapper { note, .. } if note.contains("unsealed")),
+        );
     assert!(rejected, "the rejection must be observable");
 
     // Sealed peer world: the message goes through and the seal is
@@ -234,7 +259,10 @@ fn ag_fs_enforces_rights() {
     system.run_until_quiet();
     let out = system.agent_outputs();
     assert_eq!(out.len(), 1);
-    assert!(out[0].contains("error") && out[0].contains("FS_WRITE"), "{out:?}");
+    assert!(
+        out[0].contains("error") && out[0].contains("FS_WRITE"),
+        "{out:?}"
+    );
 
     // Direct service access as the system principal (full rights) works.
     let principal = Principal::local_system("a");
@@ -242,7 +270,9 @@ fn ag_fs_enforces_rights() {
     request.set_single(folders::COMMAND, "write");
     request.append(folders::ARGS, "/notes.txt");
     request.set_single("DATA", "hello".as_bytes().to_vec());
-    let reply = system.call_service("a", "ag_fs", &principal, request).unwrap();
+    let reply = system
+        .call_service("a", "ag_fs", &principal, request)
+        .unwrap();
     assert_eq!(reply.single_str(folders::STATUS).unwrap(), "ok");
 
     let mut read = Briefcase::new();
@@ -257,8 +287,13 @@ fn ag_fs_enforces_rights() {
 /// keeps running.
 #[test]
 fn spawn_to_dead_host_fails_softly() {
-    let mut system =
-        SystemBuilder::new().host("a").unwrap().host("b").unwrap().trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("a")
+        .unwrap()
+        .host("b")
+        .unwrap()
+        .trust_all()
+        .build();
     system.network().with_topology(|t| {
         t.crash_host(&"b".parse().unwrap());
     });
@@ -275,5 +310,8 @@ fn spawn_to_dead_host_fails_softly() {
     );
     system.launch("a", spec).unwrap();
     system.run_until_quiet();
-    assert_eq!(system.agent_outputs(), vec!["spawn failed, continuing", "parent alive"]);
+    assert_eq!(
+        system.agent_outputs(),
+        vec!["spawn failed, continuing", "parent alive"]
+    );
 }

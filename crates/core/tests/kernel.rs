@@ -2,8 +2,7 @@
 //! mediated across a multi-host system.
 
 use tacoma_core::{
-    AgentSpec, EventKind, Keyring, LinkSpec, Outcome, Principal, SystemBuilder,
-    TaxSystem,
+    AgentSpec, EventKind, Keyring, LinkSpec, Outcome, Principal, SystemBuilder, TaxSystem,
 };
 
 fn three_hosts() -> TaxSystem {
@@ -79,10 +78,16 @@ fn unreachable_host_takes_failure_branch() {
 
     system.launch("alpha", spec).unwrap();
     system.run_until_quiet();
-    assert_eq!(system.agent_outputs(), vec!["Unable to reach tacoma://beta/vm_script"]);
+    assert_eq!(
+        system.agent_outputs(),
+        vec!["Unable to reach tacoma://beta/vm_script"]
+    );
     // It still reached gamma afterwards.
     let gamma = system.host("gamma").unwrap();
-    assert!(gamma.events().iter().any(|e| matches!(e.kind, EventKind::Installed { .. })));
+    assert!(gamma
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Installed { .. })));
 }
 
 /// The briefcase carries accumulated results home (the §4 data-mining
@@ -134,7 +139,10 @@ fn meet_local_service_round_trips() {
     system.run_until_quiet();
     let output = system.agent_outputs();
     assert_eq!(output.len(), 1);
-    assert!(output[0].starts_with("compiled ") && output[0].ends_with("status ok"), "{output:?}");
+    assert!(
+        output[0].starts_with("compiled ") && output[0].ends_with("status ok"),
+        "{output:?}"
+    );
 }
 
 /// meet() against a *remote* service charges the network and returns the
@@ -161,7 +169,10 @@ fn meet_remote_service_charges_network() {
     let a: tacoma_core::HostId = "alpha".parse().unwrap();
     let b: tacoma_core::HostId = "beta".parse().unwrap();
     let stats = net.stats();
-    assert!(stats.pair(&a, &b).bytes > 0, "request bytes must be charged");
+    assert!(
+        stats.pair(&a, &b).bytes > 0,
+        "request bytes must be charged"
+    );
     assert!(stats.pair(&b, &a).bytes > 0, "reply bytes must be charged");
 }
 
@@ -275,7 +286,9 @@ fn strict_policy_requires_signatures() {
     system.run_until_quiet();
     let beta = system.host("beta").unwrap();
     assert!(
-        beta.events().iter().any(|e| matches!(e.kind, EventKind::Rejected(_))),
+        beta.events()
+            .iter()
+            .any(|e| matches!(e.kind, EventKind::Rejected(_))),
         "unsigned agent must be rejected: {:?}",
         beta.events()
     );
@@ -309,9 +322,14 @@ fn admin_list_and_kill() {
         "list must show the queued agent: {agents:?}"
     );
 
-    system.admin("alpha", &admin, "kill", &[&address.to_string()]).unwrap();
+    system
+        .admin("alpha", &admin, "kill", &[&address.to_string()])
+        .unwrap();
     system.run_until_quiet();
-    assert!(system.agent_outputs().is_empty(), "killed agent must never run");
+    assert!(
+        system.agent_outputs().is_empty(),
+        "killed agent must never run"
+    );
 }
 
 /// stop parks a queued agent; resume lets it run.
@@ -321,11 +339,18 @@ fn admin_stop_and_resume() {
     let spec = AgentSpec::script("pausable", r#"fn main() { display("ran"); exit(0); }"#);
     let address = system.launch("alpha", spec).unwrap();
     let admin = Principal::local_system("alpha");
-    system.admin("alpha", &admin, "stop", &[&address.to_string()]).unwrap();
+    system
+        .admin("alpha", &admin, "stop", &[&address.to_string()])
+        .unwrap();
     system.run_until_quiet();
-    assert!(system.agent_outputs().is_empty(), "stopped agent must not run");
+    assert!(
+        system.agent_outputs().is_empty(),
+        "stopped agent must not run"
+    );
 
-    system.admin("alpha", &admin, "resume", &[&address.to_string()]).unwrap();
+    system
+        .admin("alpha", &admin, "resume", &[&address.to_string()])
+        .unwrap();
     system.run_until_quiet();
     assert_eq!(system.agent_outputs(), vec!["ran"]);
 }
@@ -358,15 +383,24 @@ fn vm_c_pipeline_through_kernel() {
 fn agent_faults_are_contained() {
     let mut system = three_hosts();
     system
-        .launch("alpha", AgentSpec::script("crasher", "fn main() { let x = 1 / 0; }"))
+        .launch(
+            "alpha",
+            AgentSpec::script("crasher", "fn main() { let x = 1 / 0; }"),
+        )
         .unwrap();
     system
-        .launch("alpha", AgentSpec::script("survivor", r#"fn main() { display("alive"); }"#))
+        .launch(
+            "alpha",
+            AgentSpec::script("survivor", r#"fn main() { display("alive"); }"#),
+        )
         .unwrap();
     system.run_until_quiet();
     assert_eq!(system.agent_outputs(), vec!["alive"]);
     let alpha = system.host("alpha").unwrap();
-    assert!(alpha.events().iter().any(|e| matches!(e.kind, EventKind::Faulted(_))));
+    assert!(alpha
+        .events()
+        .iter()
+        .any(|e| matches!(e.kind, EventKind::Faulted(_))));
 }
 
 /// Network bytes for a `go` scale with the carried briefcase: dropping
@@ -401,7 +435,9 @@ fn dropping_state_before_go_saves_bandwidth() {
         system.launch("alpha", spec).unwrap();
         system.run_until_quiet();
         let stats = system.network().stats();
-        stats.pair(&"alpha".parse().unwrap(), &"beta".parse().unwrap()).bytes
+        stats
+            .pair(&"alpha".parse().unwrap(), &"beta".parse().unwrap())
+            .bytes
     };
 
     let heavy = run(false);
@@ -430,9 +466,15 @@ fn firewall_mediates_everything() {
     system.run_until_quiet();
 
     let alpha_stats = system.host("alpha").unwrap().with_firewall(|fw| fw.stats());
-    assert!(alpha_stats.forwarded_remote >= 1, "the go() must be mediated: {alpha_stats}");
+    assert!(
+        alpha_stats.forwarded_remote >= 1,
+        "the go() must be mediated: {alpha_stats}"
+    );
     let beta_stats = system.host("beta").unwrap().with_firewall(|fw| fw.stats());
-    assert!(beta_stats.agents_installed >= 1, "the arrival must be mediated: {beta_stats}");
+    assert!(
+        beta_stats.agents_installed >= 1,
+        "the arrival must be mediated: {beta_stats}"
+    );
 }
 
 /// A Briefcase sent with REPLY-TO set gets the service's reply delivered
@@ -468,10 +510,7 @@ fn activate_service_with_reply_to() {
 fn admin_runtime_query() {
     let mut system = three_hosts();
     // A long-lived agent that waits around.
-    let spec = AgentSpec::script(
-        "lingerer",
-        r#"fn main() { await_bc(5000); exit(0); }"#,
-    );
+    let spec = AgentSpec::script("lingerer", r#"fn main() { await_bc(5000); exit(0); }"#);
     let address = system.launch("alpha", spec).unwrap();
 
     // Let virtual time pass before asking.
@@ -504,9 +543,10 @@ fn wrong_architecture_bundle_faults_cleanly() {
     system.launch("alpha", spec).unwrap();
     system.run_until_quiet();
     let alpha = system.host("alpha").unwrap();
-    let faulted = alpha.events().iter().any(|e| {
-        matches!(&e.kind, EventKind::Faulted(msg) if msg.contains("architecture"))
-    });
+    let faulted = alpha
+        .events()
+        .iter()
+        .any(|e| matches!(&e.kind, EventKind::Faulted(msg) if msg.contains("architecture")));
     assert!(faulted, "{:?}", alpha.events());
 }
 
@@ -522,12 +562,15 @@ fn missing_native_program_faults_cleanly() {
         "ghostware",
         100,
     ));
-    system.launch("alpha", AgentSpec::bundle("ghost", bundle)).unwrap();
+    system
+        .launch("alpha", AgentSpec::bundle("ghost", bundle))
+        .unwrap();
     system.run_until_quiet();
     let alpha = system.host("alpha").unwrap();
-    assert!(alpha.events().iter().any(|e| {
-        matches!(&e.kind, EventKind::Faulted(msg) if msg.contains("ghostware"))
-    }));
+    assert!(alpha
+        .events()
+        .iter()
+        .any(|e| { matches!(&e.kind, EventKind::Faulted(msg) if msg.contains("ghostware")) }));
 }
 
 /// The paper's future-work "additional virtual machines": hosts can
@@ -535,7 +578,9 @@ fn missing_native_program_faults_cleanly() {
 #[test]
 fn extra_script_vms_are_addressable() {
     use tacoma_core::HostBuilder;
-    let beta = HostBuilder::new("beta").unwrap().extra_script_vms(["vm_perl", "vm_tcl"]);
+    let beta = HostBuilder::new("beta")
+        .unwrap()
+        .extra_script_vms(["vm_perl", "vm_tcl"]);
     let mut system = SystemBuilder::new()
         .host("alpha")
         .unwrap()

@@ -40,14 +40,22 @@ fn monitor_wrapper_reports_moves_to_home_log() {
     let principal = Principal::local_system("home");
     let mut read = Briefcase::new();
     read.set_single(folders::COMMAND, "read");
-    let reply = system.call_service("home", "ag_log", &principal, read).unwrap();
+    let reply = system
+        .call_service("home", "ag_log", &principal, read)
+        .unwrap();
     let lines: Vec<String> = reply
         .folder("LINES")
         .map(|f| f.iter().map(|e| e.as_str().unwrap().to_owned()).collect())
         .unwrap_or_default();
     assert_eq!(lines.len(), 2, "one report per hop: {lines:?}");
-    assert!(lines[0].contains("home -> tacoma://s1/vm_script"), "{lines:?}");
-    assert!(lines[1].contains("s1 -> tacoma://s2/vm_script"), "{lines:?}");
+    assert!(
+        lines[0].contains("home -> tacoma://s1/vm_script"),
+        "{lines:?}"
+    );
+    assert!(
+        lines[1].contains("s1 -> tacoma://s2/vm_script"),
+        "{lines:?}"
+    );
 }
 
 /// The monitoring wrapper absorbs status queries and answers them itself —
@@ -102,7 +110,10 @@ fn monitor_wrapper_answers_status_queries() {
 
     let out = system.agent_outputs();
     assert!(out.contains(&"status says s1".to_owned()), "{out:?}");
-    assert!(out.contains(&"worker got real mail: hello".to_owned()), "{out:?}");
+    assert!(
+        out.contains(&"worker got real mail: hello".to_owned()),
+        "{out:?}"
+    );
 }
 
 /// The location-transparency wrapper: a home locator service always knows
@@ -110,7 +121,10 @@ fn monitor_wrapper_answers_status_queries() {
 #[test]
 fn location_wrapper_tracks_the_agent() {
     let mut system = system_with(&["home", "s1", "s2"]);
-    system.host("home").unwrap().add_service(Arc::new(AgLocator::new()));
+    system
+        .host("home")
+        .unwrap()
+        .add_service(Arc::new(AgLocator::new()));
 
     let spec = AgentSpec::script(
         "nomad",
@@ -132,7 +146,9 @@ fn location_wrapper_tracks_the_agent() {
     let mut lookup = Briefcase::new();
     lookup.set_single(folders::COMMAND, "lookup");
     lookup.append(folders::ARGS, "nomad");
-    let reply = system.call_service("home", "ag_locator", &principal, lookup).unwrap();
+    let reply = system
+        .call_service("home", "ag_locator", &principal, lookup)
+        .unwrap();
     assert_eq!(
         reply.single_str("URI").unwrap(),
         "tacoma://s2/nomad",
@@ -235,7 +251,9 @@ fn group_wrapper_total_order_agrees_across_members() {
         .wrap(format!("group:total:{members}"))
     };
 
-    system.launch("h1", sender("seq", "h1", "from-seq")).unwrap();
+    system
+        .launch("h1", sender("seq", "h1", "from-seq"))
+        .unwrap();
     system.launch("h2", sender("m2", "h2", "from-m2")).unwrap();
     system.launch("h3", sender("m3", "h3", "from-m3")).unwrap();
     system.run_until_quiet();
@@ -254,7 +272,10 @@ fn group_wrapper_total_order_agrees_across_members() {
     let o1 = order_of("h1");
     let o2 = order_of("h2");
     let o3 = order_of("h3");
-    assert!(!o1.is_empty() && !o2.is_empty() && !o3.is_empty(), "{out:?}");
+    assert!(
+        !o1.is_empty() && !o2.is_empty() && !o3.is_empty(),
+        "{out:?}"
+    );
 
     fn is_subsequence(sub: &[String], full: &[String]) -> bool {
         let mut it = full.iter();
@@ -270,8 +291,14 @@ fn group_wrapper_total_order_agrees_across_members() {
             }
         }
     }
-    assert!(is_subsequence(&o2, &global), "h2 {o2:?} vs global {global:?}; out {out:?}");
-    assert!(is_subsequence(&o3, &global), "h3 {o3:?} vs global {global:?}; out {out:?}");
+    assert!(
+        is_subsequence(&o2, &global),
+        "h2 {o2:?} vs global {global:?}; out {out:?}"
+    );
+    assert!(
+        is_subsequence(&o3, &global),
+        "h3 {o3:?} vs global {global:?}; out {out:?}"
+    );
 }
 
 /// Stacked wrappers compose: logging inside monitor (Figure 5 shape),
@@ -307,7 +334,10 @@ fn stacked_wrappers_compose() {
             _ => None,
         })
         .collect();
-    assert!(notes.iter().any(|n| n.contains("moving to")), "logging note missing: {notes:?}");
+    assert!(
+        notes.iter().any(|n| n.contains("moving to")),
+        "logging note missing: {notes:?}"
+    );
     assert!(
         notes.iter().any(|n| n.contains("reported move")),
         "monitor note missing: {notes:?}"

@@ -1,0 +1,283 @@
+//! Code admission: static analysis at the firewall boundary.
+//!
+//! §3.2 makes the firewall the reference monitor for everything that
+//! crosses a host boundary. Signature checking (first-level
+//! authentication) says who *sent* an agent; it says nothing about what
+//! the agent's code *does*. This module closes that gap for TaxScript
+//! bytecode: when a transfer arrives carrying `CODE-TYPE =
+//! taxscript-bytecode`, the firewall decodes and **verifies** the
+//! bytecode (it is refused outright if it could fault a VM) and then
+//! compares its **capability manifest** against the rights the sending
+//! principal actually holds here. An agent that could `go()` onward is
+//! only admitted if its principal holds `SEND_REMOTE`; one that can
+//! `meet`/`bc_send` needs `SEND_LOCAL`.
+//!
+//! Briefcases without an explicit bytecode `CODE-TYPE` are outside this
+//! policy's jurisdiction by default — source agents are compiled (and
+//! thereby checked) by `vm_script` at install time, and binary artifacts
+//! go through `vm_bin`'s signature gate. Setting
+//! [`AdmissionPolicy::analyze_source`] extends the same scrutiny to
+//! source agents at the cost of compiling them twice.
+
+use tacoma_briefcase::{folders, Briefcase};
+use tacoma_security::Rights;
+use tacoma_taxscript::analysis::{self, Capabilities};
+use tacoma_taxscript::{compile_source, Builtin, Program};
+use tacoma_vm::code_types;
+
+/// How (and whether) arriving agent code is analyzed before admission.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdmissionPolicy {
+    /// Master switch. Disabled, every briefcase is admitted unanalyzed
+    /// (pre-analysis behaviour).
+    pub enabled: bool,
+    /// Also compile and analyze `taxscript-source` agents. Off by
+    /// default: the source pipeline re-compiles at install time anyway.
+    pub analyze_source: bool,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            enabled: true,
+            analyze_source: false,
+        }
+    }
+}
+
+/// Why the admission check refused a briefcase.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionError {
+    /// The code failed to decode or verify — it cannot run safely.
+    Unverifiable {
+        /// Human-readable verifier/decoder failure.
+        detail: String,
+    },
+    /// The code's capabilities exceed the rights the principal holds.
+    CapabilityExceedsRights {
+        /// The offending capability, human-readable (e.g. `go/spawn`).
+        capability: &'static str,
+        /// The right that would be needed.
+        needed: Rights,
+    },
+}
+
+impl std::fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            AdmissionError::Unverifiable { detail } => {
+                write!(f, "code failed verification: {detail}")
+            }
+            AdmissionError::CapabilityExceedsRights { capability, needed } => {
+                write!(f, "code uses {capability} but principal lacks {needed:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// The outcome of a successful admission check.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdmissionVerdict {
+    /// The code was analyzed and is within the principal's rights; the
+    /// manifest is returned for logging/auditing.
+    Verified(Box<Capabilities>),
+    /// The briefcase is outside this policy's jurisdiction (no TaxScript
+    /// bytecode, or the policy is disabled).
+    Skipped,
+}
+
+impl AdmissionPolicy {
+    /// A policy that admits everything unanalyzed.
+    pub fn disabled() -> Self {
+        AdmissionPolicy {
+            enabled: false,
+            analyze_source: false,
+        }
+    }
+
+    /// Checks an arriving transfer's code against `rights`.
+    ///
+    /// # Errors
+    ///
+    /// [`AdmissionError`] when the code is unverifiable or demands more
+    /// than the principal may do.
+    pub fn check(
+        &self,
+        briefcase: &Briefcase,
+        rights: Rights,
+    ) -> Result<AdmissionVerdict, AdmissionError> {
+        if !self.enabled {
+            return Ok(AdmissionVerdict::Skipped);
+        }
+        let Ok(code_type) = briefcase.single_str(folders::CODE_TYPE) else {
+            return Ok(AdmissionVerdict::Skipped);
+        };
+        let program = match code_type {
+            code_types::TAXSCRIPT_BYTECODE => {
+                let code = briefcase.element(folders::CODE, 0).map_err(|e| {
+                    AdmissionError::Unverifiable {
+                        detail: e.to_string(),
+                    }
+                })?;
+                Program::decode(code.data()).map_err(|e| AdmissionError::Unverifiable {
+                    detail: e.to_string(),
+                })?
+            }
+            code_types::TAXSCRIPT_SOURCE if self.analyze_source => {
+                let code = briefcase.element(folders::CODE, 0).map_err(|e| {
+                    AdmissionError::Unverifiable {
+                        detail: e.to_string(),
+                    }
+                })?;
+                let source =
+                    std::str::from_utf8(code.data()).map_err(|_| AdmissionError::Unverifiable {
+                        detail: "source is not UTF-8".into(),
+                    })?;
+                compile_source(source).map_err(|e| AdmissionError::Unverifiable {
+                    detail: e.to_string(),
+                })?
+            }
+            _ => return Ok(AdmissionVerdict::Skipped),
+        };
+
+        analysis::verify(&program).map_err(|e| AdmissionError::Unverifiable {
+            detail: e.to_string(),
+        })?;
+        let caps = analysis::capabilities(&program);
+        require_rights(&caps, rights)?;
+        Ok(AdmissionVerdict::Verified(Box::new(caps)))
+    }
+}
+
+/// The rights a capability manifest demands beyond bare EXECUTE.
+fn require_rights(caps: &Capabilities, rights: Rights) -> Result<(), AdmissionError> {
+    if caps.is_mobile() && !rights.contains(Rights::SEND_REMOTE) {
+        return Err(AdmissionError::CapabilityExceedsRights {
+            capability: "go/spawn (onward travel)",
+            needed: Rights::SEND_REMOTE,
+        });
+    }
+    if caps.communicates() && !rights.contains(Rights::SEND_LOCAL) {
+        let capability = if caps.uses(Builtin::Meet) {
+            "meet (local communication)"
+        } else {
+            "bc_send/bc_recv (local communication)"
+        };
+        return Err(AdmissionError::CapabilityExceedsRights {
+            capability,
+            needed: Rights::SEND_LOCAL,
+        });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bytecode_briefcase(src: &str) -> Briefcase {
+        let program = compile_source(src).unwrap();
+        let mut bc = Briefcase::new();
+        bc.append(folders::CODE, program.encode());
+        bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
+        bc
+    }
+
+    #[test]
+    fn stationary_agent_admitted_with_execute_only() {
+        let bc = bytecode_briefcase("fn main() { display(1); exit(0); }");
+        let verdict = AdmissionPolicy::default()
+            .check(&bc, Rights::EXECUTE)
+            .unwrap();
+        assert!(matches!(verdict, AdmissionVerdict::Verified(_)));
+    }
+
+    #[test]
+    fn mobile_agent_needs_send_remote() {
+        let bc = bytecode_briefcase(r#"fn main() { go("tacoma://h2/vm_script"); exit(0); }"#);
+        let policy = AdmissionPolicy::default();
+        assert!(matches!(
+            policy.check(&bc, Rights::EXECUTE),
+            Err(AdmissionError::CapabilityExceedsRights { needed, .. })
+                if needed == Rights::SEND_REMOTE
+        ));
+        let ok = policy
+            .check(&bc, Rights::EXECUTE.with(Rights::SEND_REMOTE))
+            .unwrap();
+        let AdmissionVerdict::Verified(caps) = ok else {
+            panic!("{ok:?}")
+        };
+        assert!(caps.is_mobile());
+    }
+
+    #[test]
+    fn communicating_agent_needs_send_local() {
+        let bc = bytecode_briefcase(r#"fn main() { meet("tacoma://h1/peer"); exit(0); }"#);
+        assert!(matches!(
+            AdmissionPolicy::default().check(&bc, Rights::EXECUTE),
+            Err(AdmissionError::CapabilityExceedsRights { needed, .. })
+                if needed == Rights::SEND_LOCAL
+        ));
+    }
+
+    #[test]
+    fn corrupt_bytecode_is_unverifiable() {
+        let mut bc = Briefcase::new();
+        bc.append(folders::CODE, vec![0xFFu8; 16]);
+        bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
+        assert!(matches!(
+            AdmissionPolicy::default().check(&bc, Rights::ALL),
+            Err(AdmissionError::Unverifiable { .. })
+        ));
+    }
+
+    #[test]
+    fn briefcases_without_bytecode_are_skipped() {
+        let mut opaque = Briefcase::new();
+        opaque.append(folders::CODE, b"compiled agent bytes".to_vec());
+        let policy = AdmissionPolicy::default();
+        assert_eq!(
+            policy.check(&opaque, Rights::NONE).unwrap(),
+            AdmissionVerdict::Skipped
+        );
+
+        let mut source = Briefcase::new();
+        source.append(folders::CODE, "fn main() { exit(0); }");
+        source.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_SOURCE);
+        assert_eq!(
+            policy.check(&source, Rights::NONE).unwrap(),
+            AdmissionVerdict::Skipped
+        );
+    }
+
+    #[test]
+    fn disabled_policy_skips_everything() {
+        let bc = bytecode_briefcase(r#"fn main() { go("tacoma://h2/vm_script"); exit(0); }"#);
+        assert_eq!(
+            AdmissionPolicy::disabled()
+                .check(&bc, Rights::NONE)
+                .unwrap(),
+            AdmissionVerdict::Skipped
+        );
+    }
+
+    #[test]
+    fn analyze_source_extends_to_source_agents() {
+        let mut bc = Briefcase::new();
+        bc.append(
+            folders::CODE,
+            r#"fn main() { go("tacoma://h2/vm_script"); exit(0); }"#,
+        );
+        bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_SOURCE);
+        let policy = AdmissionPolicy {
+            analyze_source: true,
+            ..AdmissionPolicy::default()
+        };
+        assert!(matches!(
+            policy.check(&bc, Rights::EXECUTE),
+            Err(AdmissionError::CapabilityExceedsRights { .. })
+        ));
+    }
+}

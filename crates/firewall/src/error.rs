@@ -3,6 +3,8 @@ use std::fmt;
 use tacoma_security::SecurityError;
 use tacoma_uri::AgentUri;
 
+use crate::AdmissionError;
+
 /// Errors from firewall mediation.
 #[derive(Debug, Clone, PartialEq)]
 #[non_exhaustive]
@@ -39,6 +41,10 @@ pub enum FirewallError {
         /// The verb received.
         command: String,
     },
+    /// An arriving agent's code was refused by the admission policy
+    /// (unverifiable bytecode, or capabilities beyond the principal's
+    /// rights).
+    CodeRejected(AdmissionError),
 }
 
 impl fmt::Display for FirewallError {
@@ -47,7 +53,10 @@ impl fmt::Display for FirewallError {
             FirewallError::Denied(e) => write!(f, "denied: {e}"),
             FirewallError::NoSuchVm { vm } => write!(f, "no virtual machine named {vm:?}"),
             FirewallError::Ambiguous { target, matches } => {
-                write!(f, "target {target} matches {matches} agents, need exactly one")
+                write!(
+                    f,
+                    "target {target} matches {matches} agents, need exactly one"
+                )
             }
             FirewallError::MissingAgentName => {
                 write!(f, "agent transfer carries no agent name")
@@ -57,6 +66,7 @@ impl fmt::Display for FirewallError {
             FirewallError::UnknownCommand { command } => {
                 write!(f, "unknown firewall command {command:?}")
             }
+            FirewallError::CodeRejected(e) => write!(f, "agent code refused: {e}"),
         }
     }
 }
@@ -65,6 +75,7 @@ impl std::error::Error for FirewallError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FirewallError::Denied(e) => Some(e),
+            FirewallError::CodeRejected(e) => Some(e),
             _ => None,
         }
     }

@@ -4,13 +4,16 @@ use std::collections::BTreeSet;
 use std::time::Duration;
 
 use tacoma_briefcase::{folders, Briefcase};
-use tacoma_security::{Policy, Principal, Rights, SecurityError, Signature, TrustStore};
 use tacoma_security::Digest;
+use tacoma_security::{Policy, Principal, Rights, SecurityError, Signature, TrustStore};
 use tacoma_simnet::SimTime;
 use tacoma_uri::{AgentAddress, AgentUri, Instance};
 
 use crate::registry::AgentStatus;
-use crate::{FirewallError, FirewallStats, Message, MessageKind, PendingQueue, Registry, DEFAULT_QUEUE_TIMEOUT};
+use crate::{
+    AdmissionPolicy, AdmissionVerdict, FirewallError, FirewallStats, Message, MessageKind,
+    PendingQueue, Registry, DEFAULT_QUEUE_TIMEOUT,
+};
 
 /// The reserved agent name that addresses the firewall itself ("all this
 /// is achieved by addressing messages directly to the firewall", §3.2).
@@ -98,6 +101,7 @@ pub struct Firewall {
     registry: Registry,
     pending: PendingQueue,
     vms: BTreeSet<String>,
+    admission: AdmissionPolicy,
     stats: FirewallStats,
     queue_timeout: Duration,
     next_instance: u64,
@@ -117,6 +121,7 @@ impl Firewall {
             registry: Registry::new(),
             pending: PendingQueue::new(),
             vms: BTreeSet::new(),
+            admission: AdmissionPolicy::default(),
             stats: FirewallStats::default(),
             queue_timeout: DEFAULT_QUEUE_TIMEOUT,
             next_instance: 1,
@@ -164,6 +169,17 @@ impl Firewall {
         self.queue_timeout = timeout;
     }
 
+    /// The code-admission policy in force.
+    pub fn admission(&self) -> &AdmissionPolicy {
+        &self.admission
+    }
+
+    /// Replaces the code-admission policy (e.g.
+    /// [`AdmissionPolicy::disabled`] for a fully trusting deployment).
+    pub fn set_admission(&mut self, policy: AdmissionPolicy) {
+        self.admission = policy;
+    }
+
     /// Declares a virtual machine; each VM thread announces itself here so
     /// agent transfers can target it by name.
     pub fn add_vm(&mut self, name: impl Into<String>) {
@@ -181,7 +197,9 @@ impl Firewall {
         self.next_instance += 1;
         // Mix the host name in so instances allocated by different hosts
         // differ, like timestamps did in the original (933821661).
-        let mixed = i.wrapping_mul(0x100).wrapping_add(self.host.len() as u64 & 0xff);
+        let mixed = i
+            .wrapping_mul(0x100)
+            .wrapping_add(self.host.len() as u64 & 0xff);
         Instance::from_u64(mixed)
     }
 
@@ -189,13 +207,15 @@ impl Firewall {
     /// that were waiting for it (now deliverable).
     pub fn register_agent(
         &mut self,
-        address: AgentAddress,
+        address: &AgentAddress,
         vm: impl Into<String>,
         now: SimTime,
     ) -> Vec<Message> {
         let vm = vm.into();
         self.registry.register(address.clone(), vm, now);
-        let (mail, expired) = self.pending.take_matching(&address, self.local_system.as_str(), now);
+        let (mail, expired) = self
+            .pending
+            .take_matching(address, self.local_system.as_str(), now);
         self.stats.expired += expired as u64;
         self.stats.delivered_local += mail.len() as u64;
         mail
@@ -240,19 +260,30 @@ impl Firewall {
     /// [`SecurityError`] describing the failure (unknown principal, bad
     /// signature, missing folders map to `BadSignature`).
     pub fn authenticate_transfer(&self, briefcase: &Briefcase) -> Result<Principal, SecurityError> {
-        let principal_name = briefcase
-            .single_str(folders::PRINCIPAL)
-            .map_err(|_| SecurityError::BadPrincipal { name: "<missing>".into() })?;
+        let principal_name =
+            briefcase
+                .single_str(folders::PRINCIPAL)
+                .map_err(|_| SecurityError::BadPrincipal {
+                    name: "<missing>".into(),
+                })?;
         let principal = Principal::new(principal_name)?;
-        let sig_hex = briefcase
-            .single_str(folders::SIGNATURE)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        let digest = Digest::from_hex(sig_hex)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        let code = briefcase
-            .element(folders::CODE, 0)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        self.trust.verify(&principal, code.data(), &Signature::from_digest(digest))?;
+        let sig_hex =
+            briefcase
+                .single_str(folders::SIGNATURE)
+                .map_err(|_| SecurityError::BadSignature {
+                    principal: principal.to_string(),
+                })?;
+        let digest = Digest::from_hex(sig_hex).map_err(|_| SecurityError::BadSignature {
+            principal: principal.to_string(),
+        })?;
+        let code =
+            briefcase
+                .element(folders::CODE, 0)
+                .map_err(|_| SecurityError::BadSignature {
+                    principal: principal.to_string(),
+                })?;
+        self.trust
+            .verify(&principal, code.data(), &Signature::from_digest(digest))?;
         Ok(principal)
     }
 
@@ -263,7 +294,11 @@ impl Firewall {
     /// [`FirewallError::Denied`] if the sender lacks the send right for
     /// the destination's scope; admin errors for firewall-addressed
     /// messages.
-    pub fn route_outbound(&mut self, message: Message, now: SimTime) -> Result<Decision, FirewallError> {
+    pub fn route_outbound(
+        &mut self,
+        message: Message,
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
         let rights = self.rights_of(&message.from_principal, true);
         let is_remote = message.to.host().is_some_and(|h| h != self.host);
         if is_remote {
@@ -272,9 +307,17 @@ impl Firewall {
                 return Err(e.into());
             }
             let host = message.to.host().expect("checked is_remote").to_owned();
-            let port = message.to.location().expect("checked is_remote").effective_port();
+            let port = message
+                .to
+                .location()
+                .expect("checked is_remote")
+                .effective_port();
             self.stats.forwarded_remote += 1;
-            return Ok(Decision::ForwardRemote { host, port, message });
+            return Ok(Decision::ForwardRemote {
+                host,
+                port,
+                message,
+            });
         }
         if let MessageKind::AgentTransfer { spawned } = message.kind {
             // A local `go`/`spawn`: the agent hops to another VM on this
@@ -294,7 +337,11 @@ impl Firewall {
     ///
     /// Authentication and authorization failures; [`FirewallError::BadWire`]
     /// never occurs here (decode happens in the transport layer).
-    pub fn route_inbound(&mut self, message: Message, now: SimTime) -> Result<Decision, FirewallError> {
+    pub fn route_inbound(
+        &mut self,
+        message: Message,
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
         match message.kind {
             MessageKind::AgentTransfer { spawned } => self.install(message, spawned, now),
             MessageKind::Deliver => {
@@ -309,7 +356,12 @@ impl Firewall {
         }
     }
 
-    fn install(&mut self, message: Message, spawned: bool, now: SimTime) -> Result<Decision, FirewallError> {
+    fn install(
+        &mut self,
+        message: Message,
+        spawned: bool,
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
         // First-level authentication of the agent core.
         let principal = match self.authenticate_transfer(&message.briefcase) {
             Ok(p) => p,
@@ -336,9 +388,26 @@ impl Firewall {
             return Err(e.into());
         }
 
+        // Second-level check: the code itself. Bytecode is verified and
+        // its capability manifest compared against the principal's grant
+        // before any VM sees it.
+        match self.admission.check(&message.briefcase, rights) {
+            Ok(AdmissionVerdict::Verified(_)) => self.stats.code_verified += 1,
+            Ok(AdmissionVerdict::Skipped) => {}
+            Err(e) => {
+                self.stats.code_rejected += 1;
+                self.stats.denied += 1;
+                return Err(FirewallError::CodeRejected(e));
+            }
+        }
+
         // The target URI's name part picks the VM (Figure 4's agent moves
         // "to the VM specified by the URI").
-        let vm = message.to.name().ok_or(FirewallError::MissingAgentName)?.to_owned();
+        let vm = message
+            .to
+            .name()
+            .ok_or(FirewallError::MissingAgentName)?
+            .to_owned();
         if !self.vms.contains(&vm) {
             self.stats.denied += 1;
             return Err(FirewallError::NoSuchVm { vm });
@@ -361,7 +430,12 @@ impl Firewall {
         let address = AgentAddress::new(principal.as_str(), agent_name, instance);
         self.stats.agents_installed += 1;
         let _ = now;
-        Ok(Decision::InstallAgent { vm, address, briefcase: message.briefcase, spawned })
+        Ok(Decision::InstallAgent {
+            vm,
+            address,
+            briefcase: message.briefcase,
+            spawned,
+        })
     }
 
     fn resolve_local(
@@ -372,7 +446,7 @@ impl Firewall {
     ) -> Result<Decision, FirewallError> {
         // Messages addressed to the firewall itself: admin operations.
         if message.to.name() == Some(FIREWALL_AGENT_NAME) {
-            return self.admin(message, rights);
+            return self.admin(&message, rights);
         }
 
         let sender = message.from_principal.as_str().to_owned();
@@ -397,7 +471,7 @@ impl Firewall {
         }
     }
 
-    fn admin(&mut self, message: Message, rights: Rights) -> Result<Decision, FirewallError> {
+    fn admin(&mut self, message: &Message, rights: Rights) -> Result<Decision, FirewallError> {
         if let Err(e) = rights.require(Rights::ADMIN, &message.from_principal) {
             self.stats.denied += 1;
             return Err(e.into());
@@ -405,7 +479,9 @@ impl Firewall {
         let command = message
             .briefcase
             .single_str(folders::COMMAND)
-            .map_err(|e| FirewallError::BadWire { detail: e.to_string() })?
+            .map_err(|e| FirewallError::BadWire {
+                detail: e.to_string(),
+            })?
             .to_owned();
         self.stats.admin_ops += 1;
 
@@ -420,33 +496,51 @@ impl Firewall {
                     };
                     reply.append(
                         "AGENTS",
-                        format!("{} vm={} status={} since={}", reg.address, reg.vm, status, reg.registered_at),
+                        format!(
+                            "{} vm={} status={} since={}",
+                            reg.address, reg.vm, status, reg.registered_at
+                        ),
                     );
                 }
-                Ok(Decision::Admin { reply, control: None })
+                Ok(Decision::Admin {
+                    reply,
+                    control: None,
+                })
             }
             "runtime" => {
-                let target = self.admin_target(&message)?;
-                let reg = self.registry.get(&target).expect("admin_target checked presence");
+                let target = self.admin_target(message)?;
+                let reg = self
+                    .registry
+                    .get(&target)
+                    .expect("admin_target checked presence");
                 reply.set_single(folders::STATUS, "ok");
-                let now: SimTime = message
-                    .briefcase
-                    .single_i64("NOW-NS")
-                    .map(|ns| SimTime::from_nanos(ns.max(0) as u64))
-                    .unwrap_or(reg.registered_at);
+                let now: SimTime =
+                    message
+                        .briefcase
+                        .single_i64("NOW-NS")
+                        .map_or(
+                            reg.registered_at,
+                            |ns| SimTime::from_nanos(ns.max(0) as u64),
+                        );
                 let runtime = now.saturating_since(reg.registered_at);
                 reply.set_single("RUNTIME-MS", runtime.as_millis() as i64);
-                Ok(Decision::Admin { reply, control: None })
+                Ok(Decision::Admin {
+                    reply,
+                    control: None,
+                })
             }
             "kill" | "stop" | "resume" => {
-                let target = self.admin_target(&message)?;
+                let target = self.admin_target(message)?;
                 let kind = match command.as_str() {
                     "kill" => ControlKind::Kill,
                     "stop" => ControlKind::Stop,
                     _ => ControlKind::Resume,
                 };
                 let vm = {
-                    let reg = self.registry.get_mut(&target).expect("admin_target checked presence");
+                    let reg = self
+                        .registry
+                        .get_mut(&target)
+                        .expect("admin_target checked presence");
                     match kind {
                         ControlKind::Stop => reg.status = AgentStatus::Stopped,
                         ControlKind::Resume => reg.status = AgentStatus::Running,
@@ -460,12 +554,18 @@ impl Firewall {
                 reply.set_single(folders::STATUS, "ok");
                 Ok(Decision::Admin {
                     reply,
-                    control: Some(ControlAction { vm, agent: target, kind }),
+                    control: Some(ControlAction {
+                        vm,
+                        agent: target,
+                        kind,
+                    }),
                 })
             }
             other => {
                 reply.set_single(folders::STATUS, format!("error: unknown command {other}"));
-                Err(FirewallError::UnknownCommand { command: other.to_owned() })
+                Err(FirewallError::UnknownCommand {
+                    command: other.to_owned(),
+                })
             }
         }
     }
@@ -473,14 +573,23 @@ impl Firewall {
     /// Resolves the admin command's target (first `ARGS` element, an agent
     /// URI) to a uniquely registered agent.
     fn admin_target(&self, message: &Message) -> Result<AgentAddress, FirewallError> {
-        let text = message
-            .briefcase
-            .single_str(folders::ARGS)
-            .map_err(|e| FirewallError::BadWire { detail: e.to_string() })?;
+        let text =
+            message
+                .briefcase
+                .single_str(folders::ARGS)
+                .map_err(|e| FirewallError::BadWire {
+                    detail: e.to_string(),
+                })?;
         let target: AgentUri =
-            text.parse().map_err(|e: tacoma_uri::ParseUriError| FirewallError::BadWire { detail: e.to_string() })?;
-        match self.registry.unique_match(&target, self.local_system.as_str(), message.from_principal.as_str())
-        {
+            text.parse()
+                .map_err(|e: tacoma_uri::ParseUriError| FirewallError::BadWire {
+                    detail: e.to_string(),
+                })?;
+        match self.registry.unique_match(
+            &target,
+            self.local_system.as_str(),
+            message.from_principal.as_str(),
+        ) {
             Ok(Some(reg)) => Ok(reg.address.clone()),
             Ok(None) => Err(FirewallError::UnknownAgent { target }),
             Err(matches) => Err(FirewallError::Ambiguous { target, matches }),
@@ -499,12 +608,18 @@ mod tests {
     }
 
     fn msg(from: &str, to: &str) -> Message {
-        Message::deliver("h1", Principal::new(from).unwrap(), None, to.parse().unwrap(), Briefcase::new())
+        Message::deliver(
+            "h1",
+            Principal::new(from).unwrap(),
+            None,
+            to.parse().unwrap(),
+            Briefcase::new(),
+        )
     }
 
     fn register(fw: &mut Firewall, principal: &str, name: &str, inst: u64) -> AgentAddress {
         let addr = AgentAddress::new(principal, name, Instance::from_u64(inst));
-        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+        fw.register_agent(&addr, "vm_script", SimTime::ZERO);
         addr
     }
 
@@ -512,7 +627,9 @@ mod tests {
     fn local_delivery_to_running_agent() {
         let mut fw = fw();
         let addr = register(&mut fw, "alice", "webbot", 1);
-        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        let d = fw
+            .route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(d, Decision::DeliverLocal { agent, .. } if agent == addr));
         assert_eq!(fw.stats().delivered_local, 1);
     }
@@ -520,12 +637,14 @@ mod tests {
     #[test]
     fn absent_receiver_queues_then_flushes_on_registration() {
         let mut fw = fw();
-        let d = fw.route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO).unwrap();
+        let d = fw
+            .route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d, Decision::Queued);
         assert_eq!(fw.pending_len(), 1);
 
         let mail = fw.register_agent(
-            AgentAddress::new("alice", "webbot", Instance::from_u64(5)),
+            &AgentAddress::new("alice", "webbot", Instance::from_u64(5)),
             "vm_script",
             SimTime::from_nanos(1000),
         );
@@ -557,7 +676,9 @@ mod tests {
         let mut fw = fw();
         let addr = register(&mut fw, "alice", "webbot", 1);
         fw.registry.get_mut(&addr).unwrap().status = AgentStatus::Stopped;
-        let d = fw.route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO).unwrap();
+        let d = fw
+            .route_outbound(msg("alice", "alice/webbot"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d, Decision::Queued);
     }
 
@@ -579,7 +700,8 @@ mod tests {
         register(&mut fw, "alice", "webbot", 1);
         // Trust the sending host's system principal.
         let sender_sys = Principal::local_system("h2");
-        fw.trust_mut().trust(Keyring::generate(&sender_sys, 3).public());
+        fw.trust_mut()
+            .trust(Keyring::generate(&sender_sys, 3).public());
         let mut m = msg("alice", "alice/webbot:1");
         m.from_host = "h2".into();
         let d = fw.route_inbound(m, SimTime::ZERO).unwrap();
@@ -601,9 +723,21 @@ mod tests {
         bc.append(folders::CODE, code.clone());
         bc.set_single(folders::SIGNATURE, keys.sign(&code).digest().to_hex());
 
-        let m = Message::transfer("h2", alice, "tacoma://h1/vm_script".parse().unwrap(), bc, false);
+        let m = Message::transfer(
+            "h2",
+            alice,
+            "tacoma://h1/vm_script".parse().unwrap(),
+            bc,
+            false,
+        );
         let d = fw.route_inbound(m, SimTime::ZERO).unwrap();
-        let Decision::InstallAgent { vm, address, spawned, .. } = d else {
+        let Decision::InstallAgent {
+            vm,
+            address,
+            spawned,
+            ..
+        } = d
+        else {
             panic!("expected install, got {d:?}")
         };
         assert_eq!(vm, "vm_script");
@@ -625,10 +759,22 @@ mod tests {
         bc.set_single(folders::AGENT_NAME, "webbot");
         bc.set_single(folders::PRINCIPAL, "alice");
         bc.append(folders::CODE, b"tampered code".to_vec());
-        bc.set_single(folders::SIGNATURE, keys.sign(b"original code").digest().to_hex());
+        bc.set_single(
+            folders::SIGNATURE,
+            keys.sign(b"original code").digest().to_hex(),
+        );
 
-        let m = Message::transfer("h2", alice, "tacoma://h1/vm_script".parse().unwrap(), bc, false);
-        assert!(matches!(fw.route_inbound(m, SimTime::ZERO), Err(FirewallError::Denied(_))));
+        let m = Message::transfer(
+            "h2",
+            alice,
+            "tacoma://h1/vm_script".parse().unwrap(),
+            bc,
+            false,
+        );
+        assert!(matches!(
+            fw.route_inbound(m, SimTime::ZERO),
+            Err(FirewallError::Denied(_))
+        ));
     }
 
     #[test]
@@ -637,12 +783,20 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.set_single(folders::AGENT_NAME, "webbot");
         let make = |bc: Briefcase| {
-            Message::transfer("h2", alice.clone(), "tacoma://h1/vm_script".parse().unwrap(), bc, true)
+            Message::transfer(
+                "h2",
+                alice.clone(),
+                "tacoma://h1/vm_script".parse().unwrap(),
+                bc,
+                true,
+            )
         };
 
         // Default policy: denied.
         let mut strict = fw();
-        assert!(strict.route_inbound(make(bc.clone()), SimTime::ZERO).is_err());
+        assert!(strict
+            .route_inbound(make(bc.clone()), SimTime::ZERO)
+            .is_err());
 
         // Trusting policy (§2's single administrative domain): installed.
         let mut open = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
@@ -687,11 +841,14 @@ mod tests {
         let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
         fw.add_vm("vm_script");
         let addr = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
-        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+        fw.register_agent(&addr, "vm_script", SimTime::ZERO);
 
         let mut list = msg("admin@h1", "firewall");
         list.briefcase.set_single(folders::COMMAND, "list");
-        let Decision::Admin { reply, control: None } = fw.route_outbound(list, SimTime::ZERO).unwrap()
+        let Decision::Admin {
+            reply,
+            control: None,
+        } = fw.route_outbound(list, SimTime::ZERO).unwrap()
         else {
             panic!()
         };
@@ -700,7 +857,10 @@ mod tests {
         let mut kill = msg("admin@h1", "firewall");
         kill.briefcase.set_single(folders::COMMAND, "kill");
         kill.briefcase.set_single(folders::ARGS, "alice/webbot:1");
-        let Decision::Admin { control: Some(action), .. } = fw.route_outbound(kill, SimTime::ZERO).unwrap()
+        let Decision::Admin {
+            control: Some(action),
+            ..
+        } = fw.route_outbound(kill, SimTime::ZERO).unwrap()
         else {
             panic!()
         };
@@ -714,14 +874,16 @@ mod tests {
         let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
         fw.add_vm("vm_script");
         let addr = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
-        fw.register_agent(addr.clone(), "vm_script", SimTime::ZERO);
+        fw.register_agent(&addr, "vm_script", SimTime::ZERO);
 
         let mut stop = msg("admin@h1", "firewall");
         stop.briefcase.set_single(folders::COMMAND, "stop");
         stop.briefcase.set_single(folders::ARGS, "alice/webbot:1");
         fw.route_outbound(stop, SimTime::ZERO).unwrap();
 
-        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        let d = fw
+            .route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(d, Decision::Queued);
 
         let mut resume = msg("admin@h1", "firewall");
@@ -729,7 +891,9 @@ mod tests {
         resume.briefcase.set_single(folders::ARGS, "alice/webbot:1");
         fw.route_outbound(resume, SimTime::ZERO).unwrap();
 
-        let d = fw.route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO).unwrap();
+        let d = fw
+            .route_outbound(msg("alice", "alice/webbot:1"), SimTime::ZERO)
+            .unwrap();
         assert!(matches!(d, Decision::DeliverLocal { .. }));
     }
 
@@ -765,7 +929,8 @@ mod tests {
     fn expire_pending_counts() {
         let mut fw = fw();
         fw.set_queue_timeout(Duration::from_millis(10));
-        fw.route_outbound(msg("alice", "alice/nobody"), SimTime::ZERO).unwrap();
+        fw.route_outbound(msg("alice", "alice/nobody"), SimTime::ZERO)
+            .unwrap();
         assert_eq!(fw.expire_pending(SimTime::ZERO + Duration::from_secs(1)), 1);
         assert_eq!(fw.stats().expired, 1);
     }

@@ -24,6 +24,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod admission;
 mod error;
 mod firewall;
 mod message;
@@ -31,6 +32,7 @@ mod pending;
 mod registry;
 mod stats;
 
+pub use admission::{AdmissionError, AdmissionPolicy, AdmissionVerdict};
 pub use error::FirewallError;
 pub use firewall::{ControlAction, ControlKind, Decision, Firewall, FIREWALL_AGENT_NAME};
 pub use message::{Message, MessageKind};

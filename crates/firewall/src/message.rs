@@ -124,7 +124,11 @@ impl Message {
             "deliver" => MessageKind::Deliver,
             "go" => MessageKind::AgentTransfer { spawned: false },
             "spawn" => MessageKind::AgentTransfer { spawned: true },
-            other => return Err(FirewallError::BadWire { detail: format!("unknown kind {other:?}") }),
+            other => {
+                return Err(FirewallError::BadWire {
+                    detail: format!("unknown kind {other:?}"),
+                })
+            }
         };
         let from_host = frame.single_str(wire::FROM_HOST).map_err(bad)?.to_owned();
         let from_principal =
@@ -133,10 +137,21 @@ impl Message {
             Ok(text) => Some(parse_address(text)?),
             Err(_) => None,
         };
-        let to: AgentUri = frame.single_str(wire::TO).map_err(bad)?.parse().map_err(bad)?;
+        let to: AgentUri = frame
+            .single_str(wire::TO)
+            .map_err(bad)?
+            .parse()
+            .map_err(bad)?;
         let payload_bytes = frame.element(wire::PAYLOAD, 0).map_err(bad)?;
         let briefcase = Briefcase::decode(payload_bytes.data()).map_err(bad)?;
-        Ok(Message { kind, from_host, from_principal, from_agent, to, briefcase })
+        Ok(Message {
+            kind,
+            from_host,
+            from_principal,
+            from_agent,
+            to,
+            briefcase,
+        })
     }
 
     /// The exact encoded size, for transfer-cost accounting.
@@ -148,17 +163,21 @@ impl Message {
 }
 
 fn bad(e: impl std::fmt::Display) -> FirewallError {
-    FirewallError::BadWire { detail: e.to_string() }
+    FirewallError::BadWire {
+        detail: e.to_string(),
+    }
 }
 
 /// Parses the `principal/name:instance` rendering of [`AgentAddress`].
 fn parse_address(text: &str) -> Result<AgentAddress, FirewallError> {
     let (principal, id) = text
         .rsplit_once('/')
-        .ok_or_else(|| FirewallError::BadWire { detail: format!("bad agent address {text:?}") })?;
-    let (name, instance) = id
-        .split_once(':')
-        .ok_or_else(|| FirewallError::BadWire { detail: format!("bad agent id {id:?}") })?;
+        .ok_or_else(|| FirewallError::BadWire {
+            detail: format!("bad agent address {text:?}"),
+        })?;
+    let (name, instance) = id.split_once(':').ok_or_else(|| FirewallError::BadWire {
+        detail: format!("bad agent id {id:?}"),
+    })?;
     let instance = instance.parse().map_err(bad)?;
     Ok(AgentAddress::new(principal, name, instance))
 }
@@ -174,7 +193,11 @@ mod tests {
         Message::deliver(
             "h1.cs.uit.no",
             Principal::new("alice@h1").unwrap(),
-            Some(AgentAddress::new("alice@h1", "webbot", Instance::from_u64(9))),
+            Some(AgentAddress::new(
+                "alice@h1",
+                "webbot",
+                Instance::from_u64(9),
+            )),
             "tacoma://h2.cs.uit.no/ag_fs".parse().unwrap(),
             payload,
         )
@@ -234,11 +257,20 @@ mod tests {
 
     #[test]
     fn garbage_is_rejected_not_panicked() {
-        assert!(matches!(Message::decode(b"junk"), Err(FirewallError::BadWire { .. })));
-        assert!(matches!(Message::decode(&[]), Err(FirewallError::BadWire { .. })));
+        assert!(matches!(
+            Message::decode(b"junk"),
+            Err(FirewallError::BadWire { .. })
+        ));
+        assert!(matches!(
+            Message::decode(&[]),
+            Err(FirewallError::BadWire { .. })
+        ));
         // A valid briefcase that is not a message frame:
         let empty = Briefcase::new().encode();
-        assert!(matches!(Message::decode(&empty), Err(FirewallError::BadWire { .. })));
+        assert!(matches!(
+            Message::decode(&empty),
+            Err(FirewallError::BadWire { .. })
+        ));
     }
 
     #[test]

@@ -34,7 +34,10 @@ impl PendingQueue {
 
     /// Queues a message until `now + timeout`.
     pub fn enqueue(&mut self, message: Message, now: SimTime, timeout: Duration) {
-        self.entries.push(PendingEntry { message, deadline: now + timeout });
+        self.entries.push(PendingEntry {
+            message,
+            deadline: now + timeout,
+        });
     }
 
     /// Removes and returns every queued message whose target matches the
@@ -54,7 +57,10 @@ impl PendingQueue {
                 return false;
             }
             let sender = entry.message.from_principal.as_str();
-            if agent.matches(&entry.message.to, local_system, sender).is_match() {
+            if agent
+                .matches(&entry.message.to, local_system, sender)
+                .is_match()
+            {
                 matched.push(entry.message.clone());
                 false
             } else {
@@ -119,8 +125,16 @@ mod tests {
     #[test]
     fn expired_mail_is_dropped_on_expire() {
         let mut q = PendingQueue::new();
-        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(100));
-        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(900));
+        q.enqueue(
+            msg("alice/webbot", "alice"),
+            t(0),
+            Duration::from_millis(100),
+        );
+        q.enqueue(
+            msg("alice/webbot", "alice"),
+            t(0),
+            Duration::from_millis(900),
+        );
         assert_eq!(q.expire(t(500)), 1);
         assert_eq!(q.len(), 1);
     }
@@ -128,7 +142,11 @@ mod tests {
     #[test]
     fn expired_mail_not_delivered_to_late_arrival() {
         let mut q = PendingQueue::new();
-        q.enqueue(msg("alice/webbot", "alice"), t(0), Duration::from_millis(100));
+        q.enqueue(
+            msg("alice/webbot", "alice"),
+            t(0),
+            Duration::from_millis(100),
+        );
         let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
         let (mail, expired) = q.take_matching(&agent, "system@h1", t(5000));
         assert!(mail.is_empty());
@@ -155,7 +173,10 @@ mod tests {
         }
         let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
         let (mail, _) = q.take_matching(&agent, "system@h1", t(10));
-        let seqs: Vec<i64> = mail.iter().map(|m| m.briefcase.single_i64("SEQ").unwrap()).collect();
+        let seqs: Vec<i64> = mail
+            .iter()
+            .map(|m| m.briefcase.single_i64("SEQ").unwrap())
+            .collect();
         assert_eq!(seqs, [0, 1, 2]);
     }
 }

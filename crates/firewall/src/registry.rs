@@ -73,9 +73,11 @@ impl Registry {
         let target = target.clone();
         let local_system = local_system.to_owned();
         let sender = sender.to_owned();
-        self.agents
-            .iter()
-            .filter(move |r| r.address.matches(&target, &local_system, &sender).is_match())
+        self.agents.iter().filter(move |r| {
+            r.address
+                .matches(&target, &local_system, &sender)
+                .is_match()
+        })
     }
 
     /// Looks up exactly one matching agent; `None` on zero matches,
@@ -87,7 +89,9 @@ impl Registry {
         sender: &str,
     ) -> Result<Option<&Registration>, usize> {
         let mut it = self.matches(target, local_system, sender);
-        let Some(first) = it.next() else { return Ok(None) };
+        let Some(first) = it.next() else {
+            return Ok(None);
+        };
         let extra = it.count();
         if extra == 0 {
             Ok(Some(first))
@@ -134,8 +138,16 @@ mod tests {
     fn registry() -> Registry {
         let mut r = Registry::new();
         r.register(addr("system@h1", "ag_fs", 1), "vm_native", SimTime::ZERO);
-        r.register(addr("alice", "webbot", 2), "vm_script", SimTime::from_nanos(5));
-        r.register(addr("alice", "webbot", 3), "vm_script", SimTime::from_nanos(9));
+        r.register(
+            addr("alice", "webbot", 2),
+            "vm_script",
+            SimTime::from_nanos(5),
+        );
+        r.register(
+            addr("alice", "webbot", 3),
+            "vm_script",
+            SimTime::from_nanos(9),
+        );
         r
     }
 
@@ -160,7 +172,10 @@ mod tests {
         let target: AgentUri = "alice/webbot".parse().unwrap();
         assert_eq!(r.unique_match(&target, "system@h1", "alice"), Err(2));
         let exact: AgentUri = "alice/webbot:2".parse().unwrap();
-        let found = r.unique_match(&exact, "system@h1", "alice").unwrap().unwrap();
+        let found = r
+            .unique_match(&exact, "system@h1", "alice")
+            .unwrap()
+            .unwrap();
         assert_eq!(found.address, addr("alice", "webbot", 2));
         let none: AgentUri = "alice/ghost".parse().unwrap();
         assert_eq!(r.unique_match(&none, "system@h1", "alice").unwrap(), None);
@@ -169,7 +184,11 @@ mod tests {
     #[test]
     fn reregistration_replaces() {
         let mut r = registry();
-        r.register(addr("alice", "webbot", 2), "vm_bin", SimTime::from_nanos(100));
+        r.register(
+            addr("alice", "webbot", 2),
+            "vm_bin",
+            SimTime::from_nanos(100),
+        );
         assert_eq!(r.len(), 3);
         let reg = r.get(&addr("alice", "webbot", 2)).unwrap();
         assert_eq!(reg.vm, "vm_bin");
@@ -201,6 +220,9 @@ mod tests {
     fn status_toggles() {
         let mut r = registry();
         r.get_mut(&addr("alice", "webbot", 2)).unwrap().status = AgentStatus::Stopped;
-        assert_eq!(r.get(&addr("alice", "webbot", 2)).unwrap().status, AgentStatus::Stopped);
+        assert_eq!(
+            r.get(&addr("alice", "webbot", 2)).unwrap().status,
+            AgentStatus::Stopped
+        );
     }
 }

@@ -21,6 +21,13 @@ pub struct FirewallStats {
     pub agents_installed: u64,
     /// Admin operations served.
     pub admin_ops: u64,
+    /// Arriving agent code that passed bytecode verification and the
+    /// capability-vs-rights admission check.
+    pub code_verified: u64,
+    /// Arriving agent code refused at admission (unverifiable bytecode or
+    /// capabilities exceeding the principal's rights). Each such event
+    /// also counts as `denied`.
+    pub code_rejected: u64,
 }
 
 impl FirewallStats {
@@ -39,14 +46,16 @@ impl fmt::Display for FirewallStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "local={} remote={} queued={} expired={} denied={} installed={} admin={}",
+            "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={}",
             self.delivered_local,
             self.forwarded_remote,
             self.queued,
             self.expired,
             self.denied,
             self.agents_installed,
-            self.admin_ops
+            self.admin_ops,
+            self.code_verified,
+            self.code_rejected
         )
     }
 }

@@ -221,8 +221,16 @@ mod tests {
 
     #[test]
     fn require_names_the_missing_right() {
-        let err = Rights::standard().require(Rights::ADMIN, &p("alice")).unwrap_err();
-        assert!(matches!(err, SecurityError::AccessDenied { missing: "ADMIN", .. }));
+        let err = Rights::standard()
+            .require(Rights::ADMIN, &p("alice"))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SecurityError::AccessDenied {
+                missing: "ADMIN",
+                ..
+            }
+        ));
         assert!(Rights::ALL.require(Rights::ADMIN, &p("alice")).is_ok());
     }
 
@@ -245,7 +253,9 @@ mod tests {
     fn trusting_policy_is_wide_open() {
         let policy = Policy::trusting();
         assert_eq!(policy.rights_for(&p("anyone"), true), Rights::ALL);
-        assert!(policy.rights_for(&p("anyone"), false).contains(Rights::EXECUTE));
+        assert!(policy
+            .rights_for(&p("anyone"), false)
+            .contains(Rights::EXECUTE));
     }
 
     #[test]

@@ -97,7 +97,12 @@ pub struct Hasher {
 impl Hasher {
     /// A fresh hasher.
     pub fn new() -> Self {
-        Hasher { state: IV, buf: [0; 8], buf_len: 0, total: 0 }
+        Hasher {
+            state: IV,
+            buf: [0; 8],
+            buf_len: 0,
+            total: 0,
+        }
     }
 
     /// Absorbs more input.
@@ -206,14 +211,20 @@ mod tests {
     #[test]
     fn bad_hex_rejected() {
         assert_eq!(Digest::from_hex("zz"), Err(SecurityError::BadDigest));
-        assert_eq!(Digest::from_hex(&"g".repeat(64)), Err(SecurityError::BadDigest));
+        assert_eq!(
+            Digest::from_hex(&"g".repeat(64)),
+            Err(SecurityError::BadDigest)
+        );
     }
 
     #[test]
     fn no_trivial_collisions_over_small_corpus() {
         let mut seen = std::collections::HashSet::new();
         for i in 0..10_000u32 {
-            assert!(seen.insert(hash_bytes(&i.to_le_bytes())), "collision at {i}");
+            assert!(
+                seen.insert(hash_bytes(&i.to_le_bytes())),
+                "collision at {i}"
+            );
         }
     }
 

@@ -81,7 +81,12 @@ impl Keyring {
         let mut h = Hasher::new();
         h.update(principal.as_str().as_bytes()).update(&material);
         let key = *h.finalize().as_bytes();
-        Keyring { public: PublicKey { principal: principal.clone(), key } }
+        Keyring {
+            public: PublicKey {
+                principal: principal.clone(),
+                key,
+            },
+        }
     }
 
     /// The principal this keyring signs for.
@@ -152,7 +157,11 @@ mod tests {
 
         let q = Principal::new("bob@h1").unwrap();
         let b = Keyring::generate(&q, 7);
-        assert_ne!(a1.sign(b"m"), b.sign(b"m"), "same seed must not share keys across principals");
+        assert_ne!(
+            a1.sign(b"m"),
+            b.sign(b"m"),
+            "same seed must not share keys across principals"
+        );
     }
 
     #[test]

@@ -65,11 +65,15 @@ impl TrustStore {
         let key = self
             .keys
             .get(principal)
-            .ok_or_else(|| SecurityError::UnknownPrincipal { name: principal.to_string() })?;
+            .ok_or_else(|| SecurityError::UnknownPrincipal {
+                name: principal.to_string(),
+            })?;
         if key.verify(message, signature) {
             Ok(())
         } else {
-            Err(SecurityError::BadSignature { principal: principal.to_string() })
+            Err(SecurityError::BadSignature {
+                principal: principal.to_string(),
+            })
         }
     }
 }

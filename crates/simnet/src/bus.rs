@@ -39,7 +39,10 @@ pub struct MessageBus {
 impl MessageBus {
     /// A bus over the given network.
     pub fn new(network: Arc<Network>) -> Self {
-        MessageBus { network, endpoints: Arc::new(Mutex::new(HashMap::new())) }
+        MessageBus {
+            network,
+            endpoints: Arc::new(Mutex::new(HashMap::new())),
+        }
     }
 
     /// The underlying network (for fault injection and stats).
@@ -88,7 +91,8 @@ impl MessageBus {
             arrived: outcome.arrived,
             cost: outcome.cost,
         };
-        tx.send(envelope).map_err(|_| NetError::EndpointClosed { host: to.clone() })
+        tx.send(envelope)
+            .map_err(|_| NetError::EndpointClosed { host: to.clone() })
     }
 }
 

@@ -33,7 +33,11 @@ impl LinkSpec {
     /// Panics if `bandwidth_bps` is zero.
     pub fn new(latency: Duration, bandwidth_bps: u64) -> Self {
         assert!(bandwidth_bps > 0, "a link must have nonzero bandwidth");
-        LinkSpec { latency, bandwidth_bps, loss: 0.0 }
+        LinkSpec {
+            latency,
+            bandwidth_bps,
+            loss: 0.0,
+        }
     }
 
     /// Returns this link with the given loss probability.
@@ -99,7 +103,10 @@ mod tests {
     #[test]
     fn paper_lan_preset_moves_3mb_in_about_240ms() {
         let t = LinkSpec::lan_100mbit().transfer_time(3_000_000);
-        assert!(t >= Duration::from_millis(240) && t < Duration::from_millis(242), "{t:?}");
+        assert!(
+            t >= Duration::from_millis(240) && t < Duration::from_millis(242),
+            "{t:?}"
+        );
     }
 
     #[test]

@@ -86,20 +86,32 @@ impl Network {
     /// Routing errors from [`Topology::route`], or
     /// [`NetError::MessageLost`] if the link's loss probability fires (the
     /// clock still advances by the latency spent discovering the loss).
-    pub fn transfer(&self, from: &HostId, to: &HostId, bytes: u64) -> Result<TransferOutcome, NetError> {
+    pub fn transfer(
+        &self,
+        from: &HostId,
+        to: &HostId,
+        bytes: u64,
+    ) -> Result<TransferOutcome, NetError> {
         let link = self.topology.lock().route(from, to)?;
         let departed = self.clock.now();
 
         if link.loss > 0.0 && self.rng.lock().random::<f64>() < link.loss {
             self.clock.advance(link.latency);
             self.stats.lock().record_loss(from, to);
-            return Err(NetError::MessageLost { from: from.clone(), to: to.clone() });
+            return Err(NetError::MessageLost {
+                from: from.clone(),
+                to: to.clone(),
+            });
         }
 
         let cost = link.transfer_time(bytes);
         let arrived = self.clock.advance(cost);
         self.stats.lock().record_delivery(from, to, bytes, cost);
-        Ok(TransferOutcome { departed, arrived, cost })
+        Ok(TransferOutcome {
+            departed,
+            arrived,
+            cost,
+        })
     }
 }
 
@@ -144,7 +156,10 @@ mod tests {
         let first = net.transfer(&h("a"), &h("b"), 500_000).unwrap();
         let second = net.transfer(&h("b"), &h("a"), 500_000).unwrap();
         assert_eq!(second.departed, first.arrived);
-        assert_eq!(second.arrived.saturating_since(SimTime::ZERO), first.cost + second.cost);
+        assert_eq!(
+            second.arrived.saturating_since(SimTime::ZERO),
+            first.cost + second.cost
+        );
     }
 
     #[test]
@@ -169,7 +184,10 @@ mod tests {
         net.with_topology(|t| {
             t.crash_host(&h("b"));
         });
-        assert!(matches!(net.transfer(&h("a"), &h("b"), 1), Err(NetError::HostDown { .. })));
+        assert!(matches!(
+            net.transfer(&h("a"), &h("b"), 1),
+            Err(NetError::HostDown { .. })
+        ));
     }
 
     #[test]
@@ -177,7 +195,10 @@ mod tests {
         let mut t = Topology::new(LinkSpec::lan_100mbit().with_loss(0.999_999));
         t.add_hosts([h("a"), h("b")]);
         let net = Network::new(t, 1);
-        assert!(matches!(net.transfer(&h("a"), &h("b"), 1), Err(NetError::MessageLost { .. })));
+        assert!(matches!(
+            net.transfer(&h("a"), &h("b"), 1),
+            Err(NetError::MessageLost { .. })
+        ));
         assert_eq!(net.stats().total_lost(), 1);
     }
 }

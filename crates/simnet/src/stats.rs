@@ -33,7 +33,13 @@ impl TrafficStats {
         TrafficStats::default()
     }
 
-    pub(crate) fn record_delivery(&mut self, from: &HostId, to: &HostId, bytes: u64, cost: Duration) {
+    pub(crate) fn record_delivery(
+        &mut self,
+        from: &HostId,
+        to: &HostId,
+        bytes: u64,
+        cost: Duration,
+    ) {
         let entry = self.pairs.entry((from.clone(), to.clone())).or_default();
         entry.messages += 1;
         entry.bytes += bytes;
@@ -41,12 +47,18 @@ impl TrafficStats {
     }
 
     pub(crate) fn record_loss(&mut self, from: &HostId, to: &HostId) {
-        self.pairs.entry((from.clone(), to.clone())).or_default().lost += 1;
+        self.pairs
+            .entry((from.clone(), to.clone()))
+            .or_default()
+            .lost += 1;
     }
 
     /// Counters for one directed pair, zeroed if the pair never talked.
     pub fn pair(&self, from: &HostId, to: &HostId) -> PairStats {
-        self.pairs.get(&(from.clone(), to.clone())).copied().unwrap_or_default()
+        self.pairs
+            .get(&(from.clone(), to.clone()))
+            .copied()
+            .unwrap_or_default()
     }
 
     /// Total bytes delivered network-wide, excluding loopback traffic.
@@ -98,7 +110,11 @@ impl fmt::Display for TrafficStats {
             self.total_lost()
         )?;
         for ((from, to), s) in &self.pairs {
-            writeln!(f, "  {from} -> {to}: {} msgs, {} bytes, {} lost", s.messages, s.bytes, s.lost)?;
+            writeln!(
+                f,
+                "  {from} -> {to}: {} msgs, {} bytes, {} lost",
+                s.messages, s.bytes, s.lost
+            )?;
         }
         Ok(())
     }

@@ -15,7 +15,9 @@ use serde::{Deserialize, Serialize};
 /// let t = SimTime::ZERO + Duration::from_millis(5);
 /// assert_eq!(t - SimTime::ZERO, Duration::from_millis(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 impl SimTime {
@@ -47,7 +49,10 @@ impl SimTime {
 impl Add<Duration> for SimTime {
     type Output = SimTime;
     fn add(self, rhs: Duration) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64))
+        SimTime(
+            self.0
+                .saturating_add(rhs.as_nanos().min(u64::MAX as u128) as u64),
+        )
     }
 }
 
@@ -155,8 +160,14 @@ mod tests {
     #[test]
     fn display_scales_units() {
         assert_eq!((SimTime::ZERO + Duration::from_nanos(7)).to_string(), "7ns");
-        assert_eq!((SimTime::ZERO + Duration::from_millis(7)).to_string(), "7.000ms");
-        assert_eq!((SimTime::ZERO + Duration::from_secs(7)).to_string(), "7.000s");
+        assert_eq!(
+            (SimTime::ZERO + Duration::from_millis(7)).to_string(),
+            "7.000ms"
+        );
+        assert_eq!(
+            (SimTime::ZERO + Duration::from_secs(7)).to_string(),
+            "7.000s"
+        );
     }
 
     #[test]

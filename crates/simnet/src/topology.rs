@@ -167,9 +167,16 @@ impl Topology {
             return Ok(LinkSpec::loopback());
         }
         if self.partitions.contains(&pair(a, b)) {
-            return Err(NetError::Partitioned { a: a.clone(), b: b.clone() });
+            return Err(NetError::Partitioned {
+                a: a.clone(),
+                b: b.clone(),
+            });
         }
-        Ok(self.links.get(&pair(a, b)).copied().unwrap_or(self.default_link))
+        Ok(self
+            .links
+            .get(&pair(a, b))
+            .copied()
+            .unwrap_or(self.default_link))
     }
 }
 
@@ -221,15 +228,24 @@ mod tests {
     #[test]
     fn unknown_host_detected() {
         let t = topo();
-        assert!(matches!(t.route(&h("a"), &h("zz")), Err(NetError::UnknownHost { .. })));
+        assert!(matches!(
+            t.route(&h("a"), &h("zz")),
+            Err(NetError::UnknownHost { .. })
+        ));
     }
 
     #[test]
     fn crashed_host_blocks_both_directions() {
         let mut t = topo();
         t.crash_host(&h("b"));
-        assert!(matches!(t.route(&h("a"), &h("b")), Err(NetError::HostDown { .. })));
-        assert!(matches!(t.route(&h("b"), &h("a")), Err(NetError::HostDown { .. })));
+        assert!(matches!(
+            t.route(&h("a"), &h("b")),
+            Err(NetError::HostDown { .. })
+        ));
+        assert!(matches!(
+            t.route(&h("b"), &h("a")),
+            Err(NetError::HostDown { .. })
+        ));
         t.restore_host(&h("b"));
         assert!(t.route(&h("a"), &h("b")).is_ok());
     }
@@ -238,7 +254,10 @@ mod tests {
     fn partition_and_heal() {
         let mut t = topo();
         t.partition(&h("a"), &h("c"));
-        assert!(matches!(t.route(&h("c"), &h("a")), Err(NetError::Partitioned { .. })));
+        assert!(matches!(
+            t.route(&h("c"), &h("a")),
+            Err(NetError::Partitioned { .. })
+        ));
         // Unrelated pairs unaffected.
         assert!(t.route(&h("a"), &h("b")).is_ok());
         t.heal(&h("a"), &h("c"));

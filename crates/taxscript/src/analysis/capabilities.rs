@@ -1,0 +1,317 @@
+//! Capability-manifest extraction.
+//!
+//! Walks the call graph from `main` and summarises what the agent *can*
+//! do: which builtins it may invoke, which hosts it names in constant
+//! `go()`/`spawn()` targets, and which briefcase folders it touches. The
+//! summary is the input to the firewall's admission policy (TACOMA §3.2:
+//! the firewall is the reference monitor deciding what an arriving agent
+//! may be granted), and to the `taxsh check` lint pass.
+//!
+//! Argument constants are recovered by a peephole: for a call taking
+//! `argc` arguments, if the `argc` instructions immediately preceding the
+//! call site are all single-push instructions (`Const`, `Load`, `Nil`,
+//! `True`, `False`), the k-th of them produced the k-th argument. A
+//! `Const` referencing a string constant is a statically-known argument;
+//! anything else marks the call dynamic, which the manifest records
+//! separately so a policy can refuse agents whose targets cannot be
+//! determined ahead of execution.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::program::{Const, Program};
+use crate::{Builtin, Op};
+
+/// Builtins that read a briefcase folder named by their first argument.
+const FOLDER_READERS: [Builtin; 4] = [
+    Builtin::BcGet,
+    Builtin::BcLen,
+    Builtin::BcHas,
+    Builtin::BcRemove,
+];
+
+/// Builtins that write (or destroy) a folder named by their first argument.
+const FOLDER_WRITERS: [Builtin; 3] = [Builtin::BcAppend, Builtin::BcSet, Builtin::BcClear];
+
+/// What a program is statically capable of doing.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capabilities {
+    /// Every builtin reachable from `main` via the call graph.
+    pub builtins: BTreeSet<Builtin>,
+    /// Constant `go()` destinations.
+    pub go_targets: BTreeSet<String>,
+    /// Constant `spawn()` destinations.
+    pub spawn_targets: BTreeSet<String>,
+    /// A reachable `go()`/`spawn()` whose target is not a constant.
+    pub dynamic_travel: bool,
+    /// Folders read via `bc_get`/`bc_len`/`bc_has`/`bc_remove` with a
+    /// constant name.
+    pub folders_read: BTreeSet<String>,
+    /// Folders written via `bc_append`/`bc_set`/`bc_clear` with a
+    /// constant name.
+    pub folders_written: BTreeSet<String>,
+    /// A reachable folder operation whose name is not a constant.
+    pub dynamic_folders: bool,
+    /// Function-table indices reachable from `main` (always contains
+    /// `main` itself).
+    pub reachable_functions: BTreeSet<usize>,
+}
+
+impl Capabilities {
+    /// Whether the given builtin is reachable.
+    pub fn uses(&self, builtin: Builtin) -> bool {
+        self.builtins.contains(&builtin)
+    }
+
+    /// Whether the agent can move or clone itself to another host.
+    pub fn is_mobile(&self) -> bool {
+        self.uses(Builtin::Go) || self.uses(Builtin::Spawn)
+    }
+
+    /// Whether the agent can exchange briefcases with local agents
+    /// (`meet` / `bc_send` / `bc_recv`).
+    pub fn communicates(&self) -> bool {
+        self.uses(Builtin::Meet) || self.uses(Builtin::Activate) || self.uses(Builtin::AwaitBc)
+    }
+}
+
+impl fmt::Display for Capabilities {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.builtins.iter().map(|b| b.name()).collect();
+        writeln!(f, "builtins: {}", names.join(" "))?;
+        if !self.go_targets.is_empty() {
+            let t: Vec<&str> = self.go_targets.iter().map(String::as_str).collect();
+            writeln!(f, "go targets: {}", t.join(" "))?;
+        }
+        if !self.spawn_targets.is_empty() {
+            let t: Vec<&str> = self.spawn_targets.iter().map(String::as_str).collect();
+            writeln!(f, "spawn targets: {}", t.join(" "))?;
+        }
+        if self.dynamic_travel {
+            writeln!(f, "dynamic travel: yes")?;
+        }
+        if !self.folders_read.is_empty() {
+            let t: Vec<&str> = self.folders_read.iter().map(String::as_str).collect();
+            writeln!(f, "folders read: {}", t.join(" "))?;
+        }
+        if !self.folders_written.is_empty() {
+            let t: Vec<&str> = self.folders_written.iter().map(String::as_str).collect();
+            writeln!(f, "folders written: {}", t.join(" "))?;
+        }
+        if self.dynamic_folders {
+            writeln!(f, "dynamic folders: yes")?;
+        }
+        Ok(())
+    }
+}
+
+/// The first argument of the call at `code[call_pc]`, if it was pushed by
+/// a `Const` holding a string and the whole argument window is made of
+/// single-push instructions (so positions line up).
+pub(crate) fn constant_str_arg0(
+    program: &Program,
+    code: &[Op],
+    call_pc: usize,
+    argc: usize,
+) -> Option<String> {
+    if argc == 0 || call_pc < argc {
+        return None;
+    }
+    let window = &code[call_pc - argc..call_pc];
+    let simple = window.iter().all(|op| {
+        matches!(
+            op,
+            Op::Const(_) | Op::Load(_) | Op::Nil | Op::True | Op::False
+        )
+    });
+    if !simple {
+        return None;
+    }
+    match window[0] {
+        Op::Const(idx) => match program.constants().get(idx as usize) {
+            Some(Const::Str(s)) => Some(s.clone()),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+/// Extracts the capability manifest of `program`.
+///
+/// Only functions reachable from `main` through `Call` instructions
+/// contribute; dead functions grant nothing. The program should already
+/// have passed [`super::verify`] — out-of-range references are simply
+/// skipped here rather than reported.
+pub fn capabilities(program: &Program) -> Capabilities {
+    let mut caps = Capabilities::default();
+
+    // Call-graph reachability from main.
+    let mut stack = vec![program.main_index()];
+    while let Some(fn_idx) = stack.pop() {
+        if !caps.reachable_functions.insert(fn_idx) {
+            continue;
+        }
+        let Some(proto) = program.functions().get(fn_idx) else {
+            continue;
+        };
+        for op in &proto.code {
+            if let Op::Call { fn_idx: callee, .. } = op {
+                stack.push(*callee as usize);
+            }
+        }
+    }
+
+    for &fn_idx in &caps.reachable_functions.clone() {
+        let Some(proto) = program.functions().get(fn_idx) else {
+            continue;
+        };
+        for (pc, &op) in proto.code.iter().enumerate() {
+            let Op::CallBuiltin { builtin, argc } = op else {
+                continue;
+            };
+            caps.builtins.insert(builtin);
+            let argc = argc as usize;
+            let arg0 = constant_str_arg0(program, &proto.code, pc, argc);
+            match builtin {
+                Builtin::Go => match arg0 {
+                    Some(target) => {
+                        caps.go_targets.insert(target);
+                    }
+                    None => caps.dynamic_travel = true,
+                },
+                Builtin::Spawn => match arg0 {
+                    Some(target) => {
+                        caps.spawn_targets.insert(target);
+                    }
+                    None => caps.dynamic_travel = true,
+                },
+                b if FOLDER_READERS.contains(&b) => match arg0 {
+                    Some(folder) => {
+                        caps.folders_read.insert(folder);
+                    }
+                    None => caps.dynamic_folders = true,
+                },
+                b if FOLDER_WRITERS.contains(&b) => match arg0 {
+                    Some(folder) => {
+                        caps.folders_written.insert(folder);
+                    }
+                    None => caps.dynamic_folders = true,
+                },
+                _ => {}
+            }
+        }
+    }
+    caps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn caps_of(src: &str) -> Capabilities {
+        capabilities(&compile_source(src).unwrap())
+    }
+
+    #[test]
+    fn figure4_hello_manifest() {
+        let caps = caps_of(
+            r#"
+            fn main() {
+                while (1) {
+                    display("Hello world");
+                    let e = bc_remove("HOSTS", 0);
+                    if (e == nil) { exit(0); }
+                    if (go(e)) { display("Unable to reach " + e); }
+                }
+            }
+            "#,
+        );
+        assert!(caps.is_mobile());
+        assert!(caps.dynamic_travel, "go target is a variable");
+        assert!(caps.go_targets.is_empty());
+        assert!(caps.folders_read.contains("HOSTS"));
+        assert!(!caps.dynamic_folders, "folder names are constant");
+        assert!(caps.uses(Builtin::Exit));
+        assert!(!caps.communicates());
+    }
+
+    #[test]
+    fn constant_go_target_is_recorded() {
+        let caps = caps_of(r#"fn main() { go("tacoma://h2/vm_script"); exit(0); }"#);
+        assert!(caps.go_targets.contains("tacoma://h2/vm_script"));
+        assert!(!caps.dynamic_travel);
+    }
+
+    #[test]
+    fn dead_functions_grant_nothing() {
+        let caps = caps_of(
+            r#"
+            fn never_called() { go("tacoma://evil/vm_script"); return 0; }
+            fn main() { display("hi"); exit(0); }
+            "#,
+        );
+        assert!(!caps.is_mobile());
+        assert!(caps.go_targets.is_empty());
+        assert_eq!(caps.reachable_functions.len(), 1);
+    }
+
+    #[test]
+    fn transitive_calls_contribute() {
+        let caps = caps_of(
+            r#"
+            fn hop(where) { if (go(where)) { return 1; } return 0; }
+            fn work() { bc_append("RESULTS", "x"); return hop("unused-dynamic"); }
+            fn main() { work(); exit(0); }
+            "#,
+        );
+        assert!(caps.is_mobile());
+        assert!(caps.folders_written.contains("RESULTS"));
+        assert_eq!(caps.reachable_functions.len(), 3);
+    }
+
+    #[test]
+    fn writes_and_reads_are_separated() {
+        let caps = caps_of(
+            r#"
+            fn main() {
+                bc_set("STATUS", "running");
+                let n = bc_len("ARGS");
+                display(n);
+                exit(0);
+            }
+            "#,
+        );
+        assert!(caps.folders_written.contains("STATUS"));
+        assert!(caps.folders_read.contains("ARGS"));
+        assert!(!caps.folders_read.contains("STATUS"));
+    }
+
+    #[test]
+    fn non_constant_folder_sets_dynamic_flag() {
+        let caps = caps_of(
+            r#"
+            fn main() {
+                let f = "RESU" + "LTS";
+                bc_append(f, 1);
+                exit(0);
+            }
+            "#,
+        );
+        assert!(caps.dynamic_folders);
+        assert!(caps.folders_written.is_empty());
+    }
+
+    #[test]
+    fn display_renders_manifest() {
+        let caps = caps_of(r#"fn main() { go("tacoma://h2/vm_script"); exit(0); }"#);
+        let shown = caps.to_string();
+        assert!(
+            shown.contains("go targets: tacoma://h2/vm_script"),
+            "{shown}"
+        );
+        assert!(shown.contains("go"), "{shown}");
+    }
+}

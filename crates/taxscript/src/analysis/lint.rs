@@ -1,0 +1,611 @@
+//! Lint pass: structured diagnostics over verified bytecode.
+//!
+//! Lints never reject a program by themselves — that is the verifier's
+//! job. They flag patterns that are *suspicious* for a mobile agent:
+//! code that can never run, briefcase folders consumed but never
+//! produced, travel destinations that will always fail to parse, and
+//! loops that burn fuel without making progress toward `go`/`exit`.
+//!
+//! The control-flow analysis here is deliberately sharper than the
+//! verifier's: conditional jumps whose condition was pushed by a literal
+//! (`Const`/`True`/`False`/`Nil`) are folded to their taken edge, so
+//! `while (1) { ... }` is understood as an unconditional loop. That keeps
+//! the canonical Figure-4 agent clean — its `while (1)` epilogue is
+//! genuinely unreachable, which is the compiler's doing, not the
+//! programmer's.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use tacoma_uri::AgentUri;
+
+use crate::program::{Const, Program};
+use crate::{Builtin, Op};
+
+use super::capabilities::{capabilities, Capabilities};
+
+/// How serious a diagnostic is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Suspicious but runnable.
+    Warning,
+    /// Will fail at run time on every execution that reaches it.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// Stable lint identifiers (the `TAXnnn` codes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum LintCode {
+    /// TAX001: code that no execution can reach.
+    UnreachableCode,
+    /// TAX002: a folder is read but never written (and cannot arrive via
+    /// meet/await or be named dynamically).
+    UnwrittenFolder,
+    /// TAX003: a constant `go()`/`spawn()` target that fails to parse as
+    /// an agent URI, so the travel fails on every execution.
+    BadTravelTarget,
+    /// TAX004: a loop with no escape edge and no fuel-consuming progress
+    /// toward `go`/`exit` — it can only end by exhausting fuel.
+    DivergentLoop,
+}
+
+impl LintCode {
+    /// The stable `TAXnnn` identifier.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::UnreachableCode => "TAX001",
+            LintCode::UnwrittenFolder => "TAX002",
+            LintCode::BadTravelTarget => "TAX003",
+            LintCode::DivergentLoop => "TAX004",
+        }
+    }
+
+    /// Default severity for this lint.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::BadTravelTarget => Severity::Error,
+            _ => Severity::Warning,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One lint finding, anchored to a bytecode offset.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Which lint fired.
+    pub code: LintCode,
+    /// How serious it is.
+    pub severity: Severity,
+    /// Name of the function the finding is in.
+    pub function: String,
+    /// Instruction offset within that function.
+    pub offset: usize,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}] fn {} @{}: {}",
+            self.severity, self.code, self.function, self.offset, self.message
+        )
+    }
+}
+
+/// Briefcase folders that conventionally arrive *with* the agent, so
+/// reading them without a prior write is normal (the Figure-4 agent reads
+/// `HOSTS` it was launched with).
+fn is_input_folder(name: &str) -> bool {
+    use tacoma_briefcase::folders;
+    matches!(
+        name,
+        folders::CODE
+            | folders::CODE_TYPE
+            | folders::HOSTS
+            | folders::SIGNATURE
+            | folders::PRINCIPAL
+            | folders::AGENT_NAME
+            | folders::COMMAND
+            | folders::ARGS
+            | folders::REPLY_TO
+            | folders::ARCH
+    )
+}
+
+/// Truthiness of a literal-push instruction, if it is one.
+fn literal_truthiness(program: &Program, op: Op) -> Option<bool> {
+    match op {
+        Op::True => Some(true),
+        Op::False | Op::Nil => Some(false),
+        Op::Const(idx) => match program.constants().get(idx as usize)? {
+            Const::Int(v) => Some(*v != 0),
+            Const::Str(s) => Some(!s.is_empty()),
+        },
+        _ => None,
+    }
+}
+
+/// The folded control-flow successors of `code[pc]`.
+///
+/// Terminal instructions (`Return`, `exit(...)`) have none. Conditional
+/// jumps whose condition is a literal keep only the edge that literal
+/// selects.
+fn successors(program: &Program, code: &[Op], pc: usize) -> Vec<usize> {
+    match code[pc] {
+        Op::Return
+        | Op::CallBuiltin {
+            builtin: Builtin::Exit,
+            ..
+        } => vec![],
+        Op::Jump(t) => vec![t as usize],
+        Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => {
+            let jump_if = matches!(code[pc], Op::JumpIfTrue(_));
+            let folded = pc
+                .checked_sub(1)
+                .and_then(|prev| literal_truthiness(program, code[prev]));
+            match folded {
+                Some(truth) if truth == jump_if => vec![t as usize],
+                Some(_) => vec![pc + 1],
+                None => vec![t as usize, pc + 1],
+            }
+        }
+        _ => vec![pc + 1],
+    }
+}
+
+/// Reachable-offset bitmap under the folded CFG.
+fn folded_reachability(program: &Program, code: &[Op]) -> Vec<bool> {
+    let mut reachable = vec![false; code.len()];
+    let mut stack = vec![0usize];
+    while let Some(pc) = stack.pop() {
+        if pc >= code.len() || reachable[pc] {
+            continue;
+        }
+        reachable[pc] = true;
+        stack.extend(successors(program, code, pc));
+    }
+    reachable
+}
+
+/// Runs every lint over `program`, which must already have passed
+/// [`super::verify`] (jump targets in bounds, etc.). Findings are sorted
+/// by function, then offset, then code.
+pub fn lint(program: &Program) -> Vec<Diagnostic> {
+    let caps = capabilities(program);
+    let mut out = Vec::new();
+
+    for (fn_idx, proto) in program.functions().iter().enumerate() {
+        let reachable_fn = caps.reachable_functions.contains(&fn_idx);
+        let reachable = folded_reachability(program, &proto.code);
+        lint_unreachable(program, fn_idx, &reachable, &mut out);
+        if reachable_fn {
+            lint_travel_targets(program, fn_idx, &reachable, &mut out);
+            lint_divergent_loops(program, fn_idx, &reachable, &mut out);
+        }
+    }
+    lint_unwritten_folders(program, &caps, &mut out);
+
+    out.sort_by(|a, b| (&a.function, a.offset, a.code).cmp(&(&b.function, b.offset, b.code)));
+    out
+}
+
+/// TAX001 — report each maximal unreachable run, after discarding
+/// compiler scaffolding: a run's leading `Pop` (the discard belonging to
+/// a terminal expression statement such as `exit(0);`) and a trailing
+/// `Nil`/`Return` implicit-epilogue suffix are not programmer code.
+fn lint_unreachable(
+    program: &Program,
+    fn_idx: usize,
+    reachable: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let proto = &program.functions()[fn_idx];
+    let code = &proto.code;
+    let mut pc = 0;
+    while pc < code.len() {
+        if reachable[pc] {
+            pc += 1;
+            continue;
+        }
+        let mut end = pc;
+        while end < code.len() && !reachable[end] {
+            end += 1;
+        }
+        // Trim compiler scaffolding from the run [pc, end).
+        let mut lo = pc;
+        while lo < end && code[lo] == Op::Pop {
+            lo += 1;
+        }
+        let mut hi = end;
+        if hi == code.len() {
+            if hi > lo && code[hi - 1] == Op::Return {
+                hi -= 1;
+            }
+            if hi > lo && code[hi - 1] == Op::Nil {
+                hi -= 1;
+            }
+        }
+        if lo < hi {
+            out.push(Diagnostic {
+                code: LintCode::UnreachableCode,
+                severity: LintCode::UnreachableCode.severity(),
+                function: proto.name.clone(),
+                offset: lo,
+                message: format!(
+                    "unreachable code ({} instruction{})",
+                    hi - lo,
+                    if hi - lo == 1 { "" } else { "s" }
+                ),
+            });
+        }
+        pc = end;
+    }
+}
+
+/// TAX002 — folders read but never written. Suppressed entirely when the
+/// agent can receive folders some other way: dynamic folder names, or
+/// briefcase-merging communication (`meet`/`bc_recv`).
+fn lint_unwritten_folders(program: &Program, caps: &Capabilities, out: &mut Vec<Diagnostic>) {
+    if caps.dynamic_folders || caps.communicates() {
+        return;
+    }
+    let orphaned: BTreeSet<&String> = caps
+        .folders_read
+        .iter()
+        .filter(|f| !caps.folders_written.contains(*f) && !is_input_folder(f))
+        .collect();
+    if orphaned.is_empty() {
+        return;
+    }
+    // Anchor each finding at the first read site of that folder.
+    for &fn_idx in &caps.reachable_functions {
+        let Some(proto) = program.functions().get(fn_idx) else {
+            continue;
+        };
+        for (pc, &op) in proto.code.iter().enumerate() {
+            let Op::CallBuiltin { builtin, argc } = op else {
+                continue;
+            };
+            if !matches!(
+                builtin,
+                Builtin::BcGet | Builtin::BcLen | Builtin::BcHas | Builtin::BcRemove
+            ) {
+                continue;
+            }
+            let Some(folder) =
+                super::capabilities::constant_str_arg0(program, &proto.code, pc, argc as usize)
+            else {
+                continue;
+            };
+            if orphaned.contains(&folder)
+                && !out.iter().any(|d| {
+                    d.code == LintCode::UnwrittenFolder
+                        && d.message.contains(&format!("\"{folder}\""))
+                })
+            {
+                out.push(Diagnostic {
+                    code: LintCode::UnwrittenFolder,
+                    severity: LintCode::UnwrittenFolder.severity(),
+                    function: proto.name.clone(),
+                    offset: pc,
+                    message: format!(
+                        "folder \"{folder}\" is read but never written and does not arrive with the briefcase"
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// TAX003 — constant travel targets that can never parse as agent URIs.
+fn lint_travel_targets(
+    program: &Program,
+    fn_idx: usize,
+    reachable: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let proto = &program.functions()[fn_idx];
+    for (pc, &op) in proto.code.iter().enumerate() {
+        if !reachable[pc] {
+            continue;
+        }
+        let Op::CallBuiltin {
+            builtin: builtin @ (Builtin::Go | Builtin::Spawn),
+            argc,
+        } = op
+        else {
+            continue;
+        };
+        let Some(target) =
+            super::capabilities::constant_str_arg0(program, &proto.code, pc, argc as usize)
+        else {
+            continue;
+        };
+        if let Err(e) = target.parse::<AgentUri>() {
+            out.push(Diagnostic {
+                code: LintCode::BadTravelTarget,
+                severity: LintCode::BadTravelTarget.severity(),
+                function: proto.name.clone(),
+                offset: pc,
+                message: format!("{}(\"{target}\") can never succeed: {e}", builtin.name()),
+            });
+        }
+    }
+}
+
+/// TAX004 — loops that can only end by running out of fuel.
+///
+/// For each back edge `pc → t` (with `t <= pc`) in reachable code, the
+/// loop body is the contiguous range `[t, pc]` (the compiler emits
+/// structured loops). The loop is divergent when no reachable
+/// instruction in the body has a folded successor outside the range
+/// (no escape) and the body contains no `go`/`exit`/`bc_recv` and no
+/// function call (a callee could exit).
+fn lint_divergent_loops(
+    program: &Program,
+    fn_idx: usize,
+    reachable: &[bool],
+    out: &mut Vec<Diagnostic>,
+) {
+    let proto = &program.functions()[fn_idx];
+    let code = &proto.code;
+    let mut reported = BTreeSet::new();
+    for (pc, &op) in code.iter().enumerate() {
+        if !reachable[pc] {
+            continue;
+        }
+        let (Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t)) = op else {
+            continue;
+        };
+        let t = t as usize;
+        if t > pc || !reported.insert(t) {
+            continue;
+        }
+        let body = t..=pc;
+        let mut escapes = false;
+        let mut progresses = false;
+        for q in body.clone() {
+            if !reachable[q] {
+                continue;
+            }
+            match code[q] {
+                Op::Call { .. }
+                | Op::CallBuiltin {
+                    builtin: Builtin::Go | Builtin::Exit | Builtin::AwaitBc,
+                    ..
+                } => progresses = true,
+                _ => {}
+            }
+            if successors(program, code, q)
+                .iter()
+                .any(|s| !body.contains(s))
+            {
+                escapes = true;
+            }
+        }
+        if !escapes && !progresses {
+            out.push(Diagnostic {
+                code: LintCode::DivergentLoop,
+                severity: LintCode::DivergentLoop.severity(),
+                function: proto.name.clone(),
+                offset: t,
+                message: "loop can only end by exhausting fuel: no exit path and no progress toward go/exit".into(),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn lint_src(src: &str) -> Vec<Diagnostic> {
+        let p = compile_source(src).unwrap();
+        super::super::verify(&p).expect("test programs must verify");
+        lint(&p)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    #[test]
+    fn figure4_hello_is_clean() {
+        let diags = lint_src(
+            r#"
+            fn main() {
+                while (1) {
+                    display("Hello world");
+                    let e = bc_remove("HOSTS", 0);
+                    if (e == nil) { exit(0); }
+                    if (go(e)) { display("Unable to reach " + e); }
+                }
+            }
+            "#,
+        );
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn tax001_code_after_exit() {
+        let diags = lint_src(
+            r#"
+            fn main() {
+                exit(0);
+                display("never shown");
+            }
+            "#,
+        );
+        assert_eq!(codes(&diags), ["TAX001"], "{diags:?}");
+        assert!(diags[0].message.contains("unreachable"));
+    }
+
+    #[test]
+    fn tax001_not_fired_for_bare_exit_epilogue() {
+        // Only the compiler's implicit `Nil; Return` (plus the statement
+        // Pop) follows exit — no programmer code is dead.
+        assert!(lint_src("fn main() { exit(0); }").is_empty());
+    }
+
+    #[test]
+    fn tax002_folder_read_never_written() {
+        let diags = lint_src(
+            r#"
+            fn main() {
+                let v = bc_get("SCRATCH", 0);
+                display(v);
+                exit(0);
+            }
+            "#,
+        );
+        assert_eq!(codes(&diags), ["TAX002"], "{diags:?}");
+        assert!(diags[0].message.contains("SCRATCH"));
+    }
+
+    #[test]
+    fn tax002_quiet_when_written_or_conventional() {
+        assert!(lint_src(
+            r#"
+            fn main() {
+                bc_append("SCRATCH", 1);
+                let v = bc_get("SCRATCH", 0);
+                let h = bc_get("HOSTS", 0);
+                display(v, h);
+                exit(0);
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn tax002_quiet_when_agent_receives_briefcases() {
+        // A meet() reply can merge folders in, so reads are plausible.
+        assert!(lint_src(
+            r#"
+            fn main() {
+                meet("tacoma://h1/responder");
+                let v = bc_get("ANSWER", 0);
+                display(v);
+                exit(0);
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn tax003_unparseable_go_target() {
+        let diags = lint_src(
+            r#"
+            fn main() {
+                if (go("not a uri!!")) { display("failed"); }
+                exit(0);
+            }
+            "#,
+        );
+        assert_eq!(codes(&diags), ["TAX003"], "{diags:?}");
+        assert_eq!(diags[0].severity, Severity::Error);
+    }
+
+    #[test]
+    fn tax003_quiet_for_valid_target() {
+        assert!(lint_src(
+            r#"
+            fn main() {
+                if (go("tacoma://h2/vm_script")) { display("failed"); }
+                exit(0);
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn tax004_busy_loop() {
+        let diags = lint_src(
+            r#"
+            fn main() {
+                let i = 0;
+                while (1) { i = i + 1; }
+            }
+            "#,
+        );
+        assert_eq!(codes(&diags), ["TAX004"], "{diags:?}");
+    }
+
+    #[test]
+    fn tax004_quiet_for_terminating_loop() {
+        assert!(lint_src(
+            r#"
+            fn main() {
+                let i = 0;
+                while (i < 10) { i = i + 1; }
+                exit(i);
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn tax004_quiet_for_loop_with_break() {
+        assert!(lint_src(
+            r#"
+            fn main() {
+                let i = 0;
+                while (1) {
+                    i = i + 1;
+                    if (i > 3) { break; }
+                }
+                exit(i);
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn tax004_quiet_for_server_loop() {
+        // Blocking on bc_recv is progress: the agent is waiting, not
+        // burning fuel.
+        assert!(lint_src(
+            r#"
+            fn main() {
+                while (1) {
+                    let bc = bc_recv(1000);
+                    if (bc == nil) { exit(0); }
+                }
+            }
+            "#,
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn diagnostics_render_with_code_and_site() {
+        let diags = lint_src("fn main() { exit(0); display(1); }");
+        let shown = diags[0].to_string();
+        assert!(shown.contains("warning[TAX001]"), "{shown}");
+        assert!(shown.contains("fn main"), "{shown}");
+    }
+}

@@ -1,0 +1,772 @@
+//! Abstract-interpretation bytecode verifier.
+//!
+//! Symbolically executes every function over the abstract domain of stack
+//! depths: each reachable offset is assigned the interval of operand-stack
+//! depths possible on entry. Because TaxScript's compiler emits
+//! structured, reducible code, the interval at every offset must collapse
+//! to a single point — a join whose incoming depths disagree is reported
+//! as [`VerifyError::InconsistentJoinDepth`] rather than widened, which
+//! keeps the domain exact and the analysis linear.
+//!
+//! The verifier is strictly stronger than [`Program::validate`]:
+//!
+//! * every static reference check validate performs is repeated here (on
+//!   *all* instructions, reachable or not), so anything validate rejects
+//!   the verifier also rejects;
+//! * jump targets must land on a real instruction (`target < code_len`,
+//!   where validate tolerates `target == code_len`);
+//! * stack effects are proven: no instruction can underflow the operand
+//!   stack, the static high-water mark stays below the VM's hard
+//!   [`MAX_VALUE_STACK`] limit, and control flow cannot run off the end
+//!   of a function body.
+//!
+//! A program accepted by [`verify`] cannot raise the stack-fault class of
+//! [`RuntimeError::CorruptProgram`] errors at run time (see the property
+//! test in `tests/analysis_corpus.rs`).
+
+use std::fmt;
+
+use crate::program::{FnProto, Program};
+use crate::vm::MAX_VALUE_STACK;
+use crate::{Builtin, Op};
+
+/// Where a verification error was found: function table index plus the
+/// instruction offset inside that function's code vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Site {
+    /// Index into the program's function table.
+    pub function: usize,
+    /// Instruction offset within the function body.
+    pub offset: usize,
+}
+
+impl fmt::Display for Site {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn#{} @{}", self.function, self.offset)
+    }
+}
+
+/// Why a program failed verification.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum VerifyError {
+    /// An instruction would pop more values than the abstract stack holds.
+    StackUnderflow {
+        /// Offending instruction.
+        site: Site,
+        /// Values the instruction pops.
+        needed: usize,
+        /// Abstract stack depth on entry.
+        depth: usize,
+    },
+    /// A jump targets an offset at or past the end of the function body.
+    BadJumpTarget {
+        /// Offending instruction.
+        site: Site,
+        /// The out-of-range target.
+        target: usize,
+        /// The function's instruction count.
+        code_len: usize,
+    },
+    /// `Const` references a slot past the end of the constant pool.
+    ConstOutOfRange {
+        /// Offending instruction.
+        site: Site,
+        /// The referenced pool index.
+        index: usize,
+        /// Constant-pool size.
+        pool_len: usize,
+    },
+    /// `Call` references a function index past the function table.
+    FnOutOfRange {
+        /// Offending instruction.
+        site: Site,
+        /// The referenced function index.
+        index: usize,
+        /// Function-table size.
+        table_len: usize,
+    },
+    /// Two control-flow paths reach the same offset with different stack
+    /// depths — the compiler never emits this, so it marks hand-tampered
+    /// or corrupt bytecode.
+    InconsistentJoinDepth {
+        /// The join point.
+        site: Site,
+        /// Depth recorded by the first path to reach the offset.
+        first: usize,
+        /// Conflicting depth from a later path.
+        second: usize,
+    },
+    /// `Load`/`Store` references a slot past the function's local frame.
+    LocalOutOfRange {
+        /// Offending instruction.
+        site: Site,
+        /// The referenced slot.
+        slot: usize,
+        /// Declared local-slot count.
+        n_locals: usize,
+    },
+    /// `Call` argc does not match the callee's declared arity.
+    CallArityMismatch {
+        /// Offending instruction.
+        site: Site,
+        /// The callee's declared arity.
+        expected: u8,
+        /// The argc encoded at the call site.
+        got: u8,
+    },
+    /// A fixed-arity builtin is invoked with the wrong argc.
+    BuiltinArityMismatch {
+        /// Offending instruction.
+        site: Site,
+        /// The builtin being invoked.
+        builtin: Builtin,
+        /// Its declared arity.
+        expected: usize,
+        /// The argc encoded at the call site.
+        got: usize,
+    },
+    /// The static stack high-water mark reaches the VM's hard limit.
+    StackLimitExceeded {
+        /// Instruction whose effect crosses the limit.
+        site: Site,
+        /// The depth that would be reached.
+        depth: usize,
+    },
+    /// Control flow can reach the end of the body without `Return` (or
+    /// another terminal instruction) — the VM would fault with
+    /// "pc ran off the end".
+    FallsOffEnd {
+        /// The function in question.
+        function: usize,
+    },
+    /// The recorded `main` index is outside the function table.
+    BadMainIndex {
+        /// The recorded index.
+        index: usize,
+        /// Function-table size.
+        table_len: usize,
+    },
+}
+
+impl fmt::Display for VerifyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VerifyError::StackUnderflow {
+                site,
+                needed,
+                depth,
+            } => {
+                write!(f, "{site}: stack underflow (pops {needed}, depth {depth})")
+            }
+            VerifyError::BadJumpTarget {
+                site,
+                target,
+                code_len,
+            } => {
+                write!(
+                    f,
+                    "{site}: jump target {target} out of range (code length {code_len})"
+                )
+            }
+            VerifyError::ConstOutOfRange {
+                site,
+                index,
+                pool_len,
+            } => {
+                write!(
+                    f,
+                    "{site}: constant index {index} out of range (pool size {pool_len})"
+                )
+            }
+            VerifyError::FnOutOfRange {
+                site,
+                index,
+                table_len,
+            } => {
+                write!(
+                    f,
+                    "{site}: call target {index} out of range (function table size {table_len})"
+                )
+            }
+            VerifyError::InconsistentJoinDepth {
+                site,
+                first,
+                second,
+            } => {
+                write!(
+                    f,
+                    "{site}: inconsistent stack depth at join ({first} vs {second})"
+                )
+            }
+            VerifyError::LocalOutOfRange {
+                site,
+                slot,
+                n_locals,
+            } => {
+                write!(
+                    f,
+                    "{site}: local slot {slot} out of range ({n_locals} slots)"
+                )
+            }
+            VerifyError::CallArityMismatch {
+                site,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{site}: call arity mismatch (expected {expected}, got {got})"
+                )
+            }
+            VerifyError::BuiltinArityMismatch {
+                site,
+                builtin,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "{site}: {} takes {expected} args, called with {got}",
+                    builtin.name()
+                )
+            }
+            VerifyError::StackLimitExceeded { site, depth } => {
+                write!(
+                    f,
+                    "{site}: static stack depth {depth} exceeds VM limit {MAX_VALUE_STACK}"
+                )
+            }
+            VerifyError::FallsOffEnd { function } => {
+                write!(
+                    f,
+                    "fn#{function}: control flow can run off the end of the body"
+                )
+            }
+            VerifyError::BadMainIndex { index, table_len } => {
+                write!(
+                    f,
+                    "main index {index} out of range (function table size {table_len})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for VerifyError {}
+
+/// Per-function facts proven by the verifier.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FnFacts {
+    /// Static operand-stack high-water mark.
+    pub max_stack: usize,
+    /// Which offsets are reachable from entry (`reachable[pc]`).
+    pub reachable: Vec<bool>,
+}
+
+/// The proof object returned by a successful [`verify`] run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifySummary {
+    /// One entry per function, in function-table order.
+    pub functions: Vec<FnFacts>,
+}
+
+impl VerifySummary {
+    /// The largest static stack depth across all functions.
+    pub fn max_stack(&self) -> usize {
+        self.functions
+            .iter()
+            .map(|f| f.max_stack)
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+/// How many values `op` pops and pushes, given the abstract model used by
+/// the verifier. `None` marks terminal instructions with no fallthrough.
+/// `exit()` is terminal: the VM maps it straight to [`crate::Outcome::Exit`]
+/// and never resumes the bytecode after it.
+fn stack_effect(op: Op) -> (usize, usize) {
+    match op {
+        Op::Const(_) | Op::Nil | Op::True | Op::False | Op::Load(_) => (0, 1),
+        Op::Dup => (1, 2),
+        Op::Store(_) | Op::Pop | Op::JumpIfFalse(_) | Op::JumpIfTrue(_) => (1, 0),
+        Op::Neg | Op::Not => (1, 1),
+        Op::Add
+        | Op::Sub
+        | Op::Mul
+        | Op::Div
+        | Op::Mod
+        | Op::Eq
+        | Op::Ne
+        | Op::Lt
+        | Op::Le
+        | Op::Gt
+        | Op::Ge
+        | Op::Index => (2, 1),
+        Op::MakeList(n) => (n as usize, 1),
+        Op::Call { argc, .. } | Op::CallBuiltin { argc, .. } => (argc as usize, 1),
+        Op::Jump(_) => (0, 0),
+        Op::Return => (1, 0),
+    }
+}
+
+/// Whether control can fall through to the next instruction after `op`.
+fn falls_through(op: Op) -> bool {
+    !matches!(
+        op,
+        Op::Jump(_)
+            | Op::Return
+            | Op::CallBuiltin {
+                builtin: Builtin::Exit,
+                ..
+            }
+    )
+}
+
+/// Verifies every function in `program`. On success the returned
+/// [`VerifySummary`] certifies the absence of stack faults; on failure the
+/// first error found (scanning functions in table order, instructions by a
+/// depth-first worklist from entry) is returned.
+///
+/// # Errors
+///
+/// The first [`VerifyError`] encountered.
+pub fn verify(program: &Program) -> Result<VerifySummary, VerifyError> {
+    let table_len = program.functions().len();
+    if program.main_index() >= table_len {
+        return Err(VerifyError::BadMainIndex {
+            index: program.main_index(),
+            table_len,
+        });
+    }
+    let mut functions = Vec::with_capacity(table_len);
+    for (fn_idx, proto) in program.functions().iter().enumerate() {
+        functions.push(verify_fn(program, fn_idx, proto)?);
+    }
+    Ok(VerifySummary { functions })
+}
+
+fn verify_fn(program: &Program, fn_idx: usize, proto: &FnProto) -> Result<FnFacts, VerifyError> {
+    let code = &proto.code;
+    let code_len = code.len();
+
+    // Static reference pass over *every* instruction, reachable or not,
+    // so the verifier subsumes Program::validate even for dead code.
+    for (offset, &op) in code.iter().enumerate() {
+        check_static(
+            program,
+            proto,
+            Site {
+                function: fn_idx,
+                offset,
+            },
+            op,
+            code_len,
+        )?;
+    }
+
+    if code_len == 0 {
+        return Err(VerifyError::FallsOffEnd { function: fn_idx });
+    }
+
+    // Worklist abstract interpretation from (entry, depth 0). The domain
+    // is exact: depth_at[pc] is the single depth every path must agree on.
+    let mut depth_at: Vec<Option<usize>> = vec![None; code_len];
+    let mut worklist = vec![(0usize, 0usize)];
+    let mut max_stack = 0usize;
+
+    while let Some((pc, depth)) = worklist.pop() {
+        match depth_at[pc] {
+            Some(seen) if seen == depth => continue,
+            Some(seen) => {
+                return Err(VerifyError::InconsistentJoinDepth {
+                    site: Site {
+                        function: fn_idx,
+                        offset: pc,
+                    },
+                    first: seen,
+                    second: depth,
+                });
+            }
+            None => depth_at[pc] = Some(depth),
+        }
+
+        let op = code[pc];
+        let site = Site {
+            function: fn_idx,
+            offset: pc,
+        };
+        let (pops, pushes) = stack_effect(op);
+        if depth < pops {
+            return Err(VerifyError::StackUnderflow {
+                site,
+                needed: pops,
+                depth,
+            });
+        }
+        let after = depth - pops + pushes;
+        if after > MAX_VALUE_STACK {
+            return Err(VerifyError::StackLimitExceeded { site, depth: after });
+        }
+        max_stack = max_stack.max(after);
+
+        if let Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) = op {
+            worklist.push((t as usize, after));
+        }
+        if falls_through(op) {
+            if pc + 1 >= code_len {
+                return Err(VerifyError::FallsOffEnd { function: fn_idx });
+            }
+            worklist.push((pc + 1, after));
+        }
+    }
+
+    Ok(FnFacts {
+        max_stack,
+        reachable: depth_at.iter().map(Option::is_some).collect(),
+    })
+}
+
+/// The validate-equivalent (but stricter) per-instruction reference checks.
+fn check_static(
+    program: &Program,
+    proto: &FnProto,
+    site: Site,
+    op: Op,
+    code_len: usize,
+) -> Result<(), VerifyError> {
+    match op {
+        Op::Const(idx) => {
+            let pool_len = program.constants().len();
+            if idx as usize >= pool_len {
+                return Err(VerifyError::ConstOutOfRange {
+                    site,
+                    index: idx as usize,
+                    pool_len,
+                });
+            }
+        }
+        Op::Load(slot) | Op::Store(slot) if slot >= proto.n_locals => {
+            return Err(VerifyError::LocalOutOfRange {
+                site,
+                slot: slot as usize,
+                n_locals: proto.n_locals as usize,
+            });
+        }
+        // Stricter than validate: a target equal to code_len decodes but
+        // would fault at run time, so reject it here.
+        Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) if t as usize >= code_len => {
+            return Err(VerifyError::BadJumpTarget {
+                site,
+                target: t as usize,
+                code_len,
+            });
+        }
+        Op::Call { fn_idx, argc } => {
+            let table_len = program.functions().len();
+            let Some(callee) = program.functions().get(fn_idx as usize) else {
+                return Err(VerifyError::FnOutOfRange {
+                    site,
+                    index: fn_idx as usize,
+                    table_len,
+                });
+            };
+            if callee.arity != argc {
+                return Err(VerifyError::CallArityMismatch {
+                    site,
+                    expected: callee.arity,
+                    got: argc,
+                });
+            }
+        }
+        Op::CallBuiltin { builtin, argc } => {
+            if let Some(expected) = builtin.arity() {
+                if expected != argc as usize {
+                    return Err(VerifyError::BuiltinArityMismatch {
+                        site,
+                        builtin,
+                        expected,
+                        got: argc as usize,
+                    });
+                }
+            }
+        }
+        _ => {}
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+    use crate::program::Const;
+
+    /// A minimal hand-built program whose single `main` runs `code`.
+    fn program_with(code: Vec<Op>) -> Program {
+        Program {
+            constants: vec![Const::Int(7), Const::Str("x".into())],
+            functions: vec![FnProto {
+                name: "main".into(),
+                arity: 0,
+                n_locals: 2,
+                code,
+            }],
+            main_idx: 0,
+        }
+    }
+
+    #[test]
+    fn accepts_all_compiled_shapes() {
+        let p = compile_source(
+            r#"
+            fn helper(x) { return x * 2; }
+            fn main() {
+                let total = 0;
+                let i = 0;
+                while (i < 10) {
+                    if (i % 2 == 0 && i != 4) { total = total + helper(i); }
+                    i = i + 1;
+                }
+                let words = split("a b c", " ");
+                display("total " + str(total), len(words));
+                exit(0);
+            }
+            "#,
+        )
+        .unwrap();
+        let summary = verify(&p).unwrap();
+        assert_eq!(summary.functions.len(), p.functions().len());
+        assert!(summary.max_stack() >= 2);
+    }
+
+    #[test]
+    fn rejects_stack_underflow() {
+        // Add with only one value on the stack.
+        let p = program_with(vec![Op::Nil, Op::Add, Op::Return]);
+        match verify(&p) {
+            Err(VerifyError::StackUnderflow {
+                site,
+                needed: 2,
+                depth: 1,
+            }) => {
+                assert_eq!(site.offset, 1);
+            }
+            other => panic!("expected StackUnderflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_pop_on_empty_stack() {
+        let p = program_with(vec![Op::Pop, Op::Nil, Op::Return]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::StackUnderflow { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_jump_target_past_end() {
+        let p = program_with(vec![Op::Jump(9), Op::Nil, Op::Return]);
+        match verify(&p) {
+            Err(VerifyError::BadJumpTarget {
+                target: 9,
+                code_len: 3,
+                ..
+            }) => {}
+            other => panic!("expected BadJumpTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_jump_to_code_len_that_validate_accepts() {
+        // target == code_len slips through Program::validate but would
+        // fault at run time; the verifier is strictly stronger.
+        let p = program_with(vec![Op::True, Op::JumpIfFalse(3), Op::Jump(0)]);
+        assert!(
+            p.validate().is_ok(),
+            "validate tolerates target == code_len"
+        );
+        match verify(&p) {
+            Err(VerifyError::BadJumpTarget {
+                target: 3,
+                code_len: 3,
+                ..
+            }) => {}
+            other => panic!("expected BadJumpTarget, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_constant_index_out_of_range() {
+        let p = program_with(vec![Op::Const(99), Op::Return]);
+        match verify(&p) {
+            Err(VerifyError::ConstOutOfRange {
+                index: 99,
+                pool_len: 2,
+                ..
+            }) => {}
+            other => panic!("expected ConstOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_function_index_out_of_range() {
+        let p = program_with(vec![Op::Call { fn_idx: 5, argc: 0 }, Op::Return]);
+        match verify(&p) {
+            Err(VerifyError::FnOutOfRange {
+                index: 5,
+                table_len: 1,
+                ..
+            }) => {}
+            other => panic!("expected FnOutOfRange, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_inconsistent_join_depth() {
+        // Offset 4 is reached with depth 2 via fallthrough but depth 0
+        // via the jump — the paths disagree.
+        let p = program_with(vec![
+            Op::True,          // d=1
+            Op::JumpIfTrue(4), // pops → d=0; target 4 at d=0
+            Op::Nil,           // d=1
+            Op::Nil,           // d=2
+            Op::Return,        // join at 4: d=2 vs d=0 → mismatch
+        ]);
+        match verify(&p) {
+            Err(VerifyError::InconsistentJoinDepth {
+                site,
+                first,
+                second,
+            }) => {
+                assert_eq!(site.offset, 4);
+                assert_ne!(first, second);
+            }
+            other => panic!("expected InconsistentJoinDepth, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_local_slot_out_of_range() {
+        let p = program_with(vec![Op::Load(7), Op::Return]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::LocalOutOfRange { slot: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_call_arity_mismatch() {
+        let mut p = program_with(vec![Op::Nil, Op::Call { fn_idx: 0, argc: 1 }, Op::Return]);
+        p.functions[0].arity = 0; // declared 0, called with 1
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::CallArityMismatch {
+                expected: 0,
+                got: 1,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_builtin_arity_mismatch() {
+        let p = program_with(vec![
+            Op::Nil,
+            Op::CallBuiltin {
+                builtin: Builtin::Exit,
+                argc: 2,
+            },
+        ]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::BuiltinArityMismatch {
+                builtin: Builtin::Exit,
+                expected: 1,
+                got: 2,
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn rejects_falling_off_the_end() {
+        let p = program_with(vec![Op::Nil, Op::Pop]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::FallsOffEnd { function: 0 })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_body() {
+        let p = program_with(vec![]);
+        assert!(matches!(verify(&p), Err(VerifyError::FallsOffEnd { .. })));
+    }
+
+    #[test]
+    fn rejects_bad_main_index() {
+        let mut p = program_with(vec![Op::Nil, Op::Return]);
+        p.main_idx = 3;
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::BadMainIndex {
+                index: 3,
+                table_len: 1
+            })
+        ));
+    }
+
+    #[test]
+    fn dead_code_still_gets_static_checks() {
+        // The bad Const sits after Return (unreachable) — validate would
+        // catch it, so the verifier must too.
+        let p = program_with(vec![Op::Nil, Op::Return, Op::Const(99)]);
+        assert!(matches!(
+            verify(&p),
+            Err(VerifyError::ConstOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn exit_is_terminal_for_fallthrough() {
+        // `exit(0)` as the last instruction: no fallthrough, so the body
+        // need not end in Return.
+        let p = program_with(vec![
+            Op::Const(0),
+            Op::CallBuiltin {
+                builtin: Builtin::Exit,
+                argc: 1,
+            },
+        ]);
+        verify(&p).unwrap();
+    }
+
+    #[test]
+    fn reachability_marks_dead_tail() {
+        let p = program_with(vec![Op::Nil, Op::Return, Op::Nil, Op::Return]);
+        let summary = verify(&p).unwrap();
+        assert_eq!(
+            summary.functions[0].reachable,
+            vec![true, true, false, false]
+        );
+    }
+
+    #[test]
+    fn loop_join_converges() {
+        // while-loop shape: the back edge re-enters the header at the
+        // same depth, so the worklist terminates without error.
+        let p = program_with(vec![
+            Op::True,           // 0: cond         d0→1
+            Op::JumpIfFalse(5), // 1: exit loop    d1→0
+            Op::Nil,            // 2: body         d0→1
+            Op::Pop,            // 3:              d1→0
+            Op::Jump(0),        // 4: back edge at depth 0
+            Op::Nil,            // 5: epilogue
+            Op::Return,         // 6
+        ]);
+        verify(&p).unwrap();
+    }
+}

@@ -13,7 +13,7 @@ use serde::{Deserialize, Serialize};
 
 /// Identifies a builtin in bytecode. The numeric discriminants are part of
 /// the program wire format, so they are explicit and append-only.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 #[repr(u8)]
 #[allow(missing_docs)]
 pub enum Builtin {

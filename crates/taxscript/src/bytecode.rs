@@ -88,7 +88,11 @@ mod tests {
     #[test]
     fn ops_are_small() {
         // The interpreter copies Ops freely; keep them register-sized.
-        assert!(std::mem::size_of::<Op>() <= 8, "{}", std::mem::size_of::<Op>());
+        assert!(
+            std::mem::size_of::<Op>() <= 8,
+            "{}",
+            std::mem::size_of::<Op>()
+        );
     }
 
     #[test]

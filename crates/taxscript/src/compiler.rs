@@ -17,7 +17,9 @@ pub fn compile(items: &[FnDef]) -> Result<Program, CompileError> {
     let mut fn_indices: HashMap<&str, u16> = HashMap::new();
     for (i, f) in items.iter().enumerate() {
         if fn_indices.insert(&f.name, i as u16).is_some() {
-            return Err(CompileError::DuplicateFunction { name: f.name.clone() });
+            return Err(CompileError::DuplicateFunction {
+                name: f.name.clone(),
+            });
         }
     }
     let main_idx = *fn_indices.get("main").ok_or(CompileError::NoMain)?;
@@ -36,8 +38,15 @@ pub fn compile(items: &[FnDef]) -> Result<Program, CompileError> {
         functions.push(FnCompiler::new(items, &fn_indices, &mut pool).compile_fn(f)?);
     }
 
-    let program = Program { constants: pool.constants, functions, main_idx };
-    debug_assert!(program.validate().is_ok(), "compiler emitted invalid bytecode");
+    let program = Program {
+        constants: pool.constants,
+        functions,
+        main_idx,
+    };
+    debug_assert!(
+        program.validate().is_ok(),
+        "compiler emitted invalid bytecode"
+    );
     Ok(program)
 }
 
@@ -129,8 +138,14 @@ impl<'a> FnCompiler<'a> {
 
     fn declare(&mut self, name: &str) -> Result<u16, CompileError> {
         let slot = self.next_slot;
-        self.next_slot = self.next_slot.checked_add(1).ok_or(CompileError::TooManyLocals)?;
-        self.scopes.last_mut().expect("scope stack nonempty").insert(name.to_owned(), slot);
+        self.next_slot = self
+            .next_slot
+            .checked_add(1)
+            .ok_or(CompileError::TooManyLocals)?;
+        self.scopes
+            .last_mut()
+            .expect("scope stack nonempty")
+            .insert(name.to_owned(), slot);
         Ok(slot)
     }
 
@@ -165,7 +180,11 @@ impl<'a> FnCompiler<'a> {
                 self.expr(value)?;
                 self.code.push(Op::Store(slot));
             }
-            Stmt::If { cond, then_block, else_block } => {
+            Stmt::If {
+                cond,
+                then_block,
+                else_block,
+            } => {
                 self.expr(cond)?;
                 let to_else = self.emit_patch(Op::JumpIfFalse(0));
                 self.block(then_block)?;
@@ -183,7 +202,10 @@ impl<'a> FnCompiler<'a> {
                 let start = self.here();
                 self.expr(cond)?;
                 let to_end = self.emit_patch(Op::JumpIfFalse(0));
-                self.loops.push(LoopCtx { start, break_sites: Vec::new() });
+                self.loops.push(LoopCtx {
+                    start,
+                    break_sites: Vec::new(),
+                });
                 self.block(body)?;
                 self.code.push(Op::Jump(start));
                 let ctx = self.loops.pop().expect("loop context pushed above");
@@ -204,13 +226,19 @@ impl<'a> FnCompiler<'a> {
                     return Err(CompileError::NotInLoop { keyword: "break" });
                 }
                 let site = self.emit_patch(Op::Jump(0));
-                self.loops.last_mut().expect("checked nonempty").break_sites.push(site);
+                self.loops
+                    .last_mut()
+                    .expect("checked nonempty")
+                    .break_sites
+                    .push(site);
             }
             Stmt::Continue => {
                 let start = self
                     .loops
                     .last()
-                    .ok_or(CompileError::NotInLoop { keyword: "continue" })?
+                    .ok_or(CompileError::NotInLoop {
+                        keyword: "continue",
+                    })?
                     .start;
                 self.code.push(Op::Jump(start));
             }
@@ -275,7 +303,11 @@ impl<'a> FnCompiler<'a> {
                     UnaryOp::Not => Op::Not,
                 });
             }
-            Expr::Binary { op: BinaryOp::And, lhs, rhs } => {
+            Expr::Binary {
+                op: BinaryOp::And,
+                lhs,
+                rhs,
+            } => {
                 // a && b  ⇒  bool, short-circuit.
                 self.expr(lhs)?;
                 let lhs_false = self.emit_patch(Op::JumpIfFalse(0));
@@ -288,7 +320,11 @@ impl<'a> FnCompiler<'a> {
                 self.code.push(Op::False);
                 self.patch(to_end);
             }
-            Expr::Binary { op: BinaryOp::Or, lhs, rhs } => {
+            Expr::Binary {
+                op: BinaryOp::Or,
+                lhs,
+                rhs,
+            } => {
                 self.expr(lhs)?;
                 let lhs_true = self.emit_patch(Op::JumpIfTrue(0));
                 self.expr(rhs)?;
@@ -332,7 +368,10 @@ impl<'a> FnCompiler<'a> {
                     for arg in args {
                         self.expr(arg)?;
                     }
-                    self.code.push(Op::Call { fn_idx, argc: args.len() as u8 });
+                    self.code.push(Op::Call {
+                        fn_idx,
+                        argc: args.len() as u8,
+                    });
                 } else if let Some(builtin) = Builtin::from_name(name) {
                     if let Some(expected) = builtin.arity() {
                         if args.len() != expected {
@@ -346,7 +385,10 @@ impl<'a> FnCompiler<'a> {
                     for arg in args {
                         self.expr(arg)?;
                     }
-                    self.code.push(Op::CallBuiltin { builtin, argc: args.len() as u8 });
+                    self.code.push(Op::CallBuiltin {
+                        builtin,
+                        argc: args.len() as u8,
+                    });
                 } else {
                     return Err(CompileError::UndefinedFunction { name: name.clone() });
                 }
@@ -364,7 +406,10 @@ mod tests {
     #[test]
     fn missing_main_rejected() {
         let err = compile_source("fn helper() { return 1; }").unwrap_err();
-        assert!(matches!(err, crate::ScriptError::Compile(CompileError::NoMain)));
+        assert!(matches!(
+            err,
+            crate::ScriptError::Compile(CompileError::NoMain)
+        ));
     }
 
     #[test]
@@ -408,7 +453,11 @@ mod tests {
         let err = compile_source("fn f(a, b) { return a; } fn main() { f(1); }").unwrap_err();
         assert!(matches!(
             err,
-            crate::ScriptError::Compile(CompileError::ArityMismatch { expected: 2, got: 1, .. })
+            crate::ScriptError::Compile(CompileError::ArityMismatch {
+                expected: 2,
+                got: 1,
+                ..
+            })
         ));
     }
 
@@ -417,7 +466,11 @@ mod tests {
         let err = compile_source("fn main() { bc_len(); }").unwrap_err();
         assert!(matches!(
             err,
-            crate::ScriptError::Compile(CompileError::ArityMismatch { expected: 1, got: 0, .. })
+            crate::ScriptError::Compile(CompileError::ArityMismatch {
+                expected: 1,
+                got: 0,
+                ..
+            })
         ));
     }
 
@@ -452,7 +505,10 @@ mod tests {
         let p = compile_source("fn display(x) { return x; } fn main() { display(1); }").unwrap();
         let main = &p.functions()[p.main_index()];
         assert!(main.code.iter().any(|op| matches!(op, Op::Call { .. })));
-        assert!(!main.code.iter().any(|op| matches!(op, Op::CallBuiltin { .. })));
+        assert!(!main
+            .code
+            .iter()
+            .any(|op| matches!(op, Op::CallBuiltin { .. })));
     }
 
     #[test]

@@ -13,7 +13,11 @@ pub struct LexError {
 
 impl fmt::Display for LexError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "lex error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "lex error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -32,7 +36,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -85,7 +93,11 @@ impl fmt::Display for CompileError {
         match self {
             CompileError::UndefinedVariable { name } => write!(f, "undefined variable `{name}`"),
             CompileError::UndefinedFunction { name } => write!(f, "undefined function `{name}`"),
-            CompileError::ArityMismatch { name, expected, got } => {
+            CompileError::ArityMismatch {
+                name,
+                expected,
+                got,
+            } => {
                 write!(f, "`{name}` takes {expected} arguments, {got} given")
             }
             CompileError::NotInLoop { keyword } => write!(f, "`{keyword}` outside of a loop"),
@@ -151,8 +163,15 @@ impl fmt::Display for RuntimeError {
             RuntimeError::DivisionByZero => write!(f, "division by zero"),
             RuntimeError::OutOfFuel => write!(f, "agent exceeded its instruction budget"),
             RuntimeError::StackOverflow => write!(f, "call stack overflow"),
-            RuntimeError::BuiltinArity { name, expected, got } => {
-                write!(f, "builtin `{name}` takes {expected} arguments, {got} given")
+            RuntimeError::BuiltinArity {
+                name,
+                expected,
+                got,
+            } => {
+                write!(
+                    f,
+                    "builtin `{name}` takes {expected} arguments, {got} given"
+                )
             }
             RuntimeError::BuiltinType { name, expected } => {
                 write!(f, "builtin `{name}` expected {expected}")

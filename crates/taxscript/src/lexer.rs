@@ -154,7 +154,13 @@ fn token_text(kind: &TokenKind) -> &'static str {
 /// [`LexError`] on unterminated strings, bad escapes, overflowing integer
 /// literals, or stray characters.
 pub fn lex(source: &str) -> Result<Vec<Token>, LexError> {
-    Lexer { src: source.as_bytes(), pos: 0, line: 1, col: 1 }.run()
+    Lexer {
+        src: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        col: 1,
+    }
+    .run()
 }
 
 struct Lexer<'a> {
@@ -171,7 +177,11 @@ impl<'a> Lexer<'a> {
             self.skip_trivia();
             let (line, col) = (self.line, self.col);
             let Some(b) = self.peek() else {
-                tokens.push(Token { kind: TokenKind::Eof, line, col });
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    line,
+                    col,
+                });
                 return Ok(tokens);
             };
             let kind = match b {
@@ -205,7 +215,11 @@ impl<'a> Lexer<'a> {
     }
 
     fn err(&self, message: impl Into<String>) -> LexError {
-        LexError { line: self.line, col: self.col, message: message.into() }
+        LexError {
+            line: self.line,
+            col: self.col,
+            message: message.into(),
+        }
     }
 
     fn skip_trivia(&mut self) {
@@ -365,7 +379,11 @@ mod tests {
     fn numbers_and_strings() {
         assert_eq!(
             kinds(r#"42 "a\nb""#),
-            vec![TokenKind::Int(42), TokenKind::Str("a\nb".into()), TokenKind::Eof]
+            vec![
+                TokenKind::Int(42),
+                TokenKind::Str("a\nb".into()),
+                TokenKind::Eof
+            ]
         );
     }
 
@@ -424,7 +442,10 @@ mod tests {
 
     #[test]
     fn escapes() {
-        assert_eq!(kinds(r#""q\"t\\\n""#), vec![TokenKind::Str("q\"t\\\n".into()), TokenKind::Eof]);
+        assert_eq!(
+            kinds(r#""q\"t\\\n""#),
+            vec![TokenKind::Str("q\"t\\\n".into()), TokenKind::Eof]
+        );
         assert!(lex(r#""\x""#).is_err());
     }
 }

@@ -54,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod ast;
 mod builtins;
 mod bytecode;
@@ -66,6 +67,7 @@ mod program;
 mod value;
 mod vm;
 
+pub use analysis::{analyze, AnalysisReport, Capabilities, Diagnostic, VerifyError};
 pub use builtins::Builtin;
 pub use bytecode::Op;
 pub use compiler::compile;

@@ -27,7 +27,9 @@ struct Parser<'a> {
 impl<'a> Parser<'a> {
     fn peek(&self) -> &Token {
         // The token stream always ends with Eof, so clamp.
-        self.tokens.get(self.pos).unwrap_or_else(|| self.tokens.last().expect("nonempty"))
+        self.tokens
+            .get(self.pos)
+            .unwrap_or_else(|| self.tokens.last().expect("nonempty"))
     }
 
     fn check(&self, kind: &TokenKind) -> bool {
@@ -55,13 +57,20 @@ impl<'a> Parser<'a> {
         if self.check(kind) {
             Ok(self.bump())
         } else {
-            Err(self.error(format!("expected {what}, found {}", self.peek().kind.describe())))
+            Err(self.error(format!(
+                "expected {what}, found {}",
+                self.peek().kind.describe()
+            )))
         }
     }
 
     fn error(&self, message: String) -> ParseError {
         let t = self.peek();
-        ParseError { line: t.line, col: t.col, message }
+        ParseError {
+            line: t.line,
+            col: t.col,
+            message,
+        }
     }
 
     fn ident(&mut self, what: &str) -> Result<String, ParseError> {
@@ -90,7 +99,12 @@ impl<'a> Parser<'a> {
         }
         self.expect(&TokenKind::RParen, "`)`")?;
         let body = self.block()?;
-        Ok(FnDef { name, params, body, line: fn_token.line })
+        Ok(FnDef {
+            name,
+            params,
+            body,
+            line: fn_token.line,
+        })
     }
 
     fn block(&mut self) -> Result<Block, ParseError> {
@@ -127,7 +141,11 @@ impl<'a> Parser<'a> {
             }
             TokenKind::Return => {
                 self.bump();
-                let value = if self.check(&TokenKind::Semi) { None } else { Some(self.expr()?) };
+                let value = if self.check(&TokenKind::Semi) {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
                 self.expect(&TokenKind::Semi, "`;`")?;
                 Ok(Stmt::Return(value))
             }
@@ -144,7 +162,10 @@ impl<'a> Parser<'a> {
             // `ident = expr;` is an assignment; anything else is an
             // expression statement.
             TokenKind::Ident(_)
-                if matches!(self.tokens.get(self.pos + 1).map(|t| &t.kind), Some(TokenKind::Assign)) =>
+                if matches!(
+                    self.tokens.get(self.pos + 1).map(|t| &t.kind),
+                    Some(TokenKind::Assign)
+                ) =>
             {
                 let name = self.ident("variable name")?;
                 self.bump(); // `=`
@@ -169,14 +190,20 @@ impl<'a> Parser<'a> {
         let else_block = if self.eat(&TokenKind::Else) {
             if self.check(&TokenKind::If) {
                 // `else if`: wrap the nested if in a synthetic block.
-                Some(Block { stmts: vec![self.if_stmt()?] })
+                Some(Block {
+                    stmts: vec![self.if_stmt()?],
+                })
             } else {
                 Some(self.block()?)
             }
         } else {
             None
         };
-        Ok(Stmt::If { cond, then_block, else_block })
+        Ok(Stmt::If {
+            cond,
+            then_block,
+            else_block,
+        })
     }
 
     fn expr(&mut self) -> Result<Expr, ParseError> {
@@ -187,7 +214,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.and_expr()?;
         while self.eat(&TokenKind::OrOr) {
             let rhs = self.and_expr()?;
-            lhs = Expr::Binary { op: BinaryOp::Or, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinaryOp::Or,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -196,7 +227,11 @@ impl<'a> Parser<'a> {
         let mut lhs = self.equality()?;
         while self.eat(&TokenKind::AndAnd) {
             let rhs = self.equality()?;
-            lhs = Expr::Binary { op: BinaryOp::And, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op: BinaryOp::And,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
         Ok(lhs)
     }
@@ -212,7 +247,11 @@ impl<'a> Parser<'a> {
                 return Ok(lhs);
             };
             let rhs = self.comparison()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -231,7 +270,11 @@ impl<'a> Parser<'a> {
                 return Ok(lhs);
             };
             let rhs = self.term()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -246,7 +289,11 @@ impl<'a> Parser<'a> {
                 return Ok(lhs);
             };
             let rhs = self.factor()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
@@ -263,15 +310,25 @@ impl<'a> Parser<'a> {
                 return Ok(lhs);
             };
             let rhs = self.unary()?;
-            lhs = Expr::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) };
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
         }
     }
 
     fn unary(&mut self) -> Result<Expr, ParseError> {
         if self.eat(&TokenKind::Minus) {
-            Ok(Expr::Unary { op: UnaryOp::Neg, operand: Box::new(self.unary()?) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Neg,
+                operand: Box::new(self.unary()?),
+            })
         } else if self.eat(&TokenKind::Bang) {
-            Ok(Expr::Unary { op: UnaryOp::Not, operand: Box::new(self.unary()?) })
+            Ok(Expr::Unary {
+                op: UnaryOp::Not,
+                operand: Box::new(self.unary()?),
+            })
         } else {
             self.postfix()
         }
@@ -283,7 +340,10 @@ impl<'a> Parser<'a> {
             if self.eat(&TokenKind::LBracket) {
                 let index = self.expr()?;
                 self.expect(&TokenKind::RBracket, "`]`")?;
-                expr = Expr::Index { target: Box::new(expr), index: Box::new(index) };
+                expr = Expr::Index {
+                    target: Box::new(expr),
+                    index: Box::new(index),
+                };
             } else {
                 return Ok(expr);
             }
@@ -346,7 +406,11 @@ impl<'a> Parser<'a> {
                         }
                     }
                     self.expect(&TokenKind::RParen, "`)`")?;
-                    Ok(Expr::Call { name, args, line: token.line })
+                    Ok(Expr::Call {
+                        name,
+                        args,
+                        line: token.line,
+                    })
                 } else {
                     Ok(Expr::Var(name))
                 }
@@ -386,22 +450,46 @@ mod tests {
     #[test]
     fn precedence_binds_mul_over_add_over_cmp_over_and() {
         let items = parse_src("fn main() { let x = 1 + 2 * 3 < 7 && true; }").unwrap();
-        let Stmt::Let { value, .. } = &items[0].body.stmts[0] else { panic!() };
+        let Stmt::Let { value, .. } = &items[0].body.stmts[0] else {
+            panic!()
+        };
         // Outermost must be `&&`.
-        let Expr::Binary { op: BinaryOp::And, lhs, .. } = value else {
+        let Expr::Binary {
+            op: BinaryOp::And,
+            lhs,
+            ..
+        } = value
+        else {
             panic!("expected And at top, got {value:?}")
         };
-        let Expr::Binary { op: BinaryOp::Lt, lhs: add, .. } = lhs.as_ref() else {
+        let Expr::Binary {
+            op: BinaryOp::Lt,
+            lhs: add,
+            ..
+        } = lhs.as_ref()
+        else {
             panic!("expected Lt under And")
         };
-        assert!(matches!(add.as_ref(), Expr::Binary { op: BinaryOp::Add, .. }));
+        assert!(matches!(
+            add.as_ref(),
+            Expr::Binary {
+                op: BinaryOp::Add,
+                ..
+            }
+        ));
     }
 
     #[test]
     fn else_if_chains() {
         let items =
             parse_src("fn main() { if (1) { a(); } else if (2) { b(); } else { c(); } }").unwrap();
-        let Stmt::If { else_block: Some(block), .. } = &items[0].body.stmts[0] else { panic!() };
+        let Stmt::If {
+            else_block: Some(block),
+            ..
+        } = &items[0].body.stmts[0]
+        else {
+            panic!()
+        };
         assert!(matches!(block.stmts[0], Stmt::If { .. }));
     }
 
@@ -409,14 +497,28 @@ mod tests {
     fn assignment_vs_equality() {
         let items = parse_src("fn main() { let x = 0; x = x + 1; x == 2; }").unwrap();
         assert!(matches!(items[0].body.stmts[1], Stmt::Assign { .. }));
-        assert!(matches!(items[0].body.stmts[2], Stmt::Expr(Expr::Binary { op: BinaryOp::Eq, .. })));
+        assert!(matches!(
+            items[0].body.stmts[2],
+            Stmt::Expr(Expr::Binary {
+                op: BinaryOp::Eq,
+                ..
+            })
+        ));
     }
 
     #[test]
     fn list_literals_and_indexing() {
         let items = parse_src("fn main() { let l = [1, 2, 3]; let x = l[0]; }").unwrap();
-        assert!(matches!(&items[0].body.stmts[0], Stmt::Let { value: Expr::List(v), .. } if v.len() == 3));
-        assert!(matches!(&items[0].body.stmts[1], Stmt::Let { value: Expr::Index { .. }, .. }));
+        assert!(
+            matches!(&items[0].body.stmts[0], Stmt::Let { value: Expr::List(v), .. } if v.len() == 3)
+        );
+        assert!(matches!(
+            &items[0].body.stmts[1],
+            Stmt::Let {
+                value: Expr::Index { .. },
+                ..
+            }
+        ));
     }
 
     #[test]

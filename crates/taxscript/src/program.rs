@@ -47,6 +47,13 @@ impl Program {
         &self.functions
     }
 
+    /// Mutable access to the function table — used by tooling and tests
+    /// that construct adversarial programs for the verifier. The VM
+    /// revalidates what it runs, so this cannot break safety.
+    pub fn functions_mut(&mut self) -> &mut [FnProto] {
+        &mut self.functions
+    }
+
     /// The constant pool.
     pub fn constants(&self) -> &[Const] {
         &self.constants
@@ -125,7 +132,8 @@ impl Program {
                 1 => {
                     let len = r.u32()? as usize;
                     let bytes = r.take(len)?;
-                    let s = std::str::from_utf8(bytes).map_err(|_| corrupt("non-utf8 string constant"))?;
+                    let s = std::str::from_utf8(bytes)
+                        .map_err(|_| corrupt("non-utf8 string constant"))?;
                     constants.push(Const::Str(s.to_owned()));
                 }
                 _ => return Err(corrupt("unknown constant tag")),
@@ -155,12 +163,21 @@ impl Program {
             for _ in 0..code_len {
                 code.push(decode_op(&mut r)?);
             }
-            functions.push(FnProto { name, arity, n_locals, code });
+            functions.push(FnProto {
+                name,
+                arity,
+                n_locals,
+                code,
+            });
         }
         if r.pos != wire.len() {
             return Err(corrupt("trailing bytes"));
         }
-        let program = Program { constants, functions, main_idx };
+        let program = Program {
+            constants,
+            functions,
+            main_idx,
+        };
         program.validate()?;
         Ok(program)
     }
@@ -176,18 +193,15 @@ impl Program {
             let code_len = f.code.len() as u32;
             for op in &f.code {
                 match *op {
-                    Op::Const(idx)
-                        if idx as usize >= self.constants.len() => {
-                            return Err(corrupt("constant index out of range"));
-                        }
-                    Op::Load(slot) | Op::Store(slot)
-                        if slot >= f.n_locals => {
-                            return Err(corrupt("local slot out of range"));
-                        }
-                    Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t)
-                        if t > code_len => {
-                            return Err(corrupt("jump target out of range"));
-                        }
+                    Op::Const(idx) if idx as usize >= self.constants.len() => {
+                        return Err(corrupt("constant index out of range"));
+                    }
+                    Op::Load(slot) | Op::Store(slot) if slot >= f.n_locals => {
+                        return Err(corrupt("local slot out of range"));
+                    }
+                    Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) if t > code_len => {
+                        return Err(corrupt("jump target out of range"));
+                    }
                     Op::Call { fn_idx, argc } => {
                         let Some(callee) = self.functions.get(fn_idx as usize) else {
                             return Err(corrupt("call target out of range"));
@@ -221,7 +235,14 @@ impl fmt::Display for Program {
             self.instruction_count()
         )?;
         for func in &self.functions {
-            writeln!(f, "  fn {}({} args, {} locals): {} ops", func.name, func.arity, func.n_locals, func.code.len())?;
+            writeln!(
+                f,
+                "  fn {}({} args, {} locals): {} ops",
+                func.name,
+                func.arity,
+                func.n_locals,
+                func.code.len()
+            )?;
         }
         Ok(())
     }
@@ -320,11 +341,17 @@ fn decode_op(r: &mut Reader<'_>) -> Result<Op, RuntimeError> {
         21 => Op::JumpIfFalse(r.u32()?),
         22 => Op::JumpIfTrue(r.u32()?),
         23 => Op::Dup,
-        24 => Op::Call { fn_idx: r.u16()?, argc: r.u8()? },
+        24 => Op::Call {
+            fn_idx: r.u16()?,
+            argc: r.u8()?,
+        },
         25 => {
             let code = r.u8()?;
             let builtin = Builtin::from_code(code).ok_or_else(|| corrupt("unknown builtin"))?;
-            Op::CallBuiltin { builtin, argc: r.u8()? }
+            Op::CallBuiltin {
+                builtin,
+                argc: r.u8()?,
+            }
         }
         26 => Op::MakeList(r.u16()?),
         27 => Op::Index,
@@ -396,7 +423,10 @@ mod tests {
     fn truncation_is_detected_everywhere() {
         let wire = sample().encode();
         for cut in 0..wire.len() {
-            assert!(Program::decode(&wire[..cut]).is_err(), "cut at {cut} decoded");
+            assert!(
+                Program::decode(&wire[..cut]).is_err(),
+                "cut at {cut} decoded"
+            );
         }
     }
 

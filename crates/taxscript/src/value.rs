@@ -83,7 +83,10 @@ impl Value {
     pub fn expect_str(&self, builtin: &'static str) -> Result<&str, RuntimeError> {
         match self {
             Value::Str(s) => Ok(s),
-            _ => Err(RuntimeError::BuiltinType { name: builtin, expected: "a string" }),
+            _ => Err(RuntimeError::BuiltinType {
+                name: builtin,
+                expected: "a string",
+            }),
         }
     }
 
@@ -91,7 +94,10 @@ impl Value {
     pub fn expect_int(&self, builtin: &'static str) -> Result<i64, RuntimeError> {
         match self {
             Value::Int(v) => Ok(*v),
-            _ => Err(RuntimeError::BuiltinType { name: builtin, expected: "an integer" }),
+            _ => Err(RuntimeError::BuiltinType {
+                name: builtin,
+                expected: "an integer",
+            }),
         }
     }
 
@@ -99,7 +105,10 @@ impl Value {
     pub fn expect_list(&self, builtin: &'static str) -> Result<&[Value], RuntimeError> {
         match self {
             Value::List(l) => Ok(l),
-            _ => Err(RuntimeError::BuiltinType { name: builtin, expected: "a list" }),
+            _ => Err(RuntimeError::BuiltinType {
+                name: builtin,
+                expected: "a list",
+            }),
         }
     }
 }
@@ -151,7 +160,10 @@ mod tests {
     #[test]
     fn render_formats() {
         assert_eq!(Value::Nil.render(), "nil");
-        assert_eq!(Value::List(vec![Value::Int(1), Value::Str("a".into())]).render(), "[1, a]");
+        assert_eq!(
+            Value::List(vec![Value::Int(1), Value::Str("a".into())]).render(),
+            "[1, a]"
+        );
     }
 
     #[test]
@@ -169,6 +181,9 @@ mod tests {
     #[test]
     fn expectations_report_builtin_name() {
         let err = Value::Nil.expect_str("substr").unwrap_err();
-        assert!(matches!(err, RuntimeError::BuiltinType { name: "substr", .. }));
+        assert!(matches!(
+            err,
+            RuntimeError::BuiltinType { name: "substr", .. }
+        ));
     }
 }

@@ -15,8 +15,8 @@ use crate::{Builtin, GoDecision, HostHooks, Op, Program, RuntimeError, Value};
 /// runaway ones.
 pub const DEFAULT_FUEL: u64 = 50_000_000;
 
-const MAX_CALL_DEPTH: usize = 200;
-const MAX_VALUE_STACK: usize = 1 << 16;
+pub(crate) const MAX_CALL_DEPTH: usize = 200;
+pub(crate) const MAX_VALUE_STACK: usize = 1 << 16;
 
 /// How an agent run ended.
 #[derive(Debug, Clone, PartialEq)]
@@ -52,7 +52,11 @@ pub struct Vm<'p, H> {
 impl<'p, H: HostHooks> Vm<'p, H> {
     /// A VM over `program` with the [`DEFAULT_FUEL`] budget.
     pub fn new(program: &'p Program, hooks: H) -> Self {
-        Vm { program, hooks, fuel: DEFAULT_FUEL }
+        Vm {
+            program,
+            hooks,
+            fuel: DEFAULT_FUEL,
+        }
     }
 
     /// Overrides the instruction budget.
@@ -94,10 +98,12 @@ impl<'p, H: HostHooks> Vm<'p, H> {
         }];
 
         loop {
-            self.fuel = self.fuel.checked_sub(1).ok_or(RuntimeError::OutOfFuel)?;
+            // Charge one unit per instruction: a budget of N executes
+            // exactly N instructions before running dry.
             if self.fuel == 0 {
                 return Err(RuntimeError::OutOfFuel);
             }
+            self.fuel -= 1;
             if stack.len() > MAX_VALUE_STACK {
                 return Err(RuntimeError::StackOverflow);
             }
@@ -105,7 +111,9 @@ impl<'p, H: HostHooks> Vm<'p, H> {
             let frame = frames.last_mut().expect("frame stack nonempty");
             let code = &self.program.functions[frame.fn_idx].code;
             let Some(&op) = code.get(frame.pc) else {
-                return Err(RuntimeError::CorruptProgram { detail: "pc ran off the end" });
+                return Err(RuntimeError::CorruptProgram {
+                    detail: "pc ran off the end",
+                });
             };
             frame.pc += 1;
 
@@ -115,7 +123,9 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                         Some(Const::Int(v)) => Value::Int(*v),
                         Some(Const::Str(s)) => Value::Str(s.clone()),
                         None => {
-                            return Err(RuntimeError::CorruptProgram { detail: "bad constant index" })
+                            return Err(RuntimeError::CorruptProgram {
+                                detail: "bad constant index",
+                            })
                         }
                     };
                     stack.push(v);
@@ -124,27 +134,29 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                 Op::True => stack.push(Value::Bool(true)),
                 Op::False => stack.push(Value::Bool(false)),
                 Op::Load(slot) => {
-                    let v = frame
-                        .locals
-                        .get(slot as usize)
-                        .cloned()
-                        .ok_or(RuntimeError::CorruptProgram { detail: "bad local slot" })?;
+                    let v = frame.locals.get(slot as usize).cloned().ok_or(
+                        RuntimeError::CorruptProgram {
+                            detail: "bad local slot",
+                        },
+                    )?;
                     stack.push(v);
                 }
                 Op::Store(slot) => {
                     let v = pop(&mut stack)?;
-                    let dest = frame
-                        .locals
-                        .get_mut(slot as usize)
-                        .ok_or(RuntimeError::CorruptProgram { detail: "bad local slot" })?;
+                    let dest = frame.locals.get_mut(slot as usize).ok_or(
+                        RuntimeError::CorruptProgram {
+                            detail: "bad local slot",
+                        },
+                    )?;
                     *dest = v;
                 }
                 Op::Pop => {
                     pop(&mut stack)?;
                 }
                 Op::Dup => {
-                    let v =
-                        stack.last().cloned().ok_or(RuntimeError::CorruptProgram { detail: "dup on empty stack" })?;
+                    let v = stack.last().cloned().ok_or(RuntimeError::CorruptProgram {
+                        detail: "dup on empty stack",
+                    })?;
                     stack.push(v);
                 }
                 Op::Add => binary_add(&mut stack)?,
@@ -188,10 +200,10 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                     let (a, b) = pop2(&mut stack)?;
                     stack.push(Value::Bool(a != b));
                 }
-                Op::Lt => compare(&mut stack, "<", |o| o.is_lt())?,
-                Op::Le => compare(&mut stack, "<=", |o| o.is_le())?,
-                Op::Gt => compare(&mut stack, ">", |o| o.is_gt())?,
-                Op::Ge => compare(&mut stack, ">=", |o| o.is_ge())?,
+                Op::Lt => compare(&mut stack, "<", std::cmp::Ordering::is_lt)?,
+                Op::Le => compare(&mut stack, "<=", std::cmp::Ordering::is_le)?,
+                Op::Gt => compare(&mut stack, ">", std::cmp::Ordering::is_gt)?,
+                Op::Ge => compare(&mut stack, ">=", std::cmp::Ordering::is_ge)?,
                 Op::Jump(target) => frame.pc = target as usize,
                 Op::JumpIfFalse(target) => {
                     if !pop(&mut stack)?.truthy() {
@@ -208,7 +220,9 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                 Op::MakeList(n) => {
                     let n = n as usize;
                     if stack.len() < n {
-                        return Err(RuntimeError::CorruptProgram { detail: "list underflow" });
+                        return Err(RuntimeError::CorruptProgram {
+                            detail: "list underflow",
+                        });
                     }
                     let items = stack.split_off(stack.len() - n);
                     stack.push(Value::List(items));
@@ -221,14 +235,16 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                     if frames.len() >= MAX_CALL_DEPTH {
                         return Err(RuntimeError::StackOverflow);
                     }
-                    let callee = self
-                        .program
-                        .functions
-                        .get(fn_idx as usize)
-                        .ok_or(RuntimeError::CorruptProgram { detail: "bad call target" })?;
+                    let callee = self.program.functions.get(fn_idx as usize).ok_or(
+                        RuntimeError::CorruptProgram {
+                            detail: "bad call target",
+                        },
+                    )?;
                     let argc = argc as usize;
                     if stack.len() < argc {
-                        return Err(RuntimeError::CorruptProgram { detail: "call underflow" });
+                        return Err(RuntimeError::CorruptProgram {
+                            detail: "call underflow",
+                        });
                     }
                     let mut locals = vec![Value::Nil; callee.n_locals as usize];
                     let args = stack.split_off(stack.len() - argc);
@@ -256,10 +272,12 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                 Op::CallBuiltin { builtin, argc } => {
                     let argc = argc as usize;
                     if stack.len() < argc {
-                        return Err(RuntimeError::CorruptProgram { detail: "builtin underflow" });
+                        return Err(RuntimeError::CorruptProgram {
+                            detail: "builtin underflow",
+                        });
                     }
                     let args = stack.split_off(stack.len() - argc);
-                    match self.call_builtin(builtin, args, briefcase)? {
+                    match self.call_builtin(builtin, &args, briefcase)? {
                         BuiltinResult::Value(v) => stack.push(v),
                         BuiltinResult::Terminal(outcome) => return Ok(outcome),
                     }
@@ -271,7 +289,7 @@ impl<'p, H: HostHooks> Vm<'p, H> {
     fn call_builtin(
         &mut self,
         builtin: Builtin,
-        args: Vec<Value>,
+        args: &[Value],
         bc: &mut Briefcase,
     ) -> Result<BuiltinResult, RuntimeError> {
         use Builtin as B;
@@ -289,7 +307,9 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                 let uri = args[0].expect_str("go")?;
                 match self.hooks.go(uri, bc) {
                     GoDecision::Moved => {
-                        return Ok(BuiltinResult::Terminal(Outcome::Moved { to: uri.to_owned() }))
+                        return Ok(BuiltinResult::Terminal(Outcome::Moved {
+                            to: uri.to_owned(),
+                        }))
                     }
                     // Figure 4: `if (go(next, bc)) { display("Unable…") }`
                     // — go returns truthy exactly on failure.
@@ -380,7 +400,12 @@ impl<'p, H: HostHooks> Vm<'p, H> {
             B::Len => match &args[0] {
                 Value::Str(s) => Value::Int(s.len() as i64),
                 Value::List(l) => Value::Int(l.len() as i64),
-                _ => return Err(RuntimeError::BuiltinType { name: "len", expected: "a string or list" }),
+                _ => {
+                    return Err(RuntimeError::BuiltinType {
+                        name: "len",
+                        expected: "a string or list",
+                    })
+                }
             },
             B::Substr => {
                 let s = args[0].expect_str("substr")?;
@@ -446,7 +471,9 @@ enum BuiltinResult {
 }
 
 fn pop(stack: &mut Vec<Value>) -> Result<Value, RuntimeError> {
-    stack.pop().ok_or(RuntimeError::CorruptProgram { detail: "value stack underflow" })
+    stack.pop().ok_or(RuntimeError::CorruptProgram {
+        detail: "value stack underflow",
+    })
 }
 
 fn pop2(stack: &mut Vec<Value>) -> Result<(Value, Value), RuntimeError> {
@@ -464,7 +491,9 @@ fn binary_add(stack: &mut Vec<Value>) -> Result<(), RuntimeError> {
             joined.extend(y.iter().cloned());
             Value::List(joined)
         }
-        (Value::Str(_), _) | (_, Value::Str(_)) => Value::Str(format!("{}{}", a.render(), b.render())),
+        (Value::Str(_), _) | (_, Value::Str(_)) => {
+            Value::Str(format!("{}{}", a.render(), b.render()))
+        }
         _ => {
             return Err(RuntimeError::TypeError {
                 op: "add",
@@ -515,14 +544,19 @@ fn compare(
 }
 
 fn index_value(target: &Value, index: &Value) -> Value {
-    let Value::Int(i) = index else { return Value::Nil };
+    let Value::Int(i) = index else {
+        return Value::Nil;
+    };
     if *i < 0 {
         return Value::Nil;
     }
     let i = *i as usize;
     match target {
         Value::List(items) => items.get(i).cloned().unwrap_or(Value::Nil),
-        Value::Str(s) => s.chars().nth(i).map(|c| Value::Str(c.to_string())).unwrap_or(Value::Nil),
+        Value::Str(s) => s
+            .chars()
+            .nth(i)
+            .map_or(Value::Nil, |c| Value::Str(c.to_string())),
         _ => Value::Nil,
     }
 }
@@ -568,20 +602,17 @@ mod tests {
 
     #[test]
     fn string_concat_and_comparison() {
-        let (out, _, shown) = run(
-            r#"fn main() {
+        let (out, _, shown) = run(r#"fn main() {
                 display("a" + "b" + str(3));
                 if ("abc" < "abd") { display("lt"); }
-            }"#,
-        );
+            }"#);
         assert_eq!(out.unwrap(), Outcome::Finished);
         assert_eq!(shown, vec!["ab3", "lt"]);
     }
 
     #[test]
     fn while_loop_with_break_continue() {
-        let (out, _, shown) = run(
-            r#"fn main() {
+        let (out, _, shown) = run(r#"fn main() {
                 let i = 0;
                 while (1) {
                     i = i + 1;
@@ -590,28 +621,24 @@ mod tests {
                     display(i);
                 }
                 display("done " + str(i));
-            }"#,
-        );
+            }"#);
         assert_eq!(out.unwrap(), Outcome::Finished);
         assert_eq!(shown, vec!["1", "2", "4", "5", "done 6"]);
     }
 
     #[test]
     fn recursion_fib() {
-        let (out, _, shown) = run(
-            r#"
+        let (out, _, shown) = run(r#"
             fn fib(n) { if (n < 2) { return n; } return fib(n - 1) + fib(n - 2); }
             fn main() { display(fib(15)); }
-            "#,
-        );
+            "#);
         assert_eq!(out.unwrap(), Outcome::Finished);
         assert_eq!(shown, vec!["610"]);
     }
 
     #[test]
     fn briefcase_builtins_mutate_state() {
-        let (out, bc, _) = run(
-            r#"fn main() {
+        let (out, bc, _) = run(r#"fn main() {
                 bc_append("RESULTS", "r1");
                 bc_append("RESULTS", "r2");
                 bc_set("STATUS", "done");
@@ -620,8 +647,7 @@ mod tests {
                 let first = bc_remove("RESULTS", 0);
                 if (first != "r1") { exit(3); }
                 exit(0);
-            }"#,
-        );
+            }"#);
         assert_eq!(out.unwrap(), Outcome::Exit(0));
         assert_eq!(bc.folder("RESULTS").unwrap().len(), 1);
         assert_eq!(bc.single_str("STATUS").unwrap(), "done");
@@ -641,7 +667,8 @@ mod tests {
         )
         .unwrap();
         let mut bc = Briefcase::new();
-        bc.append("HOSTS", "tacoma://h1/vm").append("HOSTS", "tacoma://h2/vm");
+        bc.append("HOSTS", "tacoma://h1/vm")
+            .append("HOSTS", "tacoma://h2/vm");
         let mut vm = Vm::new(&program, NullHooks::default());
         assert_eq!(vm.run(&mut bc).unwrap(), Outcome::Exit(0));
         let shown = &vm.hooks().displayed;
@@ -686,12 +713,15 @@ mod tests {
             }
         }
         let program =
-            compile_source(r#"fn main() { go("tacoma://h1/vm"); display("unreachable"); }"#).unwrap();
+            compile_source(r#"fn main() { go("tacoma://h1/vm"); display("unreachable"); }"#)
+                .unwrap();
         let mut bc = Briefcase::new();
         let mut vm = Vm::new(&program, AlwaysMove);
         assert_eq!(
             vm.run(&mut bc).unwrap(),
-            Outcome::Moved { to: "tacoma://h1/vm".into() }
+            Outcome::Moved {
+                to: "tacoma://h1/vm".into()
+            }
         );
     }
 
@@ -706,7 +736,10 @@ mod tests {
     #[test]
     fn type_errors_are_contained() {
         let (out, _, _) = run(r#"fn main() { let x = 1 - "a"; }"#);
-        assert!(matches!(out.unwrap_err(), RuntimeError::TypeError { op: "subtract", .. }));
+        assert!(matches!(
+            out.unwrap_err(),
+            RuntimeError::TypeError { op: "subtract", .. }
+        ));
         let (out, _, _) = run(r#"fn main() { let x = nil < 1; }"#);
         assert!(matches!(out.unwrap_err(), RuntimeError::TypeError { .. }));
     }
@@ -720,6 +753,30 @@ mod tests {
     }
 
     #[test]
+    fn fuel_budget_is_exact_at_the_boundary() {
+        // `fn main() { exit(0); }` executes exactly two instructions:
+        // Const(0) and the exit builtin. A budget of 2 must suffice; a
+        // budget of 1 must run dry (regression: fuel was double-charged,
+        // so budget N bought only N-1 instructions).
+        let program = compile_source("fn main() { exit(0); }").unwrap();
+        let mut bc = Briefcase::new();
+
+        let mut vm = Vm::new(&program, NullHooks::default()).with_fuel(2);
+        assert_eq!(vm.run(&mut bc).unwrap(), Outcome::Exit(0));
+
+        let mut vm = Vm::new(&program, NullHooks::default()).with_fuel(1);
+        assert_eq!(vm.run(&mut bc).unwrap_err(), RuntimeError::OutOfFuel);
+    }
+
+    #[test]
+    fn zero_fuel_executes_nothing() {
+        let program = compile_source("fn main() { exit(0); }").unwrap();
+        let mut bc = Briefcase::new();
+        let mut vm = Vm::new(&program, NullHooks::default()).with_fuel(0);
+        assert_eq!(vm.run(&mut bc).unwrap_err(), RuntimeError::OutOfFuel);
+    }
+
+    #[test]
     fn unbounded_recursion_overflows_cleanly() {
         let program = compile_source("fn f() { return f(); } fn main() { f(); }").unwrap();
         let mut bc = Briefcase::new();
@@ -729,30 +786,26 @@ mod tests {
 
     #[test]
     fn lists_index_and_concat() {
-        let (out, _, shown) = run(
-            r#"fn main() {
+        let (out, _, shown) = run(r#"fn main() {
                 let l = [1, 2] + [3];
                 display(len(l), l[0], l[2], l[9] == nil);
                 let l2 = push(l, 4);
                 display(len(l), len(l2), get(l2, 3));
-            }"#,
-        );
+            }"#);
         assert_eq!(out.unwrap(), Outcome::Finished);
         assert_eq!(shown, vec!["3 1 3 true", "3 4 4"]);
     }
 
     #[test]
     fn string_builtins() {
-        let (out, _, shown) = run(
-            r#"fn main() {
+        let (out, _, shown) = run(r#"fn main() {
                 let s = "tacoma://h1/vm_c:42";
                 display(substr(s, 0, 6));
                 display(find(s, "://"));
                 display(starts_with(s, "tacoma"), contains(s, "vm_c"));
                 display(join(split("a,b,c", ","), "-"));
                 display(int("17") + 1, int("x") == nil);
-            }"#,
-        );
+            }"#);
         assert_eq!(out.unwrap(), Outcome::Finished);
         assert_eq!(shown, vec!["tacoma", "6", "true true", "a-b-c", "18 true"]);
     }

@@ -1,0 +1,93 @@
+//! Golden corpus for the static analyzer: one fixture per lint code,
+//! pinned to the exact diagnostics (code, function, offset) it must
+//! raise, plus a clean control fixture. Every fixture must pass the
+//! bytecode verifier — lints fire on verified programs only.
+
+use tacoma_taxscript::analysis::{analyze, LintCode, Severity};
+use tacoma_taxscript::compile_source;
+
+/// Compiles a fixture and returns `(code, function, offset)` triples for
+/// every diagnostic the analyzer raises on it.
+fn diagnostics_of(src: &str) -> Vec<(LintCode, String, usize)> {
+    let program = compile_source(src).expect("fixture compiles");
+    let report = analyze(&program).expect("fixture verifies");
+    report
+        .diagnostics
+        .iter()
+        .map(|d| (d.code, d.function.clone(), d.offset))
+        .collect()
+}
+
+#[test]
+fn clean_fixture_raises_nothing() {
+    let src = include_str!("fixtures/lints/clean.tax");
+    assert_eq!(diagnostics_of(src), []);
+}
+
+#[test]
+fn tax001_unreachable_code() {
+    let src = include_str!("fixtures/lints/tax001_unreachable.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::UnreachableCode, "main".to_owned(), 6)]
+    );
+}
+
+#[test]
+fn tax002_folder_read_never_written() {
+    let src = include_str!("fixtures/lints/tax002_unwritten_folder.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::UnwrittenFolder, "main".to_owned(), 2)]
+    );
+}
+
+#[test]
+fn tax003_bad_constant_travel_target() {
+    let src = include_str!("fixtures/lints/tax003_bad_travel_target.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::BadTravelTarget, "main".to_owned(), 1)]
+    );
+    // TAX003 is the one lint promoted to an error: the travel is
+    // statically guaranteed to fail.
+    let program = compile_source(src).unwrap();
+    let report = analyze(&program).unwrap();
+    assert_eq!(report.diagnostics[0].severity, Severity::Error);
+    assert!(report.has_errors());
+}
+
+#[test]
+fn tax004_divergent_loop() {
+    let src = include_str!("fixtures/lints/tax004_divergent_loop.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::DivergentLoop, "main".to_owned(), 2)]
+    );
+}
+
+#[test]
+fn diagnostics_render_with_code_and_site() {
+    let src = include_str!("fixtures/lints/tax001_unreachable.tax");
+    let program = compile_source(src).unwrap();
+    let report = analyze(&program).unwrap();
+    let rendered = report.diagnostics[0].to_string();
+    assert!(
+        rendered.starts_with("warning[TAX001] fn main @6:"),
+        "{rendered}"
+    );
+}
+
+#[test]
+fn every_fixture_passes_the_verifier() {
+    for src in [
+        include_str!("fixtures/lints/clean.tax"),
+        include_str!("fixtures/lints/tax001_unreachable.tax"),
+        include_str!("fixtures/lints/tax002_unwritten_folder.tax"),
+        include_str!("fixtures/lints/tax003_bad_travel_target.tax"),
+        include_str!("fixtures/lints/tax004_divergent_loop.tax"),
+    ] {
+        let program = compile_source(src).expect("fixture compiles");
+        tacoma_taxscript::analysis::verify(&program).expect("fixture verifies");
+    }
+}

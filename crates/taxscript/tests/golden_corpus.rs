@@ -6,9 +6,15 @@ use tacoma_taxscript::{compile_source, NullHooks, Outcome, Vm};
 
 fn run(src: &str) -> (Outcome, Vec<String>) {
     let program = compile_source(src).unwrap_or_else(|e| panic!("compile failed: {e}\n{src}"));
+    // Everything the compiler emits must pass the bytecode verifier — the
+    // corpus doubles as the verifier's completeness suite.
+    tacoma_taxscript::analysis::verify(&program)
+        .unwrap_or_else(|e| panic!("verifier rejected compiler output: {e}\n{src}"));
     let mut bc = Briefcase::new();
     let mut vm = Vm::new(&program, NullHooks::default());
-    let outcome = vm.run(&mut bc).unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
+    let outcome = vm
+        .run(&mut bc)
+        .unwrap_or_else(|e| panic!("run failed: {e}\n{src}"));
     (outcome, vm.into_hooks().displayed)
 }
 
@@ -20,7 +26,10 @@ fn expect(src: &str, expected: &[&str]) {
 
 #[test]
 fn arithmetic_table() {
-    expect("fn main() { display(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); }", &["10 4 21 2 1"]);
+    expect(
+        "fn main() { display(7 + 3, 7 - 3, 7 * 3, 7 / 3, 7 % 3); }",
+        &["10 4 21 2 1"],
+    );
     expect("fn main() { display(-7 / 2, -7 % 2); }", &["-3 -1"]);
     expect("fn main() { display(2 + 3 * 4 - 10 / 2); }", &["9"]);
     expect("fn main() { display((2 + 3) * (4 - 1)); }", &["15"]);
@@ -29,11 +38,26 @@ fn arithmetic_table() {
 
 #[test]
 fn comparison_and_logic_table() {
-    expect("fn main() { display(1 < 2, 2 <= 2, 3 > 4, 4 >= 4); }", &["true true false true"]);
-    expect(r#"fn main() { display("a" < "b", "b" < "a", "x" == "x"); }"#, &["true false true"]);
-    expect("fn main() { display(1 == 1 && 2 == 2, 1 == 2 || 2 == 2); }", &["true true"]);
-    expect("fn main() { display(!true, !0, !nil, !1); }", &["false true true false"]);
-    expect("fn main() { display(nil == nil, nil == 0, 0 == false); }", &["true false false"]);
+    expect(
+        "fn main() { display(1 < 2, 2 <= 2, 3 > 4, 4 >= 4); }",
+        &["true true false true"],
+    );
+    expect(
+        r#"fn main() { display("a" < "b", "b" < "a", "x" == "x"); }"#,
+        &["true false true"],
+    );
+    expect(
+        "fn main() { display(1 == 1 && 2 == 2, 1 == 2 || 2 == 2); }",
+        &["true true"],
+    );
+    expect(
+        "fn main() { display(!true, !0, !nil, !1); }",
+        &["false true true false"],
+    );
+    expect(
+        "fn main() { display(nil == nil, nil == 0, 0 == false); }",
+        &["true false false"],
+    );
 }
 
 #[test]
@@ -54,31 +78,73 @@ fn short_circuit_side_effects() {
 
 #[test]
 fn strings_table() {
-    expect(r#"fn main() { display("a" + "b" + str(1 + 2)); }"#, &["ab3"]);
+    expect(
+        r#"fn main() { display("a" + "b" + str(1 + 2)); }"#,
+        &["ab3"],
+    );
     expect(r#"fn main() { display(len("hello"), len("")); }"#, &["5 0"]);
-    expect(r#"fn main() { display(substr("tacoma", 2, 3)); }"#, &["com"]);
-    expect(r#"fn main() { display(substr("abc", 10, 5), substr("abc", 0, 99)); }"#, &[" abc"]);
-    expect(r#"fn main() { display(find("hello", "ll"), find("hello", "z")); }"#, &["2 -1"]);
-    expect(r#"fn main() { display(join(split("a:b:c", ":"), "-")); }"#, &["a-b-c"]);
-    expect(r#"fn main() { display(starts_with("tacoma://x", "tacoma://")); }"#, &["true"]);
-    expect(r#"fn main() { display(contains("briefcase", "ief")); }"#, &["true"]);
-    expect(r#"fn main() { display("s"[0], "s"[9] == nil); }"#, &["s true"]);
+    expect(
+        r#"fn main() { display(substr("tacoma", 2, 3)); }"#,
+        &["com"],
+    );
+    expect(
+        r#"fn main() { display(substr("abc", 10, 5), substr("abc", 0, 99)); }"#,
+        &[" abc"],
+    );
+    expect(
+        r#"fn main() { display(find("hello", "ll"), find("hello", "z")); }"#,
+        &["2 -1"],
+    );
+    expect(
+        r#"fn main() { display(join(split("a:b:c", ":"), "-")); }"#,
+        &["a-b-c"],
+    );
+    expect(
+        r#"fn main() { display(starts_with("tacoma://x", "tacoma://")); }"#,
+        &["true"],
+    );
+    expect(
+        r#"fn main() { display(contains("briefcase", "ief")); }"#,
+        &["true"],
+    );
+    expect(
+        r#"fn main() { display("s"[0], "s"[9] == nil); }"#,
+        &["s true"],
+    );
 }
 
 #[test]
 fn conversions_table() {
-    expect(r#"fn main() { display(int("42") + 1, int(" 7 "), int("x") == nil); }"#, &["43 7 true"]);
-    expect(r#"fn main() { display(int(true), int(false), int(9)); }"#, &["1 0 9"]);
-    expect(r#"fn main() { display(str(42), str(true), str(nil)); }"#, &["42 true nil"]);
+    expect(
+        r#"fn main() { display(int("42") + 1, int(" 7 "), int("x") == nil); }"#,
+        &["43 7 true"],
+    );
+    expect(
+        r#"fn main() { display(int(true), int(false), int(9)); }"#,
+        &["1 0 9"],
+    );
+    expect(
+        r#"fn main() { display(str(42), str(true), str(nil)); }"#,
+        &["42 true nil"],
+    );
 }
 
 #[test]
 fn lists_table() {
-    expect("fn main() { let l = [1, 2, 3]; display(len(l), l[1], l[5] == nil); }", &["3 2 true"]);
+    expect(
+        "fn main() { let l = [1, 2, 3]; display(len(l), l[1], l[5] == nil); }",
+        &["3 2 true"],
+    );
     expect("fn main() { display(len([] + [1] + [2, 3])); }", &["3"]);
-    expect("fn main() { let l = push([], 9); display(l[0], len(l)); }", &["9 1"]);
+    expect(
+        "fn main() { let l = push([], 9); display(l[0], len(l)); }",
+        &["9 1"],
+    );
     expect("fn main() { display([1, [2, 3]][1][0]); }", &["2"]);
-    expect("fn main() { display(get([4, 5], 1), get([4, 5], 9) == nil); }", &["5 true"]);
+    expect(
+        "fn main() { display(get([4, 5], 1), get([4, 5], 9) == nil); }",
+        &["5 true"],
+    );
 }
 
 #[test]
@@ -134,7 +200,10 @@ fn functions_table() {
         &["9"],
     );
     // Implicit nil return.
-    expect("fn nothing() { } fn main() { display(nothing() == nil); }", &["true"]);
+    expect(
+        "fn nothing() { } fn main() { display(nothing() == nil); }",
+        &["true"],
+    );
     // Shadowing in nested scopes.
     expect(
         "fn main() { let x = 1; if (1) { let x = 2; display(x); } display(x); }",

@@ -124,4 +124,45 @@ proptest! {
             let _ = vm.run(&mut bc);
         }
     }
+
+    /// The verifier's soundness contract: a program it accepts never
+    /// faults on the value stack at run time. Corrupted wire images that
+    /// still decode AND verify must run to completion (or a benign
+    /// error like OutOfFuel) — never `CorruptProgram`.
+    #[test]
+    fn verified_programs_never_fault_on_the_stack(
+        expr in arb_arith(),
+        idx in any::<prop::sample::Index>(),
+        xor in 1u8..,
+    ) {
+        let src = format!("fn main() {{ display({}); }}", expr.render());
+        let program = compile_source(&src).unwrap();
+        let mut wire = program.encode();
+        let i = idx.index(wire.len());
+        wire[i] ^= xor;
+        let Ok(decoded) = Program::decode(&wire) else { return };
+        if tacoma_taxscript::analysis::verify(&decoded).is_err() {
+            return;
+        }
+        let mut bc = Briefcase::new();
+        let mut vm = Vm::new(&decoded, NullHooks::default()).with_fuel(100_000);
+        if let Err(e) = vm.run(&mut bc) {
+            prop_assert!(
+                !matches!(e, tacoma_taxscript::RuntimeError::CorruptProgram { .. }),
+                "verifier accepted a program that faulted: {e}"
+            );
+        }
+    }
+
+    /// Everything the compiler emits verifies — over random arithmetic,
+    /// not just the hand-picked corpus.
+    #[test]
+    fn compiler_output_always_verifies(expr in arb_arith()) {
+        let src = format!(
+            "fn f(a) {{ return a * 2; }} fn main() {{ display(f({})); }}",
+            expr.render()
+        );
+        let program = compile_source(&src).unwrap();
+        prop_assert!(tacoma_taxscript::analysis::verify(&program).is_ok());
+    }
 }

@@ -59,7 +59,10 @@ impl fmt::Display for ParseUriError {
                 write!(f, "agent id missing: need a name, an instance, or both")
             }
             ParseUriError::TooManySegments { found } => {
-                write!(f, "agent path has {found} segments, at most principal/agentid allowed")
+                write!(
+                    f,
+                    "agent path has {found} segments, at most principal/agentid allowed"
+                )
             }
         }
     }

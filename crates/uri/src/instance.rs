@@ -44,7 +44,9 @@ impl std::str::FromStr for Instance {
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         if s.is_empty() || !s.bytes().all(|b| b.is_ascii_hexdigit()) {
-            return Err(ParseUriError::BadInstance { instance: s.to_owned() });
+            return Err(ParseUriError::BadInstance {
+                instance: s.to_owned(),
+            });
         }
         let normalized = s.trim_start_matches('0').to_ascii_lowercase();
         if normalized.is_empty() {

@@ -25,7 +25,11 @@ pub struct AgentAddress {
 impl AgentAddress {
     /// Creates the address of a registered agent.
     pub fn new(principal: impl Into<String>, name: impl Into<String>, instance: Instance) -> Self {
-        AgentAddress { principal: principal.into(), name: name.into(), instance }
+        AgentAddress {
+            principal: principal.into(),
+            name: name.into(),
+            instance,
+        }
     }
 
     /// The principal on whose behalf the agent runs.
@@ -141,9 +145,15 @@ mod tests {
         let ok: AgentUri = "alice@h1/webbot:42".parse().unwrap();
         assert!(addr().matches(&ok, "system", "bob").is_match());
         let wrong_inst: AgentUri = "alice@h1/webbot:43".parse().unwrap();
-        assert_eq!(addr().matches(&wrong_inst, "system", "bob"), MatchOutcome::InstanceMismatch);
+        assert_eq!(
+            addr().matches(&wrong_inst, "system", "bob"),
+            MatchOutcome::InstanceMismatch
+        );
         let wrong_name: AgentUri = "alice@h1/other:42".parse().unwrap();
-        assert_eq!(addr().matches(&wrong_name, "system", "bob"), MatchOutcome::NameMismatch);
+        assert_eq!(
+            addr().matches(&wrong_name, "system", "bob"),
+            MatchOutcome::NameMismatch
+        );
     }
 
     #[test]
@@ -171,7 +181,10 @@ mod tests {
     #[test]
     fn explicit_principal_mismatch_detected() {
         let target: AgentUri = "bob@h1/webbot".parse().unwrap();
-        assert_eq!(addr().matches(&target, "system", "bob@h1"), MatchOutcome::PrincipalMismatch);
+        assert_eq!(
+            addr().matches(&target, "system", "bob@h1"),
+            MatchOutcome::PrincipalMismatch
+        );
     }
 
     #[test]

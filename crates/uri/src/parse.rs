@@ -47,9 +47,9 @@ pub(crate) fn parse_agent_uri(input: &str) -> Result<AgentUri, ParseUriError> {
 fn parse_hostport(text: &str) -> Result<HostPort, ParseUriError> {
     match text.split_once(':') {
         Some((host, port)) => {
-            let port: u16 = port
-                .parse()
-                .map_err(|_| ParseUriError::BadPort { port: port.to_owned() })?;
+            let port: u16 = port.parse().map_err(|_| ParseUriError::BadPort {
+                port: port.to_owned(),
+            })?;
             HostPort::with_port(host, port)
         }
         None => HostPort::new(text),
@@ -141,8 +141,14 @@ mod tests {
 
     #[test]
     fn remote_with_empty_id_rejected() {
-        assert_eq!(parse_agent_uri("tacoma://h1/"), Err(ParseUriError::MissingAgentId));
-        assert_eq!(parse_agent_uri("tacoma://h1//"), Err(ParseUriError::MissingAgentId));
+        assert_eq!(
+            parse_agent_uri("tacoma://h1/"),
+            Err(ParseUriError::MissingAgentId)
+        );
+        assert_eq!(
+            parse_agent_uri("tacoma://h1//"),
+            Err(ParseUriError::MissingAgentId)
+        );
     }
 
     #[test]
@@ -171,7 +177,10 @@ mod tests {
             parse_agent_uri("name:zz"),
             Err(ParseUriError::BadInstance { .. })
         ));
-        assert!(matches!(parse_agent_uri("name:"), Err(ParseUriError::BadInstance { .. })));
+        assert!(matches!(
+            parse_agent_uri("name:"),
+            Err(ParseUriError::BadInstance { .. })
+        ));
     }
 
     #[test]

@@ -22,7 +22,11 @@ impl HostPort {
     /// outside `[A-Za-z0-9.-]`.
     pub fn new(host: impl Into<String>) -> Result<Self, ParseUriError> {
         let host = host.into();
-        if host.is_empty() || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-') {
+        if host.is_empty()
+            || !host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
+        {
             return Err(ParseUriError::BadHost { host });
         }
         Ok(HostPort { host, port: None })
@@ -86,12 +90,18 @@ impl AgentId {
     pub fn named(name: impl Into<String>) -> Result<Self, ParseUriError> {
         let name = name.into();
         validate_name(&name)?;
-        Ok(AgentId { name: Some(name), instance: None })
+        Ok(AgentId {
+            name: Some(name),
+            instance: None,
+        })
     }
 
     /// An id addressing a specific instance regardless of name.
     pub fn instance_only(instance: Instance) -> Self {
-        AgentId { name: None, instance: Some(instance) }
+        AgentId {
+            name: None,
+            instance: Some(instance),
+        }
     }
 
     /// An id addressing a specific named instance — "the instance number
@@ -104,7 +114,10 @@ impl AgentId {
     pub fn exact(name: impl Into<String>, instance: Instance) -> Result<Self, ParseUriError> {
         let name = name.into();
         validate_name(&name)?;
-        Ok(AgentId { name: Some(name), instance: Some(instance) })
+        Ok(AgentId {
+            name: Some(name),
+            instance: Some(instance),
+        })
     }
 
     /// The name part, if present.
@@ -137,8 +150,14 @@ impl fmt::Display for AgentId {
 pub(crate) fn validate_name(name: &str) -> Result<(), ParseUriError> {
     // Figure 2 says `alphanum`; the paper's own examples (`vm_c`,
     // `ag_cron`) include underscores, so `_` and `-` are accepted too.
-    if name.is_empty() || !name.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-') {
-        return Err(ParseUriError::BadName { name: name.to_owned() });
+    if name.is_empty()
+        || !name
+            .bytes()
+            .all(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'-')
+    {
+        return Err(ParseUriError::BadName {
+            name: name.to_owned(),
+        });
     }
     Ok(())
 }
@@ -150,7 +169,9 @@ pub(crate) fn validate_principal(principal: &str) -> Result<(), ParseUriError> {
             .bytes()
             .all(|b| b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b'@'))
     {
-        return Err(ParseUriError::BadPrincipal { principal: principal.to_owned() });
+        return Err(ParseUriError::BadPrincipal {
+            principal: principal.to_owned(),
+        });
     }
     Ok(())
 }
@@ -175,12 +196,20 @@ impl AgentUri {
     ///
     /// [`ParseUriError::BadName`] on invalid name characters.
     pub fn local(name: impl Into<String>) -> Result<Self, ParseUriError> {
-        Ok(AgentUri { location: None, principal: None, id: AgentId::named(name)? })
+        Ok(AgentUri {
+            location: None,
+            principal: None,
+            id: AgentId::named(name)?,
+        })
     }
 
     /// A URI from parts.
     pub fn from_parts(location: Option<HostPort>, principal: Option<String>, id: AgentId) -> Self {
-        AgentUri { location, principal, id }
+        AgentUri {
+            location,
+            principal,
+            id,
+        }
     }
 
     /// Returns this URI relocated to the given host (used when a local

@@ -68,19 +68,36 @@ pub struct BinaryArtifact {
 
 impl BinaryArtifact {
     /// An artifact holding compiled TaxScript bytecode.
-    pub fn bytecode(name: impl Into<String>, arch: Architecture, program: &tacoma_taxscript::Program) -> Self {
-        BinaryArtifact { name: name.into(), arch, payload: program.encode() }
+    pub fn bytecode(
+        name: impl Into<String>,
+        arch: Architecture,
+        program: &tacoma_taxscript::Program,
+    ) -> Self {
+        BinaryArtifact {
+            name: name.into(),
+            arch,
+            payload: program.encode(),
+        }
     }
 
     /// An artifact referencing a native program by registry key, padded to
     /// `total_size` bytes so it costs like a real binary on the wire.
-    pub fn native(name: impl Into<String>, arch: Architecture, key: &str, total_size: usize) -> Self {
+    pub fn native(
+        name: impl Into<String>,
+        arch: Architecture,
+        key: &str,
+        total_size: usize,
+    ) -> Self {
         let mut payload = format!("native:{key}").into_bytes();
         payload.push(0);
         if payload.len() < total_size {
             payload.resize(total_size, 0xCC);
         }
-        BinaryArtifact { name: name.into(), arch, payload }
+        BinaryArtifact {
+            name: name.into(),
+            arch,
+            payload,
+        }
     }
 
     /// If this payload is a native reference, its registry key.
@@ -196,7 +213,11 @@ impl ArtifactBundle {
                 return Err(bad("payload too large"));
             }
             let payload = take(&mut pos, payload_len)?.to_vec();
-            artifacts.push(BinaryArtifact { name, arch: Architecture::custom(arch), payload });
+            artifacts.push(BinaryArtifact {
+                name,
+                arch: Architecture::custom(arch),
+                payload,
+            });
         }
         if pos != bytes.len() {
             return Err(bad("trailing bytes"));
@@ -213,8 +234,17 @@ mod tests {
     fn bundle() -> ArtifactBundle {
         let program = compile_source("fn main() { exit(7); }").unwrap();
         ArtifactBundle::new()
-            .with(BinaryArtifact::bytecode("agent", Architecture::simulated(), &program))
-            .with(BinaryArtifact::native("webbot", Architecture::i386_linux(), "webbot-4.0", 50_000))
+            .with(BinaryArtifact::bytecode(
+                "agent",
+                Architecture::simulated(),
+                &program,
+            ))
+            .with(BinaryArtifact::native(
+                "webbot",
+                Architecture::i386_linux(),
+                "webbot-4.0",
+                50_000,
+            ))
     }
 
     #[test]
@@ -227,7 +257,10 @@ mod tests {
     fn select_by_architecture() {
         let b = bundle();
         assert_eq!(b.select(&Architecture::simulated()).unwrap().name, "agent");
-        assert_eq!(b.select(&Architecture::i386_linux()).unwrap().name, "webbot");
+        assert_eq!(
+            b.select(&Architecture::i386_linux()).unwrap().name,
+            "webbot"
+        );
         assert!(b.select(&Architecture::sparc_solaris()).is_none());
     }
 

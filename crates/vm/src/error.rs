@@ -1,7 +1,7 @@
 use std::fmt;
 
 use tacoma_security::SecurityError;
-use tacoma_taxscript::{RuntimeError, ScriptError};
+use tacoma_taxscript::{RuntimeError, ScriptError, VerifyError};
 
 /// Errors from virtual-machine execution.
 #[derive(Debug, Clone, PartialEq)]
@@ -20,6 +20,9 @@ pub enum VmError {
     Compile(ScriptError),
     /// The agent faulted at run time (contained by the sandbox).
     Runtime(RuntimeError),
+    /// Arriving bytecode decoded but failed the bytecode verifier, so it
+    /// is refused before a single instruction runs.
+    Unverifiable(VerifyError),
     /// The binary is not signed by a trusted principal (§3.3's vm_bin
     /// precondition).
     Untrusted(SecurityError),
@@ -51,9 +54,13 @@ impl fmt::Display for VmError {
             }
             VmError::Compile(e) => write!(f, "compilation failed: {e}"),
             VmError::Runtime(e) => write!(f, "agent faulted: {e}"),
+            VmError::Unverifiable(e) => write!(f, "bytecode failed verification: {e}"),
             VmError::Untrusted(e) => write!(f, "binary rejected: {e}"),
             VmError::NoMatchingArchitecture { host, available } => {
-                write!(f, "no binary for architecture {host} (bundle has {available:?})")
+                write!(
+                    f,
+                    "no binary for architecture {host} (bundle has {available:?})"
+                )
             }
             VmError::UnknownNativeProgram { name } => {
                 write!(f, "native program {name:?} not installed on this host")
@@ -68,6 +75,7 @@ impl std::error::Error for VmError {
         match self {
             VmError::Compile(e) => Some(e),
             VmError::Runtime(e) => Some(e),
+            VmError::Unverifiable(e) => Some(e),
             VmError::Untrusted(e) => Some(e),
             _ => None,
         }
@@ -83,6 +91,12 @@ impl From<ScriptError> for VmError {
 impl From<RuntimeError> for VmError {
     fn from(e: RuntimeError) -> Self {
         VmError::Runtime(e)
+    }
+}
+
+impl From<VerifyError> for VmError {
+    fn from(e: VerifyError) -> Self {
+        VmError::Unverifiable(e)
     }
 }
 

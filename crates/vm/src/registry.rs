@@ -26,14 +26,19 @@ pub trait NativeProgram: Send + Sync {
     /// # Errors
     ///
     /// [`VmError`] if the program faults.
-    fn run(&self, briefcase: &mut Briefcase, hooks: &mut dyn HostHooks) -> Result<Outcome, VmError>;
+    fn run(&self, briefcase: &mut Briefcase, hooks: &mut dyn HostHooks)
+        -> Result<Outcome, VmError>;
 }
 
 impl<F> NativeProgram for F
 where
     F: Fn(&mut Briefcase, &mut dyn HostHooks) -> Result<Outcome, VmError> + Send + Sync,
 {
-    fn run(&self, briefcase: &mut Briefcase, hooks: &mut dyn HostHooks) -> Result<Outcome, VmError> {
+    fn run(
+        &self,
+        briefcase: &mut Briefcase,
+        hooks: &mut dyn HostHooks,
+    ) -> Result<Outcome, VmError> {
         self(briefcase, hooks)
     }
 }
@@ -58,7 +63,10 @@ impl NativeRegistry {
     /// Installs a closure-backed program.
     pub fn install_fn<F>(&mut self, key: impl Into<String>, f: F)
     where
-        F: Fn(&mut Briefcase, &mut dyn HostHooks) -> Result<Outcome, VmError> + Send + Sync + 'static,
+        F: Fn(&mut Briefcase, &mut dyn HostHooks) -> Result<Outcome, VmError>
+            + Send
+            + Sync
+            + 'static,
     {
         self.install(key, Arc::new(f));
     }
@@ -73,7 +81,9 @@ impl NativeRegistry {
         self.programs
             .get(key)
             .cloned()
-            .ok_or_else(|| VmError::UnknownNativeProgram { name: key.to_owned() })
+            .ok_or_else(|| VmError::UnknownNativeProgram {
+                name: key.to_owned(),
+            })
     }
 
     /// Whether `key` is installed.
@@ -101,7 +111,9 @@ impl fmt::Debug for NativeRegistry {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let mut keys: Vec<&str> = self.keys().collect();
         keys.sort_unstable();
-        f.debug_struct("NativeRegistry").field("programs", &keys).finish()
+        f.debug_struct("NativeRegistry")
+            .field("programs", &keys)
+            .finish()
     }
 }
 
@@ -143,7 +155,10 @@ mod tests {
         assert_eq!(reg.len(), 1);
         let mut bc = Briefcase::new();
         let mut hooks = NullHooks::default();
-        assert_eq!(reg.get("p").unwrap().run(&mut bc, &mut hooks).unwrap(), Outcome::Exit(2));
+        assert_eq!(
+            reg.get("p").unwrap().run(&mut bc, &mut hooks).unwrap(),
+            Outcome::Exit(2)
+        );
     }
 
     #[test]

@@ -30,19 +30,30 @@ impl VmBin {
     /// [`SecurityError`] when the `PRINCIPAL`/`SIG` folders are missing or
     /// the signature does not verify against a trusted key.
     fn verify_signature(briefcase: &Briefcase, ctx: &ExecContext<'_>) -> Result<(), SecurityError> {
-        let principal_name = briefcase
-            .single_str(folders::PRINCIPAL)
-            .map_err(|_| SecurityError::BadPrincipal { name: "<missing>".into() })?;
+        let principal_name =
+            briefcase
+                .single_str(folders::PRINCIPAL)
+                .map_err(|_| SecurityError::BadPrincipal {
+                    name: "<missing>".into(),
+                })?;
         let principal = Principal::new(principal_name)?;
-        let sig_hex = briefcase
-            .single_str(folders::SIGNATURE)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        let digest = Digest::from_hex(sig_hex)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        let code = briefcase
-            .element(folders::CODE, 0)
-            .map_err(|_| SecurityError::BadSignature { principal: principal.to_string() })?;
-        ctx.trust.verify(&principal, code.data(), &Signature::from_digest(digest))
+        let sig_hex =
+            briefcase
+                .single_str(folders::SIGNATURE)
+                .map_err(|_| SecurityError::BadSignature {
+                    principal: principal.to_string(),
+                })?;
+        let digest = Digest::from_hex(sig_hex).map_err(|_| SecurityError::BadSignature {
+            principal: principal.to_string(),
+        })?;
+        let code =
+            briefcase
+                .element(folders::CODE, 0)
+                .map_err(|_| SecurityError::BadSignature {
+                    principal: principal.to_string(),
+                })?;
+        ctx.trust
+            .verify(&principal, code.data(), &Signature::from_digest(digest))
     }
 }
 
@@ -67,7 +78,9 @@ impl VirtualMachine for VmBin {
         match Self::verify_signature(briefcase, ctx) {
             Ok(()) => trace.push("vm_bin: signature verified against trusted principal".to_owned()),
             Err(e) if ctx.allow_unsigned => {
-                trace.push(format!("vm_bin: unsigned binary accepted by trusting policy ({e})"));
+                trace.push(format!(
+                    "vm_bin: unsigned binary accepted by trusting policy ({e})"
+                ));
             }
             Err(e) => return Err(e.into()),
         }
@@ -79,8 +92,13 @@ impl VirtualMachine for VmBin {
             code_types::TAXSCRIPT_BYTECODE => {
                 // A raw compiled program (the vm_c pipeline's output).
                 let program = Program::decode(&code)?;
-                trace.push(format!("vm_bin: executing {} bytecode instructions", program.instruction_count()));
-                let outcome = Vm::new(&program, HooksProxy(hooks)).with_fuel(ctx.fuel).run(briefcase)?;
+                trace.push(format!(
+                    "vm_bin: executing {} bytecode instructions",
+                    program.instruction_count()
+                ));
+                let outcome = Vm::new(&program, HooksProxy(hooks))
+                    .with_fuel(ctx.fuel)
+                    .run(briefcase)?;
                 trace.push(format!("vm_bin: agent ended with {outcome:?}"));
                 Ok(Execution { outcome, trace })
             }
@@ -108,13 +126,17 @@ impl VirtualMachine for VmBin {
                         "vm_bin: executing {} bytecode instructions",
                         program.instruction_count()
                     ));
-                    let outcome =
-                        Vm::new(&program, HooksProxy(hooks)).with_fuel(ctx.fuel).run(briefcase)?;
+                    let outcome = Vm::new(&program, HooksProxy(hooks))
+                        .with_fuel(ctx.fuel)
+                        .run(briefcase)?;
                     trace.push(format!("vm_bin: agent ended with {outcome:?}"));
                     Ok(Execution { outcome, trace })
                 }
             }
-            other => Err(VmError::UnsupportedCodeType { vm: VM_BIN_NAME, code_type: other.to_owned() }),
+            other => Err(VmError::UnsupportedCodeType {
+                vm: VM_BIN_NAME,
+                code_type: other.to_owned(),
+            }),
         }
     }
 }
@@ -209,8 +231,18 @@ mod tests {
     fn artifact_bundle_selects_architecture_and_runs_native() {
         let keys = Keyring::generate(&Principal::new("w3c").unwrap(), 2);
         let bundle = ArtifactBundle::new()
-            .with(BinaryArtifact::native("webbot", Architecture::i386_linux(), "webbot", 1000))
-            .with(BinaryArtifact::native("webbot", Architecture::simulated(), "webbot", 1000));
+            .with(BinaryArtifact::native(
+                "webbot",
+                Architecture::i386_linux(),
+                "webbot",
+                1000,
+            ))
+            .with(BinaryArtifact::native(
+                "webbot",
+                Architecture::simulated(),
+                "webbot",
+                1000,
+            ));
         let mut bc = signed_briefcase(bundle.encode(), code_types::BINARY_ARTIFACT, &keys);
 
         let trust = trusting(&keys);
@@ -230,8 +262,12 @@ mod tests {
     #[test]
     fn missing_architecture_is_reported_with_alternatives() {
         let keys = Keyring::generate(&Principal::new("w3c").unwrap(), 2);
-        let bundle = ArtifactBundle::new()
-            .with(BinaryArtifact::native("webbot", Architecture::sparc_solaris(), "webbot", 10));
+        let bundle = ArtifactBundle::new().with(BinaryArtifact::native(
+            "webbot",
+            Architecture::sparc_solaris(),
+            "webbot",
+            10,
+        ));
         let mut bc = signed_briefcase(bundle.encode(), code_types::BINARY_ARTIFACT, &keys);
         let trust = trusting(&keys);
         let natives = NativeRegistry::new();
@@ -248,8 +284,12 @@ mod tests {
     #[test]
     fn missing_native_program_is_reported() {
         let keys = Keyring::generate(&Principal::new("w3c").unwrap(), 2);
-        let bundle = ArtifactBundle::new()
-            .with(BinaryArtifact::native("webbot", Architecture::simulated(), "not-installed", 10));
+        let bundle = ArtifactBundle::new().with(BinaryArtifact::native(
+            "webbot",
+            Architecture::simulated(),
+            "not-installed",
+            10,
+        ));
         let mut bc = signed_briefcase(bundle.encode(), code_types::BINARY_ARTIFACT, &keys);
         let trust = trusting(&keys);
         let natives = NativeRegistry::new();
@@ -264,8 +304,11 @@ mod tests {
     #[test]
     fn source_is_not_a_binary() {
         let keys = Keyring::generate(&Principal::new("alice").unwrap(), 1);
-        let mut bc =
-            signed_briefcase(b"fn main() { }".to_vec(), code_types::TAXSCRIPT_SOURCE, &keys);
+        let mut bc = signed_briefcase(
+            b"fn main() { }".to_vec(),
+            code_types::TAXSCRIPT_SOURCE,
+            &keys,
+        );
         let trust = trusting(&keys);
         let natives = NativeRegistry::new();
         let ctx = ExecContext::new(&trust, &natives);

@@ -52,7 +52,10 @@ impl VirtualMachine for VmC {
     ) -> Result<Execution, VmError> {
         let code_type = code_type_of(briefcase);
         if code_type != code_types::TAXSCRIPT_SOURCE {
-            return Err(VmError::UnsupportedCodeType { vm: VM_C_NAME, code_type });
+            return Err(VmError::UnsupportedCodeType {
+                vm: VM_C_NAME,
+                code_type,
+            });
         }
 
         let mut trace = vec!["1: briefcase delivered to vm_c".to_owned()];
@@ -60,9 +63,13 @@ impl VirtualMachine for VmC {
         // Steps 2–3: ag_cc extracts the code and hands it to ag_exec
         // together with the compiler.
         let source_bytes = code_bytes(briefcase)?;
-        let source = String::from_utf8(source_bytes.clone())
-            .map_err(|_| VmError::BadArtifact { detail: "source code is not UTF-8" })?;
-        trace.push(format!("2: ag_cc extracted {} bytes of source", source.len()));
+        let source = String::from_utf8(source_bytes.clone()).map_err(|_| VmError::BadArtifact {
+            detail: "source code is not UTF-8",
+        })?;
+        trace.push(format!(
+            "2: ag_cc extracted {} bytes of source",
+            source.len()
+        ));
         trace.push("3: ag_cc activated ag_exec with code and compiler".to_owned());
 
         // Step 4: ag_exec runs the compiler (`gcc *.c -o res`).
@@ -96,7 +103,10 @@ impl VirtualMachine for VmC {
         };
         let inner = self.bin.execute(briefcase, hooks, &bin_ctx)?;
         trace.extend(inner.trace);
-        Ok(Execution { outcome: inner.outcome, trace })
+        Ok(Execution {
+            outcome: inner.outcome,
+            trace,
+        })
     }
 }
 
@@ -120,7 +130,10 @@ mod tests {
     #[test]
     fn pipeline_compiles_and_runs_figure3_style() {
         let mut bc = Briefcase::new();
-        bc.append(folders::CODE, r#"fn main() { display("Hello world"); exit(0); }"#);
+        bc.append(
+            folders::CODE,
+            r#"fn main() { display("Hello world"); exit(0); }"#,
+        );
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_SOURCE);
         let (exec, displayed) = run(&mut bc).unwrap();
         assert_eq!(exec.outcome, Outcome::Exit(0));
@@ -128,7 +141,9 @@ mod tests {
         // All seven numbered steps appear, in order.
         for step in 1..=7 {
             assert!(
-                exec.trace.iter().any(|l| l.starts_with(&format!("{step}:"))),
+                exec.trace
+                    .iter()
+                    .any(|l| l.starts_with(&format!("{step}:"))),
                 "missing step {step} in {:?}",
                 exec.trace
             );
@@ -143,7 +158,10 @@ mod tests {
         run(&mut bc).unwrap();
         // The source was replaced by the compiled binary — the agent
         // would not be recompiled at its next hop.
-        assert_eq!(bc.single_str(folders::CODE_TYPE).unwrap(), code_types::TAXSCRIPT_BYTECODE);
+        assert_eq!(
+            bc.single_str(folders::CODE_TYPE).unwrap(),
+            code_types::TAXSCRIPT_BYTECODE
+        );
         let code = bc.element(folders::CODE, 0).unwrap();
         assert!(code.data().starts_with(&tacoma_taxscript::PROGRAM_MAGIC));
     }
@@ -161,6 +179,9 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.append(folders::CODE, vec![0u8; 4]);
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
-        assert!(matches!(run(&mut bc), Err(VmError::UnsupportedCodeType { vm: "vm_c", .. })));
+        assert!(matches!(
+            run(&mut bc),
+            Err(VmError::UnsupportedCodeType { vm: "vm_c", .. })
+        ));
     }
 }

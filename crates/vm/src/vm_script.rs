@@ -24,7 +24,9 @@ pub struct VmScript {
 impl VmScript {
     /// A new scripting VM under the conventional name.
     pub fn new() -> Self {
-        VmScript { name: VM_SCRIPT_NAME.to_owned() }
+        VmScript {
+            name: VM_SCRIPT_NAME.to_owned(),
+        }
     }
 
     /// A scripting VM exposed under a different landing-pad name.
@@ -66,12 +68,27 @@ impl VirtualMachine for VmScript {
                 let source = String::from_utf8(code).map_err(|_| VmError::BadArtifact {
                     detail: "source code is not UTF-8",
                 })?;
-                trace.push(format!("vm_script: interpreting {} bytes of source", source.len()));
+                trace.push(format!(
+                    "vm_script: interpreting {} bytes of source",
+                    source.len()
+                ));
                 compile_source(&source)?
             }
             code_types::TAXSCRIPT_BYTECODE => {
-                trace.push(format!("vm_script: loading {} bytes of bytecode", code.len()));
-                Program::decode(&code)?
+                trace.push(format!(
+                    "vm_script: loading {} bytes of bytecode",
+                    code.len()
+                ));
+                let program = Program::decode(&code)?;
+                // Arriving bytecode is untrusted: prove it cannot fault
+                // the VM before running it (verify-before-execute).
+                let proof = tacoma_taxscript::analysis::verify(&program)?;
+                trace.push(format!(
+                    "vm_script: verified {} functions, max stack {}",
+                    program.functions().len(),
+                    proof.max_stack()
+                ));
+                program
             }
             other => {
                 return Err(VmError::UnsupportedCodeType {
@@ -94,7 +111,7 @@ pub(crate) struct HooksProxy<'a>(pub &'a mut dyn HostHooks);
 
 impl HostHooks for HooksProxy<'_> {
     fn display(&mut self, text: &str) {
-        self.0.display(text)
+        self.0.display(text);
     }
     fn go(&mut self, uri: &str, briefcase: &Briefcase) -> tacoma_taxscript::GoDecision {
         self.0.go(uri, briefcase)
@@ -118,7 +135,7 @@ impl HostHooks for HooksProxy<'_> {
         self.0.host_name()
     }
     fn work_ns(&mut self, nanos: u64) {
-        self.0.work_ns(nanos)
+        self.0.work_ns(nanos);
     }
 }
 
@@ -148,7 +165,10 @@ mod tests {
     #[test]
     fn executes_source() {
         let mut bc = Briefcase::new();
-        bc.append(folders::CODE, r#"fn main() { bc_set("OUT", 42); exit(0); }"#);
+        bc.append(
+            folders::CODE,
+            r#"fn main() { bc_set("OUT", 42); exit(0); }"#,
+        );
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_SOURCE);
         let exec = run(&mut bc).unwrap();
         assert_eq!(exec.outcome, Outcome::Exit(0));
@@ -162,6 +182,21 @@ mod tests {
         bc.append(folders::CODE, program.encode());
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
         assert_eq!(run(&mut bc).unwrap().outcome, Outcome::Exit(9));
+    }
+
+    #[test]
+    fn refuses_unverifiable_bytecode() {
+        // A jump to code_len decodes fine (Program::validate tolerates
+        // it) but the verifier proves it would run off the end.
+        use tacoma_taxscript::Op;
+        let mut program = compile_source("fn main() { exit(9); }").unwrap();
+        let main = program.main_index();
+        let end = program.functions()[main].code.len() as u32;
+        program.functions_mut()[main].code[0] = Op::Jump(end);
+        let mut bc = Briefcase::new();
+        bc.append(folders::CODE, program.encode());
+        bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
+        assert!(matches!(run(&mut bc), Err(VmError::Unverifiable(_))));
     }
 
     #[test]
@@ -184,7 +219,10 @@ mod tests {
         bc.set_single(folders::CODE_TYPE, code_types::BINARY_ARTIFACT);
         assert!(matches!(
             run(&mut bc),
-            Err(VmError::UnsupportedCodeType { vm: "vm_script", .. })
+            Err(VmError::UnsupportedCodeType {
+                vm: "vm_script",
+                ..
+            })
         ));
     }
 

@@ -12,7 +12,11 @@ use tacoma_vm::{
 const SRC: &str = r#"fn main() { bc_set("RAN-ON", host_name()); exit(0); }"#;
 
 fn all_vms() -> Vec<Box<dyn VirtualMachine>> {
-    vec![Box::new(VmScript::new()), Box::new(VmBin::new()), Box::new(VmC::new())]
+    vec![
+        Box::new(VmScript::new()),
+        Box::new(VmBin::new()),
+        Box::new(VmC::new()),
+    ]
 }
 
 #[test]
@@ -29,7 +33,10 @@ fn acceptance_matrix_is_exactly_as_documented() {
         ("vm_c", code_types::BINARY_ARTIFACT, false),
     ];
     for (vm_name, code_type, accepted) in expectations {
-        let vm = all_vms().into_iter().find(|v| v.name() == vm_name).expect("vm exists");
+        let vm = all_vms()
+            .into_iter()
+            .find(|v| v.name() == vm_name)
+            .expect("vm exists");
         assert_eq!(vm.accepts(code_type), accepted, "{vm_name} x {code_type}");
     }
 }
@@ -42,9 +49,21 @@ fn same_agent_runs_on_every_vm_shape() {
     // Source on vm_script and vm_c; bytecode on vm_bin (unsigned, allowed).
     let program = compile_source(SRC).unwrap();
     let cases: Vec<(Box<dyn VirtualMachine>, Vec<u8>, &str)> = vec![
-        (Box::new(VmScript::new()), SRC.as_bytes().to_vec(), code_types::TAXSCRIPT_SOURCE),
-        (Box::new(VmC::new()), SRC.as_bytes().to_vec(), code_types::TAXSCRIPT_SOURCE),
-        (Box::new(VmBin::new()), program.encode(), code_types::TAXSCRIPT_BYTECODE),
+        (
+            Box::new(VmScript::new()),
+            SRC.as_bytes().to_vec(),
+            code_types::TAXSCRIPT_SOURCE,
+        ),
+        (
+            Box::new(VmC::new()),
+            SRC.as_bytes().to_vec(),
+            code_types::TAXSCRIPT_SOURCE,
+        ),
+        (
+            Box::new(VmBin::new()),
+            program.encode(),
+            code_types::TAXSCRIPT_BYTECODE,
+        ),
     ];
     for (vm, code, code_type) in cases {
         let mut bc = Briefcase::new();
@@ -52,11 +71,16 @@ fn same_agent_runs_on_every_vm_shape() {
         bc.set_single(folders::CODE_TYPE, code_type);
         let ctx = ExecContext::new(&trust, &natives).allow_unsigned();
         let mut hooks = NullHooks::default();
-        let exec = vm.execute(&mut bc, &mut hooks, &ctx).unwrap_or_else(|e| {
-            panic!("{} failed on {}: {e}", vm.name(), code_type)
-        });
+        let exec = vm
+            .execute(&mut bc, &mut hooks, &ctx)
+            .unwrap_or_else(|e| panic!("{} failed on {}: {e}", vm.name(), code_type));
         assert_eq!(exec.outcome, Outcome::Exit(0), "{}", vm.name());
-        assert_eq!(bc.single_str("RAN-ON").unwrap(), "localhost", "{}", vm.name());
+        assert_eq!(
+            bc.single_str("RAN-ON").unwrap(),
+            "localhost",
+            "{}",
+            vm.name()
+        );
     }
 }
 
@@ -70,7 +94,10 @@ fn named_script_vm_runs_under_its_alias() {
     bc.append(folders::CODE, SRC);
     let ctx = ExecContext::new(&trust, &natives);
     let mut hooks = NullHooks::default();
-    assert_eq!(vm.execute(&mut bc, &mut hooks, &ctx).unwrap().outcome, Outcome::Exit(0));
+    assert_eq!(
+        vm.execute(&mut bc, &mut hooks, &ctx).unwrap().outcome,
+        Outcome::Exit(0)
+    );
 }
 
 #[test]
@@ -84,8 +111,12 @@ fn signed_artifact_runs_on_vm_bin_under_strict_trust() {
         Ok(Outcome::Finished)
     });
 
-    let bundle = ArtifactBundle::new()
-        .with(BinaryArtifact::native("tool", Architecture::simulated(), "tool", 5_000));
+    let bundle = ArtifactBundle::new().with(BinaryArtifact::native(
+        "tool",
+        Architecture::simulated(),
+        "tool",
+        5_000,
+    ));
     let code = bundle.encode();
     let mut bc = Briefcase::new();
     bc.set_single(folders::PRINCIPAL, "vendor");
@@ -113,9 +144,15 @@ fn fuel_budget_applies_on_every_scripting_path() {
         let mut bc = Briefcase::new();
         bc.append(folders::CODE, looping);
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_SOURCE);
-        let ctx = ExecContext::new(&trust, &natives).allow_unsigned().with_fuel(50_000);
+        let ctx = ExecContext::new(&trust, &natives)
+            .allow_unsigned()
+            .with_fuel(50_000);
         let mut hooks = NullHooks::default();
         let err = vm.execute(&mut bc, &mut hooks, &ctx).unwrap_err();
-        assert!(err.to_string().contains("instruction budget"), "{}: {err}", vm.name());
+        assert!(
+            err.to_string().contains("instruction budget"),
+            "{}: {err}",
+            vm.name()
+        );
     }
 }

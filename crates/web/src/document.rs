@@ -107,7 +107,11 @@ mod tests {
 
     #[test]
     fn content_type_roundtrip() {
-        for ct in [ContentType::Html, ContentType::Image, ContentType::Postscript] {
+        for ct in [
+            ContentType::Html,
+            ContentType::Image,
+            ContentType::Postscript,
+        ] {
             assert_eq!(ContentType::from_str_lossy(ct.as_str()), ct);
         }
         assert_eq!(ContentType::from_str_lossy("wat"), ContentType::Postscript);

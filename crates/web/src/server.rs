@@ -9,8 +9,8 @@
 //! fast LAN).
 
 use tacoma_briefcase::{folders, Briefcase};
-use tacoma_core::{arg, command_of, error_reply, ok_reply, ServiceAgent, ServiceEnv};
 use tacoma_core::HostHooks;
+use tacoma_core::{arg, command_of, error_reply, ok_reply, ServiceAgent, ServiceEnv};
 
 use crate::{ContentType, Site, WebUrl};
 
@@ -29,7 +29,10 @@ pub struct WebServer {
 impl WebServer {
     /// A server for the given site with the default processing cost.
     pub fn new(site: Site) -> Self {
-        WebServer { site, work_ns: DEFAULT_SERVER_WORK_NS }
+        WebServer {
+            site,
+            work_ns: DEFAULT_SERVER_WORK_NS,
+        }
     }
 
     /// Overrides the per-request processing cost.
@@ -66,7 +69,10 @@ impl ServiceAgent for WebServer {
         match self.site.get(path) {
             Some(doc) if doc.redirect_to.is_some() => {
                 reply.set_single("HTTP-STATUS", 301i64);
-                reply.set_single("LOCATION", doc.redirect_to.clone().expect("checked is_some"));
+                reply.set_single(
+                    "LOCATION",
+                    doc.redirect_to.clone().expect("checked is_some"),
+                );
                 reply.set_single("CONTENT-TYPE", doc.content_type.as_str());
                 reply.set_single("SIZE", 0i64);
             }
@@ -154,9 +160,20 @@ impl<'a> WebClient<'a> {
         let age_days = reply.single_i64("AGE-DAYS").unwrap_or(0).max(0) as u32;
         let links = reply
             .folder("LINKS")
-            .map(|f| f.iter().filter_map(|e| e.as_str().ok().map(str::to_owned)).collect())
+            .map(|f| {
+                f.iter()
+                    .filter_map(|e| e.as_str().ok().map(str::to_owned))
+                    .collect()
+            })
             .unwrap_or_default();
-        Some(FetchOutcome { status, location, content_type, size, age_days, links })
+        Some(FetchOutcome {
+            status,
+            location,
+            content_type,
+            size,
+            age_days,
+            links,
+        })
     }
 
     /// Fetches a page (body + links). `None` means the server was
@@ -176,9 +193,9 @@ impl<'a> WebClient<'a> {
 mod tests {
     use super::*;
     use crate::{Document, SiteSpec};
-    use tacoma_core::{Principal, Rights, TrustStore};
     use tacoma_core::NullHooks;
     use tacoma_core::{Architecture, NativeRegistry};
+    use tacoma_core::{Principal, Rights, TrustStore};
 
     fn serve(site: Site, request: &mut Briefcase) -> Briefcase {
         let server = WebServer::new(site);
@@ -200,7 +217,11 @@ mod tests {
 
     fn site() -> Site {
         let mut s = Site::empty("server");
-        s.add(Document::html("/index.html", 500).link("/a.html").link("/dead.html"));
+        s.add(
+            Document::html("/index.html", 500)
+                .link("/a.html")
+                .link("/dead.html"),
+        );
         s.add(Document::html("/a.html", 300));
         s
     }
@@ -244,7 +265,10 @@ mod tests {
         req.set_single(folders::COMMAND, "delete");
         req.append(folders::ARGS, "/index.html");
         let reply = serve(site(), &mut req);
-        assert!(reply.single_str(folders::STATUS).unwrap().starts_with("error"));
+        assert!(reply
+            .single_str(folders::STATUS)
+            .unwrap()
+            .starts_with("error"));
     }
 
     #[test]

@@ -105,7 +105,10 @@ pub struct Site {
 impl Site {
     /// An empty site on `host`.
     pub fn empty(host: impl Into<String>) -> Self {
-        Site { host: host.into(), documents: BTreeMap::new() }
+        Site {
+            host: host.into(),
+            documents: BTreeMap::new(),
+        }
     }
 
     /// Adds a document (hand-built sites for tests).
@@ -124,7 +127,13 @@ impl Site {
 
         // Page paths and a depth-bounded spanning tree.
         let paths: Vec<String> = (0..spec.pages)
-            .map(|i| if i == 0 { "/index.html".to_owned() } else { format!("/p/{i:04}.html") })
+            .map(|i| {
+                if i == 0 {
+                    "/index.html".to_owned()
+                } else {
+                    format!("/p/{i:04}.html")
+                }
+            })
             .collect();
         let mut depths = vec![0usize; spec.pages];
         let mut docs: Vec<Document> = paths.iter().map(|p| Document::html(p, 0)).collect();
@@ -159,7 +168,8 @@ impl Site {
                     let host = &spec.external_hosts[host_idx];
                     ext_counter += 1;
                     if rng.random::<f64>() < spec.broken_external_rate {
-                        doc.links.push(format!("http://{host}/missing/{ext_counter:04}.html"));
+                        doc.links
+                            .push(format!("http://{host}/missing/{ext_counter:04}.html"));
                     } else {
                         doc.links.push(format!("http://{host}/index.html"));
                     }
@@ -189,9 +199,19 @@ impl Site {
         let n_assets = (spec.pages as f64 * spec.non_html_rate) as usize;
         let mut assets = Vec::with_capacity(n_assets);
         for a in 0..n_assets {
-            let content_type =
-                if rng.random::<f64>() < 0.5 { ContentType::Image } else { ContentType::Postscript };
-            let path = format!("/assets/{a:04}.{}", if content_type == ContentType::Image { "gif" } else { "ps" });
+            let content_type = if rng.random::<f64>() < 0.5 {
+                ContentType::Image
+            } else {
+                ContentType::Postscript
+            };
+            let path = format!(
+                "/assets/{a:04}.{}",
+                if content_type == ContentType::Image {
+                    "gif"
+                } else {
+                    "ps"
+                }
+            );
             let owner = rng.random_range(0..spec.pages);
             docs[owner].links.push(path.clone());
             assets.push(Document::asset(path, 0, content_type));
@@ -237,12 +257,18 @@ impl Site {
 
     /// Number of real HTML pages (redirect stubs excluded).
     pub fn html_page_count(&self) -> usize {
-        self.documents.values().filter(|d| d.is_html() && d.redirect_to.is_none()).count()
+        self.documents
+            .values()
+            .filter(|d| d.is_html() && d.redirect_to.is_none())
+            .count()
     }
 
     /// Number of `301 Moved` stubs.
     pub fn moved_count(&self) -> usize {
-        self.documents.values().filter(|d| d.redirect_to.is_some()).count()
+        self.documents
+            .values()
+            .filter(|d| d.redirect_to.is_some())
+            .count()
     }
 
     /// Total bytes across documents.
@@ -265,7 +291,9 @@ impl Site {
             queue.push_back(("/index.html".to_owned(), 0usize));
         }
         while let Some((path, depth)) = queue.pop_front() {
-            let Some(doc) = self.documents.get(&path) else { continue };
+            let Some(doc) = self.documents.get(&path) else {
+                continue;
+            };
             // A moved stub passes straight through to its target (the
             // robot follows the 301 without spending a depth level).
             if let Some(target) = &doc.redirect_to {
@@ -281,7 +309,9 @@ impl Site {
                 continue;
             }
             for link in &doc.links {
-                if link.starts_with('/') && self.documents.contains_key(link) && seen.insert(link.clone())
+                if link.starts_with('/')
+                    && self.documents.contains_key(link)
+                    && seen.insert(link.clone())
                 {
                     queue.push_back((link.clone(), depth + 1));
                 }
@@ -304,7 +334,10 @@ mod tests {
         assert!(site.moved_count() > 0, "some URLs have moved");
         for doc in site.documents().filter(|d| d.redirect_to.is_some()) {
             let target = doc.redirect_to.as_deref().unwrap();
-            assert!(site.get(target).is_some(), "moved stub must point at a live page");
+            assert!(
+                site.get(target).is_some(),
+                "moved stub must point at a live page"
+            );
         }
         // Every real page reachable from the index within the depth bound
         // (moved stubs may also appear in the reachable set).
@@ -355,7 +388,10 @@ mod tests {
     #[test]
     fn external_links_only_with_external_hosts() {
         let without = Site::generate(&SiteSpec::paper_site("server"));
-        assert!(!without.documents().flat_map(|d| d.links.iter()).any(|l| l.starts_with("http://")));
+        assert!(!without
+            .documents()
+            .flat_map(|d| d.links.iter())
+            .any(|l| l.starts_with("http://")));
 
         let with = Site::generate(&SiteSpec::paper_site("server").with_external_hosts(["ext1"]));
         let externals: Vec<&String> = with

@@ -28,7 +28,11 @@ pub struct ParseWebUrlError {
 
 impl fmt::Display for ParseWebUrlError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "invalid web URL {:?} (expected http://host/path)", self.input)
+        write!(
+            f,
+            "invalid web URL {:?} (expected http://host/path)",
+            self.input
+        )
     }
 }
 
@@ -41,7 +45,10 @@ impl WebUrl {
         if !path.starts_with('/') {
             path.insert(0, '/');
         }
-        WebUrl { host: host.into(), path }
+        WebUrl {
+            host: host.into(),
+            path,
+        }
     }
 
     /// The host part.
@@ -82,14 +89,18 @@ impl FromStr for WebUrl {
     type Err = ParseWebUrlError;
 
     fn from_str(s: &str) -> Result<Self, Self::Err> {
-        let err = || ParseWebUrlError { input: s.to_owned() };
+        let err = || ParseWebUrlError {
+            input: s.to_owned(),
+        };
         let rest = s.strip_prefix("http://").ok_or_else(err)?;
         let (host, path) = match rest.find('/') {
             Some(i) => (&rest[..i], &rest[i..]),
             None => (rest, "/"),
         };
         if host.is_empty()
-            || !host.bytes().all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
+            || !host
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b == b'.' || b == b'-')
         {
             return Err(err());
         }
@@ -132,9 +143,18 @@ mod tests {
     #[test]
     fn join_resolves_absolute_relative_and_full() {
         let page: WebUrl = "http://h/dir/page.html".parse().unwrap();
-        assert_eq!(page.join("/top.html").unwrap().to_string(), "http://h/top.html");
-        assert_eq!(page.join("sib.html").unwrap().to_string(), "http://h/dir/sib.html");
-        assert_eq!(page.join("http://other/x").unwrap().to_string(), "http://other/x");
+        assert_eq!(
+            page.join("/top.html").unwrap().to_string(),
+            "http://h/top.html"
+        );
+        assert_eq!(
+            page.join("sib.html").unwrap().to_string(),
+            "http://h/dir/sib.html"
+        );
+        assert_eq!(
+            page.join("http://other/x").unwrap().to_string(),
+            "http://other/x"
+        );
     }
 
     #[test]

@@ -83,7 +83,9 @@ impl CaseStudyParams {
     }
 
     fn external_host_names(&self) -> Vec<String> {
-        (0..self.external_hosts).map(|i| format!("ext{i}")).collect()
+        (0..self.external_hosts)
+            .map(|i| format!("ext{i}"))
+            .collect()
     }
 }
 
@@ -134,7 +136,9 @@ pub fn build_system(params: &CaseStudyParams) -> TaxSystem {
     .with_external_hosts(externals.clone());
     let site = Site::generate(&spec);
     let server = system.host(SERVER).expect("server host");
-    server.add_service(Arc::new(WebServer::new(site).with_work_ns(params.server_work_ns)));
+    server.add_service(Arc::new(
+        WebServer::new(site).with_work_ns(params.server_work_ns),
+    ));
 
     // Each external host serves a one-page site: `/index.html` exists,
     // everything else 404s — exactly what the generator's external links
@@ -161,7 +165,9 @@ pub fn run_stationary(params: &CaseStudyParams) -> CaseStudyOutcome {
     let mut system = build_system(params);
     let config = webbot_config(params);
     let spec = mobile::stationary_spec(&config, params.check_externals);
-    system.launch(CLIENT, spec).expect("launch stationary webbot");
+    system
+        .launch(CLIENT, spec)
+        .expect("launch stationary webbot");
     system.run_until_quiet();
     collect(&mut system, CLIENT)
 }
@@ -172,7 +178,13 @@ pub fn run_mobile(params: &CaseStudyParams) -> CaseStudyOutcome {
     let mut system = build_system(params);
     let config = webbot_config(params);
     let monitor = format!("tacoma://{CLIENT}/ag_log");
-    let spec = mobile::mw_webbot_spec(SERVER, CLIENT, &config, params.check_externals, Some(&monitor));
+    let spec = mobile::mw_webbot_spec(
+        SERVER,
+        CLIENT,
+        &config,
+        params.check_externals,
+        Some(&monitor),
+    );
     system.launch(CLIENT, spec).expect("launch mwWebbot");
     system.run_until_quiet();
     collect(&mut system, CLIENT)
@@ -206,8 +218,7 @@ fn collect(system: &mut TaxSystem, home: &str) -> CaseStudyOutcome {
     let stats = system.network().stats();
     let client: tacoma_core::HostId = CLIENT.parse().expect("client id");
     let server: tacoma_core::HostId = SERVER.parse().expect("server id");
-    let link_bytes =
-        stats.pair(&client, &server).bytes + stats.pair(&server, &client).bytes;
+    let link_bytes = stats.pair(&client, &server).bytes + stats.pair(&server, &client).bytes;
 
     CaseStudyOutcome {
         report,
@@ -246,10 +257,20 @@ mod tests {
     #[test]
     fn stationary_scan_pulls_site_over_the_link() {
         let out = run_stationary(&small_params());
-        assert_eq!(out.report.pages_scanned as usize, 60 + out.report.non_html as usize);
-        assert!(!out.report.invalid.is_empty(), "generated site has dead links");
+        assert_eq!(
+            out.report.pages_scanned as usize,
+            60 + out.report.non_html as usize
+        );
+        assert!(
+            !out.report.invalid.is_empty(),
+            "generated site has dead links"
+        );
         // Pages crossed the network.
-        assert!(out.link_bytes >= 2_000_000, "link bytes {} < site bytes", out.link_bytes);
+        assert!(
+            out.link_bytes >= 2_000_000,
+            "link bytes {} < site bytes",
+            out.link_bytes
+        );
         assert!(out.scan_time > Duration::ZERO);
     }
 
@@ -288,9 +309,17 @@ mod tests {
         let out = run_mobile(&params);
         // Dead external links (missing paths on ext hosts) are reported
         // with their referrers.
-        let external_invalid: Vec<_> =
-            out.report.invalid.iter().filter(|i| i.url.contains("/missing/")).collect();
-        assert!(!external_invalid.is_empty(), "expected dead externals: {:?}", out.report.summary());
+        let external_invalid: Vec<_> = out
+            .report
+            .invalid
+            .iter()
+            .filter(|i| i.url.contains("/missing/"))
+            .collect();
+        assert!(
+            !external_invalid.is_empty(),
+            "expected dead externals: {:?}",
+            out.report.summary()
+        );
     }
 
     #[test]

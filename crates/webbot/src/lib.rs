@@ -36,5 +36,5 @@ mod report;
 mod robot;
 
 pub use config::WebbotConfig;
-pub use report::{LinkIssue, Rejected, RejectReason, WebbotReport};
+pub use report::{LinkIssue, RejectReason, Rejected, WebbotReport};
 pub use robot::Webbot;

@@ -12,7 +12,7 @@
 use tacoma_briefcase::{folders, Briefcase};
 use tacoma_core::{AgentSpec, Architecture, ArtifactBundle, BinaryArtifact, HostHooks, TaxHost};
 
-use crate::{LinkIssue, Rejected, RejectReason, Webbot, WebbotConfig, WebbotReport};
+use crate::{LinkIssue, RejectReason, Rejected, Webbot, WebbotConfig, WebbotReport};
 
 /// Registry key of the Webbot binary.
 pub const WEBBOT_KEY: &str = "webbot";
@@ -38,8 +38,18 @@ const EXT_CHECK_WORK_NS: u64 = 200_000;
 /// architectures to ag_exec".
 pub fn webbot_bundle() -> ArtifactBundle {
     ArtifactBundle::new()
-        .with(BinaryArtifact::native(WEBBOT_KEY, Architecture::simulated(), WEBBOT_KEY, WEBBOT_BINARY_SIZE))
-        .with(BinaryArtifact::native(WEBBOT_KEY, Architecture::i386_linux(), WEBBOT_KEY, WEBBOT_BINARY_SIZE))
+        .with(BinaryArtifact::native(
+            WEBBOT_KEY,
+            Architecture::simulated(),
+            WEBBOT_KEY,
+            WEBBOT_BINARY_SIZE,
+        ))
+        .with(BinaryArtifact::native(
+            WEBBOT_KEY,
+            Architecture::i386_linux(),
+            WEBBOT_KEY,
+            WEBBOT_BINARY_SIZE,
+        ))
 }
 
 /// The mwWebbot artifact bundle.
@@ -152,7 +162,13 @@ fn mw_webbot_main(bc: &mut Briefcase, hooks: &mut dyn HostHooks) -> tacoma_core:
                 request.set_single("EXEC-BIN", bin.clone());
             }
             // Forward the Webbot arguments.
-            for name in ["WBT:START", "WBT:DEPTH", "WBT:PREFIX", "WBT:PAGE-WORK-NS", "WBT:BYTE-WORK-NS"] {
+            for name in [
+                "WBT:START",
+                "WBT:DEPTH",
+                "WBT:PREFIX",
+                "WBT:PAGE-WORK-NS",
+                "WBT:BYTE-WORK-NS",
+            ] {
                 if let Some(folder) = bc.folder(name) {
                     let mut copied = tacoma_briefcase::Folder::new(name);
                     copied.extend(folder.iter().cloned());
@@ -222,7 +238,8 @@ fn stationary_main(bc: &mut Briefcase, hooks: &mut dyn HostHooks) -> tacoma_core
     bc.set_single("MW:T-SCAN-DONE-MS", hooks.now_ms());
     if bc.single_str("MW:CHECK-EXT") == Ok("1") {
         let work_list: Vec<Rejected> = report.prefix_rejected().cloned().collect();
-        let externally_invalid = Webbot::new().check_uris(work_list.iter(), hooks, EXT_CHECK_WORK_NS);
+        let externally_invalid =
+            Webbot::new().check_uris(work_list.iter(), hooks, EXT_CHECK_WORK_NS);
         report.links_checked += work_list.len() as u64;
         report.invalid.extend(externally_invalid);
     }
@@ -290,7 +307,9 @@ impl RunStamps {
     /// Ensures the stamps are monotone (a report that travelled through
     /// broken clocks is suspect).
     pub fn is_monotone(&self) -> bool {
-        self.t0 <= self.arrive && self.arrive <= self.scan_done && self.scan_done <= self.ext_done
+        self.t0 <= self.arrive
+            && self.arrive <= self.scan_done
+            && self.scan_done <= self.ext_done
             && self.ext_done <= self.home
     }
 
@@ -310,7 +329,10 @@ mod tests {
     #[test]
     fn bundles_cost_realistic_bytes() {
         let w = webbot_bundle().encode();
-        assert!(w.len() >= 2 * WEBBOT_BINARY_SIZE, "two architectures carried");
+        assert!(
+            w.len() >= 2 * WEBBOT_BINARY_SIZE,
+            "two architectures carried"
+        );
         let m = mw_webbot_bundle().encode();
         assert!(m.len() >= MW_BINARY_SIZE);
     }
@@ -318,7 +340,13 @@ mod tests {
     #[test]
     fn spec_carries_binary_config_and_wrapper() {
         let config = WebbotConfig::scan_site("server");
-        let spec = mw_webbot_spec("server", "client", &config, true, Some("tacoma://client/ag_log"));
+        let spec = mw_webbot_spec(
+            "server",
+            "client",
+            &config,
+            true,
+            Some("tacoma://client/ag_log"),
+        );
         let principal = tacoma_core::Principal::new("p").unwrap();
         let bc = match spec_briefcase(&spec, &principal) {
             Ok(bc) => bc,

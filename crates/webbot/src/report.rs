@@ -85,7 +85,9 @@ impl WebbotReport {
 
     /// The prefix-rejected URIs — the §5 second-step work list.
     pub fn prefix_rejected(&self) -> impl Iterator<Item = &Rejected> {
-        self.rejected.iter().filter(|r| r.reason == RejectReason::Prefix)
+        self.rejected
+            .iter()
+            .filter(|r| r.reason == RejectReason::Prefix)
     }
 
     /// Serializes the report into `WBT:` briefcase folders.
@@ -225,7 +227,10 @@ mod tests {
 
     #[test]
     fn read_from_empty_briefcase_is_default() {
-        assert_eq!(WebbotReport::read_from(&Briefcase::new()), WebbotReport::default());
+        assert_eq!(
+            WebbotReport::read_from(&Briefcase::new()),
+            WebbotReport::default()
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@ use std::collections::HashSet;
 use tacoma_core::HostHooks;
 use tacoma_web::{ContentType, WebClient, WebUrl};
 
-use crate::{LinkIssue, Rejected, RejectReason, WebbotConfig, WebbotReport};
+use crate::{LinkIssue, RejectReason, Rejected, WebbotConfig, WebbotReport};
 
 /// The robot. Stateless between runs; everything it learns goes into the
 /// [`WebbotReport`].
@@ -109,7 +109,9 @@ impl Webbot {
                 cache.insert(url.clone(), fetched);
             }
 
-            let Some(Some((is_html, links))) = cache.get(&url) else { continue };
+            let Some(Some((is_html, links))) = cache.get(&url) else {
+                continue;
+            };
             if !is_html {
                 continue;
             }
@@ -217,7 +219,11 @@ mod tests {
 
     impl FakeWeb {
         fn new(sites: Vec<Site>) -> Self {
-            FakeWeb { sites, requests: 0, work: 0 }
+            FakeWeb {
+                sites,
+                requests: 0,
+                work: 0,
+            }
         }
     }
 
@@ -288,7 +294,11 @@ mod tests {
                 .link("http://outside/x.html")
                 .link("/pic.gif"),
         );
-        s.add(Document::html("/a.html", 500).link("/b.html").link("/index.html"));
+        s.add(
+            Document::html("/a.html", 500)
+                .link("/b.html")
+                .link("/index.html"),
+        );
         s.add(Document::html("/b.html", 400).link("/c.html"));
         s.add(Document::html("/c.html", 300).link("/d.html"));
         s.add(Document::html("/d.html", 200));
@@ -351,7 +361,11 @@ mod tests {
         let config = WebbotConfig::scan_site("cs");
         Webbot::new().run(&config, &mut web);
         let expected_min = 6 * config.page_work_ns;
-        assert!(web.work >= expected_min, "work {} < {expected_min}", web.work);
+        assert!(
+            web.work >= expected_min,
+            "work {} < {expected_min}",
+            web.work
+        );
     }
 
     #[test]
@@ -428,8 +442,18 @@ mod tests {
 
     #[test]
     fn second_step_dedupes_urls() {
-        let rejected = [Rejected { referrer: "a".into(), url: "http://outside/x.html".into(), reason: RejectReason::Prefix },
-            Rejected { referrer: "b".into(), url: "http://outside/x.html".into(), reason: RejectReason::Prefix }];
+        let rejected = [
+            Rejected {
+                referrer: "a".into(),
+                url: "http://outside/x.html".into(),
+                reason: RejectReason::Prefix,
+            },
+            Rejected {
+                referrer: "b".into(),
+                url: "http://outside/x.html".into(),
+                reason: RejectReason::Prefix,
+            },
+        ];
         let mut web = FakeWeb::new(vec![]);
         let invalid = Webbot::new().check_uris(rejected.iter(), &mut web, 0);
         assert_eq!(invalid.len(), 1, "same URL checked once");

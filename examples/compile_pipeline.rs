@@ -10,7 +10,11 @@
 use tacoma::core::{AgentSpec, EventKind, SystemBuilder, TaxError};
 
 fn main() -> Result<(), TaxError> {
-    let mut system = SystemBuilder::new().host("cl2")?.host("cl3")?.trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("cl2")?
+        .host("cl3")?
+        .trust_all()
+        .build();
 
     // Source in the briefcase, targeted at vm_c. After compiling on cl2
     // the agent hops to cl3 — carrying the *binary* now, so vm_bin runs

@@ -10,7 +10,10 @@ use tacoma_bench::mining::{run_client_pull, run_mobile_agent, MiningParams};
 
 fn main() {
     for selectivity in [0.02, 0.20, 0.80] {
-        let params = MiningParams { selectivity, ..MiningParams::default() };
+        let params = MiningParams {
+            selectivity,
+            ..MiningParams::default()
+        };
         let pull = run_client_pull(&params);
         let agent = run_mobile_agent(&params);
         assert_eq!(pull.matches, agent.matches, "same answer either way");

@@ -25,11 +25,17 @@ fn main() {
 
     println!("stationary (robot at the client, pages over the LAN):");
     println!("  {}", stationary.report.summary());
-    println!("  scan {:?}, {} bytes over the link", stationary.scan_time, stationary.link_bytes);
+    println!(
+        "  scan {:?}, {} bytes over the link",
+        stationary.scan_time, stationary.link_bytes
+    );
 
     println!("\nmobile (mwWebbot carries the robot to the server):");
     println!("  {}", mobile.report.summary());
-    println!("  scan {:?}, {} bytes over the link", mobile.scan_time, mobile.link_bytes);
+    println!(
+        "  scan {:?}, {} bytes over the link",
+        mobile.scan_time, mobile.link_bytes
+    );
 
     println!(
         "\nthe local scan is {:.1}% faster and moves {:.1}x fewer bytes.",

@@ -29,7 +29,8 @@ fn main() -> Result<(), TaxError> {
         write.set_single("CMD", "write");
         write.append("ARGS", "/sensors/wind.txt");
         write.set_single("DATA", value.as_bytes().to_vec());
-        sys.call_service(host, "ag_fs", &principal, write).expect("seed reading");
+        sys.call_service(host, "ag_fs", &principal, write)
+            .expect("seed reading");
     };
     seed(&mut system, "station1", "17");
     seed(&mut system, "station2", "41"); // storm!
@@ -107,7 +108,12 @@ fn main() -> Result<(), TaxError> {
         println!("{line}");
     }
     let out = system.agent_outputs();
-    assert!(out.iter().any(|l| l.contains("ALARM RECEIVED: storm at station2")));
-    assert!(!out.iter().any(|l| l.contains("FORGED")), "the seal must drop the forgery");
+    assert!(out
+        .iter()
+        .any(|l| l.contains("ALARM RECEIVED: storm at station2")));
+    assert!(
+        !out.iter().any(|l| l.contains("FORGED")),
+        "the seal must drop the forgery"
+    );
     Ok(())
 }

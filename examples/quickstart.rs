@@ -9,7 +9,11 @@ use tacoma::core::{AgentSpec, SystemBuilder, TaxError};
 fn main() -> Result<(), TaxError> {
     // 1. A deployment: two hosts on the default 100 Mbit LAN, trusting
     //    each other's system principals (one administrative domain).
-    let mut system = SystemBuilder::new().host("alpha")?.host("beta")?.trust_all().build();
+    let mut system = SystemBuilder::new()
+        .host("alpha")?
+        .host("beta")?
+        .trust_all()
+        .build();
 
     // 2. An agent in TaxScript. It greets, asks the local compiler
     //    service for a build, hops to beta, and greets again — all state

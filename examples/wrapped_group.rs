@@ -13,9 +13,16 @@ use tacoma::core::wrappers::AgLocator;
 use tacoma::core::{folders, AgentSpec, Briefcase, Principal, SystemBuilder, TaxError};
 
 fn main() -> Result<(), TaxError> {
-    let mut system =
-        SystemBuilder::new().host("h1")?.host("h2")?.host("h3")?.trust_all().build();
-    system.host("h1").unwrap().add_service(Arc::new(AgLocator::new()));
+    let mut system = SystemBuilder::new()
+        .host("h1")?
+        .host("h2")?
+        .host("h3")?
+        .trust_all()
+        .build();
+    system
+        .host("h1")
+        .unwrap()
+        .add_service(Arc::new(AgLocator::new()));
 
     // A publisher (also the group's sequencer) multicasts three updates;
     // two subscribers each deliver all three in the same total order.
@@ -94,6 +101,9 @@ fn main() -> Result<(), TaxError> {
     lookup.set_single(folders::COMMAND, "lookup");
     lookup.append(folders::ARGS, "nomad");
     let reply = system.call_service("h1", "ag_locator", &principal, lookup)?;
-    println!("\nlocator on h1: nomad -> {}", reply.single_str("URI").unwrap_or("(unknown)"));
+    println!(
+        "\nlocator on h1: nomad -> {}",
+        reply.single_str("URI").unwrap_or("(unknown)")
+    );
     Ok(())
 }

@@ -1,0 +1,16 @@
+#!/usr/bin/env sh
+# The full local gate: formatting, lints, tests. CI runs exactly this.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy (deny warnings)"
+cargo clippy --all-targets -- -D warnings
+
+echo "==> cargo test"
+cargo test -q
+
+echo "ok: all checks passed"

@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! taxsh run <file.tax> [host1,host2,...]   run a TaxScript agent across hosts
+//! taxsh check <file.tax>                   verify + lint without running
 //! taxsh disasm <file.tax>                  compile and summarize a program
 //! taxsh uri <agent-uri>                    parse a Figure-2 URI and explain it
 //! taxsh scan [pages] [bytes]               the §5 case study, both ways
@@ -13,19 +14,25 @@ use std::process::ExitCode;
 
 use tacoma::core::{AgentSpec, SystemBuilder};
 use tacoma::taxscript::compile_source;
-use tacoma::uri::AgentUri;
+use tacoma::uri::{AgentUri, HostPort};
 use tacoma::webbot::experiment::{run_mobile, run_stationary, speedup, CaseStudyParams};
 
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
+        Some("check") => cmd_check(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("uri") => cmd_uri(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         _ => {
-            eprintln!("usage: taxsh <run|disasm|uri|scan> ...");
-            eprintln!("  run <file.tax> [h1,h2,...]  launch the script on h1, itinerary over the rest");
+            eprintln!("usage: taxsh <run|check|disasm|uri|scan> ...");
+            eprintln!(
+                "  run <file.tax> [h1,h2,...]  launch the script on h1, itinerary over the rest"
+            );
+            eprintln!(
+                "  check <file.tax>            verify bytecode + capability manifest + lints"
+            );
             eprintln!("  disasm <file.tax>           compile and summarize");
             eprintln!("  uri <agent-uri>             parse and explain");
             eprintln!("  scan [pages] [bytes]        the dead-link case study, both ways");
@@ -47,18 +54,21 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
     // Validate before building a whole system.
     compile_source(&source).map_err(|e| format!("{path}: {e}"))?;
 
-    let hosts: Vec<String> = args
-        .get(1)
-        .map(|s| s.split(',').map(str::to_owned).collect())
-        .unwrap_or_else(|| vec!["alpha".to_owned(), "beta".to_owned()]);
+    let hosts: Vec<String> = args.get(1).map_or_else(
+        || vec!["alpha".to_owned(), "beta".to_owned()],
+        |s| s.split(',').map(str::to_owned).collect(),
+    );
     let mut builder = SystemBuilder::new();
     for h in &hosts {
         builder = builder.host(h).map_err(|e| e.to_string())?;
     }
     let mut system = builder.trust_all().build();
 
-    let itinerary: Vec<String> =
-        hosts.iter().skip(1).map(|h| format!("tacoma://{h}/vm_script")).collect();
+    let itinerary: Vec<String> = hosts
+        .iter()
+        .skip(1)
+        .map(|h| format!("tacoma://{h}/vm_script"))
+        .collect();
     let spec = AgentSpec::script("taxsh", source).itinerary(itinerary);
     system.launch(&hosts[0], spec).map_err(|e| e.to_string())?;
     system.run_until_quiet();
@@ -67,6 +77,36 @@ fn cmd_run(args: &[String]) -> Result<(), String> {
         println!("{host:>12}  {event}");
     }
     Ok(())
+}
+
+/// `taxsh check` — the static-analysis front door: verifies the compiled
+/// bytecode, prints the capability manifest a firewall would see, and
+/// reports lint diagnostics. Exits nonzero when verification fails or any
+/// diagnostic fires, so it slots into scripts and CI.
+fn cmd_check(args: &[String]) -> Result<(), String> {
+    let path = args.first().ok_or("check: need a script file")?;
+    let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    let program = compile_source(&source).map_err(|e| format!("{path}: {e}"))?;
+    let report = tacoma::taxscript::analyze(&program).map_err(|e| format!("{path}: {e}"))?;
+
+    println!(
+        "{path}: verified ({} instructions, max stack {})",
+        program.instruction_count(),
+        report.verified.max_stack()
+    );
+    print!("{}", report.capabilities);
+    for d in &report.diagnostics {
+        println!("{path}: {d}");
+    }
+    if report.diagnostics.is_empty() {
+        println!("{path}: no diagnostics");
+        Ok(())
+    } else {
+        Err(format!(
+            "{path}: {} diagnostic(s)",
+            report.diagnostics.len()
+        ))
+    }
 }
 
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
@@ -84,30 +124,77 @@ fn cmd_uri(args: &[String]) -> Result<(), String> {
     let uri: AgentUri = text.parse().map_err(|e| format!("{text:?}: {e}"))?;
     println!("input:      {text}");
     println!("canonical:  {uri}");
-    println!("scope:      {}", if uri.is_local() { "local target (§3.2)" } else { "remote" });
+    println!(
+        "scope:      {}",
+        if uri.is_local() {
+            "local target (§3.2)"
+        } else {
+            "remote"
+        }
+    );
     if let Some(host) = uri.host() {
         println!("host:       {host}");
-        println!("port:       {}", uri.location().map(|l| l.effective_port()).unwrap_or_default());
+        println!(
+            "port:       {}",
+            uri.location()
+                .map(HostPort::effective_port)
+                .unwrap_or_default()
+        );
     }
-    println!("principal:  {}", uri.principal().unwrap_or("(omitted — local system or sender)"));
-    println!("name:       {}", uri.name().unwrap_or("(any — matches by instance)"));
+    println!(
+        "principal:  {}",
+        uri.principal()
+            .unwrap_or("(omitted — local system or sender)")
+    );
+    println!(
+        "name:       {}",
+        uri.name().unwrap_or("(any — matches by instance)")
+    );
     println!(
         "instance:   {}",
-        uri.instance().map(|i| i.to_string()).unwrap_or_else(|| "(any — matches by name)".into())
+        uri.instance()
+            .map_or_else(|| "(any — matches by name)".into(), ToString::to_string)
     );
     Ok(())
 }
 
 fn cmd_scan(args: &[String]) -> Result<(), String> {
-    let pages: usize = args.first().map(|s| s.parse()).transpose().map_err(|_| "scan: bad page count")?.unwrap_or(300);
-    let bytes: u64 = args.get(1).map(|s| s.parse()).transpose().map_err(|_| "scan: bad byte count")?.unwrap_or(1_500_000);
-    let params = CaseStudyParams { pages, total_bytes: bytes, ..CaseStudyParams::paper() };
+    let pages: usize = args
+        .first()
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "scan: bad page count")?
+        .unwrap_or(300);
+    let bytes: u64 = args
+        .get(1)
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "scan: bad byte count")?
+        .unwrap_or(1_500_000);
+    let params = CaseStudyParams {
+        pages,
+        total_bytes: bytes,
+        ..CaseStudyParams::paper()
+    };
 
     println!("scanning {pages} pages / {bytes} bytes, stationary vs mobile ...");
     let stationary = run_stationary(&params);
     let mobile = run_mobile(&params);
-    println!("stationary: {} | scan {:?} | {} LAN bytes", stationary.report.summary(), stationary.scan_time, stationary.link_bytes);
-    println!("mobile:     {} | scan {:?} | {} LAN bytes", mobile.report.summary(), mobile.scan_time, mobile.link_bytes);
-    println!("local scan {:.1}% faster", 100.0 * speedup(stationary.scan_time, mobile.scan_time));
+    println!(
+        "stationary: {} | scan {:?} | {} LAN bytes",
+        stationary.report.summary(),
+        stationary.scan_time,
+        stationary.link_bytes
+    );
+    println!(
+        "mobile:     {} | scan {:?} | {} LAN bytes",
+        mobile.report.summary(),
+        mobile.scan_time,
+        mobile.link_bytes
+    );
+    println!(
+        "local scan {:.1}% faster",
+        100.0 * speedup(stationary.scan_time, mobile.scan_time)
+    );
     Ok(())
 }

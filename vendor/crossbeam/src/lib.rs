@@ -1,0 +1,153 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Only the `channel` module is provided, backed by `std::sync::mpsc`. The
+//! receiver is wrapped in a mutex so it is `Sync` and cloneable like the
+//! real crossbeam receiver (the kernel stores receivers in shared host
+//! state and polls them from guard threads).
+
+pub mod channel {
+    //! Multi-producer channels in the shape of `crossbeam::channel`.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::mpsc;
+    use std::sync::{Arc, Mutex, PoisonError};
+    use std::time::Duration;
+
+    pub use std::sync::mpsc::{RecvError, RecvTimeoutError, SendError, TryRecvError};
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(mpsc::Sender<T>);
+
+    /// The receiving half of an unbounded channel. Unlike
+    /// `std::sync::mpsc::Receiver`, it is `Sync` and `Clone`.
+    pub struct Receiver<T>(Arc<Mutex<Inner<T>>>);
+
+    struct Inner<T> {
+        rx: mpsc::Receiver<T>,
+        // Holds messages pulled off `rx` by `is_empty` probes.
+        peeked: VecDeque<T>,
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Sender")
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("Receiver")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Sends a message, failing only if the channel is disconnected.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            self.0.send(value)
+        }
+    }
+
+    impl<T> Receiver<T> {
+        fn inner(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+
+        /// Receives without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.inner();
+            if let Some(front) = inner.peeked.pop_front() {
+                return Ok(front);
+            }
+            inner.rx.try_recv()
+        }
+
+        /// Blocks until a message arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.inner();
+            if let Some(front) = inner.peeked.pop_front() {
+                return Ok(front);
+            }
+            inner.rx.recv()
+        }
+
+        /// Blocks with a timeout.
+        pub fn recv_timeout(&self, timeout: Duration) -> Result<T, RecvTimeoutError> {
+            let mut inner = self.inner();
+            if let Some(front) = inner.peeked.pop_front() {
+                return Ok(front);
+            }
+            inner.rx.recv_timeout(timeout)
+        }
+
+        /// Whether no message is currently waiting.
+        pub fn is_empty(&self) -> bool {
+            let mut inner = self.inner();
+            if !inner.peeked.is_empty() {
+                return false;
+            }
+            match inner.rx.try_recv() {
+                Ok(value) => {
+                    inner.peeked.push_back(value);
+                    false
+                }
+                Err(_) => true,
+            }
+        }
+
+        /// Number of messages currently waiting.
+        pub fn len(&self) -> usize {
+            let mut inner = self.inner();
+            while let Ok(value) = inner.rx.try_recv() {
+                inner.peeked.push_back(value);
+            }
+            inner.peeked.len()
+        }
+    }
+
+    /// Creates an unbounded channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (
+            Sender(tx),
+            Receiver(Arc::new(Mutex::new(Inner {
+                rx,
+                peeked: VecDeque::new(),
+            }))),
+        )
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::{unbounded, TryRecvError};
+
+        #[test]
+        fn send_and_try_recv() {
+            let (tx, rx) = unbounded();
+            tx.send(7u32).unwrap();
+            assert_eq!(rx.try_recv(), Ok(7));
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+            drop(tx);
+            assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        }
+
+        #[test]
+        fn receiver_is_sync_and_clone() {
+            fn assert_sync<T: Sync + Send + Clone>(_: &T) {}
+            let (_tx, rx) = unbounded::<u32>();
+            assert_sync(&rx);
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Option strategies (`prop::option`).
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Strategy yielding `None` about a quarter of the time and `Some` of the
+/// inner strategy's value otherwise.
+pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy { inner }
+}
+
+/// See [`of`].
+pub struct OptionStrategy<S> {
+    inner: S,
+}
+
+impl<S: Clone> Clone for OptionStrategy<S> {
+    fn clone(&self) -> Self {
+        OptionStrategy {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Option<S::Value> {
+        if rng.ratio(1, 4) {
+            None
+        } else {
+            Some(self.inner.generate(rng))
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! String generation from the regex subset the workspace's tests use.
+//!
+//! Supported syntax: literal characters, `\`-escapes, character classes
+//! with ranges (`[A-Za-z0-9:_.@ -]`, trailing `-` literal), groups,
+//! `\PC` (any printable, i.e. non-control, character), and the
+//! quantifiers `{m}`, `{m,n}`, `{m,}`, `*`, `+`, `?`. Alternation and
+//! negated classes are unsupported and panic, so a test written against a
+//! richer pattern fails loudly rather than generating the wrong language.
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+enum Node {
+    Lit(char),
+    Class(Vec<(char, char)>),
+    Printable,
+    Rep(Box<Node>, u32, u32),
+    Group(Vec<Node>),
+}
+
+/// Generates one string matching `pattern`.
+pub fn generate(pattern: &str, rng: &mut TestRng) -> String {
+    let nodes = parse_seq(&mut pattern.chars().collect::<Vec<_>>().as_slice());
+    let mut out = String::new();
+    for node in &nodes {
+        emit(node, rng, &mut out);
+    }
+    out
+}
+
+fn parse_seq(input: &mut &[char]) -> Vec<Node> {
+    let mut nodes = Vec::new();
+    while let Some(&c) = input.first() {
+        if c == ')' {
+            break;
+        }
+        *input = &input[1..];
+        let atom = match c {
+            '(' => {
+                let inner = parse_seq(input);
+                match input.first() {
+                    Some(')') => *input = &input[1..],
+                    _ => panic!("regex stand-in: unclosed group"),
+                }
+                Node::Group(inner)
+            }
+            '[' => parse_class(input),
+            '\\' => parse_escape(input),
+            '|' => panic!("regex stand-in: alternation '|' is unsupported"),
+            '.' => Node::Printable,
+            other => Node::Lit(other),
+        };
+        nodes.push(parse_quantifier(input, atom));
+    }
+    nodes
+}
+
+fn parse_escape(input: &mut &[char]) -> Node {
+    let c = take(input, "dangling escape");
+    match c {
+        'P' | 'p' => {
+            let category = take(input, "\\P needs a category");
+            assert!(
+                category == 'C' || category == 'c',
+                "regex stand-in: only the \\PC category is supported"
+            );
+            Node::Printable
+        }
+        'd' => Node::Class(vec![('0', '9')]),
+        'w' => Node::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+        's' => Node::Lit(' '),
+        'n' => Node::Lit('\n'),
+        't' => Node::Lit('\t'),
+        other => Node::Lit(other),
+    }
+}
+
+fn parse_class(input: &mut &[char]) -> Node {
+    assert!(
+        input.first() != Some(&'^'),
+        "regex stand-in: negated classes are unsupported"
+    );
+    let mut ranges = Vec::new();
+    loop {
+        let c = take(input, "unclosed character class");
+        if c == ']' {
+            break;
+        }
+        let lo = if c == '\\' {
+            take(input, "dangling escape in class")
+        } else {
+            c
+        };
+        // `a-z` range, unless the '-' is last (then it is a literal).
+        if input.first() == Some(&'-') && input.get(1).is_some_and(|&n| n != ']') {
+            *input = &input[1..];
+            let mut hi = take(input, "unclosed range in class");
+            if hi == '\\' {
+                hi = take(input, "dangling escape in class");
+            }
+            assert!(lo <= hi, "regex stand-in: inverted class range");
+            ranges.push((lo, hi));
+        } else {
+            ranges.push((lo, lo));
+        }
+    }
+    assert!(!ranges.is_empty(), "regex stand-in: empty character class");
+    Node::Class(ranges)
+}
+
+fn parse_quantifier(input: &mut &[char], atom: Node) -> Node {
+    match input.first() {
+        Some('{') => {
+            *input = &input[1..];
+            let mut spec = String::new();
+            loop {
+                let c = take(input, "unclosed quantifier");
+                if c == '}' {
+                    break;
+                }
+                spec.push(c);
+            }
+            let (min, max) = match spec.split_once(',') {
+                None => {
+                    let n = spec.parse().expect("regex stand-in: bad quantifier");
+                    (n, n)
+                }
+                Some((m, "")) => {
+                    let m: u32 = m.parse().expect("regex stand-in: bad quantifier");
+                    (m, m + 8)
+                }
+                Some((m, n)) => (
+                    m.parse().expect("regex stand-in: bad quantifier"),
+                    n.parse().expect("regex stand-in: bad quantifier"),
+                ),
+            };
+            Node::Rep(Box::new(atom), min, max)
+        }
+        Some('*') => {
+            *input = &input[1..];
+            Node::Rep(Box::new(atom), 0, 8)
+        }
+        Some('+') => {
+            *input = &input[1..];
+            Node::Rep(Box::new(atom), 1, 8)
+        }
+        Some('?') => {
+            *input = &input[1..];
+            Node::Rep(Box::new(atom), 0, 1)
+        }
+        _ => atom,
+    }
+}
+
+fn take(input: &mut &[char], message: &str) -> char {
+    let Some(&c) = input.first() else {
+        panic!("regex stand-in: {message}");
+    };
+    *input = &input[1..];
+    c
+}
+
+fn emit(node: &Node, rng: &mut TestRng, out: &mut String) {
+    match node {
+        Node::Lit(c) => out.push(*c),
+        Node::Class(ranges) => {
+            let (lo, hi) = ranges[rng.below(ranges.len() as u64) as usize];
+            let span = hi as u32 - lo as u32 + 1;
+            let c = char::from_u32(lo as u32 + rng.below(u64::from(span)) as u32)
+                .expect("class range crosses surrogates");
+            out.push(c);
+        }
+        Node::Printable => {
+            // Mostly printable ASCII; sometimes a multi-byte scalar so
+            // UTF-8 handling gets exercised.
+            if rng.ratio(7, 8) {
+                out.push((0x20u8 + rng.below(0x5F) as u8) as char);
+            } else {
+                const EXOTIC: &[char] = &['é', 'ß', 'λ', 'Ж', '中', '—', '🦀', '\u{00A0}'];
+                out.push(EXOTIC[rng.below(EXOTIC.len() as u64) as usize]);
+            }
+        }
+        Node::Rep(inner, min, max) => {
+            let n = *min + rng.below(u64::from(max - min) + 1) as u32;
+            for _ in 0..n {
+                emit(inner, rng, out);
+            }
+        }
+        Node::Group(nodes) => {
+            for n in nodes {
+                emit(n, rng, out);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate;
+    use crate::test_runner::TestRng;
+
+    fn check(pattern: &str, validate: impl Fn(&str) -> bool) {
+        let mut rng = TestRng::for_case("regex::tests", 0);
+        for _ in 0..200 {
+            let s = generate(pattern, &mut rng);
+            assert!(validate(&s), "pattern {pattern:?} produced {s:?}");
+        }
+    }
+
+    #[test]
+    fn workspace_patterns_generate_members() {
+        check("[A-Z]{1,6}", |s| {
+            (1..=6).contains(&s.chars().count()) && s.chars().all(|c| c.is_ascii_uppercase())
+        });
+        check("[A-Za-z0-9:_.@ -]{1,40}", |s| {
+            (1..=40).contains(&s.chars().count())
+                && s.chars()
+                    .all(|c| c.is_ascii_alphanumeric() || ":_.@ -".contains(c))
+        });
+        check("[a-z][a-z0-9]{0,8}(\\.[a-z][a-z0-9]{0,8}){0,3}", |s| {
+            s.split('.').all(|part| {
+                let mut chars = part.chars();
+                chars.next().is_some_and(|c| c.is_ascii_lowercase())
+                    && chars.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit())
+            })
+        });
+        check("\\PC{0,200}", |s| s.chars().count() <= 200);
+        check("[a-z0-9 +*()<>=!;{}\"]{0,120}", |s| {
+            s.chars().count() <= 120
+        });
+    }
+}

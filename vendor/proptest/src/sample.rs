@@ -1,0 +1,19 @@
+//! Sampling helpers (`prop::sample`).
+
+/// An abstract index into a collection of yet-unknown size, as in
+/// `any::<prop::sample::Index>()`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Index(u64);
+
+impl Index {
+    pub(crate) fn from_raw(raw: u64) -> Self {
+        Index(raw)
+    }
+
+    /// Resolves the abstract index against a collection of length `len`.
+    /// Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "Index::index on empty collection");
+        (self.0 % len as u64) as usize
+    }
+}

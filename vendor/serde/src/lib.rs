@@ -1,0 +1,61 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment has no access to a crate registry, and the
+//! workspace only *declares* serde support (derives on wire types) without
+//! serializing anything through it yet. This crate keeps those declarations
+//! compiling: [`Serialize`]/[`Deserialize`] are marker traits with blanket
+//! impls, and the derive macros (re-exported from the `serde_derive`
+//! stand-in) expand to nothing.
+//!
+//! If the real serde is ever restored, delete `vendor/serde*` and point
+//! `[workspace.dependencies]` back at the registry — no call sites change.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de> {}
+
+impl<T: ?Sized> Serialize for T {}
+
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+// The derive macros live in a different namespace from the traits, so both
+// `Serialize` names can be imported by a single `use serde::Serialize`.
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Stub of serde's `de` module, for paths like `serde::de::DeserializeOwned`.
+pub mod de {
+    /// Owned-deserialization marker, blanket-implemented for every type.
+    pub trait DeserializeOwned {}
+    impl<T: ?Sized> DeserializeOwned for T {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::{Deserialize, Serialize};
+
+    #[derive(Serialize, Deserialize, Debug, PartialEq)]
+    struct Probe {
+        a: u32,
+        b: String,
+    }
+
+    fn assert_serialize<T: super::Serialize>() {}
+
+    #[test]
+    fn derives_expand_and_traits_hold() {
+        assert_serialize::<Probe>();
+        let p = Probe {
+            a: 1,
+            b: "x".into(),
+        };
+        assert_eq!(
+            p,
+            Probe {
+                a: 1,
+                b: "x".into()
+            }
+        );
+    }
+}

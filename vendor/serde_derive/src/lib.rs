@@ -1,0 +1,23 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The real registry is unreachable in this build environment, and nothing
+//! in the workspace actually serializes through serde — the derives are
+//! declared so the types *could* be wired to a real serializer later. These
+//! stand-in derives therefore expand to nothing, which keeps every
+//! `#[derive(Serialize, Deserialize)]` in the tree compiling without
+//! pulling in `syn`/`quote`.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; the marker trait impl is provided by the blanket
+/// impl in the `serde` stand-in crate.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; see [`derive_serialize`].
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
