@@ -169,6 +169,20 @@ impl Briefcase {
         codec::decode_briefcase(wire)
     }
 
+    /// Decodes with explicit [`codec::DecodeLimits`], for receivers facing
+    /// untrusted peers that want tighter bounds than the defaults.
+    ///
+    /// # Errors
+    ///
+    /// Any [`BriefcaseError`] variant describing a malformed or over-limit
+    /// input; the decoder never panics on arbitrary bytes.
+    pub fn decode_with_limits(
+        wire: &[u8],
+        limits: &codec::DecodeLimits,
+    ) -> Result<Self, BriefcaseError> {
+        codec::decode_briefcase_with_limits(wire, limits)
+    }
+
     /// Merges another briefcase into this one: folders with the same name
     /// have the other's elements appended after this one's.
     pub fn merge(&mut self, other: Briefcase) {

@@ -31,6 +31,47 @@ const MAX_NAME_LEN: u64 = u16::MAX as u64;
 /// Upper bound on declared counts, to bound eager allocation.
 const MAX_COUNT: u64 = 1 << 24;
 
+/// Configurable decoder bounds. Every declared length and count is checked
+/// against these *and* against the bytes actually remaining in the input
+/// before anything is allocated, so a hostile peer cannot reserve memory
+/// by lying about sizes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeLimits {
+    /// Largest accepted total wire size, in bytes.
+    pub max_frame: u64,
+    /// Largest accepted single element.
+    pub max_element: u64,
+    /// Largest accepted folder name.
+    pub max_name: u64,
+    /// Largest accepted folder/element count.
+    pub max_count: u64,
+}
+
+impl Default for DecodeLimits {
+    fn default() -> Self {
+        DecodeLimits {
+            // One max-size element plus generous framing; matches the
+            // transport layer's frame ceiling.
+            max_frame: MAX_ELEMENT_LEN + (1 << 20),
+            max_element: MAX_ELEMENT_LEN,
+            max_name: MAX_NAME_LEN,
+            max_count: MAX_COUNT,
+        }
+    }
+}
+
+impl DecodeLimits {
+    /// Tight limits for small control messages (handshakes, admin).
+    pub fn strict(max_frame: u64) -> Self {
+        DecodeLimits {
+            max_frame,
+            max_element: max_frame,
+            max_name: MAX_NAME_LEN,
+            max_count: MAX_COUNT,
+        }
+    }
+}
+
 /// Exact length in bytes of [`encode_briefcase`]'s output.
 pub(crate) fn encoded_len(bc: &Briefcase) -> usize {
     let mut len = 4 + 1 + 4;
@@ -63,13 +104,33 @@ pub fn encode_briefcase(bc: &Briefcase) -> Vec<u8> {
     out
 }
 
-/// Decodes a briefcase from the TAX wire format.
+/// Decodes a briefcase from the TAX wire format with default limits.
 ///
 /// # Errors
 ///
 /// Returns a [`BriefcaseError`] describing the first malformation
 /// encountered; never panics on arbitrary input.
 pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
+    decode_briefcase_with_limits(wire, &DecodeLimits::default())
+}
+
+/// Decodes a briefcase, bounding every declared size by `limits` and by
+/// the bytes actually remaining in `wire` before any allocation happens.
+///
+/// # Errors
+///
+/// Returns a [`BriefcaseError`] describing the first malformation
+/// encountered; never panics on arbitrary input.
+pub fn decode_briefcase_with_limits(
+    wire: &[u8],
+    limits: &DecodeLimits,
+) -> Result<Briefcase, BriefcaseError> {
+    if wire.len() as u64 > limits.max_frame {
+        return Err(BriefcaseError::LengthOverflow {
+            declared: wire.len() as u64,
+            context: "briefcase frame",
+        });
+    }
     let mut r = Reader { buf: wire, pos: 0 };
 
     let magic = r.take(4, "magic")?;
@@ -84,22 +145,27 @@ pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
     }
 
     let folder_count = r.u32("folder count")? as u64;
-    if folder_count > MAX_COUNT {
+    if folder_count > limits.max_count {
         return Err(BriefcaseError::LengthOverflow {
             declared: folder_count,
             context: "folder count",
         });
     }
+    // Each folder needs at least 6 bytes (name len u16 + element count
+    // u32), so a count the remaining bytes cannot possibly hold is proven
+    // bogus here, before the decode loop runs at all.
+    r.fits(folder_count.saturating_mul(6), "folder count")?;
 
     let mut bc = Briefcase::new();
     for _ in 0..folder_count {
         let name_len = r.u16("folder name length")? as u64;
-        if name_len > MAX_NAME_LEN {
+        if name_len > limits.max_name {
             return Err(BriefcaseError::LengthOverflow {
                 declared: name_len,
                 context: "folder name",
             });
         }
+        r.fits(name_len, "folder name")?;
         let name_bytes = r.take(name_len as usize, "folder name")?;
         let name = std::str::from_utf8(name_bytes).map_err(|_| BriefcaseError::BadFolderName)?;
         if bc.contains_folder(name) {
@@ -110,20 +176,23 @@ pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
         let mut folder = Folder::new(name);
 
         let element_count = r.u32("element count")? as u64;
-        if element_count > MAX_COUNT {
+        if element_count > limits.max_count {
             return Err(BriefcaseError::LengthOverflow {
                 declared: element_count,
                 context: "element count",
             });
         }
+        // Each element needs at least its 4-byte length prefix.
+        r.fits(element_count.saturating_mul(4), "element count")?;
         for _ in 0..element_count {
             let len = r.u32("element length")? as u64;
-            if len > MAX_ELEMENT_LEN {
+            if len > limits.max_element {
                 return Err(BriefcaseError::LengthOverflow {
                     declared: len,
                     context: "element",
                 });
             }
+            r.fits(len, "element data")?;
             let data = r.take(len as usize, "element data")?;
             folder.append(Element::from(data));
         }
@@ -144,6 +213,22 @@ struct Reader<'a> {
 }
 
 impl<'a> Reader<'a> {
+    fn remaining(&self) -> u64 {
+        (self.buf.len() - self.pos) as u64
+    }
+
+    /// Rejects a declared size the remaining input cannot possibly hold,
+    /// before any buffer for it is reserved.
+    fn fits(&self, declared: u64, context: &'static str) -> Result<(), BriefcaseError> {
+        if declared > self.remaining() {
+            return Err(BriefcaseError::Truncated {
+                offset: self.pos,
+                context,
+            });
+        }
+        Ok(())
+    }
+
     fn take(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], BriefcaseError> {
         if self.buf.len() - self.pos < n {
             // Report what little remains so BadMagic can show partial bytes.
@@ -303,6 +388,80 @@ mod tests {
             Briefcase::decode(&wire).unwrap_err(),
             BriefcaseError::BadFolderName
         );
+    }
+
+    #[test]
+    fn frame_limit_rejects_oversize_input_up_front() {
+        let bc = sample();
+        let wire = bc.encode();
+        let limits = DecodeLimits::strict(wire.len() as u64 - 1);
+        assert!(matches!(
+            Briefcase::decode_with_limits(&wire, &limits),
+            Err(BriefcaseError::LengthOverflow {
+                context: "briefcase frame",
+                ..
+            })
+        ));
+        assert_eq!(
+            Briefcase::decode_with_limits(&wire, &DecodeLimits::strict(wire.len() as u64)).unwrap(),
+            bc
+        );
+    }
+
+    #[test]
+    fn element_limit_is_configurable() {
+        let mut bc = Briefcase::new();
+        bc.append("BIN", vec![0u8; 2000]);
+        let wire = bc.encode();
+        let limits = DecodeLimits {
+            max_element: 1999,
+            ..DecodeLimits::default()
+        };
+        assert!(matches!(
+            Briefcase::decode_with_limits(&wire, &limits),
+            Err(BriefcaseError::LengthOverflow {
+                declared: 2000,
+                context: "element",
+            })
+        ));
+    }
+
+    #[test]
+    fn declared_lengths_beyond_remaining_fail_before_allocating() {
+        // A within-limits element length the buffer cannot hold: the
+        // `fits` check must refuse it as truncation, not try to read.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(CODEC_VERSION);
+        wire.extend_from_slice(&1u32.to_le_bytes()); // one folder
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(b'F');
+        wire.extend_from_slice(&1u32.to_le_bytes()); // one element
+        wire.extend_from_slice(&(MAX_ELEMENT_LEN as u32).to_le_bytes()); // lies
+        let err = Briefcase::decode(&wire).unwrap_err();
+        assert!(matches!(
+            err,
+            BriefcaseError::Truncated {
+                context: "element data",
+                ..
+            }
+        ));
+
+        // An element count the remaining four bytes cannot hold.
+        let mut wire = Vec::new();
+        wire.extend_from_slice(&MAGIC);
+        wire.push(CODEC_VERSION);
+        wire.extend_from_slice(&1u32.to_le_bytes());
+        wire.extend_from_slice(&1u16.to_le_bytes());
+        wire.push(b'F');
+        wire.extend_from_slice(&1000u32.to_le_bytes()); // 1000 elements, 0 bytes
+        assert!(matches!(
+            Briefcase::decode(&wire).unwrap_err(),
+            BriefcaseError::Truncated {
+                context: "element count",
+                ..
+            }
+        ));
     }
 
     #[test]

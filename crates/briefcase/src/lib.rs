@@ -43,7 +43,10 @@ mod folder;
 pub mod folders;
 
 pub use crate::briefcase::{Briefcase, FolderNames, Folders, FoldersMut};
-pub use crate::codec::{decode_briefcase, encode_briefcase, CODEC_VERSION, MAGIC};
+pub use crate::codec::{
+    decode_briefcase, decode_briefcase_with_limits, encode_briefcase, DecodeLimits, CODEC_VERSION,
+    MAGIC,
+};
 pub use crate::element::Element;
 pub use crate::error::BriefcaseError;
 pub use crate::folder::Folder;

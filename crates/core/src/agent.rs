@@ -140,6 +140,33 @@ impl AgentSpec {
         )
     }
 
+    /// Builds the wire form of the agent-transfer message `go` would
+    /// emit, for tooling (`taxsh send --connect`) that injects this agent
+    /// into a remote `taxd` over TCP. The message claims `from_host` as
+    /// its origin and targets the agent URI `to`.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::BadAgentSpec`] on an inconsistent spec, or a URI parse
+    /// failure on `to`.
+    pub fn wire_transfer(
+        &self,
+        from_host: &str,
+        principal: &Principal,
+        to: &str,
+    ) -> Result<Vec<u8>, TaxError> {
+        let briefcase = self.build_briefcase(principal)?;
+        let target: tacoma_uri::AgentUri = to.parse()?;
+        Ok(tacoma_firewall::Message::transfer(
+            from_host,
+            principal.clone(),
+            target,
+            briefcase,
+            false,
+        )
+        .encode())
+    }
+
     /// The VM this agent should start on.
     pub(crate) fn target_vm(&self) -> String {
         if let Some(vm) = &self.vm {

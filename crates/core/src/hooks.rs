@@ -20,7 +20,7 @@ use parking_lot::RwLock;
 use tacoma_briefcase::Briefcase;
 use tacoma_firewall::{ControlKind, Decision, Message};
 use tacoma_security::{Principal, Rights};
-use tacoma_simnet::{HostId, MessageBus, Network, SimTime};
+use tacoma_simnet::{HostId, Network, SimTime};
 use tacoma_taxscript::GoDecision;
 use tacoma_uri::{AgentAddress, AgentUri};
 use tacoma_vm::{ExecContext, HostHooks};
@@ -44,8 +44,10 @@ pub(crate) type Directory = Arc<RwLock<BTreeMap<String, TaxHost>>>;
 #[derive(Clone)]
 pub(crate) struct Kernel {
     pub directory: Directory,
-    pub bus: MessageBus,
     pub net: Arc<Network>,
+    /// The wire every outbound firewall decision ships over — the simnet
+    /// bus by default, real TCP under `taxd`.
+    pub transport: Arc<dyn tacoma_transport::Transport>,
 }
 
 impl Kernel {
@@ -59,15 +61,17 @@ impl Kernel {
 
     /// Decodes and routes one arrived envelope on `host`.
     pub fn process_envelope(&self, host: &TaxHost, envelope: &tacoma_simnet::Envelope) {
+        self.process_wire(host, &envelope.payload);
+    }
+
+    /// Routes one wire-encoded message on `host` — the shared landing path
+    /// for simnet envelopes and frames a [`TransportListener`] received
+    /// over TCP.
+    ///
+    /// [`TransportListener`]: tacoma_transport::TransportListener
+    pub fn process_wire(&self, host: &TaxHost, payload: &[u8]) {
         let now = self.now();
-        let message = match Message::decode(&envelope.payload) {
-            Ok(m) => m,
-            Err(e) => {
-                host.record(now, None, EventKind::Rejected(e.to_string()));
-                return;
-            }
-        };
-        match host.with_firewall(|fw| fw.route_inbound(message, now)) {
+        match host.with_firewall(|fw| fw.route_inbound_wire(payload, now)) {
             Ok(decision) => {
                 if let Err(e) = self.execute_deliver_decision(host, decision, 0) {
                     host.record(now, None, EventKind::Rejected(e.to_string()));
@@ -201,7 +205,8 @@ impl Kernel {
     ) -> Result<(), TaxError> {
         let target: AgentUri = to.parse()?;
         let message = Message::deliver(host.name(), from_principal, from_agent, target, briefcase);
-        let decision = host.with_firewall(|fw| fw.route_outbound(message, self.now()))?;
+        let decision =
+            host.with_firewall(|fw| fw.dispatch_outbound(message, self.now(), &*self.transport))?;
         self.execute_deliver_decision(host, decision, depth)
     }
 
@@ -223,14 +228,16 @@ impl Kernel {
             }
             Decision::ForwardRemote {
                 host: remote,
+                port,
                 message,
-                ..
             } => {
-                self.bus
-                    .send(host.host_id(), &HostId::new(&remote)?, message.encode())?;
+                // A decision routed without dispatch (e.g. replayed from the
+                // pending queue): ship it now, parking on failure.
+                let now = self.now();
+                host.with_firewall(|fw| fw.ship(message, &remote, port, now, &*self.transport))?;
                 Ok(())
             }
-            Decision::Queued => Ok(()),
+            Decision::Forwarded { .. } | Decision::Queued => Ok(()),
             Decision::InstallAgent {
                 vm,
                 address,
@@ -461,22 +468,13 @@ impl KernelHooks {
             travelling,
             spawned,
         );
+        let now = self.now();
+        let transport = Arc::clone(&self.kernel.transport);
         let decision = self
             .host
-            .with_firewall(|fw| fw.route_outbound(message, self.now()))?;
+            .with_firewall(|fw| fw.dispatch_outbound(message, now, &*transport))?;
         match decision {
-            Decision::ForwardRemote {
-                host: remote,
-                message,
-                ..
-            } => {
-                self.kernel.bus.send(
-                    self.host.host_id(),
-                    &HostId::new(&remote)?,
-                    message.encode(),
-                )?;
-                Ok(())
-            }
+            Decision::Forwarded { .. } => Ok(()),
             Decision::InstallAgent {
                 vm,
                 address,
@@ -625,11 +623,29 @@ impl HostHooks for KernelHooks {
             // RPC synchronously and ship the reply back.
             Decision::ForwardRemote {
                 host: remote,
+                port,
                 message,
-                ..
             } => {
+                let Some(remote_host) = self.kernel.host(&remote) else {
+                    // The host lives in another process: ship the request
+                    // over the transport (parking on failure) and degrade
+                    // to a delivery — the reply, if any, arrives via the
+                    // caller's mailbox.
+                    let now = self.now();
+                    let transport = Arc::clone(&self.kernel.transport);
+                    if let Err(e) = self
+                        .host
+                        .with_firewall(|fw| fw.ship(message, &remote, port, now, &*transport))
+                    {
+                        self.host.record(
+                            now,
+                            Some(self.agent.clone()),
+                            EventKind::Rejected(e.to_string()),
+                        );
+                    }
+                    return None;
+                };
                 let remote_id = HostId::new(&remote).ok()?;
-                let remote_host = self.kernel.host(&remote)?;
                 self.kernel
                     .net
                     .transfer(self.host.host_id(), &remote_id, request_len)
@@ -677,7 +693,8 @@ impl HostHooks for KernelHooks {
                 Some(reply)
             }
             Decision::Queued => None,
-            Decision::InstallAgent { .. } => None,
+            // route_outbound never produces Forwarded (only dispatch does).
+            Decision::Forwarded { .. } | Decision::InstallAgent { .. } => None,
         }
     }
 

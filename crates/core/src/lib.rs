@@ -74,6 +74,7 @@ pub use tacoma_briefcase::{folders, Briefcase, Element, Folder};
 pub use tacoma_security::{Keyring, Policy, Principal, Rights, TrustStore};
 pub use tacoma_simnet::{HostId, LinkSpec, Network, SimClock, SimTime, Topology};
 pub use tacoma_taxscript::{NullHooks, Outcome};
+pub use tacoma_transport as transport;
 pub use tacoma_uri::{AgentAddress, AgentUri, Instance};
 pub use tacoma_vm::{
     Architecture, ArtifactBundle, BinaryArtifact, GoDecision, HostHooks, NativeRegistry,

@@ -24,13 +24,24 @@ use crate::TaxError;
 const MAX_STEPS: usize = 1_000_000;
 
 /// Builds a [`TaxSystem`].
-#[derive(Debug)]
 pub struct SystemBuilder {
     hosts: Vec<HostBuilder>,
     default_link: LinkSpec,
     links: Vec<(String, String, LinkSpec)>,
     seed: u64,
     trust_all: bool,
+    transport: Option<Arc<dyn tacoma_transport::Transport>>,
+}
+
+impl std::fmt::Debug for SystemBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SystemBuilder")
+            .field("hosts", &self.hosts)
+            .field("seed", &self.seed)
+            .field("trust_all", &self.trust_all)
+            .field("transport", &self.transport.as_ref().map(|t| t.kind()))
+            .finish_non_exhaustive()
+    }
 }
 
 impl SystemBuilder {
@@ -43,6 +54,7 @@ impl SystemBuilder {
             links: Vec::new(),
             seed: 1,
             trust_all: false,
+            transport: None,
         }
     }
 
@@ -85,6 +97,16 @@ impl SystemBuilder {
     /// principal (one administrative domain, the paper's deployment).
     pub fn trust_all(mut self) -> Self {
         self.trust_all = true;
+        self
+    }
+
+    /// Overrides the outbound transport. Defaults to the in-process
+    /// simnet bus; `taxd` installs a [`TcpTransport`] here so the same
+    /// kernel ships messages over real sockets.
+    ///
+    /// [`TcpTransport`]: tacoma_transport::TcpTransport
+    pub fn transport(mut self, transport: Arc<dyn tacoma_transport::Transport>) -> Self {
+        self.transport = Some(transport);
         self
     }
 
@@ -132,11 +154,14 @@ impl SystemBuilder {
         }
 
         let directory = Arc::new(RwLock::new(hosts));
+        let transport = self
+            .transport
+            .unwrap_or_else(|| Arc::new(tacoma_transport::SimTransport::new(bus.clone())));
         TaxSystem {
             kernel: Kernel {
                 directory,
-                bus,
                 net,
+                transport,
             },
             keyrings,
         }
@@ -180,6 +205,46 @@ impl TaxSystem {
     /// [`SystemBuilder::trust_all`], if any.
     pub fn keyring(&self, host: &str) -> Option<&Keyring> {
         self.keyrings.get(host)
+    }
+
+    /// The transport outbound messages ship over.
+    pub fn transport(&self) -> Arc<dyn tacoma_transport::Transport> {
+        Arc::clone(&self.kernel.transport)
+    }
+
+    /// Routes a wire-encoded message that arrived from outside the
+    /// process (a frame a [`TransportListener`] accepted over TCP) into
+    /// `host_name`'s firewall, exactly as a simnet envelope would be.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    ///
+    /// [`TransportListener`]: tacoma_transport::TransportListener
+    pub fn inject_wire(&mut self, host_name: &str, payload: &[u8]) -> Result<(), TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        self.kernel.process_wire(&host, payload);
+        Ok(())
+    }
+
+    /// Retries transport delivery of messages parked in `host_name`'s
+    /// pending queue for remote hosts. Returns `(delivered, reparked)`.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    pub fn redeliver_remote_pending(
+        &mut self,
+        host_name: &str,
+    ) -> Result<(usize, usize), TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        let now = self.kernel.now();
+        let transport = Arc::clone(&self.kernel.transport);
+        Ok(host.with_firewall(|fw| fw.redeliver_remote_pending(now, &*transport)))
     }
 
     /// Installs a user keyring's verification key on every host.

@@ -1,6 +1,7 @@
 use std::fmt;
 
 use tacoma_security::SecurityError;
+use tacoma_transport::TransportError;
 use tacoma_uri::AgentUri;
 
 use crate::AdmissionError;
@@ -45,6 +46,9 @@ pub enum FirewallError {
     /// (unverifiable bytecode, or capabilities beyond the principal's
     /// rights).
     CodeRejected(AdmissionError),
+    /// The transport could not deliver an outbound message even after its
+    /// retry budget.
+    Transport(TransportError),
 }
 
 impl fmt::Display for FirewallError {
@@ -67,6 +71,7 @@ impl fmt::Display for FirewallError {
                 write!(f, "unknown firewall command {command:?}")
             }
             FirewallError::CodeRejected(e) => write!(f, "agent code refused: {e}"),
+            FirewallError::Transport(e) => write!(f, "transport failed: {e}"),
         }
     }
 }
@@ -76,6 +81,7 @@ impl std::error::Error for FirewallError {
         match self {
             FirewallError::Denied(e) => Some(e),
             FirewallError::CodeRejected(e) => Some(e),
+            FirewallError::Transport(e) => Some(e),
             _ => None,
         }
     }
@@ -84,5 +90,11 @@ impl std::error::Error for FirewallError {
 impl From<SecurityError> for FirewallError {
     fn from(e: SecurityError) -> Self {
         FirewallError::Denied(e)
+    }
+}
+
+impl From<TransportError> for FirewallError {
+    fn from(e: TransportError) -> Self {
+        FirewallError::Transport(e)
     }
 }

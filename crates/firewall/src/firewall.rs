@@ -40,6 +40,14 @@ pub enum Decision {
         /// The message.
         message: Message,
     },
+    /// The message was handed to the transport and acknowledged; nothing
+    /// more to do. Only [`Firewall::dispatch_outbound`] produces this.
+    Forwarded {
+        /// Destination host name.
+        host: String,
+        /// Encoded size that went over the wire.
+        bytes: usize,
+    },
     /// The receiver is absent or not ready; the message was queued with a
     /// timeout.
     Queued,
@@ -331,6 +339,136 @@ impl Firewall {
         self.resolve_local(message, rights, now)
     }
 
+    /// Routes an outbound message *and* carries out any remote forward on
+    /// `transport`, so callers never see [`Decision::ForwardRemote`].
+    ///
+    /// Undeliverable messages are never silently lost: a failed `Deliver`
+    /// is parked in the pending queue with the usual timeout (a later
+    /// [`Firewall::redeliver_remote_pending`] sweep retries it); a failed
+    /// agent transfer is reported to the caller so the agent's
+    /// unreachable branch can run.
+    ///
+    /// # Errors
+    ///
+    /// Everything [`Firewall::route_outbound`] raises, plus
+    /// [`FirewallError::Transport`] when an agent transfer exhausts the
+    /// transport's retry budget.
+    pub fn dispatch_outbound(
+        &mut self,
+        message: Message,
+        now: SimTime,
+        transport: &dyn tacoma_transport::Transport,
+    ) -> Result<Decision, FirewallError> {
+        match self.route_outbound(message, now)? {
+            Decision::ForwardRemote {
+                host,
+                port,
+                message,
+            } => self.ship(message, &host, port, now, transport),
+            other => Ok(other),
+        }
+    }
+
+    /// Hands one already-routed message to the transport, parking or
+    /// reporting failures per message kind (the second half of
+    /// [`Firewall::dispatch_outbound`], exposed for callers that routed
+    /// separately).
+    ///
+    /// # Errors
+    ///
+    /// [`FirewallError::Transport`] when an agent transfer exhausts the
+    /// transport's retry budget; failed `Deliver` messages are parked
+    /// instead.
+    pub fn ship(
+        &mut self,
+        message: Message,
+        host: &str,
+        port: u16,
+        now: SimTime,
+        transport: &dyn tacoma_transport::Transport,
+    ) -> Result<Decision, FirewallError> {
+        let wire = message.encode();
+        match transport.send(&self.host, host, port, &wire) {
+            Ok(()) => {
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += wire.len() as u64;
+                Ok(Decision::Forwarded {
+                    host: host.to_owned(),
+                    bytes: wire.len(),
+                })
+            }
+            Err(e) => {
+                self.stats.retry_timeouts += 1;
+                match message.kind {
+                    // A lost `go`/`spawn` must surface: the sending agent
+                    // is waiting to learn whether it moved.
+                    MessageKind::AgentTransfer { .. } => Err(FirewallError::Transport(e)),
+                    // A plain delivery is parked with a timeout, exactly
+                    // like mail for a not-yet-arrived local agent.
+                    MessageKind::Deliver => {
+                        self.pending.enqueue(message, now, self.queue_timeout);
+                        self.stats.queued += 1;
+                        Ok(Decision::Queued)
+                    }
+                }
+            }
+        }
+    }
+
+    /// Retries every parked remote-bound message on `transport`,
+    /// preserving each message's original deadline. Returns
+    /// `(delivered, still_parked)`.
+    pub fn redeliver_remote_pending(
+        &mut self,
+        now: SimTime,
+        transport: &dyn tacoma_transport::Transport,
+    ) -> (usize, usize) {
+        let parked = self.pending.take_remote(&self.host, now);
+        let mut delivered = 0;
+        let mut reparked = 0;
+        for (message, deadline) in parked {
+            let (host, port) = match (message.to.host(), message.to.location()) {
+                (Some(h), Some(loc)) => (h.to_owned(), loc.effective_port()),
+                _ => continue, // Cannot happen: take_remote selected on host.
+            };
+            let wire = message.encode();
+            if transport.send(&self.host, &host, port, &wire).is_ok() {
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += wire.len() as u64;
+                delivered += 1;
+            } else {
+                self.stats.retry_timeouts += 1;
+                self.pending.enqueue_until(message, deadline);
+                reparked += 1;
+            }
+        }
+        (delivered, reparked)
+    }
+
+    /// Decodes wire bytes from a peer firewall and routes the message,
+    /// counting received traffic.
+    ///
+    /// # Errors
+    ///
+    /// [`FirewallError::BadWire`] on a malformed payload, plus everything
+    /// [`Firewall::route_inbound`] raises.
+    pub fn route_inbound_wire(
+        &mut self,
+        payload: &[u8],
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += payload.len() as u64;
+        let message = Message::decode(payload)?;
+        self.route_inbound(message, now)
+    }
+
+    /// Mutable access to the mediation counters, for absorbing transport
+    /// gauges before reporting.
+    pub fn stats_mut(&mut self) -> &mut FirewallStats {
+        &mut self.stats
+    }
+
     /// Routes a message that arrived from the network.
     ///
     /// # Errors
@@ -502,6 +640,14 @@ impl Firewall {
                         ),
                     );
                 }
+                Ok(Decision::Admin {
+                    reply,
+                    control: None,
+                })
+            }
+            "stats" => {
+                reply.set_single(folders::STATUS, "ok");
+                reply.set_single("STATS", self.stats.to_string());
                 Ok(Decision::Admin {
                     reply,
                     control: None,
@@ -923,6 +1069,179 @@ mod tests {
         let a = fw.allocate_instance();
         let b = fw.allocate_instance();
         assert_ne!(a, b);
+    }
+
+    /// A transport that can be flipped between failing and delivering,
+    /// recording what it shipped.
+    #[derive(Debug, Default)]
+    struct FlakyTransport {
+        up: std::sync::atomic::AtomicBool,
+        sent: parking_lot::Mutex<Vec<(String, u16, usize)>>,
+    }
+
+    impl FlakyTransport {
+        fn up() -> Self {
+            let t = FlakyTransport::default();
+            t.up.store(true, std::sync::atomic::Ordering::SeqCst);
+            t
+        }
+
+        fn down() -> Self {
+            FlakyTransport::default()
+        }
+
+        fn restore(&self) {
+            self.up.store(true, std::sync::atomic::Ordering::SeqCst);
+        }
+    }
+
+    impl tacoma_transport::Transport for FlakyTransport {
+        fn send(
+            &self,
+            _from: &str,
+            to_host: &str,
+            to_port: u16,
+            payload: &[u8],
+        ) -> Result<(), tacoma_transport::TransportError> {
+            if self.up.load(std::sync::atomic::Ordering::SeqCst) {
+                self.sent
+                    .lock()
+                    .push((to_host.to_owned(), to_port, payload.len()));
+                Ok(())
+            } else {
+                Err(tacoma_transport::TransportError::Unreachable {
+                    host: to_host.to_owned(),
+                    detail: "link down".into(),
+                })
+            }
+        }
+
+        fn stats(&self) -> tacoma_transport::TransportStats {
+            tacoma_transport::TransportStats::default()
+        }
+
+        fn kind(&self) -> &'static str {
+            "flaky"
+        }
+    }
+
+    #[test]
+    fn dispatch_ships_remote_deliver_over_transport() {
+        let mut fw = fw();
+        let t = FlakyTransport::up();
+        let d = fw
+            .dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        assert!(matches!(d, Decision::Forwarded { ref host, .. } if host == "h2"));
+        let sent = t.sent.lock();
+        assert_eq!(sent.len(), 1);
+        assert_eq!(sent[0].0, "h2");
+        assert_eq!(sent[0].1, 27017);
+        let stats = fw.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert_eq!(stats.bytes_sent, sent[0].2 as u64);
+    }
+
+    #[test]
+    fn undeliverable_deliver_is_parked_not_lost() {
+        let mut fw = fw();
+        let t = FlakyTransport::down();
+        let d = fw
+            .dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        assert_eq!(d, Decision::Queued);
+        assert_eq!(fw.pending_len(), 1);
+        let stats = fw.stats();
+        assert_eq!(stats.retry_timeouts, 1);
+        assert_eq!(stats.queued, 1);
+        assert_eq!(stats.frames_sent, 0);
+    }
+
+    #[test]
+    fn undeliverable_transfer_surfaces_to_the_agent() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "webbot");
+        let m = Message::transfer(
+            "h1",
+            Principal::new("alice").unwrap(),
+            "tacoma://h2/vm_script".parse().unwrap(),
+            bc,
+            false,
+        );
+        let t = FlakyTransport::down();
+        let err = fw.dispatch_outbound(m, SimTime::ZERO, &t).unwrap_err();
+        assert!(matches!(err, FirewallError::Transport(_)));
+        assert_eq!(fw.pending_len(), 0, "transfers are not parked");
+        assert_eq!(fw.stats().retry_timeouts, 1);
+    }
+
+    #[test]
+    fn parked_remote_mail_redelivers_when_link_returns() {
+        let mut fw = fw();
+        let t = FlakyTransport::down();
+        fw.dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        assert_eq!(fw.pending_len(), 1);
+
+        // Link still down: the sweep re-parks, preserving the message.
+        let (delivered, reparked) = fw.redeliver_remote_pending(SimTime::ZERO, &t);
+        assert_eq!((delivered, reparked), (0, 1));
+        assert_eq!(fw.pending_len(), 1);
+
+        // Link back: the sweep delivers.
+        t.restore();
+        let (delivered, reparked) = fw.redeliver_remote_pending(SimTime::ZERO, &t);
+        assert_eq!((delivered, reparked), (1, 0));
+        assert_eq!(fw.pending_len(), 0);
+        assert_eq!(t.sent.lock().len(), 1);
+        assert_eq!(fw.stats().frames_sent, 1);
+    }
+
+    #[test]
+    fn parked_remote_mail_expires_by_its_deadline() {
+        let mut fw = fw();
+        fw.set_queue_timeout(Duration::from_millis(50));
+        let t = FlakyTransport::down();
+        fw.dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        // Past the deadline the sweep leaves it for expire() to count.
+        let late = SimTime::ZERO + Duration::from_secs(1);
+        let (delivered, reparked) = fw.redeliver_remote_pending(late, &t);
+        assert_eq!((delivered, reparked), (0, 0));
+        assert_eq!(fw.expire_pending(late), 1);
+        assert_eq!(fw.stats().expired, 1);
+    }
+
+    #[test]
+    fn wire_roundtrip_through_inbound_counts_bytes() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let addr = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        fw.register_agent(&addr, "vm_script", SimTime::ZERO);
+        let mut m = msg("alice", "alice/webbot:1");
+        m.from_host = "h2".into();
+        let wire = m.encode();
+        let d = fw.route_inbound_wire(&wire, SimTime::ZERO).unwrap();
+        assert!(matches!(d, Decision::DeliverLocal { .. }));
+        let stats = fw.stats();
+        assert_eq!(stats.frames_received, 1);
+        assert_eq!(stats.bytes_received, wire.len() as u64);
+    }
+
+    #[test]
+    fn admin_stats_reports_counter_line() {
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        let mut m = msg("admin@h1", "firewall");
+        m.briefcase.set_single(folders::COMMAND, "stats");
+        let Decision::Admin { reply, .. } = fw.route_outbound(m, SimTime::ZERO).unwrap() else {
+            panic!()
+        };
+        let line = reply.single_str("STATS").unwrap();
+        assert!(line.contains("tx-frames=0"), "{line}");
+        assert!(line.contains("retry-timeouts=0"), "{line}");
     }
 
     #[test]

@@ -70,6 +70,33 @@ impl PendingQueue {
         (matched, expired)
     }
 
+    /// Queues a message until an absolute `deadline` (used when re-parking
+    /// a message that must keep its original timeout across retries).
+    pub fn enqueue_until(&mut self, message: Message, deadline: SimTime) {
+        self.entries.push(PendingEntry { message, deadline });
+    }
+
+    /// Removes and returns every queued message bound for a host other
+    /// than `local_host` that has not yet expired, with its deadline.
+    /// These are messages the transport could not deliver; a daemon
+    /// sweeps them out periodically to retry (re-parking failures via
+    /// [`PendingQueue::enqueue_until`] so the original timeout survives),
+    /// and entries past their deadline stay behind for
+    /// [`PendingQueue::expire`] to count.
+    pub fn take_remote(&mut self, local_host: &str, now: SimTime) -> Vec<(Message, SimTime)> {
+        let mut taken = Vec::new();
+        self.entries.retain(|entry| {
+            let remote = entry.message.to.host().is_some_and(|h| h != local_host);
+            if remote && entry.deadline >= now {
+                taken.push((entry.message.clone(), entry.deadline));
+                false
+            } else {
+                true
+            }
+        });
+        taken
+    }
+
     /// Drops every entry whose deadline has passed; returns how many.
     pub fn expire(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();

@@ -28,6 +28,22 @@ pub struct FirewallStats {
     /// capabilities exceeding the principal's rights). Each such event
     /// also counts as `denied`.
     pub code_rejected: u64,
+    /// Wire frames shipped to remote firewalls (transport acknowledged).
+    pub frames_sent: u64,
+    /// Payload bytes in those frames.
+    pub bytes_sent: u64,
+    /// Wire frames received from remote firewalls.
+    pub frames_received: u64,
+    /// Payload bytes in received frames.
+    pub bytes_received: u64,
+    /// Transport reconnect attempts (gauge, absorbed from the transport).
+    pub reconnects: u64,
+    /// Failed HELLO handshakes (gauge, absorbed from the transport).
+    pub handshake_failures: u64,
+    /// Outbound messages whose transport retry budget ran out; Deliver
+    /// messages are parked in the pending queue, agent transfers are
+    /// reported to the sending agent.
+    pub retry_timeouts: u64,
 }
 
 impl FirewallStats {
@@ -42,11 +58,23 @@ impl FirewallStats {
     }
 }
 
+impl FirewallStats {
+    /// Overwrites the transport gauge fields from a transport snapshot.
+    /// Connection-level events (reconnects, handshake failures) are
+    /// counted inside the transport; the firewall mirrors them so one
+    /// stats line tells the whole story.
+    pub fn absorb_transport(&mut self, t: &tacoma_transport::TransportStats) {
+        self.reconnects = t.reconnects;
+        self.handshake_failures = t.handshake_failures;
+    }
+}
+
 impl fmt::Display for FirewallStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={}",
+            "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={} \
+             tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={}",
             self.delivered_local,
             self.forwarded_remote,
             self.queued,
@@ -55,7 +83,14 @@ impl fmt::Display for FirewallStats {
             self.agents_installed,
             self.admin_ops,
             self.code_verified,
-            self.code_rejected
+            self.code_rejected,
+            self.frames_sent,
+            self.bytes_sent,
+            self.frames_received,
+            self.bytes_received,
+            self.reconnects,
+            self.handshake_failures,
+            self.retry_timeouts
         )
     }
 }

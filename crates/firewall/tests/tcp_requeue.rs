@@ -1,0 +1,116 @@
+//! The acceptance scenario for undeliverable mail over real TCP: a
+//! Deliver message whose destination daemon is down is *parked* in the
+//! pending queue (never silently dropped), survives failed redelivery
+//! sweeps with its original deadline, and goes out the moment the peer
+//! comes back.
+
+use tacoma_briefcase::Briefcase;
+use tacoma_firewall::{Decision, Firewall, Message};
+use tacoma_security::{Policy, Principal, TrustStore};
+use tacoma_simnet::SimTime;
+use tacoma_transport::{BackoffPolicy, ListenerConfig, TcpConfig, TcpTransport, TransportListener};
+
+fn firewall() -> Firewall {
+    Firewall::new("alpha", 4711, Policy::trusting(), TrustStore::new())
+}
+
+fn transport() -> TcpTransport {
+    let mut config = TcpConfig {
+        backoff: BackoffPolicy::fast(),
+        ..TcpConfig::default()
+    };
+    config.connect.local_host = "alpha".to_owned();
+    TcpTransport::new(config)
+}
+
+fn mail_to_beta() -> Message {
+    let mut bc = Briefcase::new();
+    bc.set_single("NOTE", "do not lose me");
+    Message::deliver(
+        "alpha",
+        Principal::new("alice").unwrap(),
+        None,
+        "tacoma://beta/worker".parse().unwrap(),
+        bc,
+    )
+}
+
+#[test]
+fn down_peer_parks_then_requeue_delivers_when_it_returns() {
+    let mut fw = firewall();
+    let transport = transport();
+    let now = SimTime::ZERO;
+
+    // Phase 1: beta is down (a port nothing listens on).
+    let dead_port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    transport.add_peer("beta", format!("127.0.0.1:{dead_port}"));
+
+    let decision = fw
+        .dispatch_outbound(mail_to_beta(), now, &transport)
+        .unwrap();
+    assert!(matches!(decision, Decision::Queued), "got {decision:?}");
+    assert_eq!(fw.pending_len(), 1, "the message is parked, not dropped");
+    let stats = fw.stats();
+    assert_eq!(stats.queued, 1);
+    assert_eq!(stats.retry_timeouts, 1);
+    assert_eq!(stats.frames_sent, 0);
+
+    // Phase 2: a sweep while beta is still down re-parks the message.
+    let (delivered, reparked) = fw.redeliver_remote_pending(now, &transport);
+    assert_eq!((delivered, reparked), (0, 1));
+    assert_eq!(fw.pending_len(), 1);
+
+    // Phase 3: beta comes back; the next sweep drains the queue.
+    let listener =
+        TransportListener::bind("127.0.0.1:0", ListenerConfig::trusting("beta")).unwrap();
+    transport.add_peer("beta", listener.local_addr().to_string());
+
+    let (delivered, reparked) = fw.redeliver_remote_pending(now, &transport);
+    assert_eq!((delivered, reparked), (1, 0));
+    assert_eq!(fw.pending_len(), 0);
+    assert_eq!(fw.stats().frames_sent, 1);
+
+    // The bytes that arrived at beta decode back to the parked message.
+    let inbound = listener
+        .incoming()
+        .recv_timeout(std::time::Duration::from_secs(5))
+        .unwrap();
+    assert_eq!(inbound.from_host, "alpha");
+    let message = Message::decode(&inbound.payload).unwrap();
+    assert_eq!(
+        message.briefcase.single_str("NOTE").unwrap(),
+        "do not lose me"
+    );
+}
+
+#[test]
+fn parked_mail_still_honours_its_deadline_across_sweeps() {
+    let mut fw = firewall();
+    let transport = transport();
+    let dead_port = {
+        let probe = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        probe.local_addr().unwrap().port()
+    };
+    transport.add_peer("beta", format!("127.0.0.1:{dead_port}"));
+
+    let start = SimTime::ZERO;
+    fw.dispatch_outbound(mail_to_beta(), start, &transport)
+        .unwrap();
+
+    // Sweeps while down re-park but never extend the deadline.
+    let mid = start + std::time::Duration::from_secs(10);
+    let (_, reparked) = fw.redeliver_remote_pending(mid, &transport);
+    assert_eq!(reparked, 1);
+
+    // Past the original 30 s queue timeout the message expires instead of
+    // being retried forever.
+    let late = start + std::time::Duration::from_secs(40);
+    let (delivered, reparked) = fw.redeliver_remote_pending(late, &transport);
+    assert_eq!((delivered, reparked), (0, 0), "expired mail is not retried");
+    assert_eq!(fw.expire_pending(late), 1);
+    assert_eq!(fw.pending_len(), 0);
+    assert_eq!(fw.stats().expired, 1);
+}

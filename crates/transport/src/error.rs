@@ -1,0 +1,87 @@
+//! [`TransportError`]: what can go wrong on the wire.
+
+use std::fmt;
+
+/// Errors from the wire transport.
+///
+/// Io errors are carried as rendered strings so the type stays `Clone` +
+/// `PartialEq` and can travel inside firewall errors and test assertions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TransportError {
+    /// A socket operation failed.
+    Io {
+        /// Rendered `std::io::Error`.
+        detail: String,
+    },
+    /// The destination could not be reached at all (no route, refused,
+    /// crashed simulated host, unknown peer).
+    Unreachable {
+        /// The destination host.
+        host: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// The HELLO exchange failed: the peer rejected us, or an arriving
+    /// peer failed authentication.
+    HandshakeFailed {
+        /// The rejection reason.
+        reason: String,
+    },
+    /// A frame declared a payload larger than the configured limit.
+    FrameTooLarge {
+        /// Declared payload length.
+        declared: u64,
+        /// The limit in force.
+        limit: u64,
+    },
+    /// The byte stream is not a valid TAX frame.
+    BadFrame {
+        /// What was malformed.
+        detail: String,
+    },
+    /// Every retry attempt failed; the caller should park the message.
+    RetriesExhausted {
+        /// The destination host.
+        host: String,
+        /// Attempts made (including the first).
+        attempts: u32,
+        /// The last error, rendered.
+        last: String,
+    },
+}
+
+impl fmt::Display for TransportError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransportError::Io { detail } => write!(f, "transport i/o error: {detail}"),
+            TransportError::Unreachable { host, detail } => {
+                write!(f, "host {host:?} unreachable: {detail}")
+            }
+            TransportError::HandshakeFailed { reason } => {
+                write!(f, "handshake failed: {reason}")
+            }
+            TransportError::FrameTooLarge { declared, limit } => {
+                write!(f, "frame of {declared} bytes exceeds limit {limit}")
+            }
+            TransportError::BadFrame { detail } => write!(f, "malformed frame: {detail}"),
+            TransportError::RetriesExhausted {
+                host,
+                attempts,
+                last,
+            } => {
+                write!(f, "gave up on {host:?} after {attempts} attempts: {last}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+impl From<std::io::Error> for TransportError {
+    fn from(e: std::io::Error) -> Self {
+        TransportError::Io {
+            detail: e.to_string(),
+        }
+    }
+}

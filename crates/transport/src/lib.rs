@@ -1,0 +1,45 @@
+//! Real wire transport for TACOMA firewalls.
+//!
+//! TAX 2.0's firewalls mediate every agent transfer between hosts; until
+//! now this repository only exchanged briefcases over the in-process
+//! simulated network. This crate adds the real thing: a length-prefixed
+//! frame codec over TCP, an authenticated HELLO handshake tied into the
+//! security layer's principals and trust store, a per-peer connection
+//! pool with reconnect, and retry with exponential backoff — behind a
+//! [`Transport`] trait that the simnet bus also implements, so the
+//! firewall routes identically whether its peers share a process or a
+//! network.
+//!
+//! Layers, bottom up:
+//!
+//! - [`frame`]: the `TAXF` frame codec (magic, version, kind, u32-LE
+//!   length, payload), with declared-length checks before allocation.
+//! - [`handshake`]: the HELLO/WELCOME/REJECT exchange, optionally MAC-
+//!   signed and verified against a [`tacoma_security::TrustStore`].
+//! - [`conn`]: one handshaken connection — Briefcase frames are acked,
+//!   Stats frames answered.
+//! - [`tcp`] / [`listener`]: the client pool and the server accept loop.
+//! - [`sim`]: the same [`Transport`] trait over the simulated network.
+//! - [`backoff`] / [`stats`]: retry pacing and shared counters.
+
+pub mod backoff;
+pub mod conn;
+pub mod error;
+pub mod frame;
+pub mod handshake;
+pub mod listener;
+pub mod sim;
+pub mod stats;
+pub mod tcp;
+pub mod traits;
+
+pub use backoff::BackoffPolicy;
+pub use conn::{ConnectConfig, Connection};
+pub use error::TransportError;
+pub use frame::{Frame, FrameKind, FrameLimits, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+pub use handshake::{build_hello, build_welcome, parse_welcome, verify_hello, HelloInfo};
+pub use listener::{Inbound, ListenerConfig, TransportListener};
+pub use sim::SimTransport;
+pub use stats::{TransportCounters, TransportStats};
+pub use tcp::{TcpConfig, TcpTransport};
+pub use traits::Transport;

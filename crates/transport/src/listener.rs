@@ -1,0 +1,242 @@
+//! [`TransportListener`]: the accepting side of the TCP transport — the
+//! socket a `taxd` firewall daemon answers on.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use tacoma_security::TrustStore;
+
+use crate::{
+    build_welcome, verify_hello, Frame, FrameKind, FrameLimits, TransportCounters, TransportStats,
+};
+
+/// Server-side configuration.
+#[derive(Clone)]
+pub struct ListenerConfig {
+    /// Host name announced in WELCOME frames.
+    pub local_host: String,
+    /// Keys of peers whose signed HELLOs we accept.
+    pub trust: TrustStore,
+    /// Refuse unsigned HELLOs when set (hostile-network deployment).
+    pub require_signed: bool,
+    /// Frame size limits applied to every inbound frame.
+    pub limits: FrameLimits,
+    /// Per-connection read timeout; an idle connection is dropped after
+    /// this long (the client reconnects transparently).
+    pub read_timeout: Duration,
+    /// Answers `Stats` frames when present (e.g. `taxd` exposes its
+    /// firewall's counters here for `taxsh stats --connect`).
+    pub stats_provider: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+}
+
+impl std::fmt::Debug for ListenerConfig {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ListenerConfig")
+            .field("local_host", &self.local_host)
+            .field("require_signed", &self.require_signed)
+            .field("limits", &self.limits)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ListenerConfig {
+    /// A permissive config for `local_host`: unsigned peers accepted,
+    /// default limits.
+    pub fn trusting(local_host: impl Into<String>) -> Self {
+        ListenerConfig {
+            local_host: local_host.into(),
+            trust: TrustStore::new(),
+            require_signed: false,
+            limits: FrameLimits::default(),
+            read_timeout: Duration::from_secs(60),
+            stats_provider: None,
+        }
+    }
+}
+
+/// One payload that arrived over the wire, tagged with the (possibly
+/// authenticated) peer that sent it.
+#[derive(Debug, Clone)]
+pub struct Inbound {
+    /// The peer's announced host name.
+    pub from_host: String,
+    /// The peer's authenticated principal, if its HELLO was signed.
+    pub from_principal: Option<String>,
+    /// The encoded firewall message.
+    pub payload: Vec<u8>,
+}
+
+/// A bound, accepting TCP endpoint delivering [`Inbound`] payloads.
+#[derive(Debug)]
+pub struct TransportListener {
+    addr: SocketAddr,
+    rx: Receiver<Inbound>,
+    shutdown: Arc<AtomicBool>,
+    counters: TransportCounters,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl TransportListener {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"`) and starts accepting.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind errors.
+    pub fn bind(addr: &str, config: ListenerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let counters = TransportCounters::new();
+        let (tx, rx) = unbounded();
+
+        let accept_shutdown = Arc::clone(&shutdown);
+        let accept_counters = counters.clone();
+        let accept_thread = thread::spawn(move || {
+            accept_loop(&listener, &config, &tx, &accept_shutdown, &accept_counters);
+        });
+
+        Ok(TransportListener {
+            addr: local,
+            rx,
+            shutdown,
+            counters,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The actually bound address (resolves `:0` to the real port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The channel inbound payloads arrive on.
+    pub fn incoming(&self) -> &Receiver<Inbound> {
+        &self.rx
+    }
+
+    /// Counter snapshot for the inbound side.
+    pub fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    /// Stops accepting and joins the accept thread. Live per-connection
+    /// handlers finish on their own when their sockets close or time out.
+    pub fn shutdown(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(handle) = self.accept_thread.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for TransportListener {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn accept_loop(
+    listener: &TcpListener,
+    config: &ListenerConfig,
+    tx: &Sender<Inbound>,
+    shutdown: &Arc<AtomicBool>,
+    counters: &TransportCounters,
+) {
+    loop {
+        if shutdown.load(Ordering::SeqCst) {
+            return;
+        }
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let config = config.clone();
+                let tx = tx.clone();
+                let counters = counters.clone();
+                thread::spawn(move || handle_connection(stream, &config, &tx, &counters));
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(20)),
+        }
+    }
+}
+
+fn handle_connection(
+    mut stream: TcpStream,
+    config: &ListenerConfig,
+    tx: &Sender<Inbound>,
+    counters: &TransportCounters,
+) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(config.read_timeout));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(10)));
+
+    // Handshake: the first frame must be a HELLO we accept.
+    let hello = match Frame::read_from(&mut stream, &config.limits) {
+        Ok(f) if f.kind == FrameKind::Hello => f,
+        _ => {
+            counters.add_handshake_failure();
+            return;
+        }
+    };
+    let info = match verify_hello(&hello.payload, &config.trust, config.require_signed) {
+        Ok(info) => info,
+        Err(e) => {
+            counters.add_handshake_failure();
+            let _ = Frame::new(FrameKind::Reject, e.to_string().into_bytes()).write_to(&mut stream);
+            return;
+        }
+    };
+    if Frame::new(FrameKind::Welcome, build_welcome(&config.local_host))
+        .write_to(&mut stream)
+        .is_err()
+    {
+        return;
+    }
+    counters.add_connect();
+
+    // Steady state: Briefcase frames get acked and forwarded inward;
+    // Stats frames are answered inline; Bye or any error ends the
+    // connection.
+    loop {
+        let Ok(frame) = Frame::read_from(&mut stream, &config.limits) else {
+            return;
+        };
+        match frame.kind {
+            FrameKind::Briefcase => {
+                counters.add_received(frame.payload.len() as u64);
+                let inbound = Inbound {
+                    from_host: info.host.clone(),
+                    from_principal: info.principal.as_ref().map(|p| p.as_str().to_owned()),
+                    payload: frame.payload,
+                };
+                if tx.send(inbound).is_err() {
+                    return; // Receiver gone; the daemon is shutting down.
+                }
+                if Frame::bare(FrameKind::Ack).write_to(&mut stream).is_err() {
+                    return;
+                }
+            }
+            FrameKind::Stats => {
+                let text = config
+                    .stats_provider
+                    .as_ref()
+                    .map_or_else(|| "no stats available".to_owned(), |f| f());
+                if Frame::new(FrameKind::StatsReply, text.into_bytes())
+                    .write_to(&mut stream)
+                    .is_err()
+                {
+                    return;
+                }
+            }
+            FrameKind::Bye => return,
+            _ => return, // Protocol violation: hang up.
+        }
+    }
+}

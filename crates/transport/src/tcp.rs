@@ -1,0 +1,172 @@
+//! [`TcpTransport`]: the real-socket [`Transport`] backend — a per-peer
+//! connection pool with reconnect, and retry with exponential backoff.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::thread;
+
+use parking_lot::Mutex;
+
+use crate::conn::{ConnectConfig, Connection};
+use crate::{BackoffPolicy, Transport, TransportCounters, TransportError, TransportStats};
+
+/// How many idle connections to keep per peer.
+const POOL_PER_PEER: usize = 2;
+
+/// Configuration for a [`TcpTransport`].
+#[derive(Debug, Clone, Default)]
+pub struct TcpConfig {
+    /// Connection-level settings (local host name, keyring, limits,
+    /// timeouts).
+    pub connect: ConnectConfig,
+    /// Retry pacing for one logical send.
+    pub backoff: BackoffPolicy,
+}
+
+/// The TCP backend: resolves peers, pools connections, retries with
+/// backoff, and reports when a message is truly undeliverable so the
+/// firewall can park it instead of dropping it.
+#[derive(Debug)]
+pub struct TcpTransport {
+    config: TcpConfig,
+    /// Explicit peer table: host name → socket address. Hosts not listed
+    /// fall back to `host:port` resolution.
+    peers: Mutex<HashMap<String, String>>,
+    /// Idle connections, per resolved address.
+    pool: Mutex<HashMap<String, Vec<Connection>>>,
+    counters: TransportCounters,
+    nonce: AtomicU64,
+}
+
+impl TcpTransport {
+    /// A transport with the given configuration.
+    pub fn new(config: TcpConfig) -> Self {
+        // Nonce freshness: wall-clock seed, monotonic after that.
+        let seed = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map_or(1, |d| d.as_nanos() as u64);
+        TcpTransport {
+            config,
+            peers: Mutex::new(HashMap::new()),
+            pool: Mutex::new(HashMap::new()),
+            counters: TransportCounters::new(),
+            nonce: AtomicU64::new(seed | 1),
+        }
+    }
+
+    /// Maps a firewall host name to a socket address (`"127.0.0.1:7001"`).
+    pub fn add_peer(&self, host: impl Into<String>, addr: impl Into<String>) {
+        self.peers.lock().insert(host.into(), addr.into());
+    }
+
+    /// The shared counters (also used by tests).
+    pub fn counters(&self) -> TransportCounters {
+        self.counters.clone()
+    }
+
+    fn resolve(&self, to_host: &str, to_port: u16) -> String {
+        self.peers
+            .lock()
+            .get(to_host)
+            .cloned()
+            .unwrap_or_else(|| format!("{to_host}:{to_port}"))
+    }
+
+    fn checkout(&self, addr: &str) -> Option<Connection> {
+        self.pool.lock().get_mut(addr).and_then(Vec::pop)
+    }
+
+    fn checkin(&self, addr: &str, conn: Connection) {
+        let mut pool = self.pool.lock();
+        let idle = pool.entry(addr.to_owned()).or_default();
+        if idle.len() < POOL_PER_PEER {
+            idle.push(conn);
+        }
+        // else: drop — the socket closes, the peer's handler exits.
+    }
+
+    fn fresh_nonce(&self) -> u64 {
+        self.nonce.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Seed for deterministic jitter, derived from the destination.
+    fn jitter_seed(addr: &str) -> u64 {
+        addr.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3)
+        })
+    }
+}
+
+impl Transport for TcpTransport {
+    fn send(
+        &self,
+        _from: &str,
+        to_host: &str,
+        to_port: u16,
+        payload: &[u8],
+    ) -> Result<(), TransportError> {
+        let addr = self.resolve(to_host, to_port);
+        let seed = Self::jitter_seed(&addr);
+        let mut last = TransportError::Unreachable {
+            host: to_host.to_owned(),
+            detail: "no attempt made".to_owned(),
+        };
+
+        for attempt in 1..=self.config.backoff.max_attempts {
+            if attempt > 1 {
+                self.counters.add_reconnect();
+                thread::sleep(self.config.backoff.delay(attempt - 1, seed));
+            }
+            // Reuse an idle pooled connection or establish a fresh one.
+            let pooled = self.checkout(&addr);
+            let mut conn = match pooled {
+                Some(c) => c,
+                None => {
+                    match Connection::establish(&addr, self.fresh_nonce(), &self.config.connect) {
+                        Ok(c) => {
+                            self.counters.add_connect();
+                            c
+                        }
+                        Err(e) => {
+                            if matches!(e, TransportError::HandshakeFailed { .. }) {
+                                self.counters.add_handshake_failure();
+                                // The peer will keep refusing us; retrying
+                                // with the same credentials cannot help.
+                                self.counters.add_retry_timeout();
+                                return Err(e);
+                            }
+                            last = e;
+                            continue;
+                        }
+                    }
+                }
+            };
+            match conn.send_payload(payload) {
+                Ok(()) => {
+                    self.counters.add_sent(payload.len() as u64);
+                    self.checkin(&addr, conn);
+                    return Ok(());
+                }
+                Err(e) => {
+                    // The connection is poisoned; drop it and retry on a
+                    // fresh one after the backoff delay.
+                    last = e;
+                }
+            }
+        }
+        self.counters.add_retry_timeout();
+        Err(TransportError::RetriesExhausted {
+            host: to_host.to_owned(),
+            attempts: self.config.backoff.max_attempts,
+            last: last.to_string(),
+        })
+    }
+
+    fn stats(&self) -> TransportStats {
+        self.counters.snapshot()
+    }
+
+    fn kind(&self) -> &'static str {
+        "tcp"
+    }
+}

@@ -1,0 +1,37 @@
+//! The [`Transport`] abstraction: how a firewall ships an encoded message
+//! to a peer firewall, independent of whether the wire is a real TCP
+//! socket or the in-process simulated network.
+
+use std::fmt;
+
+use crate::{TransportError, TransportStats};
+
+/// A delivery fabric between firewalls.
+///
+/// Implementations ship opaque payloads (encoded firewall messages) from
+/// the firewall on `from` to the firewall serving `to_host:to_port`. The
+/// call is synchronous: `Ok(())` means the peer acknowledged receipt (TCP)
+/// or the simulated network accepted the envelope (simnet). Errors are
+/// final from the transport's point of view — internal retry/backoff has
+/// already run — so the caller decides whether to park the message.
+pub trait Transport: Send + Sync + fmt::Debug {
+    /// Ships `payload` to the firewall at `to_host:to_port`.
+    ///
+    /// # Errors
+    ///
+    /// A [`TransportError`] after the transport's own retry budget is
+    /// exhausted (TCP) or the simulated network refuses the transfer.
+    fn send(
+        &self,
+        from: &str,
+        to_host: &str,
+        to_port: u16,
+        payload: &[u8],
+    ) -> Result<(), TransportError>;
+
+    /// Counter snapshot for this transport instance.
+    fn stats(&self) -> TransportStats;
+
+    /// Short backend name for logs and stats lines (`"tcp"`, `"simnet"`).
+    fn kind(&self) -> &'static str;
+}

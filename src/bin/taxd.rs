@@ -1,0 +1,222 @@
+//! `taxd` — the TAX firewall daemon: one host's firewall and VMs behind a
+//! real TCP socket, so agents jump between OS processes instead of
+//! between in-process simulated hosts.
+//!
+//! ```text
+//! taxd --host alpha --listen 127.0.0.1:7001 --peer beta=127.0.0.1:7002 \
+//!      [--launch file.tax --itinerary beta,alpha] \
+//!      [--idle-exit-ms 2000] [--require-signed]
+//! ```
+//!
+//! The daemon binds a [`TransportListener`], routes every arriving frame
+//! through its firewall exactly as a simulated envelope would be, and
+//! ships outbound decisions over a [`TcpTransport`] (retry with backoff;
+//! undeliverable mail parks in the pending queue and a periodic sweep
+//! retries it). With `--idle-exit-ms` the process exits once nothing has
+//! happened for that long — the mode the loopback integration test uses.
+//!
+//! [`TransportListener`]: tacoma::transport::TransportListener
+//! [`TcpTransport`]: tacoma::transport::TcpTransport
+
+use std::env;
+use std::fs;
+use std::io::Write as _;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use tacoma::core::{AgentSpec, SystemBuilder, TaxSystem};
+use tacoma::transport::{ListenerConfig, TcpConfig, TcpTransport, Transport, TransportListener};
+
+/// How often the pending-queue sweep retries parked remote mail.
+const SWEEP_EVERY: Duration = Duration::from_millis(250);
+
+/// How long one `recv_timeout` on the inbound channel blocks.
+const POLL_EVERY: Duration = Duration::from_millis(50);
+
+struct Options {
+    host: String,
+    listen: String,
+    peers: Vec<(String, String)>,
+    launch: Option<String>,
+    itinerary: Vec<String>,
+    idle_exit: Option<Duration>,
+    require_signed: bool,
+}
+
+fn usage() -> String {
+    "usage: taxd --host NAME --listen ADDR [--peer HOST=ADDR]... \
+     [--launch FILE.tax] [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed]"
+        .to_owned()
+}
+
+fn parse(args: &[String]) -> Result<Options, String> {
+    let mut host = None;
+    let mut listen = None;
+    let mut peers = Vec::new();
+    let mut launch = None;
+    let mut itinerary = Vec::new();
+    let mut idle_exit = None;
+    let mut require_signed = false;
+
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |flag: &str| {
+            it.next()
+                .cloned()
+                .ok_or_else(|| format!("{flag} needs a value\n{}", usage()))
+        };
+        match arg.as_str() {
+            "--host" => host = Some(value("--host")?),
+            "--listen" => listen = Some(value("--listen")?),
+            "--peer" => {
+                let spec = value("--peer")?;
+                let (name, addr) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--peer wants HOST=ADDR, got {spec:?}"))?;
+                peers.push((name.to_owned(), addr.to_owned()));
+            }
+            "--launch" => launch = Some(value("--launch")?),
+            "--itinerary" => {
+                itinerary = value("--itinerary")?
+                    .split(',')
+                    .map(str::to_owned)
+                    .collect();
+            }
+            "--idle-exit-ms" => {
+                let ms: u64 = value("--idle-exit-ms")?
+                    .parse()
+                    .map_err(|_| "--idle-exit-ms wants a number".to_owned())?;
+                idle_exit = Some(Duration::from_millis(ms));
+            }
+            "--require-signed" => require_signed = true,
+            other => return Err(format!("unknown argument {other:?}\n{}", usage())),
+        }
+    }
+    Ok(Options {
+        host: host.ok_or_else(usage)?,
+        listen: listen.ok_or_else(usage)?,
+        peers,
+        launch,
+        itinerary,
+        idle_exit,
+        require_signed,
+    })
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let result = parse(&args).and_then(|opts| run(&opts));
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("taxd: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(opts: &Options) -> Result<(), String> {
+    // Outbound: real TCP with retry/backoff, peer table from --peer.
+    let mut config = TcpConfig::default();
+    config.connect.local_host.clone_from(&opts.host);
+    let transport = Arc::new(TcpTransport::new(config));
+    for (name, addr) in &opts.peers {
+        transport.add_peer(name.clone(), addr.clone());
+    }
+
+    // One host, same kernel as the simulation, shipping over the socket.
+    let mut system = SystemBuilder::new()
+        .host(&opts.host)
+        .map_err(|e| e.to_string())?
+        .transport(Arc::clone(&transport) as Arc<dyn tacoma::transport::Transport>)
+        .build();
+    let host = system
+        .host(&opts.host)
+        .ok_or_else(|| format!("host {} did not build", opts.host))?;
+
+    // Inbound: the listener answers HELLOs and hands frames to the loop
+    // below; `taxsh stats --connect` is served straight off the firewall.
+    let mut listener_config = ListenerConfig::trusting(&opts.host);
+    listener_config.require_signed = opts.require_signed;
+    let stats_host = host.clone();
+    let stats_transport = Arc::clone(&transport);
+    listener_config.stats_provider = Some(Arc::new(move || {
+        stats_host.with_firewall(|fw| {
+            fw.stats_mut().absorb_transport(&stats_transport.stats());
+            fw.stats().to_string()
+        })
+    }));
+    let mut listener =
+        TransportListener::bind(&opts.listen, listener_config).map_err(|e| e.to_string())?;
+    println!("taxd: {} listening on {}", opts.host, listener.local_addr());
+    let _ = std::io::stdout().flush();
+
+    if let Some(path) = &opts.launch {
+        let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let itinerary: Vec<String> = opts
+            .itinerary
+            .iter()
+            .map(|h| format!("tacoma://{h}/vm_script"))
+            .collect();
+        let spec = AgentSpec::script("taxd", source).itinerary(itinerary);
+        system.launch(&opts.host, spec).map_err(|e| e.to_string())?;
+    }
+
+    let mut printed = 0;
+    let mut last_activity = Instant::now();
+    let mut last_sweep = Instant::now();
+    loop {
+        if system.run_until_quiet() > 0 {
+            last_activity = Instant::now();
+        }
+        printed = print_new_events(&system, printed);
+
+        match listener.incoming().recv_timeout(POLL_EVERY) {
+            Ok(inbound) => {
+                last_activity = Instant::now();
+                system
+                    .inject_wire(&opts.host, &inbound.payload)
+                    .map_err(|e| e.to_string())?;
+                continue; // Run the scheduler before blocking again.
+            }
+            Err(std::sync::mpsc::RecvTimeoutError::Disconnected) => break,
+            Err(std::sync::mpsc::RecvTimeoutError::Timeout) => {} // Housekeeping below.
+        }
+
+        if last_sweep.elapsed() >= SWEEP_EVERY {
+            last_sweep = Instant::now();
+            let (delivered, _reparked) = system
+                .redeliver_remote_pending(&opts.host)
+                .map_err(|e| e.to_string())?;
+            if delivered > 0 {
+                last_activity = Instant::now();
+            }
+        }
+        if let Some(limit) = opts.idle_exit {
+            if last_activity.elapsed() >= limit {
+                break;
+            }
+        }
+    }
+    listener.shutdown();
+
+    print_new_events(&system, printed);
+    let line = host.with_firewall(|fw| {
+        fw.stats_mut().absorb_transport(&transport.stats());
+        fw.stats().to_string()
+    });
+    println!("taxd: stats {line}");
+    Ok(())
+}
+
+/// Prints events recorded since the last call; returns the new high-water
+/// mark.
+fn print_new_events(system: &TaxSystem, already: usize) -> usize {
+    let events = system.events();
+    for (host, event) in events.iter().skip(already) {
+        println!("{host:>12}  {event}");
+    }
+    let _ = std::io::stdout().flush();
+    events.len()
+}

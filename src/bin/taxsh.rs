@@ -6,14 +6,19 @@
 //! taxsh disasm <file.tax>                  compile and summarize a program
 //! taxsh uri <agent-uri>                    parse a Figure-2 URI and explain it
 //! taxsh scan [pages] [bytes]               the §5 case study, both ways
+//! taxsh send --connect ADDR --to URI <file.tax>   inject an agent into a taxd
+//! taxsh stats --connect ADDR               a running taxd's firewall counters
 //! ```
 
 use std::env;
 use std::fs;
 use std::process::ExitCode;
+use std::time::{SystemTime, UNIX_EPOCH};
 
 use tacoma::core::{AgentSpec, SystemBuilder};
+use tacoma::security::Principal;
 use tacoma::taxscript::compile_source;
+use tacoma::transport::{ConnectConfig, Connection};
 use tacoma::uri::{AgentUri, HostPort};
 use tacoma::webbot::experiment::{run_mobile, run_stationary, speedup, CaseStudyParams};
 
@@ -25,8 +30,10 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("uri") => cmd_uri(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("send") => cmd_send(&args[1..]),
+        Some("stats") => cmd_stats(&args[1..]),
         _ => {
-            eprintln!("usage: taxsh <run|check|disasm|uri|scan> ...");
+            eprintln!("usage: taxsh <run|check|disasm|uri|scan|send|stats> ...");
             eprintln!(
                 "  run <file.tax> [h1,h2,...]  launch the script on h1, itinerary over the rest"
             );
@@ -36,6 +43,8 @@ fn main() -> ExitCode {
             eprintln!("  disasm <file.tax>           compile and summarize");
             eprintln!("  uri <agent-uri>             parse and explain");
             eprintln!("  scan [pages] [bytes]        the dead-link case study, both ways");
+            eprintln!("  send --connect ADDR --to URI <file.tax>  inject the agent into a taxd");
+            eprintln!("  stats --connect ADDR        fetch a running taxd's firewall counters");
             return ExitCode::from(2);
         }
     };
@@ -155,6 +164,82 @@ fn cmd_uri(args: &[String]) -> Result<(), String> {
         uri.instance()
             .map_or_else(|| "(any — matches by name)".into(), ToString::to_string)
     );
+    Ok(())
+}
+
+/// Pulls a `--flag value` pair out of `args`, returning the remaining
+/// positional arguments untouched.
+fn take_flag(args: &[String], flag: &str) -> (Option<String>, Vec<String>) {
+    let mut value = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == flag {
+            value = it.next().cloned();
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    (value, rest)
+}
+
+/// Opens a handshaken connection to a `taxd` at `addr`, speaking as
+/// `local_host`.
+fn connect_to(addr: &str, local_host: &str) -> Result<Connection, String> {
+    let config = ConnectConfig {
+        local_host: local_host.to_owned(),
+        ..ConnectConfig::default()
+    };
+    let nonce = SystemTime::now()
+        .duration_since(UNIX_EPOCH)
+        .map_or(1, |d| d.as_nanos() as u64);
+    Connection::establish(addr, nonce | 1, &config).map_err(|e| format!("{addr}: {e}"))
+}
+
+/// `taxsh send` — builds the agent-transfer message `go` would emit and
+/// ships it to a running `taxd` over TCP, so an operator can inject an
+/// agent into a live deployment from outside any host.
+fn cmd_send(args: &[String]) -> Result<(), String> {
+    let (connect, rest) = take_flag(args, "--connect");
+    let (to, rest) = take_flag(&rest, "--to");
+    let (from, rest) = take_flag(&rest, "--from");
+    let connect = connect.ok_or("send: need --connect ADDR")?;
+    let to = to.ok_or("send: need --to URI (e.g. tacoma://alpha/vm_script)")?;
+    let from = from.unwrap_or_else(|| "taxsh".to_owned());
+    let path = rest.first().ok_or("send: need a script file")?;
+
+    let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    compile_source(&source).map_err(|e| format!("{path}: {e}"))?;
+
+    let principal = Principal::new(&from).map_err(|e| e.to_string())?;
+    let spec = AgentSpec::script("taxsh", source);
+    let wire = spec
+        .wire_transfer(&from, &principal, &to)
+        .map_err(|e| e.to_string())?;
+
+    let mut conn = connect_to(&connect, &from)?;
+    conn.send_payload(&wire)
+        .map_err(|e| format!("{connect}: {e}"))?;
+    println!(
+        "sent {path} to {to} via {} ({} bytes acked)",
+        conn.peer_host(),
+        wire.len()
+    );
+    conn.goodbye();
+    Ok(())
+}
+
+/// `taxsh stats` — asks a running `taxd` for its firewall counter line
+/// (the satellite view of [`FirewallStats`], transport gauges absorbed).
+///
+/// [`FirewallStats`]: tacoma::firewall::FirewallStats
+fn cmd_stats(args: &[String]) -> Result<(), String> {
+    let (connect, _rest) = take_flag(args, "--connect");
+    let connect = connect.ok_or("stats: need --connect ADDR")?;
+    let mut conn = connect_to(&connect, "taxsh")?;
+    let line = conn.query_stats().map_err(|e| format!("{connect}: {e}"))?;
+    println!("{} {line}", conn.peer_host());
+    conn.goodbye();
     Ok(())
 }
 

@@ -14,6 +14,7 @@
 //! * [`security`] — principals, signatures, trust stores (§3.2–3.3)
 //! * [`taxscript`] — the mobile agent language (substrate for `vm_c`/`vm_script`)
 //! * [`firewall`] — the per-host reference monitor (§3.2)
+//! * [`transport`] — the real wire: TCP frames, handshake, retry (§3.2)
 //! * [`vm`] — virtual machines: `vm_bin`, `vm_script`, `vm_c` (§3.3)
 //! * [`core`] — the TAX kernel, library API, service agents, and wrappers (§3–4)
 //! * [`web`] — synthetic web sites and servers (substrate for §5)
@@ -27,6 +28,7 @@ pub use tacoma_firewall as firewall;
 pub use tacoma_security as security;
 pub use tacoma_simnet as simnet;
 pub use tacoma_taxscript as taxscript;
+pub use tacoma_transport as transport;
 pub use tacoma_uri as uri;
 pub use tacoma_vm as vm;
 pub use tacoma_web as web;
