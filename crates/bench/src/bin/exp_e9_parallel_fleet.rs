@@ -1,0 +1,173 @@
+//! **E9 — the parallel tick scheduler on a Webbot fleet.**
+//!
+//! Runs the same `K`-pair mobilized-Webbot fleet under the sequential
+//! scheduler and under the BSP tick scheduler, and reports both clocks:
+//!
+//! * **virtual makespan** — simulated time at quiescence. Under the tick
+//!   scheduler the per-tick barrier advances the global clock to the
+//!   *slowest* batch instead of the sum of all batches, so disjoint pairs
+//!   overlap and the makespan collapses toward one scan's length.
+//! * **wall clock** — real time to run the scheduler. On a single-core
+//!   container the tick scheduler buys no wall time (there is only one
+//!   CPU to share); the honest number is printed anyway.
+//!
+//! Also times the briefcase decode path both ways — `decode` (copies
+//! every element out of the wire buffer) vs `decode_bytes` (elements are
+//! zero-copy slices of one shared `Bytes`) — on a fleet-sized briefcase.
+//!
+//! With `--json` the results are emitted as a JSON object (the format
+//! checked in as `BENCH_4.json`); `--smoke` shrinks the workload for CI.
+
+use std::env;
+use std::time::{Duration, Instant};
+
+use tacoma_bench::{fmt_duration, header, row};
+use tacoma_briefcase::Briefcase;
+use tacoma_webbot::fleet::{run_fleet, FleetParams};
+
+/// Iterations for the codec timing loop.
+const CODEC_ITERS: u32 = 200;
+
+struct Measurement {
+    label: &'static str,
+    threads: usize,
+    wall: Duration,
+    virtual_makespan: Duration,
+    steps: usize,
+}
+
+fn measure(label: &'static str, params: &FleetParams, threads: usize) -> Measurement {
+    let started = Instant::now();
+    let outcome = run_fleet(params, threads);
+    Measurement {
+        label,
+        threads,
+        wall: started.elapsed(),
+        virtual_makespan: outcome.virtual_makespan,
+        steps: outcome.steps,
+    }
+}
+
+/// Builds a briefcase about the size one fleet pair ships home and times
+/// both decoders over it. Returns (decode, decode_bytes) total times.
+fn time_codec(smoke: bool) -> (Duration, Duration, usize) {
+    let mut bc = Briefcase::new();
+    let folder_count = if smoke { 8 } else { 64 };
+    for f in 0..folder_count {
+        for e in 0..16 {
+            bc.append(&format!("FOLDER-{f}"), vec![e as u8; 512]);
+        }
+    }
+    let wire = bc.encode();
+    let shared = bytes::Bytes::from(wire.clone());
+
+    let started = Instant::now();
+    for _ in 0..CODEC_ITERS {
+        let decoded = Briefcase::decode(&wire).expect("valid wire");
+        std::hint::black_box(decoded);
+    }
+    let copying = started.elapsed();
+
+    let started = Instant::now();
+    for _ in 0..CODEC_ITERS {
+        let decoded = Briefcase::decode_bytes(&shared).expect("valid wire");
+        std::hint::black_box(decoded);
+    }
+    let zero_copy = started.elapsed();
+    (copying, zero_copy, wire.len())
+}
+
+fn main() {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+
+    let params = if smoke {
+        FleetParams {
+            pages: 10,
+            total_bytes: 100_000,
+            ..FleetParams::default()
+        }
+    } else {
+        FleetParams::default()
+    };
+
+    let runs = [
+        measure("sequential", &params, 0),
+        measure("tick, 1 worker", &params, 1),
+        measure("tick, 4 workers", &params, 4),
+    ];
+    let (codec_copy, codec_zero, wire_len) = time_codec(smoke);
+
+    let seq = &runs[0];
+    let par = &runs[2];
+    let makespan_speedup = seq.virtual_makespan.as_secs_f64()
+        / par.virtual_makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+    let decode_speedup = codec_copy.as_secs_f64() / codec_zero.as_secs_f64().max(f64::MIN_POSITIVE);
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"parallel_fleet\",");
+        println!("  \"pairs\": {},", params.pairs);
+        println!("  \"pages_per_server\": {},", params.pages);
+        println!("  \"smoke\": {smoke},");
+        println!("  \"runs\": [");
+        for (i, m) in runs.iter().enumerate() {
+            let comma = if i + 1 < runs.len() { "," } else { "" };
+            println!(
+                "    {{ \"label\": \"{}\", \"threads\": {}, \"wall_ms\": {:.1}, \"virtual_makespan_ms\": {:.3}, \"steps\": {} }}{comma}",
+                m.label,
+                m.threads,
+                m.wall.as_secs_f64() * 1e3,
+                m.virtual_makespan.as_secs_f64() * 1e3,
+                m.steps,
+            );
+        }
+        println!("  ],");
+        println!("  \"virtual_makespan_speedup\": {makespan_speedup:.2},");
+        println!("  \"codec\": {{");
+        println!("    \"wire_bytes\": {wire_len},");
+        println!("    \"iterations\": {CODEC_ITERS},");
+        println!("    \"decode_ms\": {:.2},", codec_copy.as_secs_f64() * 1e3);
+        println!(
+            "    \"decode_bytes_ms\": {:.2},",
+            codec_zero.as_secs_f64() * 1e3
+        );
+        println!("    \"zero_copy_speedup\": {decode_speedup:.2}");
+        println!("  }}");
+        println!("}}");
+        return;
+    }
+
+    println!(
+        "E9: parallel tick scheduler vs sequential, {}-pair Webbot fleet",
+        params.pairs
+    );
+    println!(
+        "    {} pages / {} bytes per server, depth {}\n",
+        params.pages, params.total_bytes, params.max_depth
+    );
+    let widths = [18, 10, 12, 18, 10];
+    header(
+        &["scheduler", "threads", "wall", "virtual makespan", "steps"],
+        &widths,
+    );
+    for m in &runs {
+        row(
+            &[
+                m.label.to_owned(),
+                m.threads.to_string(),
+                fmt_duration(m.wall),
+                fmt_duration(m.virtual_makespan),
+                m.steps.to_string(),
+            ],
+            &widths,
+        );
+    }
+    println!("\nvirtual makespan speedup (sequential / tick-4): {makespan_speedup:.2}x");
+    println!(
+        "codec on a {wire_len}-byte briefcase x{CODEC_ITERS}: decode {} vs decode_bytes {} ({decode_speedup:.2}x)",
+        fmt_duration(codec_copy),
+        fmt_duration(codec_zero),
+    );
+}

@@ -159,6 +159,12 @@ impl Briefcase {
         codec::encode_briefcase(self)
     }
 
+    /// Encodes into a caller-provided buffer, appending — the
+    /// allocation-reuse path for senders that encode in a loop.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        codec::encode_briefcase_into(self, out);
+    }
+
     /// Decodes a briefcase from the TAX wire format.
     ///
     /// # Errors
@@ -181,6 +187,28 @@ impl Briefcase {
         limits: &codec::DecodeLimits,
     ) -> Result<Self, BriefcaseError> {
         codec::decode_briefcase_with_limits(wire, limits)
+    }
+
+    /// Zero-copy decode from a shared buffer: elements are slices of
+    /// `wire`'s allocation. See [`codec::decode_briefcase_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Briefcase::decode`].
+    pub fn decode_bytes(wire: &bytes::Bytes) -> Result<Self, BriefcaseError> {
+        codec::decode_briefcase_bytes(wire)
+    }
+
+    /// Zero-copy decode with explicit limits.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Briefcase::decode_with_limits`].
+    pub fn decode_bytes_with_limits(
+        wire: &bytes::Bytes,
+        limits: &codec::DecodeLimits,
+    ) -> Result<Self, BriefcaseError> {
+        codec::decode_briefcase_bytes_with_limits(wire, limits)
     }
 
     /// Merges another briefcase into this one: folders with the same name

@@ -13,6 +13,8 @@
 //! All integers are little-endian. Lengths are bounded by sanity limits so a
 //! hostile peer cannot make the decoder allocate absurd amounts up front.
 
+use bytes::Bytes;
+
 use crate::{Briefcase, BriefcaseError, Element, Folder};
 
 /// Magic bytes opening every encoded briefcase.
@@ -87,6 +89,19 @@ pub(crate) fn encoded_len(bc: &Briefcase) -> usize {
 /// Encodes a briefcase into the TAX wire format.
 pub fn encode_briefcase(bc: &Briefcase) -> Vec<u8> {
     let mut out = Vec::with_capacity(encoded_len(bc));
+    encode_briefcase_into(bc, &mut out);
+    out
+}
+
+/// Encodes a briefcase into a caller-provided buffer, appending to it.
+///
+/// This is the allocation-reuse path: a sender that encodes many
+/// briefcases (a connection's write loop, the simulated transport) can
+/// `clear()` and reuse one buffer instead of allocating a fresh `Vec`
+/// per message. The buffer is reserved up front to the exact encoded
+/// length, so encoding appends without reallocating.
+pub fn encode_briefcase_into(bc: &Briefcase, out: &mut Vec<u8>) {
+    out.reserve(encoded_len(bc));
     out.extend_from_slice(&MAGIC);
     out.push(CODEC_VERSION);
     out.extend_from_slice(&(bc.folder_count() as u32).to_le_bytes());
@@ -101,7 +116,6 @@ pub fn encode_briefcase(bc: &Briefcase) -> Vec<u8> {
             out.extend_from_slice(element.data());
         }
     }
-    out
 }
 
 /// Decodes a briefcase from the TAX wire format with default limits.
@@ -124,6 +138,49 @@ pub fn decode_briefcase(wire: &[u8]) -> Result<Briefcase, BriefcaseError> {
 pub fn decode_briefcase_with_limits(
     wire: &[u8],
     limits: &DecodeLimits,
+) -> Result<Briefcase, BriefcaseError> {
+    decode_impl(wire, limits, |data, _, _| Element::from(data))
+}
+
+/// Decodes a briefcase from a shared [`Bytes`] buffer with default limits,
+/// **without copying element data**: each element is a [`Bytes::slice`]
+/// view into `wire`'s backing allocation.
+///
+/// This is the receive path's zero-copy fast lane: a transport frame read
+/// into one allocation can be decoded into a briefcase whose elements all
+/// share that allocation, so page bodies and agent binaries are never
+/// copied between the socket buffer and the VM.
+///
+/// # Errors
+///
+/// Exactly as [`decode_briefcase`]: the two functions accept and reject
+/// identical inputs (property-tested).
+pub fn decode_briefcase_bytes(wire: &Bytes) -> Result<Briefcase, BriefcaseError> {
+    decode_briefcase_bytes_with_limits(wire, &DecodeLimits::default())
+}
+
+/// Zero-copy decode with explicit limits; see [`decode_briefcase_bytes`].
+///
+/// # Errors
+///
+/// As [`decode_briefcase_with_limits`].
+pub fn decode_briefcase_bytes_with_limits(
+    wire: &Bytes,
+    limits: &DecodeLimits,
+) -> Result<Briefcase, BriefcaseError> {
+    decode_impl(wire, limits, |_, start, end| {
+        Element::from_bytes(wire.slice(start..end))
+    })
+}
+
+/// The single decode loop, parameterized over element materialization:
+/// the copying path builds elements from the borrowed slice, the
+/// zero-copy path slices the shared allocation by offset. Bounds checks
+/// and error behavior are identical by construction.
+fn decode_impl(
+    wire: &[u8],
+    limits: &DecodeLimits,
+    mut make_element: impl FnMut(&[u8], usize, usize) -> Element,
 ) -> Result<Briefcase, BriefcaseError> {
     if wire.len() as u64 > limits.max_frame {
         return Err(BriefcaseError::LengthOverflow {
@@ -194,7 +251,8 @@ pub fn decode_briefcase_with_limits(
             }
             r.fits(len, "element data")?;
             let data = r.take(len as usize, "element data")?;
-            folder.append(Element::from(data));
+            let end = r.pos;
+            folder.append(make_element(data, end - len as usize, end));
         }
         bc.insert_folder(folder);
     }
@@ -469,5 +527,59 @@ mod tests {
         let mut bc = Briefcase::new();
         bc.append("BIN", vec![0u8; 100_000]);
         assert_eq!(bc.encode().len(), bc.encoded_len());
+    }
+
+    #[test]
+    fn zero_copy_decode_equals_copying_decode() {
+        let bc = sample();
+        let wire = Bytes::from(bc.encode());
+        let copied = decode_briefcase(&wire).unwrap();
+        let sliced = decode_briefcase_bytes(&wire).unwrap();
+        assert_eq!(copied, sliced);
+        assert_eq!(sliced, bc);
+    }
+
+    #[test]
+    fn zero_copy_elements_share_the_wire_allocation() {
+        let mut bc = Briefcase::new();
+        bc.append("BIN", vec![7u8; 10_000]);
+        bc.append("TXT", "hello");
+        let wire = Bytes::from(bc.encode());
+        let decoded = decode_briefcase_bytes(&wire).unwrap();
+
+        let base = wire.as_ptr() as usize;
+        let end = base + wire.len();
+        for folder in decoded.iter() {
+            for element in folder {
+                let p = element.bytes().as_ptr() as usize;
+                assert!(
+                    p >= base && p + element.len() <= end,
+                    "element not sliced from the wire buffer"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn zero_copy_decode_rejects_what_copying_decode_rejects() {
+        let wire = sample().encode();
+        for cut in 0..wire.len() {
+            let copied = decode_briefcase(&wire[..cut]);
+            let sliced = decode_briefcase_bytes(&Bytes::copy_from_slice(&wire[..cut]));
+            assert_eq!(copied, sliced, "divergence at cut {cut}");
+        }
+    }
+
+    #[test]
+    fn encode_into_reuses_the_buffer() {
+        let bc = sample();
+        let mut buf = Vec::new();
+        encode_briefcase_into(&bc, &mut buf);
+        assert_eq!(buf, bc.encode());
+        let cap = buf.capacity();
+        buf.clear();
+        encode_briefcase_into(&bc, &mut buf);
+        assert_eq!(buf, bc.encode());
+        assert_eq!(buf.capacity(), cap, "reuse must not reallocate");
     }
 }

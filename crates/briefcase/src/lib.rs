@@ -44,8 +44,9 @@ pub mod folders;
 
 pub use crate::briefcase::{Briefcase, FolderNames, Folders, FoldersMut};
 pub use crate::codec::{
-    decode_briefcase, decode_briefcase_with_limits, encode_briefcase, DecodeLimits, CODEC_VERSION,
-    MAGIC,
+    decode_briefcase, decode_briefcase_bytes, decode_briefcase_bytes_with_limits,
+    decode_briefcase_with_limits, encode_briefcase, encode_briefcase_into, DecodeLimits,
+    CODEC_VERSION, MAGIC,
 };
 pub use crate::element::Element;
 pub use crate::error::BriefcaseError;

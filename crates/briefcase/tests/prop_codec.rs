@@ -76,6 +76,30 @@ proptest! {
         }
     }
 
+    /// The zero-copy decoder agrees with the copying decoder on every
+    /// valid encoding: same briefcase out.
+    #[test]
+    fn decode_bytes_matches_decode_on_valid_wire(bc in arb_briefcase()) {
+        let wire = bc.encode();
+        let shared = bytes::Bytes::from(wire.clone());
+        let copied = Briefcase::decode(&wire).unwrap();
+        let sliced = Briefcase::decode_bytes(&shared).unwrap();
+        prop_assert_eq!(&copied, &sliced);
+        prop_assert_eq!(copied, bc);
+    }
+
+    /// And on *arbitrary* wire input the two decoders agree on
+    /// acceptance: both Ok with equal briefcases, or both Err.
+    #[test]
+    fn decode_bytes_parity_on_garbage(bytes_in in prop::collection::vec(any::<u8>(), 0..512)) {
+        let shared = bytes::Bytes::from(bytes_in.clone());
+        match (Briefcase::decode(&bytes_in), Briefcase::decode_bytes(&shared)) {
+            (Ok(a), Ok(b)) => prop_assert_eq!(a, b),
+            (Err(_), Err(_)) => {}
+            (a, b) => prop_assert!(false, "decoders disagree: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
     /// merge() unions folder names and sums element counts for shared ones.
     #[test]
     fn merge_counts(a in arb_briefcase(), b in arb_briefcase()) {

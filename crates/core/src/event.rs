@@ -56,6 +56,8 @@ pub enum EventKind {
     /// The VM's step-by-step execution trace (Figure 3's numbered arrows
     /// for `vm_c`).
     ExecutionTrace(Vec<String>),
+    /// A scheduler notice (step-budget exhaustion, batch panic).
+    Scheduler(String),
 }
 
 impl fmt::Display for HostEvent {
@@ -74,6 +76,7 @@ impl fmt::Display for HostEvent {
             EventKind::Wrapper { wrapper, note } => write!(f, "wrapper {wrapper}: {note}"),
             EventKind::Service { service, command } => write!(f, "service {service}: {command}"),
             EventKind::ExecutionTrace(lines) => write!(f, "trace: {} steps", lines.len()),
+            EventKind::Scheduler(note) => write!(f, "scheduler: {note}"),
         }
     }
 }

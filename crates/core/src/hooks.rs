@@ -18,15 +18,16 @@ use std::time::Duration;
 
 use parking_lot::RwLock;
 use tacoma_briefcase::Briefcase;
-use tacoma_firewall::{ControlKind, Decision, Message};
+use tacoma_firewall::{AgentStatus, ControlKind, Decision, Message};
 use tacoma_security::{Principal, Rights};
 use tacoma_simnet::{HostId, Network, SimTime};
-use tacoma_taxscript::GoDecision;
+use tacoma_taxscript::{GoDecision, Outcome};
 use tacoma_uri::{AgentAddress, AgentUri};
-use tacoma_vm::{ExecContext, HostHooks};
+use tacoma_vm::{ExecContext, HostHooks, VirtualMachine};
 
 use crate::event::EventKind;
 use crate::host::{AgentTask, TaxHost};
+use crate::sched::TaskScope;
 use crate::service::{error_reply, ServiceAgent, ServiceEnv};
 use crate::TaxError;
 
@@ -55,13 +56,53 @@ impl Kernel {
         self.directory.read().get(name).cloned()
     }
 
+    /// The current virtual time: the executing batch's forked clock when
+    /// a [`TaskScope`] is installed on this thread, the global clock
+    /// otherwise.
     pub fn now(&self) -> SimTime {
-        self.net.clock().now()
+        match TaskScope::current() {
+            Some(scope) => scope.clock.now(),
+            None => self.net.clock().now(),
+        }
     }
 
-    /// Decodes and routes one arrived envelope on `host`.
+    /// Advances virtual time on whichever clock [`Kernel::now`] reads.
+    pub fn advance(&self, by: Duration) {
+        match TaskScope::current() {
+            Some(scope) => scope.clock.advance(by),
+            None => self.net.clock().advance(by),
+        };
+    }
+
+    /// Charges a transfer of `bytes` between two hosts to whichever
+    /// clock and loss RNG the executing context owns.
+    pub fn charge_transfer(
+        &self,
+        from: &HostId,
+        to: &HostId,
+        bytes: u64,
+    ) -> Result<tacoma_simnet::TransferOutcome, tacoma_simnet::NetError> {
+        match TaskScope::current() {
+            Some(scope) => {
+                self.net
+                    .transfer_with(from, to, bytes, &scope.clock, &mut scope.rng.lock())
+            }
+            None => self.net.transfer(from, to, bytes),
+        }
+    }
+
+    /// Decodes and routes one arrived envelope on `host` — zero-copy: the
+    /// firewall decodes straight out of the envelope's shared buffer.
     pub fn process_envelope(&self, host: &TaxHost, envelope: &tacoma_simnet::Envelope) {
-        self.process_wire(host, &envelope.payload);
+        let now = self.now();
+        match host.with_firewall(|fw| fw.route_inbound_wire_bytes(&envelope.payload, now)) {
+            Ok(decision) => {
+                if let Err(e) = self.execute_deliver_decision(host, decision, 0) {
+                    host.record(now, None, EventKind::Rejected(e.to_string()));
+                }
+            }
+            Err(e) => host.record(now, None, EventKind::Rejected(e.to_string())),
+        }
     }
 
     /// Routes one wire-encoded message on `host` — the shared landing path
@@ -72,6 +113,21 @@ impl Kernel {
     pub fn process_wire(&self, host: &TaxHost, payload: &[u8]) {
         let now = self.now();
         match host.with_firewall(|fw| fw.route_inbound_wire(payload, now)) {
+            Ok(decision) => {
+                if let Err(e) = self.execute_deliver_decision(host, decision, 0) {
+                    host.record(now, None, EventKind::Rejected(e.to_string()));
+                }
+            }
+            Err(e) => host.record(now, None, EventKind::Rejected(e.to_string())),
+        }
+    }
+
+    /// As [`Kernel::process_wire`], but the payload shares its buffer
+    /// (e.g. a frame read once off a TCP socket) and is decoded without
+    /// copying.
+    pub fn process_wire_bytes(&self, host: &TaxHost, payload: &bytes::Bytes) {
+        let now = self.now();
+        match host.with_firewall(|fw| fw.route_inbound_wire_bytes(payload, now)) {
             Ok(decision) => {
                 if let Err(e) = self.execute_deliver_decision(host, decision, 0) {
                     host.record(now, None, EventKind::Rejected(e.to_string()));
@@ -268,8 +324,8 @@ impl Kernel {
         let reply_to = request.single_str(REPLY_TO_FOLDER).ok().map(str::to_owned);
         let requester = message.from_principal.clone();
         let authenticated = message.from_host == host.name()
-            || host.with_firewall(|fw| fw.is_sender_trusted(&message.from_host));
-        let rights = host.with_firewall(|fw| fw.rights_of(&requester, authenticated));
+            || host.with_firewall_read(|fw| fw.is_sender_trusted(&message.from_host));
+        let rights = host.with_firewall_read(|fw| fw.rights_of(&requester, authenticated));
 
         let reply = self.run_service(
             host,
@@ -332,6 +388,96 @@ impl Kernel {
             fuel: host.core.fuel,
         };
         service.handle(request, &mut env)
+    }
+
+    /// Executes one queued agent task on `host`: status check, VM lookup,
+    /// hook wiring, execution, and completion bookkeeping. Runs on the
+    /// global clock under the sequential scheduler and on the batch's
+    /// forked clock inside a tick scope.
+    pub(crate) fn run_task(&self, host: &TaxHost, task: AgentTask) {
+        let now = self.now();
+
+        // Respect kill/stop decided while the task was queued.
+        let status =
+            host.with_firewall_read(|fw| fw.registry().get(&task.address).map(|r| r.status));
+        match status {
+            None => return, // killed
+            Some(AgentStatus::Stopped) => {
+                host.core.parked.lock().push(task);
+                return;
+            }
+            Some(AgentStatus::Running) => {}
+        }
+
+        let vm: Option<Arc<dyn VirtualMachine>> = host.core.vms.read().get(&task.vm).cloned();
+        let Some(vm) = vm else {
+            host.record(
+                now,
+                Some(task.address.clone()),
+                EventKind::Rejected(format!("no VM named {:?}", task.vm)),
+            );
+            host.with_firewall(|fw| fw.unregister_agent(&task.address));
+            return;
+        };
+
+        let principal = match Principal::new(task.address.principal()) {
+            Ok(p) => p,
+            Err(e) => {
+                host.record(
+                    now,
+                    Some(task.address.clone()),
+                    EventKind::Rejected(e.to_string()),
+                );
+                return;
+            }
+        };
+
+        let (trust, natives) = exec_context_for(host);
+        let ctx = make_ctx(host, &trust, &natives);
+        let mut hooks = KernelHooks {
+            kernel: self.clone(),
+            host: host.clone(),
+            agent: task.address.clone(),
+            principal,
+            depth: 0,
+        };
+        let mut briefcase = task.briefcase;
+        let result = vm.execute(&mut briefcase, &mut hooks, &ctx);
+        let after = self.now();
+
+        match result {
+            Ok(execution) => {
+                if execution.trace.len() > 1 {
+                    host.record(
+                        after,
+                        Some(task.address.clone()),
+                        EventKind::ExecutionTrace(execution.trace.clone()),
+                    );
+                }
+                match execution.outcome {
+                    Outcome::Moved { .. } => {
+                        // Departure was recorded by the go() hook; this
+                        // instance is terminated.
+                    }
+                    outcome @ (Outcome::Finished | Outcome::Exit(_)) => {
+                        host.record(
+                            after,
+                            Some(task.address.clone()),
+                            EventKind::Completed(outcome),
+                        );
+                    }
+                }
+            }
+            Err(e) => {
+                host.record(
+                    after,
+                    Some(task.address.clone()),
+                    EventKind::Faulted(e.to_string()),
+                );
+            }
+        }
+        host.with_firewall(|fw| fw.unregister_agent(&task.address));
+        host.drop_agent_state(&task.address);
     }
 
     /// Applies an admin decision: deliver the reply (if the requester
@@ -608,15 +754,14 @@ impl HostHooks for KernelHooks {
             // Local service: loopback-cost RPC.
             Decision::DeliverLocal { vm, agent, message } if vm == "service" => {
                 let self_id = self.host.host_id().clone();
-                let _ = self.kernel.net.transfer(&self_id, &self_id, request_len);
+                let _ = self.kernel.charge_transfer(&self_id, &self_id, request_len);
                 let reply = self
                     .kernel
                     .call_service_on(&self.host, &agent, message, self.depth)
                     .ok()?;
                 let _ = self
                     .kernel
-                    .net
-                    .transfer(&self_id, &self_id, reply.encoded_len() as u64);
+                    .charge_transfer(&self_id, &self_id, reply.encoded_len() as u64);
                 Some(reply)
             }
             // Remote target: ship the request; if it lands on a service,
@@ -647,8 +792,7 @@ impl HostHooks for KernelHooks {
                 };
                 let remote_id = HostId::new(&remote).ok()?;
                 self.kernel
-                    .net
-                    .transfer(self.host.host_id(), &remote_id, request_len)
+                    .charge_transfer(self.host.host_id(), &remote_id, request_len)
                     .ok()?;
                 let inbound =
                     remote_host.with_firewall(|fw| fw.route_inbound(message, self.kernel.now()));
@@ -659,8 +803,11 @@ impl HostHooks for KernelHooks {
                             .call_service_on(&remote_host, &agent, message, self.depth)
                             .ok()?;
                         self.kernel
-                            .net
-                            .transfer(&remote_id, self.host.host_id(), reply.encoded_len() as u64)
+                            .charge_transfer(
+                                &remote_id,
+                                self.host.host_id(),
+                                reply.encoded_len() as u64,
+                            )
                             .ok()?;
                         Some(reply)
                     }
@@ -699,24 +846,30 @@ impl HostHooks for KernelHooks {
     }
 
     fn await_bc(&mut self, timeout_ms: i64) -> Option<Briefcase> {
+        // Inside a scheduler batch other hosts' inboxes belong to other
+        // batches, so the wait cannot pump them; deferred sends flush at
+        // the tick barrier and arrive next tick via the agent's mailbox.
+        let scoped = TaskScope::current().is_some();
         if let Some(mail) = self.host.pop_mail(&self.agent) {
             return Some(mail);
         }
         // While this agent blocks, every host's firewall thread keeps
         // delivering — in-flight request/reply chains complete.
-        self.kernel.pump_all();
-        if let Some(mail) = self.host.pop_mail(&self.agent) {
-            return Some(mail);
+        if !scoped {
+            self.kernel.pump_all();
+            if let Some(mail) = self.host.pop_mail(&self.agent) {
+                return Some(mail);
+            }
         }
         // Model the blocking wait: virtual time passes, then one last
         // delivery check.
         if timeout_ms > 0 {
             self.kernel
-                .net
-                .clock()
                 .advance(Duration::from_millis(timeout_ms as u64));
         }
-        self.kernel.pump_all();
+        if !scoped {
+            self.kernel.pump_all();
+        }
         self.host.pop_mail(&self.agent)
     }
 
@@ -729,7 +882,7 @@ impl HostHooks for KernelHooks {
     }
 
     fn work_ns(&mut self, nanos: u64) {
-        self.kernel.net.clock().advance(Duration::from_nanos(nanos));
+        self.kernel.advance(Duration::from_nanos(nanos));
     }
 }
 
@@ -744,7 +897,7 @@ impl std::fmt::Debug for KernelHooks {
 pub(crate) fn exec_context_for(
     host: &TaxHost,
 ) -> (tacoma_security::TrustStore, tacoma_vm::NativeRegistry) {
-    let trust = host.with_firewall(|fw| fw.trust().clone());
+    let trust = host.with_firewall_read(|fw| fw.trust().clone());
     let natives = host.core.natives.read().clone();
     (trust, natives)
 }

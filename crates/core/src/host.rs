@@ -15,6 +15,7 @@ use tacoma_uri::{AgentAddress, DEFAULT_PORT};
 use tacoma_vm::{Architecture, NativeRegistry, VirtualMachine, VmBin, VmC, VmScript};
 
 use crate::event::{EventKind, HostEvent};
+use crate::sched::SystemLogHandle;
 use crate::service::ServiceAgent;
 use crate::services::{AgCabinet, AgCc, AgExec, AgFs, AgLog};
 use crate::wrapper::{WrapperFactory, WrapperStack};
@@ -32,7 +33,7 @@ pub(crate) struct AgentTask {
 pub(crate) struct HostCore {
     pub name: HostId,
     pub arch: Architecture,
-    pub firewall: Mutex<Firewall>,
+    pub firewall: RwLock<Firewall>,
     pub services: RwLock<BTreeMap<String, Arc<dyn ServiceAgent>>>,
     pub natives: RwLock<NativeRegistry>,
     pub vms: RwLock<BTreeMap<String, Arc<dyn VirtualMachine>>>,
@@ -43,6 +44,10 @@ pub(crate) struct HostCore {
     pub events: Mutex<Vec<HostEvent>>,
     pub inbox: Mutex<Option<Receiver<Envelope>>>,
     pub factory: RwLock<WrapperFactory>,
+    /// The host's slot in the merged system log, attached once at
+    /// `SystemBuilder::build`. Hosts built standalone (unit tests) have
+    /// none and log only locally.
+    pub log: std::sync::OnceLock<SystemLogHandle>,
     pub allow_unsigned: bool,
     pub fuel: u64,
 }
@@ -69,9 +74,16 @@ impl TaxHost {
         &self.core.arch
     }
 
-    /// Runs `f` with the host's firewall locked.
+    /// Runs `f` with the host's firewall locked for writing.
     pub fn with_firewall<R>(&self, f: impl FnOnce(&mut Firewall) -> R) -> R {
-        f(&mut self.core.firewall.lock())
+        f(&mut self.core.firewall.write())
+    }
+
+    /// Runs `f` with the host's firewall locked for reading — the fast
+    /// path for status checks and rights lookups, which concurrent
+    /// scheduler batches take without serializing on each other.
+    pub fn with_firewall_read<R>(&self, f: impl FnOnce(&Firewall) -> R) -> R {
+        f(&self.core.firewall.read())
     }
 
     /// Installs a native program (e.g. the Webbot binary) under `key`.
@@ -101,7 +113,7 @@ impl TaxHost {
     pub fn add_service(&self, service: Arc<dyn ServiceAgent>) {
         let name = service.name().to_owned();
         {
-            let mut firewall = self.core.firewall.lock();
+            let mut firewall = self.core.firewall.write();
             let system = firewall.local_system().clone();
             let instance = firewall.allocate_instance();
             let address = AgentAddress::new(system.as_str(), &name, instance);
@@ -131,6 +143,9 @@ impl TaxHost {
     /// Clears the event log (between experiment repetitions).
     pub fn clear_events(&self) {
         self.core.events.lock().clear();
+        if let Some(handle) = self.core.log.get() {
+            handle.log.clear_host(handle.host_idx);
+        }
     }
 
     /// All `display` output recorded on this host, in order.
@@ -158,7 +173,13 @@ impl TaxHost {
     }
 
     pub(crate) fn record(&self, at: SimTime, agent: Option<AgentAddress>, kind: EventKind) {
-        self.core.events.lock().push(HostEvent { at, agent, kind });
+        let event = HostEvent { at, agent, kind };
+        if let Some(handle) = self.core.log.get() {
+            handle
+                .log
+                .record(handle.host_idx, self.core.name.as_str(), event.clone());
+        }
+        self.core.events.lock().push(event);
     }
 
     pub(crate) fn push_task(&self, task: AgentTask) {
@@ -167,6 +188,13 @@ impl TaxHost {
 
     pub(crate) fn pop_task(&self) -> Option<AgentTask> {
         self.core.tasks.lock().pop_front()
+    }
+
+    /// Takes every queued task at once — a tick's batch snapshot. Tasks
+    /// queued afterwards (e.g. agents arriving mid-tick) wait for the
+    /// next tick.
+    pub(crate) fn drain_tasks(&self) -> Vec<AgentTask> {
+        self.core.tasks.lock().drain(..).collect()
     }
 
     pub(crate) fn push_mail(&self, to: &AgentAddress, briefcase: Briefcase) {
@@ -342,7 +370,7 @@ impl HostBuilder {
             core: Arc::new(HostCore {
                 name: self.name,
                 arch: self.arch,
-                firewall: Mutex::new(firewall),
+                firewall: RwLock::new(firewall),
                 services: RwLock::new(BTreeMap::new()),
                 natives: RwLock::new(NativeRegistry::new()),
                 vms: RwLock::new(vms),
@@ -353,6 +381,7 @@ impl HostBuilder {
                 events: Mutex::new(Vec::new()),
                 inbox: Mutex::new(None),
                 factory: RwLock::new(wrappers::standard_factory()),
+                log: std::sync::OnceLock::new(),
                 allow_unsigned: self.allow_unsigned,
                 fuel: self.fuel,
             }),

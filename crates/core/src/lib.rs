@@ -51,6 +51,7 @@ mod error;
 mod event;
 mod hooks;
 mod host;
+mod sched;
 mod service;
 pub mod services;
 mod system;
@@ -62,6 +63,7 @@ pub use error::TaxError;
 pub use event::{EventKind, HostEvent};
 pub use hooks::KernelHooks;
 pub use host::{HostBuilder, TaxHost};
+pub use sched::RunOutcome;
 pub use service::{arg, command_of, error_reply, ok_reply, reply_ok, ServiceAgent, ServiceEnv};
 pub use system::{SystemBuilder, TaxSystem};
 pub use wrapper::{

@@ -6,17 +6,18 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use tacoma_briefcase::{folders, Briefcase};
-use tacoma_firewall::{AgentStatus, Message};
+use tacoma_firewall::Message;
 use tacoma_security::{Keyring, Principal};
 use tacoma_simnet::{LinkSpec, MessageBus, Network, SimClock, Topology};
-use tacoma_taxscript::Outcome;
 use tacoma_uri::AgentAddress;
-use tacoma_vm::VirtualMachine;
 
 use crate::agent::AgentSpec;
 use crate::event::{EventKind, HostEvent};
-use crate::hooks::{exec_context_for, make_ctx, Kernel, KernelHooks};
-use crate::host::{HostBuilder, TaxHost};
+use crate::hooks::Kernel;
+use crate::host::{AgentTask, HostBuilder, TaxHost};
+use crate::sched::{
+    batch_seed, DeferredSimTransport, RunOutcome, SystemLog, SystemLogHandle, TaskScope, WorkerPool,
+};
 use crate::TaxError;
 
 /// Hard cap on scheduler steps per [`TaxSystem::run_until_quiet`] call —
@@ -31,6 +32,7 @@ pub struct SystemBuilder {
     seed: u64,
     trust_all: bool,
     transport: Option<Arc<dyn tacoma_transport::Transport>>,
+    threads: usize,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -55,6 +57,7 @@ impl SystemBuilder {
             seed: 1,
             trust_all: false,
             transport: None,
+            threads: 0,
         }
     }
 
@@ -110,6 +113,17 @@ impl SystemBuilder {
         self
     }
 
+    /// Selects the scheduler. `0` (the default) is the classic
+    /// one-task-per-step sequential scheduler; `n >= 1` enables the
+    /// bulk-synchronous tick scheduler with `n` worker threads, which
+    /// drains *every* ready host's task batch each step. A tick run is
+    /// deterministic across worker counts: the same seed produces the
+    /// same event trace with 1 or N threads (see `docs/scheduler.md`).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
     /// Builds the system.
     pub fn build(self) -> TaxSystem {
         let mut topology = Topology::new(self.default_link);
@@ -147,16 +161,25 @@ impl SystemBuilder {
             }
         }
 
+        let log = Arc::new(SystemLog::new());
         for host in built {
             let inbox = bus.register(host.host_id().clone());
             host.set_inbox(inbox);
             hosts.insert(host.name().to_owned(), host);
         }
+        // Host indices follow directory (BTreeMap) order — the same
+        // order every scheduler phase iterates in.
+        for (idx, host) in hosts.values().enumerate() {
+            let _ = host.core.log.set(SystemLogHandle {
+                log: Arc::clone(&log),
+                host_idx: idx as u32,
+            });
+        }
 
         let directory = Arc::new(RwLock::new(hosts));
         let transport = self
             .transport
-            .unwrap_or_else(|| Arc::new(tacoma_transport::SimTransport::new(bus.clone())));
+            .unwrap_or_else(|| Arc::new(DeferredSimTransport::new(bus.clone(), Arc::clone(&net))));
         TaxSystem {
             kernel: Kernel {
                 directory,
@@ -164,6 +187,12 @@ impl SystemBuilder {
                 transport,
             },
             keyrings,
+            log,
+            bus,
+            seed: self.seed,
+            threads: self.threads,
+            tick: 0,
+            pool: None,
         }
     }
 }
@@ -178,6 +207,12 @@ impl Default for SystemBuilder {
 pub struct TaxSystem {
     kernel: Kernel,
     keyrings: BTreeMap<String, Keyring>,
+    log: Arc<SystemLog>,
+    bus: MessageBus,
+    seed: u64,
+    threads: usize,
+    tick: u64,
+    pool: Option<WorkerPool>,
 }
 
 impl TaxSystem {
@@ -229,6 +264,25 @@ impl TaxSystem {
         Ok(())
     }
 
+    /// As [`TaxSystem::inject_wire`], but the payload is a shared buffer
+    /// (e.g. a frame read once off a TCP socket) routed zero-copy: the
+    /// firewall decodes briefcase contents straight out of it.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    pub fn inject_wire_bytes(
+        &mut self,
+        host_name: &str,
+        payload: &bytes::Bytes,
+    ) -> Result<(), TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        self.kernel.process_wire_bytes(&host, payload);
+        Ok(())
+    }
+
     /// Retries transport delivery of messages parked in `host_name`'s
     /// pending queue for remote hosts. Returns `(delivered, reparked)`.
     ///
@@ -266,7 +320,7 @@ impl TaxSystem {
         let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
             host: host_name.to_owned(),
         })?;
-        let local_system = host.with_firewall(|fw| fw.local_system().clone());
+        let local_system = host.with_firewall_read(|fw| fw.local_system().clone());
         let principal = spec.resolve_principal(&local_system);
         let briefcase = spec.build_briefcase(&principal)?;
         let instance = host.with_firewall(tacoma_firewall::Firewall::allocate_instance);
@@ -341,7 +395,7 @@ impl TaxSystem {
             .ok_or_else(|| TaxError::BadAgentSpec {
                 detail: format!("no service {service_name:?} on {host_name}"),
             })?;
-        let rights = host.with_firewall(|fw| fw.rights_of(principal, true));
+        let rights = host.with_firewall_read(|fw| fw.rights_of(principal, true));
         Ok(self.kernel.run_service(
             &host,
             service.as_ref(),
@@ -352,10 +406,39 @@ impl TaxSystem {
         ))
     }
 
-    /// Performs one unit of scheduler work: drains arrived messages on
-    /// every host, then executes at most one queued agent task. Returns
-    /// whether anything happened.
+    /// How many scheduler worker threads this system uses (`0` = the
+    /// classic sequential scheduler).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Switches scheduler mode after build (e.g. `taxd --threads N`).
+    /// See [`SystemBuilder::threads`].
+    pub fn set_threads(&mut self, n: usize) {
+        if n != self.threads {
+            self.threads = n;
+            self.pool = None; // Rebuilt at the right size on next use.
+        }
+    }
+
+    /// Performs one unit of scheduler work. Returns whether anything
+    /// happened.
+    ///
+    /// In the default sequential mode this drains arrived messages on
+    /// every host, then executes at most one queued agent task. In tick
+    /// mode ([`SystemBuilder::threads`]) it runs one bulk-synchronous
+    /// tick: pump every inbox, execute *every* ready host's task batch
+    /// (concurrently across hosts), then flush deferred sends and advance
+    /// the global clock to the tick's makespan.
     pub fn step(&mut self) -> bool {
+        if self.threads == 0 {
+            self.step_sequential()
+        } else {
+            self.step_tick()
+        }
+    }
+
+    fn step_sequential(&mut self) -> bool {
         let mut worked = false;
 
         // Phase 1: message delivery, every host, deterministic order.
@@ -375,7 +458,7 @@ impl TaxSystem {
                 continue;
             };
             if let Some(task) = host.pop_task() {
-                self.run_task(&host, task);
+                self.kernel.run_task(&host, task);
                 worked = true;
                 break;
             }
@@ -383,14 +466,113 @@ impl TaxSystem {
         worked
     }
 
+    fn step_tick(&mut self) -> bool {
+        let hosts: Vec<TaxHost> = self.kernel.directory.read().values().cloned().collect();
+
+        // Phase 1: message delivery, every host, deterministic order, on
+        // the global clock (exactly the sequential scheduler's pump).
+        let mut worked = false;
+        for host in &hosts {
+            if self.kernel.pump_inbox(host) > 0 {
+                worked = true;
+            }
+        }
+
+        // Phase 2: snapshot one task batch per host. The host is the unit
+        // of parallelism — its tasks run FIFO on its own forked clock.
+        let now = self.kernel.net.clock().now();
+        let tick = self.tick;
+        self.tick += 1;
+        let batches: Vec<(TaxHost, Vec<AgentTask>, Arc<TaskScope>)> = hosts
+            .iter()
+            .enumerate()
+            .filter_map(|(idx, host)| {
+                let tasks = host.drain_tasks();
+                if tasks.is_empty() {
+                    return None;
+                }
+                let scope = TaskScope::new(now, batch_seed(self.seed, idx as u64, tick));
+                Some((host.clone(), tasks, scope))
+            })
+            .collect();
+        if batches.is_empty() {
+            return worked;
+        }
+
+        // Execute. A single batch (or a single worker) runs inline — same
+        // semantics, no handoff cost.
+        if batches.len() == 1 || self.threads == 1 {
+            for (host, tasks, scope) in &batches {
+                run_batch(&self.kernel, host, tasks.clone(), scope);
+            }
+        } else {
+            let workers = self.threads;
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
+            let (tx, rx) = crossbeam::channel::unbounded::<()>();
+            for (host, tasks, scope) in &batches {
+                let kernel = self.kernel.clone();
+                let host = host.clone();
+                let tasks = tasks.clone();
+                let scope = Arc::clone(scope);
+                let tx = tx.clone();
+                pool.submit(Box::new(move || {
+                    run_batch(&kernel, &host, tasks, &scope);
+                    let _ = tx.send(());
+                }));
+            }
+            for _ in 0..batches.len() {
+                let _ = rx.recv();
+            }
+        }
+
+        // Phase 3 (barrier): flush deferred envelopes in host order, then
+        // advance the global clock to the slowest batch's finish time —
+        // concurrent batches overlap in virtual time, so the tick costs
+        // its makespan, not the sum of its batches.
+        let mut makespan = now;
+        for (_, _, scope) in &batches {
+            makespan = makespan.max(scope.clock.now());
+            for envelope in scope.sends.lock().drain(..) {
+                let _ = self.bus.deliver(envelope);
+            }
+        }
+        self.kernel.net.clock().advance_to(makespan);
+        true
+    }
+
     /// Runs the scheduler until no work remains (or a million steps, as a
-    /// livelock backstop). Returns the number of steps executed.
-    pub fn run_until_quiet(&mut self) -> usize {
+    /// livelock backstop). On exhaustion a warning event is recorded —
+    /// check [`RunOutcome::quiesced`] rather than assuming silence means
+    /// completion.
+    pub fn run_until_quiet(&mut self) -> RunOutcome {
+        self.run_for(MAX_STEPS)
+    }
+
+    /// Runs the scheduler until quiet or until `budget` steps have
+    /// executed, whichever comes first.
+    pub fn run_for(&mut self, budget: usize) -> RunOutcome {
         let mut steps = 0;
-        while steps < MAX_STEPS && self.step() {
+        while steps < budget {
+            if !self.step() {
+                return RunOutcome::Quiesced { steps };
+            }
             steps += 1;
         }
-        steps
+        if self.is_quiet() {
+            return RunOutcome::Quiesced { steps };
+        }
+        // Make the truncation visible in the event log: callers that
+        // ignore the outcome still see the warning in traces.
+        if let Some(host) = self.host_names().first().and_then(|name| self.host(name)) {
+            host.record(
+                self.kernel.now(),
+                None,
+                EventKind::Scheduler(format!(
+                    "step budget exhausted after {steps} steps; system is not quiet"
+                )),
+            );
+        }
+        RunOutcome::StepBudgetExhausted { steps }
     }
 
     /// Whether no messages or tasks are outstanding.
@@ -402,112 +584,37 @@ impl TaxSystem {
             .all(|h| h.inbox_is_empty() && h.queued_tasks() == 0)
     }
 
-    /// All events across hosts, ordered by virtual time.
+    /// All events across hosts, ordered by virtual time — served from the
+    /// incrementally maintained system log, so repeated calls do not
+    /// re-clone and re-sort every host's history.
     pub fn events(&self) -> Vec<(String, HostEvent)> {
-        let mut all: Vec<(String, HostEvent)> = Vec::new();
-        for (name, host) in self.kernel.directory.read().iter() {
-            for event in host.events() {
-                all.push((name.clone(), event));
-            }
-        }
-        all.sort_by_key(|(_, e)| e.at);
-        all
+        self.log.snapshot()
     }
 
     /// Every `display` line across all hosts, in virtual-time order.
     pub fn agent_outputs(&self) -> Vec<String> {
-        self.events()
-            .into_iter()
-            .filter_map(|(_, e)| match e.kind {
-                EventKind::Display(text) => Some(text),
-                _ => None,
-            })
-            .collect()
+        self.log.displays()
     }
+}
 
-    fn run_task(&mut self, host: &TaxHost, task: crate::host::AgentTask) {
-        let now = self.kernel.now();
-
-        // Respect kill/stop decided while the task was queued.
-        let status = host.with_firewall(|fw| fw.registry().get(&task.address).map(|r| r.status));
-        match status {
-            None => return, // killed
-            Some(AgentStatus::Stopped) => {
-                host.core.parked.lock().push(task);
-                return;
-            }
-            Some(AgentStatus::Running) => {}
+/// Executes one host's task batch inside its scope. A panicking task
+/// abandons the rest of its batch (and is recorded as a scheduler event)
+/// but never takes down the worker or the tick.
+fn run_batch(kernel: &Kernel, host: &TaxHost, tasks: Vec<AgentTask>, scope: &Arc<TaskScope>) {
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let _guard = TaskScope::enter(Arc::clone(scope));
+        for task in tasks {
+            kernel.run_task(host, task);
         }
-
-        let vm: Option<Arc<dyn VirtualMachine>> = host.core.vms.read().get(&task.vm).cloned();
-        let Some(vm) = vm else {
-            host.record(
-                now,
-                Some(task.address.clone()),
-                EventKind::Rejected(format!("no VM named {:?}", task.vm)),
-            );
-            host.with_firewall(|fw| fw.unregister_agent(&task.address));
-            return;
-        };
-
-        let principal = match Principal::new(task.address.principal()) {
-            Ok(p) => p,
-            Err(e) => {
-                host.record(
-                    now,
-                    Some(task.address.clone()),
-                    EventKind::Rejected(e.to_string()),
-                );
-                return;
-            }
-        };
-
-        let (trust, natives) = exec_context_for(host);
-        let ctx = make_ctx(host, &trust, &natives);
-        let mut hooks = KernelHooks {
-            kernel: self.kernel.clone(),
-            host: host.clone(),
-            agent: task.address.clone(),
-            principal,
-            depth: 0,
-        };
-        let mut briefcase = task.briefcase;
-        let result = vm.execute(&mut briefcase, &mut hooks, &ctx);
-        let after = self.kernel.now();
-
-        match result {
-            Ok(execution) => {
-                if execution.trace.len() > 1 {
-                    host.record(
-                        after,
-                        Some(task.address.clone()),
-                        EventKind::ExecutionTrace(execution.trace.clone()),
-                    );
-                }
-                match execution.outcome {
-                    Outcome::Moved { .. } => {
-                        // Departure was recorded by the go() hook; this
-                        // instance is terminated.
-                    }
-                    outcome @ (Outcome::Finished | Outcome::Exit(_)) => {
-                        host.record(
-                            after,
-                            Some(task.address.clone()),
-                            EventKind::Completed(outcome),
-                        );
-                    }
-                }
-            }
-            Err(e) => {
-                host.record(
-                    after,
-                    Some(task.address.clone()),
-                    EventKind::Faulted(e.to_string()),
-                );
-            }
-        }
-        host.with_firewall(|fw| fw.unregister_agent(&task.address));
-        host.drop_agent_state(&task.address);
+    }));
+    if result.is_err() {
+        host.record(
+            scope.clock.now(),
+            None,
+            EventKind::Scheduler(
+                "host batch panicked; remaining tasks in the batch were abandoned".into(),
+            ),
+        );
     }
 }
 

@@ -463,6 +463,25 @@ impl Firewall {
         self.route_inbound(message, now)
     }
 
+    /// Zero-copy variant of [`Firewall::route_inbound_wire`]: the decoded
+    /// message's briefcase elements are slices of `payload`'s shared
+    /// allocation, so inbound page bodies and agent binaries are routed to
+    /// their VM without a byte ever being copied off the receive buffer.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Firewall::route_inbound_wire`].
+    pub fn route_inbound_wire_bytes(
+        &mut self,
+        payload: &bytes::Bytes,
+        now: SimTime,
+    ) -> Result<Decision, FirewallError> {
+        self.stats.frames_received += 1;
+        self.stats.bytes_received += payload.len() as u64;
+        let message = Message::decode_bytes(payload)?;
+        self.route_inbound(message, now)
+    }
+
     /// Mutable access to the mediation counters, for absorbing transport
     /// gauges before reporting.
     pub fn stats_mut(&mut self) -> &mut FirewallStats {

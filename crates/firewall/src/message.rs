@@ -1,7 +1,8 @@
 //! The inter-firewall message: everything on the wire is a briefcase.
 
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use tacoma_briefcase::Briefcase;
+use tacoma_briefcase::{Briefcase, Element};
 use tacoma_security::Principal;
 use tacoma_uri::{AgentAddress, AgentUri};
 
@@ -95,6 +96,15 @@ impl Message {
     /// briefcases all the way down (§3.3: a VM's sole obligation is to
     /// "issue briefcases for communication").
     pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Encodes into a caller-provided buffer, appending — senders with a
+    /// write loop (connections, the simulated transport) reuse one buffer
+    /// across messages instead of allocating per message.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
         let mut frame = Briefcase::new();
         let kind = match self.kind {
             MessageKind::Deliver => "deliver".to_owned(),
@@ -109,7 +119,7 @@ impl Message {
         }
         frame.set_single(wire::TO, self.to.to_string());
         frame.set_single(wire::PAYLOAD, self.briefcase.encode());
-        frame.encode()
+        frame.encode_into(out);
     }
 
     /// Decodes a message from wire bytes.
@@ -120,6 +130,32 @@ impl Message {
     /// cannot panic the firewall.
     pub fn decode(bytes: &[u8]) -> Result<Self, FirewallError> {
         let frame = Briefcase::decode(bytes).map_err(bad)?;
+        Message::from_frame(&frame, |payload| {
+            Briefcase::decode(payload.data()).map_err(bad)
+        })
+    }
+
+    /// Zero-copy decode: the message frame and its nested payload
+    /// briefcase are both sliced out of `bytes`' shared allocation, so
+    /// element data (page bodies, agent binaries) is never copied off the
+    /// wire buffer.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Message::decode`].
+    pub fn decode_bytes(bytes: &Bytes) -> Result<Self, FirewallError> {
+        let frame = Briefcase::decode_bytes(bytes).map_err(bad)?;
+        Message::from_frame(&frame, |payload| {
+            Briefcase::decode_bytes(payload.bytes()).map_err(bad)
+        })
+    }
+
+    /// The shared field-extraction path behind both decoders; only the
+    /// nested-payload decode differs (copying vs slicing).
+    fn from_frame(
+        frame: &Briefcase,
+        decode_payload: impl FnOnce(&Element) -> Result<Briefcase, FirewallError>,
+    ) -> Result<Self, FirewallError> {
         let kind = match frame.single_str(wire::KIND).map_err(bad)? {
             "deliver" => MessageKind::Deliver,
             "go" => MessageKind::AgentTransfer { spawned: false },
@@ -142,8 +178,8 @@ impl Message {
             .map_err(bad)?
             .parse()
             .map_err(bad)?;
-        let payload_bytes = frame.element(wire::PAYLOAD, 0).map_err(bad)?;
-        let briefcase = Briefcase::decode(payload_bytes.data()).map_err(bad)?;
+        let payload = frame.element(wire::PAYLOAD, 0).map_err(bad)?;
+        let briefcase = decode_payload(payload)?;
         Ok(Message {
             kind,
             from_host,
@@ -154,11 +190,30 @@ impl Message {
         })
     }
 
-    /// The exact encoded size, for transfer-cost accounting.
+    /// The exact encoded size, for transfer-cost accounting — computed
+    /// arithmetically, *without* serializing the payload. Every `meet`
+    /// used to pay a full encode of the reply just to price the transfer;
+    /// this makes cost accounting O(folders) instead of O(bytes).
     pub fn encoded_len(&self) -> usize {
-        // Framing is small; measuring via encode is exact and still cheap
-        // relative to payloads.
-        self.encode().len()
+        // One framing folder holding a single element of `data_len` bytes.
+        fn folder(name: &str, data_len: usize) -> usize {
+            2 + name.len() + 4 + 4 + data_len
+        }
+        let kind_len = match self.kind {
+            MessageKind::Deliver => "deliver".len(),
+            MessageKind::AgentTransfer { spawned: false } => "go".len(),
+            MessageKind::AgentTransfer { spawned: true } => "spawn".len(),
+        };
+        let mut len = 4 + 1 + 4; // magic + version + folder count
+        len += folder(wire::KIND, kind_len);
+        len += folder(wire::FROM_HOST, self.from_host.len());
+        len += folder(wire::FROM_PRINCIPAL, self.from_principal.as_str().len());
+        if let Some(agent) = &self.from_agent {
+            len += folder(wire::FROM_AGENT, agent.to_string().len());
+        }
+        len += folder(wire::TO, self.to.to_string().len());
+        len += folder(wire::PAYLOAD, self.briefcase.encoded_len());
+        len
     }
 }
 
@@ -277,5 +332,44 @@ mod tests {
     fn encoded_len_matches_encode() {
         let m = sample();
         assert_eq!(m.encoded_len(), m.encode().len());
+
+        // Agent-less and transfer variants hit the other arithmetic arms.
+        let plain = Message::deliver(
+            "h1",
+            Principal::new("p").unwrap(),
+            None,
+            "ag_fs".parse().unwrap(),
+            Briefcase::new(),
+        );
+        assert_eq!(plain.encoded_len(), plain.encode().len());
+        for spawned in [false, true] {
+            let t = Message::transfer(
+                "h1",
+                Principal::new("p").unwrap(),
+                "tacoma://h2/vm_script".parse().unwrap(),
+                Briefcase::new(),
+                spawned,
+            );
+            assert_eq!(t.encoded_len(), t.encode().len());
+        }
+    }
+
+    #[test]
+    fn decode_bytes_matches_decode_and_shares_the_wire() {
+        let m = sample();
+        let wire = Bytes::from(m.encode());
+        let copied = Message::decode(&wire).unwrap();
+        let sliced = Message::decode_bytes(&wire).unwrap();
+        assert_eq!(copied, sliced);
+
+        // The nested payload's elements live inside the wire allocation.
+        let base = wire.as_ptr() as usize;
+        let end = base + wire.len();
+        let e = sliced.briefcase.element("RESULTS", 0).unwrap();
+        let p = e.bytes().as_ptr() as usize;
+        assert!(p >= base && p + e.len() <= end);
+
+        // Rejection parity on garbage.
+        assert!(Message::decode_bytes(&Bytes::from_static(b"junk")).is_err());
     }
 }

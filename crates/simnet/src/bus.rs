@@ -2,6 +2,7 @@ use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use parking_lot::Mutex;
 
@@ -14,8 +15,10 @@ pub struct Envelope {
     pub from: HostId,
     /// Destination host.
     pub to: HostId,
-    /// Opaque payload (typically an encoded briefcase).
-    pub payload: Vec<u8>,
+    /// Opaque payload (typically an encoded briefcase). A shared buffer,
+    /// so the receive path can decode briefcase elements as zero-copy
+    /// slices of this allocation.
+    pub payload: Bytes,
     /// Virtual time the message left `from`.
     pub departed: SimTime,
     /// Virtual time the last byte reached `to`.
@@ -72,7 +75,12 @@ impl MessageBus {
     /// Any routing or loss error from [`Network::transfer`], or
     /// [`NetError::NoEndpoint`] / [`NetError::EndpointClosed`] if the
     /// destination has no live mailbox.
-    pub fn send(&self, from: &HostId, to: &HostId, payload: Vec<u8>) -> Result<(), NetError> {
+    pub fn send(
+        &self,
+        from: &HostId,
+        to: &HostId,
+        payload: impl Into<Bytes>,
+    ) -> Result<(), NetError> {
         // Look up the endpoint before charging the network so a missing
         // destination doesn't consume virtual time.
         let tx = self
@@ -82,6 +90,7 @@ impl MessageBus {
             .cloned()
             .ok_or_else(|| NetError::NoEndpoint { host: to.clone() })?;
 
+        let payload = payload.into();
         let outcome = self.network.transfer(from, to, payload.len() as u64)?;
         let envelope = Envelope {
             from: from.clone(),
@@ -93,6 +102,35 @@ impl MessageBus {
         };
         tx.send(envelope)
             .map_err(|_| NetError::EndpointClosed { host: to.clone() })
+    }
+
+    /// Whether `host` currently has a registered mailbox.
+    pub fn has_endpoint(&self, host: &HostId) -> bool {
+        self.endpoints.lock().contains_key(host)
+    }
+
+    /// Delivers a pre-charged envelope to its destination's mailbox
+    /// without touching the network's clock or counters.
+    ///
+    /// This is the flush half of the parallel scheduler's deferred-send
+    /// protocol: transfers are charged to per-task clocks during the tick
+    /// (via [`Network::transfer_with`]), and the resulting envelopes are
+    /// handed over in deterministic order at the tick barrier.
+    ///
+    /// # Errors
+    ///
+    /// [`NetError::NoEndpoint`] / [`NetError::EndpointClosed`] if the
+    /// destination mailbox is gone.
+    pub fn deliver(&self, envelope: Envelope) -> Result<(), NetError> {
+        let to = envelope.to.clone();
+        let tx = self
+            .endpoints
+            .lock()
+            .get(&to)
+            .cloned()
+            .ok_or_else(|| NetError::NoEndpoint { host: to.clone() })?;
+        tx.send(envelope)
+            .map_err(|_| NetError::EndpointClosed { host: to })
     }
 }
 

@@ -92,11 +92,33 @@ impl Network {
         to: &HostId,
         bytes: u64,
     ) -> Result<TransferOutcome, NetError> {
-        let link = self.topology.lock().route(from, to)?;
-        let departed = self.clock.now();
+        self.transfer_with(from, to, bytes, &self.clock, &mut self.rng.lock())
+    }
 
-        if link.loss > 0.0 && self.rng.lock().random::<f64>() < link.loss {
-            self.clock.advance(link.latency);
+    /// [`Network::transfer`] against a caller-supplied clock and loss RNG.
+    ///
+    /// The parallel scheduler charges each task's transfers to a per-task
+    /// clock forked at tick start and a per-task seeded RNG, so transfer
+    /// costs and loss draws are independent of cross-host interleaving.
+    /// Routing and traffic accounting still go through the shared
+    /// topology and stats (counter increments commute).
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Network::transfer`].
+    pub fn transfer_with(
+        &self,
+        from: &HostId,
+        to: &HostId,
+        bytes: u64,
+        clock: &SimClock,
+        rng: &mut StdRng,
+    ) -> Result<TransferOutcome, NetError> {
+        let link = self.topology.lock().route(from, to)?;
+        let departed = clock.now();
+
+        if link.loss > 0.0 && rng.random::<f64>() < link.loss {
+            clock.advance(link.latency);
             self.stats.lock().record_loss(from, to);
             return Err(NetError::MessageLost {
                 from: from.clone(),
@@ -105,7 +127,7 @@ impl Network {
         }
 
         let cost = link.transfer_time(bytes);
-        let arrived = self.clock.advance(cost);
+        let arrived = clock.advance(cost);
         self.stats.lock().record_delivery(from, to, bytes, cost);
         Ok(TransferOutcome {
             departed,

@@ -102,6 +102,14 @@ impl SimClock {
         SimClock::default()
     }
 
+    /// A new, independent clock starting at `t`. Used by the parallel
+    /// scheduler to fork a per-task local clock from the global time at
+    /// tick start, so concurrent tasks each accumulate their own virtual
+    /// makespan instead of serializing on the shared clock.
+    pub fn starting_at(t: SimTime) -> Self {
+        SimClock(Arc::new(AtomicU64::new(t.0)))
+    }
+
     /// The current virtual time.
     pub fn now(&self) -> SimTime {
         SimTime(self.0.load(Ordering::SeqCst))

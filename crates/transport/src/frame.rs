@@ -16,6 +16,8 @@
 
 use std::io::{Read, Write};
 
+use bytes::Bytes;
+
 use crate::TransportError;
 
 /// Magic bytes opening every frame.
@@ -88,13 +90,14 @@ impl Default for FrameLimits {
 pub struct Frame {
     /// What the payload is.
     pub kind: FrameKind,
-    /// The payload bytes.
-    pub payload: Vec<u8>,
+    /// The payload bytes — a shared buffer, so decoding can hand out
+    /// zero-copy views of the read allocation.
+    pub payload: Bytes,
 }
 
 impl Frame {
     /// A frame of the given kind and payload.
-    pub fn new(kind: FrameKind, payload: impl Into<Vec<u8>>) -> Self {
+    pub fn new(kind: FrameKind, payload: impl Into<Bytes>) -> Self {
         Frame {
             kind,
             payload: payload.into(),
@@ -105,7 +108,7 @@ impl Frame {
     pub fn bare(kind: FrameKind) -> Self {
         Frame {
             kind,
-            payload: Vec::new(),
+            payload: Bytes::new(),
         }
     }
 
@@ -129,6 +132,46 @@ impl Frame {
     /// [`TransportError::FrameTooLarge`] when the declared payload
     /// exceeds `limits`.
     pub fn decode(buf: &[u8], limits: &FrameLimits) -> Result<(Frame, usize), TransportError> {
+        let (kind, range) = Frame::decode_range(buf, limits)?;
+        Ok((
+            Frame {
+                kind,
+                payload: Bytes::copy_from_slice(&buf[range.clone()]),
+            },
+            range.end,
+        ))
+    }
+
+    /// Zero-copy decode from a shared buffer: the payload is a
+    /// [`Bytes::slice`] of `buf`'s backing allocation, so a briefcase
+    /// frame read into one buffer flows to the firewall and VM without
+    /// the payload ever being copied.
+    ///
+    /// Returns the frame and the number of bytes consumed.
+    ///
+    /// # Errors
+    ///
+    /// Exactly as [`Frame::decode`].
+    pub fn decode_bytes(
+        buf: &Bytes,
+        limits: &FrameLimits,
+    ) -> Result<(Frame, usize), TransportError> {
+        let (kind, range) = Frame::decode_range(buf, limits)?;
+        Ok((
+            Frame {
+                kind,
+                payload: buf.slice(range.clone()),
+            },
+            range.end,
+        ))
+    }
+
+    /// The shared validation path: parses and bounds-checks the header,
+    /// returning the payload's byte range within `buf`.
+    fn decode_range(
+        buf: &[u8],
+        limits: &FrameLimits,
+    ) -> Result<(FrameKind, std::ops::Range<usize>), TransportError> {
         if buf.len() < FRAME_HEADER_LEN {
             return Err(TransportError::BadFrame {
                 detail: format!("short header: {} bytes", buf.len()),
@@ -141,13 +184,7 @@ impl Frame {
                 detail: format!("payload truncated: want {total} bytes, have {}", buf.len()),
             });
         }
-        Ok((
-            Frame {
-                kind: header.kind,
-                payload: buf[FRAME_HEADER_LEN..total].to_vec(),
-            },
-            total,
-        ))
+        Ok((header.kind, FRAME_HEADER_LEN..total))
     }
 
     /// Reads one frame from a blocking stream.
@@ -165,7 +202,9 @@ impl Frame {
         r.read_exact(&mut payload)?;
         Ok(Frame {
             kind: parsed.kind,
-            payload,
+            // The one unavoidable copy off the socket; everything after
+            // shares this allocation.
+            payload: Bytes::from(payload),
         })
     }
 
@@ -257,6 +296,23 @@ mod tests {
         let err =
             Frame::read_from(&mut wire.as_slice(), &FrameLimits { max_frame: 1024 }).unwrap_err();
         assert!(matches!(err, TransportError::FrameTooLarge { .. }));
+    }
+
+    #[test]
+    fn decode_bytes_is_zero_copy_and_matches_decode() {
+        let f = Frame::new(FrameKind::Briefcase, vec![5u8; 256]);
+        let wire = Bytes::from(f.encode());
+        let (copied, used_a) = Frame::decode(&wire, &FrameLimits::default()).unwrap();
+        let (sliced, used_b) = Frame::decode_bytes(&wire, &FrameLimits::default()).unwrap();
+        assert_eq!(copied, sliced);
+        assert_eq!(used_a, used_b);
+        // The sliced payload points inside the wire allocation.
+        let base = wire.as_ptr() as usize;
+        let p = sliced.payload.as_ptr() as usize;
+        assert!(p >= base && p + sliced.payload.len() <= base + wire.len());
+        // The copying decode does not.
+        let q = copied.payload.as_ptr() as usize;
+        assert!(q < base || q >= base + wire.len());
     }
 
     #[test]

@@ -67,8 +67,9 @@ pub struct Inbound {
     pub from_host: String,
     /// The peer's authenticated principal, if its HELLO was signed.
     pub from_principal: Option<String>,
-    /// The encoded firewall message.
-    pub payload: Vec<u8>,
+    /// The encoded firewall message, sharing the read buffer's
+    /// allocation so the firewall can decode it zero-copy.
+    pub payload: bytes::Bytes,
 }
 
 /// A bound, accepting TCP endpoint delivering [`Inbound`] payloads.

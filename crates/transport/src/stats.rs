@@ -84,7 +84,10 @@ impl TransportCounters {
         TransportCounters::default()
     }
 
-    pub(crate) fn add_sent(&self, bytes: u64) {
+    /// Counts one shipped frame of `bytes` payload bytes. Public so
+    /// out-of-crate [`Transport`](crate::Transport) implementations can
+    /// keep the same books.
+    pub fn add_sent(&self, bytes: u64) {
         self.inner.frames_sent.fetch_add(1, Ordering::Relaxed);
         self.inner.bytes_sent.fetch_add(bytes, Ordering::Relaxed);
     }
@@ -110,7 +113,9 @@ impl TransportCounters {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn add_retry_timeout(&self) {
+    /// Counts one send abandoned after its full retry budget. Public for
+    /// the same reason as [`TransportCounters::add_sent`].
+    pub fn add_retry_timeout(&self) {
         self.inner.retry_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 

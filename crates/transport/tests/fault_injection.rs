@@ -86,7 +86,7 @@ fn half_close_before_ack_reconnects_and_delivers() {
         .send("alpha", "127.0.0.1", port, b"survives the fault")
         .expect("retry should deliver on the second connection");
 
-    assert_eq!(server.join().unwrap(), b"survives the fault");
+    assert_eq!(&server.join().unwrap()[..], b"survives the fault");
     let stats = transport.stats();
     assert_eq!(stats.frames_sent, 1, "counted once despite the retry");
     assert!(stats.reconnects >= 1, "the half-close forced a reconnect");
@@ -138,7 +138,7 @@ fn healthy_listener_receives_and_pools() {
             .recv_timeout(std::time::Duration::from_secs(5))
             .unwrap();
         assert_eq!(inbound.from_host, "alpha");
-        payloads.extend(inbound.payload);
+        payloads.extend_from_slice(&inbound.payload);
     }
     payloads.sort_unstable();
     assert_eq!(payloads, vec![0, 1, 2]);

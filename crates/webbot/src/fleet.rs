@@ -1,0 +1,215 @@
+//! A fleet of §5 case studies side by side: `K` disjoint client/server
+//! pairs, each running its own mobilized Webbot scan — the workload the
+//! parallel tick scheduler exists for.
+//!
+//! Under the classic sequential scheduler every pair's scan serializes on
+//! the one global clock, so the fleet's virtual makespan is the *sum* of
+//! the scans. Under the tick scheduler each pair's work runs in its own
+//! batch with a forked clock, the barrier advances the global clock to the
+//! slowest batch, and the makespan collapses towards the *longest single
+//! scan* — the speedup [`run_fleet`] measures.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use tacoma_briefcase::{folders, Briefcase};
+use tacoma_core::{HostEvent, LinkSpec, Principal, SystemBuilder, TaxSystem};
+use tacoma_web::{Site, SiteSpec, WebServer, DEFAULT_SERVER_WORK_NS};
+
+use crate::mobile::{self, REPORT_DRAWER};
+use crate::{WebbotConfig, WebbotReport};
+
+/// Parameters of one fleet run.
+#[derive(Debug, Clone)]
+pub struct FleetParams {
+    /// Number of disjoint client/server pairs.
+    pub pairs: usize,
+    /// HTML pages on each server.
+    pub pages: usize,
+    /// Total site bytes on each server.
+    pub total_bytes: u64,
+    /// Site/topology seed.
+    pub seed: u64,
+    /// Link between every host pair.
+    pub link: LinkSpec,
+    /// Server CPU per request.
+    pub server_work_ns: u64,
+    /// Webbot depth limit.
+    pub max_depth: usize,
+}
+
+impl Default for FleetParams {
+    fn default() -> Self {
+        FleetParams {
+            pairs: 4,
+            pages: 40,
+            total_bytes: 400_000,
+            seed: 1900,
+            link: LinkSpec::lan_100mbit(),
+            server_work_ns: DEFAULT_SERVER_WORK_NS,
+            max_depth: 4,
+        }
+    }
+}
+
+/// What a fleet run produced.
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// Global virtual time at quiescence — the fleet's makespan.
+    pub virtual_makespan: Duration,
+    /// Each pair's combined report, indexed by pair.
+    pub reports: Vec<WebbotReport>,
+    /// Scheduler steps executed.
+    pub steps: usize,
+    /// The full event trace, for determinism comparisons.
+    pub trace: Vec<(String, HostEvent)>,
+}
+
+/// The `i`-th pair's client host name.
+pub fn client_name(i: usize) -> String {
+    format!("client{i}")
+}
+
+/// The `i`-th pair's server host name.
+pub fn server_name(i: usize) -> String {
+    format!("server{i}")
+}
+
+/// Builds the fleet deployment: `pairs` clients, `pairs` servers (each
+/// with its own generated site), Webbot programs installed everywhere.
+/// `threads` selects the scheduler exactly as
+/// [`SystemBuilder::threads`] does (`0` = sequential).
+pub fn build_fleet(params: &FleetParams, threads: usize) -> TaxSystem {
+    let mut builder = SystemBuilder::new()
+        .default_link(params.link)
+        .seed(params.seed)
+        .threads(threads)
+        .trust_all();
+    for i in 0..params.pairs {
+        builder = builder
+            .host(&client_name(i))
+            .expect("valid host name")
+            .host(&server_name(i))
+            .expect("valid host name");
+    }
+    let system = builder.build();
+
+    for i in 0..params.pairs {
+        let server = server_name(i);
+        let spec = SiteSpec {
+            host: server.clone(),
+            pages: params.pages,
+            total_bytes: params.total_bytes,
+            // Distinct sites per pair, deterministically.
+            seed: params.seed.wrapping_add(i as u64),
+            max_depth: params.max_depth,
+            ..SiteSpec::paper_site(&server)
+        };
+        let site = Site::generate(&spec);
+        let host = system.host(&server).expect("server host");
+        host.add_service(Arc::new(
+            WebServer::new(site).with_work_ns(params.server_work_ns),
+        ));
+    }
+    for name in system.host_names() {
+        mobile::install_programs(&system.host(&name).expect("listed host"));
+    }
+    system
+}
+
+/// Launches one mobile Webbot per pair, runs the system to quiescence,
+/// and collects every pair's report.
+///
+/// # Panics
+///
+/// Panics if any launch fails or a pair's report never comes home —
+/// both indicate a broken deployment, not a measurable outcome.
+pub fn run_fleet(params: &FleetParams, threads: usize) -> FleetOutcome {
+    let mut system = build_fleet(params, threads);
+    for i in 0..params.pairs {
+        let mut config = WebbotConfig::scan_site(&server_name(i));
+        config.max_depth = params.max_depth;
+        let spec = mobile::mw_webbot_spec(&server_name(i), &client_name(i), &config, false, None);
+        system
+            .launch(&client_name(i), spec)
+            .expect("launch fleet webbot");
+    }
+    let outcome = system.run_until_quiet();
+    assert!(outcome.quiesced(), "fleet did not quiesce");
+
+    let reports = (0..params.pairs)
+        .map(|i| fetch_report(&mut system, &client_name(i)))
+        .collect();
+    FleetOutcome {
+        virtual_makespan: system.clock().now().since_epoch(),
+        reports,
+        steps: outcome.steps(),
+        trace: system.events(),
+    }
+}
+
+/// Fetches the parked report from `home`'s cabinet.
+fn fetch_report(system: &mut TaxSystem, home: &str) -> WebbotReport {
+    let principal = Principal::local_system(home);
+    let mut request = Briefcase::new();
+    request.set_single(folders::COMMAND, "fetch");
+    request.append(folders::ARGS, REPORT_DRAWER);
+    let reply = system
+        .call_service(home, "ag_cabinet", &principal, request)
+        .expect("cabinet reachable");
+    let data = reply
+        .element("CABINET-DATA", 0)
+        .unwrap_or_else(|_| panic!("no parked report on {home}; agent never came home?"));
+    let parked = Briefcase::decode(data.data()).expect("parked briefcase decodes");
+    WebbotReport::read_from(&parked)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> FleetParams {
+        FleetParams {
+            pairs: 4,
+            pages: 20,
+            total_bytes: 200_000,
+            seed: 77,
+            ..FleetParams::default()
+        }
+    }
+
+    /// The headline claim: on a 4-pair fleet the tick scheduler's virtual
+    /// makespan is at least 2x better than the sequential scheduler's,
+    /// and the scans find exactly the same things.
+    #[test]
+    fn parallel_fleet_halves_virtual_makespan() {
+        let params = small();
+        let sequential = run_fleet(&params, 0);
+        let parallel = run_fleet(&params, 4);
+
+        assert_eq!(sequential.reports.len(), 4);
+        assert_eq!(sequential.reports, parallel.reports);
+        for report in &sequential.reports {
+            assert!(report.pages_scanned > 0);
+        }
+        assert!(
+            parallel.virtual_makespan * 2 <= sequential.virtual_makespan,
+            "parallel {:?} not 2x better than sequential {:?}",
+            parallel.virtual_makespan,
+            sequential.virtual_makespan,
+        );
+    }
+
+    /// The determinism contract on the real workload: one worker and four
+    /// workers produce identical traces (and therefore identical
+    /// makespans and reports).
+    #[test]
+    fn fleet_traces_are_worker_count_invariant() {
+        let params = small();
+        let single = run_fleet(&params, 1);
+        let multi = run_fleet(&params, 4);
+        assert_eq!(single.virtual_makespan, multi.virtual_makespan);
+        assert_eq!(single.reports, multi.reports);
+        assert_eq!(single.trace, multi.trace);
+    }
+}

@@ -31,6 +31,7 @@
 
 mod config;
 pub mod experiment;
+pub mod fleet;
 pub mod mobile;
 mod report;
 mod robot;

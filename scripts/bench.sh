@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_4.json — the parallel-fleet scheduler benchmark.
+#
+#   scripts/bench.sh           full run, writes BENCH_4.json at the repo root
+#   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing
+#                              (the CI smoke mode)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+if [ "${1:-}" = "--smoke" ]; then
+    echo "==> bench (smoke): exp_e9_parallel_fleet"
+    cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke
+else
+    echo "==> bench: exp_e9_parallel_fleet -> BENCH_4.json"
+    cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
+        > BENCH_4.json
+    cat BENCH_4.json
+fi

@@ -5,7 +5,7 @@
 //! ```text
 //! taxd --host alpha --listen 127.0.0.1:7001 --peer beta=127.0.0.1:7002 \
 //!      [--launch file.tax --itinerary beta,alpha] \
-//!      [--idle-exit-ms 2000] [--require-signed]
+//!      [--idle-exit-ms 2000] [--require-signed] [--threads N]
 //! ```
 //!
 //! The daemon binds a [`TransportListener`], routes every arriving frame
@@ -42,11 +42,13 @@ struct Options {
     itinerary: Vec<String>,
     idle_exit: Option<Duration>,
     require_signed: bool,
+    threads: usize,
 }
 
 fn usage() -> String {
     "usage: taxd --host NAME --listen ADDR [--peer HOST=ADDR]... \
-     [--launch FILE.tax] [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed]"
+     [--launch FILE.tax] [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed] \
+     [--threads N]"
         .to_owned()
 }
 
@@ -58,6 +60,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut itinerary = Vec::new();
     let mut idle_exit = None;
     let mut require_signed = false;
+    let mut threads = 0;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -90,6 +93,11 @@ fn parse(args: &[String]) -> Result<Options, String> {
                 idle_exit = Some(Duration::from_millis(ms));
             }
             "--require-signed" => require_signed = true,
+            "--threads" => {
+                threads = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads wants a number".to_owned())?;
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -101,6 +109,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
         itinerary,
         idle_exit,
         require_signed,
+        threads,
     })
 }
 
@@ -130,6 +139,7 @@ fn run(opts: &Options) -> Result<(), String> {
         .host(&opts.host)
         .map_err(|e| e.to_string())?
         .transport(Arc::clone(&transport) as Arc<dyn tacoma::transport::Transport>)
+        .threads(opts.threads)
         .build();
     let host = system
         .host(&opts.host)
@@ -167,7 +177,7 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut last_activity = Instant::now();
     let mut last_sweep = Instant::now();
     loop {
-        if system.run_until_quiet() > 0 {
+        if system.run_until_quiet().steps() > 0 {
             last_activity = Instant::now();
         }
         printed = print_new_events(&system, printed);
@@ -176,7 +186,7 @@ fn run(opts: &Options) -> Result<(), String> {
             Ok(inbound) => {
                 last_activity = Instant::now();
                 system
-                    .inject_wire(&opts.host, &inbound.payload)
+                    .inject_wire_bytes(&opts.host, &inbound.payload)
                     .map_err(|e| e.to_string())?;
                 continue; // Run the scheduler before blocking again.
             }

@@ -2,19 +2,26 @@
 //!
 //! Provides the slice of the `Bytes` API the workspace uses: a cheaply
 //! cloneable, immutable byte buffer whose clones share one backing
-//! allocation (asserted by the briefcase element tests). Backed by
-//! `Arc<[u8]>` rather than the real crate's refcount-in-prefix layout —
-//! same sharing semantics, no `unsafe`.
+//! allocation (asserted by the briefcase element tests), plus
+//! [`Bytes::slice`] for carving zero-copy views out of that allocation —
+//! the operation the zero-copy briefcase decoder is built on. Backed by
+//! `Arc<[u8]>` plus an offset window rather than the real crate's
+//! refcount-in-prefix layout — same sharing semantics, no `unsafe`.
 
 use std::borrow::Borrow;
 use std::fmt;
-use std::ops::Deref;
+use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
 
 /// A cheaply cloneable, contiguous, immutable buffer of bytes.
-#[derive(Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+///
+/// Clones and [`Bytes::slice`] views share one backing allocation; only
+/// the `(start, end)` window differs.
+#[derive(Clone)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    start: usize,
+    end: usize,
 }
 
 impl Bytes {
@@ -22,37 +29,74 @@ impl Bytes {
     pub fn new() -> Self {
         Bytes {
             data: Arc::from(&[][..]),
+            start: 0,
+            end: 0,
+        }
+    }
+
+    fn whole(data: Arc<[u8]>) -> Self {
+        let end = data.len();
+        Bytes {
+            data,
+            start: 0,
+            end,
         }
     }
 
     /// Copies `data` into a freshly allocated buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::whole(Arc::from(data))
     }
 
     /// Creates a `Bytes` from a static slice without copying semantics
     /// mattering (the stand-in copies; callers only rely on the contents).
     pub fn from_static(data: &'static [u8]) -> Self {
-        Bytes {
-            data: Arc::from(data),
-        }
+        Bytes::whole(Arc::from(data))
     }
 
     /// Number of bytes in the buffer.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.end - self.start
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.start == self.end
     }
 
     /// Copies the contents into a `Vec<u8>`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self.as_ref().to_vec()
+    }
+
+    /// Returns a view of `range` within this buffer that shares the
+    /// backing allocation — no bytes are copied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds or decreasing, matching the
+    /// real crate.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        let len = self.len();
+        let begin = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => len,
+        };
+        assert!(
+            begin <= end && end <= len,
+            "slice index out of range: {begin}..{end} of {len}"
+        );
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + begin,
+            end: self.start + end,
+        }
     }
 }
 
@@ -66,26 +110,26 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.start..self.end]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl Borrow<[u8]> for Bytes {
     fn borrow(&self) -> &[u8] {
-        &self.data
+        self
     }
 }
 
 impl fmt::Debug for Bytes {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "b\"")?;
-        for &b in self.data.iter() {
+        for &b in self.iter() {
             for esc in std::ascii::escape_default(b) {
                 write!(f, "{}", esc as char)?;
             }
@@ -94,9 +138,35 @@ impl fmt::Debug for Bytes {
     }
 }
 
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.as_ref() == other.as_ref()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Bytes) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Bytes) -> std::cmp::Ordering {
+        self.as_ref().cmp(other.as_ref())
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.as_ref().hash(state);
+    }
+}
+
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Bytes { data: Arc::from(v) }
+        Bytes::whole(Arc::from(v))
     }
 }
 
@@ -154,5 +224,38 @@ mod tests {
         assert!(Bytes::new().is_empty());
         assert_eq!(Bytes::copy_from_slice(b"abc").to_vec(), b"abc".to_vec());
         assert_eq!(&Bytes::from("hi".to_string())[..], b"hi");
+    }
+
+    #[test]
+    fn slice_shares_backing_allocation() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let mid = a.slice(2..6);
+        assert_eq!(&mid[..], &[2, 3, 4, 5]);
+        // The slice's pointer lands inside the parent's allocation.
+        assert_eq!(mid.as_ptr(), unsafe_free_offset(&a, 2));
+        // Slicing a slice composes.
+        let inner = mid.slice(1..3);
+        assert_eq!(&inner[..], &[3, 4]);
+        assert_eq!(inner.as_ptr(), unsafe_free_offset(&a, 3));
+    }
+
+    // Pointer arithmetic via indexing, not `unsafe`.
+    fn unsafe_free_offset(b: &Bytes, i: usize) -> *const u8 {
+        std::ptr::from_ref(&b[i])
+    }
+
+    #[test]
+    fn slice_bounds() {
+        let a = Bytes::from(vec![9u8; 4]);
+        assert_eq!(a.slice(..).len(), 4);
+        assert_eq!(a.slice(4..4).len(), 0);
+        assert_eq!(a.slice(..=1).len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn slice_out_of_range_panics() {
+        let a = Bytes::from(vec![0u8; 3]);
+        let _ = a.slice(1..5);
     }
 }
