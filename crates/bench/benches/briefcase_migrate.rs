@@ -1,0 +1,89 @@
+//! The briefcase-migration hot path under the copy-on-write rebuild:
+//! clone cost, the mutate-one-folder-then-encode hop, and the full
+//! legacy-vs-CoW fan-out comparison at several state sizes.
+//!
+//! The workload (see `tacoma_bench::migrate`) models an itinerant agent
+//! that appends a result, then ships its state to `fanout` peers. Before
+//! the CoW rebuild every destination paid a deep clone plus a fresh
+//! encode; now clones are pointer bumps and the encode-once wire cache
+//! serializes the state a single time per mutation.
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use tacoma_bench::migrate::{build_state, hop_cow, hop_legacy, legacy_clone};
+
+/// (folders, elements per folder, element bytes) shapes under test, from
+/// a small courier to a page-snapshot hauler.
+const SHAPES: [(usize, usize, usize); 3] = [(4, 4, 256), (16, 8, 1024), (32, 8, 4096)];
+
+fn shape_label(folders: usize, elements: usize, bytes: usize) -> String {
+    format!("{folders}x{elements}x{bytes}")
+}
+
+/// Clone alone: deep copy (pre-PR cost model) vs CoW pointer bump.
+fn bench_clone(c: &mut Criterion) {
+    let mut group = c.benchmark_group("briefcase_clone");
+    for (folders, elements, bytes) in SHAPES {
+        let bc = build_state(folders, elements, bytes);
+        let payload = (folders * elements * bytes) as u64;
+        group.throughput(Throughput::Bytes(payload));
+        let label = shape_label(folders, elements, bytes);
+        group.bench_with_input(BenchmarkId::new("legacy_deep", &label), &bc, |b, bc| {
+            b.iter(|| black_box(legacy_clone(bc)));
+        });
+        group.bench_with_input(BenchmarkId::new("cow", &label), &bc, |b, bc| {
+            b.iter(|| black_box(bc.clone()));
+        });
+    }
+    group.finish();
+}
+
+/// Mutate one folder then encode: with the wire cache the encode after a
+/// mutation is the only full serialization; untouched clones reuse it.
+fn bench_mutate_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("briefcase_mutate_encode");
+    for (folders, elements, bytes) in SHAPES {
+        let base = build_state(folders, elements, bytes);
+        base.wire_bytes(); // warm the cache, as after an arriving hop
+        let label = shape_label(folders, elements, bytes);
+        group.bench_with_input(BenchmarkId::from_parameter(&label), &base, |b, base| {
+            b.iter(|| {
+                let mut bc = base.clone();
+                bc.append("RESULTS", "one more page");
+                black_box(bc.wire_bytes())
+            });
+        });
+    }
+    group.finish();
+}
+
+/// The full hop at several fan-outs: one mutation, then ship the state
+/// to `fanout` peers. Legacy pays fanout deep clones + fanout encodes;
+/// CoW pays fanout pointer bumps + one encode.
+fn bench_hop(c: &mut Criterion) {
+    let mut group = c.benchmark_group("briefcase_migrate_hop");
+    group.sample_size(20);
+    let (folders, elements, bytes) = SHAPES[1];
+    for fanout in [1usize, 4, 8] {
+        group.throughput(Throughput::Elements(fanout as u64));
+        group.bench_with_input(BenchmarkId::new("legacy", fanout), &fanout, |b, &fanout| {
+            let mut bc = build_state(folders, elements, bytes);
+            let mut hop = 0;
+            b.iter(|| {
+                hop_legacy(&mut bc, hop, fanout);
+                hop += 1;
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("cow", fanout), &fanout, |b, &fanout| {
+            let mut bc = build_state(folders, elements, bytes);
+            let mut hop = 0;
+            b.iter(|| {
+                hop_cow(&mut bc, hop, fanout);
+                hop += 1;
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clone, bench_mutate_encode, bench_hop);
+criterion_main!(benches);

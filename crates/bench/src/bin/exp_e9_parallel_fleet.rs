@@ -7,26 +7,44 @@
 //!   scheduler the per-tick barrier advances the global clock to the
 //!   *slowest* batch instead of the sum of all batches, so disjoint pairs
 //!   overlap and the makespan collapses toward one scan's length.
-//! * **wall clock** — real time to run the scheduler. On a single-core
-//!   container the tick scheduler buys no wall time (there is only one
-//!   CPU to share); the honest number is printed anyway.
+//! * **wall clock** — real time to run the scheduler, reported as the
+//!   minimum over several repetitions so the CI regression gate is not
+//!   at the mercy of container noise. The scheduler clamps fan-out to
+//!   the machine's parallelism, so on a single-core container tick-4
+//!   legitimately costs the same wall time as tick-1 instead of paying
+//!   for thread handoffs nobody can run.
 //!
 //! Also times the briefcase decode path both ways — `decode` (copies
 //! every element out of the wire buffer) vs `decode_bytes` (elements are
-//! zero-copy slices of one shared `Bytes`) — on a fleet-sized briefcase.
+//! zero-copy slices of one shared `Bytes`) — and the briefcase-migration
+//! hot path both ways (legacy deep-clone-per-peer vs CoW clones over one
+//! cached encoding; see `tacoma_bench::migrate`).
 //!
 //! With `--json` the results are emitted as a JSON object (the format
-//! checked in as `BENCH_4.json`); `--smoke` shrinks the workload for CI.
+//! checked in as `BENCH_5.json`); `--smoke` shrinks the workload for CI;
+//! `--check` exits non-zero if tick-4 wall clock exceeds tick-1 by more
+//! than 25% or the migration speedup falls below 5x (the CI gates).
 
 use std::env;
+use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
-use tacoma_bench::{fmt_duration, header, row};
+use tacoma_bench::{fmt_duration, header, migrate, row};
 use tacoma_briefcase::Briefcase;
 use tacoma_webbot::fleet::{run_fleet, FleetParams};
 
 /// Iterations for the codec timing loop.
 const CODEC_ITERS: u32 = 200;
+
+/// Wall-clock repetitions per scheduler configuration (minimum is kept).
+const WALL_REPS: usize = 3;
+
+/// The CI gate: tick-4 wall clock may exceed tick-1 by at most this
+/// factor.
+const WALL_GATE: f64 = 1.25;
+
+/// The CI gate on the migration microbench speedup.
+const MIGRATE_GATE: f64 = 5.0;
 
 struct Measurement {
     label: &'static str,
@@ -36,16 +54,27 @@ struct Measurement {
     steps: usize,
 }
 
+/// Runs one scheduler configuration `WALL_REPS` times, keeping the
+/// minimum wall clock. Virtual time and step counts are deterministic
+/// per configuration, so only the wall clock varies between reps.
 fn measure(label: &'static str, params: &FleetParams, threads: usize) -> Measurement {
-    let started = Instant::now();
-    let outcome = run_fleet(params, threads);
-    Measurement {
-        label,
-        threads,
-        wall: started.elapsed(),
-        virtual_makespan: outcome.virtual_makespan,
-        steps: outcome.steps,
+    let mut best: Option<Measurement> = None;
+    for _ in 0..WALL_REPS {
+        let started = Instant::now();
+        let outcome = run_fleet(params, threads);
+        let m = Measurement {
+            label,
+            threads,
+            wall: started.elapsed(),
+            virtual_makespan: outcome.virtual_makespan,
+            steps: outcome.steps,
+        };
+        best = Some(match best {
+            Some(prev) if prev.wall <= m.wall => prev,
+            _ => m,
+        });
     }
+    best.expect("WALL_REPS >= 1")
 }
 
 /// Builds a briefcase about the size one fleet pair ships home and times
@@ -77,10 +106,64 @@ fn time_codec(smoke: bool) -> (Duration, Duration, usize) {
     (copying, zero_copy, wire.len())
 }
 
-fn main() {
+struct MigrateResult {
+    folders: usize,
+    elements: usize,
+    element_bytes: usize,
+    fanout: usize,
+    hops: usize,
+    legacy: Duration,
+    cow: Duration,
+}
+
+impl MigrateResult {
+    fn speedup(&self) -> f64 {
+        self.legacy.as_secs_f64() / self.cow.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Times the clone-heavy itinerary hop both ways (the acceptance case of
+/// the CoW rebuild): every hop mutates one folder then fans the state out
+/// to `fanout` peers.
+fn time_migrate(smoke: bool) -> MigrateResult {
+    let (folders, elements, element_bytes, fanout, hops) = if smoke {
+        (12, 4, 512, 8, 20)
+    } else {
+        (24, 6, 2048, 8, 50)
+    };
+    let base = migrate::build_state(folders, elements, element_bytes);
+
+    let mut bc = migrate::legacy_clone(&base);
+    let started = Instant::now();
+    for hop in 0..hops {
+        migrate::hop_legacy(&mut bc, hop, fanout);
+    }
+    let legacy = started.elapsed();
+
+    let mut bc = base.clone();
+    let started = Instant::now();
+    for hop in 0..hops {
+        migrate::hop_cow(&mut bc, hop, fanout);
+    }
+    let cow = started.elapsed();
+
+    MigrateResult {
+        folders,
+        elements,
+        element_bytes,
+        fanout,
+        hops,
+        legacy,
+        cow,
+    }
+}
+
+#[allow(clippy::too_many_lines)] // one linear report: measure, print, gate
+fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
     let json = args.iter().any(|a| a == "--json");
     let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
 
     let params = if smoke {
         FleetParams {
@@ -98,11 +181,14 @@ fn main() {
         measure("tick, 4 workers", &params, 4),
     ];
     let (codec_copy, codec_zero, wire_len) = time_codec(smoke);
+    let migration = time_migrate(smoke);
 
     let seq = &runs[0];
-    let par = &runs[2];
+    let tick1 = &runs[1];
+    let tick4 = &runs[2];
     let makespan_speedup = seq.virtual_makespan.as_secs_f64()
-        / par.virtual_makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+        / tick4.virtual_makespan.as_secs_f64().max(f64::MIN_POSITIVE);
+    let wall_speedup = tick1.wall.as_secs_f64() / tick4.wall.as_secs_f64().max(f64::MIN_POSITIVE);
     let decode_speedup = codec_copy.as_secs_f64() / codec_zero.as_secs_f64().max(f64::MIN_POSITIVE);
 
     if json {
@@ -111,6 +197,7 @@ fn main() {
         println!("  \"pairs\": {},", params.pairs);
         println!("  \"pages_per_server\": {},", params.pages);
         println!("  \"smoke\": {smoke},");
+        println!("  \"wall_reps\": {WALL_REPS},");
         println!("  \"runs\": [");
         for (i, m) in runs.iter().enumerate() {
             let comma = if i + 1 < runs.len() { "," } else { "" };
@@ -125,6 +212,7 @@ fn main() {
         }
         println!("  ],");
         println!("  \"virtual_makespan_speedup\": {makespan_speedup:.2},");
+        println!("  \"wall_clock_speedup\": {wall_speedup:.2},");
         println!("  \"codec\": {{");
         println!("    \"wire_bytes\": {wire_len},");
         println!("    \"iterations\": {CODEC_ITERS},");
@@ -134,40 +222,93 @@ fn main() {
             codec_zero.as_secs_f64() * 1e3
         );
         println!("    \"zero_copy_speedup\": {decode_speedup:.2}");
+        println!("  }},");
+        println!("  \"briefcase_migrate\": {{");
+        println!("    \"folders\": {},", migration.folders);
+        println!("    \"elements_per_folder\": {},", migration.elements);
+        println!("    \"element_bytes\": {},", migration.element_bytes);
+        println!("    \"fanout\": {},", migration.fanout);
+        println!("    \"hops\": {},", migration.hops);
+        println!(
+            "    \"legacy_ms\": {:.2},",
+            migration.legacy.as_secs_f64() * 1e3
+        );
+        println!("    \"cow_ms\": {:.2},", migration.cow.as_secs_f64() * 1e3);
+        println!("    \"speedup\": {:.2}", migration.speedup());
         println!("  }}");
         println!("}}");
-        return;
-    }
-
-    println!(
-        "E9: parallel tick scheduler vs sequential, {}-pair Webbot fleet",
-        params.pairs
-    );
-    println!(
-        "    {} pages / {} bytes per server, depth {}\n",
-        params.pages, params.total_bytes, params.max_depth
-    );
-    let widths = [18, 10, 12, 18, 10];
-    header(
-        &["scheduler", "threads", "wall", "virtual makespan", "steps"],
-        &widths,
-    );
-    for m in &runs {
-        row(
-            &[
-                m.label.to_owned(),
-                m.threads.to_string(),
-                fmt_duration(m.wall),
-                fmt_duration(m.virtual_makespan),
-                m.steps.to_string(),
-            ],
+    } else {
+        println!(
+            "E9: parallel tick scheduler vs sequential, {}-pair Webbot fleet",
+            params.pairs
+        );
+        println!(
+            "    {} pages / {} bytes per server, depth {} (wall = min of {WALL_REPS} reps)\n",
+            params.pages, params.total_bytes, params.max_depth
+        );
+        let widths = [18, 10, 12, 18, 10];
+        header(
+            &["scheduler", "threads", "wall", "virtual makespan", "steps"],
             &widths,
         );
+        for m in &runs {
+            row(
+                &[
+                    m.label.to_owned(),
+                    m.threads.to_string(),
+                    fmt_duration(m.wall),
+                    fmt_duration(m.virtual_makespan),
+                    m.steps.to_string(),
+                ],
+                &widths,
+            );
+        }
+        println!("\nvirtual makespan speedup (sequential / tick-4): {makespan_speedup:.2}x");
+        println!("wall clock speedup (tick-1 / tick-4): {wall_speedup:.2}x");
+        println!(
+            "codec on a {wire_len}-byte briefcase x{CODEC_ITERS}: decode {} vs decode_bytes {} ({decode_speedup:.2}x)",
+            fmt_duration(codec_copy),
+            fmt_duration(codec_zero),
+        );
+        println!(
+            "briefcase_migrate ({} folders x {} x {}B, fanout {}, {} hops): legacy {} vs cow {} ({:.2}x)",
+            migration.folders,
+            migration.elements,
+            migration.element_bytes,
+            migration.fanout,
+            migration.hops,
+            fmt_duration(migration.legacy),
+            fmt_duration(migration.cow),
+            migration.speedup(),
+        );
     }
-    println!("\nvirtual makespan speedup (sequential / tick-4): {makespan_speedup:.2}x");
-    println!(
-        "codec on a {wire_len}-byte briefcase x{CODEC_ITERS}: decode {} vs decode_bytes {} ({decode_speedup:.2}x)",
-        fmt_duration(codec_copy),
-        fmt_duration(codec_zero),
-    );
+
+    if check {
+        let mut failed = false;
+        if tick4.wall.as_secs_f64() > tick1.wall.as_secs_f64() * WALL_GATE {
+            eprintln!(
+                "CHECK FAILED: tick-4 wall {:.1}ms exceeds tick-1 wall {:.1}ms by more than {:.0}%",
+                tick4.wall.as_secs_f64() * 1e3,
+                tick1.wall.as_secs_f64() * 1e3,
+                (WALL_GATE - 1.0) * 100.0,
+            );
+            failed = true;
+        }
+        if migration.speedup() < MIGRATE_GATE {
+            eprintln!(
+                "CHECK FAILED: briefcase_migrate speedup {:.2}x below the {MIGRATE_GATE}x gate",
+                migration.speedup(),
+            );
+            failed = true;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check ok: wall tick-4/tick-1 = {:.2}, briefcase_migrate = {:.2}x",
+            tick4.wall.as_secs_f64() / tick1.wall.as_secs_f64().max(f64::MIN_POSITIVE),
+            migration.speedup(),
+        );
+    }
+    ExitCode::SUCCESS
 }

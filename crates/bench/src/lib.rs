@@ -5,6 +5,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod migrate;
 pub mod mining;
 
 /// Prints a fixed-width table row.

@@ -100,7 +100,7 @@ impl fmt::Debug for Element {
                 write!(f, "Element({s:?})")
             }
             _ => {
-                let shown: Vec<u8> = self.0.iter().copied().take(16).collect();
+                let shown = &self.0[..self.0.len().min(16)];
                 write!(f, "Element({} bytes: {shown:02x?}…)", self.0.len())
             }
         }

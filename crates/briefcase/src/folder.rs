@@ -1,4 +1,5 @@
 use std::fmt;
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
@@ -10,6 +11,11 @@ use crate::Element;
 /// Folders behave like queues in the common itinerary idiom (Figure 4 pops
 /// the next hop off the front of `HOSTS`) but allow arbitrary indexed
 /// access.
+///
+/// The element list is held behind an [`Arc`] with copy-on-write semantics:
+/// cloning a folder is a pointer bump, and the list is only duplicated when
+/// one of the clones is mutated. Since elements are themselves refcounted
+/// byte buffers, even that duplication copies pointers, not payload bytes.
 ///
 /// ```
 /// use tacoma_briefcase::{Element, Folder};
@@ -23,7 +29,7 @@ use crate::Element;
 #[derive(Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Folder {
     name: String,
-    elements: Vec<Element>,
+    elements: Arc<Vec<Element>>,
 }
 
 impl Folder {
@@ -31,7 +37,7 @@ impl Folder {
     pub fn new(name: impl Into<String>) -> Self {
         Folder {
             name: name.into(),
-            elements: Vec::new(),
+            elements: Arc::new(Vec::new()),
         }
     }
 
@@ -50,9 +56,15 @@ impl Folder {
         self.elements.is_empty()
     }
 
+    /// Copy-on-write access to the element list: unshares it if any clone
+    /// still aliases the same storage.
+    fn elements_mut(&mut self) -> &mut Vec<Element> {
+        Arc::make_mut(&mut self.elements)
+    }
+
     /// Appends an element at the back.
     pub fn append(&mut self, element: impl Into<Element>) -> &mut Self {
-        self.elements.push(element.into());
+        self.elements_mut().push(element.into());
         self
     }
 
@@ -62,7 +74,7 @@ impl Folder {
     ///
     /// Panics if `index > len`.
     pub fn insert(&mut self, index: usize, element: impl Into<Element>) {
-        self.elements.insert(index, element.into());
+        self.elements_mut().insert(index, element.into());
     }
 
     /// The element at `index`, if present.
@@ -84,7 +96,7 @@ impl Folder {
     /// range. This is the `fRemove()` of the original C API.
     pub fn remove(&mut self, index: usize) -> Option<Element> {
         if index < self.elements.len() {
-            Some(self.elements.remove(index))
+            Some(self.elements_mut().remove(index))
         } else {
             None
         }
@@ -98,14 +110,22 @@ impl Folder {
     /// Replaces the element at `index`, returning the old element, or
     /// `None` (leaving the folder unchanged) if out of range.
     pub fn replace(&mut self, index: usize, element: impl Into<Element>) -> Option<Element> {
-        let slot = self.elements.get_mut(index)?;
+        if index >= self.elements.len() {
+            return None;
+        }
+        let slot = self.elements_mut().get_mut(index)?;
         Some(std::mem::replace(slot, element.into()))
     }
 
     /// Drops all elements. The agent idiom for "state no longer needed",
     /// minimizing bytes moved on the next `go()` (§3.1).
     pub fn clear(&mut self) {
-        self.elements.clear();
+        if self.elements.is_empty() {
+            return;
+        }
+        // Drop the shared list instead of clearing in place: clones keep
+        // their elements and this folder starts fresh without a copy.
+        self.elements = Arc::new(Vec::new());
     }
 
     /// Iterates over the elements in order.
@@ -115,7 +135,7 @@ impl Folder {
 
     /// Iterates mutably over the elements in order.
     pub fn iter_mut(&mut self) -> std::slice::IterMut<'_, Element> {
-        self.elements.iter_mut()
+        self.elements_mut().iter_mut()
     }
 
     /// Total payload bytes across all elements (excluding codec framing).
@@ -123,9 +143,16 @@ impl Folder {
         self.elements.iter().map(Element::len).sum()
     }
 
-    /// Consumes the folder, returning its elements.
+    /// Consumes the folder, returning its elements. Unshares the list only
+    /// if another clone still references it.
     pub fn into_elements(self) -> Vec<Element> {
-        self.elements
+        Arc::try_unwrap(self.elements).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Whether two folders share the same element storage (a clone that has
+    /// not yet diverged). Used by tests and benches to observe CoW.
+    pub fn shares_storage_with(&self, other: &Folder) -> bool {
+        Arc::ptr_eq(&self.elements, &other.elements)
     }
 }
 
@@ -150,13 +177,13 @@ impl IntoIterator for Folder {
     type Item = Element;
     type IntoIter = std::vec::IntoIter<Element>;
     fn into_iter(self) -> Self::IntoIter {
-        self.elements.into_iter()
+        self.into_elements().into_iter()
     }
 }
 
 impl<E: Into<Element>> Extend<E> for Folder {
     fn extend<T: IntoIterator<Item = E>>(&mut self, iter: T) {
-        self.elements.extend(iter.into_iter().map(Into::into));
+        self.elements_mut().extend(iter.into_iter().map(Into::into));
     }
 }
 
@@ -226,5 +253,27 @@ mod tests {
         f.clear();
         assert!(f.is_empty());
         assert_eq!(f.payload_len(), 0);
+    }
+
+    #[test]
+    fn clone_shares_until_mutation() {
+        let mut f = Folder::new("T");
+        f.extend(["a", "b"]);
+        let copy = f.clone();
+        assert!(f.shares_storage_with(&copy));
+        f.append("c");
+        assert!(!f.shares_storage_with(&copy));
+        assert_eq!(copy.len(), 2);
+        assert_eq!(f.len(), 3);
+    }
+
+    #[test]
+    fn clear_leaves_clones_untouched() {
+        let mut f = Folder::new("T");
+        f.extend(["a", "b"]);
+        let copy = f.clone();
+        f.clear();
+        assert!(f.is_empty());
+        assert_eq!(copy.len(), 2);
     }
 }

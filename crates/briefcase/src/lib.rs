@@ -42,7 +42,10 @@ mod error;
 mod folder;
 pub mod folders;
 
-pub use crate::briefcase::{Briefcase, FolderNames, Folders, FoldersMut};
+pub use crate::briefcase::{Briefcase, FolderNames, Folders, FoldersMut, IntoFolders};
+// Re-exported so zero-copy consumers (`Briefcase::decode_bytes`,
+// `Briefcase::wire_bytes`, `Element::bytes`) can name the buffer type
+// without a separate `bytes` dependency.
 pub use crate::codec::{
     decode_briefcase, decode_briefcase_bytes, decode_briefcase_bytes_with_limits,
     decode_briefcase_with_limits, encode_briefcase, encode_briefcase_into, DecodeLimits,
@@ -51,3 +54,4 @@ pub use crate::codec::{
 pub use crate::element::Element;
 pub use crate::error::BriefcaseError;
 pub use crate::folder::Folder;
+pub use bytes::Bytes;

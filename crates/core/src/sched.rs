@@ -74,6 +74,19 @@ impl TaskScope {
         })
     }
 
+    /// Re-arms an already allocated scope for a new batch: clock forked
+    /// from `start`, RNG reseeded, sends cleared (capacity kept).
+    ///
+    /// A reset scope is indistinguishable from a fresh [`TaskScope::new`],
+    /// so the scheduler reuses scope allocations (and their send-buffer
+    /// capacity) across ticks without affecting the deterministic trace.
+    pub fn reset(&self, start: SimTime, rng_seed: u64) {
+        self.clock.reset();
+        self.clock.advance_to(start);
+        *self.rng.lock() = StdRng::seed_from_u64(rng_seed);
+        self.sends.lock().clear();
+    }
+
     /// The scope installed on this thread, if a batch is executing.
     pub fn current() -> Option<Arc<TaskScope>> {
         CURRENT_SCOPE.with(|c| c.borrow().clone())
@@ -225,12 +238,19 @@ type Job = Box<dyn FnOnce() + Send + 'static>;
 pub(crate) struct WorkerPool {
     injector: Option<crossbeam::channel::Sender<Job>>,
     workers: Vec<JoinHandle<()>>,
+    /// Persistent completion channel, reused across ticks instead of
+    /// allocating a fresh channel per tick. Exactly `n` completions are
+    /// consumed per `n` submissions, so the channel is empty between
+    /// ticks.
+    done_tx: crossbeam::channel::Sender<()>,
+    done_rx: crossbeam::channel::Receiver<()>,
 }
 
 impl WorkerPool {
     /// Spawns `size` workers.
     pub fn new(size: usize) -> WorkerPool {
         let (tx, rx) = crossbeam::channel::unbounded::<Job>();
+        let (done_tx, done_rx) = crossbeam::channel::unbounded::<()>();
         let workers = (0..size)
             .map(|i| {
                 let rx = rx.clone();
@@ -247,6 +267,8 @@ impl WorkerPool {
         WorkerPool {
             injector: Some(tx),
             workers,
+            done_tx,
+            done_rx,
         }
     }
 
@@ -254,6 +276,18 @@ impl WorkerPool {
     pub fn submit(&self, job: Job) {
         if let Some(tx) = &self.injector {
             let _ = tx.send(job);
+        }
+    }
+
+    /// A sender jobs use to signal completion to [`WorkerPool::wait`].
+    pub fn done_sender(&self) -> crossbeam::channel::Sender<()> {
+        self.done_tx.clone()
+    }
+
+    /// Blocks until `n` completion signals have arrived.
+    pub fn wait(&self, n: usize) {
+        for _ in 0..n {
+            let _ = self.done_rx.recv();
         }
     }
 }
@@ -344,7 +378,9 @@ impl DeferredSimTransport {
         if !self.bus.has_endpoint(to) {
             return Err(NetError::NoEndpoint { host: to.clone() });
         }
-        let payload: Bytes = payload.to_vec().into();
+        // Single copy into the refcounted envelope buffer; `to_vec().into()`
+        // would copy twice (Vec, then Arc storage).
+        let payload = Bytes::copy_from_slice(payload);
         let outcome = self.net.transfer_with(
             from,
             to,
@@ -389,7 +425,7 @@ impl Transport for DeferredSimTransport {
         let to = host_id(to_host)?;
         let result = match TaskScope::current() {
             Some(scope) => self.send_deferred(&scope, &from, &to, payload),
-            None => self.bus.send(&from, &to, payload.to_vec()),
+            None => self.bus.send(&from, &to, Bytes::copy_from_slice(payload)),
         };
         match result {
             Ok(()) => {

@@ -24,6 +24,13 @@ use crate::TaxError;
 /// a backstop against agent ping-pong loops.
 const MAX_STEPS: usize = 1_000_000;
 
+/// Ticks with at most this many queued tasks run inline on the scheduler
+/// thread even in multi-threaded mode. Fanning out a couple of tasks can
+/// at best overlap one of them, which is less than the cost of boxing the
+/// jobs and crossing the pool's channels twice — the typical shape of a
+/// message ping-pong tick.
+const TICK_INLINE_THRESHOLD: usize = 2;
+
 /// Builds a [`TaxSystem`].
 pub struct SystemBuilder {
     hosts: Vec<HostBuilder>,
@@ -33,6 +40,7 @@ pub struct SystemBuilder {
     trust_all: bool,
     transport: Option<Arc<dyn tacoma_transport::Transport>>,
     threads: usize,
+    cores_override: Option<usize>,
 }
 
 impl std::fmt::Debug for SystemBuilder {
@@ -58,6 +66,7 @@ impl SystemBuilder {
             trust_all: false,
             transport: None,
             threads: 0,
+            cores_override: None,
         }
     }
 
@@ -121,6 +130,19 @@ impl SystemBuilder {
     /// same event trace with 1 or N threads (see `docs/scheduler.md`).
     pub fn threads(mut self, n: usize) -> Self {
         self.threads = n;
+        self
+    }
+
+    /// Overrides the detected core count used to clamp tick fan-out.
+    ///
+    /// By default the tick scheduler never runs more workers than
+    /// `std::thread::available_parallelism()` reports — oversubscribing a
+    /// small machine makes the tick barrier slower, never faster. Tests
+    /// (and benchmarks characterizing fan-out overhead) use this to force
+    /// the pooled path on machines with few cores. The event trace is
+    /// identical either way.
+    pub fn scheduler_cores(mut self, cores: usize) -> Self {
+        self.cores_override = Some(cores.max(1));
         self
     }
 
@@ -191,8 +213,10 @@ impl SystemBuilder {
             bus,
             seed: self.seed,
             threads: self.threads,
+            cores_override: self.cores_override,
             tick: 0,
             pool: None,
+            scope_cache: Vec::new(),
         }
     }
 }
@@ -211,8 +235,12 @@ pub struct TaxSystem {
     bus: MessageBus,
     seed: u64,
     threads: usize,
+    cores_override: Option<usize>,
     tick: u64,
     pool: Option<WorkerPool>,
+    /// Scopes recycled across ticks: resetting one is equivalent to
+    /// allocating fresh, but keeps the send-buffer capacity warm.
+    scope_cache: Vec<Arc<TaskScope>>,
 }
 
 impl TaxSystem {
@@ -466,6 +494,17 @@ impl TaxSystem {
         worked
     }
 
+    /// The worker count actually worth using this tick: the configured
+    /// thread count clamped to the machine's parallelism. Running more
+    /// workers than cores makes the tick barrier slower, never faster —
+    /// every extra worker is pure handoff and contention.
+    fn effective_threads(&self) -> usize {
+        let cores = self.cores_override.unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        });
+        self.threads.min(cores)
+    }
+
     fn step_tick(&mut self) -> bool {
         let hosts: Vec<TaxHost> = self.kernel.directory.read().values().cloned().collect();
 
@@ -480,49 +519,76 @@ impl TaxSystem {
 
         // Phase 2: snapshot one task batch per host. The host is the unit
         // of parallelism — its tasks run FIFO on its own forked clock.
+        // Scopes are recycled from previous ticks; a reset scope is
+        // indistinguishable from a fresh one, so recycling cannot affect
+        // the trace.
         let now = self.kernel.net.clock().now();
         let tick = self.tick;
         self.tick += 1;
-        let batches: Vec<(TaxHost, Vec<AgentTask>, Arc<TaskScope>)> = hosts
-            .iter()
-            .enumerate()
-            .filter_map(|(idx, host)| {
-                let tasks = host.drain_tasks();
-                if tasks.is_empty() {
-                    return None;
+        let mut scope_pool = std::mem::take(&mut self.scope_cache);
+        let mut total_tasks = 0;
+        let mut batches: Vec<(TaxHost, Vec<AgentTask>, Arc<TaskScope>)> = Vec::new();
+        for (idx, host) in hosts.iter().enumerate() {
+            let tasks = host.drain_tasks();
+            if tasks.is_empty() {
+                continue;
+            }
+            total_tasks += tasks.len();
+            let seed = batch_seed(self.seed, idx as u64, tick);
+            let scope = loop {
+                match scope_pool.pop() {
+                    // A straggling worker may still hold a transient
+                    // reference from last tick's closure; such a scope is
+                    // discarded rather than raced on.
+                    Some(s) if Arc::strong_count(&s) == 1 => {
+                        s.reset(now, seed);
+                        break s;
+                    }
+                    Some(_) => continue,
+                    None => break TaskScope::new(now, seed),
                 }
-                let scope = TaskScope::new(now, batch_seed(self.seed, idx as u64, tick));
-                Some((host.clone(), tasks, scope))
-            })
-            .collect();
+            };
+            batches.push((host.clone(), tasks, scope));
+        }
         if batches.is_empty() {
+            self.scope_cache = scope_pool;
             return worked;
         }
 
-        // Execute. A single batch (or a single worker) runs inline — same
-        // semantics, no handoff cost.
-        if batches.len() == 1 || self.threads == 1 {
-            for (host, tasks, scope) in &batches {
-                run_batch(&self.kernel, host, tasks.clone(), scope);
+        // Execute. Fan out only when it can actually help: several
+        // batches, more than one usable core, and enough queued work to
+        // amortize the handoffs; otherwise run inline on this thread —
+        // identical semantics, no pool traffic.
+        let effective = self.effective_threads();
+        let fan_out = batches.len() > 1 && effective > 1 && total_tasks > TICK_INLINE_THRESHOLD;
+        if !fan_out {
+            for (host, tasks, scope) in &mut batches {
+                run_batch(&self.kernel, host, std::mem::take(tasks), scope);
             }
         } else {
-            let workers = self.threads;
-            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(workers));
-            let (tx, rx) = crossbeam::channel::unbounded::<()>();
-            for (host, tasks, scope) in &batches {
+            let pool = self.pool.get_or_insert_with(|| WorkerPool::new(effective));
+            let done = pool.done_sender();
+            let mut submitted = 0;
+            for (host, tasks, scope) in batches.iter_mut().skip(1) {
                 let kernel = self.kernel.clone();
                 let host = host.clone();
-                let tasks = tasks.clone();
+                let tasks = std::mem::take(tasks);
                 let scope = Arc::clone(scope);
-                let tx = tx.clone();
+                let done = done.clone();
                 pool.submit(Box::new(move || {
                     run_batch(&kernel, &host, tasks, &scope);
-                    let _ = tx.send(());
+                    let _ = done.send(());
                 }));
+                submitted += 1;
             }
-            for _ in 0..batches.len() {
-                let _ = rx.recv();
+            // The scheduler thread runs the first batch itself instead of
+            // blocking at the barrier: one fewer handoff, one more busy
+            // core.
+            {
+                let (host, tasks, scope) = &mut batches[0];
+                run_batch(&self.kernel, host, std::mem::take(tasks), scope);
             }
+            pool.wait(submitted);
         }
 
         // Phase 3 (barrier): flush deferred envelopes in host order, then
@@ -537,6 +603,10 @@ impl TaxSystem {
             }
         }
         self.kernel.net.clock().advance_to(makespan);
+
+        // Recycle scopes (and their send-buffer capacity) for next tick.
+        scope_pool.extend(batches.into_iter().map(|(_, _, scope)| scope));
+        self.scope_cache = scope_pool;
         true
     }
 

@@ -1,0 +1,103 @@
+//! The pooled tick path stays trace-identical to the inline path.
+//!
+//! The scheduler clamps fan-out to `available_parallelism`, so on a
+//! small CI machine the multi-worker configurations in `sched.rs` may
+//! legitimately run inline. These tests force the pooled path with
+//! [`SystemBuilder::scheduler_cores`] so the worker-pool machinery is
+//! exercised — and proven trace-invariant — regardless of the machine
+//! the suite runs on.
+
+use proptest::prelude::*;
+use tacoma_core::{AgentSpec, HostEvent, LinkSpec, SystemBuilder, TaxSystem};
+
+const PAIRS: usize = 4;
+
+fn fleet(threads: usize, forced_cores: Option<usize>, seed: u64, loss: f64) -> TaxSystem {
+    let mut b = SystemBuilder::new()
+        .seed(seed)
+        .threads(threads)
+        .default_link(LinkSpec::lan_100mbit().with_loss(loss));
+    if let Some(cores) = forced_cores {
+        b = b.scheduler_cores(cores);
+    }
+    for i in 0..PAIRS {
+        b = b.host(&format!("client{i}")).unwrap();
+        b = b.host(&format!("server{i}")).unwrap();
+    }
+    b.trust_all().build()
+}
+
+fn launch_walkers(system: &mut TaxSystem) {
+    for i in 0..PAIRS {
+        let spec = AgentSpec::script(
+            "walker",
+            r#"
+            fn main() {
+                display("visiting " + host_name());
+                bc_append("SEEN", host_name());
+                let next = bc_remove("HOSTS", 0);
+                if (next == nil) {
+                    display("done " + str(bc_len("SEEN")));
+                    exit(0);
+                }
+                go(next);
+            }
+            "#,
+        )
+        .itinerary([
+            format!("tacoma://server{i}/vm_script"),
+            format!("tacoma://client{i}/vm_script"),
+            format!("tacoma://server{i}/vm_script"),
+            format!("tacoma://client{i}/vm_script"),
+        ]);
+        system.launch(&format!("client{i}"), spec).unwrap();
+    }
+}
+
+fn trace(
+    threads: usize,
+    forced_cores: Option<usize>,
+    seed: u64,
+    loss: f64,
+) -> Vec<(String, HostEvent)> {
+    let mut system = fleet(threads, forced_cores, seed, loss);
+    launch_walkers(&mut system);
+    assert!(system.run_until_quiet().quiesced());
+    system.events()
+}
+
+#[test]
+fn forced_pool_matches_inline_trace() {
+    // `scheduler_cores(1)` pins the inline path; `scheduler_cores(4)`
+    // forces genuine fan-out even on a single-core machine.
+    let inline = trace(4, Some(1), 42, 0.0);
+    let pooled = trace(4, Some(4), 42, 0.0);
+    assert!(!inline.is_empty());
+    assert_eq!(inline, pooled);
+}
+
+#[test]
+fn forced_pool_matches_inline_trace_with_loss() {
+    let inline = trace(4, Some(1), 1900, 0.2);
+    let pooled = trace(4, Some(4), 1900, 0.2);
+    assert_eq!(inline, pooled);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The determinism contract holds on the pooled path for arbitrary
+    /// seeds, loss rates, and worker counts.
+    #[test]
+    fn pooled_trace_is_worker_count_invariant(
+        seed in any::<u64>(),
+        loss_pct in 0u32..30,
+        workers in 2u32..6,
+    ) {
+        let loss = f64::from(loss_pct) / 100.0;
+        let workers = workers as usize;
+        let inline = trace(1, Some(1), seed, loss);
+        let pooled = trace(workers, Some(workers), seed, loss);
+        prop_assert_eq!(inline, pooled);
+    }
+}

@@ -387,7 +387,11 @@ impl Firewall {
         now: SimTime,
         transport: &dyn tacoma_transport::Transport,
     ) -> Result<Decision, FirewallError> {
-        let wire = message.encode();
+        // `encoded_len` is O(folders) arithmetic, so the frame buffer is
+        // sized exactly once; the payload bytes inside come from the
+        // briefcase's encode-once cache, not a fresh serialization.
+        let mut wire = Vec::with_capacity(message.encoded_len());
+        message.encode_into(&mut wire);
         match transport.send(&self.host, host, port, &wire) {
             Ok(()) => {
                 self.stats.frames_sent += 1;
@@ -426,12 +430,18 @@ impl Firewall {
         let parked = self.pending.take_remote(&self.host, now);
         let mut delivered = 0;
         let mut reparked = 0;
+        let mut wire = Vec::new();
         for (message, deadline) in parked {
             let (host, port) = match (message.to.host(), message.to.location()) {
                 (Some(h), Some(loc)) => (h.to_owned(), loc.effective_port()),
                 _ => continue, // Cannot happen: take_remote selected on host.
             };
-            let wire = message.encode();
+            // One buffer across the sweep; the payload bytes are reused
+            // from each message's encode-once cache, populated the first
+            // time the message was shipped.
+            wire.clear();
+            wire.reserve(message.encoded_len());
+            message.encode_into(&mut wire);
             if transport.send(&self.host, &host, port, &wire).is_ok() {
                 self.stats.frames_sent += 1;
                 self.stats.bytes_sent += wire.len() as u64;

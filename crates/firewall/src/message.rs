@@ -118,7 +118,11 @@ impl Message {
             frame.set_single(wire::FROM_AGENT, agent.to_string());
         }
         frame.set_single(wire::TO, self.to.to_string());
-        frame.set_single(wire::PAYLOAD, self.briefcase.encode());
+        // The payload rides as a shared handle to the briefcase's cached
+        // encoding: retries and multi-peer fan-out over clones of the same
+        // briefcase serialize the payload once, and the frame element is a
+        // pointer bump rather than a copy of the payload bytes.
+        frame.set_single(wire::PAYLOAD, Element::from(self.briefcase.wire_bytes()));
         frame.encode_into(out);
     }
 
@@ -352,6 +356,22 @@ mod tests {
             );
             assert_eq!(t.encoded_len(), t.encode().len());
         }
+    }
+
+    #[test]
+    fn encode_serializes_the_payload_once_across_attempts() {
+        let m = sample();
+        assert!(!m.briefcase.has_cached_wire());
+        let first = m.encode();
+        // The first encode populated the payload cache; retries (ship
+        // backoff, pending-queue redelivery) reuse it.
+        assert!(m.briefcase.has_cached_wire());
+        assert_eq!(m.encode(), first);
+
+        // A pointer-bump clone (multi-destination fan-out) shares the cache.
+        let clone = m.clone();
+        assert!(clone.briefcase.has_cached_wire());
+        assert_eq!(clone.encode(), first);
     }
 
     #[test]

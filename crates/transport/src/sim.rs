@@ -47,7 +47,12 @@ impl Transport for SimTransport {
     ) -> Result<(), TransportError> {
         let from = host_id(from)?;
         let to = host_id(to_host)?;
-        match self.bus.send(&from, &to, payload.to_vec()) {
+        // Single copy into the refcounted wire buffer; `to_vec().into()`
+        // would copy twice (Vec, then Arc storage).
+        match self
+            .bus
+            .send(&from, &to, bytes::Bytes::copy_from_slice(payload))
+        {
             Ok(()) => {
                 self.counters.add_sent(payload.len() as u64);
                 Ok(())

@@ -1,19 +1,21 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_4.json — the parallel-fleet scheduler benchmark.
+# Regenerates BENCH_5.json — the parallel-fleet scheduler benchmark plus
+# the briefcase-migration (CoW vs legacy) comparison.
 #
-#   scripts/bench.sh           full run, writes BENCH_4.json at the repo root
-#   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing
+#   scripts/bench.sh           full run, writes BENCH_5.json at the repo root
+#   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
+#                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
 set -eu
 
 cd "$(dirname "$0")/.."
 
 if [ "${1:-}" = "--smoke" ]; then
-    echo "==> bench (smoke): exp_e9_parallel_fleet"
-    cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke
+    echo "==> bench (smoke): exp_e9_parallel_fleet --check"
+    cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke --check
 else
-    echo "==> bench: exp_e9_parallel_fleet -> BENCH_4.json"
+    echo "==> bench: exp_e9_parallel_fleet -> BENCH_5.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
-        > BENCH_4.json
-    cat BENCH_4.json
+        > BENCH_5.json
+    cat BENCH_5.json
 fi
