@@ -20,17 +20,27 @@
 //! hot path both ways (legacy deep-clone-per-peer vs CoW clones over one
 //! cached encoding; see `tacoma_bench::migrate`).
 //!
+//! Also times firewall admission of the same bytecode agent cold (full
+//! decode + verify + flow analysis every time) vs warm (the shared
+//! content-hash verified-script cache) — the per-hop cost an itinerant
+//! agent pays at every firewall after the first.
+//!
 //! With `--json` the results are emitted as a JSON object (the format
-//! checked in as `BENCH_5.json`); `--smoke` shrinks the workload for CI;
+//! checked in as `BENCH_6.json`); `--smoke` shrinks the workload for CI;
 //! `--check` exits non-zero if tick-4 wall clock exceeds tick-1 by more
-//! than 25% or the migration speedup falls below 5x (the CI gates).
+//! than 25%, the migration speedup falls below 5x, or the warm-cache
+//! admission speedup falls below 5x (the CI gates).
 
 use std::env;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 use std::time::{Duration, Instant};
 
 use tacoma_bench::{fmt_duration, header, migrate, row};
-use tacoma_briefcase::Briefcase;
+use tacoma_briefcase::{folders, Briefcase};
+use tacoma_firewall::{AdmissionPolicy, AdmissionVerdict};
+use tacoma_security::Rights;
+use tacoma_vm::code_types;
 use tacoma_webbot::fleet::{run_fleet, FleetParams};
 
 /// Iterations for the codec timing loop.
@@ -45,6 +55,11 @@ const WALL_GATE: f64 = 1.25;
 
 /// The CI gate on the migration microbench speedup.
 const MIGRATE_GATE: f64 = 5.0;
+
+/// The CI gate on the warm-cache admission speedup: a hop after the
+/// first must be at least this much cheaper to admit than a cold
+/// analysis.
+const ADMISSION_GATE: f64 = 5.0;
 
 struct Measurement {
     label: &'static str,
@@ -158,6 +173,80 @@ fn time_migrate(smoke: bool) -> MigrateResult {
     }
 }
 
+struct AdmissionResult {
+    iters: u32,
+    wire_bytes: usize,
+    instructions: usize,
+    cold: Duration,
+    warm: Duration,
+}
+
+impl AdmissionResult {
+    fn speedup(&self) -> f64 {
+        self.cold.as_secs_f64() / self.warm.as_secs_f64().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// A sizeable generated agent: `blocks` stanzas of folder traffic and a
+/// travel branch, so decode + verify + flow analysis have real work.
+fn admission_agent(blocks: usize) -> String {
+    let mut src = String::from("fn main() {\n");
+    for b in 0..blocks {
+        let _ = write!(
+            src,
+            "    bc_append(\"RESULTS-{b}\", host_name());\n    \
+             let n{b} = bc_len(\"RESULTS-{b}\");\n    \
+             if (n{b} > 100) {{ bc_remove(\"RESULTS-{b}\", 0); }}\n    \
+             if (n{b} < 0) {{ if (go(\"tacoma://h{b}/vm_script\")) {{ display(\"x\"); }} }}\n"
+        );
+    }
+    src.push_str("    exit(0);\n}\n");
+    src
+}
+
+/// Times firewall admission of one bytecode agent cold (cache disabled,
+/// the full pipeline every iteration — what every hop used to pay) vs
+/// warm (shared content-hash cache, primed by one miss).
+fn time_admission(smoke: bool) -> AdmissionResult {
+    let (blocks, iters) = if smoke { (12, 50) } else { (48, 200) };
+    let source = admission_agent(blocks);
+    let program = tacoma_taxscript::compile_source(&source).expect("generated agent compiles");
+    let mut bc = Briefcase::new();
+    bc.append(folders::CODE, program.encode());
+    bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
+
+    let cold_policy = AdmissionPolicy {
+        use_cache: false,
+        ..AdmissionPolicy::default()
+    };
+    let warm_policy = AdmissionPolicy::default();
+    // Prime the shared cache so the warm loop measures steady-state hits.
+    let primed = warm_policy.check(&bc, Rights::ALL).expect("agent admits");
+    assert!(matches!(primed, AdmissionVerdict::Verified { .. }));
+
+    let started = Instant::now();
+    for _ in 0..iters {
+        let verdict = cold_policy.check(&bc, Rights::ALL).expect("agent admits");
+        std::hint::black_box(verdict);
+    }
+    let cold = started.elapsed();
+
+    let started = Instant::now();
+    for _ in 0..iters {
+        let verdict = warm_policy.check(&bc, Rights::ALL).expect("agent admits");
+        std::hint::black_box(verdict);
+    }
+    let warm = started.elapsed();
+
+    AdmissionResult {
+        iters,
+        wire_bytes: program.encode().len(),
+        instructions: program.instruction_count(),
+        cold,
+        warm,
+    }
+}
+
 #[allow(clippy::too_many_lines)] // one linear report: measure, print, gate
 fn main() -> ExitCode {
     let args: Vec<String> = env::args().skip(1).collect();
@@ -182,6 +271,7 @@ fn main() -> ExitCode {
     ];
     let (codec_copy, codec_zero, wire_len) = time_codec(smoke);
     let migration = time_migrate(smoke);
+    let admission = time_admission(smoke);
 
     let seq = &runs[0];
     let tick1 = &runs[1];
@@ -235,6 +325,20 @@ fn main() -> ExitCode {
         );
         println!("    \"cow_ms\": {:.2},", migration.cow.as_secs_f64() * 1e3);
         println!("    \"speedup\": {:.2}", migration.speedup());
+        println!("  }},");
+        println!("  \"admission_cache\": {{");
+        println!("    \"wire_bytes\": {},", admission.wire_bytes);
+        println!("    \"instructions\": {},", admission.instructions);
+        println!("    \"iterations\": {},", admission.iters);
+        println!(
+            "    \"cold_ms\": {:.2},",
+            admission.cold.as_secs_f64() * 1e3
+        );
+        println!(
+            "    \"warm_ms\": {:.2},",
+            admission.warm.as_secs_f64() * 1e3
+        );
+        println!("    \"warm_speedup\": {:.2}", admission.speedup());
         println!("  }}");
         println!("}}");
     } else {
@@ -281,6 +385,15 @@ fn main() -> ExitCode {
             fmt_duration(migration.cow),
             migration.speedup(),
         );
+        println!(
+            "admission_cache ({}-byte agent, {} instructions, x{}): cold {} vs warm {} ({:.2}x)",
+            admission.wire_bytes,
+            admission.instructions,
+            admission.iters,
+            fmt_duration(admission.cold),
+            fmt_duration(admission.warm),
+            admission.speedup(),
+        );
     }
 
     if check {
@@ -301,13 +414,21 @@ fn main() -> ExitCode {
             );
             failed = true;
         }
+        if admission.speedup() < ADMISSION_GATE {
+            eprintln!(
+                "CHECK FAILED: admission_cache warm speedup {:.2}x below the {ADMISSION_GATE}x gate",
+                admission.speedup(),
+            );
+            failed = true;
+        }
         if failed {
             return ExitCode::FAILURE;
         }
         eprintln!(
-            "check ok: wall tick-4/tick-1 = {:.2}, briefcase_migrate = {:.2}x",
+            "check ok: wall tick-4/tick-1 = {:.2}, briefcase_migrate = {:.2}x, admission_cache = {:.2}x",
             tick4.wall.as_secs_f64() / tick1.wall.as_secs_f64().max(f64::MIN_POSITIVE),
             migration.speedup(),
+            admission.speedup(),
         );
     }
     ExitCode::SUCCESS

@@ -5,23 +5,38 @@
 //! authentication) says who *sent* an agent; it says nothing about what
 //! the agent's code *does*. This module closes that gap for TaxScript
 //! bytecode: when a transfer arrives carrying `CODE-TYPE =
-//! taxscript-bytecode`, the firewall decodes and **verifies** the
-//! bytecode (it is refused outright if it could fault a VM) and then
-//! compares its **capability manifest** against the rights the sending
-//! principal actually holds here. An agent that could `go()` onward is
-//! only admitted if its principal holds `SEND_REMOTE`; one that can
-//! `meet`/`bc_send` needs `SEND_LOCAL`.
+//! taxscript-bytecode`, the firewall runs the full analysis pipeline
+//! (decode, verify, capabilities, folder flow) and then
+//!
+//! 1. compares the **capability manifest** against the rights the
+//!    sending principal actually holds here — an agent that could `go()`
+//!    onward is only admitted if its principal holds `SEND_REMOTE`; one
+//!    that can `meet`/`bc_recv` needs `SEND_LOCAL` — and
+//! 2. joins the **flow summary** with the briefcase's declared `HOSTS`
+//!    itinerary and refuses error-severity flow findings (TAX005: a
+//!    written folder would ship to a host the itinerary never covers).
+//!
+//! Analysis is memoized by content hash in the process-wide
+//! [`AnalysisCache`] shared with `vm_script`, so a known agent re-arriving
+//! at every hop of a tour is admitted in O(hash) — see the
+//! `cache_hit` flag on [`AdmissionVerdict::Verified`] and the
+//! hit/miss/eviction counters in `FirewallStats`.
 //!
 //! Briefcases without an explicit bytecode `CODE-TYPE` are outside this
 //! policy's jurisdiction by default — source agents are compiled (and
 //! thereby checked) by `vm_script` at install time, and binary artifacts
 //! go through `vm_bin`'s signature gate. Setting
 //! [`AdmissionPolicy::analyze_source`] extends the same scrutiny to
-//! source agents at the cost of compiling them twice.
+//! source agents; with the cache on, the second compile is a hash lookup.
+
+use std::sync::Arc;
 
 use tacoma_briefcase::{folders, Briefcase};
 use tacoma_security::Rights;
-use tacoma_taxscript::analysis::{self, Capabilities};
+use tacoma_taxscript::analysis::{
+    self, AnalysisCache, AnalysisFailure, AnalysisReport, Capabilities, Diagnostic, Severity,
+    VerifiedScript,
+};
 use tacoma_taxscript::{compile_source, Builtin, Program};
 use tacoma_vm::code_types;
 
@@ -34,6 +49,9 @@ pub struct AdmissionPolicy {
     /// Also compile and analyze `taxscript-source` agents. Off by
     /// default: the source pipeline re-compiles at install time anyway.
     pub analyze_source: bool,
+    /// Memoize analysis in the shared content-hash cache. On by default;
+    /// turn off to force the cold path (benchmarks, forensics).
+    pub use_cache: bool,
 }
 
 impl Default for AdmissionPolicy {
@@ -41,6 +59,7 @@ impl Default for AdmissionPolicy {
         AdmissionPolicy {
             enabled: true,
             analyze_source: false,
+            use_cache: true,
         }
     }
 }
@@ -60,6 +79,13 @@ pub enum AdmissionError {
         /// The right that would be needed.
         needed: Rights,
     },
+    /// The folder flow joined with the declared itinerary has
+    /// error-severity findings (e.g. TAX005: collected data would ship
+    /// to a host outside the itinerary).
+    FlowViolation {
+        /// The error-severity findings, sorted like `analyze`'s.
+        diagnostics: Vec<Diagnostic>,
+    },
 }
 
 impl std::fmt::Display for AdmissionError {
@@ -71,6 +97,13 @@ impl std::fmt::Display for AdmissionError {
             AdmissionError::CapabilityExceedsRights { capability, needed } => {
                 write!(f, "code uses {capability} but principal lacks {needed:?}")
             }
+            AdmissionError::FlowViolation { diagnostics } => {
+                write!(f, "itinerary flow violation:")?;
+                for d in diagnostics {
+                    write!(f, " [{d}]")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -80,12 +113,33 @@ impl std::error::Error for AdmissionError {}
 /// The outcome of a successful admission check.
 #[derive(Debug, Clone, PartialEq)]
 pub enum AdmissionVerdict {
-    /// The code was analyzed and is within the principal's rights; the
-    /// manifest is returned for logging/auditing.
-    Verified(Box<Capabilities>),
+    /// The code was analyzed and is within the principal's rights.
+    Verified {
+        /// The verified program and its full analysis report, shared
+        /// with the cache (a hit costs one pointer clone).
+        script: Arc<VerifiedScript>,
+        /// Whether the result came from the shared content-hash cache
+        /// rather than a cold analysis.
+        cache_hit: bool,
+    },
     /// The briefcase is outside this policy's jurisdiction (no TaxScript
     /// bytecode, or the policy is disabled).
     Skipped,
+}
+
+impl AdmissionVerdict {
+    /// The full analysis report of a verified agent, if analyzed.
+    pub fn report(&self) -> Option<&AnalysisReport> {
+        match self {
+            AdmissionVerdict::Verified { script, .. } => Some(&script.report),
+            AdmissionVerdict::Skipped => None,
+        }
+    }
+
+    /// The capability manifest of a verified agent, if analyzed.
+    pub fn capabilities(&self) -> Option<&Capabilities> {
+        self.report().map(|r| &r.capabilities)
+    }
 }
 
 impl AdmissionPolicy {
@@ -93,16 +147,18 @@ impl AdmissionPolicy {
     pub fn disabled() -> Self {
         AdmissionPolicy {
             enabled: false,
-            analyze_source: false,
+            ..AdmissionPolicy::default()
         }
     }
 
-    /// Checks an arriving transfer's code against `rights`.
+    /// Checks an arriving transfer's code against `rights` and the
+    /// briefcase's declared `HOSTS` itinerary.
     ///
     /// # Errors
     ///
-    /// [`AdmissionError`] when the code is unverifiable or demands more
-    /// than the principal may do.
+    /// [`AdmissionError`] when the code is unverifiable, demands more
+    /// than the principal may do, or leaks folders outside the
+    /// itinerary.
     pub fn check(
         &self,
         briefcase: &Briefcase,
@@ -114,16 +170,14 @@ impl AdmissionPolicy {
         let Ok(code_type) = briefcase.single_str(folders::CODE_TYPE) else {
             return Ok(AdmissionVerdict::Skipped);
         };
-        let program = match code_type {
+        let (script, cache_hit) = match code_type {
             code_types::TAXSCRIPT_BYTECODE => {
                 let code = briefcase.element(folders::CODE, 0).map_err(|e| {
                     AdmissionError::Unverifiable {
                         detail: e.to_string(),
                     }
                 })?;
-                Program::decode(code.data()).map_err(|e| AdmissionError::Unverifiable {
-                    detail: e.to_string(),
-                })?
+                self.analyze_bytes(code.data())?
             }
             code_types::TAXSCRIPT_SOURCE if self.analyze_source => {
                 let code = briefcase.element(folders::CODE, 0).map_err(|e| {
@@ -135,19 +189,55 @@ impl AdmissionPolicy {
                     std::str::from_utf8(code.data()).map_err(|_| AdmissionError::Unverifiable {
                         detail: "source is not UTF-8".into(),
                     })?;
-                compile_source(source).map_err(|e| AdmissionError::Unverifiable {
-                    detail: e.to_string(),
-                })?
+                self.analyze_text(source)?
             }
             _ => return Ok(AdmissionVerdict::Skipped),
         };
 
-        analysis::verify(&program).map_err(|e| AdmissionError::Unverifiable {
+        require_rights(&script.report.capabilities, rights)?;
+        require_clean_flow(&script.report, briefcase)?;
+        Ok(AdmissionVerdict::Verified { script, cache_hit })
+    }
+
+    /// Bytecode through the cache (or the cold pipeline when disabled).
+    fn analyze_bytes(&self, wire: &[u8]) -> Result<(Arc<VerifiedScript>, bool), AdmissionError> {
+        if self.use_cache {
+            let (result, hit) = AnalysisCache::shared().analyze_bytes(wire);
+            return Ok((result.map_err(|e| unverifiable(&e))?, hit));
+        }
+        let program = Program::decode(wire).map_err(|e| AdmissionError::Unverifiable {
             detail: e.to_string(),
         })?;
-        let caps = analysis::capabilities(&program);
-        require_rights(&caps, rights)?;
-        Ok(AdmissionVerdict::Verified(Box::new(caps)))
+        self.cold_pipeline(program)
+    }
+
+    /// Source text through the cache (or the cold pipeline).
+    fn analyze_text(&self, source: &str) -> Result<(Arc<VerifiedScript>, bool), AdmissionError> {
+        if self.use_cache {
+            let (result, hit) = AnalysisCache::shared().analyze_source(source);
+            return Ok((result.map_err(|e| unverifiable(&e))?, hit));
+        }
+        let program = compile_source(source).map_err(|e| AdmissionError::Unverifiable {
+            detail: e.to_string(),
+        })?;
+        self.cold_pipeline(program)
+    }
+
+    /// The uncached pipeline: full analysis every time.
+    fn cold_pipeline(
+        &self,
+        program: Program,
+    ) -> Result<(Arc<VerifiedScript>, bool), AdmissionError> {
+        let report = analysis::analyze(&program).map_err(|e| AdmissionError::Unverifiable {
+            detail: e.to_string(),
+        })?;
+        Ok((Arc::new(VerifiedScript { program, report }), false))
+    }
+}
+
+fn unverifiable(e: &AnalysisFailure) -> AdmissionError {
+    AdmissionError::Unverifiable {
+        detail: e.to_string(),
     }
 }
 
@@ -173,6 +263,42 @@ fn require_rights(caps: &Capabilities, rights: Rights) -> Result<(), AdmissionEr
     Ok(())
 }
 
+/// Joins the agent's flow summary with the briefcase's declared `HOSTS`
+/// itinerary and refuses error-severity findings (TAX005). Warnings pass
+/// — admission is a gate, not a linter; `taxsh audit` surfaces the rest.
+fn require_clean_flow(
+    report: &AnalysisReport,
+    briefcase: &Briefcase,
+) -> Result<(), AdmissionError> {
+    let itinerary = declared_itinerary(briefcase);
+    if itinerary.is_empty() {
+        return Ok(());
+    }
+    let errors: Vec<Diagnostic> = analysis::flow_lints(&[&report.flow], &itinerary)
+        .into_iter()
+        .filter(|d| d.severity == Severity::Error)
+        .collect();
+    if errors.is_empty() {
+        Ok(())
+    } else {
+        Err(AdmissionError::FlowViolation {
+            diagnostics: errors,
+        })
+    }
+}
+
+/// The itinerary the briefcase declares: the string entries of its
+/// `HOSTS` folder, in visit order.
+fn declared_itinerary(briefcase: &Briefcase) -> Vec<String> {
+    let Some(folder) = briefcase.folder(folders::HOSTS) else {
+        return Vec::new();
+    };
+    folder
+        .iter()
+        .filter_map(|e| e.as_str().ok().map(str::to_owned))
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -191,7 +317,7 @@ mod tests {
         let verdict = AdmissionPolicy::default()
             .check(&bc, Rights::EXECUTE)
             .unwrap();
-        assert!(matches!(verdict, AdmissionVerdict::Verified(_)));
+        assert!(matches!(verdict, AdmissionVerdict::Verified { .. }));
     }
 
     #[test]
@@ -206,10 +332,105 @@ mod tests {
         let ok = policy
             .check(&bc, Rights::EXECUTE.with(Rights::SEND_REMOTE))
             .unwrap();
-        let AdmissionVerdict::Verified(caps) = ok else {
-            panic!("{ok:?}")
+        assert!(ok.capabilities().unwrap().is_mobile(), "{ok:?}");
+    }
+
+    #[test]
+    fn repeat_admission_is_a_cache_hit() {
+        let bc = bytecode_briefcase("fn main() { display(7); exit(0); }");
+        let policy = AdmissionPolicy::default();
+        policy.check(&bc, Rights::EXECUTE).unwrap();
+        let verdict = policy.check(&bc, Rights::EXECUTE).unwrap();
+        assert!(
+            matches!(
+                verdict,
+                AdmissionVerdict::Verified {
+                    cache_hit: true,
+                    ..
+                }
+            ),
+            "{verdict:?}"
+        );
+    }
+
+    #[test]
+    fn cold_path_matches_cached_report() {
+        let bc = bytecode_briefcase("fn main() { display(8); exit(0); }");
+        let cached = AdmissionPolicy::default();
+        let cold = AdmissionPolicy {
+            use_cache: false,
+            ..AdmissionPolicy::default()
         };
-        assert!(caps.is_mobile());
+        cached.check(&bc, Rights::EXECUTE).unwrap();
+        let warm = cached.check(&bc, Rights::EXECUTE).unwrap();
+        let eager = cold.check(&bc, Rights::EXECUTE).unwrap();
+        let (
+            AdmissionVerdict::Verified {
+                script: a,
+                cache_hit: true,
+            },
+            AdmissionVerdict::Verified {
+                script: b,
+                cache_hit: false,
+            },
+        ) = (warm, eager)
+        else {
+            panic!("expected warm hit and cold miss");
+        };
+        assert_eq!(*a, *b);
+    }
+
+    #[test]
+    fn tainted_escape_is_refused_at_admission() {
+        // The agent collects data and ships to a host the declared
+        // itinerary never covers: TAX005 at error severity.
+        let mut bc = bytecode_briefcase(
+            r#"
+            fn main() {
+                bc_append("SECRETS", host_name());
+                if (go("tacoma://exfil/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        bc.append(folders::HOSTS, "tacoma://home/vm_script");
+        let policy = AdmissionPolicy::default();
+        let refused = policy.check(&bc, Rights::ALL);
+        assert!(
+            matches!(
+                &refused,
+                Err(AdmissionError::FlowViolation { diagnostics })
+                    if diagnostics.iter().all(|d| d.code.as_str() == "TAX005")
+            ),
+            "{refused:?}"
+        );
+
+        // The same agent with the target on the itinerary is admitted.
+        let mut covered = bytecode_briefcase(
+            r#"
+            fn main() {
+                bc_append("SECRETS", host_name());
+                if (go("tacoma://exfil/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        covered.append(folders::HOSTS, "tacoma://exfil/vm_script");
+        assert!(policy.check(&covered, Rights::ALL).is_ok());
+    }
+
+    #[test]
+    fn no_declared_itinerary_skips_flow_gate() {
+        let bc = bytecode_briefcase(
+            r#"
+            fn main() {
+                bc_append("RESULTS", host_name());
+                if (go("tacoma://anywhere/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        assert!(AdmissionPolicy::default().check(&bc, Rights::ALL).is_ok());
     }
 
     #[test]

@@ -151,9 +151,14 @@ impl Firewall {
         &self.local_system
     }
 
-    /// Mediation counters.
+    /// Mediation counters. The shared analysis cache's eviction count is
+    /// absorbed as a gauge so one stats line tells the whole story.
     pub fn stats(&self) -> FirewallStats {
-        self.stats
+        let mut stats = self.stats;
+        stats.analysis_cache_evictions = tacoma_taxscript::analysis::AnalysisCache::shared()
+            .stats()
+            .evictions;
+        stats
     }
 
     /// The agent registry (read-only view).
@@ -559,7 +564,14 @@ impl Firewall {
         // its capability manifest compared against the principal's grant
         // before any VM sees it.
         match self.admission.check(&message.briefcase, rights) {
-            Ok(AdmissionVerdict::Verified(_)) => self.stats.code_verified += 1,
+            Ok(AdmissionVerdict::Verified { cache_hit, .. }) => {
+                self.stats.code_verified += 1;
+                if cache_hit {
+                    self.stats.analysis_cache_hits += 1;
+                } else {
+                    self.stats.analysis_cache_misses += 1;
+                }
+            }
             Ok(AdmissionVerdict::Skipped) => {}
             Err(e) => {
                 self.stats.code_rejected += 1;

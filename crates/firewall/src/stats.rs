@@ -28,6 +28,13 @@ pub struct FirewallStats {
     /// capabilities exceeding the principal's rights). Each such event
     /// also counts as `denied`.
     pub code_rejected: u64,
+    /// Admissions answered from the shared verified-script cache.
+    pub analysis_cache_hits: u64,
+    /// Admissions that ran the cold analysis pipeline.
+    pub analysis_cache_misses: u64,
+    /// Entries the shared cache evicted to stay within capacity (gauge,
+    /// absorbed from the cache when stats are read).
+    pub analysis_cache_evictions: u64,
     /// Wire frames shipped to remote firewalls (transport acknowledged).
     pub frames_sent: u64,
     /// Payload bytes in those frames.
@@ -74,6 +81,7 @@ impl fmt::Display for FirewallStats {
         write!(
             f,
             "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={} \
+             cache-hits={} cache-misses={} cache-evictions={} \
              tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={}",
             self.delivered_local,
             self.forwarded_remote,
@@ -84,6 +92,9 @@ impl fmt::Display for FirewallStats {
             self.admin_ops,
             self.code_verified,
             self.code_rejected,
+            self.analysis_cache_hits,
+            self.analysis_cache_misses,
+            self.analysis_cache_evictions,
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,

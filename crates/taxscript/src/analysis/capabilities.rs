@@ -123,7 +123,15 @@ pub(crate) fn constant_str_arg0(
     let simple = window.iter().all(|op| {
         matches!(
             op,
-            Op::Const(_) | Op::Load(_) | Op::Nil | Op::True | Op::False
+            Op::Const(_)
+                | Op::Load(_)
+                | Op::Nil
+                | Op::True
+                | Op::False
+                // A zero-arg builtin (host_name(), bc_folders(), ...)
+                // pops nothing and pushes one value, so positions in
+                // the window still line up.
+                | Op::CallBuiltin { argc: 0, .. }
         )
     });
     if !simple {

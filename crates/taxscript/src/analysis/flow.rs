@@ -1,0 +1,675 @@
+//! Whole-itinerary folder-flow analysis.
+//!
+//! The passes in [`super::lint`] reason about one script in isolation.
+//! A mobile agent, though, is rarely one script: it is a **wrapper
+//! chain** (the paper's §4 — `rwWebbot(mwWebbot(Webbot))`) travelling a
+//! declared **itinerary** of hosts, and the security questions worth
+//! asking span the whole journey: which folders of collected data are
+//! aboard when the agent ships itself somewhere, does any hop lie outside
+//! the grant the itinerary declares, does a wrapper quietly reach further
+//! than the agent it wraps, and does the briefcase ever stop growing?
+//!
+//! This module answers those questions at the folder level:
+//!
+//! * [`flow`] condenses one verified program into a [`FlowSummary`] —
+//!   every folder read/write/append/drain site, every ship site
+//!   (`go`/`spawn`/`meet`/`activate`), and every travel loop that
+//!   accumulates state. Summaries are cheap to join and are carried
+//!   inside [`super::AnalysisReport`], so the per-briefcase itinerary
+//!   check never rescans bytecode (the verified-script cache memoizes
+//!   the expensive part).
+//! * [`ItineraryGraph`] is the hop graph: declared hops in order, plus
+//!   an edge for every constant travel target each program can reach.
+//! * [`flow_lints`] joins a wrapper chain's summaries over a declared
+//!   itinerary and emits TAX005–TAX008 (see [`super::lint::LintCode`]).
+//!
+//! The analysis is folder-granular and conservative: any written folder
+//! counts as tainted (it may hold data collected en route), and a
+//! constant travel target is attributed to every hop (TACOMA re-enters
+//! `main` at each hop, so any hop may take any branch).
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+use tacoma_briefcase::folders;
+use tacoma_uri::AgentUri;
+
+use crate::program::Program;
+use crate::{Builtin, Op};
+
+use super::capabilities::{capabilities, constant_str_arg0};
+use super::lint::{folded_reachability, is_input_folder, Diagnostic, LintCode};
+
+/// Where a flow fact was observed: function name, instruction offset,
+/// and the instruction's byte offset in the encoded program.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct FlowSite {
+    /// Source-level function name.
+    pub function: String,
+    /// Instruction offset within the function body.
+    pub offset: usize,
+    /// Byte offset within [`Program::encode`]'s output.
+    pub byte_offset: Option<usize>,
+}
+
+impl fmt::Display for FlowSite {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {} @{}", self.function, self.offset)
+    }
+}
+
+/// One site where the agent ships its briefcase somewhere: travel
+/// (`go`/`spawn`) moves the whole briefcase to another host; local
+/// communication (`meet`/`activate`) hands a copy to another agent.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct ShipSite {
+    /// The shipping builtin.
+    pub builtin: Builtin,
+    /// The constant target URI, or `None` when computed at run time.
+    pub target: Option<String>,
+    /// Where the call appears.
+    pub site: FlowSite,
+}
+
+impl ShipSite {
+    /// Whether this site moves the briefcase across hosts.
+    pub fn is_travel(&self) -> bool {
+        matches!(self.builtin, Builtin::Go | Builtin::Spawn)
+    }
+
+    /// The host named by a constant target, if both are known. Local
+    /// targets (`meet("ag_exec")`) have no host and cannot escape.
+    pub fn target_host(&self) -> Option<String> {
+        let target = self.target.as_deref()?;
+        match target.parse::<AgentUri>() {
+            Ok(uri) => uri.host().map(str::to_owned),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Evidence for TAX007: a reachable loop containing travel and an append
+/// to `folder` that the loop never drains.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct GrowthLoop {
+    /// The folder accumulating an element per trip around the loop.
+    pub folder: String,
+    /// The append site inside the loop.
+    pub site: FlowSite,
+}
+
+/// The folder-level flow summary of one verified program.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FlowSummary {
+    /// Folders read (`bc_get`/`bc_len`/`bc_has`), first site each.
+    pub reads: BTreeMap<String, FlowSite>,
+    /// Folders written (`bc_set`/`bc_append`), first site each.
+    pub writes: BTreeMap<String, FlowSite>,
+    /// Folders drained (`bc_remove`/`bc_clear`), first site each.
+    pub drains: BTreeMap<String, FlowSite>,
+    /// Every reachable ship site, in program order.
+    pub ships: Vec<ShipSite>,
+    /// A reachable folder op whose name is not a constant.
+    pub dynamic_folders: bool,
+    /// Travel loops that accumulate briefcase state (TAX007 evidence).
+    pub growth_loops: Vec<GrowthLoop>,
+}
+
+impl FlowSummary {
+    /// Whether any ship site moves the briefcase at all.
+    pub fn ships_anywhere(&self) -> bool {
+        !self.ships.is_empty()
+    }
+
+    /// Whether some reachable travel target is computed at run time.
+    pub fn dynamic_travel(&self) -> bool {
+        self.ships
+            .iter()
+            .any(|s| s.is_travel() && s.target.is_none())
+    }
+
+    /// Hosts named by constant travel/communication targets.
+    pub fn constant_ship_hosts(&self) -> BTreeSet<String> {
+        self.ships
+            .iter()
+            .filter_map(ShipSite::target_host)
+            .collect()
+    }
+}
+
+/// Extracts the [`FlowSummary`] of `program`, which should already have
+/// passed [`super::verify`]. Only functions reachable from `main`
+/// contribute, under the same folded CFG the lint pass uses.
+pub fn flow(program: &Program) -> FlowSummary {
+    let caps = capabilities(program);
+    let mut summary = FlowSummary::default();
+
+    for &fn_idx in &caps.reachable_functions {
+        let Some(proto) = program.functions().get(fn_idx) else {
+            continue;
+        };
+        let reachable = folded_reachability(program, &proto.code);
+        let site = |pc: usize| FlowSite {
+            function: proto.name.clone(),
+            offset: pc,
+            byte_offset: program.byte_offset_of(fn_idx, pc),
+        };
+
+        for (pc, &op) in proto.code.iter().enumerate() {
+            if !reachable[pc] {
+                continue;
+            }
+            let Op::CallBuiltin { builtin, argc } = op else {
+                continue;
+            };
+            let arg0 = constant_str_arg0(program, &proto.code, pc, argc as usize);
+            match builtin {
+                Builtin::Go | Builtin::Spawn | Builtin::Meet | Builtin::Activate => {
+                    summary.ships.push(ShipSite {
+                        builtin,
+                        target: arg0,
+                        site: site(pc),
+                    });
+                }
+                Builtin::BcGet | Builtin::BcLen | Builtin::BcHas => match arg0 {
+                    Some(f) => {
+                        summary.reads.entry(f).or_insert_with(|| site(pc));
+                    }
+                    None => summary.dynamic_folders = true,
+                },
+                Builtin::BcSet | Builtin::BcAppend => match arg0 {
+                    Some(f) => {
+                        summary.writes.entry(f).or_insert_with(|| site(pc));
+                    }
+                    None => summary.dynamic_folders = true,
+                },
+                Builtin::BcRemove | Builtin::BcClear => match arg0 {
+                    Some(f) => {
+                        // A remove also observes the folder's contents.
+                        summary.reads.entry(f.clone()).or_insert_with(|| site(pc));
+                        summary.drains.entry(f).or_insert_with(|| site(pc));
+                    }
+                    None => summary.dynamic_folders = true,
+                },
+                _ => {}
+            }
+        }
+
+        growth_loops(program, fn_idx, &reachable, &mut summary.growth_loops);
+    }
+    summary.growth_loops.sort();
+    summary.growth_loops.dedup();
+    summary
+}
+
+/// Finds travel loops that accumulate state: for each reachable back edge
+/// `pc → t`, the loop body `[t, pc]` fires once per appended folder when
+/// it contains a reachable `go`/`spawn` **and** a constant `bc_append`
+/// **and** no drain at all (`bc_remove`/`bc_clear`, constant or dynamic).
+/// A loop that drains *some* folder is consuming its itinerary — the
+/// Figure-4 pattern `bc_remove("HOSTS", 0)` — so the tour is bounded by
+/// briefcase contents and the growth is, too.
+fn growth_loops(program: &Program, fn_idx: usize, reachable: &[bool], out: &mut Vec<GrowthLoop>) {
+    let proto = &program.functions()[fn_idx];
+    let code = &proto.code;
+    for (pc, &op) in code.iter().enumerate() {
+        if !reachable[pc] {
+            continue;
+        }
+        let (Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t)) = op else {
+            continue;
+        };
+        let t = t as usize;
+        if t > pc {
+            continue;
+        }
+        let mut travels = false;
+        let mut drains = false;
+        let mut appended: BTreeMap<String, usize> = BTreeMap::new();
+        for q in t..=pc {
+            if !reachable[q] {
+                continue;
+            }
+            let Op::CallBuiltin { builtin, argc } = code[q] else {
+                continue;
+            };
+            match builtin {
+                Builtin::Go | Builtin::Spawn => travels = true,
+                Builtin::BcRemove | Builtin::BcClear => drains = true,
+                Builtin::BcAppend => {
+                    if let Some(f) = constant_str_arg0(program, code, q, argc as usize) {
+                        appended.entry(f).or_insert(q);
+                    }
+                }
+                _ => {}
+            }
+        }
+        if travels && !drains {
+            for (folder, q) in appended {
+                out.push(GrowthLoop {
+                    folder,
+                    site: FlowSite {
+                        function: proto.name.clone(),
+                        offset: q,
+                        byte_offset: program.byte_offset_of(fn_idx, q),
+                    },
+                });
+            }
+        }
+    }
+}
+
+/// The hop graph of a journey: declared hops in itinerary order plus an
+/// edge from every hop to every constant travel target (the agent
+/// re-enters `main` at each hop, so any hop may take any travel branch).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ItineraryGraph {
+    /// Hosts in declared visit order (duplicates preserved).
+    pub declared: Vec<String>,
+    /// Hosts named by constant travel targets across the chain.
+    pub targets: BTreeSet<String>,
+}
+
+impl ItineraryGraph {
+    /// Builds the graph from a declared itinerary (host names or agent
+    /// URIs — `tacoma://h2/vm_script` contributes `h2`) and the chain's
+    /// flow summaries.
+    pub fn new(itinerary: &[String], chain: &[&FlowSummary]) -> Self {
+        let declared = itinerary.iter().map(|e| host_of(e)).collect();
+        let targets = chain.iter().flat_map(|s| s.constant_ship_hosts()).collect();
+        ItineraryGraph { declared, targets }
+    }
+
+    /// Every host the journey may touch: declared hops plus constant
+    /// targets.
+    pub fn hosts(&self) -> BTreeSet<String> {
+        let mut all: BTreeSet<String> = self.declared.iter().cloned().collect();
+        all.extend(self.targets.iter().cloned());
+        all
+    }
+
+    /// The set of hosts the declared itinerary covers (the grant TAX005
+    /// checks ship targets against). Empty when nothing was declared.
+    pub fn covered(&self) -> BTreeSet<String> {
+        self.declared.iter().cloned().collect()
+    }
+
+    /// Whether the journey revisits a host: a declared hop repeats, or a
+    /// constant target points back at a declared hop.
+    pub fn has_cycle(&self) -> bool {
+        let declared: BTreeSet<&String> = self.declared.iter().collect();
+        declared.len() < self.declared.len() || self.targets.iter().any(|t| declared.contains(t))
+    }
+}
+
+impl fmt::Display for ItineraryGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.declared.is_empty() {
+            write!(f, "(no declared itinerary)")?;
+        } else {
+            write!(f, "{}", self.declared.join(" -> "))?;
+        }
+        if !self.targets.is_empty() {
+            let t: Vec<&str> = self.targets.iter().map(String::as_str).collect();
+            write!(f, " | constant targets: {}", t.join(" "))?;
+        }
+        if self.has_cycle() {
+            write!(f, " | cyclic")?;
+        }
+        Ok(())
+    }
+}
+
+/// The host named by an itinerary entry: a full agent URI contributes its
+/// host part, anything else is taken as a bare host name.
+fn host_of(entry: &str) -> String {
+    match entry.parse::<AgentUri>() {
+        Ok(uri) => uri.host().unwrap_or(entry).to_owned(),
+        Err(_) => entry.to_owned(),
+    }
+}
+
+fn diag(code: LintCode, site: &FlowSite, message: String) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity: code.severity(),
+        function: site.function.clone(),
+        offset: site.offset,
+        byte_offset: site.byte_offset,
+        message,
+    }
+}
+
+/// Joins a wrapper chain's flow summaries over a declared itinerary and
+/// emits the whole-journey lints TAX005–TAX008.
+///
+/// `chain` is outermost wrapper first; a single-element chain is a plain
+/// unwrapped agent. `itinerary` entries are host names or agent URIs;
+/// an empty itinerary means "nothing declared", which disables TAX005
+/// (there is no grant to check against) but not the others. Findings are
+/// sorted by function, offset, then code, like [`super::lint::lint`].
+pub fn flow_lints(chain: &[&FlowSummary], itinerary: &[String]) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    let graph = ItineraryGraph::new(itinerary, chain);
+    let covered = graph.covered();
+
+    // Tainted data aboard: any folder some layer writes.
+    let tainted: BTreeSet<&String> = chain.iter().flat_map(|s| s.writes.keys()).collect();
+
+    // TAX005 — a constant ship target outside the declared itinerary
+    // while written folders are aboard. Only meaningful when an
+    // itinerary was declared and there is something to leak.
+    if !covered.is_empty() && !tainted.is_empty() {
+        let example = tainted.iter().next().expect("non-empty");
+        for summary in chain {
+            for ship in &summary.ships {
+                let Some(host) = ship.target_host() else {
+                    continue;
+                };
+                if !covered.contains(&host) {
+                    out.push(diag(
+                        LintCode::TaintedEscape,
+                        &ship.site,
+                        format!(
+                            "{}(\"{}\") ships written folder \"{example}\" (and {} more) to host \"{host}\" outside the declared itinerary",
+                            ship.builtin.name(),
+                            ship.target.as_deref().unwrap_or("?"),
+                            tainted.len().saturating_sub(1),
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+
+    // TAX006 — a wrapper reaching further than what it wraps: for each
+    // adjacent (outer, inner) pair, every outer constant travel host must
+    // be one the inner agent declares or the itinerary covers, and a
+    // wrapper must not introduce dynamic travel over a static agent.
+    for pair in chain.windows(2) {
+        let (outer, inner) = (pair[0], pair[1]);
+        let inner_hosts = inner.constant_ship_hosts();
+        for ship in &outer.ships {
+            if !ship.is_travel() {
+                continue;
+            }
+            match ship.target_host() {
+                Some(host) if !inner_hosts.contains(&host) && !covered.contains(&host) => {
+                    out.push(diag(
+                        LintCode::CapabilityWidening,
+                        &ship.site,
+                        format!(
+                            "wrapper widens the wrapped agent's manifest: {}(\"{}\") reaches host \"{host}\" the inner agent never declares",
+                            ship.builtin.name(),
+                            ship.target.as_deref().unwrap_or("?"),
+                        ),
+                    ));
+                }
+                None if ship.target.is_none() && !inner.dynamic_travel() => {
+                    out.push(diag(
+                        LintCode::CapabilityWidening,
+                        &ship.site,
+                        format!(
+                            "wrapper widens the wrapped agent's manifest: dynamic {}() over an agent with only static targets",
+                            ship.builtin.name(),
+                        ),
+                    ));
+                }
+                _ => {}
+            }
+        }
+    }
+
+    // TAX007 — growth loops found per program: the hop graph has a cycle
+    // (the travel loop itself) and the briefcase grows on every trip.
+    for summary in chain {
+        for g in &summary.growth_loops {
+            out.push(diag(
+                LintCode::UnboundedGrowth,
+                &g.site,
+                format!(
+                    "folder \"{}\" grows on every trip around a travel loop that never drains the briefcase — unbounded along the hop cycle",
+                    g.folder,
+                ),
+            ));
+        }
+    }
+
+    // TAX008 — dead folders: written somewhere in the chain but read by
+    // no layer, and the chain never ships the briefcase at all (a mobile
+    // or communicating agent ships everything aboard). Dynamic folder
+    // names make any read possible, so they suppress the lint.
+    let ships_anywhere = chain.iter().any(|s| s.ships_anywhere());
+    let dynamic = chain.iter().any(|s| s.dynamic_folders);
+    if !ships_anywhere && !dynamic {
+        let read: BTreeSet<&String> = chain.iter().flat_map(|s| s.reads.keys()).collect();
+        for summary in chain {
+            for (folder, site) in &summary.writes {
+                if read.contains(folder) || is_input_folder(folder) || folder == folders::STATUS {
+                    continue;
+                }
+                out.push(diag(
+                    LintCode::DeadFolder,
+                    site,
+                    format!(
+                        "folder \"{folder}\" is written but never read nor shipped on any path"
+                    ),
+                ));
+            }
+        }
+    }
+
+    out.sort_by(|a, b| (&a.function, a.offset, a.code).cmp(&(&b.function, b.offset, b.code)));
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    fn flow_of(src: &str) -> FlowSummary {
+        let p = compile_source(src).unwrap();
+        super::super::verify(&p).expect("test programs must verify");
+        flow(&p)
+    }
+
+    fn codes(diags: &[Diagnostic]) -> Vec<&'static str> {
+        diags.iter().map(|d| d.code.as_str()).collect()
+    }
+
+    fn hosts(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| (*s).to_owned()).collect()
+    }
+
+    #[test]
+    fn summary_collects_sites() {
+        let s = flow_of(
+            r#"
+            fn main() {
+                bc_append("RESULTS", host_name());
+                let n = bc_len("RESULTS");
+                bc_remove("HOSTS", 0);
+                if (go("tacoma://h2/vm_script")) { display("fail"); }
+                exit(0);
+            }
+            "#,
+        );
+        assert!(s.writes.contains_key("RESULTS"));
+        assert!(s.reads.contains_key("RESULTS"));
+        assert!(s.drains.contains_key("HOSTS"));
+        assert_eq!(s.ships.len(), 1);
+        assert_eq!(s.constant_ship_hosts(), BTreeSet::from(["h2".to_owned()]));
+        assert!(!s.dynamic_travel());
+        let site = &s.writes["RESULTS"];
+        assert_eq!(site.function, "main");
+        assert!(site.byte_offset.is_some());
+    }
+
+    #[test]
+    fn tax005_tainted_escape() {
+        let s = flow_of(
+            r#"
+            fn main() {
+                bc_append("SECRETS", host_name());
+                if (go("tacoma://exfil/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        let diags = flow_lints(&[&s], &hosts(&["home", "server"]));
+        assert_eq!(codes(&diags), ["TAX005"], "{diags:?}");
+        assert!(diags[0].message.contains("exfil"));
+        assert!(diags[0].message.contains("SECRETS"));
+    }
+
+    #[test]
+    fn tax005_quiet_when_itinerary_covers_target() {
+        let s = flow_of(
+            r#"
+            fn main() {
+                bc_append("RESULTS", host_name());
+                if (go("tacoma://server/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        assert!(flow_lints(&[&s], &hosts(&["home", "server"])).is_empty());
+        // No declared itinerary: nothing to check against.
+        assert!(flow_lints(&[&s], &[]).is_empty());
+    }
+
+    #[test]
+    fn tax005_quiet_without_tainted_data() {
+        let s = flow_of(r#"fn main() { go("tacoma://elsewhere/vm_script"); exit(0); }"#);
+        assert!(flow_lints(&[&s], &hosts(&["home"])).is_empty());
+    }
+
+    #[test]
+    fn tax006_wrapper_widens() {
+        let inner =
+            flow_of(r#"fn main() { if (go("tacoma://server/vm_script")) { exit(1); } exit(0); }"#);
+        let outer = flow_of(r#"fn main() { spawn("tacoma://mirror/vm_script"); exit(0); }"#);
+        let diags = flow_lints(&[&outer, &inner], &hosts(&["home", "server"]));
+        assert_eq!(codes(&diags), ["TAX006"], "{diags:?}");
+        assert!(diags[0].message.contains("mirror"));
+    }
+
+    #[test]
+    fn tax006_quiet_when_wrapper_stays_within_manifest() {
+        let inner =
+            flow_of(r#"fn main() { if (go("tacoma://server/vm_script")) { exit(1); } exit(0); }"#);
+        let outer =
+            flow_of(r#"fn main() { if (go("tacoma://server/vm_script")) { exit(1); } exit(0); }"#);
+        assert!(flow_lints(&[&outer, &inner], &hosts(&["home", "server"])).is_empty());
+    }
+
+    #[test]
+    fn tax006_dynamic_over_static_widens() {
+        let inner =
+            flow_of(r#"fn main() { if (go("tacoma://server/vm_script")) { exit(1); } exit(0); }"#);
+        let outer = flow_of(
+            r#"
+            fn main() {
+                let e = bc_remove("HOSTS", 0);
+                if (e == nil) { exit(0); }
+                if (go(e)) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        let diags = flow_lints(&[&outer, &inner], &hosts(&["home", "server"]));
+        assert_eq!(codes(&diags), ["TAX006"], "{diags:?}");
+    }
+
+    #[test]
+    fn tax007_travel_loop_that_never_drains() {
+        let s = flow_of(
+            r#"
+            fn main() {
+                while (1) {
+                    bc_append("TRACE", host_name());
+                    if (go("tacoma://hub/vm_script")) { exit(1); }
+                }
+            }
+            "#,
+        );
+        let diags = flow_lints(&[&s], &[]);
+        assert_eq!(codes(&diags), ["TAX007"], "{diags:?}");
+        assert!(diags[0].message.contains("TRACE"));
+    }
+
+    #[test]
+    fn tax007_quiet_for_figure4_draining_loop() {
+        // The canonical agent drains HOSTS while it travels: bounded.
+        let s = flow_of(
+            r#"
+            fn main() {
+                while (1) {
+                    bc_append("TRACE", host_name());
+                    let e = bc_remove("HOSTS", 0);
+                    if (e == nil) { exit(0); }
+                    if (go(e)) { display("Unable to reach " + e); }
+                }
+            }
+            "#,
+        );
+        assert!(flow_lints(&[&s], &[]).is_empty());
+    }
+
+    #[test]
+    fn tax008_dead_folder() {
+        let s = flow_of(
+            r#"
+            fn main() {
+                bc_set("SCRATCH", 1);
+                display("done");
+                exit(0);
+            }
+            "#,
+        );
+        let diags = flow_lints(&[&s], &[]);
+        assert_eq!(codes(&diags), ["TAX008"], "{diags:?}");
+        assert!(diags[0].message.contains("SCRATCH"));
+    }
+
+    #[test]
+    fn tax008_quiet_when_shipped_or_read() {
+        // Mobile: the final go ships every folder aboard.
+        let mobile = flow_of(
+            r#"
+            fn main() {
+                bc_set("SCRATCH", 1);
+                if (go("tacoma://home/vm_script")) { exit(1); }
+                exit(0);
+            }
+            "#,
+        );
+        assert!(flow_lints(&[&mobile, &mobile], &[]).is_empty());
+        // Read by another layer of the chain.
+        let writer = flow_of(r#"fn main() { bc_set("SCRATCH", 1); exit(0); }"#);
+        let reader = flow_of(r#"fn main() { display(bc_get("SCRATCH", 0)); exit(0); }"#);
+        assert!(flow_lints(&[&reader, &writer], &[]).is_empty());
+        // STATUS is a conventional output folder.
+        let status = flow_of(r#"fn main() { bc_set("STATUS", "ok"); exit(0); }"#);
+        assert!(flow_lints(&[&status], &[]).is_empty());
+    }
+
+    #[test]
+    fn itinerary_graph_hosts_and_cycles() {
+        let s = flow_of(r#"fn main() { go("tacoma://h1/vm_script"); exit(0); }"#);
+        let linear = ItineraryGraph::new(&hosts(&["h1", "tacoma://h2/vm_script"]), &[]);
+        assert_eq!(linear.declared, ["h1", "h2"]);
+        assert!(!linear.has_cycle());
+
+        let looped = ItineraryGraph::new(&hosts(&["h1", "h2", "h1"]), &[]);
+        assert!(looped.has_cycle());
+
+        // A constant target pointing back at a declared hop is a cycle.
+        let back = ItineraryGraph::new(&hosts(&["h1", "h2"]), &[&s]);
+        assert!(back.has_cycle());
+        assert!(back.hosts().contains("h2"));
+        assert!(back.to_string().contains("cyclic"), "{back}");
+    }
+}

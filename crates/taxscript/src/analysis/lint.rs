@@ -57,6 +57,19 @@ pub enum LintCode {
     /// TAX004: a loop with no escape edge and no fuel-consuming progress
     /// toward `go`/`exit` — it can only end by exhausting fuel.
     DivergentLoop,
+    /// TAX005: a written (tainted) folder is aboard when the agent ships
+    /// itself to a host outside the declared itinerary — collected data
+    /// escapes to a host the capability grant does not cover.
+    TaintedEscape,
+    /// TAX006: a wrapper's effective manifest exceeds the wrapped agent's
+    /// — the outer layer can reach hosts the inner agent never declared.
+    CapabilityWidening,
+    /// TAX007: a travel loop appends to a folder it never drains, so the
+    /// briefcase grows without bound along a cycle in the hop graph.
+    UnboundedGrowth,
+    /// TAX008: a folder is written but never read nor shipped on any
+    /// path — dead weight in the briefcase.
+    DeadFolder,
 }
 
 impl LintCode {
@@ -67,13 +80,17 @@ impl LintCode {
             LintCode::UnwrittenFolder => "TAX002",
             LintCode::BadTravelTarget => "TAX003",
             LintCode::DivergentLoop => "TAX004",
+            LintCode::TaintedEscape => "TAX005",
+            LintCode::CapabilityWidening => "TAX006",
+            LintCode::UnboundedGrowth => "TAX007",
+            LintCode::DeadFolder => "TAX008",
         }
     }
 
     /// Default severity for this lint.
     pub fn severity(self) -> Severity {
         match self {
-            LintCode::BadTravelTarget => Severity::Error,
+            LintCode::BadTravelTarget | LintCode::TaintedEscape => Severity::Error,
             _ => Severity::Warning,
         }
     }
@@ -96,8 +113,23 @@ pub struct Diagnostic {
     pub function: String,
     /// Instruction offset within that function.
     pub offset: usize,
+    /// Byte offset of the instruction within the encoded program, when
+    /// the finding anchors to a concrete site — lets tools render
+    /// `file:+byte` locations pointing into the wire artifact.
+    pub byte_offset: Option<usize>,
     /// Human-readable explanation.
     pub message: String,
+}
+
+impl Diagnostic {
+    /// Renders the finding's location `file:fn:offset` style (with the
+    /// wire byte offset appended as `+byte` when known), for CLI output.
+    pub fn location(&self, file: &str) -> String {
+        match self.byte_offset {
+            Some(b) => format!("{file}:{}:{}:+{b}", self.function, self.offset),
+            None => format!("{file}:{}:{}", self.function, self.offset),
+        }
+    }
 }
 
 impl fmt::Display for Diagnostic {
@@ -113,7 +145,7 @@ impl fmt::Display for Diagnostic {
 /// Briefcase folders that conventionally arrive *with* the agent, so
 /// reading them without a prior write is normal (the Figure-4 agent reads
 /// `HOSTS` it was launched with).
-fn is_input_folder(name: &str) -> bool {
+pub(super) fn is_input_folder(name: &str) -> bool {
     use tacoma_briefcase::folders;
     matches!(
         name,
@@ -148,7 +180,7 @@ fn literal_truthiness(program: &Program, op: Op) -> Option<bool> {
 /// Terminal instructions (`Return`, `exit(...)`) have none. Conditional
 /// jumps whose condition is a literal keep only the edge that literal
 /// selects.
-fn successors(program: &Program, code: &[Op], pc: usize) -> Vec<usize> {
+pub(super) fn successors(program: &Program, code: &[Op], pc: usize) -> Vec<usize> {
     match code[pc] {
         Op::Return
         | Op::CallBuiltin {
@@ -172,7 +204,7 @@ fn successors(program: &Program, code: &[Op], pc: usize) -> Vec<usize> {
 }
 
 /// Reachable-offset bitmap under the folded CFG.
-fn folded_reachability(program: &Program, code: &[Op]) -> Vec<bool> {
+pub(super) fn folded_reachability(program: &Program, code: &[Op]) -> Vec<bool> {
     let mut reachable = vec![false; code.len()];
     let mut stack = vec![0usize];
     while let Some(pc) = stack.pop() {
@@ -249,6 +281,7 @@ fn lint_unreachable(
                 severity: LintCode::UnreachableCode.severity(),
                 function: proto.name.clone(),
                 offset: lo,
+                byte_offset: program.byte_offset_of(fn_idx, lo),
                 message: format!(
                     "unreachable code ({} instruction{})",
                     hi - lo,
@@ -306,6 +339,7 @@ fn lint_unwritten_folders(program: &Program, caps: &Capabilities, out: &mut Vec<
                     severity: LintCode::UnwrittenFolder.severity(),
                     function: proto.name.clone(),
                     offset: pc,
+                    byte_offset: program.byte_offset_of(fn_idx, pc),
                     message: format!(
                         "folder \"{folder}\" is read but never written and does not arrive with the briefcase"
                     ),
@@ -345,6 +379,7 @@ fn lint_travel_targets(
                 severity: LintCode::BadTravelTarget.severity(),
                 function: proto.name.clone(),
                 offset: pc,
+                byte_offset: program.byte_offset_of(fn_idx, pc),
                 message: format!("{}(\"{target}\") can never succeed: {e}", builtin.name()),
             });
         }
@@ -407,6 +442,7 @@ fn lint_divergent_loops(
                 severity: LintCode::DivergentLoop.severity(),
                 function: proto.name.clone(),
                 offset: t,
+                byte_offset: program.byte_offset_of(fn_idx, t),
                 message: "loop can only end by exhausting fuel: no exit path and no progress toward go/exit".into(),
             });
         }

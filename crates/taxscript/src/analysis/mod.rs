@@ -1,6 +1,6 @@
 //! Static analysis over compiled TaxScript programs.
 //!
-//! Three passes, run in order by [`analyze`]:
+//! Four passes, run in order by [`analyze`]:
 //!
 //! 1. **Verification** ([`verify`]) — abstract interpretation proving the
 //!    bytecode cannot fault the VM: stack depths are consistent at every
@@ -13,30 +13,48 @@
 //!    and the briefcase folders it reads and writes. This manifest is
 //!    what a firewall compares against the sender's ACL grant before
 //!    admitting an arriving agent (the paper's §3.2 reference monitor).
-//! 3. **Linting** ([`lint`]) — structured [`Diagnostic`]s for suspicious
+//! 3. **Flow analysis** ([`flow`]) — the folder-level taint/flow summary:
+//!    which briefcase folders the agent reads, writes, drains, and ships,
+//!    joinable across wrapper chains and declared itineraries by
+//!    [`flow_lints`] (TAX005–TAX008).
+//! 4. **Linting** ([`lint`]) — structured [`Diagnostic`]s for suspicious
 //!    but runnable patterns: unreachable code, folders read but never
 //!    written, travel targets that can never parse, and loops that make
 //!    no progress toward `go`/`exit`.
 //!
+//! The whole pipeline is deterministic in the program bytes, so
+//! [`AnalysisCache`] memoizes it by content hash — the firewall and the
+//! VM share one cache and an agent is analyzed once per process, not
+//! once per hop.
+//!
 //! See `docs/analysis.md` for the full catalogue and the admission flow.
 
+mod cache;
 mod capabilities;
+mod flow;
 mod lint;
 mod verifier;
 
+pub use cache::{
+    AnalysisCache, AnalysisFailure, CacheResult, CacheStats, VerifiedScript, DEFAULT_CAPACITY,
+};
 pub use capabilities::{capabilities, Capabilities};
+pub use flow::{flow, flow_lints, FlowSite, FlowSummary, GrowthLoop, ItineraryGraph, ShipSite};
 pub use lint::{lint, Diagnostic, LintCode, Severity};
 pub use verifier::{verify, FnFacts, Site, VerifyError, VerifySummary};
 
 use crate::Program;
 
-/// The combined result of all three analysis passes.
+/// The combined result of all analysis passes.
 #[derive(Debug, Clone, PartialEq)]
 pub struct AnalysisReport {
     /// The verifier's proof object.
     pub verified: VerifySummary,
     /// The capability manifest.
     pub capabilities: Capabilities,
+    /// The folder-level flow summary, joinable across wrapper chains
+    /// and itineraries (see [`flow_lints`]).
+    pub flow: FlowSummary,
     /// Lint findings, sorted by function, offset, then code.
     pub diagnostics: Vec<Diagnostic>,
 }
@@ -60,10 +78,19 @@ impl AnalysisReport {
 pub fn analyze(program: &Program) -> Result<AnalysisReport, VerifyError> {
     let verified = verify(program)?;
     let capabilities = capabilities(program);
-    let diagnostics = lint(program);
+    let flow = flow::flow(program);
+    let mut diagnostics = lint(program);
+    // Single-program flow lints: no chain, no declared itinerary.
+    // TAX005/TAX006 need that journey context and stay quiet here;
+    // TAX007/TAX008 fire standalone.
+    diagnostics.extend(flow_lints(&[&flow], &[]));
+    diagnostics
+        .sort_by(|a, b| (&a.function, a.offset, a.code).cmp(&(&b.function, b.offset, b.code)));
+    diagnostics.dedup();
     Ok(AnalysisReport {
         verified,
         capabilities,
+        flow,
         diagnostics,
     })
 }

@@ -70,6 +70,36 @@ impl Program {
         self.functions.iter().map(|f| f.code.len()).sum()
     }
 
+    /// The byte offset of instruction `pc` of function `fn_idx` within
+    /// [`Program::encode`]'s output, so diagnostics can point into the
+    /// wire artifact (`file:+byte` style). `None` if either index is out
+    /// of range.
+    pub fn byte_offset_of(&self, fn_idx: usize, pc: usize) -> Option<usize> {
+        let proto = self.functions.get(fn_idx)?;
+        if pc >= proto.code.len() {
+            return None;
+        }
+        // Header: magic + version + constant pool.
+        let mut at = PROGRAM_MAGIC.len() + 1 + 4;
+        for c in &self.constants {
+            at += match c {
+                Const::Int(_) => 1 + 8,
+                Const::Str(s) => 1 + 4 + s.len(),
+            };
+        }
+        // Function table prefix + whole functions before `fn_idx`.
+        at += 2 + 2;
+        for f in &self.functions[..fn_idx] {
+            at += fn_header_len(f) + f.code.iter().map(|&op| encoded_op_len(op)).sum::<usize>();
+        }
+        at += fn_header_len(proto);
+        at += proto.code[..pc]
+            .iter()
+            .map(|&op| encoded_op_len(op))
+            .sum::<usize>();
+        Some(at)
+    }
+
     /// Encodes the program to its briefcase wire format.
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
@@ -250,6 +280,23 @@ impl fmt::Display for Program {
 
 fn corrupt(detail: &'static str) -> RuntimeError {
     RuntimeError::CorruptProgram { detail }
+}
+
+/// Encoded size of a function header (name, arity, locals, code length).
+fn fn_header_len(f: &FnProto) -> usize {
+    2 + f.name.len() + 1 + 2 + 4
+}
+
+/// Encoded size of one instruction; must mirror [`encode_op`] exactly
+/// (asserted by the `byte_offsets_match_encoding` test).
+fn encoded_op_len(op: Op) -> usize {
+    match op {
+        Op::Const(_) | Op::Load(_) | Op::Store(_) | Op::MakeList(_) => 1 + 2,
+        Op::Jump(_) | Op::JumpIfFalse(_) | Op::JumpIfTrue(_) => 1 + 4,
+        Op::Call { .. } => 1 + 2 + 1,
+        Op::CallBuiltin { .. } => 1 + 1 + 1,
+        _ => 1,
+    }
 }
 
 fn encode_op(op: Op, out: &mut Vec<u8>) {
@@ -467,5 +514,28 @@ mod tests {
         let shown = sample().to_string();
         assert!(shown.contains("fn main"));
         assert!(shown.contains("fn helper"));
+    }
+
+    #[test]
+    fn byte_offsets_match_encoding() {
+        // Every (fn, pc) offset must land exactly where encode_op wrote
+        // that instruction: re-encoding the suffix from the reported
+        // offset reproduces the wire tail.
+        let p = sample();
+        let wire = p.encode();
+        for (fn_idx, proto) in p.functions().iter().enumerate() {
+            for pc in 0..proto.code.len() {
+                let at = p.byte_offset_of(fn_idx, pc).expect("in range");
+                let mut expected = Vec::new();
+                encode_op(proto.code[pc], &mut expected);
+                assert_eq!(
+                    &wire[at..at + expected.len()],
+                    &expected[..],
+                    "fn {fn_idx} pc {pc} offset {at}"
+                );
+            }
+        }
+        assert_eq!(p.byte_offset_of(0, usize::MAX), None);
+        assert_eq!(p.byte_offset_of(usize::MAX, 0), None);
     }
 }

@@ -3,7 +3,7 @@
 //! raise, plus a clean control fixture. Every fixture must pass the
 //! bytecode verifier — lints fire on verified programs only.
 
-use tacoma_taxscript::analysis::{analyze, LintCode, Severity};
+use tacoma_taxscript::analysis::{analyze, flow_lints, FlowSummary, LintCode, Severity};
 use tacoma_taxscript::compile_source;
 
 /// Compiles a fixture and returns `(code, function, offset)` triples for
@@ -13,6 +13,24 @@ fn diagnostics_of(src: &str) -> Vec<(LintCode, String, usize)> {
     let report = analyze(&program).expect("fixture verifies");
     report
         .diagnostics
+        .iter()
+        .map(|d| (d.code, d.function.clone(), d.offset))
+        .collect()
+}
+
+/// Analyzes a wrapper chain (outermost first) and joins the flows over a
+/// declared itinerary, as `taxsh audit` and firewall admission do.
+fn audit_of(chain: &[&str], hosts: &[&str]) -> Vec<(LintCode, String, usize)> {
+    let reports: Vec<_> = chain
+        .iter()
+        .map(|src| {
+            let program = compile_source(src).expect("fixture compiles");
+            analyze(&program).expect("fixture verifies")
+        })
+        .collect();
+    let flows: Vec<&FlowSummary> = reports.iter().map(|r| &r.flow).collect();
+    let itinerary: Vec<String> = hosts.iter().map(|s| (*s).to_owned()).collect();
+    flow_lints(&flows, &itinerary)
         .iter()
         .map(|d| (d.code, d.function.clone(), d.offset))
         .collect()
@@ -67,6 +85,62 @@ fn tax004_divergent_loop() {
 }
 
 #[test]
+fn tax005_tainted_escape() {
+    // The flow lints need journey context: plain analyze() stays quiet,
+    // the audited chain against a declared itinerary fires TAX005.
+    let src = include_str!("fixtures/lints/tax005_escape.tax");
+    assert_eq!(diagnostics_of(src), []);
+    assert_eq!(
+        audit_of(&[src], &["home", "server"]),
+        [(LintCode::TaintedEscape, "main".to_owned(), 5)]
+    );
+    // TAX005 is error severity: it gates firewall admission.
+    assert_eq!(LintCode::TaintedEscape.severity(), Severity::Error);
+}
+
+#[test]
+fn tax006_capability_widening() {
+    let outer = include_str!("fixtures/lints/tax006_widening_outer.tax");
+    let inner = include_str!("fixtures/lints/tax006_widening_inner.tax");
+    assert_eq!(
+        audit_of(&[outer, inner], &["home", "server"]),
+        [(LintCode::CapabilityWidening, "main".to_owned(), 1)]
+    );
+    // Swapped, the narrow layer wraps the wide one: no widening.
+    assert_eq!(audit_of(&[inner, outer], &["home", "server", "mirror"]), []);
+}
+
+#[test]
+fn tax007_unbounded_growth() {
+    let src = include_str!("fixtures/lints/tax007_unbounded_growth.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::UnboundedGrowth, "main".to_owned(), 4)]
+    );
+}
+
+#[test]
+fn tax008_dead_folder() {
+    let src = include_str!("fixtures/lints/tax008_dead_folder.tax");
+    assert_eq!(
+        diagnostics_of(src),
+        [(LintCode::DeadFolder, "main".to_owned(), 2)]
+    );
+}
+
+#[test]
+fn webbot_wrapper_stack_audits_clean() {
+    // The rwWebbot(mwWebbot) stack over its declared client/server
+    // itinerary: the acceptance fixture — zero TAX005/TAX006 (and zero
+    // anything else).
+    let rw = include_str!("fixtures/audit/rw_webbot.tax");
+    let mw = include_str!("fixtures/audit/mw_webbot.tax");
+    assert_eq!(diagnostics_of(rw), []);
+    assert_eq!(diagnostics_of(mw), []);
+    assert_eq!(audit_of(&[rw, mw], &["client", "server"]), []);
+}
+
+#[test]
 fn diagnostics_render_with_code_and_site() {
     let src = include_str!("fixtures/lints/tax001_unreachable.tax");
     let program = compile_source(src).unwrap();
@@ -86,6 +160,13 @@ fn every_fixture_passes_the_verifier() {
         include_str!("fixtures/lints/tax002_unwritten_folder.tax"),
         include_str!("fixtures/lints/tax003_bad_travel_target.tax"),
         include_str!("fixtures/lints/tax004_divergent_loop.tax"),
+        include_str!("fixtures/lints/tax005_escape.tax"),
+        include_str!("fixtures/lints/tax006_widening_inner.tax"),
+        include_str!("fixtures/lints/tax006_widening_outer.tax"),
+        include_str!("fixtures/lints/tax007_unbounded_growth.tax"),
+        include_str!("fixtures/lints/tax008_dead_folder.tax"),
+        include_str!("fixtures/audit/mw_webbot.tax"),
+        include_str!("fixtures/audit/rw_webbot.tax"),
     ] {
         let program = compile_source(src).expect("fixture compiles");
         tacoma_taxscript::analysis::verify(&program).expect("fixture verifies");

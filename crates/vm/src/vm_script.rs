@@ -3,6 +3,7 @@
 //! original system.
 
 use tacoma_briefcase::Briefcase;
+use tacoma_taxscript::analysis::{AnalysisCache, AnalysisFailure};
 use tacoma_taxscript::{compile_source, HostHooks, Program, Vm};
 
 use crate::vmtrait::{code_bytes, code_type_of, code_types};
@@ -63,7 +64,9 @@ impl VirtualMachine for VmScript {
         let code = code_bytes(briefcase)?;
         let mut trace = Vec::new();
 
-        let program = match code_type.as_str() {
+        let compiled;
+        let cached;
+        let program: &Program = match code_type.as_str() {
             code_types::TAXSCRIPT_SOURCE => {
                 let source = String::from_utf8(code).map_err(|_| VmError::BadArtifact {
                     detail: "source code is not UTF-8",
@@ -72,23 +75,37 @@ impl VirtualMachine for VmScript {
                     "vm_script: interpreting {} bytes of source",
                     source.len()
                 ));
-                compile_source(&source)?
+                compiled = compile_source(&source)?;
+                &compiled
             }
             code_types::TAXSCRIPT_BYTECODE => {
-                trace.push(format!(
-                    "vm_script: loading {} bytes of bytecode",
-                    code.len()
-                ));
-                let program = Program::decode(&code)?;
                 // Arriving bytecode is untrusted: prove it cannot fault
-                // the VM before running it (verify-before-execute).
-                let proof = tacoma_taxscript::analysis::verify(&program)?;
+                // the VM before running it (verify-before-execute). The
+                // decode + analysis pipeline is memoized by content hash
+                // in the cache shared with firewall admission, so a
+                // known-good script skips both on every hop after the
+                // first.
+                let (result, hit) = AnalysisCache::shared().analyze_bytes(&code);
+                cached = match result {
+                    Ok(verified) => verified,
+                    Err(AnalysisFailure::Verify(e)) => return Err(VmError::Unverifiable(e)),
+                    Err(_) => {
+                        // Re-decode for the precise error; failures are
+                        // rare and decode fails fast.
+                        Program::decode(&code)?;
+                        return Err(VmError::BadArtifact {
+                            detail: "bytecode failed to decode",
+                        });
+                    }
+                };
                 trace.push(format!(
-                    "vm_script: verified {} functions, max stack {}",
-                    program.functions().len(),
-                    proof.max_stack()
+                    "vm_script: {} {} bytes of bytecode (verified {} functions, max stack {})",
+                    if hit { "cache-hit" } else { "loaded" },
+                    code.len(),
+                    cached.program.functions().len(),
+                    cached.report.verified.max_stack()
                 ));
-                program
+                &cached.program
             }
             other => {
                 return Err(VmError::UnsupportedCodeType {
@@ -98,7 +115,7 @@ impl VirtualMachine for VmScript {
             }
         };
 
-        let mut vm = Vm::new(&program, HooksProxy(hooks)).with_fuel(ctx.fuel);
+        let mut vm = Vm::new(program, HooksProxy(hooks)).with_fuel(ctx.fuel);
         let outcome = vm.run(briefcase)?;
         trace.push(format!("vm_script: agent ended with {outcome:?}"));
         Ok(Execution { outcome, trace })
@@ -182,6 +199,25 @@ mod tests {
         bc.append(folders::CODE, program.encode());
         bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
         assert_eq!(run(&mut bc).unwrap().outcome, Outcome::Exit(9));
+    }
+
+    #[test]
+    fn bytecode_cache_hit_on_second_run() {
+        let program = compile_source("fn main() { exit(3); }").unwrap();
+        let load = || {
+            let mut bc = Briefcase::new();
+            bc.append(folders::CODE, program.encode());
+            bc.set_single(folders::CODE_TYPE, code_types::TAXSCRIPT_BYTECODE);
+            run(&mut bc)
+        };
+        assert_eq!(load().unwrap().outcome, Outcome::Exit(3));
+        let warm = load().unwrap();
+        assert_eq!(warm.outcome, Outcome::Exit(3));
+        assert!(
+            warm.trace.iter().any(|t| t.contains("cache-hit")),
+            "{:?}",
+            warm.trace
+        );
     }
 
     #[test]

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_5.json — the parallel-fleet scheduler benchmark plus
-# the briefcase-migration (CoW vs legacy) comparison.
+# Regenerates BENCH_6.json — the parallel-fleet scheduler benchmark plus
+# the briefcase-migration (CoW vs legacy) and firewall-admission
+# (cold vs warm verified-script cache) comparisons.
 #
-#   scripts/bench.sh           full run, writes BENCH_5.json at the repo root
+#   scripts/bench.sh           full run, writes BENCH_6.json at the repo root
 #   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
 #                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
@@ -14,8 +15,8 @@ if [ "${1:-}" = "--smoke" ]; then
     echo "==> bench (smoke): exp_e9_parallel_fleet --check"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke --check
 else
-    echo "==> bench: exp_e9_parallel_fleet -> BENCH_5.json"
+    echo "==> bench: exp_e9_parallel_fleet -> BENCH_6.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
-        > BENCH_5.json
-    cat BENCH_5.json
+        > BENCH_6.json
+    cat BENCH_6.json
 fi

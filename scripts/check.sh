@@ -8,7 +8,14 @@ echo "==> cargo fmt --check"
 cargo fmt --all -- --check
 
 echo "==> cargo clippy (deny warnings)"
-cargo clippy --all-targets -- -D warnings
+cargo clippy --all-targets --all-features -- -D warnings
+
+if command -v cargo-deny >/dev/null 2>&1; then
+    echo "==> cargo deny (advisories, bans)"
+    cargo deny check advisories bans
+else
+    echo "==> cargo deny: not installed, skipping (cargo install cargo-deny)"
+fi
 
 echo "==> cargo test"
 cargo test -q

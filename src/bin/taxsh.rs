@@ -3,6 +3,7 @@
 //! ```text
 //! taxsh run <file.tax> [host1,host2,...]   run a TaxScript agent across hosts
 //! taxsh check <file.tax>                   verify + lint without running
+//! taxsh audit <outer.tax> [inner.tax ...]  whole-itinerary flow analysis
 //! taxsh disasm <file.tax>                  compile and summarize a program
 //! taxsh uri <agent-uri>                    parse a Figure-2 URI and explain it
 //! taxsh scan [pages] [bytes]               the §5 case study, both ways
@@ -17,6 +18,7 @@ use std::time::{SystemTime, UNIX_EPOCH};
 
 use tacoma::core::{AgentSpec, SystemBuilder};
 use tacoma::security::Principal;
+use tacoma::taxscript::analysis;
 use tacoma::taxscript::compile_source;
 use tacoma::transport::{ConnectConfig, Connection};
 use tacoma::uri::{AgentUri, HostPort};
@@ -27,18 +29,22 @@ fn main() -> ExitCode {
     let result = match args.first().map(String::as_str) {
         Some("run") => cmd_run(&args[1..]),
         Some("check") => cmd_check(&args[1..]),
+        Some("audit") => cmd_audit(&args[1..]),
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("uri") => cmd_uri(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
         Some("send") => cmd_send(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
-            eprintln!("usage: taxsh <run|check|disasm|uri|scan|send|stats> ...");
+            eprintln!("usage: taxsh <run|check|audit|disasm|uri|scan|send|stats> ...");
             eprintln!(
                 "  run <file.tax> [h1,h2,...]  launch the script on h1, itinerary over the rest"
             );
             eprintln!(
                 "  check <file.tax>            verify bytecode + capability manifest + lints"
+            );
+            eprintln!(
+                "  audit <outer.tax> [inner.tax ...] [--hosts h1,h2]  whole-itinerary flow analysis"
             );
             eprintln!("  disasm <file.tax>           compile and summarize");
             eprintln!("  uri <agent-uri>             parse and explain");
@@ -105,7 +111,13 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
     );
     print!("{}", report.capabilities);
     for d in &report.diagnostics {
-        println!("{path}: {d}");
+        println!(
+            "{}: {}[{}] {}",
+            d.location(path),
+            d.severity,
+            d.code,
+            d.message
+        );
     }
     if report.diagnostics.is_empty() {
         println!("{path}: no diagnostics");
@@ -116,6 +128,81 @@ fn cmd_check(args: &[String]) -> Result<(), String> {
             report.diagnostics.len()
         ))
     }
+}
+
+/// `taxsh audit` — the whole-itinerary view: analyzes a wrapper chain
+/// (outermost script first), joins the folder flows across all layers and
+/// the declared itinerary, and reports the TAX005–TAX008 findings a
+/// firewall's admission gate reasons about. Exits nonzero when any
+/// finding fires, like `check`.
+fn cmd_audit(args: &[String]) -> Result<(), String> {
+    let (hosts, files) = take_flag(args, "--hosts");
+    if files.is_empty() {
+        return Err("audit: need at least one script file (outermost wrapper first)".into());
+    }
+    let itinerary: Vec<String> = hosts
+        .as_deref()
+        .map(|s| s.split(',').map(str::to_owned).collect())
+        .unwrap_or_default();
+
+    let mut chain = Vec::new();
+    for path in &files {
+        let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+        let program = compile_source(&source).map_err(|e| format!("{path}: {e}"))?;
+        let report = tacoma::taxscript::analyze(&program).map_err(|e| format!("{path}: {e}"))?;
+        println!(
+            "{path}: verified ({} instructions{})",
+            program.instruction_count(),
+            if report.flow.dynamic_travel() {
+                ", dynamic travel"
+            } else {
+                ""
+            }
+        );
+        chain.push((path.clone(), report));
+    }
+
+    let flows: Vec<&analysis::FlowSummary> = chain.iter().map(|(_, r)| &r.flow).collect();
+    let graph = analysis::ItineraryGraph::new(&itinerary, &flows);
+    println!("itinerary: {graph}");
+
+    let findings = analysis::flow_lints(&flows, &itinerary);
+    for d in &findings {
+        // A chain-level finding anchors to a site in one layer's flow
+        // summary; attribute it to that layer's file so the operator can
+        // jump straight there.
+        let file = chain
+            .iter()
+            .find(|(_, r)| anchors_in(&r.flow, d))
+            .map_or(files[0].as_str(), |(p, _)| p.as_str());
+        println!(
+            "{}: {}[{}] {}",
+            d.location(file),
+            d.severity,
+            d.code,
+            d.message
+        );
+    }
+    if findings.is_empty() {
+        println!("audit: no findings across {} layer(s)", chain.len());
+        Ok(())
+    } else {
+        Err(format!("audit: {} finding(s)", findings.len()))
+    }
+}
+
+/// Whether `d`'s site appears in `flow`'s recorded ship, folder, or
+/// growth-loop sites — i.e. the finding anchors in that chain layer.
+fn anchors_in(flow: &analysis::FlowSummary, d: &analysis::Diagnostic) -> bool {
+    let hit = |s: &analysis::FlowSite| s.function == d.function && s.offset == d.offset;
+    flow.ships.iter().any(|s| hit(&s.site))
+        || flow.growth_loops.iter().any(|g| hit(&g.site))
+        || flow
+            .writes
+            .values()
+            .chain(flow.reads.values())
+            .chain(flow.drains.values())
+            .any(hit)
 }
 
 fn cmd_disasm(args: &[String]) -> Result<(), String> {
