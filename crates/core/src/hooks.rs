@@ -170,12 +170,16 @@ impl Kernel {
 
     /// Installs an agent on a host: builds its wrapper stack, registers it
     /// with the firewall, delivers any queued mail, and schedules its run.
+    /// `hop` is the journal dedup key of the migration that delivered the
+    /// agent (None for launches and hosts without a journal); it is
+    /// committed when the scheduled task reaches a terminal outcome.
     pub fn install(
         &self,
         host: &TaxHost,
         vm: String,
         address: AgentAddress,
         briefcase: Briefcase,
+        hop: Option<String>,
     ) -> Result<(), TaxError> {
         let stack = host.core.factory.read().build_stack(&briefcase)?;
         host.core.wrappers.lock().insert(address.clone(), stack);
@@ -193,6 +197,7 @@ impl Kernel {
             vm,
             address,
             briefcase,
+            hop,
         });
         Ok(())
     }
@@ -298,8 +303,9 @@ impl Kernel {
                 vm,
                 address,
                 briefcase,
+                hop,
                 ..
-            } => self.install(host, vm, address, briefcase),
+            } => self.install(host, vm, address, briefcase, hop),
             Decision::Admin { reply, control } => {
                 self.apply_admin(host, reply, control, depth);
                 Ok(())
@@ -376,6 +382,7 @@ impl Kernel {
             agent: exec_address,
             principal: requester.clone(),
             depth: depth + 1,
+            hop: None,
         };
         let mut env = ServiceEnv {
             host: host.name(),
@@ -401,8 +408,14 @@ impl Kernel {
         let status =
             host.with_firewall_read(|fw| fw.registry().get(&task.address).map(|r| r.status));
         match status {
-            None => return, // killed
+            None => {
+                // Killed by admin: the hop must never be replayed — the
+                // kill was a deliberate decision about this agent.
+                abort_hop(host, task.hop.as_deref());
+                return;
+            }
             Some(AgentStatus::Stopped) => {
+                // The hop stays open; the parked task still owns it.
                 host.core.parked.lock().push(task);
                 return;
             }
@@ -416,6 +429,7 @@ impl Kernel {
                 Some(task.address.clone()),
                 EventKind::Rejected(format!("no VM named {:?}", task.vm)),
             );
+            abort_hop(host, task.hop.as_deref());
             host.with_firewall(|fw| fw.unregister_agent(&task.address));
             return;
         };
@@ -428,6 +442,7 @@ impl Kernel {
                     Some(task.address.clone()),
                     EventKind::Rejected(e.to_string()),
                 );
+                abort_hop(host, task.hop.as_deref());
                 return;
             }
         };
@@ -440,6 +455,7 @@ impl Kernel {
             agent: task.address.clone(),
             principal,
             depth: 0,
+            hop: task.hop.clone(),
         };
         let mut briefcase = task.briefcase;
         let result = vm.execute(&mut briefcase, &mut hooks, &ctx);
@@ -476,6 +492,12 @@ impl Kernel {
                 );
             }
         }
+        // Every execution path above is terminal for this instance
+        // (Moved, Finished, Exit, Faulted): the hop's effects happened, so
+        // a crash-replay must never run it again. A departed agent's next
+        // hop already subsumed this key via its journaled parent link;
+        // committing again is a harmless no-op.
+        commit_hop(host, task.hop.as_deref());
         host.with_firewall(|fw| fw.unregister_agent(&task.address));
         host.drop_agent_state(&task.address);
     }
@@ -541,6 +563,11 @@ pub struct KernelHooks {
     pub(crate) agent: AgentAddress,
     pub(crate) principal: Principal,
     pub(crate) depth: u32,
+    /// The journal key of the hop that delivered this agent here, if any;
+    /// chained as the parent of the keys minted for its outgoing
+    /// transfers, so a journaled begin for the next hop proves this one
+    /// progressed past its send.
+    pub(crate) hop: Option<String>,
 }
 
 impl KernelHooks {
@@ -607,13 +634,17 @@ impl KernelHooks {
             });
         }
         let target: AgentUri = target_text.parse()?;
-        let message = Message::transfer(
+        let mut message = Message::transfer(
             self.host.name(),
             self.principal.clone(),
             target,
             travelling,
             spawned,
         );
+        if self.host.journal().is_some() {
+            let key = hop_key(&message, self.hop.as_deref());
+            message = message.with_hop(key, self.hop.clone());
+        }
         let now = self.now();
         let transport = Arc::clone(&self.kernel.transport);
         let decision = self
@@ -625,8 +656,9 @@ impl KernelHooks {
                 vm,
                 address,
                 briefcase,
+                hop,
                 ..
-            } => self.kernel.install(&self.host, vm, address, briefcase),
+            } => self.kernel.install(&self.host, vm, address, briefcase, hop),
             other => Err(TaxError::BadAgentSpec {
                 detail: format!("unexpected transfer decision {other:?}"),
             }),
@@ -638,6 +670,43 @@ impl KernelHooks {
 enum WrapKind {
     Send,
     Move,
+}
+
+/// Content-derived dedup key for a migration. Stable across a
+/// crash-redo of the sending task (VM execution is deterministic, so a
+/// replayed run rebuilds the identical message) yet distinct across
+/// genuinely different sends: the parent key chains every hop to its
+/// predecessor, so even a `go` back to a previously visited host under
+/// the same briefcase hashes differently.
+fn hop_key(message: &Message, parent: Option<&str>) -> String {
+    let mut hasher = tacoma_security::Hasher::new();
+    let to = message.to.to_string();
+    for field in [parent.unwrap_or(""), &message.from_host, &to] {
+        hasher.update(&(field.len() as u64).to_le_bytes());
+        hasher.update(field.as_bytes());
+    }
+    let payload = message.briefcase.wire_bytes();
+    hasher.update(&(payload.len() as u64).to_le_bytes());
+    hasher.update(&payload);
+    hasher.finalize().short()
+}
+
+/// Journals a hop-committed record for a task's terminal outcome. The
+/// record is batched; losing it only risks a deduped replay, never a
+/// duplicate execution, so failures are swallowed.
+fn commit_hop(host: &TaxHost, hop: Option<&str>) {
+    if let (Some(journal), Some(key)) = (host.journal(), hop) {
+        let _ = journal.hop_committed(key);
+    }
+}
+
+/// Journals a hop-aborted record when a delivered agent is deliberately
+/// not run (killed, unrunnable); replaying such a hop would resurrect an
+/// agent the host already decided against.
+fn abort_hop(host: &TaxHost, hop: Option<&str>) {
+    if let (Some(journal), Some(key)) = (host.journal(), hop) {
+        let _ = journal.hop_aborted(key);
+    }
 }
 
 impl HostHooks for KernelHooks {

@@ -22,12 +22,15 @@ use crate::wrapper::{WrapperFactory, WrapperStack};
 use crate::{wrappers, TaxError};
 
 /// One agent execution scheduled on a host: run `address`'s briefcase on
-/// VM `vm`.
+/// VM `vm`. `hop` carries the journal dedup key of the migration that
+/// delivered the agent, if any; the kernel commits it when the task
+/// reaches a terminal outcome.
 #[derive(Debug, Clone)]
 pub(crate) struct AgentTask {
     pub vm: String,
     pub address: AgentAddress,
     pub briefcase: Briefcase,
+    pub hop: Option<String>,
 }
 
 pub(crate) struct HostCore {
@@ -50,6 +53,10 @@ pub(crate) struct HostCore {
     pub log: std::sync::OnceLock<SystemLogHandle>,
     pub allow_unsigned: bool,
     pub fuel: u64,
+    /// The host's durable journal, attached once at daemon boot (hosts in
+    /// pure simulations have none). Shared with the firewall; the kernel
+    /// uses this handle to commit hops when installed tasks finish.
+    pub journal: std::sync::OnceLock<Arc<tacoma_journal::Journal>>,
 }
 
 /// A handle to one simulated machine. Cloning shares the host.
@@ -238,6 +245,19 @@ impl TaxHost {
         self.core.mailboxes.lock().remove(address);
         self.core.wrappers.lock().remove(address);
     }
+
+    /// Attaches the host's durable journal (at most once, at daemon
+    /// boot): both the firewall (parking, shipping) and the kernel (hop
+    /// completion) journal through the same handle.
+    pub fn attach_journal(&self, journal: Arc<tacoma_journal::Journal>) {
+        self.with_firewall(|fw| fw.set_journal(Arc::clone(&journal)));
+        let _ = self.core.journal.set(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<tacoma_journal::Journal>> {
+        self.core.journal.get()
+    }
 }
 
 impl std::fmt::Debug for TaxHost {
@@ -384,6 +404,7 @@ impl HostBuilder {
                 log: std::sync::OnceLock::new(),
                 allow_unsigned: self.allow_unsigned,
                 fuel: self.fuel,
+                journal: std::sync::OnceLock::new(),
             }),
         };
 

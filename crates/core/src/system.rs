@@ -227,6 +227,26 @@ impl Default for SystemBuilder {
     }
 }
 
+/// What a boot-time journal recovery restored (see
+/// [`TaxSystem::recover_journal`] and `docs/journal.md`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoverySummary {
+    /// Intact journal records scanned.
+    pub records_scanned: u64,
+    /// Whether a torn segment tail was truncated away.
+    pub torn_tail: bool,
+    /// Parked messages restored into the pending queue.
+    pub reparked: usize,
+    /// Inbound open hops whose agent was re-installed.
+    pub resumed_inbound: usize,
+    /// Outbound open hops whose frame was re-shipped.
+    pub resumed_outbound: usize,
+    /// Entries that could not be restored this boot (undecodable park,
+    /// unreachable re-ship target, failed checkpoint); they remain in the
+    /// journal for the next attempt.
+    pub failed: usize,
+}
+
 /// A running deployment: hosts, network, and the deterministic scheduler.
 pub struct TaxSystem {
     kernel: Kernel,
@@ -354,8 +374,84 @@ impl TaxSystem {
         let instance = host.with_firewall(tacoma_firewall::Firewall::allocate_instance);
         let address = AgentAddress::new(principal.as_str(), spec.name(), instance);
         self.kernel
-            .install(&host, spec.target_vm(), address.clone(), briefcase)?;
+            .install(&host, spec.target_vm(), address.clone(), briefcase, None)?;
         Ok(address)
+    }
+
+    /// Attaches a durable journal to `host_name` and replays its
+    /// recovered state: parked mail re-enters the pending queue with
+    /// deadlines recomputed against the current clock, inbound open hops
+    /// re-install their agent, and outbound open hops re-ship their
+    /// frame. Finishes with a checkpoint so the next boot replays only
+    /// what this one could not finish.
+    ///
+    /// Call once at daemon boot, after services are installed and before
+    /// the scheduler starts.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    /// Individual hop/park failures are counted in the summary, not
+    /// returned: an unreachable peer must not stop the boot.
+    pub fn recover_journal(
+        &mut self,
+        host_name: &str,
+        journal: &Arc<tacoma_journal::Journal>,
+        replay: &tacoma_journal::Replay,
+    ) -> Result<RecoverySummary, TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        host.attach_journal(Arc::clone(journal));
+        let now = self.kernel.now();
+        let mut summary = RecoverySummary {
+            records_scanned: replay.records_scanned,
+            torn_tail: replay.torn_tail,
+            ..RecoverySummary::default()
+        };
+
+        host.with_firewall(|fw| {
+            fw.stats_mut().journal_replayed = replay.records_scanned;
+            for parked in &replay.parked {
+                match Message::decode_bytes(&parked.wire) {
+                    Ok(message) => {
+                        fw.replay_park(
+                            message,
+                            now,
+                            std::time::Duration::from_nanos(parked.timeout_nanos),
+                            parked.key,
+                        );
+                        summary.reparked += 1;
+                    }
+                    Err(_) => summary.failed += 1,
+                }
+            }
+        });
+
+        let transport = Arc::clone(&self.kernel.transport);
+        for hop in &replay.open_hops {
+            if hop.inbound {
+                // The agent arrived and was acked but never finished its
+                // work here: decode and route the preserved frame as if it
+                // had just landed. `process_wire_bytes` records any
+                // rejection as a host event rather than failing the boot.
+                self.kernel.process_wire_bytes(&host, &hop.wire);
+                summary.resumed_inbound += 1;
+            } else {
+                match host.with_firewall(|fw| fw.replay_ship_hop(hop, &*transport)) {
+                    Ok(()) => summary.resumed_outbound += 1,
+                    // The hop stays open in the journal; the next boot (or
+                    // a redelivery pass) retries. Nothing is lost.
+                    Err(_) => summary.failed += 1,
+                }
+            }
+        }
+
+        if journal.checkpoint().is_err() {
+            // Replay next boot is merely longer, not incorrect.
+            summary.failed += 1;
+        }
+        Ok(summary)
     }
 
     /// Sends an admin command (`list`, `runtime`, `stop`, `resume`,

@@ -1,5 +1,6 @@
 use std::fmt;
 
+use tacoma_journal::JournalError;
 use tacoma_security::SecurityError;
 use tacoma_transport::TransportError;
 use tacoma_uri::AgentUri;
@@ -49,6 +50,14 @@ pub enum FirewallError {
     /// The transport could not deliver an outbound message even after its
     /// retry budget.
     Transport(TransportError),
+    /// A write-ahead journal record could not be made durable; the
+    /// guarded operation (a migration send) was not performed. Carries
+    /// the rendered cause (`JournalError` wraps a non-cloneable
+    /// `io::Error`).
+    Journal {
+        /// Human-readable journal failure.
+        detail: String,
+    },
 }
 
 impl fmt::Display for FirewallError {
@@ -72,6 +81,7 @@ impl fmt::Display for FirewallError {
             }
             FirewallError::CodeRejected(e) => write!(f, "agent code refused: {e}"),
             FirewallError::Transport(e) => write!(f, "transport failed: {e}"),
+            FirewallError::Journal { detail } => write!(f, "journal failed: {detail}"),
         }
     }
 }
@@ -83,6 +93,14 @@ impl std::error::Error for FirewallError {
             FirewallError::CodeRejected(e) => Some(e),
             FirewallError::Transport(e) => Some(e),
             _ => None,
+        }
+    }
+}
+
+impl From<JournalError> for FirewallError {
+    fn from(e: JournalError) -> Self {
+        FirewallError::Journal {
+            detail: e.to_string(),
         }
     }
 }

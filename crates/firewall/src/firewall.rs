@@ -1,9 +1,12 @@
 //! The firewall proper: policy decisions for every mediated message.
 
 use std::collections::BTreeSet;
+use std::sync::Arc;
 use std::time::Duration;
 
+use bytes::Bytes;
 use tacoma_briefcase::{folders, Briefcase};
+use tacoma_journal::{Journal, OpenHop};
 use tacoma_security::Digest;
 use tacoma_security::{Policy, Principal, Rights, SecurityError, Signature, TrustStore};
 use tacoma_simnet::SimTime;
@@ -61,6 +64,10 @@ pub enum Decision {
         briefcase: Briefcase,
         /// Whether this was a `spawn`.
         spawned: bool,
+        /// The hop dedup key the transfer travelled under, if the sender
+        /// journals migrations; the kernel commits it to the journal when
+        /// the installed task finishes.
+        hop: Option<String>,
     },
     /// The firewall handled an admin operation itself; deliver `reply` to
     /// the requester, and apply `control` to a VM if present.
@@ -113,6 +120,7 @@ pub struct Firewall {
     stats: FirewallStats,
     queue_timeout: Duration,
     next_instance: u64,
+    journal: Option<Arc<Journal>>,
 }
 
 impl Firewall {
@@ -133,7 +141,20 @@ impl Firewall {
             stats: FirewallStats::default(),
             queue_timeout: DEFAULT_QUEUE_TIMEOUT,
             next_instance: 1,
+            journal: None,
         }
+    }
+
+    /// Attaches a durable journal: from here on, parked mail and
+    /// migrations are journaled write-ahead, and delivery/completion
+    /// records follow fsync-batched.
+    pub fn set_journal(&mut self, journal: Arc<Journal>) {
+        self.journal = Some(journal);
+    }
+
+    /// The attached journal, if any.
+    pub fn journal(&self) -> Option<&Arc<Journal>> {
+        self.journal.as_ref()
     }
 
     /// The host this firewall guards.
@@ -158,6 +179,9 @@ impl Firewall {
         stats.analysis_cache_evictions = tacoma_taxscript::analysis::AnalysisCache::shared()
             .stats()
             .evictions;
+        if let Some(journal) = &self.journal {
+            stats.absorb_journal(&journal.stats());
+        }
         stats
     }
 
@@ -229,9 +253,21 @@ impl Firewall {
         let (mail, expired) = self
             .pending
             .take_matching(address, self.local_system.as_str(), now);
-        self.stats.expired += expired as u64;
+        self.stats.expired += expired.count as u64;
         self.stats.delivered_local += mail.len() as u64;
-        mail
+        if let Some(journal) = &self.journal {
+            // Delivery records are fsync-batched; losing one to an I/O
+            // error only risks a deduplicated redelivery after a crash,
+            // so failures are not surfaced to the (unrelated) caller.
+            for key in expired
+                .journal_keys
+                .iter()
+                .chain(mail.iter().filter_map(|m| m.journal_key.as_ref()))
+            {
+                let _ = journal.mail_delivered(*key);
+            }
+        }
+        mail.into_iter().map(|m| m.message).collect()
     }
 
     /// Unregisters an agent (it finished, moved away, or was killed).
@@ -241,9 +277,16 @@ impl Firewall {
 
     /// Drops expired queued messages; to be called periodically.
     pub fn expire_pending(&mut self, now: SimTime) -> usize {
-        let n = self.pending.expire(now);
-        self.stats.expired += n as u64;
-        n
+        let expired = self.pending.expire(now);
+        self.stats.expired += expired.count as u64;
+        if let Some(journal) = &self.journal {
+            // An expired park is as terminal as a delivery: replay must
+            // not resurrect mail whose timeout already fired.
+            for key in &expired.journal_keys {
+                let _ = journal.mail_delivered(*key);
+            }
+        }
+        expired.count
     }
 
     /// Number of messages currently queued.
@@ -397,8 +440,32 @@ impl Firewall {
         // briefcase's encode-once cache, not a fresh serialization.
         let mut wire = Vec::with_capacity(message.encoded_len());
         message.encode_into(&mut wire);
+        // Write-ahead: a migration must be durable *before* the first
+        // transmission attempt, so a crash between send and ack resumes
+        // the hop instead of losing the agent. The journaled wire is the
+        // ready-to-send frame (payload bytes from the encode-once cache),
+        // so this is one buffer append, not a re-encode.
+        let hop_key = match (&self.journal, &message.kind, &message.hop) {
+            (Some(journal), MessageKind::AgentTransfer { .. }, Some(key)) => {
+                journal.hop_begin(
+                    key,
+                    message.hop_parent.as_deref(),
+                    false,
+                    host,
+                    &Bytes::copy_from_slice(&wire),
+                )?;
+                Some(key.clone())
+            }
+            _ => None,
+        };
         match transport.send(&self.host, host, port, &wire) {
             Ok(()) => {
+                if let (Some(journal), Some(key)) = (&self.journal, &hop_key) {
+                    // The receiver acked: it now owns the hop. Batched —
+                    // losing this record only re-ships a frame the
+                    // receiver's dedup set will suppress.
+                    let _ = journal.hop_committed(key);
+                }
                 self.stats.frames_sent += 1;
                 self.stats.bytes_sent += wire.len() as u64;
                 Ok(Decision::Forwarded {
@@ -410,18 +477,40 @@ impl Firewall {
                 self.stats.retry_timeouts += 1;
                 match message.kind {
                     // A lost `go`/`spawn` must surface: the sending agent
-                    // is waiting to learn whether it moved.
-                    MessageKind::AgentTransfer { .. } => Err(FirewallError::Transport(e)),
+                    // is waiting to learn whether it moved — and since it
+                    // learns the hop failed, replay must not retry it.
+                    MessageKind::AgentTransfer { .. } => {
+                        if let (Some(journal), Some(key)) = (&self.journal, &hop_key) {
+                            let _ = journal.hop_aborted(key);
+                        }
+                        Err(FirewallError::Transport(e))
+                    }
                     // A plain delivery is parked with a timeout, exactly
                     // like mail for a not-yet-arrived local agent.
                     MessageKind::Deliver => {
-                        self.pending.enqueue(message, now, self.queue_timeout);
+                        let key = self.journal_park(&message, Some(&wire));
+                        self.pending
+                            .enqueue_keyed(message, now, self.queue_timeout, key);
                         self.stats.queued += 1;
                         Ok(Decision::Queued)
                     }
                 }
             }
         }
+    }
+
+    /// Journals a `MailParked` record for a message about to enter the
+    /// pending queue, reusing an already-encoded frame when the caller
+    /// has one. Returns the journal key, or `None` when there is no
+    /// journal or the append failed (the park then simply loses
+    /// durability, not the message).
+    fn journal_park(&self, message: &Message, wire: Option<&[u8]>) -> Option<u64> {
+        let journal = self.journal.as_ref()?;
+        let bytes = match wire {
+            Some(w) => Bytes::copy_from_slice(w),
+            None => Bytes::from(message.encode()),
+        };
+        journal.mail_parked(self.queue_timeout, &bytes).ok()
     }
 
     /// Retries every parked remote-bound message on `transport`,
@@ -436,7 +525,8 @@ impl Firewall {
         let mut delivered = 0;
         let mut reparked = 0;
         let mut wire = Vec::new();
-        for (message, deadline) in parked {
+        for entry in parked {
+            let message = entry.message;
             let (host, port) = match (message.to.host(), message.to.location()) {
                 (Some(h), Some(loc)) => (h.to_owned(), loc.effective_port()),
                 _ => continue, // Cannot happen: take_remote selected on host.
@@ -450,14 +540,80 @@ impl Firewall {
             if transport.send(&self.host, &host, port, &wire).is_ok() {
                 self.stats.frames_sent += 1;
                 self.stats.bytes_sent += wire.len() as u64;
+                if let (Some(journal), Some(key)) = (&self.journal, entry.journal_key) {
+                    let _ = journal.mail_delivered(key);
+                }
                 delivered += 1;
             } else {
                 self.stats.retry_timeouts += 1;
-                self.pending.enqueue_until(message, deadline);
+                // Re-park under the same journal key: the original
+                // MailParked record still covers the message.
+                self.pending
+                    .enqueue_until_keyed(message, entry.deadline, entry.journal_key);
                 reparked += 1;
             }
         }
         (delivered, reparked)
+    }
+
+    /// Re-parks a message recovered from the journal at boot, *without*
+    /// writing a new record (the replayed `MailParked` already covers
+    /// it). The deadline is recomputed from the journal's relative
+    /// timeout against the current clock — absolute deadlines from the
+    /// previous boot's clock would be meaningless here.
+    pub fn replay_park(
+        &mut self,
+        message: Message,
+        now: SimTime,
+        timeout: Duration,
+        journal_key: u64,
+    ) {
+        self.pending
+            .enqueue_keyed(message, now, timeout, Some(journal_key));
+        self.stats.queued += 1;
+        self.stats.journal_reparked += 1;
+    }
+
+    /// Re-ships an open outbound hop recovered from the journal at boot:
+    /// the journaled frame goes out verbatim (the receiver's dedup set
+    /// suppresses it if the original send actually arrived). On success
+    /// the hop is committed; on failure it stays open so a later restart
+    /// retries — unlike a live send, there is no agent waiting to hear
+    /// about the failure, so aborting would lose the agent.
+    ///
+    /// # Errors
+    ///
+    /// [`FirewallError::Transport`] when the send fails (hop left open),
+    /// [`FirewallError::BadWire`] if the journaled frame does not decode.
+    pub fn replay_ship_hop(
+        &mut self,
+        hop: &OpenHop,
+        transport: &dyn tacoma_transport::Transport,
+    ) -> Result<(), FirewallError> {
+        let message = Message::decode_bytes(&hop.wire)?;
+        let (host, port) = match (message.to.host(), message.to.location()) {
+            (Some(h), Some(loc)) => (h.to_owned(), loc.effective_port()),
+            _ => {
+                return Err(FirewallError::BadWire {
+                    detail: format!("journaled hop {} has no remote target", hop.key),
+                })
+            }
+        };
+        match transport.send(&self.host, &host, port, &hop.wire) {
+            Ok(()) => {
+                self.stats.frames_sent += 1;
+                self.stats.bytes_sent += hop.wire.len() as u64;
+                self.stats.journal_resumed += 1;
+                if let Some(journal) = &self.journal {
+                    let _ = journal.hop_committed(&hop.key);
+                }
+                Ok(())
+            }
+            Err(e) => {
+                self.stats.retry_timeouts += 1;
+                Err(FirewallError::Transport(e))
+            }
+        }
     }
 
     /// Decodes wire bytes from a peer firewall and routes the message,
@@ -614,6 +770,7 @@ impl Firewall {
             address,
             briefcase: message.briefcase,
             spawned,
+            hop: message.hop,
         })
     }
 
@@ -643,7 +800,9 @@ impl Firewall {
             // "…queued with a timeout value if the receiving agent is not
             // ready to receive, or has not yet arrived at the site."
             Some((_, _, AgentStatus::Stopped)) | None => {
-                self.pending.enqueue(message, now, self.queue_timeout);
+                let key = self.journal_park(&message, None);
+                self.pending
+                    .enqueue_keyed(message, now, self.queue_timeout, key);
                 self.stats.queued += 1;
                 Ok(Decision::Queued)
             }
@@ -1283,6 +1442,72 @@ mod tests {
         let line = reply.single_str("STATS").unwrap();
         assert!(line.contains("tx-frames=0"), "{line}");
         assert!(line.contains("retry-timeouts=0"), "{line}");
+    }
+
+    #[test]
+    fn journal_records_park_ship_and_hop_lifecycle() {
+        use tacoma_journal::JournalConfig;
+        let dir = std::env::temp_dir().join(format!("taxfw-journal-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, _) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let journal = Arc::new(journal);
+
+        let mut fw = fw();
+        fw.set_journal(Arc::clone(&journal));
+
+        // A park caused by an unreachable peer is journaled write-ahead…
+        let t = FlakyTransport::down();
+        fw.dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        assert_eq!(journal.stats().parked, 1);
+
+        // …and marked delivered when the redelivery sweep ships it.
+        t.restore();
+        let (delivered, _) = fw.redeliver_remote_pending(SimTime::ZERO, &t);
+        assert_eq!(delivered, 1);
+        assert_eq!(journal.stats().parked, 0);
+
+        // A keyed transfer is begun write-ahead and committed on ack.
+        let transfer = |hop: &str| {
+            let mut bc = Briefcase::new();
+            bc.set_single(folders::AGENT_NAME, "webbot");
+            Message::transfer(
+                "h1",
+                Principal::new("alice").unwrap(),
+                "tacoma://h2/vm_script".parse().unwrap(),
+                bc,
+                false,
+            )
+            .with_hop(hop, None)
+        };
+        fw.dispatch_outbound(transfer("k1"), SimTime::ZERO, &t)
+            .unwrap();
+        let js = journal.stats();
+        assert_eq!((js.open_hops, js.committed_hops), (0, 1));
+
+        // An undeliverable transfer's hop is aborted — terminal, so a
+        // replay will never re-run a hop the agent already saw fail.
+        let down = FlakyTransport::down();
+        assert!(fw
+            .dispatch_outbound(transfer("k2"), SimTime::ZERO, &down)
+            .is_err());
+        let js = journal.stats();
+        assert_eq!((js.open_hops, js.committed_hops), (0, 2));
+
+        // Local parks (absent receiver) and expiry are journaled too.
+        fw.set_queue_timeout(Duration::from_millis(10));
+        fw.route_outbound(msg("alice", "alice/nobody"), SimTime::ZERO)
+            .unwrap();
+        assert_eq!(journal.stats().parked, 1);
+        fw.expire_pending(SimTime::ZERO + Duration::from_secs(1));
+        assert_eq!(journal.stats().parked, 0);
+
+        // The stats line mirrors the journal gauges.
+        let stats = fw.stats();
+        assert!(stats.journal_records > 0);
+        assert!(stats.journal_fsyncs > 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

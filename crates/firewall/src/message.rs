@@ -40,6 +40,15 @@ pub struct Message {
     pub to: AgentUri,
     /// The payload.
     pub briefcase: Briefcase,
+    /// The content-derived dedup key of this hop, set on agent transfers
+    /// when the sending kernel journals migrations. Receivers use it for
+    /// effectively-once installation: a retried transfer with an
+    /// already-seen key is acknowledged but not re-executed.
+    pub hop: Option<String>,
+    /// The hop key of the inbound hop whose task issued this transfer, if
+    /// any. Replay treats a parent with a journaled child as committed
+    /// (the child's begin proves the parent progressed past its send).
+    pub hop_parent: Option<String>,
 }
 
 /// Well-known system folders used to frame a [`Message`] on the wire. The
@@ -52,6 +61,8 @@ mod wire {
     pub const FROM_AGENT: &str = "SYS:FROM-AGENT";
     pub const TO: &str = "SYS:TO";
     pub const PAYLOAD: &str = "SYS:PAYLOAD";
+    pub const HOP: &str = "SYS:HOP";
+    pub const HOP_PARENT: &str = "SYS:HOP-PARENT";
 }
 
 impl Message {
@@ -70,6 +81,8 @@ impl Message {
             from_agent,
             to,
             briefcase,
+            hop: None,
+            hop_parent: None,
         }
     }
 
@@ -88,7 +101,19 @@ impl Message {
             from_agent: None,
             to,
             briefcase,
+            hop: None,
+            hop_parent: None,
         }
+    }
+
+    /// Attaches a hop dedup key (and optionally its parent hop) to a
+    /// transfer. Builder-style so the kernel's `go`/`spawn` paths stay a
+    /// single expression.
+    #[must_use]
+    pub fn with_hop(mut self, hop: impl Into<String>, parent: Option<String>) -> Self {
+        self.hop = Some(hop.into());
+        self.hop_parent = parent;
+        self
     }
 
     /// Frames the message as a single briefcase and encodes it for the
@@ -118,6 +143,12 @@ impl Message {
             frame.set_single(wire::FROM_AGENT, agent.to_string());
         }
         frame.set_single(wire::TO, self.to.to_string());
+        if let Some(hop) = &self.hop {
+            frame.set_single(wire::HOP, hop.as_str());
+        }
+        if let Some(parent) = &self.hop_parent {
+            frame.set_single(wire::HOP_PARENT, parent.as_str());
+        }
         // The payload rides as a shared handle to the briefcase's cached
         // encoding: retries and multi-peer fan-out over clones of the same
         // briefcase serialize the payload once, and the frame element is a
@@ -182,6 +213,8 @@ impl Message {
             .map_err(bad)?
             .parse()
             .map_err(bad)?;
+        let hop = frame.single_str(wire::HOP).ok().map(str::to_owned);
+        let hop_parent = frame.single_str(wire::HOP_PARENT).ok().map(str::to_owned);
         let payload = frame.element(wire::PAYLOAD, 0).map_err(bad)?;
         let briefcase = decode_payload(payload)?;
         Ok(Message {
@@ -191,6 +224,8 @@ impl Message {
             from_agent,
             to,
             briefcase,
+            hop,
+            hop_parent,
         })
     }
 
@@ -216,6 +251,12 @@ impl Message {
             len += folder(wire::FROM_AGENT, agent.to_string().len());
         }
         len += folder(wire::TO, self.to.to_string().len());
+        if let Some(hop) = &self.hop {
+            len += folder(wire::HOP, hop.len());
+        }
+        if let Some(parent) = &self.hop_parent {
+            len += folder(wire::HOP_PARENT, parent.len());
+        }
         len += folder(wire::PAYLOAD, self.briefcase.encoded_len());
         len
     }
@@ -281,7 +322,37 @@ mod tests {
             );
             let back = Message::decode(&m.encode()).unwrap();
             assert_eq!(back.kind, MessageKind::AgentTransfer { spawned });
+            assert_eq!(back.hop, None);
+            assert_eq!(back.hop_parent, None);
         }
+    }
+
+    #[test]
+    fn roundtrip_hop_keys() {
+        let rooted = Message::transfer(
+            "h1",
+            Principal::new("p").unwrap(),
+            "tacoma://h2/vm_script".parse().unwrap(),
+            Briefcase::new(),
+            false,
+        )
+        .with_hop("aabbccdd00112233", None);
+        let back = Message::decode(&rooted.encode()).unwrap();
+        assert_eq!(back, rooted);
+        assert_eq!(back.hop.as_deref(), Some("aabbccdd00112233"));
+        assert_eq!(back.hop_parent, None);
+
+        let chained = Message::transfer(
+            "h2",
+            Principal::new("p").unwrap(),
+            "tacoma://h3/vm_script".parse().unwrap(),
+            Briefcase::new(),
+            true,
+        )
+        .with_hop("ffee001122334455", Some("aabbccdd00112233".to_owned()));
+        let back = Message::decode(&chained.encode()).unwrap();
+        assert_eq!(back, chained);
+        assert_eq!(back.hop_parent.as_deref(), Some("aabbccdd00112233"));
     }
 
     #[test]
@@ -355,6 +426,10 @@ mod tests {
                 spawned,
             );
             assert_eq!(t.encoded_len(), t.encode().len());
+
+            // Hop keys participate in the arithmetic too.
+            let keyed = t.with_hop("0123456789abcdef", Some("fedcba9876543210".to_owned()));
+            assert_eq!(keyed.encoded_len(), keyed.encode().len());
         }
     }
 

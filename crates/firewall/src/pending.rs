@@ -3,6 +3,14 @@
 //! "Messages passing through the firewall are queued with a timeout value
 //! if the receiving agent is not ready to receive, or has not yet arrived
 //! at the site" (§3.2).
+//!
+//! Deadlines are absolute [`SimTime`] instants and therefore only valid
+//! within one boot of the scheduler clock (which restarts at zero every
+//! boot). Durable parking must never persist them: the journal stores the
+//! *relative* timeout, and replay re-parks through
+//! [`PendingQueue::enqueue_keyed`] so the deadline is recomputed against
+//! the current clock instead of drifting stale (or, worse, landing in the
+//! apparent past and expiring everything on arrival).
 
 use std::time::Duration;
 
@@ -18,6 +26,41 @@ pub const DEFAULT_QUEUE_TIMEOUT: Duration = Duration::from_secs(30);
 struct PendingEntry {
     message: Message,
     deadline: SimTime,
+    journal_key: Option<u64>,
+}
+
+/// A message removed from the queue, carrying the bookkeeping the
+/// firewall needs to journal its departure: the absolute deadline (so
+/// redelivery failures can re-park without extending the timeout) and the
+/// journal key it was parked under, if the firewall is journaling.
+#[derive(Debug, Clone)]
+pub struct TakenMail {
+    /// The parked message.
+    pub message: Message,
+    /// The absolute deadline the entry was parked until.
+    pub deadline: SimTime,
+    /// The `MailParked` journal key recorded at park time, if any.
+    pub journal_key: Option<u64>,
+}
+
+/// The result of sweeping expired entries out of the queue.
+#[derive(Debug, Clone, Default)]
+pub struct ExpiredMail {
+    /// How many entries expired.
+    pub count: usize,
+    /// Journal keys of the expired entries that were journaled at park
+    /// time; each needs a `MailDelivered` record so replay does not
+    /// resurrect mail whose timeout already fired.
+    pub journal_keys: Vec<u64>,
+}
+
+impl ExpiredMail {
+    fn absorb(&mut self, entry: &PendingEntry) {
+        self.count += 1;
+        if let Some(key) = entry.journal_key {
+            self.journal_keys.push(key);
+        }
+    }
 }
 
 /// Messages waiting for their receiver to arrive or become ready.
@@ -34,26 +77,42 @@ impl PendingQueue {
 
     /// Queues a message until `now + timeout`.
     pub fn enqueue(&mut self, message: Message, now: SimTime, timeout: Duration) {
+        self.enqueue_keyed(message, now, timeout, None);
+    }
+
+    /// Queues a message until `now + timeout`, remembering the journal key
+    /// it was parked under. This is also the replay re-park path: the
+    /// journal stores the relative timeout, so a re-park after restart
+    /// recomputes the deadline against the *current* clock rather than
+    /// trusting an absolute instant from a previous boot.
+    pub fn enqueue_keyed(
+        &mut self,
+        message: Message,
+        now: SimTime,
+        timeout: Duration,
+        journal_key: Option<u64>,
+    ) {
         self.entries.push(PendingEntry {
             message,
             deadline: now + timeout,
+            journal_key,
         });
     }
 
     /// Removes and returns every queued message whose target matches the
     /// newly available agent (same matching rules the live path uses).
-    /// Expired entries encountered on the way are dropped and counted.
+    /// Expired entries encountered on the way are dropped and reported.
     pub fn take_matching(
         &mut self,
         agent: &AgentAddress,
         local_system: &str,
         now: SimTime,
-    ) -> (Vec<Message>, usize) {
+    ) -> (Vec<TakenMail>, ExpiredMail) {
         let mut matched = Vec::new();
-        let mut expired = 0;
+        let mut expired = ExpiredMail::default();
         self.entries.retain(|entry| {
             if entry.deadline < now {
-                expired += 1;
+                expired.absorb(entry);
                 return false;
             }
             let sender = entry.message.from_principal.as_str();
@@ -61,7 +120,11 @@ impl PendingQueue {
                 .matches(&entry.message.to, local_system, sender)
                 .is_match()
             {
-                matched.push(entry.message.clone());
+                matched.push(TakenMail {
+                    message: entry.message.clone(),
+                    deadline: entry.deadline,
+                    journal_key: entry.journal_key,
+                });
                 false
             } else {
                 true
@@ -71,24 +134,45 @@ impl PendingQueue {
     }
 
     /// Queues a message until an absolute `deadline` (used when re-parking
-    /// a message that must keep its original timeout across retries).
+    /// a message that must keep its original timeout across retries
+    /// *within one boot* — across boots, deadlines are recomputed via
+    /// [`PendingQueue::enqueue_keyed`]).
     pub fn enqueue_until(&mut self, message: Message, deadline: SimTime) {
-        self.entries.push(PendingEntry { message, deadline });
+        self.enqueue_until_keyed(message, deadline, None);
+    }
+
+    /// As [`PendingQueue::enqueue_until`], preserving the journal key so a
+    /// redelivery retry does not orphan the original `MailParked` record.
+    pub fn enqueue_until_keyed(
+        &mut self,
+        message: Message,
+        deadline: SimTime,
+        journal_key: Option<u64>,
+    ) {
+        self.entries.push(PendingEntry {
+            message,
+            deadline,
+            journal_key,
+        });
     }
 
     /// Removes and returns every queued message bound for a host other
     /// than `local_host` that has not yet expired, with its deadline.
     /// These are messages the transport could not deliver; a daemon
     /// sweeps them out periodically to retry (re-parking failures via
-    /// [`PendingQueue::enqueue_until`] so the original timeout survives),
-    /// and entries past their deadline stay behind for
-    /// [`PendingQueue::expire`] to count.
-    pub fn take_remote(&mut self, local_host: &str, now: SimTime) -> Vec<(Message, SimTime)> {
+    /// [`PendingQueue::enqueue_until_keyed`] so the original timeout and
+    /// journal key survive), and entries past their deadline stay behind
+    /// for [`PendingQueue::expire`] to count.
+    pub fn take_remote(&mut self, local_host: &str, now: SimTime) -> Vec<TakenMail> {
         let mut taken = Vec::new();
         self.entries.retain(|entry| {
             let remote = entry.message.to.host().is_some_and(|h| h != local_host);
             if remote && entry.deadline >= now {
-                taken.push((entry.message.clone(), entry.deadline));
+                taken.push(TakenMail {
+                    message: entry.message.clone(),
+                    deadline: entry.deadline,
+                    journal_key: entry.journal_key,
+                });
                 false
             } else {
                 true
@@ -97,11 +181,18 @@ impl PendingQueue {
         taken
     }
 
-    /// Drops every entry whose deadline has passed; returns how many.
-    pub fn expire(&mut self, now: SimTime) -> usize {
-        let before = self.entries.len();
-        self.entries.retain(|e| e.deadline >= now);
-        before - self.entries.len()
+    /// Drops every entry whose deadline has passed.
+    pub fn expire(&mut self, now: SimTime) -> ExpiredMail {
+        let mut expired = ExpiredMail::default();
+        self.entries.retain(|entry| {
+            if entry.deadline < now {
+                expired.absorb(entry);
+                false
+            } else {
+                true
+            }
+        });
+        expired
     }
 
     /// Number of messages currently waiting.
@@ -145,7 +236,7 @@ mod tests {
         let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(7));
         let (mail, expired) = q.take_matching(&agent, "system@h1", t(10));
         assert_eq!(mail.len(), 1);
-        assert_eq!(expired, 0);
+        assert_eq!(expired.count, 0);
         assert_eq!(q.len(), 1, "unrelated mail stays queued");
     }
 
@@ -162,7 +253,7 @@ mod tests {
             t(0),
             Duration::from_millis(900),
         );
-        assert_eq!(q.expire(t(500)), 1);
+        assert_eq!(q.expire(t(500)).count, 1);
         assert_eq!(q.len(), 1);
     }
 
@@ -177,7 +268,7 @@ mod tests {
         let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
         let (mail, expired) = q.take_matching(&agent, "system@h1", t(5000));
         assert!(mail.is_empty());
-        assert_eq!(expired, 1);
+        assert_eq!(expired.count, 1);
         assert!(q.is_empty());
     }
 
@@ -202,8 +293,73 @@ mod tests {
         let (mail, _) = q.take_matching(&agent, "system@h1", t(10));
         let seqs: Vec<i64> = mail
             .iter()
-            .map(|m| m.briefcase.single_i64("SEQ").unwrap())
+            .map(|m| m.message.briefcase.single_i64("SEQ").unwrap())
             .collect();
         assert_eq!(seqs, [0, 1, 2]);
+    }
+
+    #[test]
+    fn journal_keys_ride_through_take_and_expire() {
+        let mut q = PendingQueue::new();
+        q.enqueue_keyed(
+            msg("alice/webbot", "alice"),
+            t(0),
+            DEFAULT_QUEUE_TIMEOUT,
+            Some(7),
+        );
+        q.enqueue_keyed(
+            msg("bob/other", "bob"),
+            t(0),
+            Duration::from_millis(100),
+            Some(8),
+        );
+        q.enqueue(
+            msg("carol/other", "carol"),
+            t(0),
+            Duration::from_millis(100),
+        );
+
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        let (mail, _) = q.take_matching(&agent, "system@h1", t(10));
+        assert_eq!(mail.len(), 1);
+        assert_eq!(mail[0].journal_key, Some(7));
+
+        // Expiry reports journaled keys only (the unkeyed entry still counts).
+        let expired = q.expire(t(500));
+        assert_eq!(expired.count, 2);
+        assert_eq!(expired.journal_keys, [8]);
+    }
+
+    #[test]
+    fn replayed_park_recomputes_deadline_from_relative_timeout() {
+        // First boot: parked at t=900s with a 30s timeout — absolute
+        // deadline 930s on that boot's clock.
+        let mut before = PendingQueue::new();
+        before.enqueue_keyed(
+            msg("alice/webbot", "alice"),
+            t(900_000),
+            DEFAULT_QUEUE_TIMEOUT,
+            Some(1),
+        );
+
+        // Second boot: the scheduler clock restarts at zero. Replay must
+        // re-park with the *relative* timeout (what the journal stores),
+        // not the stale absolute instant — had the absolute deadline been
+        // reused, `930s < now` could never hold and the entry would wait
+        // here, while a crash later than 930s into the first boot would
+        // have made the mail expire instantly.
+        let mut after = PendingQueue::new();
+        after.enqueue_keyed(
+            msg("alice/webbot", "alice"),
+            t(0),
+            DEFAULT_QUEUE_TIMEOUT,
+            Some(1),
+        );
+        assert_eq!(after.expire(t(10)).count, 0, "fresh deadline, not stale");
+        let agent = AgentAddress::new("alice", "webbot", Instance::from_u64(1));
+        let (mail, _) = after.take_matching(&agent, "system@h1", t(10));
+        assert_eq!(mail.len(), 1);
+        assert_eq!(mail[0].journal_key, Some(1));
+        assert_eq!(mail[0].deadline, t(0) + DEFAULT_QUEUE_TIMEOUT);
     }
 }

@@ -51,6 +51,23 @@ pub struct FirewallStats {
     /// messages are parked in the pending queue, agent transfers are
     /// reported to the sending agent.
     pub retry_timeouts: u64,
+    /// Records appended to the durable journal (gauge, absorbed from the
+    /// journal when stats are read).
+    pub journal_records: u64,
+    /// Framed bytes appended to the journal (gauge, absorbed).
+    pub journal_bytes: u64,
+    /// Journal `fsync` calls (gauge, absorbed).
+    pub journal_fsyncs: u64,
+    /// Journal records scanned during boot-time replay.
+    pub journal_replayed: u64,
+    /// Parked messages restored into the pending queue at boot.
+    pub journal_reparked: u64,
+    /// Open hops resumed at boot (inbound re-installs plus outbound
+    /// re-ships).
+    pub journal_resumed: u64,
+    /// Duplicate hop arrivals suppressed by the journal's dedup set
+    /// (sender retries and replayed re-ships of already-executed hops).
+    pub hops_deduped: u64,
 }
 
 impl FirewallStats {
@@ -74,6 +91,14 @@ impl FirewallStats {
         self.reconnects = t.reconnects;
         self.handshake_failures = t.handshake_failures;
     }
+
+    /// Overwrites the journal gauge fields from a journal snapshot, for
+    /// the same one-line-tells-the-whole-story reason.
+    pub fn absorb_journal(&mut self, j: &tacoma_journal::JournalStats) {
+        self.journal_records = j.records;
+        self.journal_bytes = j.bytes;
+        self.journal_fsyncs = j.fsyncs;
+    }
 }
 
 impl fmt::Display for FirewallStats {
@@ -82,7 +107,8 @@ impl fmt::Display for FirewallStats {
             f,
             "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={} \
              cache-hits={} cache-misses={} cache-evictions={} \
-             tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={}",
+             tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={} \
+             jr-records={} jr-bytes={} jr-fsyncs={} jr-replayed={} jr-reparked={} jr-resumed={} hop-dedup={}",
             self.delivered_local,
             self.forwarded_remote,
             self.queued,
@@ -101,7 +127,14 @@ impl fmt::Display for FirewallStats {
             self.bytes_received,
             self.reconnects,
             self.handshake_failures,
-            self.retry_timeouts
+            self.retry_timeouts,
+            self.journal_records,
+            self.journal_bytes,
+            self.journal_fsyncs,
+            self.journal_replayed,
+            self.journal_reparked,
+            self.journal_resumed,
+            self.hops_deduped
         )
     }
 }

@@ -35,18 +35,25 @@ fn arb_message() -> impl Strategy<Value = Message> {
         prop::option::of(("[a-z][a-z0-9]{0,8}", "[a-z][a-z0-9_]{0,8}", any::<u64>())),
         "[a-z][a-z0-9_]{0,10}",
         arb_briefcase(),
+        prop::option::of("[a-f0-9]{16}"),
+        prop::option::of("[a-f0-9]{16}"),
     )
-        .prop_map(|(kind, from_host, principal, agent, to_name, briefcase)| {
-            let from_agent = agent.map(|(p, n, i)| AgentAddress::new(p, n, Instance::from_u64(i)));
-            Message {
-                kind,
-                from_host,
-                from_principal: Principal::new(principal).expect("generated principal valid"),
-                from_agent,
-                to: tacoma_uri::AgentUri::local(to_name).expect("generated name valid"),
-                briefcase,
-            }
-        })
+        .prop_map(
+            |(kind, from_host, principal, agent, to_name, briefcase, hop, hop_parent)| {
+                let from_agent =
+                    agent.map(|(p, n, i)| AgentAddress::new(p, n, Instance::from_u64(i)));
+                Message {
+                    kind,
+                    from_host,
+                    from_principal: Principal::new(principal).expect("generated principal valid"),
+                    from_agent,
+                    to: tacoma_uri::AgentUri::local(to_name).expect("generated name valid"),
+                    briefcase,
+                    hop,
+                    hop_parent,
+                }
+            },
+        )
 }
 
 proptest! {

@@ -1,0 +1,119 @@
+//! Table-based CRC-32 (IEEE 802.3 polynomial, reflected).
+//!
+//! The journal frames every record with a CRC over its payload so that a
+//! torn write — a crash mid-`write(2)` — is detected as a checksum
+//! mismatch rather than replayed as garbage. The tables are computed once
+//! at first use; the polynomial and bit order match the ubiquitous
+//! zlib/PNG CRC-32, which makes frames checkable with standard tooling.
+
+use std::sync::OnceLock;
+
+/// Reflected IEEE polynomial.
+const POLY: u32 = 0xEDB8_8320;
+
+/// Slicing-by-16 tables: `TABLES[0]` is the classic byte-at-a-time table;
+/// `TABLES[k]` advances a byte that sits `k` positions ahead of the CRC
+/// register, letting the hot loop fold sixteen bytes per iteration with
+/// no loop-carried dependency between the sixteen lookups. On multi-KB
+/// record payloads this is the difference between the CRC and the
+/// `write(2)` being visible in the append profile at all.
+fn tables() -> &'static [[u32; 256]; 16] {
+    static TABLES: OnceLock<[[u32; 256]; 16]> = OnceLock::new();
+    TABLES.get_or_init(|| {
+        let mut tables = [[0u32; 256]; 16];
+        for (i, slot) in tables[0].iter_mut().enumerate() {
+            let mut crc = i as u32;
+            for _ in 0..8 {
+                crc = if crc & 1 != 0 {
+                    (crc >> 1) ^ POLY
+                } else {
+                    crc >> 1
+                };
+            }
+            *slot = crc;
+        }
+        for k in 1..16 {
+            for i in 0..256usize {
+                let prev = tables[k - 1][i];
+                tables[k][i] = (prev >> 8) ^ tables[0][(prev & 0xFF) as usize];
+            }
+        }
+        tables
+    })
+}
+
+/// CRC-32 of `data` (IEEE, reflected, init/xorout `0xFFFF_FFFF`).
+pub fn crc32(data: &[u8]) -> u32 {
+    let t = tables();
+    let mut crc = 0xFFFF_FFFFu32;
+    let mut chunks = data.chunks_exact(16);
+    for c in &mut chunks {
+        let a = u32::from_le_bytes([c[0], c[1], c[2], c[3]]) ^ crc;
+        let b = u32::from_le_bytes([c[4], c[5], c[6], c[7]]);
+        let d = u32::from_le_bytes([c[8], c[9], c[10], c[11]]);
+        let e = u32::from_le_bytes([c[12], c[13], c[14], c[15]]);
+        crc = t[15][(a & 0xFF) as usize]
+            ^ t[14][((a >> 8) & 0xFF) as usize]
+            ^ t[13][((a >> 16) & 0xFF) as usize]
+            ^ t[12][(a >> 24) as usize]
+            ^ t[11][(b & 0xFF) as usize]
+            ^ t[10][((b >> 8) & 0xFF) as usize]
+            ^ t[9][((b >> 16) & 0xFF) as usize]
+            ^ t[8][(b >> 24) as usize]
+            ^ t[7][(d & 0xFF) as usize]
+            ^ t[6][((d >> 8) & 0xFF) as usize]
+            ^ t[5][((d >> 16) & 0xFF) as usize]
+            ^ t[4][(d >> 24) as usize]
+            ^ t[3][(e & 0xFF) as usize]
+            ^ t[2][((e >> 8) & 0xFF) as usize]
+            ^ t[1][((e >> 16) & 0xFF) as usize]
+            ^ t[0][(e >> 24) as usize];
+    }
+    for &byte in chunks.remainder() {
+        let idx = ((crc ^ u32::from(byte)) & 0xFF) as usize;
+        crc = (crc >> 8) ^ t[0][idx];
+    }
+    crc ^ 0xFFFF_FFFF
+}
+
+#[cfg(test)]
+mod tests {
+    use super::crc32;
+
+    #[test]
+    fn known_vectors() {
+        // Standard check value for the ASCII digits "123456789".
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn all_lengths_match_bytewise_reference() {
+        fn reference(data: &[u8]) -> u32 {
+            let mut crc = 0xFFFF_FFFFu32;
+            for &byte in data {
+                crc ^= u32::from(byte);
+                for _ in 0..8 {
+                    crc = if crc & 1 != 0 {
+                        (crc >> 1) ^ 0xEDB8_8320
+                    } else {
+                        crc >> 1
+                    };
+                }
+            }
+            crc ^ 0xFFFF_FFFF
+        }
+        let data: Vec<u8> = (0..96u16).map(|i| (i as u8).wrapping_mul(37)).collect();
+        for len in 0..data.len() {
+            assert_eq!(crc32(&data[..len]), reference(&data[..len]), "len={len}");
+        }
+    }
+
+    #[test]
+    fn detects_single_bit_flip() {
+        let mut data = b"the quick brown fox".to_vec();
+        let clean = crc32(&data);
+        data[7] ^= 0x10;
+        assert_ne!(crc32(&data), clean);
+    }
+}

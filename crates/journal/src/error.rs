@@ -1,0 +1,45 @@
+//! Journal error type.
+
+use std::fmt;
+use std::io;
+
+/// Errors surfaced by the journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// An underlying filesystem operation failed.
+    Io(io::Error),
+    /// A record or segment violated the format in a way torn-tail
+    /// tolerance does not cover (e.g. decoding a buffer handed in by the
+    /// caller rather than scanned from disk).
+    Corrupt(String),
+}
+
+impl JournalError {
+    pub(crate) fn corrupt(msg: impl Into<String>) -> JournalError {
+        JournalError::Corrupt(msg.into())
+    }
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(err) => write!(f, "journal I/O error: {err}"),
+            JournalError::Corrupt(msg) => write!(f, "journal corrupt: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(err) => Some(err),
+            JournalError::Corrupt(_) => None,
+        }
+    }
+}
+
+impl From<io::Error> for JournalError {
+    fn from(err: io::Error) -> Self {
+        JournalError::Io(err)
+    }
+}

@@ -1,0 +1,201 @@
+//! Segment files: the on-disk framing of the journal.
+//!
+//! A journal directory holds numbered segment files (`wal-000042.taxj`).
+//! Each starts with an 8-byte magic, followed by frames of
+//! `[len: u32 LE][crc32(payload): u32 LE][payload]`. Appends only ever go
+//! to the highest-numbered segment; lower segments are immutable until
+//! compaction deletes them.
+//!
+//! Reading is torn-tail tolerant: a frame whose length field, payload, or
+//! CRC is incomplete or wrong ends the scan cleanly at the last intact
+//! record instead of erroring, because a crash mid-append is the expected
+//! failure mode, not corruption.
+
+use std::fs;
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+use crate::crc::crc32;
+use crate::record::Record;
+use crate::JournalError;
+
+/// First bytes of every segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"TAXJRNL1";
+
+/// Upper bound on a single record's payload; a length field above this is
+/// treated as a torn/garbage tail, not an allocation request.
+pub const MAX_RECORD_BYTES: u32 = 64 * 1024 * 1024;
+
+/// Bytes of framing overhead per record (length + CRC).
+pub const FRAME_OVERHEAD: u64 = 8;
+
+/// The file name of segment `seq`.
+pub fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+    dir.join(format!("wal-{seq:06}.taxj"))
+}
+
+/// Parses a segment sequence number out of a file name, if it is one.
+pub fn parse_segment_name(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix("wal-")?.strip_suffix(".taxj")?;
+    if rest.is_empty() || !rest.bytes().all(|b| b.is_ascii_digit()) {
+        return None;
+    }
+    rest.parse().ok()
+}
+
+/// Segment files in `dir`, sorted by sequence number.
+pub fn list_segments(dir: &Path) -> Result<Vec<(u64, PathBuf)>, JournalError> {
+    let mut segments = Vec::new();
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(seq) = parse_segment_name(name) {
+            segments.push((seq, entry.path()));
+        }
+    }
+    segments.sort_unstable_by_key(|&(seq, _)| seq);
+    Ok(segments)
+}
+
+/// Appends one framed record to `out` (a segment body buffer). The
+/// payload is encoded in place after a reserved header, which is then
+/// backfilled with the length and checksum — one pass over the payload
+/// bytes for the encode and one for the CRC, with no staging copy.
+pub fn frame_into(out: &mut Vec<u8>, record: &Record) {
+    let header = out.len();
+    out.extend_from_slice(&[0u8; FRAME_OVERHEAD as usize]);
+    record.encode_into(out);
+    let payload = header + FRAME_OVERHEAD as usize;
+    let len = (out.len() - payload) as u32;
+    let crc = crc32(&out[payload..]);
+    out[header..header + 4].copy_from_slice(&len.to_le_bytes());
+    out[header + 4..payload].copy_from_slice(&crc.to_le_bytes());
+}
+
+/// The outcome of scanning one segment file.
+pub struct SegmentScan {
+    /// Records recovered, in append order.
+    pub records: Vec<Record>,
+    /// Whether the scan stopped early at a torn or corrupt tail.
+    pub torn: bool,
+    /// Byte offset of the end of the last intact record (where an append
+    /// after truncation would resume).
+    pub valid_len: u64,
+}
+
+/// Reads every intact record from a segment file.
+///
+/// A missing or short magic marks the whole file torn (zero records); any
+/// frame that fails its length, payload, CRC, or decode check ends the
+/// scan there.
+///
+/// # Errors
+///
+/// Only I/O errors propagate; corruption is reported via
+/// [`SegmentScan::torn`].
+pub fn scan_segment(path: &Path) -> Result<SegmentScan, JournalError> {
+    let mut data = Vec::new();
+    fs::File::open(path)?.read_to_end(&mut data)?;
+    let mut scan = SegmentScan {
+        records: Vec::new(),
+        torn: false,
+        valid_len: 0,
+    };
+    if data.len() < SEGMENT_MAGIC.len() || &data[..SEGMENT_MAGIC.len()] != SEGMENT_MAGIC {
+        scan.torn = true;
+        return Ok(scan);
+    }
+    let mut pos = SEGMENT_MAGIC.len();
+    scan.valid_len = pos as u64;
+    loop {
+        if pos == data.len() {
+            return Ok(scan); // clean end
+        }
+        if pos + 8 > data.len() {
+            scan.torn = true;
+            return Ok(scan);
+        }
+        let len = u32::from_le_bytes([data[pos], data[pos + 1], data[pos + 2], data[pos + 3]]);
+        let crc = u32::from_le_bytes([data[pos + 4], data[pos + 5], data[pos + 6], data[pos + 7]]);
+        if len > MAX_RECORD_BYTES {
+            scan.torn = true;
+            return Ok(scan);
+        }
+        let start = pos + 8;
+        let end = start + len as usize;
+        if end > data.len() {
+            scan.torn = true;
+            return Ok(scan);
+        }
+        let payload = &data[start..end];
+        if crc32(payload) != crc {
+            scan.torn = true;
+            return Ok(scan);
+        }
+        match Record::decode(payload) {
+            Ok(record) => scan.records.push(record),
+            Err(_) => {
+                scan.torn = true;
+                return Ok(scan);
+            }
+        }
+        pos = end;
+        scan.valid_len = pos as u64;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+
+    fn write_segment(path: &Path, records: &[Record]) -> Vec<u8> {
+        let mut body = SEGMENT_MAGIC.to_vec();
+        for record in records {
+            frame_into(&mut body, record);
+        }
+        let mut file = fs::File::create(path).unwrap();
+        file.write_all(&body).unwrap();
+        body
+    }
+
+    #[test]
+    fn scan_roundtrip_and_truncation() {
+        let dir = std::env::temp_dir().join(format!("taxj-seg-{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        let path = segment_path(&dir, 0);
+        let records = vec![
+            Record::MailDelivered { key: 1 },
+            Record::HopCommitted { key: "abc".into() },
+        ];
+        let body = write_segment(&path, &records);
+
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, records);
+        assert!(!scan.torn);
+        assert_eq!(scan.valid_len, body.len() as u64);
+
+        // Truncate one byte into the second frame: first record survives.
+        let first_end = SEGMENT_MAGIC.len() + 8 + records[0].encode().len();
+        fs::write(&path, &body[..first_end + 3]).unwrap();
+        let scan = scan_segment(&path).unwrap();
+        assert_eq!(scan.records, records[..1]);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, first_end as u64);
+        fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn segment_names() {
+        assert_eq!(parse_segment_name("wal-000007.taxj"), Some(7));
+        assert_eq!(parse_segment_name("wal-.taxj"), None);
+        assert_eq!(parse_segment_name("wal-7.log"), None);
+        assert_eq!(parse_segment_name("other"), None);
+        let path = segment_path(Path::new("/tmp"), 42);
+        assert_eq!(
+            parse_segment_name(path.file_name().unwrap().to_str().unwrap()),
+            Some(42)
+        );
+    }
+}

@@ -38,7 +38,7 @@ pub use conn::{ConnectConfig, Connection};
 pub use error::TransportError;
 pub use frame::{Frame, FrameKind, FrameLimits, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
 pub use handshake::{build_hello, build_welcome, parse_welcome, verify_hello, HelloInfo};
-pub use listener::{Inbound, ListenerConfig, TransportListener};
+pub use listener::{Inbound, ListenerConfig, PreAckHook, TransportListener};
 pub use sim::SimTransport;
 pub use stats::{TransportCounters, TransportStats};
 pub use tcp::{TcpConfig, TcpTransport};

@@ -32,7 +32,21 @@ pub struct ListenerConfig {
     /// Answers `Stats` frames when present (e.g. `taxd` exposes its
     /// firewall's counters here for `taxsh stats --connect`).
     pub stats_provider: Option<Arc<dyn Fn() -> String + Send + Sync>>,
+    /// Inspects each Briefcase payload before it is acknowledged and
+    /// forwarded inward. Returning `false` suppresses the forward but
+    /// still acks the frame — the door-side dedup point: `taxd` journals
+    /// arriving agent hops here, and a retry of an already-seen hop must
+    /// be confirmed to the sender (so it stops retrying) without running
+    /// the agent twice. Runs on the connection thread *before* the ack,
+    /// so a write-ahead record is durable by the time the sender hears
+    /// success.
+    pub pre_ack: Option<PreAckHook>,
 }
+
+/// The [`ListenerConfig::pre_ack`] inspection hook: runs on the
+/// connection thread with the raw payload; returning `false` acks the
+/// frame but suppresses the inward forward.
+pub type PreAckHook = Arc<dyn Fn(&bytes::Bytes) -> bool + Send + Sync>;
 
 impl std::fmt::Debug for ListenerConfig {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -55,6 +69,7 @@ impl ListenerConfig {
             limits: FrameLimits::default(),
             read_timeout: Duration::from_secs(60),
             stats_provider: None,
+            pre_ack: None,
         }
     }
 }
@@ -212,13 +227,16 @@ fn handle_connection(
         match frame.kind {
             FrameKind::Briefcase => {
                 counters.add_received(frame.payload.len() as u64);
-                let inbound = Inbound {
-                    from_host: info.host.clone(),
-                    from_principal: info.principal.as_ref().map(|p| p.as_str().to_owned()),
-                    payload: frame.payload,
-                };
-                if tx.send(inbound).is_err() {
-                    return; // Receiver gone; the daemon is shutting down.
+                let forward = config.pre_ack.as_ref().is_none_or(|f| f(&frame.payload));
+                if forward {
+                    let inbound = Inbound {
+                        from_host: info.host.clone(),
+                        from_principal: info.principal.as_ref().map(|p| p.as_str().to_owned()),
+                        payload: frame.payload,
+                    };
+                    if tx.send(inbound).is_err() {
+                        return; // Receiver gone; the daemon is shutting down.
+                    }
                 }
                 if Frame::bare(FrameKind::Ack).write_to(&mut stream).is_err() {
                     return;

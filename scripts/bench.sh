@@ -1,9 +1,10 @@
 #!/usr/bin/env sh
-# Regenerates BENCH_6.json — the parallel-fleet scheduler benchmark plus
-# the briefcase-migration (CoW vs legacy) and firewall-admission
-# (cold vs warm verified-script cache) comparisons.
+# Regenerates the checked-in benchmark JSON — BENCH_6.json (parallel-fleet
+# scheduler, briefcase CoW migration, firewall admission cache) and
+# BENCH_7.json (durable-journal park/ship pipeline).
 #
-#   scripts/bench.sh           full run, writes BENCH_6.json at the repo root
+#   scripts/bench.sh           full run, writes BENCH_6.json and
+#                              BENCH_7.json at the repo root
 #   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
 #                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
@@ -14,9 +15,15 @@ cd "$(dirname "$0")/.."
 if [ "${1:-}" = "--smoke" ]; then
     echo "==> bench (smoke): exp_e9_parallel_fleet --check"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke --check
+    echo "==> bench (smoke): exp_e10_durable_journal --check"
+    cargo run -q --release -p tacoma-bench --bin exp_e10_durable_journal -- --json --smoke --check
 else
     echo "==> bench: exp_e9_parallel_fleet -> BENCH_6.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
         > BENCH_6.json
     cat BENCH_6.json
+    echo "==> bench: exp_e10_durable_journal -> BENCH_7.json"
+    cargo run -q --release -p tacoma-bench --bin exp_e10_durable_journal -- --json \
+        > BENCH_7.json
+    cat BENCH_7.json
 fi

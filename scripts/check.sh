@@ -20,4 +20,7 @@ fi
 echo "==> cargo test"
 cargo test -q
 
+echo "==> crash recovery (journal kill tests, release)"
+cargo test --release --test taxd_journal -q
+
 echo "ok: all checks passed"

@@ -5,6 +5,7 @@
 //! ```text
 //! taxd --host alpha --listen 127.0.0.1:7001 --peer beta=127.0.0.1:7002 \
 //!      [--launch file.tax --itinerary beta,alpha] \
+//!      [--journal-dir DIR] [--crash-after-record KIND[:N]] \
 //!      [--idle-exit-ms 2000] [--require-signed] [--threads N]
 //! ```
 //!
@@ -14,6 +15,15 @@
 //! undeliverable mail parks in the pending queue and a periodic sweep
 //! retries it). With `--idle-exit-ms` the process exits once nothing has
 //! happened for that long — the mode the loopback integration test uses.
+//!
+//! With `--journal-dir` every park, delivery, and migration hop is
+//! write-ahead logged to an on-disk journal; restarting the daemon with
+//! the same directory replays undelivered mail and unfinished hops, and
+//! the listener's pre-ack hook deduplicates hop retries, so a crashed
+//! itinerary resumes with every hop executed effectively once (see
+//! `docs/journal.md`). `--crash-after-record` is the fault-injection
+//! switch the crash-recovery tests use: the process aborts right after
+//! the Nth durable record of the named kind.
 //!
 //! [`TransportListener`]: tacoma::transport::TransportListener
 //! [`TcpTransport`]: tacoma::transport::TcpTransport
@@ -43,12 +53,14 @@ struct Options {
     idle_exit: Option<Duration>,
     require_signed: bool,
     threads: usize,
+    journal_dir: Option<String>,
+    crash_after: Option<tacoma::journal::CrashPoint>,
 }
 
 fn usage() -> String {
     "usage: taxd --host NAME --listen ADDR [--peer HOST=ADDR]... \
      [--launch FILE.tax] [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed] \
-     [--threads N]"
+     [--threads N] [--journal-dir DIR] [--crash-after-record KIND[:N]]"
         .to_owned()
 }
 
@@ -61,6 +73,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut idle_exit = None;
     let mut require_signed = false;
     let mut threads = 0;
+    let mut journal_dir = None;
+    let mut crash_after = None;
 
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -98,6 +112,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads wants a number".to_owned())?;
             }
+            "--journal-dir" => journal_dir = Some(value("--journal-dir")?),
+            "--crash-after-record" => {
+                let spec = value("--crash-after-record")?;
+                crash_after = Some(tacoma::journal::CrashPoint::parse(&spec).ok_or_else(|| {
+                    format!("--crash-after-record wants KIND[:N] (N >= 1), got {spec:?}")
+                })?);
+            }
             other => return Err(format!("unknown argument {other:?}\n{}", usage())),
         }
     }
@@ -110,6 +131,8 @@ fn parse(args: &[String]) -> Result<Options, String> {
         idle_exit,
         require_signed,
         threads,
+        journal_dir,
+        crash_after,
     })
 }
 
@@ -145,18 +168,87 @@ fn run(opts: &Options) -> Result<(), String> {
         .host(&opts.host)
         .ok_or_else(|| format!("host {} did not build", opts.host))?;
 
+    // Durability: open (or re-open) the write-ahead journal and replay
+    // whatever a previous incarnation left unfinished — parked mail
+    // re-enters the pending queue, arrived-but-unfinished agents are
+    // re-installed, sent-but-unconfirmed hops are re-shipped. This runs
+    // before the listener binds so the very first inbound frame already
+    // journals through the same handle.
+    let journal_handle = match &opts.journal_dir {
+        Some(dir) => {
+            let config = tacoma::journal::JournalConfig {
+                crash_after: opts.crash_after,
+                ..tacoma::journal::JournalConfig::default()
+            };
+            let (journal, replay) =
+                tacoma::journal::Journal::open(dir, config).map_err(|e| format!("{dir}: {e}"))?;
+            let journal = Arc::new(journal);
+            let summary = system
+                .recover_journal(&opts.host, &journal, &replay)
+                .map_err(|e| e.to_string())?;
+            println!(
+                "taxd: journal replay records={} torn-tail={} reparked={} \
+                 resumed-in={} resumed-out={} failed={}",
+                summary.records_scanned,
+                summary.torn_tail,
+                summary.reparked,
+                summary.resumed_inbound,
+                summary.resumed_outbound,
+                summary.failed
+            );
+            Some(journal)
+        }
+        None => None,
+    };
+
     // Inbound: the listener answers HELLOs and hands frames to the loop
     // below; `taxsh stats --connect` is served straight off the firewall.
     let mut listener_config = ListenerConfig::trusting(&opts.host);
     listener_config.require_signed = opts.require_signed;
+    let deduped = Arc::new(std::sync::atomic::AtomicU64::new(0));
     let stats_host = host.clone();
     let stats_transport = Arc::clone(&transport);
+    let stats_journal = journal_handle.clone();
+    let stats_deduped = Arc::clone(&deduped);
     listener_config.stats_provider = Some(Arc::new(move || {
-        stats_host.with_firewall(|fw| {
+        let mut text = stats_host.with_firewall(|fw| {
             fw.stats_mut().absorb_transport(&stats_transport.stats());
+            fw.stats_mut().hops_deduped = stats_deduped.load(std::sync::atomic::Ordering::Relaxed);
             fw.stats().to_string()
-        })
+        });
+        if let Some(journal) = &stats_journal {
+            text.push_str(&format!("\njournal: {}", journal.stats()));
+        }
+        text
     }));
+    if let Some(journal) = &journal_handle {
+        // The door-side dedup point: journal each arriving keyed hop
+        // *before* it is acked, and suppress (but still ack) retries of
+        // hops this journal has already seen — the sender stops retrying
+        // without the agent running twice.
+        let journal = Arc::clone(journal);
+        let counter = Arc::clone(&deduped);
+        listener_config.pre_ack = Some(Arc::new(move |payload| {
+            let Ok(message) = tacoma::firewall::Message::decode_bytes(payload) else {
+                return true; // Let the firewall reject malformed frames.
+            };
+            let (tacoma::firewall::MessageKind::AgentTransfer { .. }, Some(key)) =
+                (&message.kind, &message.hop)
+            else {
+                return true; // Unkeyed traffic is not journaled at the door.
+            };
+            match journal.begin_inbound_hop(key, message.hop_parent.as_deref(), payload) {
+                Ok(true) => true,
+                Ok(false) => {
+                    counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    false
+                }
+                // Journal failure: forward anyway — degraded durability
+                // must not lose the agent.
+                Err(_) => true,
+            }
+        }));
+    }
     let mut listener =
         TransportListener::bind(&opts.listen, listener_config).map_err(|e| e.to_string())?;
     println!("taxd: {} listening on {}", opts.host, listener.local_addr());
@@ -212,8 +304,15 @@ fn run(opts: &Options) -> Result<(), String> {
     listener.shutdown();
 
     print_new_events(&system, printed);
+    if let Some(journal) = &journal_handle {
+        // Fold the tail into a checkpoint so the next boot replays only
+        // genuinely unfinished work.
+        let _ = journal.checkpoint();
+        println!("taxd: journal {}", journal.stats());
+    }
     let line = host.with_firewall(|fw| {
         fw.stats_mut().absorb_transport(&transport.stats());
+        fw.stats_mut().hops_deduped = deduped.load(std::sync::atomic::Ordering::Relaxed);
         fw.stats().to_string()
     });
     println!("taxd: stats {line}");

@@ -324,8 +324,17 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
     let (connect, _rest) = take_flag(args, "--connect");
     let connect = connect.ok_or("stats: need --connect ADDR")?;
     let mut conn = connect_to(&connect, "taxsh")?;
-    let line = conn.query_stats().map_err(|e| format!("{connect}: {e}"))?;
-    println!("{} {line}", conn.peer_host());
+    let text = conn.query_stats().map_err(|e| format!("{connect}: {e}"))?;
+    // The reply's first line is the firewall counter line; a journaling
+    // daemon appends a `journal:` section with segment, checkpoint, and
+    // replay gauges.
+    let mut lines = text.lines();
+    if let Some(first) = lines.next() {
+        println!("{} {first}", conn.peer_host());
+    }
+    for section in lines {
+        println!("{:>width$} {section}", "", width = conn.peer_host().len());
+    }
     conn.goodbye();
     Ok(())
 }

@@ -14,6 +14,8 @@
 //! * [`security`] — principals, signatures, trust stores (§3.2–3.3)
 //! * [`taxscript`] — the mobile agent language (substrate for `vm_c`/`vm_script`)
 //! * [`firewall`] — the per-host reference monitor (§3.2)
+//! * [`journal`] — the durable write-ahead journal: crash-resumable
+//!   itineraries with effectively-once hop semantics
 //! * [`transport`] — the real wire: TCP frames, handshake, retry (§3.2)
 //! * [`vm`] — virtual machines: `vm_bin`, `vm_script`, `vm_c` (§3.3)
 //! * [`core`] — the TAX kernel, library API, service agents, and wrappers (§3–4)
@@ -25,6 +27,7 @@
 pub use tacoma_briefcase as briefcase;
 pub use tacoma_core as core;
 pub use tacoma_firewall as firewall;
+pub use tacoma_journal as journal;
 pub use tacoma_security as security;
 pub use tacoma_simnet as simnet;
 pub use tacoma_taxscript as taxscript;
