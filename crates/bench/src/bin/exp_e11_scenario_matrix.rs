@@ -1,0 +1,421 @@
+//! **E11 — hostile-network scenarios and the itinerary planner.**
+//!
+//! Three measurements over generated scenarios (`tacoma-scenario`):
+//!
+//! * **Determinism** — a churning, partitioning scenario replayed against
+//!   a live system via the step-hook event track, with a multi-hop tour
+//!   running through it (report fan-out to two replicas via the §4 group
+//!   wrapper). The full event trace must be identical between 1-worker
+//!   and 4-worker schedulers, and the tour's hop into a crashed host must
+//!   be accounted as *unreachable* (churn), not random loss.
+//! * **Planner** — the same tour over a heterogeneous topology, visit
+//!   order naive (request order, the paper's behaviour) vs planned
+//!   (nearest-neighbor + 2-opt over the link matrix). Both predicted and
+//!   real virtual makespans are reported per topology size; the planned
+//!   tour must never be slower than the naive one.
+//! * **Tier gap** — the §5 local-vs-remote comparison swept across link
+//!   tiers (100 Mbit LAN → 56k modem). The paper measured 16% on its LAN
+//!   and conjectured more on worse links; the local advantage must widen
+//!   monotonically as links slow.
+//!
+//! With `--json` results are emitted as the `BENCH_8.json` object;
+//! `--smoke` shrinks the workloads for CI; `--check` exits non-zero if a
+//! gate fails. Wall clocks are the median of [`WALL_REPS`] repetitions;
+//! virtual quantities are deterministic per configuration.
+
+use std::env;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use tacoma_core::{HostEvent, HostId};
+use tacoma_scenario::{
+    build_system, generate, install_track, plan, predicted_makespan, LinkTier, Scenario,
+    ScenarioSpec,
+};
+use tacoma_webbot::experiment::{run_mobile, run_stationary, CaseStudyParams};
+use tacoma_webbot::fleet::{install_fleet_sites, FleetParams, FleetPlan};
+use tacoma_webbot::mobile;
+use tacoma_webbot::tour::{fetch_tour, tour_spec};
+
+/// Wall-clock repetitions per timed configuration (median is kept).
+const WALL_REPS: usize = 3;
+
+/// Planning payload: what a tour agent actually weighs on the wire (the
+/// Webbot bundle it carries plus its own wrapper binary).
+fn tour_payload_bytes() -> u64 {
+    (mobile::webbot_bundle().encode().len() + mobile::MW_BINARY_SIZE) as u64
+}
+
+/// Picks `k` tour stops spread across the host rank order (so the tour
+/// crosses every link tier), avoiding `home`.
+fn spread_stops(scenario: &Scenario, home: &str, k: usize) -> Vec<String> {
+    let candidates: Vec<&String> = scenario.hosts.iter().filter(|h| *h != home).collect();
+    let k = k.min(candidates.len());
+    (0..k)
+        .map(|i| candidates[i * (candidates.len() - 1) / k.max(1)].clone())
+        .collect()
+}
+
+struct TourRun {
+    makespan_ms: i64,
+    visited: usize,
+    unreachable: usize,
+    track_applied: usize,
+    net_unreachable: u64,
+    trace: Vec<(String, HostEvent)>,
+    wall_ms: f64,
+}
+
+/// Deploys sites + webbot programs over a scenario system, runs one tour
+/// from `home` through `order`, and collects the parked outcome.
+fn run_tour(
+    scenario: &Scenario,
+    threads: usize,
+    home: &str,
+    order: &[String],
+    replicas: &[String],
+    pages: usize,
+    total_bytes: u64,
+) -> TourRun {
+    let started = Instant::now();
+    let mut system = build_system(scenario, threads);
+    let track = install_track(&mut system, scenario);
+
+    let params = FleetParams {
+        plan: FleetPlan::from_pairs(order.iter().map(|stop| (home.to_owned(), stop.clone()))),
+        pages,
+        total_bytes,
+        seed: scenario.seed,
+        ..FleetParams::default()
+    };
+    install_fleet_sites(&system, &params);
+    let mut program_hosts: Vec<String> = params.plan.hosts();
+    for replica in replicas {
+        if !program_hosts.contains(replica) {
+            program_hosts.push(replica.clone());
+        }
+    }
+    for name in &program_hosts {
+        mobile::install_programs(&system.host(name).expect("scenario host"));
+    }
+
+    system
+        .launch(home, tour_spec(home, order, replicas))
+        .expect("launch tour");
+    let outcome = system.run_until_quiet();
+    assert!(outcome.quiesced(), "tour system did not quiesce");
+
+    let (_, stamps) = fetch_tour(&mut system, home, home).expect("tour reported home");
+    TourRun {
+        makespan_ms: stamps.makespan_ms(),
+        visited: stamps.visited.len(),
+        unreachable: stamps.unreachable.len(),
+        track_applied: track.applied(),
+        net_unreachable: system.network().stats().total_unreachable(),
+        trace: system.events(),
+        wall_ms: started.elapsed().as_secs_f64() * 1e3,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(|a, b| a.partial_cmp(b).expect("no NaN wall clocks"));
+    xs[xs.len() / 2]
+}
+
+// ---------------------------------------------------------------- sections
+
+struct DeterminismResult {
+    hosts: usize,
+    events: usize,
+    identical: bool,
+    track_applied: usize,
+    unreachable_hops: usize,
+    net_unreachable: u64,
+}
+
+/// A generated churn/partition scenario with one stop forced down for the
+/// whole run, toured identically under 1- and 4-worker schedulers.
+fn run_determinism(smoke: bool) -> DeterminismResult {
+    let hosts = if smoke { 24 } else { 120 };
+    let mut scenario = generate(&ScenarioSpec::new(811, hosts));
+    // Force one mid-ranked host down from t=0 so the tour's hop into it
+    // is *churn* unreachability, not random loss.
+    let dead = scenario.hosts[hosts / 2].clone();
+    scenario.events.insert(
+        0,
+        tacoma_scenario::ScenarioEvent {
+            at_ms: 0,
+            kind: tacoma_scenario::EventKind::HostDown { host: dead.clone() },
+        },
+    );
+
+    let home = scenario.hosts[0].clone();
+    let mut order = spread_stops(&scenario, &home, 5);
+    order.push(dead);
+    let replicas = vec![scenario.hosts[1].clone(), scenario.hosts[2].clone()];
+    let (pages, bytes) = if smoke { (8, 40_000) } else { (20, 120_000) };
+
+    let one = run_tour(&scenario, 1, &home, &order, &replicas, pages, bytes);
+    let four = run_tour(&scenario, 4, &home, &order, &replicas, pages, bytes);
+
+    DeterminismResult {
+        hosts,
+        events: scenario.events.len(),
+        identical: one.trace == four.trace,
+        track_applied: one.track_applied,
+        unreachable_hops: one.unreachable,
+        net_unreachable: one.net_unreachable,
+    }
+}
+
+struct PlannerResult {
+    hosts: usize,
+    stops: usize,
+    naive_predicted_ms: f64,
+    planned_predicted_ms: f64,
+    naive_real_ms: i64,
+    planned_real_ms: i64,
+    naive_wall_ms: f64,
+    planned_wall_ms: f64,
+    visited: usize,
+}
+
+/// Naive vs planned tour over one quiet heterogeneous topology (no churn,
+/// no loss: the comparison isolates the link matrix).
+fn run_planner(seed: u64, hosts: usize, stops: usize, smoke: bool) -> PlannerResult {
+    let mut spec = ScenarioSpec::new(seed, hosts);
+    spec.churn = 0;
+    spec.partitions = 0;
+    spec.degradations = 0;
+    let mut scenario = generate(&spec);
+    for link in &mut scenario.links {
+        link.loss = 0.0;
+    }
+
+    let home = scenario.hosts[0].clone();
+    let naive: Vec<String> = spread_stops(&scenario, &home, stops);
+    let topo = scenario.topology();
+    let home_id = HostId::new(home.clone()).expect("valid host");
+    let stop_ids: Vec<HostId> = naive
+        .iter()
+        .map(|s| HostId::new(s.clone()).expect("valid host"))
+        .collect();
+    let payload = tour_payload_bytes();
+
+    let naive_predicted = predicted_makespan(&topo, &home_id, &stop_ids, payload);
+    let itinerary = plan(&topo, &home_id, &stop_ids, payload);
+    let planned: Vec<String> = itinerary
+        .order
+        .iter()
+        .map(|h| h.as_str().to_owned())
+        .collect();
+
+    let (pages, bytes) = if smoke { (8, 40_000) } else { (20, 120_000) };
+    let mut naive_runs = Vec::new();
+    let mut planned_runs = Vec::new();
+    for _ in 0..WALL_REPS {
+        naive_runs.push(run_tour(&scenario, 4, &home, &naive, &[], pages, bytes));
+        planned_runs.push(run_tour(&scenario, 4, &home, &planned, &[], pages, bytes));
+    }
+
+    PlannerResult {
+        hosts,
+        stops: naive.len(),
+        naive_predicted_ms: naive_predicted.as_secs_f64() * 1e3,
+        planned_predicted_ms: itinerary.predicted.as_secs_f64() * 1e3,
+        naive_real_ms: naive_runs[0].makespan_ms,
+        planned_real_ms: planned_runs[0].makespan_ms,
+        naive_wall_ms: median(naive_runs.iter().map(|r| r.wall_ms).collect()),
+        planned_wall_ms: median(planned_runs.iter().map(|r| r.wall_ms).collect()),
+        visited: planned_runs[0].visited,
+    }
+}
+
+struct TierGap {
+    tier: LinkTier,
+    slowdown: f64,
+    local_scan_ms: f64,
+    remote_scan_ms: f64,
+    advantage: f64,
+}
+
+/// The §5 comparison per link tier: the same scan run at the server vs
+/// pulled across a link of the given tier.
+fn run_tier_gap(smoke: bool) -> Vec<TierGap> {
+    let (pages, total_bytes) = if smoke {
+        (60, 200_000)
+    } else {
+        (400, 1_500_000)
+    };
+    LinkTier::ALL
+        .into_iter()
+        .map(|tier| {
+            let params = CaseStudyParams {
+                pages,
+                total_bytes,
+                seed: 811,
+                ..CaseStudyParams::default()
+            }
+            .with_link(tier.spec());
+            let local = run_mobile(&params);
+            let remote = run_stationary(&params);
+            let local_s = local.scan_time.as_secs_f64();
+            let remote_s = remote.scan_time.as_secs_f64();
+            TierGap {
+                tier,
+                slowdown: tier.slowdown(),
+                local_scan_ms: local_s * 1e3,
+                remote_scan_ms: remote_s * 1e3,
+                advantage: (remote_s - local_s) / remote_s.max(f64::MIN_POSITIVE),
+            }
+        })
+        .collect()
+}
+
+// ------------------------------------------------------------------- main
+
+#[allow(clippy::too_many_lines)] // one linear report: measure, print, gate
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    let determinism = run_determinism(smoke);
+    let planner_sizes: &[usize] = if smoke { &[24] } else { &[100, 300] };
+    let planner: Vec<PlannerResult> = planner_sizes
+        .iter()
+        .map(|&hosts| run_planner(811, hosts, if smoke { 5 } else { 8 }, smoke))
+        .collect();
+    let tiers = run_tier_gap(smoke);
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"scenario_matrix\",");
+        println!("  \"smoke\": {smoke},");
+        println!("  \"wall_reps\": {WALL_REPS},");
+        println!("  \"determinism\": {{");
+        println!("    \"hosts\": {},", determinism.hosts);
+        println!("    \"events\": {},", determinism.events);
+        println!("    \"track_applied\": {},", determinism.track_applied);
+        println!("    \"trace_identical_1v4\": {},", determinism.identical);
+        println!(
+            "    \"unreachable_hops\": {},",
+            determinism.unreachable_hops
+        );
+        println!("    \"net_unreachable\": {}", determinism.net_unreachable);
+        println!("  }},");
+        println!("  \"planner\": [");
+        for (i, p) in planner.iter().enumerate() {
+            let comma = if i + 1 < planner.len() { "," } else { "" };
+            println!(
+                "    {{ \"hosts\": {}, \"stops\": {}, \"visited\": {}, \
+                 \"naive_predicted_ms\": {:.3}, \"planned_predicted_ms\": {:.3}, \
+                 \"naive_real_ms\": {}, \"planned_real_ms\": {}, \
+                 \"naive_wall_ms\": {:.1}, \"planned_wall_ms\": {:.1} }}{comma}",
+                p.hosts,
+                p.stops,
+                p.visited,
+                p.naive_predicted_ms,
+                p.planned_predicted_ms,
+                p.naive_real_ms,
+                p.planned_real_ms,
+                p.naive_wall_ms,
+                p.planned_wall_ms,
+            );
+        }
+        println!("  ],");
+        println!("  \"tier_gap\": [");
+        for (i, t) in tiers.iter().enumerate() {
+            let comma = if i + 1 < tiers.len() { "," } else { "" };
+            println!(
+                "    {{ \"tier\": \"{}\", \"slowdown\": {:.1}, \"local_scan_ms\": {:.3}, \
+                 \"remote_scan_ms\": {:.3}, \"local_advantage\": {:.4} }}{comma}",
+                t.tier, t.slowdown, t.local_scan_ms, t.remote_scan_ms, t.advantage,
+            );
+        }
+        println!("  ]");
+        println!("}}");
+    } else {
+        println!("E11: hostile-network scenario matrix");
+        println!(
+            "\ndeterminism: {} hosts, {} scheduled events, track applied {}, \
+             1-vs-4-worker traces identical: {}",
+            determinism.hosts, determinism.events, determinism.track_applied, determinism.identical,
+        );
+        println!(
+            "             tour skipped {} crashed stop(s); network counted {} unreachable sends",
+            determinism.unreachable_hops, determinism.net_unreachable,
+        );
+        println!("\nplanner (naive request order vs NN+2-opt):");
+        for p in &planner {
+            println!(
+                "  {} hosts, {} stops: predicted {:.1} -> {:.1} ms, real {} -> {} ms (visited {})",
+                p.hosts,
+                p.stops,
+                p.naive_predicted_ms,
+                p.planned_predicted_ms,
+                p.naive_real_ms,
+                p.planned_real_ms,
+                p.visited,
+            );
+        }
+        println!("\ntier gap (the paper's local-vs-remote, per link tier):");
+        for t in &tiers {
+            println!(
+                "  {:>6} (x{:<8.1}): local {:.1} ms, remote {:.1} ms, advantage {:.1}%",
+                t.tier.name(),
+                t.slowdown,
+                t.local_scan_ms,
+                t.remote_scan_ms,
+                t.advantage * 100.0,
+            );
+        }
+    }
+
+    if check {
+        let mut failed = false;
+        if !determinism.identical {
+            eprintln!("CHECK FAILED: scenario run traces differ between 1 and 4 workers");
+            failed = true;
+        }
+        if determinism.net_unreachable == 0 || determinism.unreachable_hops == 0 {
+            eprintln!("CHECK FAILED: crashed-stop hop was not accounted as unreachable");
+            failed = true;
+        }
+        for p in &planner {
+            if p.planned_predicted_ms > p.naive_predicted_ms {
+                eprintln!(
+                    "CHECK FAILED: {} hosts: planned prediction {:.1} ms worse than naive {:.1} ms",
+                    p.hosts, p.planned_predicted_ms, p.naive_predicted_ms,
+                );
+                failed = true;
+            }
+            if p.planned_real_ms > p.naive_real_ms {
+                eprintln!(
+                    "CHECK FAILED: {} hosts: planned tour {} ms slower than naive {} ms",
+                    p.hosts, p.planned_real_ms, p.naive_real_ms,
+                );
+                failed = true;
+            }
+        }
+        for pair in tiers.windows(2) {
+            if pair[1].advantage < pair[0].advantage {
+                eprintln!(
+                    "CHECK FAILED: local advantage shrank from {} ({:.4}) to {} ({:.4})",
+                    pair[0].tier, pair[0].advantage, pair[1].tier, pair[1].advantage,
+                );
+                failed = true;
+            }
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check ok: traces identical, planner <= naive on {} size(s), advantage monotone over {} tiers",
+            planner.len(),
+            tiers.len(),
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -284,7 +284,7 @@ fn main() -> ExitCode {
     if json {
         println!("{{");
         println!("  \"bench\": \"parallel_fleet\",");
-        println!("  \"pairs\": {},", params.pairs);
+        println!("  \"pairs\": {},", params.plan.len());
         println!("  \"pages_per_server\": {},", params.pages);
         println!("  \"smoke\": {smoke},");
         println!("  \"wall_reps\": {WALL_REPS},");
@@ -344,7 +344,7 @@ fn main() -> ExitCode {
     } else {
         println!(
             "E9: parallel tick scheduler vs sequential, {}-pair Webbot fleet",
-            params.pairs
+            params.plan.len()
         );
         println!(
             "    {} pages / {} bytes per server, depth {} (wall = min of {WALL_REPS} reps)\n",

@@ -65,7 +65,7 @@ pub use hooks::KernelHooks;
 pub use host::{HostBuilder, TaxHost};
 pub use sched::RunOutcome;
 pub use service::{arg, command_of, error_reply, ok_reply, reply_ok, ServiceAgent, ServiceEnv};
-pub use system::{RecoverySummary, SystemBuilder, TaxSystem};
+pub use system::{RecoverySummary, StepHook, SystemBuilder, TaxSystem};
 pub use wrapper::{
     Wrapper, WrapperCtx, WrapperEvent, WrapperFactory, WrapperStack, WrapperVerdict,
 };

@@ -8,7 +8,7 @@ use parking_lot::RwLock;
 use tacoma_briefcase::{folders, Briefcase};
 use tacoma_firewall::Message;
 use tacoma_security::{Keyring, Principal};
-use tacoma_simnet::{LinkSpec, MessageBus, Network, SimClock, Topology};
+use tacoma_simnet::{LinkSpec, MessageBus, Network, SimClock, SimTime, Topology};
 use tacoma_uri::AgentAddress;
 
 use crate::agent::AgentSpec;
@@ -23,6 +23,15 @@ use crate::TaxError;
 /// Hard cap on scheduler steps per [`TaxSystem::run_until_quiet`] call —
 /// a backstop against agent ping-pong loops.
 const MAX_STEPS: usize = 1_000_000;
+
+/// A callback run at the top of every scheduler step, before messages are
+/// pumped, with the shared network and the current global virtual time.
+///
+/// This is the attachment point for scenario event tracks: a hook applies
+/// every due topology mutation (churn, partitions, link degradation)
+/// between ticks, so within a tick all hosts see one consistent topology
+/// and the trace stays worker-count invariant.
+pub type StepHook = Box<dyn FnMut(&Network, SimTime) + Send>;
 
 /// Ticks with at most this many queued tasks run inline on the scheduler
 /// thread even in multi-threaded mode. Fanning out a couple of tasks can
@@ -217,6 +226,7 @@ impl SystemBuilder {
             tick: 0,
             pool: None,
             scope_cache: Vec::new(),
+            step_hooks: Vec::new(),
         }
     }
 }
@@ -261,6 +271,7 @@ pub struct TaxSystem {
     /// Scopes recycled across ticks: resetting one is equivalent to
     /// allocating fresh, but keeps the send-buffer capacity warm.
     scope_cache: Vec<Arc<TaskScope>>,
+    step_hooks: Vec<StepHook>,
 }
 
 impl TaxSystem {
@@ -555,10 +566,31 @@ impl TaxSystem {
     /// (concurrently across hosts), then flush deferred sends and advance
     /// the global clock to the tick's makespan.
     pub fn step(&mut self) -> bool {
+        self.run_step_hooks();
         if self.threads == 0 {
             self.step_sequential()
         } else {
             self.step_tick()
+        }
+    }
+
+    /// Registers a [`StepHook`] run at the top of every subsequent step.
+    ///
+    /// Hooks fire on the scheduler thread before the message pump, in
+    /// registration order, in both scheduler modes — mutations they make
+    /// depend only on the global clock sequence, so determinism across
+    /// worker counts is preserved.
+    pub fn add_step_hook(&mut self, hook: StepHook) {
+        self.step_hooks.push(hook);
+    }
+
+    fn run_step_hooks(&mut self) {
+        if self.step_hooks.is_empty() {
+            return;
+        }
+        let now = self.kernel.net.clock().now();
+        for hook in &mut self.step_hooks {
+            hook(&self.kernel.net, now);
         }
     }
 

@@ -1,0 +1,289 @@
+//! Deterministic seeded scenario generation.
+//!
+//! A [`ScenarioSpec`] plus a seed is the entire input: [`generate`] is a
+//! pure function of them, so the same spec always yields the
+//! byte-identical scenario (see [`crate::json::encode`]). Generated
+//! topologies are hostile on purpose — heterogeneous link tiers assigned
+//! by rank, zipfian explicit connectivity (a few hubs carry most links),
+//! lossy links, and a scheduled track of crashes, partitions, and route
+//! degradations.
+
+use std::collections::BTreeSet;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::model::{EventKind, LinkDef, LinkTier, Scenario, ScenarioEvent};
+
+/// Hard cap on generated topology size.
+pub const MAX_HOSTS: usize = 1000;
+
+/// What to generate. Everything except the seed has a sensible default;
+/// the seed is the experiment's identity.
+#[derive(Debug, Clone)]
+pub struct ScenarioSpec {
+    /// Scenario label carried into the output.
+    pub name: String,
+    /// The generator (and downstream network) seed.
+    pub seed: u64,
+    /// Host count, clamped to `2..=`[`MAX_HOSTS`].
+    pub hosts: usize,
+    /// Average explicit links per host (zipf-skewed toward hubs).
+    pub link_density: f64,
+    /// Number of crash/restore host-churn pairs to schedule.
+    pub churn: usize,
+    /// Number of partition/heal pairs to schedule.
+    pub partitions: usize,
+    /// Number of route-degradation events (latency or loss bumps).
+    pub degradations: usize,
+    /// Virtual-time horizon the event track is scheduled within, ms.
+    pub horizon_ms: u64,
+    /// Tier of every pair without an explicit link.
+    pub default_tier: LinkTier,
+}
+
+impl ScenarioSpec {
+    /// A spec with default knobs for the given seed and host count.
+    pub fn new(seed: u64, hosts: usize) -> Self {
+        ScenarioSpec {
+            name: format!("hostile-{seed}-{hosts}"),
+            seed,
+            hosts,
+            link_density: 2.0,
+            churn: hosts.div_ceil(20),
+            partitions: hosts.div_ceil(50),
+            degradations: hosts.div_ceil(25),
+            horizon_ms: 60_000,
+            default_tier: LinkTier::Wan,
+        }
+    }
+}
+
+/// Fraction boundaries for rank-based tier assignment: the best-connected
+/// quarter of hosts sit on the fast LAN, the long tail is on dial-up.
+const TIER_CUTS: [(f64, LinkTier); 4] = [
+    (0.25, LinkTier::Lan100),
+    (0.50, LinkTier::Lan10),
+    (0.80, LinkTier::Wan),
+    (1.00, LinkTier::Modem),
+];
+
+fn host_tier(rank: usize, total: usize) -> LinkTier {
+    #[allow(clippy::cast_precision_loss)]
+    let frac = (rank as f64 + 0.5) / total as f64;
+    TIER_CUTS
+        .iter()
+        .find(|(cut, _)| frac <= *cut)
+        .map_or(LinkTier::Modem, |(_, tier)| *tier)
+}
+
+/// Draws a host index from a zipf(1.0) distribution over ranks, so rank 0
+/// (the biggest hub) is drawn most often.
+fn zipf_draw(rng: &mut StdRng, cumulative: &[f64]) -> usize {
+    let total = *cumulative.last().expect("nonempty cumulative weights");
+    let x = rng.random_range(0.0..total);
+    cumulative
+        .partition_point(|&c| c <= x)
+        .min(cumulative.len() - 1)
+}
+
+/// Generates the scenario `spec` describes. Pure: identical specs yield
+/// identical scenarios, independent of platform or thread count.
+pub fn generate(spec: &ScenarioSpec) -> Scenario {
+    let n = spec.hosts.clamp(2, MAX_HOSTS);
+    let mut rng = StdRng::seed_from_u64(spec.seed);
+
+    let hosts: Vec<String> = (0..n).map(|i| format!("h{i:03}")).collect();
+
+    // Zipf cumulative weights over host ranks (weight 1/(rank+1)).
+    let mut cumulative = Vec::with_capacity(n);
+    let mut acc = 0.0;
+    for rank in 0..n {
+        #[allow(clippy::cast_precision_loss)]
+        {
+            acc += 1.0 / (rank as f64 + 1.0);
+        }
+        cumulative.push(acc);
+    }
+
+    // Explicit links: hubs accumulate most of them. The pair's tier is
+    // the slower endpoint's tier — a modem host drags every route to it
+    // down to modem speed.
+    #[allow(
+        clippy::cast_precision_loss,
+        clippy::cast_possible_truncation,
+        clippy::cast_sign_loss
+    )]
+    let target_links = ((n as f64 * spec.link_density) as usize).min(n * (n - 1) / 2);
+    let mut seen = BTreeSet::new();
+    let mut links = Vec::with_capacity(target_links);
+    let mut attempts = 0usize;
+    while links.len() < target_links && attempts < target_links * 20 {
+        attempts += 1;
+        let i = zipf_draw(&mut rng, &cumulative);
+        let j = zipf_draw(&mut rng, &cumulative);
+        if i == j {
+            continue;
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        if !seen.insert((a, b)) {
+            continue;
+        }
+        let tier = host_tier(a, n).max(host_tier(b, n));
+        let loss = if rng.random_range(0u32..10) < 3 {
+            // Round to 4 decimals so the JSON form stays compact.
+            (rng.random_range(0.0..0.05) * 10_000.0).round() / 10_000.0
+        } else {
+            0.0
+        };
+        links.push(LinkDef {
+            a: hosts[a].clone(),
+            b: hosts[b].clone(),
+            tier,
+            loss,
+        });
+    }
+
+    // Event targets are drawn from the back half of the rank order so the
+    // hub hosts a tour wants to visit stay stable; `stable_hosts()` still
+    // computes the exact stable set from the final track.
+    let volatile_lo = n / 2;
+    let pick_volatile = |rng: &mut StdRng| rng.random_range(volatile_lo..n);
+    let horizon = spec.horizon_ms.max(10);
+    let mut events = Vec::new();
+
+    for _ in 0..spec.churn {
+        let host = hosts[pick_volatile(&mut rng)].clone();
+        let down = rng.random_range(0..horizon * 6 / 10);
+        let up = down + rng.random_range(1..horizon * 3 / 10 + 1);
+        events.push(ScenarioEvent {
+            at_ms: down,
+            kind: EventKind::HostDown { host: host.clone() },
+        });
+        events.push(ScenarioEvent {
+            at_ms: up,
+            kind: EventKind::HostUp { host },
+        });
+    }
+
+    for _ in 0..spec.partitions {
+        let i = pick_volatile(&mut rng);
+        let mut j = pick_volatile(&mut rng);
+        if j == i {
+            j = if i + 1 < n { i + 1 } else { volatile_lo };
+        }
+        let (a, b) = (hosts[i.min(j)].clone(), hosts[i.max(j)].clone());
+        let cut = rng.random_range(0..horizon * 6 / 10);
+        let heal = cut + rng.random_range(1..horizon * 3 / 10 + 1);
+        events.push(ScenarioEvent {
+            at_ms: cut,
+            kind: EventKind::Partition {
+                a: a.clone(),
+                b: b.clone(),
+            },
+        });
+        events.push(ScenarioEvent {
+            at_ms: heal,
+            kind: EventKind::Heal { a, b },
+        });
+    }
+
+    for _ in 0..spec.degradations {
+        let i = pick_volatile(&mut rng);
+        let mut j = pick_volatile(&mut rng);
+        if j == i {
+            j = if i + 1 < n { i + 1 } else { volatile_lo };
+        }
+        let (a, b) = (hosts[i.min(j)].clone(), hosts[i.max(j)].clone());
+        let at_ms = rng.random_range(0..horizon);
+        let kind = if rng.random::<bool>() {
+            EventKind::SetLatency {
+                a,
+                b,
+                latency_ms: rng.random_range(50..400),
+            }
+        } else {
+            EventKind::SetLoss {
+                a,
+                b,
+                loss: f64::from(rng.random_range(5u32..30)) / 100.0,
+            }
+        };
+        events.push(ScenarioEvent { at_ms, kind });
+    }
+
+    // Stable sort: ties keep generation order, which is itself
+    // deterministic, so the track is fully reproducible.
+    events.sort_by_key(|e| e.at_ms);
+
+    Scenario {
+        name: spec.name.clone(),
+        seed: spec.seed,
+        default_tier: spec.default_tier,
+        hosts,
+        links,
+        events,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_specs_yield_identical_scenarios() {
+        let spec = ScenarioSpec::new(1234, 150);
+        assert_eq!(generate(&spec), generate(&spec));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&ScenarioSpec::new(1, 100));
+        let b = generate(&ScenarioSpec::new(2, 100));
+        assert_ne!(a.links, b.links);
+    }
+
+    #[test]
+    fn respects_host_count_and_clamps() {
+        assert_eq!(generate(&ScenarioSpec::new(7, 100)).hosts.len(), 100);
+        assert_eq!(generate(&ScenarioSpec::new(7, 1)).hosts.len(), 2);
+        assert_eq!(
+            generate(&ScenarioSpec::new(7, 10_000)).hosts.len(),
+            MAX_HOSTS
+        );
+    }
+
+    #[test]
+    fn connectivity_is_hub_skewed() {
+        let scenario = generate(&ScenarioSpec::new(99, 200));
+        let degree = |host: &str| {
+            scenario
+                .links
+                .iter()
+                .filter(|l| l.a == host || l.b == host)
+                .count()
+        };
+        // The top-ranked hub should out-degree the median host.
+        assert!(degree("h000") > degree("h100"));
+    }
+
+    #[test]
+    fn events_are_sorted_and_leave_stable_hosts() {
+        let scenario = generate(&ScenarioSpec::new(5, 120));
+        assert!(!scenario.events.is_empty());
+        assert!(scenario.events.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let stable = scenario.stable_hosts();
+        assert!(!stable.is_empty());
+        // The hub half is untouched by construction.
+        assert!(stable.contains(&"h000".to_owned()));
+    }
+
+    #[test]
+    fn tiers_cover_all_classes_at_scale() {
+        let scenario = generate(&ScenarioSpec::new(11, 400));
+        let mut tiers: Vec<LinkTier> = scenario.links.iter().map(|l| l.tier).collect();
+        tiers.sort_unstable();
+        tiers.dedup();
+        assert!(tiers.len() >= 3, "expected tier diversity, got {tiers:?}");
+    }
+}

@@ -1,0 +1,550 @@
+//! Hand-rolled JSON encoding for scenarios.
+//!
+//! The workspace's `serde` is an offline no-op stand-in, so the wire
+//! format is written and parsed by hand: a writer that emits a canonical
+//! layout (stable key order, `{:?}`-formatted floats for exact `f64`
+//! round-trips) and a minimal recursive-descent parser for the subset the
+//! writer produces. Canonical output means byte-equality of two encoded
+//! scenarios is the determinism check.
+
+use std::fmt::Write as _;
+
+use crate::model::{EventKind, LinkDef, LinkTier, Scenario, ScenarioEvent};
+
+/// Encodes a scenario as canonical JSON (two-space indent, stable key
+/// order, trailing newline).
+pub fn encode(scenario: &Scenario) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"name\": {},", quote(&scenario.name));
+    let _ = writeln!(out, "  \"seed\": {},", scenario.seed);
+    let _ = writeln!(
+        out,
+        "  \"default_tier\": {},",
+        quote(scenario.default_tier.name())
+    );
+    let _ = writeln!(out, "  \"hosts\": [");
+    for (i, host) in scenario.hosts.iter().enumerate() {
+        let comma = if i + 1 < scenario.hosts.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    {}{comma}", quote(host));
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"links\": [");
+    for (i, link) in scenario.links.iter().enumerate() {
+        let comma = if i + 1 < scenario.links.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            out,
+            "    {{\"a\": {}, \"b\": {}, \"tier\": {}, \"loss\": {:?}}}{comma}",
+            quote(&link.a),
+            quote(&link.b),
+            quote(link.tier.name()),
+            link.loss,
+        );
+    }
+    out.push_str("  ],\n");
+    let _ = writeln!(out, "  \"events\": [");
+    for (i, event) in scenario.events.iter().enumerate() {
+        let comma = if i + 1 < scenario.events.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(out, "    {}{comma}", encode_event(event));
+    }
+    out.push_str("  ]\n");
+    out.push_str("}\n");
+    out
+}
+
+fn encode_event(event: &ScenarioEvent) -> String {
+    let head = format!(
+        "{{\"at_ms\": {}, \"kind\": {}",
+        event.at_ms,
+        quote(event.kind.name())
+    );
+    match &event.kind {
+        EventKind::HostDown { host } | EventKind::HostUp { host } => {
+            format!("{head}, \"host\": {}}}", quote(host))
+        }
+        EventKind::Partition { a, b } | EventKind::Heal { a, b } => {
+            format!("{head}, \"a\": {}, \"b\": {}}}", quote(a), quote(b))
+        }
+        EventKind::SetLatency { a, b, latency_ms } => format!(
+            "{head}, \"a\": {}, \"b\": {}, \"latency_ms\": {latency_ms}}}",
+            quote(a),
+            quote(b)
+        ),
+        EventKind::SetLoss { a, b, loss } => format!(
+            "{head}, \"a\": {}, \"b\": {}, \"loss\": {loss:?}}}",
+            quote(a),
+            quote(b)
+        ),
+    }
+}
+
+fn quote(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// A decoding failure: what went wrong and roughly where.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Human-readable description of the failure.
+    pub message: String,
+    /// Byte offset into the input where the failure was detected.
+    pub at: usize,
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "scenario decode error at byte {}: {}",
+            self.at, self.message
+        )
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Decodes a scenario from JSON produced by [`encode`] (or hand-written
+/// in the same subset: objects, arrays, strings, and plain numbers).
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed JSON, unknown tiers or event
+/// kinds, or missing fields.
+pub fn decode(input: &str) -> Result<Scenario, DecodeError> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    let value = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing content after scenario object"));
+    }
+    scenario_from_value(&value).map_err(|message| DecodeError {
+        message,
+        at: input.len(),
+    })
+}
+
+/// A parsed JSON value in the subset the writer emits. Numbers keep
+/// their literal text: a `u64` seed above 2^53 would lose precision
+/// through an `f64`, so integer fields re-parse the text exactly.
+#[derive(Debug, Clone, PartialEq)]
+enum Value {
+    Str(String),
+    Num(String),
+    Arr(Vec<Value>),
+    Obj(Vec<(String, Value)>),
+}
+
+impl Value {
+    fn get<'a>(&'a self, key: &str) -> Option<&'a Value> {
+        match self {
+            Value::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    fn str_field(&self, key: &str) -> Result<&str, String> {
+        match self.get(key) {
+            Some(Value::Str(s)) => Ok(s),
+            Some(_) => Err(format!("field \"{key}\" is not a string")),
+            None => Err(format!("missing field \"{key}\"")),
+        }
+    }
+
+    fn num_field(&self, key: &str) -> Result<f64, String> {
+        match self.get(key) {
+            Some(Value::Num(text)) => text
+                .parse()
+                .map_err(|_| format!("field \"{key}\" is not a number: {text:?}")),
+            Some(_) => Err(format!("field \"{key}\" is not a number")),
+            None => Err(format!("missing field \"{key}\"")),
+        }
+    }
+
+    fn u64_field(&self, key: &str) -> Result<u64, String> {
+        match self.get(key) {
+            Some(Value::Num(text)) => text
+                .parse()
+                .map_err(|_| format!("field \"{key}\" is not a non-negative integer: {text:?}")),
+            Some(_) => Err(format!("field \"{key}\" is not a number")),
+            None => Err(format!("missing field \"{key}\"")),
+        }
+    }
+
+    fn arr_field<'a>(&'a self, key: &str) -> Result<&'a [Value], String> {
+        match self.get(key) {
+            Some(Value::Arr(items)) => Ok(items),
+            Some(_) => Err(format!("field \"{key}\" is not an array")),
+            None => Err(format!("missing field \"{key}\"")),
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            message: message.into(),
+            at: self.pos,
+        }
+    }
+
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self) -> Option<u8> {
+        self.skip_ws();
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), DecodeError> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, DecodeError> {
+        match self.peek() {
+            Some(b'"') => self.string().map(Value::Str),
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            Some(other) => Err(self.err(format!("unexpected byte '{}'", other as char))),
+            None => Err(self.err("unexpected end of input")),
+        }
+    }
+
+    fn string(&mut self) -> Result<String, DecodeError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos).copied() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos).copied() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| self.err("truncated \\u escape"))?;
+                            let hex = std::str::from_utf8(hex)
+                                .map_err(|_| self.err("non-ascii \\u escape"))?;
+                            let code = u32::from_str_radix(hex, 16)
+                                .map_err(|_| self.err("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| self.err("invalid \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one full UTF-8 character.
+                    let rest = &self.bytes[self.pos..];
+                    let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
+                    let c = s.chars().next().expect("nonempty");
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Value, DecodeError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // Validate syntax now; integer fields re-parse the kept text
+        // exactly rather than going through this lossy f64.
+        text.parse::<f64>()
+            .map(|_| Value::Num(text.to_owned()))
+            .map_err(|_| self.err(format!("bad number {text:?}")))
+    }
+
+    fn array(&mut self) -> Result<Value, DecodeError> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value, DecodeError> {
+        self.expect(b'{')?;
+        let mut fields = Vec::new();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(fields));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(b':')?;
+            let value = self.value()?;
+            fields.push((key, value));
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(fields));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+fn scenario_from_value(value: &Value) -> Result<Scenario, String> {
+    let name = value.str_field("name")?.to_owned();
+    let seed = value.u64_field("seed")?;
+    let tier_name = value.str_field("default_tier")?;
+    let default_tier =
+        LinkTier::parse(tier_name).ok_or_else(|| format!("unknown tier {tier_name:?}"))?;
+    let hosts = value
+        .arr_field("hosts")?
+        .iter()
+        .map(|h| match h {
+            Value::Str(s) => Ok(s.clone()),
+            _ => Err("host entry is not a string".to_owned()),
+        })
+        .collect::<Result<Vec<_>, _>>()?;
+    let links = value
+        .arr_field("links")?
+        .iter()
+        .map(link_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    let events = value
+        .arr_field("events")?
+        .iter()
+        .map(event_from_value)
+        .collect::<Result<Vec<_>, _>>()?;
+    Ok(Scenario {
+        name,
+        seed,
+        default_tier,
+        hosts,
+        links,
+        events,
+    })
+}
+
+fn link_from_value(value: &Value) -> Result<LinkDef, String> {
+    let tier_name = value.str_field("tier")?;
+    Ok(LinkDef {
+        a: value.str_field("a")?.to_owned(),
+        b: value.str_field("b")?.to_owned(),
+        tier: LinkTier::parse(tier_name).ok_or_else(|| format!("unknown tier {tier_name:?}"))?,
+        loss: value.num_field("loss")?,
+    })
+}
+
+fn event_from_value(value: &Value) -> Result<ScenarioEvent, String> {
+    let at_ms = value.u64_field("at_ms")?;
+    let kind_name = value.str_field("kind")?;
+    let kind = match kind_name {
+        "host_down" => EventKind::HostDown {
+            host: value.str_field("host")?.to_owned(),
+        },
+        "host_up" => EventKind::HostUp {
+            host: value.str_field("host")?.to_owned(),
+        },
+        "partition" => EventKind::Partition {
+            a: value.str_field("a")?.to_owned(),
+            b: value.str_field("b")?.to_owned(),
+        },
+        "heal" => EventKind::Heal {
+            a: value.str_field("a")?.to_owned(),
+            b: value.str_field("b")?.to_owned(),
+        },
+        "set_latency" => EventKind::SetLatency {
+            a: value.str_field("a")?.to_owned(),
+            b: value.str_field("b")?.to_owned(),
+            latency_ms: value.u64_field("latency_ms")?,
+        },
+        "set_loss" => EventKind::SetLoss {
+            a: value.str_field("a")?.to_owned(),
+            b: value.str_field("b")?.to_owned(),
+            loss: value.num_field("loss")?,
+        },
+        other => return Err(format!("unknown event kind {other:?}")),
+    };
+    Ok(ScenarioEvent { at_ms, kind })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Scenario {
+        Scenario {
+            name: "sample \"quoted\"".into(),
+            seed: 42,
+            default_tier: LinkTier::Wan,
+            hosts: vec!["h000".into(), "h001".into(), "h002".into()],
+            links: vec![
+                LinkDef {
+                    a: "h000".into(),
+                    b: "h001".into(),
+                    tier: LinkTier::Lan100,
+                    loss: 0.012_345_678_901_234_5,
+                },
+                LinkDef {
+                    a: "h001".into(),
+                    b: "h002".into(),
+                    tier: LinkTier::Modem,
+                    loss: 0.0,
+                },
+            ],
+            events: vec![
+                ScenarioEvent {
+                    at_ms: 100,
+                    kind: EventKind::HostDown {
+                        host: "h002".into(),
+                    },
+                },
+                ScenarioEvent {
+                    at_ms: 150,
+                    kind: EventKind::SetLatency {
+                        a: "h000".into(),
+                        b: "h001".into(),
+                        latency_ms: 250,
+                    },
+                },
+                ScenarioEvent {
+                    at_ms: 200,
+                    kind: EventKind::SetLoss {
+                        a: "h000".into(),
+                        b: "h001".into(),
+                        loss: 0.5,
+                    },
+                },
+                ScenarioEvent {
+                    at_ms: 300,
+                    kind: EventKind::HostUp {
+                        host: "h002".into(),
+                    },
+                },
+                ScenarioEvent {
+                    at_ms: 400,
+                    kind: EventKind::Partition {
+                        a: "h000".into(),
+                        b: "h002".into(),
+                    },
+                },
+                ScenarioEvent {
+                    at_ms: 500,
+                    kind: EventKind::Heal {
+                        a: "h000".into(),
+                        b: "h002".into(),
+                    },
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn round_trip_is_exact() {
+        let original = sample();
+        let encoded = encode(&original);
+        let decoded = decode(&encoded).unwrap();
+        assert_eq!(decoded, original);
+        // Canonical: re-encoding the decode is byte-identical.
+        assert_eq!(encode(&decoded), encoded);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        let mut encoded = encode(&sample());
+        encoded.push_str("{}");
+        assert!(decode(&encoded).is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_tier() {
+        let encoded = encode(&sample()).replace("\"wan\"", "\"avian\"");
+        let err = decode(&encoded).unwrap_err();
+        assert!(err.message.contains("avian"), "{err}");
+    }
+
+    #[test]
+    fn rejects_missing_field() {
+        assert!(decode("{\"name\": \"x\"}").is_err());
+        assert!(decode("not json").is_err());
+    }
+}

@@ -1,0 +1,320 @@
+//! The serializable scenario model: hosts, tiered links, and a scheduled
+//! event track that `simnet` can instantiate and mutate at runtime.
+
+use std::fmt;
+use std::time::Duration;
+
+use tacoma_simnet::{HostId, LinkSpec, Topology};
+
+/// A named bandwidth/latency class for a link — the paper-era internet in
+/// four steps, from the §5 department LAN down to the dial-up far end of
+/// the "slower links widen the remote advantage" conjecture.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LinkTier {
+    /// 100 Mbit switched LAN — the paper's test environment.
+    Lan100,
+    /// 10 Mbit shared LAN — the older department network.
+    Lan10,
+    /// A 2 Mbit / 40 ms wide-area route.
+    Wan,
+    /// 56 kbit dial-up.
+    Modem,
+}
+
+impl LinkTier {
+    /// Every tier, fastest first. The order is the slowdown order used by
+    /// the E11 monotonicity gate.
+    pub const ALL: [LinkTier; 4] = [
+        LinkTier::Lan100,
+        LinkTier::Lan10,
+        LinkTier::Wan,
+        LinkTier::Modem,
+    ];
+
+    /// The link spec this tier stands for.
+    pub fn spec(self) -> LinkSpec {
+        match self {
+            LinkTier::Lan100 => LinkSpec::lan_100mbit(),
+            LinkTier::Lan10 => LinkSpec::lan_10mbit(),
+            LinkTier::Wan => LinkSpec::wan(2_000_000, Duration::from_millis(40)),
+            LinkTier::Modem => LinkSpec::modem_56k(),
+        }
+    }
+
+    /// How many times slower than [`LinkTier::Lan100`] this tier moves a
+    /// reference 1 MB payload — the x-axis of the §5 conjecture sweep.
+    pub fn slowdown(self) -> f64 {
+        let reference = LinkTier::Lan100.spec().transfer_time(1_000_000);
+        self.spec().transfer_time(1_000_000).as_secs_f64() / reference.as_secs_f64()
+    }
+
+    /// The tier's stable wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            LinkTier::Lan100 => "lan100",
+            LinkTier::Lan10 => "lan10",
+            LinkTier::Wan => "wan",
+            LinkTier::Modem => "modem",
+        }
+    }
+
+    /// Parses a wire name back into a tier.
+    pub fn parse(name: &str) -> Option<LinkTier> {
+        LinkTier::ALL.into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for LinkTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One explicit link in a scenario: an unordered host pair, its tier, and
+/// its loss probability. Pairs without an explicit link ride the
+/// scenario's default tier, loss-free.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkDef {
+    /// One endpoint.
+    pub a: String,
+    /// The other endpoint.
+    pub b: String,
+    /// The bandwidth/latency class.
+    pub tier: LinkTier,
+    /// Loss probability in `[0, 1)`.
+    pub loss: f64,
+}
+
+impl LinkDef {
+    /// The link spec this definition instantiates.
+    pub fn spec(&self) -> LinkSpec {
+        if self.loss > 0.0 {
+            self.tier.spec().with_loss(self.loss)
+        } else {
+            self.tier.spec()
+        }
+    }
+}
+
+/// What a scheduled event does to the running network.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    /// The host crashes: all communication to or from it fails.
+    HostDown {
+        /// The crashing host.
+        host: String,
+    },
+    /// The host comes back.
+    HostUp {
+        /// The restored host.
+        host: String,
+    },
+    /// The pair's link is severed in both directions.
+    Partition {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// The pair's severed link is restored.
+    Heal {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+    },
+    /// The pair's one-way latency changes (a degrading route).
+    SetLatency {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+        /// The new one-way latency in milliseconds.
+        latency_ms: u64,
+    },
+    /// The pair's loss probability changes.
+    SetLoss {
+        /// One endpoint.
+        a: String,
+        /// The other endpoint.
+        b: String,
+        /// The new loss probability in `[0, 1)`.
+        loss: f64,
+    },
+}
+
+impl EventKind {
+    /// The kind's stable wire name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::HostDown { .. } => "host_down",
+            EventKind::HostUp { .. } => "host_up",
+            EventKind::Partition { .. } => "partition",
+            EventKind::Heal { .. } => "heal",
+            EventKind::SetLatency { .. } => "set_latency",
+            EventKind::SetLoss { .. } => "set_loss",
+        }
+    }
+
+    /// Host names this event touches.
+    pub fn hosts(&self) -> Vec<&str> {
+        match self {
+            EventKind::HostDown { host } | EventKind::HostUp { host } => vec![host],
+            EventKind::Partition { a, b }
+            | EventKind::Heal { a, b }
+            | EventKind::SetLatency { a, b, .. }
+            | EventKind::SetLoss { a, b, .. } => vec![a, b],
+        }
+    }
+}
+
+/// One scheduled mutation of the running topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioEvent {
+    /// Virtual time the event fires at, in milliseconds since the run's
+    /// epoch.
+    pub at_ms: u64,
+    /// What happens.
+    pub kind: EventKind,
+}
+
+/// A complete generated scenario: the topology to build and the event
+/// track to drive while it runs. Serializable (see [`crate::json`]), and
+/// a pure function of its generator spec — the same seed always yields
+/// the byte-identical scenario.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Human-readable label, carried through benches and JSON.
+    pub name: String,
+    /// The seed it was generated from (also seeds the instantiated
+    /// network's loss randomness).
+    pub seed: u64,
+    /// The tier of every pair without an explicit link.
+    pub default_tier: LinkTier,
+    /// All hosts, in name order.
+    pub hosts: Vec<String>,
+    /// Explicit links (zipfian connectivity: hubs carry most of them).
+    pub links: Vec<LinkDef>,
+    /// The event track, sorted by [`ScenarioEvent::at_ms`].
+    pub events: Vec<ScenarioEvent>,
+}
+
+impl Scenario {
+    /// Builds the simnet topology this scenario describes (its state at
+    /// virtual time zero; the event track mutates it from there).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a host or link endpoint is not a valid [`HostId`] — the
+    /// generator only emits valid names, so this indicates a corrupted
+    /// hand-written scenario.
+    pub fn topology(&self) -> Topology {
+        let mut topo = Topology::new(self.default_tier.spec());
+        for host in &self.hosts {
+            topo.add_host(HostId::new(host.clone()).expect("valid scenario host name"));
+        }
+        for link in &self.links {
+            let a = HostId::new(link.a.clone()).expect("valid link endpoint");
+            let b = HostId::new(link.b.clone()).expect("valid link endpoint");
+            topo.set_link(&a, &b, link.spec());
+        }
+        topo
+    }
+
+    /// Hosts no event ever crashes or partitions — safe ground for a
+    /// tour that must complete while the hostile background plays out.
+    pub fn stable_hosts(&self) -> Vec<String> {
+        self.hosts
+            .iter()
+            .filter(|h| {
+                !self
+                    .events
+                    .iter()
+                    .any(|e| e.kind.hosts().contains(&h.as_str()))
+            })
+            .cloned()
+            .collect()
+    }
+
+    /// Total event count at or before `at_ms` — how much of the track a
+    /// run to that virtual time should have applied.
+    pub fn events_due_by(&self, at_ms: u64) -> usize {
+        self.events.iter().filter(|e| e.at_ms <= at_ms).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tier_slowdown_is_monotone() {
+        let mut prev = 0.0;
+        for tier in LinkTier::ALL {
+            let s = tier.slowdown();
+            assert!(s >= prev, "{tier} slowdown {s} not monotone");
+            prev = s;
+        }
+        assert!((LinkTier::Lan100.slowdown() - 1.0).abs() < 1e-9);
+        assert!(LinkTier::Modem.slowdown() > 100.0);
+    }
+
+    #[test]
+    fn tier_names_round_trip() {
+        for tier in LinkTier::ALL {
+            assert_eq!(LinkTier::parse(tier.name()), Some(tier));
+        }
+        assert_eq!(LinkTier::parse("carrier-pigeon"), None);
+    }
+
+    #[test]
+    fn topology_applies_links_and_default() {
+        let scenario = Scenario {
+            name: "t".into(),
+            seed: 1,
+            default_tier: LinkTier::Wan,
+            hosts: vec!["a".into(), "b".into(), "c".into()],
+            links: vec![LinkDef {
+                a: "a".into(),
+                b: "b".into(),
+                tier: LinkTier::Lan100,
+                loss: 0.25,
+            }],
+            events: vec![],
+        };
+        let topo = scenario.topology();
+        let h = |n: &str| HostId::new(n).unwrap();
+        let ab = topo.route(&h("a"), &h("b")).unwrap();
+        assert_eq!(ab.bandwidth_bps, LinkTier::Lan100.spec().bandwidth_bps);
+        assert!((ab.loss - 0.25).abs() < 1e-12);
+        let ac = topo.route(&h("a"), &h("c")).unwrap();
+        assert_eq!(ac, LinkTier::Wan.spec());
+    }
+
+    #[test]
+    fn stable_hosts_excludes_event_targets() {
+        let scenario = Scenario {
+            name: "t".into(),
+            seed: 1,
+            default_tier: LinkTier::Lan100,
+            hosts: vec!["a".into(), "b".into(), "c".into(), "d".into()],
+            links: vec![],
+            events: vec![
+                ScenarioEvent {
+                    at_ms: 10,
+                    kind: EventKind::HostDown { host: "b".into() },
+                },
+                ScenarioEvent {
+                    at_ms: 20,
+                    kind: EventKind::Partition {
+                        a: "c".into(),
+                        b: "d".into(),
+                    },
+                },
+            ],
+        };
+        assert_eq!(scenario.stable_hosts(), vec!["a".to_owned()]);
+        assert_eq!(scenario.events_due_by(15), 1);
+        assert_eq!(scenario.events_due_by(25), 2);
+    }
+}

@@ -1,0 +1,222 @@
+//! Makespan-minimizing itinerary planning.
+//!
+//! A multi-hop webbot tour visits a set of servers and returns home; its
+//! virtual makespan is dominated by agent-transfer time over the links it
+//! crosses. The paper sends its robot in request order. On a homogeneous
+//! LAN the order is irrelevant, but over the heterogeneous topologies the
+//! scenario generator produces, a tour that zig-zags across a modem link
+//! pays for it on every crossing. This module plans the visit order
+//! against the link matrix: nearest-neighbor construction from home,
+//! refined by 2-opt segment reversal, with the home endpoints fixed (the
+//! agent starts and ends at its launch host). [`naive_order`] is the
+//! paper-order baseline the E11 experiment compares against.
+
+use std::time::Duration;
+
+use tacoma_simnet::{HostId, Topology};
+
+/// A planned tour: the visit order (home excluded) and its predicted
+/// makespan over the given link matrix.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Itinerary {
+    /// Stops in visit order; the tour runs home → stops… → home.
+    pub order: Vec<HostId>,
+    /// Predicted agent-transfer time for the whole round trip.
+    pub predicted: Duration,
+}
+
+/// Predicted cost of one hop: the effective link's transfer time for an
+/// agent of `payload_bytes`. Partitions and crashes are runtime
+/// phenomena, not link properties, so they do not enter the prediction.
+pub fn hop_cost(topo: &Topology, a: &HostId, b: &HostId, payload_bytes: u64) -> Duration {
+    if a == b {
+        return Duration::ZERO;
+    }
+    topo.effective_link(a, b).transfer_time(payload_bytes)
+}
+
+/// Predicted makespan of the round trip home → `order`… → home.
+pub fn predicted_makespan(
+    topo: &Topology,
+    home: &HostId,
+    order: &[HostId],
+    payload_bytes: u64,
+) -> Duration {
+    let mut total = Duration::ZERO;
+    let mut at = home;
+    for stop in order {
+        total += hop_cost(topo, at, stop, payload_bytes);
+        at = stop;
+    }
+    total + hop_cost(topo, at, home, payload_bytes)
+}
+
+/// The paper-order baseline: visit stops exactly as requested.
+pub fn naive_order(stops: &[HostId]) -> Vec<HostId> {
+    stops.to_vec()
+}
+
+/// Nearest-neighbor construction: from home, repeatedly hop to the
+/// cheapest unvisited stop. Ties break toward the earlier stop in the
+/// input, keeping the result deterministic.
+pub fn nearest_neighbor(
+    topo: &Topology,
+    home: &HostId,
+    stops: &[HostId],
+    payload_bytes: u64,
+) -> Vec<HostId> {
+    let mut remaining: Vec<&HostId> = stops.iter().collect();
+    let mut order = Vec::with_capacity(stops.len());
+    let mut at = home;
+    while !remaining.is_empty() {
+        let best = remaining
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, stop)| hop_cost(topo, at, stop, payload_bytes))
+            .map(|(i, _)| i)
+            .expect("remaining is nonempty");
+        let next = remaining.remove(best);
+        order.push(next.clone());
+        at = order.last().expect("just pushed");
+    }
+    order
+}
+
+/// 2-opt refinement with fixed home endpoints: repeatedly reverses the
+/// segment `[i..=j]` when doing so shortens the tour (including the
+/// closing edge back home), until a full pass finds no improvement. The
+/// result never costs more than the input order.
+pub fn two_opt(
+    topo: &Topology,
+    home: &HostId,
+    order: &[HostId],
+    payload_bytes: u64,
+) -> Vec<HostId> {
+    let mut best: Vec<HostId> = order.to_vec();
+    if best.len() < 2 {
+        return best;
+    }
+    let cost = |a: &HostId, b: &HostId| hop_cost(topo, a, b, payload_bytes);
+    // Bounded passes: 2-opt converges fast, but guard against cost-model
+    // pathologies keeping us in a loop.
+    for _ in 0..best.len() * 4 {
+        let mut improved = false;
+        for i in 0..best.len() - 1 {
+            for j in i + 1..best.len() {
+                let before_i = if i == 0 { home } else { &best[i - 1] };
+                let after_j = if j == best.len() - 1 {
+                    home
+                } else {
+                    &best[j + 1]
+                };
+                let current = cost(before_i, &best[i]) + cost(&best[j], after_j);
+                let reversed = cost(before_i, &best[j]) + cost(&best[i], after_j);
+                if reversed < current {
+                    best[i..=j].reverse();
+                    improved = true;
+                }
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    best
+}
+
+/// Full planner: 2-opt refinement of both the nearest-neighbor seed and
+/// the naive request order, keeping whichever predicts cheaper. Because
+/// the naive order is one of the refined candidates and 2-opt never
+/// regresses its input, the plan's predicted makespan is never worse
+/// than the baseline's.
+pub fn plan(topo: &Topology, home: &HostId, stops: &[HostId], payload_bytes: u64) -> Itinerary {
+    let seeded = nearest_neighbor(topo, home, stops, payload_bytes);
+    let candidates = [
+        two_opt(topo, home, &seeded, payload_bytes),
+        two_opt(topo, home, stops, payload_bytes),
+    ];
+    candidates
+        .into_iter()
+        .map(|order| {
+            let predicted = predicted_makespan(topo, home, &order, payload_bytes);
+            Itinerary { order, predicted }
+        })
+        .min_by_key(|it| it.predicted)
+        .expect("two candidates")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tacoma_simnet::LinkSpec;
+
+    fn h(n: &str) -> HostId {
+        HostId::new(n).unwrap()
+    }
+
+    /// A line topology: home — a — b — c with fast adjacent links and a
+    /// slow default, so the optimal tour walks the line in order.
+    fn line_topology() -> Topology {
+        let mut topo = Topology::new(LinkSpec::modem_56k());
+        for n in ["home", "a", "b", "c"] {
+            topo.add_host(h(n));
+        }
+        for (x, y) in [("home", "a"), ("a", "b"), ("b", "c")] {
+            topo.set_link(&h(x), &h(y), LinkSpec::lan_100mbit());
+        }
+        topo
+    }
+
+    #[test]
+    fn planner_beats_adversarial_order_on_line() {
+        let topo = line_topology();
+        let home = h("home");
+        let stops = [h("b"), h("c"), h("a")]; // zig-zags across slow default links
+        let bytes = 100_000;
+
+        let naive = predicted_makespan(&topo, &home, &naive_order(&stops), bytes);
+        let planned = plan(&topo, &home, &stops, bytes);
+        assert!(planned.predicted < naive, "{planned:?} !< {naive:?}");
+        assert_eq!(planned.order, vec![h("a"), h("b"), h("c")]);
+    }
+
+    #[test]
+    fn two_opt_never_worse_than_input() {
+        let topo = line_topology();
+        let home = h("home");
+        let bytes = 50_000;
+        let orders = [
+            vec![h("a"), h("b"), h("c")],
+            vec![h("c"), h("a"), h("b")],
+            vec![h("b"), h("c"), h("a")],
+        ];
+        for order in orders {
+            let before = predicted_makespan(&topo, &home, &order, bytes);
+            let refined = two_opt(&topo, &home, &order, bytes);
+            let after = predicted_makespan(&topo, &home, &refined, bytes);
+            assert!(after <= before, "2-opt regressed: {after:?} > {before:?}");
+        }
+    }
+
+    #[test]
+    fn plan_visits_every_stop_exactly_once() {
+        let topo = line_topology();
+        let stops = [h("c"), h("a"), h("b")];
+        let planned = plan(&topo, &h("home"), &stops, 1_000);
+        let mut visited = planned.order.clone();
+        visited.sort();
+        let mut expected = stops.to_vec();
+        expected.sort();
+        assert_eq!(visited, expected);
+    }
+
+    #[test]
+    fn degenerate_tours_are_handled() {
+        let topo = line_topology();
+        let home = h("home");
+        assert!(plan(&topo, &home, &[], 1_000).order.is_empty());
+        let single = plan(&topo, &home, &[h("a")], 1_000);
+        assert_eq!(single.order, vec![h("a")]);
+        assert!(single.predicted > Duration::ZERO);
+    }
+}

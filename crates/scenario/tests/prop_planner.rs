@@ -1,0 +1,99 @@
+//! Property tests: planner guarantees and generator determinism.
+//!
+//! The planner's contract is inequality-shaped (2-opt never regresses,
+//! `plan` never loses to the naive order), which makes it a natural
+//! property-test target: any generated topology and any visit order must
+//! satisfy it, not just the line topologies the unit tests pick.
+
+use proptest::prelude::*;
+use tacoma_scenario::{decode, encode, generate, plan, predicted_makespan, ScenarioSpec};
+use tacoma_simnet::HostId;
+
+/// Turns raw picks into a duplicate-free stop list over `hosts`,
+/// excluding the home host at rank 0.
+fn stops_from_picks(hosts: &[String], picks: &[u64]) -> Vec<HostId> {
+    let mut stops = Vec::new();
+    for p in picks {
+        #[allow(clippy::cast_possible_truncation)]
+        let idx = 1 + (*p as usize) % (hosts.len() - 1);
+        let id = HostId::new(hosts[idx].clone()).expect("generated host name");
+        if !stops.contains(&id) {
+            stops.push(id);
+        }
+    }
+    stops
+}
+
+proptest! {
+    /// 2-opt refinement never predicts worse than the order it was given,
+    /// and the full planner never predicts worse than the naive baseline.
+    #[test]
+    fn planner_never_regresses(
+        seed in any::<u64>(),
+        hosts in 4usize..24,
+        picks in prop::collection::vec(any::<u64>(), 1..8),
+        bytes in 1u64..5_000_000,
+    ) {
+        let scenario = generate(&ScenarioSpec::new(seed, hosts));
+        let topo = scenario.topology();
+        let home = HostId::new(scenario.hosts[0].clone()).expect("home host");
+        let stops = stops_from_picks(&scenario.hosts, &picks);
+
+        let naive = predicted_makespan(&topo, &home, &stops, bytes);
+        let refined = tacoma_scenario::plan::two_opt(&topo, &home, &stops, bytes);
+        let after = predicted_makespan(&topo, &home, &refined, bytes);
+        prop_assert!(after <= naive, "2-opt regressed: {after:?} > {naive:?}");
+
+        let planned = plan(&topo, &home, &stops, bytes);
+        prop_assert!(
+            planned.predicted <= naive,
+            "plan lost to naive: {:?} > {naive:?}",
+            planned.predicted
+        );
+        prop_assert_eq!(
+            predicted_makespan(&topo, &home, &planned.order, bytes),
+            planned.predicted
+        );
+
+        // The plan is a permutation of the requested stops.
+        let mut got = planned.order.clone();
+        got.sort();
+        let mut want = stops.clone();
+        want.sort();
+        prop_assert_eq!(got, want);
+    }
+
+    /// Generation is a pure function of the spec: concurrent generators on
+    /// four threads produce the byte-identical encoding the main thread
+    /// does. (Scheduler-thread invariance of a *running* scenario is
+    /// covered by the `scenario_smoke` integration test.)
+    #[test]
+    fn identical_seeds_encode_identically_across_threads(
+        seed in any::<u64>(),
+        hosts in 2usize..64,
+    ) {
+        let spec = ScenarioSpec::new(seed, hosts);
+        let reference = encode(&generate(&spec));
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                let spec = spec.clone();
+                std::thread::spawn(move || encode(&generate(&spec)))
+            })
+            .collect();
+        for worker in workers {
+            let theirs = worker.join().expect("generator thread");
+            prop_assert_eq!(&theirs, &reference);
+        }
+    }
+
+    /// Every generated scenario survives a JSON round trip exactly, and
+    /// the encoding is a fixed point (canonical form).
+    #[test]
+    fn generated_scenarios_round_trip(seed in any::<u64>(), hosts in 2usize..40) {
+        let scenario = generate(&ScenarioSpec::new(seed, hosts));
+        let text = encode(&scenario);
+        let back = decode(&text).expect("canonical encoding must decode");
+        prop_assert_eq!(&back, &scenario);
+        prop_assert_eq!(encode(&back), text);
+    }
+}

@@ -1,0 +1,93 @@
+//! Smoke test: a 16-host scenario with one scheduled partition, replayed
+//! under 1- and 4-worker schedulers.
+//!
+//! The partition severs the tour's home host from its first stop at
+//! virtual time zero, so the tour must account that hop as *unreachable*
+//! (distinct from random link loss) and carry on. Because the event track
+//! fires from a BSP step hook, the full event trace must be identical
+//! whatever the worker count.
+
+use tacoma_core::HostEvent;
+use tacoma_scenario::{
+    build_system, generate, install_track, EventKind, Scenario, ScenarioEvent, ScenarioSpec,
+};
+use tacoma_webbot::fleet::{install_fleet_sites, FleetParams, FleetPlan};
+use tacoma_webbot::mobile;
+use tacoma_webbot::tour::{fetch_tour, tour_spec, TourStamps};
+
+const HOME: &str = "h000";
+const CUT_STOP: &str = "h009";
+
+/// 16 hosts, no random churn or degradation — exactly one event: a
+/// never-healed partition between the tour's home and its first stop.
+fn smoke_scenario() -> Scenario {
+    let mut spec = ScenarioSpec::new(16_161, 16);
+    spec.churn = 0;
+    spec.partitions = 0;
+    spec.degradations = 0;
+    let mut scenario = generate(&spec);
+    scenario.events = vec![ScenarioEvent {
+        at_ms: 0,
+        kind: EventKind::Partition {
+            a: HOME.to_owned(),
+            b: CUT_STOP.to_owned(),
+        },
+    }];
+    scenario
+}
+
+/// Runs the tour over the smoke scenario with `threads` scheduler
+/// workers; returns the tour stamps, the network's unreachable counter,
+/// and the full event trace.
+fn run(threads: usize) -> (TourStamps, u64, Vec<(String, HostEvent)>) {
+    let scenario = smoke_scenario();
+    let order = [CUT_STOP.to_owned(), "h003".to_owned(), "h005".to_owned()];
+
+    let mut system = build_system(&scenario, threads);
+    let track = install_track(&mut system, &scenario);
+
+    let params = FleetParams {
+        plan: FleetPlan::from_pairs(order.iter().map(|stop| (HOME.to_owned(), stop.clone()))),
+        pages: 4,
+        total_bytes: 20_000,
+        seed: scenario.seed,
+        ..FleetParams::default()
+    };
+    install_fleet_sites(&system, &params);
+    for name in params.plan.hosts() {
+        mobile::install_programs(&system.host(&name).expect("scenario host"));
+    }
+
+    system
+        .launch(HOME, tour_spec(HOME, &order, &[]))
+        .expect("launch tour");
+    let outcome = system.run_until_quiet();
+    assert!(outcome.quiesced(), "smoke system did not quiesce");
+    assert_eq!(track.applied(), 1, "the single partition event must fire");
+
+    let (_, stamps) = fetch_tour(&mut system, HOME, HOME).expect("tour reported home");
+    let unreachable = system.network().stats().total_unreachable();
+    (stamps, unreachable, system.events())
+}
+
+#[test]
+fn partitioned_stop_is_unreachable_not_lost() {
+    let (stamps, net_unreachable, _) = run(1);
+    assert_eq!(stamps.unreachable, vec![CUT_STOP.to_owned()]);
+    assert_eq!(stamps.visited.len(), 2, "the two reachable stops scan");
+    assert!(
+        net_unreachable > 0,
+        "the severed hop must hit the unreachable counter"
+    );
+    assert!(stamps.makespan_ms() >= 0);
+}
+
+#[test]
+fn trace_is_identical_across_worker_counts() {
+    let (stamps_1, unreachable_1, trace_1) = run(1);
+    let (stamps_4, unreachable_4, trace_4) = run(4);
+    assert_eq!(trace_1, trace_4, "1- vs 4-worker traces diverged");
+    assert_eq!(stamps_1.visited, stamps_4.visited);
+    assert_eq!(stamps_1.unreachable, stamps_4.unreachable);
+    assert_eq!(unreachable_1, unreachable_4);
+}

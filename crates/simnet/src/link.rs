@@ -68,6 +68,13 @@ impl LinkSpec {
         LinkSpec::new(latency, bandwidth_bps)
     }
 
+    /// A 56 kbit dial-up modem hop — the slowest tier of the paper-era
+    /// internet, and the far end of the "slower links widen the remote
+    /// advantage" conjecture.
+    pub fn modem_56k() -> Self {
+        LinkSpec::new(Duration::from_millis(120), 56_000)
+    }
+
     /// The loopback pseudo-link used when source and destination are the
     /// same host: memory-bus bandwidth, negligible latency.
     pub fn loopback() -> Self {

@@ -53,6 +53,44 @@ impl Network {
         f(&mut self.topology.lock())
     }
 
+    /// Sets the one-way latency of the `a`↔`b` link at runtime.
+    ///
+    /// Part of the scenario event API: a scenario event track mutates
+    /// links between scheduler ticks to model degrading routes.
+    pub fn set_latency(&self, a: &HostId, b: &HostId, latency: Duration) {
+        self.topology.lock().set_latency(a, b, latency);
+    }
+
+    /// Sets the loss probability of the `a`↔`b` link at runtime.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0` (same contract as
+    /// [`crate::LinkSpec::with_loss`]).
+    pub fn set_loss(&self, a: &HostId, b: &HostId, loss: f64) {
+        self.topology.lock().set_loss(a, b, loss);
+    }
+
+    /// Severs the `a`↔`b` link (both directions) at runtime.
+    pub fn partition(&self, a: &HostId, b: &HostId) {
+        self.topology.lock().partition(a, b);
+    }
+
+    /// Heals a severed `a`↔`b` link at runtime.
+    pub fn heal(&self, a: &HostId, b: &HostId) {
+        self.topology.lock().heal(a, b);
+    }
+
+    /// Marks a host as crashed at runtime (scheduled churn: host down).
+    pub fn crash_host(&self, host: &HostId) {
+        self.topology.lock().crash_host(host);
+    }
+
+    /// Restores a crashed host at runtime (scheduled churn: host up).
+    pub fn restore_host(&self, host: &HostId) {
+        self.topology.lock().restore_host(host);
+    }
+
     /// Whether the topology knows this host.
     pub fn contains(&self, host: &HostId) -> bool {
         self.topology.lock().contains(host)
@@ -114,7 +152,20 @@ impl Network {
         clock: &SimClock,
         rng: &mut StdRng,
     ) -> Result<TransferOutcome, NetError> {
-        let link = self.topology.lock().route(from, to)?;
+        let link = match self.topology.lock().route(from, to) {
+            Ok(link) => link,
+            Err(err) => {
+                // Churn drops (crashed host, severed link) are counted
+                // apart from random loss so scenarios can tell them apart.
+                if matches!(
+                    err,
+                    NetError::HostDown { .. } | NetError::Partitioned { .. }
+                ) {
+                    self.stats.lock().record_unreachable(from, to);
+                }
+                return Err(err);
+            }
+        };
         let departed = clock.now();
 
         if link.loss > 0.0 && rng.random::<f64>() < link.loss {
@@ -210,6 +261,40 @@ mod tests {
             net.transfer(&h("a"), &h("b"), 1),
             Err(NetError::HostDown { .. })
         ));
+    }
+
+    #[test]
+    fn churn_drops_counted_as_unreachable_not_loss() {
+        let net = net();
+        net.crash_host(&h("b"));
+        assert!(net.transfer(&h("a"), &h("b"), 1).is_err());
+        net.restore_host(&h("b"));
+        net.partition(&h("a"), &h("b"));
+        assert!(net.transfer(&h("a"), &h("b"), 1).is_err());
+        net.heal(&h("a"), &h("b"));
+        assert!(net.transfer(&h("a"), &h("b"), 1).is_ok());
+        let stats = net.stats();
+        assert_eq!(stats.total_unreachable(), 2);
+        assert_eq!(stats.total_lost(), 0);
+        // Route refusals must not advance the virtual clock.
+        assert_eq!(stats.total_messages(), 1);
+    }
+
+    #[test]
+    fn runtime_link_mutation_changes_costs() {
+        let net = net();
+        let before = net.probe(&h("a"), &h("b"), 0).unwrap();
+        net.set_latency(&h("a"), &h("b"), Duration::from_millis(80));
+        let after = net.probe(&h("a"), &h("b"), 0).unwrap();
+        assert!(after > before);
+        assert_eq!(after, Duration::from_millis(80));
+
+        net.set_loss(&h("a"), &h("b"), 0.999_999);
+        assert!(matches!(
+            net.transfer(&h("a"), &h("b"), 1),
+            Err(NetError::MessageLost { .. })
+        ));
+        assert_eq!(net.stats().total_lost(), 1);
     }
 
     #[test]

@@ -15,6 +15,11 @@ pub struct PairStats {
     pub bytes: u64,
     /// Messages lost to link loss.
     pub lost: u64,
+    /// Messages refused because the destination was down or partitioned.
+    ///
+    /// Kept separate from `lost` so scenario runs can tell churn drops
+    /// (deterministic topology state) from random link loss.
+    pub unreachable: u64,
 }
 
 /// Aggregated traffic accounting across the whole network. This is the
@@ -53,6 +58,13 @@ impl TrafficStats {
             .lost += 1;
     }
 
+    pub(crate) fn record_unreachable(&mut self, from: &HostId, to: &HostId) {
+        self.pairs
+            .entry((from.clone(), to.clone()))
+            .or_default()
+            .unreachable += 1;
+    }
+
     /// Counters for one directed pair, zeroed if the pair never talked.
     pub fn pair(&self, from: &HostId, to: &HostId) -> PairStats {
         self.pairs
@@ -89,6 +101,15 @@ impl TrafficStats {
         self.pairs.values().map(|s| s.lost).sum()
     }
 
+    /// Total messages refused because the destination was down or the pair
+    /// was partitioned — churn drops, as opposed to [`total_lost`] random
+    /// loss drops.
+    ///
+    /// [`total_lost`]: TrafficStats::total_lost
+    pub fn total_unreachable(&self) -> u64 {
+        self.pairs.values().map(|s| s.unreachable).sum()
+    }
+
     /// Accumulated virtual transfer time across all deliveries.
     pub fn busy_time(&self) -> Duration {
         self.busy
@@ -104,16 +125,17 @@ impl fmt::Display for TrafficStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(
             f,
-            "traffic: {} msgs, {} bytes on network ({} lost)",
+            "traffic: {} msgs, {} bytes on network ({} lost, {} unreachable)",
             self.total_messages(),
             self.network_bytes(),
-            self.total_lost()
+            self.total_lost(),
+            self.total_unreachable()
         )?;
         for ((from, to), s) in &self.pairs {
             writeln!(
                 f,
-                "  {from} -> {to}: {} msgs, {} bytes, {} lost",
-                s.messages, s.bytes, s.lost
+                "  {from} -> {to}: {} msgs, {} bytes, {} lost, {} unreachable",
+                s.messages, s.bytes, s.lost, s.unreachable
             )?;
         }
         Ok(())
@@ -156,6 +178,18 @@ mod tests {
         s.record_loss(&h("a"), &h("b"));
         s.record_loss(&h("a"), &h("b"));
         assert_eq!(s.total_lost(), 2);
+        assert_eq!(s.total_messages(), 0);
+    }
+
+    #[test]
+    fn unreachable_counted_apart_from_loss() {
+        let mut s = TrafficStats::new();
+        s.record_loss(&h("a"), &h("b"));
+        s.record_unreachable(&h("a"), &h("b"));
+        s.record_unreachable(&h("a"), &h("c"));
+        assert_eq!(s.total_lost(), 1);
+        assert_eq!(s.total_unreachable(), 2);
+        assert_eq!(s.pair(&h("a"), &h("b")).unreachable, 1);
         assert_eq!(s.total_messages(), 0);
     }
 

@@ -1,5 +1,6 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::fmt;
+use std::time::Duration;
 
 use serde::{Deserialize, Serialize};
 
@@ -118,6 +119,38 @@ impl Topology {
         self
     }
 
+    /// The link spec the pair would use, ignoring crash/partition state:
+    /// the explicit link if set, else the default (loopback for `a == b`).
+    pub fn effective_link(&self, a: &HostId, b: &HostId) -> LinkSpec {
+        if a == b {
+            return LinkSpec::loopback();
+        }
+        self.links
+            .get(&pair(a, b))
+            .copied()
+            .unwrap_or(self.default_link)
+    }
+
+    /// Updates the one-way latency of the `a`↔`b` link in place, keeping
+    /// its bandwidth and loss. Pairs on the default link get an explicit
+    /// link first.
+    pub fn set_latency(&mut self, a: &HostId, b: &HostId, latency: Duration) -> &mut Self {
+        let mut link = self.effective_link(a, b);
+        link.latency = latency;
+        self.set_link(a, b, link)
+    }
+
+    /// Updates the loss probability of the `a`↔`b` link in place, keeping
+    /// its latency and bandwidth.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= loss < 1.0` ([`LinkSpec::with_loss`]).
+    pub fn set_loss(&mut self, a: &HostId, b: &HostId, loss: f64) -> &mut Self {
+        let link = self.effective_link(a, b).with_loss(loss);
+        self.set_link(a, b, link)
+    }
+
     /// Marks a host as crashed: all communication to or from it fails.
     pub fn crash_host(&mut self, host: &HostId) -> &mut Self {
         self.down_hosts.insert(host.clone());
@@ -183,7 +216,6 @@ impl Topology {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::time::Duration;
 
     fn h(name: &str) -> HostId {
         HostId::new(name).unwrap()
@@ -248,6 +280,28 @@ mod tests {
         ));
         t.restore_host(&h("b"));
         assert!(t.route(&h("a"), &h("b")).is_ok());
+    }
+
+    #[test]
+    fn set_latency_preserves_bandwidth_and_loss() {
+        let mut t = topo();
+        t.set_link(&h("a"), &h("b"), LinkSpec::lan_10mbit().with_loss(0.1));
+        t.set_latency(&h("a"), &h("b"), Duration::from_millis(200));
+        let link = t.route(&h("a"), &h("b")).unwrap();
+        assert_eq!(link.latency, Duration::from_millis(200));
+        assert_eq!(link.bandwidth_bps, LinkSpec::lan_10mbit().bandwidth_bps);
+        assert!((link.loss - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn set_loss_on_default_link_materializes_it() {
+        let mut t = topo();
+        t.set_loss(&h("a"), &h("b"), 0.25);
+        let link = t.route(&h("a"), &h("b")).unwrap();
+        assert!((link.loss - 0.25).abs() < 1e-12);
+        assert_eq!(link.bandwidth_bps, LinkSpec::lan_100mbit().bandwidth_bps);
+        // Unrelated pairs still on the pristine default.
+        assert_eq!(t.route(&h("a"), &h("c")).unwrap(), LinkSpec::lan_100mbit());
     }
 
     #[test]

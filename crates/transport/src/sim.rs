@@ -57,7 +57,14 @@ impl Transport for SimTransport {
                 self.counters.add_sent(payload.len() as u64);
                 Ok(())
             }
-            Err(e @ (NetError::NoEndpoint { .. } | NetError::EndpointClosed { .. })) => {
+            // Churn (crashed host, severed link) is a distinct outcome from
+            // random loss: the destination is *unreachable*, not unlucky.
+            Err(
+                e @ (NetError::NoEndpoint { .. }
+                | NetError::EndpointClosed { .. }
+                | NetError::HostDown { .. }
+                | NetError::Partitioned { .. }),
+            ) => {
                 self.counters.add_retry_timeout();
                 Err(TransportError::Unreachable {
                     host: to_host.to_owned(),

@@ -19,11 +19,87 @@ use tacoma_web::{Site, SiteSpec, WebServer, DEFAULT_SERVER_WORK_NS};
 use crate::mobile::{self, REPORT_DRAWER};
 use crate::{WebbotConfig, WebbotReport};
 
+/// One client/server pair of a fleet run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetPair {
+    /// The home host the webbot launches from and reports back to.
+    pub client: String,
+    /// The host serving the site to scan.
+    pub server: String,
+}
+
+/// The host sets a fleet run deploys over. Historically the harness
+/// hard-coded `client{i}`/`server{i}` names; scenario-driven experiments
+/// (exp_e11) hand it arbitrary generated host sets instead, so exp_e9 and
+/// exp_e11 share this one harness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetPlan {
+    pairs: Vec<FleetPair>,
+}
+
+impl FleetPlan {
+    /// The classic synthetic plan: `k` disjoint `client{i}`/`server{i}`
+    /// pairs.
+    pub fn numbered(k: usize) -> Self {
+        FleetPlan {
+            pairs: (0..k)
+                .map(|i| FleetPair {
+                    client: client_name(i),
+                    server: server_name(i),
+                })
+                .collect(),
+        }
+    }
+
+    /// A plan over explicit `(client, server)` host names — e.g. hosts
+    /// drawn from a generated scenario topology.
+    pub fn from_pairs<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (String, String)>,
+    {
+        FleetPlan {
+            pairs: pairs
+                .into_iter()
+                .map(|(client, server)| FleetPair { client, server })
+                .collect(),
+        }
+    }
+
+    /// The pairs, in deployment order.
+    pub fn pairs(&self) -> &[FleetPair] {
+        &self.pairs
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// Whether the plan has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Every host in the plan exactly once, in first-mention order.
+    pub fn hosts(&self) -> Vec<String> {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut hosts = Vec::new();
+        for pair in &self.pairs {
+            for h in [&pair.client, &pair.server] {
+                if seen.insert(h.clone()) {
+                    hosts.push(h.clone());
+                }
+            }
+        }
+        hosts
+    }
+}
+
 /// Parameters of one fleet run.
 #[derive(Debug, Clone)]
 pub struct FleetParams {
-    /// Number of disjoint client/server pairs.
-    pub pairs: usize,
+    /// The client/server host sets to deploy.
+    pub plan: FleetPlan,
     /// HTML pages on each server.
     pub pages: usize,
     /// Total site bytes on each server.
@@ -41,7 +117,7 @@ pub struct FleetParams {
 impl Default for FleetParams {
     fn default() -> Self {
         FleetParams {
-            pairs: 4,
+            plan: FleetPlan::numbered(4),
             pages: 40,
             total_bytes: 400_000,
             seed: 1900,
@@ -85,36 +161,46 @@ pub fn build_fleet(params: &FleetParams, threads: usize) -> TaxSystem {
         .seed(params.seed)
         .threads(threads)
         .trust_all();
-    for i in 0..params.pairs {
-        builder = builder
-            .host(&client_name(i))
-            .expect("valid host name")
-            .host(&server_name(i))
-            .expect("valid host name");
+    for host in params.plan.hosts() {
+        builder = builder.host(&host).expect("valid host name");
     }
     let system = builder.build();
+    install_fleet_sites(&system, params);
+    for name in system.host_names() {
+        mobile::install_programs(&system.host(&name).expect("listed host"));
+    }
+    system
+}
 
-    for i in 0..params.pairs {
-        let server = server_name(i);
+/// Installs each plan server's generated site (and the webbot programs'
+/// prerequisite, the web server service) on an already-built system. Used
+/// by [`build_fleet`] and by the scenario harness, which builds its system
+/// from a generated topology instead.
+///
+/// # Panics
+///
+/// Panics if a plan server is not a host of `system`.
+pub fn install_fleet_sites(system: &TaxSystem, params: &FleetParams) {
+    let mut installed = std::collections::BTreeSet::new();
+    for (i, pair) in params.plan.pairs().iter().enumerate() {
+        if !installed.insert(pair.server.clone()) {
+            continue;
+        }
         let spec = SiteSpec {
-            host: server.clone(),
+            host: pair.server.clone(),
             pages: params.pages,
             total_bytes: params.total_bytes,
             // Distinct sites per pair, deterministically.
             seed: params.seed.wrapping_add(i as u64),
             max_depth: params.max_depth,
-            ..SiteSpec::paper_site(&server)
+            ..SiteSpec::paper_site(&pair.server)
         };
         let site = Site::generate(&spec);
-        let host = system.host(&server).expect("server host");
+        let host = system.host(&pair.server).expect("server host");
         host.add_service(Arc::new(
             WebServer::new(site).with_work_ns(params.server_work_ns),
         ));
     }
-    for name in system.host_names() {
-        mobile::install_programs(&system.host(&name).expect("listed host"));
-    }
-    system
 }
 
 /// Launches one mobile Webbot per pair, runs the system to quiescence,
@@ -126,19 +212,22 @@ pub fn build_fleet(params: &FleetParams, threads: usize) -> TaxSystem {
 /// both indicate a broken deployment, not a measurable outcome.
 pub fn run_fleet(params: &FleetParams, threads: usize) -> FleetOutcome {
     let mut system = build_fleet(params, threads);
-    for i in 0..params.pairs {
-        let mut config = WebbotConfig::scan_site(&server_name(i));
+    for pair in params.plan.pairs() {
+        let mut config = WebbotConfig::scan_site(&pair.server);
         config.max_depth = params.max_depth;
-        let spec = mobile::mw_webbot_spec(&server_name(i), &client_name(i), &config, false, None);
+        let spec = mobile::mw_webbot_spec(&pair.server, &pair.client, &config, false, None);
         system
-            .launch(&client_name(i), spec)
+            .launch(&pair.client, spec)
             .expect("launch fleet webbot");
     }
     let outcome = system.run_until_quiet();
     assert!(outcome.quiesced(), "fleet did not quiesce");
 
-    let reports = (0..params.pairs)
-        .map(|i| fetch_report(&mut system, &client_name(i)))
+    let reports = params
+        .plan
+        .pairs()
+        .iter()
+        .map(|pair| fetch_report(&mut system, &pair.client))
         .collect();
     FleetOutcome {
         virtual_makespan: system.clock().now().since_epoch(),
@@ -148,19 +237,37 @@ pub fn run_fleet(params: &FleetParams, threads: usize) -> FleetOutcome {
     }
 }
 
-/// Fetches the parked report from `home`'s cabinet.
-fn fetch_report(system: &mut TaxSystem, home: &str) -> WebbotReport {
-    let principal = Principal::local_system(home);
+/// Fetches a briefcase parked in `host`'s cabinet under `drawer`, or
+/// `None` if the drawer is empty or the cabinet unreachable. Cabinet
+/// drawers are scoped by owning principal, so `owner` must be the
+/// principal the parking agent ran as — for an agent launched from host
+/// `h`, that is `Principal::local_system(h)`.
+pub fn fetch_parked(
+    system: &mut TaxSystem,
+    host: &str,
+    owner: &Principal,
+    drawer: &str,
+) -> Option<Briefcase> {
     let mut request = Briefcase::new();
     request.set_single(folders::COMMAND, "fetch");
-    request.append(folders::ARGS, REPORT_DRAWER);
+    request.append(folders::ARGS, drawer);
     let reply = system
-        .call_service(home, "ag_cabinet", &principal, request)
-        .expect("cabinet reachable");
-    let data = reply
-        .element("CABINET-DATA", 0)
-        .unwrap_or_else(|_| panic!("no parked report on {home}; agent never came home?"));
-    let parked = Briefcase::decode(data.data()).expect("parked briefcase decodes");
+        .call_service(host, "ag_cabinet", owner, request)
+        .ok()?;
+    let data = reply.element("CABINET-DATA", 0).ok()?;
+    Briefcase::decode(data.data()).ok()
+}
+
+/// Fetches the parked report from `home`'s cabinet.
+///
+/// # Panics
+///
+/// Panics if the cabinet is unreachable or holds no report — the agent
+/// never came home.
+pub fn fetch_report(system: &mut TaxSystem, home: &str) -> WebbotReport {
+    let owner = Principal::local_system(home);
+    let parked = fetch_parked(system, home, &owner, REPORT_DRAWER)
+        .unwrap_or_else(|| panic!("no parked report on {home}; agent never came home?"));
     WebbotReport::read_from(&parked)
 }
 
@@ -170,7 +277,7 @@ mod tests {
 
     fn small() -> FleetParams {
         FleetParams {
-            pairs: 4,
+            plan: FleetPlan::numbered(4),
             pages: 20,
             total_bytes: 200_000,
             seed: 77,
@@ -198,6 +305,30 @@ mod tests {
             parallel.virtual_makespan,
             sequential.virtual_makespan,
         );
+    }
+
+    /// The harness is name-agnostic: an explicit plan over scenario-style
+    /// generated host names behaves exactly like the numbered plan.
+    #[test]
+    fn explicit_plan_runs_like_numbered() {
+        let plan = FleetPlan::from_pairs([
+            ("h000.gen".to_owned(), "h001.gen".to_owned()),
+            ("h002.gen".to_owned(), "h003.gen".to_owned()),
+        ]);
+        assert_eq!(plan.len(), 2);
+        assert_eq!(plan.hosts().len(), 4);
+        let params = FleetParams {
+            plan,
+            pages: 10,
+            total_bytes: 100_000,
+            seed: 5,
+            ..FleetParams::default()
+        };
+        let outcome = run_fleet(&params, 2);
+        assert_eq!(outcome.reports.len(), 2);
+        for report in &outcome.reports {
+            assert!(report.pages_scanned > 0);
+        }
     }
 
     /// The determinism contract on the real workload: one worker and four

@@ -35,6 +35,7 @@ pub mod fleet;
 pub mod mobile;
 mod report;
 mod robot;
+pub mod tour;
 
 pub use config::WebbotConfig;
 pub use report::{LinkIssue, RejectReason, Rejected, WebbotReport};

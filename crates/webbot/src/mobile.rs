@@ -79,6 +79,10 @@ pub fn install_programs(host: &TaxHost) {
     host.install_native(MW_WEBBOT_KEY, |bc, hooks| Ok(mw_webbot_main(bc, hooks)));
 
     host.install_native(STATIONARY_KEY, |bc, hooks| Ok(stationary_main(bc, hooks)));
+
+    host.install_native(crate::tour::TOUR_KEY, |bc, hooks| {
+        Ok(crate::tour::tour_main(bc, hooks))
+    });
 }
 
 /// Builds the Figure-5 mobile agent: `rwWebbot(mwWebbot(Webbot))`.

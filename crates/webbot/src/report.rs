@@ -158,6 +158,19 @@ impl WebbotReport {
         report
     }
 
+    /// Folds another report into this one — the multi-hop tour agent
+    /// accumulates one combined report across every server it visits.
+    pub fn merge(&mut self, other: &WebbotReport) {
+        self.pages_scanned += other.pages_scanned;
+        self.bytes_fetched += other.bytes_fetched;
+        self.links_checked += other.links_checked;
+        self.age_days_total += other.age_days_total;
+        self.non_html += other.non_html;
+        self.redirects += other.redirects;
+        self.invalid.extend(other.invalid.iter().cloned());
+        self.rejected.extend(other.rejected.iter().cloned());
+    }
+
     /// A one-line human summary.
     pub fn summary(&self) -> String {
         format!(

@@ -1,10 +1,13 @@
 #!/usr/bin/env sh
 # Regenerates the checked-in benchmark JSON — BENCH_6.json (parallel-fleet
-# scheduler, briefcase CoW migration, firewall admission cache) and
-# BENCH_7.json (durable-journal park/ship pipeline).
+# scheduler, briefcase CoW migration, firewall admission cache),
+# BENCH_7.json (durable-journal park/ship pipeline), and BENCH_8.json
+# (hostile-network scenarios: track determinism, itinerary planner,
+# local-vs-remote tier gap).
 #
-#   scripts/bench.sh           full run, writes BENCH_6.json and
-#                              BENCH_7.json at the repo root
+#   scripts/bench.sh           full run, writes BENCH_6.json,
+#                              BENCH_7.json, and BENCH_8.json at the
+#                              repo root
 #   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
 #                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
@@ -17,6 +20,8 @@ if [ "${1:-}" = "--smoke" ]; then
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json --smoke --check
     echo "==> bench (smoke): exp_e10_durable_journal --check"
     cargo run -q --release -p tacoma-bench --bin exp_e10_durable_journal -- --json --smoke --check
+    echo "==> bench (smoke): exp_e11_scenario_matrix --check"
+    cargo run -q --release -p tacoma-bench --bin exp_e11_scenario_matrix -- --json --smoke --check
 else
     echo "==> bench: exp_e9_parallel_fleet -> BENCH_6.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
@@ -26,4 +31,8 @@ else
     cargo run -q --release -p tacoma-bench --bin exp_e10_durable_journal -- --json \
         > BENCH_7.json
     cat BENCH_7.json
+    echo "==> bench: exp_e11_scenario_matrix -> BENCH_8.json"
+    cargo run -q --release -p tacoma-bench --bin exp_e11_scenario_matrix -- --json \
+        > BENCH_8.json
+    cat BENCH_8.json
 fi

@@ -7,6 +7,7 @@
 //! taxsh disasm <file.tax>                  compile and summarize a program
 //! taxsh uri <agent-uri>                    parse a Figure-2 URI and explain it
 //! taxsh scan [pages] [bytes]               the §5 case study, both ways
+//! taxsh scenario gen --seed N --hosts H    emit a hostile-network scenario as JSON
 //! taxsh send --connect ADDR --to URI <file.tax>   inject an agent into a taxd
 //! taxsh stats --connect ADDR               a running taxd's firewall counters
 //! ```
@@ -33,10 +34,11 @@ fn main() -> ExitCode {
         Some("disasm") => cmd_disasm(&args[1..]),
         Some("uri") => cmd_uri(&args[1..]),
         Some("scan") => cmd_scan(&args[1..]),
+        Some("scenario") => cmd_scenario(&args[1..]),
         Some("send") => cmd_send(&args[1..]),
         Some("stats") => cmd_stats(&args[1..]),
         _ => {
-            eprintln!("usage: taxsh <run|check|audit|disasm|uri|scan|send|stats> ...");
+            eprintln!("usage: taxsh <run|check|audit|disasm|uri|scan|scenario|send|stats> ...");
             eprintln!(
                 "  run <file.tax> [h1,h2,...]  launch the script on h1, itinerary over the rest"
             );
@@ -49,6 +51,9 @@ fn main() -> ExitCode {
             eprintln!("  disasm <file.tax>           compile and summarize");
             eprintln!("  uri <agent-uri>             parse and explain");
             eprintln!("  scan [pages] [bytes]        the dead-link case study, both ways");
+            eprintln!(
+                "  scenario gen [--seed N] [--hosts H]  emit a deterministic scenario as JSON"
+            );
             eprintln!("  send --connect ADDR --to URI <file.tax>  inject the agent into a taxd");
             eprintln!("  stats --connect ADDR        fetch a running taxd's firewall counters");
             return ExitCode::from(2);
@@ -336,6 +341,46 @@ fn cmd_stats(args: &[String]) -> Result<(), String> {
         println!("{:>width$} {section}", "", width = conn.peer_host().len());
     }
     conn.goodbye();
+    Ok(())
+}
+
+/// `taxsh scenario gen` — runs the deterministic hostile-network
+/// generator and prints the scenario in its canonical JSON encoding.
+/// The same seed and host count always print byte-identical output, so
+/// the JSON can be checked into a repo and diffed like any fixture.
+fn cmd_scenario(args: &[String]) -> Result<(), String> {
+    let Some("gen") = args.first().map(String::as_str) else {
+        return Err("scenario: need a subcommand (gen)".into());
+    };
+    let (seed, rest) = take_flag(&args[1..], "--seed");
+    let (hosts, rest) = take_flag(&rest, "--hosts");
+    let (name, rest) = take_flag(&rest, "--name");
+    if let Some(stray) = rest.first() {
+        return Err(format!("scenario gen: unexpected argument {stray:?}"));
+    }
+    let seed: u64 = seed
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "scenario gen: bad --seed (want an integer)")?
+        .unwrap_or(1);
+    let hosts: usize = hosts
+        .map(|s| s.parse())
+        .transpose()
+        .map_err(|_| "scenario gen: bad --hosts (want an integer)")?
+        .unwrap_or(100);
+    if hosts == 0 || hosts > tacoma::scenario::MAX_HOSTS {
+        return Err(format!(
+            "scenario gen: --hosts must be 1..={}",
+            tacoma::scenario::MAX_HOSTS
+        ));
+    }
+    let mut spec = tacoma::scenario::ScenarioSpec::new(seed, hosts);
+    if let Some(name) = name {
+        spec.name = name;
+    }
+    let scenario = tacoma::scenario::generate(&spec);
+    // The canonical encoding is newline-terminated already.
+    print!("{}", tacoma::scenario::encode(&scenario));
     Ok(())
 }
 

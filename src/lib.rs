@@ -21,6 +21,8 @@
 //! * [`core`] — the TAX kernel, library API, service agents, and wrappers (§3–4)
 //! * [`web`] — synthetic web sites and servers (substrate for §5)
 //! * [`webbot`] — the stationary robot and its mobility wrappers (§5)
+//! * [`scenario`] — hostile-network scenario generation and
+//!   makespan-minimizing itinerary planning (§5 at scale)
 //!
 //! See `examples/quickstart.rs` for a five-minute tour.
 
@@ -28,6 +30,7 @@ pub use tacoma_briefcase as briefcase;
 pub use tacoma_core as core;
 pub use tacoma_firewall as firewall;
 pub use tacoma_journal as journal;
+pub use tacoma_scenario as scenario;
 pub use tacoma_security as security;
 pub use tacoma_simnet as simnet;
 pub use tacoma_taxscript as taxscript;

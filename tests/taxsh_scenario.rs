@@ -1,0 +1,65 @@
+//! `taxsh scenario gen` integration: the printed JSON must round-trip
+//! through the decoder byte-identically and be stable across runs.
+
+use std::process::Command;
+
+fn taxsh() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_taxsh"))
+}
+
+fn gen(args: &[&str]) -> String {
+    let out = taxsh().args(args).output().expect("spawn taxsh");
+    assert!(
+        out.status.success(),
+        "taxsh {args:?} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    String::from_utf8(out.stdout).expect("utf-8 stdout")
+}
+
+#[test]
+fn scenario_gen_round_trips_exactly() {
+    let stdout = gen(&["scenario", "gen", "--seed", "7", "--hosts", "16"]);
+    let scenario = tacoma::scenario::decode(&stdout).expect("decode taxsh output");
+    assert_eq!(scenario.seed, 7);
+    assert_eq!(scenario.hosts.len(), 16);
+
+    // Canonical encoding: re-encoding the decoded value reproduces the
+    // printed bytes exactly.
+    let reencoded = tacoma::scenario::encode(&scenario);
+    assert_eq!(stdout, reencoded);
+}
+
+#[test]
+fn scenario_gen_is_deterministic_across_runs() {
+    let a = gen(&["scenario", "gen", "--seed", "42", "--hosts", "24"]);
+    let b = gen(&["scenario", "gen", "--seed", "42", "--hosts", "24"]);
+    assert_eq!(a, b, "same seed must print byte-identical scenarios");
+
+    let other = gen(&["scenario", "gen", "--seed", "43", "--hosts", "24"]);
+    assert_ne!(a, other, "different seeds must diverge");
+}
+
+#[test]
+fn scenario_gen_rejects_bad_input() {
+    let out = taxsh()
+        .args(["scenario", "gen", "--hosts", "0"])
+        .output()
+        .expect("spawn taxsh");
+    assert!(!out.status.success(), "--hosts 0 must fail");
+
+    let out = taxsh()
+        .args(["scenario", "frobnicate"])
+        .output()
+        .expect("spawn taxsh");
+    assert!(!out.status.success(), "unknown subcommand must fail");
+}
+
+#[test]
+fn scenario_gen_honors_name_flag() {
+    let stdout = gen(&[
+        "scenario", "gen", "--seed", "3", "--hosts", "8", "--name", "smoke",
+    ]);
+    let scenario = tacoma::scenario::decode(&stdout).expect("decode");
+    assert_eq!(scenario.name, "smoke");
+}
