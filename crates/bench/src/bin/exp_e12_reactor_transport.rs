@@ -1,0 +1,461 @@
+//! **E12 — the sharded reactor transport under pipelining and peer scale.**
+//!
+//! Three measurements of the nonblocking reactor that replaced the
+//! blocking per-send connection pool:
+//!
+//! 1. **Pipelined acks vs stop-and-wait at WAN RTT.** The listener
+//!    delays its acknowledgements by a simulated WAN round trip; the
+//!    same frame burst is shipped with an ack window of 1 (classic
+//!    stop-and-wait, one briefcase per RTT) and with the default window
+//!    of 32 (cumulative acks cover a whole window per RTT). The speedup
+//!    is the headline number for mobilized Webbots hopping across real
+//!    networks instead of a LAN.
+//!
+//! 2. **Bounded backpressure.** A deliberately small outbound queue is
+//!    overdriven; the transport must *refuse* enqueues at capacity
+//!    (`QueueFull`, counted as `queue_drops`) rather than buffer without
+//!    bound, and every accepted frame must still complete.
+//!
+//! 3. **Peer scale.** Hundreds to thousands of distinct peers (each its
+//!    own connection, sharded by host hash) each receive a briefcase
+//!    burst; per-frame completion latency is recorded (p50/p99) and the
+//!    receiver's count must match the sender's — zero lost briefcases.
+//!    The peer count is clamped to the process fd limit (two sockets
+//!    per peer: the connector side and the accepted side live in this
+//!    one process) so the run degrades before `EMFILE` instead of dying
+//!    on it; the actual count is recorded alongside the requested one.
+//!
+//! With `--json` the results are emitted as a JSON object (the format
+//! checked in as `BENCH_9.json`); `--smoke` shrinks the workload for
+//! CI; `--check` exits non-zero if pipelining speeds up the WAN-RTT
+//! burst by less than 3x, the peer sweep ran fewer than 256 peers or
+//! lost a briefcase, backpressure never refused an enqueue, or no p99
+//! was recorded.
+
+use std::env;
+use std::fs;
+use std::process::ExitCode;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use bytes::Bytes;
+use tacoma_bench::{header, row};
+use tacoma_briefcase::Briefcase;
+use tacoma_firewall::Message;
+use tacoma_security::Principal;
+use tacoma_transport::{
+    ListenerConfig, ReactorConfig, ReactorTransport, Transport, TransportError, TransportListener,
+};
+
+/// Timed repetitions for the gated speedup ratio; the median damps
+/// scheduler noise on a small shared VM.
+const REPS: usize = 3;
+
+/// The CI gate: pipelined throughput over the delayed-ack link must be
+/// at least this multiple of stop-and-wait.
+const SPEEDUP_GATE: f64 = 3.0;
+
+/// The CI gate: the peer sweep must reach at least this many distinct
+/// peers even after the fd clamp.
+const PEER_GATE: usize = 256;
+
+/// File descriptors held back from the peer budget: shard wakeup pipes,
+/// the listener socket, stdio, the journal-less daemon overhead.
+const FD_HEADROOM: u64 = 64;
+
+/// The briefcase every frame carries: a small meet/activation delivery,
+/// the common currency of agent-to-agent traffic.
+fn build_wire() -> Bytes {
+    let mut bc = Briefcase::new();
+    bc.append("CONTACT", b"activate probe".to_vec());
+    bc.append("RESULTS", vec![7u8; 256]);
+    let message = Message::deliver(
+        "bench",
+        Principal::local_system("bench"),
+        None,
+        "tacoma://sink/probe".parse().expect("valid uri"),
+        bc,
+    );
+    Bytes::from(message.encode())
+}
+
+/// The soft fd limit from `/proc/self/limits`, or `None` off Linux.
+fn fd_limit() -> Option<u64> {
+    let text = fs::read_to_string("/proc/self/limits").ok()?;
+    let line = text.lines().find(|l| l.starts_with("Max open files"))?;
+    line.split_whitespace().nth(3)?.parse().ok()
+}
+
+/// A loopback sink that counts every briefcase it receives.
+struct Sink {
+    listener: TransportListener,
+    received: Arc<AtomicU64>,
+    stop: Arc<AtomicBool>,
+    drain: Option<std::thread::JoinHandle<()>>,
+}
+
+impl Sink {
+    fn start(ack_delay: Option<Duration>) -> Sink {
+        let mut config = ListenerConfig::trusting("sink");
+        config.shards = 4;
+        config.ack_delay = ack_delay;
+        let listener = TransportListener::bind("127.0.0.1:0", config).expect("bind loopback sink");
+        let rx = listener.incoming().clone();
+        let received = Arc::new(AtomicU64::new(0));
+        let stop = Arc::new(AtomicBool::new(false));
+        let (count, drain_stop) = (Arc::clone(&received), Arc::clone(&stop));
+        let drain = std::thread::spawn(move || {
+            while !drain_stop.load(Ordering::Relaxed) {
+                if rx.recv_timeout(Duration::from_millis(50)).is_ok() {
+                    count.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        });
+        Sink {
+            listener,
+            received,
+            stop,
+            drain: Some(drain),
+        }
+    }
+
+    fn addr(&self) -> String {
+        format!("127.0.0.1:{}", self.listener.local_addr().port())
+    }
+}
+
+impl Drop for Sink {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(handle) = self.drain.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// One measured drive of a reactor: enqueue `frames` sends round-robin
+/// across `hosts` with the nowait path, yielding to the completion pump
+/// whenever a bounded queue refuses (the backpressure protocol every
+/// caller follows), then drain until every frame settles.
+struct Drive {
+    wall: Duration,
+    frames_per_sec: f64,
+    lost: usize,
+    latencies: Vec<Duration>,
+}
+
+#[allow(clippy::cast_precision_loss)]
+fn drive(
+    transport: &ReactorTransport,
+    hosts: &[String],
+    frames_per_host: usize,
+    wire: &Bytes,
+) -> Drive {
+    let total = hosts.len() * frames_per_host;
+    let mut enqueued_at: Vec<Instant> = Vec::with_capacity(total);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(total);
+    let mut lost = 0usize;
+    let mut done = 0usize;
+    let settle = |c: tacoma_transport::Completion,
+                  enqueued_at: &[Instant],
+                  latencies: &mut Vec<Duration>,
+                  lost: &mut usize| {
+        let idx = (c.token - 1) as usize;
+        match c.result {
+            Ok(()) => latencies.push(enqueued_at[idx].elapsed()),
+            Err(_) => *lost += 1,
+        }
+    };
+
+    let started = Instant::now();
+    let mut token = 1u64;
+    for _ in 0..frames_per_host {
+        for host in hosts {
+            loop {
+                match transport.send_nowait("bench", host, 0, wire.clone(), token) {
+                    Ok(()) => {
+                        enqueued_at.push(Instant::now());
+                        token += 1;
+                        break;
+                    }
+                    Err(TransportError::QueueFull { .. }) => {
+                        for c in transport.drain_completions() {
+                            settle(c, &enqueued_at, &mut latencies, &mut lost);
+                            done += 1;
+                        }
+                        std::thread::sleep(Duration::from_micros(200));
+                    }
+                    Err(e) => panic!("enqueue failed: {e}"),
+                }
+            }
+        }
+    }
+    let deadline = Instant::now() + Duration::from_secs(180);
+    while done < total && Instant::now() < deadline {
+        let completions = transport.drain_completions();
+        if completions.is_empty() {
+            std::thread::sleep(Duration::from_micros(500));
+        }
+        for c in completions {
+            settle(c, &enqueued_at, &mut latencies, &mut lost);
+            done += 1;
+        }
+    }
+    lost += total - done;
+    let wall = started.elapsed();
+    Drive {
+        wall,
+        frames_per_sec: total as f64 / wall.as_secs_f64().max(f64::MIN_POSITIVE),
+        lost,
+        latencies,
+    }
+}
+
+/// A reactor aimed at one sink, with the given window and queue bound.
+fn reactor(
+    sink: &Sink,
+    hosts: &[String],
+    ack_window: usize,
+    queue_capacity: usize,
+) -> ReactorTransport {
+    let mut config = ReactorConfig::default();
+    config.connect.local_host = "bench".to_owned();
+    config.shards = 4;
+    config.ack_window = ack_window;
+    config.queue_capacity = queue_capacity;
+    // A thousand-peer connect storm through the capped connector pool
+    // can outlast the default per-frame budget on one core; the budget
+    // is a tunable, not the thing under test.
+    config.retry_budget = Duration::from_secs(60);
+    let transport = ReactorTransport::new(config);
+    let addr = sink.addr();
+    for host in hosts {
+        transport.add_peer(host.clone(), addr.clone());
+    }
+    transport
+}
+
+/// Median-of-[`REPS`] wall time for one windowed drive over a delayed-ack
+/// link, fresh transport per rep so no rep inherits warm connections.
+fn windowed_wall(sink: &Sink, frames: usize, ack_window: usize, wire: &Bytes) -> Drive {
+    let hosts = vec!["wan-sink".to_owned()];
+    let mut reps: Vec<Drive> = (0..REPS)
+        .map(|_| {
+            let transport = reactor(sink, &hosts, ack_window, 1024);
+            let run = drive(&transport, &hosts, frames, wire);
+            assert_eq!(run.lost, 0, "delayed-ack link must not lose frames");
+            run
+        })
+        .collect();
+    reps.sort_by_key(|r| r.wall);
+    reps.into_iter().nth(REPS / 2).expect("at least one rep")
+}
+
+fn percentile_ms(sorted: &[Duration], p: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    #[allow(
+        clippy::cast_possible_truncation,
+        clippy::cast_precision_loss,
+        clippy::cast_sign_loss
+    )]
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx].as_secs_f64() * 1e3
+}
+
+#[allow(clippy::cast_precision_loss, clippy::too_many_lines)]
+fn main() -> ExitCode {
+    let args: Vec<String> = env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let check = args.iter().any(|a| a == "--check");
+
+    let (wan_frames, rtt, requested_peers, frames_per_peer, bp_frames) = if smoke {
+        (48, Duration::from_millis(10), 256, 2, 256)
+    } else {
+        (256, Duration::from_millis(15), 1024, 4, 512)
+    };
+    let wire = build_wire();
+
+    // ---- 1. pipelined acks vs stop-and-wait over a WAN-RTT link. ----
+    let wan_sink = Sink::start(Some(rtt));
+    let stop_and_wait = windowed_wall(&wan_sink, wan_frames, 1, &wire);
+    let pipelined = windowed_wall(&wan_sink, wan_frames, 32, &wire);
+    drop(wan_sink);
+    let speedup = pipelined.frames_per_sec / stop_and_wait.frames_per_sec.max(f64::MIN_POSITIVE);
+
+    // ---- 2. bounded backpressure: overdrive a tiny queue. ----
+    let bp_sink = Sink::start(Some(Duration::from_millis(5)));
+    let bp_hosts = vec!["bp-sink".to_owned()];
+    let bp_capacity = 64;
+    let bp_transport = reactor(&bp_sink, &bp_hosts, 32, bp_capacity);
+    let bp_run = drive(&bp_transport, &bp_hosts, bp_frames, &wire);
+    let bp_stats = bp_transport.stats();
+    drop(bp_transport);
+    drop(bp_sink);
+
+    // ---- 3. peer scale, clamped to the fd budget. ----
+    let limit = fd_limit().unwrap_or(4096);
+    #[allow(clippy::cast_possible_truncation)]
+    let fd_budget = (limit.saturating_sub(FD_HEADROOM) / 2) as usize;
+    let peers = requested_peers.min(fd_budget);
+    if peers < requested_peers {
+        eprintln!(
+            "note: peer count clamped {requested_peers} -> {peers} by fd limit {limit} \
+             (two sockets per peer in-process)"
+        );
+    }
+    let scale_sink = Sink::start(None);
+    let hosts: Vec<String> = (0..peers).map(|p| format!("peer-{p:05}")).collect();
+    let scale_transport = reactor(&scale_sink, &hosts, 32, 1024);
+    let mut scale = drive(&scale_transport, &hosts, frames_per_peer, &wire);
+    let scale_stats = scale_transport.stats();
+    let sent = peers * frames_per_peer;
+    // Acks race the inward forward by design; give the sink a beat to
+    // drain before comparing counts.
+    let wait_until = Instant::now() + Duration::from_secs(5);
+    while (scale_sink.received.load(Ordering::Relaxed) as usize) < sent
+        && Instant::now() < wait_until
+    {
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    let received = scale_sink.received.load(Ordering::Relaxed);
+    drop(scale_transport);
+    drop(scale_sink);
+    scale.latencies.sort();
+    let p50 = percentile_ms(&scale.latencies, 0.50);
+    let p99 = percentile_ms(&scale.latencies, 0.99);
+    let lost = scale.lost + sent.saturating_sub(received as usize);
+
+    if json {
+        println!("{{");
+        println!("  \"bench\": \"reactor_transport\",");
+        println!("  \"smoke\": {smoke},");
+        println!("  \"wire_bytes\": {},", wire.len());
+        println!("  \"pipelined_vs_stop_and_wait\": {{");
+        println!("    \"rtt_ms\": {:.0},", rtt.as_secs_f64() * 1e3);
+        println!("    \"frames\": {wan_frames},");
+        println!(
+            "    \"stop_and_wait\": {{ \"wall_ms\": {:.1}, \"frames_per_sec\": {:.0} }},",
+            stop_and_wait.wall.as_secs_f64() * 1e3,
+            stop_and_wait.frames_per_sec,
+        );
+        println!(
+            "    \"pipelined\": {{ \"ack_window\": 32, \"wall_ms\": {:.1}, \"frames_per_sec\": {:.0} }},",
+            pipelined.wall.as_secs_f64() * 1e3,
+            pipelined.frames_per_sec,
+        );
+        println!("    \"speedup\": {speedup:.1}");
+        println!("  }},");
+        println!("  \"backpressure\": {{");
+        println!("    \"queue_capacity\": {bp_capacity},");
+        println!("    \"frames\": {bp_frames},");
+        println!("    \"queue_drops\": {},", bp_stats.queue_drops);
+        println!("    \"queue_high_water\": {},", bp_stats.queue_high_water);
+        println!("    \"lost\": {}", bp_run.lost);
+        println!("  }},");
+        println!("  \"peer_scale\": {{");
+        println!("    \"fd_limit\": {limit},");
+        println!("    \"requested_peers\": {requested_peers},");
+        println!("    \"peers\": {peers},");
+        println!("    \"frames\": {sent},");
+        println!("    \"received\": {received},");
+        println!("    \"lost\": {lost},");
+        println!("    \"wall_ms\": {:.1},", scale.wall.as_secs_f64() * 1e3);
+        println!("    \"frames_per_sec\": {:.0},", scale.frames_per_sec);
+        println!("    \"p50_ms\": {p50:.2},");
+        println!("    \"p99_ms\": {p99:.2},");
+        println!(
+            "    \"queue_high_water\": {},",
+            scale_stats.queue_high_water
+        );
+        println!("    \"reconnects\": {}", scale_stats.reconnects);
+        println!("  }}");
+        println!("}}");
+    } else {
+        println!(
+            "E12: sharded reactor transport — {}-byte briefcase frames over loopback TCP\n",
+            wire.len()
+        );
+        let widths = [26, 10, 12, 10, 10];
+        header(&["run", "wall", "frames/s", "p50", "p99"], &widths);
+        row(
+            &[
+                format!("stop-and-wait @{}ms RTT", rtt.as_millis()),
+                format!("{:.0}ms", stop_and_wait.wall.as_secs_f64() * 1e3),
+                format!("{:.0}", stop_and_wait.frames_per_sec),
+                "-".to_owned(),
+                "-".to_owned(),
+            ],
+            &widths,
+        );
+        row(
+            &[
+                format!("pipelined w32 @{}ms RTT", rtt.as_millis()),
+                format!("{:.0}ms", pipelined.wall.as_secs_f64() * 1e3),
+                format!("{:.0}", pipelined.frames_per_sec),
+                "-".to_owned(),
+                "-".to_owned(),
+            ],
+            &widths,
+        );
+        row(
+            &[
+                format!("{peers} peers x{frames_per_peer}"),
+                format!("{:.0}ms", scale.wall.as_secs_f64() * 1e3),
+                format!("{:.0}", scale.frames_per_sec),
+                format!("{p50:.2}ms"),
+                format!("{p99:.2}ms"),
+            ],
+            &widths,
+        );
+        println!("\npipelined / stop-and-wait speedup: {speedup:.1}x");
+        println!(
+            "backpressure: {} refusals at capacity {bp_capacity}, high water {}, {} lost",
+            bp_stats.queue_drops, bp_stats.queue_high_water, bp_run.lost
+        );
+        println!(
+            "peer scale: {received}/{sent} briefcases received, {lost} lost, fd limit {limit}",
+        );
+    }
+
+    if check {
+        let mut failed = false;
+        if speedup < SPEEDUP_GATE {
+            eprintln!(
+                "CHECK FAILED: pipelined speedup {speedup:.1}x below the {SPEEDUP_GATE}x gate"
+            );
+            failed = true;
+        }
+        if peers < PEER_GATE {
+            eprintln!("CHECK FAILED: peer sweep ran {peers} peers, below the {PEER_GATE} gate");
+            failed = true;
+        }
+        if lost != 0 || bp_run.lost != 0 {
+            eprintln!(
+                "CHECK FAILED: lost briefcases (peer scale {lost}, backpressure {})",
+                bp_run.lost
+            );
+            failed = true;
+        }
+        if bp_stats.queue_drops == 0 {
+            eprintln!("CHECK FAILED: overdriven queue never refused an enqueue");
+            failed = true;
+        }
+        if p99 <= 0.0 {
+            eprintln!("CHECK FAILED: no p99 latency recorded");
+            failed = true;
+        }
+        if failed {
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "check ok: speedup {speedup:.1}x, {peers} peers, {lost} lost, p99 {p99:.2}ms, \
+             {} backpressure refusals",
+            bp_stats.queue_drops
+        );
+    }
+    ExitCode::SUCCESS
+}

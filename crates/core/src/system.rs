@@ -360,6 +360,37 @@ impl TaxSystem {
         Ok(host.with_firewall(|fw| fw.redeliver_remote_pending(now, &*transport)))
     }
 
+    /// Settles completions from a nonblocking transport into `host_name`'s
+    /// firewall: acked ships are counted and their hops committed, failed
+    /// ships are parked for the redelivery sweep. Returns the number of
+    /// completions settled. A no-op (returns 0) on blocking transports.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    pub fn pump_transport(&mut self, host_name: &str) -> Result<usize, TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        let now = self.kernel.now();
+        let transport = Arc::clone(&self.kernel.transport);
+        Ok(host.with_firewall(|fw| fw.pump_transport(now, &*transport)))
+    }
+
+    /// Frames `host_name` handed to a nonblocking transport whose
+    /// completion has not been pumped yet. Daemons drain this to zero (or
+    /// a deadline) before exiting so in-flight sends are settled.
+    ///
+    /// # Errors
+    ///
+    /// [`TaxError::UnknownHost`] when the host is not in this process.
+    pub fn transport_inflight(&self, host_name: &str) -> Result<usize, TaxError> {
+        let host = self.host(host_name).ok_or_else(|| TaxError::UnknownHost {
+            host: host_name.to_owned(),
+        })?;
+        Ok(host.with_firewall_read(tacoma_firewall::Firewall::transport_inflight))
+    }
+
     /// Installs a user keyring's verification key on every host.
     pub fn trust_everywhere(&self, keyring: &Keyring) {
         for host in self.kernel.directory.read().values() {

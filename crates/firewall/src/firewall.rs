@@ -1,6 +1,6 @@
 //! The firewall proper: policy decisions for every mediated message.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -105,6 +105,17 @@ pub enum ControlKind {
     Resume,
 }
 
+/// A message handed to a nonblocking transport whose completion has not
+/// come back yet: everything needed to finish the bookkeeping (on ack) or
+/// to park the message (on failure) when [`Firewall::pump_transport`]
+/// drains the completion. Only plain deliveries ride this path, so a
+/// ticket never carries a hop key.
+#[derive(Debug)]
+struct ShipTicket {
+    message: Message,
+    bytes: usize,
+}
+
 /// The per-host firewall.
 #[derive(Debug)]
 pub struct Firewall {
@@ -121,6 +132,8 @@ pub struct Firewall {
     queue_timeout: Duration,
     next_instance: u64,
     journal: Option<Arc<Journal>>,
+    inflight: HashMap<u64, ShipTicket>,
+    next_ship_token: u64,
 }
 
 impl Firewall {
@@ -142,6 +155,8 @@ impl Firewall {
             queue_timeout: DEFAULT_QUEUE_TIMEOUT,
             next_instance: 1,
             journal: None,
+            inflight: HashMap::new(),
+            next_ship_token: 1,
         }
     }
 
@@ -437,9 +452,13 @@ impl Firewall {
     ) -> Result<Decision, FirewallError> {
         // `encoded_len` is O(folders) arithmetic, so the frame buffer is
         // sized exactly once; the payload bytes inside come from the
-        // briefcase's encode-once cache, not a fresh serialization.
-        let mut wire = Vec::with_capacity(message.encoded_len());
-        message.encode_into(&mut wire);
+        // briefcase's encode-once cache, not a fresh serialization. The
+        // buffer is adopted into a shared `Bytes` so the journal record,
+        // the transport queue, and any park all reference the same heap
+        // allocation.
+        let mut buf = Vec::with_capacity(message.encoded_len());
+        message.encode_into(&mut buf);
+        let wire = Bytes::from(buf);
         // Write-ahead: a migration must be durable *before* the first
         // transmission attempt, so a crash between send and ack resumes
         // the hop instead of losing the agent. The journaled wire is the
@@ -447,18 +466,42 @@ impl Firewall {
         // so this is one buffer append, not a re-encode.
         let hop_key = match (&self.journal, &message.kind, &message.hop) {
             (Some(journal), MessageKind::AgentTransfer { .. }, Some(key)) => {
-                journal.hop_begin(
-                    key,
-                    message.hop_parent.as_deref(),
-                    false,
-                    host,
-                    &Bytes::copy_from_slice(&wire),
-                )?;
+                journal.hop_begin(key, message.hop_parent.as_deref(), false, host, &wire)?;
                 Some(key.clone())
             }
             _ => None,
         };
-        match transport.send(&self.host, host, port, &wire) {
+        // Fast path: plain deliveries on a nonblocking transport enter its
+        // bounded per-peer queue and complete later; the send is reported
+        // `Forwarded` optimistically and [`Firewall::pump_transport`]
+        // settles the books when the cumulative ack (or the retry-budget
+        // failure) comes back. Agent transfers stay on the blocking path
+        // deliberately: a failed `go`/`spawn` must surface to the waiting
+        // agent, and the hop-commit journal record must be written in
+        // execution order (before the task that sent it is marked
+        // finished), which only a synchronous ack guarantees. A blocking
+        // send still rides the reactor's pipelined window — it just waits
+        // for its own completion.
+        if transport.supports_nowait() && matches!(message.kind, MessageKind::Deliver) {
+            let token = self.next_ship_token;
+            self.next_ship_token += 1;
+            if transport
+                .send_nowait(&self.host, host, port, wire.clone(), token)
+                .is_ok()
+            {
+                let bytes = wire.len();
+                self.inflight.insert(token, ShipTicket { message, bytes });
+                return Ok(Decision::Forwarded {
+                    host: host.to_owned(),
+                    bytes,
+                });
+            }
+            // Backpressure: the peer's queue is full (or the transport
+            // refused the fast path). Fall through to the blocking send,
+            // which waits for queue space inside its retry budget instead
+            // of dropping the frame.
+        }
+        match transport.send(&self.host, host, port, &wire[..]) {
             Ok(()) => {
                 if let (Some(journal), Some(key)) = (&self.journal, &hop_key) {
                     // The receiver acked: it now owns the hop. Batched —
@@ -499,15 +542,60 @@ impl Firewall {
         }
     }
 
+    /// Drains the nonblocking transport's completion queue and settles
+    /// each in-flight ship: an acked frame is counted; a failed frame
+    /// (retry budget exhausted, peer gone) is parked in the pending queue
+    /// so the redelivery sweep retries it — the optimistic `Forwarded`
+    /// already returned, so nothing can be surfaced to the sender, and
+    /// nothing may be lost.
+    ///
+    /// Returns the number of completions settled. Call this from the
+    /// daemon loop whenever the transport may have made progress.
+    pub fn pump_transport(
+        &mut self,
+        now: SimTime,
+        transport: &dyn tacoma_transport::Transport,
+    ) -> usize {
+        let completions = transport.drain_completions();
+        let mut settled = 0;
+        for completion in completions {
+            let Some(ticket) = self.inflight.remove(&completion.token) else {
+                continue; // Not ours (or already settled).
+            };
+            settled += 1;
+            match completion.result {
+                Ok(()) => {
+                    self.stats.frames_sent += 1;
+                    self.stats.bytes_sent += ticket.bytes as u64;
+                }
+                Err(_) => {
+                    self.stats.retry_timeouts += 1;
+                    let key = self.journal_park(&ticket.message, None);
+                    self.pending
+                        .enqueue_keyed(ticket.message, now, self.queue_timeout, key);
+                    self.stats.queued += 1;
+                }
+            }
+        }
+        settled
+    }
+
+    /// Frames handed to a nonblocking transport whose completion has not
+    /// been pumped yet. Daemons drain this to zero (or a deadline) before
+    /// reporting final stats.
+    pub fn transport_inflight(&self) -> usize {
+        self.inflight.len()
+    }
+
     /// Journals a `MailParked` record for a message about to enter the
     /// pending queue, reusing an already-encoded frame when the caller
     /// has one. Returns the journal key, or `None` when there is no
     /// journal or the append failed (the park then simply loses
     /// durability, not the message).
-    fn journal_park(&self, message: &Message, wire: Option<&[u8]>) -> Option<u64> {
+    fn journal_park(&self, message: &Message, wire: Option<&Bytes>) -> Option<u64> {
         let journal = self.journal.as_ref()?;
         let bytes = match wire {
-            Some(w) => Bytes::copy_from_slice(w),
+            Some(w) => w.clone(),
             None => Bytes::from(message.encode()),
         };
         journal.mail_parked(self.queue_timeout, &bytes).ok()
@@ -1506,6 +1594,150 @@ mod tests {
         let stats = fw.stats();
         assert!(stats.journal_records > 0);
         assert!(stats.journal_fsyncs > 0);
+
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    /// A nonblocking transport stub: enqueues everything, then completes
+    /// each token with a scripted result when pumped. Blocking sends
+    /// succeed immediately and are counted.
+    #[derive(Debug, Default)]
+    struct NowaitTransport {
+        fail: std::sync::atomic::AtomicBool,
+        queued: parking_lot::Mutex<Vec<u64>>,
+        blocking_sends: parking_lot::Mutex<usize>,
+    }
+
+    impl tacoma_transport::Transport for NowaitTransport {
+        fn send(
+            &self,
+            _from: &str,
+            _to_host: &str,
+            _to_port: u16,
+            _payload: &[u8],
+        ) -> Result<(), tacoma_transport::TransportError> {
+            *self.blocking_sends.lock() += 1;
+            Ok(())
+        }
+
+        fn stats(&self) -> tacoma_transport::TransportStats {
+            tacoma_transport::TransportStats::default()
+        }
+
+        fn kind(&self) -> &'static str {
+            "nowait-stub"
+        }
+
+        fn supports_nowait(&self) -> bool {
+            true
+        }
+
+        fn send_nowait(
+            &self,
+            _from: &str,
+            _to_host: &str,
+            _to_port: u16,
+            _payload: bytes::Bytes,
+            token: u64,
+        ) -> Result<(), tacoma_transport::TransportError> {
+            self.queued.lock().push(token);
+            Ok(())
+        }
+
+        fn drain_completions(&self) -> Vec<tacoma_transport::Completion> {
+            let fail = self.fail.load(std::sync::atomic::Ordering::SeqCst);
+            self.queued
+                .lock()
+                .drain(..)
+                .map(|token| tacoma_transport::Completion {
+                    token,
+                    result: if fail {
+                        Err(tacoma_transport::TransportError::RetriesExhausted {
+                            host: "h2".into(),
+                            attempts: 1,
+                            last: "scripted failure".into(),
+                        })
+                    } else {
+                        Ok(())
+                    },
+                })
+                .collect()
+        }
+    }
+
+    #[test]
+    fn nowait_ship_settles_on_pump() {
+        let mut fw = fw();
+        let t = NowaitTransport::default();
+        let d = fw
+            .dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        assert!(matches!(d, Decision::Forwarded { ref host, .. } if host == "h2"));
+        assert_eq!(fw.transport_inflight(), 1);
+        // Books are settled only when the completion comes back.
+        assert_eq!(fw.stats().frames_sent, 0);
+        assert_eq!(fw.pump_transport(SimTime::ZERO, &t), 1);
+        assert_eq!(fw.transport_inflight(), 0);
+        let stats = fw.stats();
+        assert_eq!(stats.frames_sent, 1);
+        assert!(stats.bytes_sent > 0);
+    }
+
+    #[test]
+    fn failed_nowait_completion_parks_for_redelivery() {
+        let mut fw = fw();
+        let t = NowaitTransport::default();
+        fw.dispatch_outbound(msg("alice", "tacoma://h2/ag_fs"), SimTime::ZERO, &t)
+            .unwrap();
+        t.fail.store(true, std::sync::atomic::Ordering::SeqCst);
+        assert_eq!(fw.pump_transport(SimTime::ZERO, &t), 1);
+        let stats = fw.stats();
+        assert_eq!(stats.frames_sent, 0);
+        assert_eq!(stats.retry_timeouts, 1);
+        assert_eq!(stats.queued, 1);
+        assert_eq!(fw.pending_len(), 1, "failed ship parked, not lost");
+
+        // The redelivery sweep picks it up over a (blocking) transport.
+        let up = FlakyTransport::up();
+        let (delivered, reparked) = fw.redeliver_remote_pending(SimTime::ZERO, &up);
+        assert_eq!((delivered, reparked), (1, 0));
+        assert_eq!(fw.pending_len(), 0);
+    }
+
+    #[test]
+    fn transfers_take_the_blocking_path_even_on_nowait_transports() {
+        use tacoma_journal::JournalConfig;
+        let dir = std::env::temp_dir().join(format!("taxfw-nowait-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let (journal, _) = Journal::open(&dir, JournalConfig::default()).unwrap();
+        let journal = Arc::new(journal);
+
+        let mut fw = Firewall::new("h1", 27017, Policy::trusting(), TrustStore::new());
+        fw.add_vm("vm_script");
+        fw.set_journal(Arc::clone(&journal));
+
+        let mut bc = Briefcase::new();
+        bc.set_single(folders::AGENT_NAME, "webbot");
+        let transfer = Message::transfer(
+            "h1",
+            Principal::new("alice").unwrap(),
+            "tacoma://h2/vm_script".parse().unwrap(),
+            bc,
+            false,
+        )
+        .with_hop("aa11", None);
+
+        // A `go` must learn its fate synchronously — the hop is begun,
+        // sent blocking, and committed before dispatch returns, so the
+        // journal's commit ordering matches execution order.
+        let t = NowaitTransport::default();
+        let d = fw.dispatch_outbound(transfer, SimTime::ZERO, &t).unwrap();
+        assert!(matches!(d, Decision::Forwarded { .. }));
+        assert_eq!(fw.transport_inflight(), 0, "transfers never ride nowait");
+        assert_eq!(*t.blocking_sends.lock(), 1);
+        let js = journal.stats();
+        assert_eq!((js.open_hops, js.committed_hops), (0, 1));
+        assert_eq!(fw.stats().frames_sent, 1);
 
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -51,6 +51,19 @@ pub struct FirewallStats {
     /// messages are parked in the pending queue, agent transfers are
     /// reported to the sending agent.
     pub retry_timeouts: u64,
+    /// Cumulative acks the pipelined transport received (gauge, absorbed).
+    pub acks_received: u64,
+    /// Frames the pipelined transport retransmitted after an ack timeout
+    /// (gauge, absorbed).
+    pub retransmits: u64,
+    /// Frames currently queued in the transport's bounded per-peer
+    /// outbound queues (gauge, absorbed).
+    pub queue_depth: u64,
+    /// The deepest any outbound queue has been (gauge, absorbed).
+    pub queue_high_water: u64,
+    /// Sends refused because a peer's outbound queue was full (gauge,
+    /// absorbed).
+    pub queue_drops: u64,
     /// Records appended to the durable journal (gauge, absorbed from the
     /// journal when stats are read).
     pub journal_records: u64,
@@ -90,6 +103,11 @@ impl FirewallStats {
     pub fn absorb_transport(&mut self, t: &tacoma_transport::TransportStats) {
         self.reconnects = t.reconnects;
         self.handshake_failures = t.handshake_failures;
+        self.acks_received = t.acks_received;
+        self.retransmits = t.retransmits;
+        self.queue_depth = t.queue_depth;
+        self.queue_high_water = t.queue_high_water;
+        self.queue_drops = t.queue_drops;
     }
 
     /// Overwrites the journal gauge fields from a journal snapshot, for
@@ -108,6 +126,7 @@ impl fmt::Display for FirewallStats {
             "local={} remote={} queued={} expired={} denied={} installed={} admin={} verified={} code-rejected={} \
              cache-hits={} cache-misses={} cache-evictions={} \
              tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={} \
+             acks={} retransmits={} q-depth={} q-high={} q-drops={} \
              jr-records={} jr-bytes={} jr-fsyncs={} jr-replayed={} jr-reparked={} jr-resumed={} hop-dedup={}",
             self.delivered_local,
             self.forwarded_remote,
@@ -128,6 +147,11 @@ impl fmt::Display for FirewallStats {
             self.reconnects,
             self.handshake_failures,
             self.retry_timeouts,
+            self.acks_received,
+            self.retransmits,
+            self.queue_depth,
+            self.queue_high_water,
+            self.queue_drops,
             self.journal_records,
             self.journal_bytes,
             self.journal_fsyncs,

@@ -99,13 +99,26 @@ impl Connection {
         &self.peer_host
     }
 
+    /// Consumes the connection and hands back the underlying stream.
+    ///
+    /// The reactor uses this: connector threads run the blocking
+    /// handshake through [`Connection::establish`], then the shard takes
+    /// over the socket in nonblocking mode.
+    pub fn into_stream(self) -> TcpStream {
+        self.stream
+    }
+
     /// Ships one Briefcase frame and waits for the peer's Ack.
+    ///
+    /// The payload is written with vectored I/O directly from the
+    /// caller's buffer — a briefcase's cached `wire_bytes()` reaches the
+    /// socket without being copied into a frame-encode buffer first.
     ///
     /// # Errors
     ///
     /// I/O errors (including ack timeout) or a protocol violation.
     pub fn send_payload(&mut self, payload: &[u8]) -> Result<(), TransportError> {
-        self.write(&Frame::new(FrameKind::Briefcase, payload.to_vec()))?;
+        crate::frame::write_frame_vectored(&mut self.stream, FrameKind::Briefcase, payload)?;
         let reply = self.read()?;
         match reply.kind {
             FrameKind::Ack => Ok(()),

@@ -40,6 +40,15 @@ pub enum TransportError {
         /// What was malformed.
         detail: String,
     },
+    /// The peer's bounded outbound queue is full — backpressure. The
+    /// caller can retry later, fall back to a blocking send, or park the
+    /// message; nothing was enqueued.
+    QueueFull {
+        /// The destination host.
+        host: String,
+        /// The queue's capacity.
+        capacity: usize,
+    },
     /// Every retry attempt failed; the caller should park the message.
     RetriesExhausted {
         /// The destination host.
@@ -65,6 +74,9 @@ impl fmt::Display for TransportError {
                 write!(f, "frame of {declared} bytes exceeds limit {limit}")
             }
             TransportError::BadFrame { detail } => write!(f, "malformed frame: {detail}"),
+            TransportError::QueueFull { host, capacity } => {
+                write!(f, "outbound queue for {host:?} full ({capacity} entries)")
+            }
             TransportError::RetriesExhausted {
                 host,
                 attempts,

@@ -49,6 +49,15 @@ pub enum FrameKind {
     StatsReply = 7,
     /// Orderly goodbye; either side may send before closing.
     Bye = 8,
+    /// A pipelined briefcase frame: payload is an 8-byte little-endian
+    /// per-connection sequence number followed by the encoded message.
+    /// Acknowledged cumulatively with [`FrameKind::AckSeq`] instead of
+    /// one [`FrameKind::Ack`] per frame.
+    BriefcaseSeq = 9,
+    /// Cumulative receipt: payload is the highest 8-byte little-endian
+    /// sequence number the receiver has accepted; it covers every
+    /// [`FrameKind::BriefcaseSeq`] frame up to and including that seq.
+    AckSeq = 10,
 }
 
 impl FrameKind {
@@ -63,6 +72,8 @@ impl FrameKind {
             6 => Some(FrameKind::Stats),
             7 => Some(FrameKind::StatsReply),
             8 => Some(FrameKind::Bye),
+            9 => Some(FrameKind::BriefcaseSeq),
+            10 => Some(FrameKind::AckSeq),
             _ => None,
         }
     }
@@ -93,6 +104,62 @@ pub struct Frame {
     /// The payload bytes — a shared buffer, so decoding can hand out
     /// zero-copy views of the read allocation.
     pub payload: Bytes,
+}
+
+/// Builds the 10-byte frame header for a payload of `payload_len` bytes.
+///
+/// The reactor's vectored write path ships `[header, payload]` (or
+/// `[header, seq, payload]` for [`FrameKind::BriefcaseSeq`]) as separate
+/// `IoSlice`s, so the payload `Bytes` is never copied into a contiguous
+/// encode buffer.
+pub fn frame_header(kind: FrameKind, payload_len: u32) -> [u8; FRAME_HEADER_LEN] {
+    let len = payload_len.to_le_bytes();
+    [
+        FRAME_MAGIC[0],
+        FRAME_MAGIC[1],
+        FRAME_MAGIC[2],
+        FRAME_MAGIC[3],
+        FRAME_VERSION,
+        kind as u8,
+        len[0],
+        len[1],
+        len[2],
+        len[3],
+    ]
+}
+
+/// Splits a [`FrameKind::BriefcaseSeq`] payload into its sequence number
+/// and the message bytes (a zero-copy slice of the frame payload).
+///
+/// # Errors
+///
+/// [`TransportError::BadFrame`] when the payload is shorter than the
+/// 8-byte sequence prefix.
+pub fn split_seq(payload: &Bytes) -> Result<(u64, Bytes), TransportError> {
+    if payload.len() < 8 {
+        return Err(TransportError::BadFrame {
+            detail: format!("seq frame payload too short: {} bytes", payload.len()),
+        });
+    }
+    let mut seq = [0u8; 8];
+    seq.copy_from_slice(&payload[..8]);
+    Ok((u64::from_le_bytes(seq), payload.slice(8..)))
+}
+
+/// Parses a [`FrameKind::AckSeq`] payload: the cumulative acked sequence.
+///
+/// # Errors
+///
+/// [`TransportError::BadFrame`] unless the payload is exactly 8 bytes.
+pub fn parse_ack_seq(payload: &Bytes) -> Result<u64, TransportError> {
+    if payload.len() != 8 {
+        return Err(TransportError::BadFrame {
+            detail: format!("ack-seq payload must be 8 bytes, got {}", payload.len()),
+        });
+    }
+    let mut seq = [0u8; 8];
+    seq.copy_from_slice(payload);
+    Ok(u64::from_le_bytes(seq))
 }
 
 impl Frame {
@@ -220,12 +287,51 @@ impl Frame {
     }
 }
 
-struct ParsedHeader {
+/// Writes one frame as `[header, payload]` via vectored I/O and flushes,
+/// without ever building a contiguous `header+payload` buffer — the
+/// caller's payload (typically a briefcase's cached `wire_bytes()`) goes
+/// to the socket uncopied.
+///
+/// # Errors
+///
+/// Propagates I/O errors, including a zero-length write (peer gone).
+pub fn write_frame_vectored(
+    w: &mut impl Write,
     kind: FrameKind,
-    len: u64,
+    payload: &[u8],
+) -> Result<(), TransportError> {
+    let header = frame_header(kind, payload.len() as u32);
+    let total = header.len() + payload.len();
+    let mut written = 0usize;
+    while written < total {
+        let n = if written < header.len() {
+            w.write_vectored(&[
+                std::io::IoSlice::new(&header[written..]),
+                std::io::IoSlice::new(payload),
+            ])?
+        } else {
+            w.write(&payload[written - header.len()..])?
+        };
+        if n == 0 {
+            return Err(TransportError::Io {
+                detail: "socket write returned 0 bytes".to_owned(),
+            });
+        }
+        written += n;
+    }
+    w.flush()?;
+    Ok(())
 }
 
-fn parse_header(header: &[u8], limits: &FrameLimits) -> Result<ParsedHeader, TransportError> {
+pub(crate) struct ParsedHeader {
+    pub(crate) kind: FrameKind,
+    pub(crate) len: u64,
+}
+
+pub(crate) fn parse_header(
+    header: &[u8],
+    limits: &FrameLimits,
+) -> Result<ParsedHeader, TransportError> {
     if header[..4] != FRAME_MAGIC {
         return Err(TransportError::BadFrame {
             detail: format!("bad magic {:02x?}", &header[..4]),
@@ -267,6 +373,8 @@ mod tests {
             FrameKind::Stats,
             FrameKind::StatsReply,
             FrameKind::Bye,
+            FrameKind::BriefcaseSeq,
+            FrameKind::AckSeq,
         ] {
             let f = Frame::new(kind, vec![1, 2, 3]);
             let wire = f.encode();
@@ -282,6 +390,16 @@ mod tests {
         let mut buf = Vec::new();
         f.write_to(&mut buf).unwrap();
         let back = Frame::read_from(&mut buf.as_slice(), &FrameLimits::default()).unwrap();
+        assert_eq!(back, f);
+    }
+
+    #[test]
+    fn vectored_write_matches_encode() {
+        let f = Frame::new(FrameKind::Briefcase, vec![3u8; 777]);
+        let mut vectored = Vec::new();
+        write_frame_vectored(&mut vectored, f.kind, &f.payload).unwrap();
+        assert_eq!(vectored, f.encode());
+        let back = Frame::read_from(&mut vectored.as_slice(), &FrameLimits::default()).unwrap();
         assert_eq!(back, f);
     }
 
@@ -313,6 +431,36 @@ mod tests {
         // The copying decode does not.
         let q = copied.payload.as_ptr() as usize;
         assert!(q < base || q >= base + wire.len());
+    }
+
+    #[test]
+    fn header_builder_matches_encode() {
+        let f = Frame::new(FrameKind::BriefcaseSeq, vec![1u8, 2, 3]);
+        let wire = f.encode();
+        assert_eq!(
+            frame_header(FrameKind::BriefcaseSeq, 3),
+            wire[..FRAME_HEADER_LEN]
+        );
+    }
+
+    #[test]
+    fn seq_payload_splits_zero_copy() {
+        let mut payload = 42u64.to_le_bytes().to_vec();
+        payload.extend_from_slice(b"agent-bytes");
+        let payload = Bytes::from(payload);
+        let (seq, rest) = split_seq(&payload).unwrap();
+        assert_eq!(seq, 42);
+        assert_eq!(&rest[..], b"agent-bytes");
+        // The message view points inside the frame payload's allocation.
+        assert_eq!(rest.as_ptr(), std::ptr::from_ref(&payload[8]));
+        assert!(split_seq(&Bytes::copy_from_slice(&[0; 7])).is_err());
+    }
+
+    #[test]
+    fn ack_seq_roundtrip() {
+        let payload = Bytes::from(7u64.to_le_bytes().to_vec());
+        assert_eq!(parse_ack_seq(&payload).unwrap(), 7);
+        assert!(parse_ack_seq(&Bytes::copy_from_slice(&[0; 9])).is_err());
     }
 
     #[test]

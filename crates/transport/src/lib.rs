@@ -13,12 +13,17 @@
 //! Layers, bottom up:
 //!
 //! - [`frame`]: the `TAXF` frame codec (magic, version, kind, u32-LE
-//!   length, payload), with declared-length checks before allocation.
+//!   length, payload), with declared-length checks before allocation;
+//!   pipelined frames carry an 8-byte seq and are acked cumulatively.
 //! - [`handshake`]: the HELLO/WELCOME/REJECT exchange, optionally MAC-
 //!   signed and verified against a [`tacoma_security::TrustStore`].
 //! - [`conn`]: one handshaken connection — Briefcase frames are acked,
 //!   Stats frames answered.
-//! - [`tcp`] / [`listener`]: the client pool and the server accept loop.
+//! - [`window`]: the pipelined ack-window protocol state machines.
+//! - [`reactor`]: the sharded nonblocking client backend — pipelined
+//!   windows, zero-copy vectored writes, bounded backpressure.
+//! - [`tcp`] / [`listener`]: the legacy blocking client pool and the
+//!   (sharded, nonblocking) server side.
 //! - [`sim`]: the same [`Transport`] trait over the simulated network.
 //! - [`backoff`] / [`stats`]: retry pacing and shared counters.
 
@@ -28,18 +33,25 @@ pub mod error;
 pub mod frame;
 pub mod handshake;
 pub mod listener;
+pub mod reactor;
 pub mod sim;
 pub mod stats;
 pub mod tcp;
 pub mod traits;
+pub mod window;
 
 pub use backoff::BackoffPolicy;
 pub use conn::{ConnectConfig, Connection};
 pub use error::TransportError;
-pub use frame::{Frame, FrameKind, FrameLimits, FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION};
+pub use frame::{
+    frame_header, parse_ack_seq, split_seq, write_frame_vectored, Frame, FrameKind, FrameLimits,
+    FRAME_HEADER_LEN, FRAME_MAGIC, FRAME_VERSION,
+};
 pub use handshake::{build_hello, build_welcome, parse_welcome, verify_hello, HelloInfo};
 pub use listener::{Inbound, ListenerConfig, PreAckHook, TransportListener};
+pub use reactor::{ReactorConfig, ReactorTransport};
 pub use sim::SimTransport;
 pub use stats::{TransportCounters, TransportStats};
 pub use tcp::{TcpConfig, TcpTransport};
-pub use traits::Transport;
+pub use traits::{Completion, Transport};
+pub use window::{RecvWindow, SendWindow};

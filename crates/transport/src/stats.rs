@@ -24,6 +24,16 @@ pub struct TransportStats {
     pub handshake_failures: u64,
     /// Sends abandoned after the full retry budget.
     pub retry_timeouts: u64,
+    /// Cumulative-ack frames received on the pipelined path.
+    pub acks_received: u64,
+    /// Frames re-sent after an ack-window timeout or a reconnect.
+    pub retransmits: u64,
+    /// Current total depth of all bounded per-peer outbound queues.
+    pub queue_depth: u64,
+    /// Highest queue depth ever observed on any single peer queue.
+    pub queue_high_water: u64,
+    /// Enqueue attempts refused because a peer queue was at capacity.
+    pub queue_drops: u64,
 }
 
 impl TransportStats {
@@ -39,6 +49,11 @@ impl TransportStats {
             reconnects: self.reconnects + other.reconnects,
             handshake_failures: self.handshake_failures + other.handshake_failures,
             retry_timeouts: self.retry_timeouts + other.retry_timeouts,
+            acks_received: self.acks_received + other.acks_received,
+            retransmits: self.retransmits + other.retransmits,
+            queue_depth: self.queue_depth + other.queue_depth,
+            queue_high_water: self.queue_high_water.max(other.queue_high_water),
+            queue_drops: self.queue_drops + other.queue_drops,
         }
     }
 }
@@ -47,7 +62,7 @@ impl fmt::Display for TransportStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} connects={} reconnects={} handshake-fail={} retry-timeouts={}",
+            "tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} connects={} reconnects={} handshake-fail={} retry-timeouts={} acks={} retransmits={} queue-depth={} queue-high-water={} queue-drops={}",
             self.frames_sent,
             self.bytes_sent,
             self.frames_received,
@@ -55,7 +70,12 @@ impl fmt::Display for TransportStats {
             self.connects,
             self.reconnects,
             self.handshake_failures,
-            self.retry_timeouts
+            self.retry_timeouts,
+            self.acks_received,
+            self.retransmits,
+            self.queue_depth,
+            self.queue_high_water,
+            self.queue_drops
         )
     }
 }
@@ -70,6 +90,11 @@ struct Inner {
     reconnects: AtomicU64,
     handshake_failures: AtomicU64,
     retry_timeouts: AtomicU64,
+    acks_received: AtomicU64,
+    retransmits: AtomicU64,
+    queue_depth: AtomicU64,
+    queue_high_water: AtomicU64,
+    queue_drops: AtomicU64,
 }
 
 /// Shared, thread-safe counters; cloning shares the underlying cells.
@@ -119,6 +144,45 @@ impl TransportCounters {
         self.inner.retry_timeouts.fetch_add(1, Ordering::Relaxed);
     }
 
+    pub(crate) fn add_ack_received(&self) {
+        self.inner.acks_received.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn add_retransmits(&self, n: u64) {
+        self.inner.retransmits.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Tracks a queue growing to `depth` entries: bumps the global depth
+    /// gauge and raises the high-water mark when exceeded.
+    pub(crate) fn queue_grew(&self, depth: u64) {
+        self.inner.queue_depth.fetch_add(1, Ordering::Relaxed);
+        self.inner
+            .queue_high_water
+            .fetch_max(depth, Ordering::Relaxed);
+    }
+
+    pub(crate) fn queue_shrank(&self, by: u64) {
+        // Saturating: a racing snapshot may observe a transient dip, but
+        // the gauge never wraps.
+        let mut current = self.inner.queue_depth.load(Ordering::Relaxed);
+        loop {
+            let next = current.saturating_sub(by);
+            match self.inner.queue_depth.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => return,
+                Err(seen) => current = seen,
+            }
+        }
+    }
+
+    pub(crate) fn add_queue_drop(&self) {
+        self.inner.queue_drops.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Reads a consistent-enough snapshot of all counters.
     pub fn snapshot(&self) -> TransportStats {
         TransportStats {
@@ -130,6 +194,11 @@ impl TransportCounters {
             reconnects: self.inner.reconnects.load(Ordering::Relaxed),
             handshake_failures: self.inner.handshake_failures.load(Ordering::Relaxed),
             retry_timeouts: self.inner.retry_timeouts.load(Ordering::Relaxed),
+            acks_received: self.inner.acks_received.load(Ordering::Relaxed),
+            retransmits: self.inner.retransmits.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue_depth.load(Ordering::Relaxed),
+            queue_high_water: self.inner.queue_high_water.load(Ordering::Relaxed),
+            queue_drops: self.inner.queue_drops.load(Ordering::Relaxed),
         }
     }
 }

@@ -1,0 +1,242 @@
+//! The pipelined ack-window protocol, as pure state machines.
+//!
+//! Replaces stop-and-wait: up to W briefcases are in flight per
+//! connection, each tagged with a per-connection sequence number
+//! (starting at 1), and the receiver acknowledges cumulatively — one
+//! `AckSeq(n)` frame covers every frame up to and including `n`.
+//!
+//! Sequence numbers are scoped to a single connection. On reconnect the
+//! sender drains its in-flight items back into the queue and restarts at
+//! seq 1 against the peer's fresh [`RecvWindow`]; cross-connection
+//! duplicate suppression is the journal's hop-key dedup at the
+//! listener's `pre_ack` hook, not this layer's job.
+//!
+//! Both halves are pure (no sockets, no clocks), so the reactor drives
+//! them from its poll loop and the proptests drive them through
+//! arbitrary interleavings of acks, timeouts, and reconnects.
+
+use std::collections::VecDeque;
+
+/// Sender half: tracks which sequence numbers are in flight and releases
+/// items as cumulative acks arrive.
+#[derive(Debug)]
+pub struct SendWindow<T> {
+    capacity: usize,
+    next_seq: u64,
+    acked: u64,
+    inflight: VecDeque<(u64, T)>,
+}
+
+impl<T> SendWindow<T> {
+    /// A window admitting up to `capacity` unacked frames.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero capacity (the protocol needs at least
+    /// stop-and-wait).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "ack window capacity must be >= 1");
+        SendWindow {
+            capacity,
+            next_seq: 1,
+            acked: 0,
+            inflight: VecDeque::new(),
+        }
+    }
+
+    /// The configured window size.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Whether another frame may enter flight.
+    pub fn has_room(&self) -> bool {
+        self.inflight.len() < self.capacity
+    }
+
+    /// Frames currently awaiting acknowledgement.
+    pub fn in_flight(&self) -> usize {
+        self.inflight.len()
+    }
+
+    /// True when nothing is awaiting acknowledgement.
+    pub fn is_empty(&self) -> bool {
+        self.inflight.is_empty()
+    }
+
+    /// Highest cumulatively acknowledged sequence (0 before any ack).
+    pub fn acked(&self) -> u64 {
+        self.acked
+    }
+
+    /// The sequence number the next [`SendWindow::push`] will assign.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Assigns the next sequence number to `item` and tracks it in
+    /// flight, returning the assigned seq.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the window is full — callers gate on
+    /// [`SendWindow::has_room`].
+    pub fn push(&mut self, item: T) -> u64 {
+        assert!(self.has_room(), "pushed into a full ack window");
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.inflight.push_back((seq, item));
+        seq
+    }
+
+    /// Applies a cumulative ack for everything up to and including
+    /// `seq`, returning the released items oldest-first. Stale or
+    /// duplicate acks (≤ the current ack horizon) release nothing; an
+    /// ack beyond anything we sent is clamped to the highest assigned
+    /// seq rather than trusted.
+    pub fn ack(&mut self, seq: u64) -> Vec<T> {
+        let seq = seq.min(self.next_seq - 1);
+        if seq <= self.acked {
+            return Vec::new();
+        }
+        self.acked = seq;
+        let mut released = Vec::new();
+        while self
+            .inflight
+            .front()
+            .is_some_and(|(front_seq, _)| *front_seq <= seq)
+        {
+            let (_, item) = self.inflight.pop_front().expect("front checked");
+            released.push(item);
+        }
+        released
+    }
+
+    /// Everything still awaiting an ack, oldest first — the retransmit
+    /// set after a window timeout ("retry from the last acked seq").
+    pub fn unacked(&self) -> impl Iterator<Item = (u64, &T)> {
+        self.inflight.iter().map(|(seq, item)| (*seq, item))
+    }
+
+    /// Tears the window down for a reconnect: drains every in-flight
+    /// item oldest-first (so the caller can requeue them ahead of newer
+    /// work) and restarts sequencing at 1 for the fresh connection.
+    pub fn reset(&mut self) -> Vec<T> {
+        self.next_seq = 1;
+        self.acked = 0;
+        self.inflight.drain(..).map(|(_, item)| item).collect()
+    }
+}
+
+/// Receiver half: per-connection duplicate suppression plus the
+/// cumulative ack horizon to report back.
+#[derive(Debug, Default)]
+pub struct RecvWindow {
+    highest: u64,
+}
+
+impl RecvWindow {
+    /// A fresh window expecting seq 1 first.
+    pub fn new() -> Self {
+        RecvWindow::default()
+    }
+
+    /// Decides whether the frame tagged `seq` is new (deliver it, true)
+    /// or a retransmit of something already accepted (suppress the
+    /// forward, false — but still ack, so the sender stops retrying).
+    ///
+    /// TCP delivers in order within a connection, so a seq at or below
+    /// the horizon is a sender retransmit after a lost or delayed ack.
+    /// A gap (seq jumping forward) only happens with a faulty sender;
+    /// the frame itself is still new, so it is delivered and the horizon
+    /// jumps with it.
+    pub fn accept(&mut self, seq: u64) -> bool {
+        if seq <= self.highest {
+            return false;
+        }
+        self.highest = seq;
+        true
+    }
+
+    /// The cumulative ack to send: the highest accepted seq (0 before
+    /// any frame arrived).
+    pub fn ack_seq(&self) -> u64 {
+        self.highest
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fills_to_capacity_and_releases_cumulatively() {
+        let mut w = SendWindow::new(3);
+        assert_eq!(w.push("a"), 1);
+        assert_eq!(w.push("b"), 2);
+        assert_eq!(w.push("c"), 3);
+        assert!(!w.has_room());
+        // One cumulative ack releases the first two, oldest first.
+        assert_eq!(w.ack(2), vec!["a", "b"]);
+        assert!(w.has_room());
+        assert_eq!(w.in_flight(), 1);
+        assert_eq!(w.ack(3), vec!["c"]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn stale_and_wild_acks_are_harmless() {
+        let mut w = SendWindow::new(4);
+        w.push(10);
+        w.push(11);
+        assert_eq!(w.ack(1), vec![10]);
+        // Duplicate / stale acks release nothing.
+        assert!(w.ack(1).is_empty());
+        assert!(w.ack(0).is_empty());
+        // An ack beyond anything sent is clamped, not trusted.
+        assert_eq!(w.ack(999), vec![11]);
+        assert_eq!(w.acked(), 2);
+        assert_eq!(w.next_seq(), 3);
+    }
+
+    #[test]
+    fn unacked_is_the_retransmit_set() {
+        let mut w = SendWindow::new(4);
+        for item in ["a", "b", "c"] {
+            w.push(item);
+        }
+        w.ack(1);
+        let retrans: Vec<_> = w.unacked().collect();
+        assert_eq!(retrans, vec![(2, &"b"), (3, &"c")]);
+    }
+
+    #[test]
+    fn reset_drains_oldest_first_and_restarts_sequencing() {
+        let mut w = SendWindow::new(4);
+        for item in ["a", "b", "c"] {
+            w.push(item);
+        }
+        w.ack(1);
+        assert_eq!(w.reset(), vec!["b", "c"]);
+        assert!(w.is_empty());
+        assert_eq!(w.next_seq(), 1);
+        assert_eq!(w.acked(), 0);
+        assert_eq!(w.push("d"), 1);
+    }
+
+    #[test]
+    fn recv_window_suppresses_retransmits() {
+        let mut r = RecvWindow::new();
+        assert_eq!(r.ack_seq(), 0);
+        assert!(r.accept(1));
+        assert!(r.accept(2));
+        // Retransmits of accepted seqs are suppressed but still acked.
+        assert!(!r.accept(1));
+        assert!(!r.accept(2));
+        assert_eq!(r.ack_seq(), 2);
+        // A forward gap is still a new frame.
+        assert!(r.accept(5));
+        assert_eq!(r.ack_seq(), 5);
+        assert!(!r.accept(3));
+    }
+}

@@ -1,0 +1,237 @@
+//! Property tests of the pipelined ack-window protocol: arbitrary
+//! interleavings of sends, deliveries, ack losses, timeouts, and
+//! reconnects never deliver a frame to the forward hook twice and never
+//! lose an unacked frame.
+//!
+//! The wire model is TCP's: in-order and reliable *within* a
+//! connection. Frames are never silently dropped mid-stream — losing a
+//! frame means losing the connection (the `Reconnect` op), which drops
+//! everything in flight in both directions and restarts both windows.
+//! That assumption is what makes cumulative acks sound; a transport
+//! with mid-stream loss would ack past never-delivered frames.
+//!
+//! The model mirrors the reactor exactly: a [`SendWindow`] fed from a
+//! FIFO queue (requeued in order on reconnect), frames and acks in
+//! flight on a lossy in-order wire, a per-connection [`RecvWindow`] on
+//! the receiving side, and — crucially — the persistent hop-key journal
+//! dedup that suppresses *cross*-connection retries, which seq numbers
+//! alone cannot (they restart at 1 on every connection).
+
+use std::collections::{HashSet, VecDeque};
+
+use proptest::prelude::*;
+use tacoma_transport::{RecvWindow, SendWindow};
+
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// Enqueue a fresh frame on the sender.
+    Send,
+    /// The receiver takes the next frame off the wire.
+    DeliverFrame,
+    /// The sender takes the next ack off the wire.
+    DeliverAck,
+    /// The network starves the sender of the next ack (the ack is
+    /// cumulative, so a later one covers it — this models delay-driven
+    /// timeout retransmits, not TCP loss).
+    DropAck,
+    /// Sender ack-timeout: retransmit everything unacked.
+    Timeout,
+    /// Connection torn down: both wire directions are lost, the sender
+    /// requeues its window, the receiver starts a fresh seq space.
+    Reconnect,
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    // The vendored prop_oneof is unweighted; repetition biases the mix
+    // toward forward progress so runs exercise deep windows.
+    prop_oneof![
+        Just(Op::Send),
+        Just(Op::Send),
+        Just(Op::Send),
+        Just(Op::Send),
+        Just(Op::DeliverFrame),
+        Just(Op::DeliverFrame),
+        Just(Op::DeliverFrame),
+        Just(Op::DeliverFrame),
+        Just(Op::DeliverAck),
+        Just(Op::DeliverAck),
+        Just(Op::DeliverAck),
+        Just(Op::DropAck),
+        Just(Op::Timeout),
+        Just(Op::Reconnect),
+    ]
+}
+
+struct Model {
+    window: SendWindow<u32>,
+    queue: VecDeque<u32>,
+    next_id: u32,
+    /// Frames in flight sender → receiver (in order, as on TCP).
+    wire: VecDeque<(u64, u32)>,
+    /// Acks in flight receiver → sender.
+    acks: VecDeque<u64>,
+    recv: RecvWindow,
+    /// The durable hop-key dedup (the journal's `pre_ack` role).
+    journal: HashSet<u32>,
+    /// Every id the forward hook actually executed, in order.
+    forwarded: Vec<u32>,
+    /// Every id whose send completed (released by a cumulative ack).
+    completed: Vec<u32>,
+}
+
+impl Model {
+    fn new(capacity: usize) -> Self {
+        Model {
+            window: SendWindow::new(capacity),
+            queue: VecDeque::new(),
+            next_id: 0,
+            wire: VecDeque::new(),
+            acks: VecDeque::new(),
+            recv: RecvWindow::new(),
+            journal: HashSet::new(),
+            forwarded: Vec::new(),
+            completed: Vec::new(),
+        }
+    }
+
+    /// As the reactor does after every command drain: move queued work
+    /// into the window, emitting a wire frame per admitted item.
+    fn refill(&mut self) {
+        while self.window.has_room() && !self.queue.is_empty() {
+            let id = self.queue.pop_front().expect("checked non-empty");
+            let seq = self.window.push(id);
+            self.wire.push_back((seq, id));
+        }
+    }
+
+    fn apply(&mut self, op: Op) {
+        match op {
+            Op::Send => {
+                self.queue.push_back(self.next_id);
+                self.next_id += 1;
+                self.refill();
+            }
+            Op::DeliverFrame => {
+                if let Some((seq, id)) = self.wire.pop_front() {
+                    if self.recv.accept(seq) && self.journal.insert(id) {
+                        self.forwarded.push(id);
+                    }
+                    // Always ack — even duplicates — so the sender
+                    // stops retrying; cumulative, so it covers
+                    // everything accepted so far.
+                    self.acks.push_back(self.recv.ack_seq());
+                }
+            }
+            Op::DeliverAck => {
+                if let Some(seq) = self.acks.pop_front() {
+                    self.completed.extend(self.window.ack(seq));
+                    self.refill();
+                }
+            }
+            Op::DropAck => {
+                self.acks.pop_front();
+            }
+            Op::Timeout => {
+                for (seq, id) in self.window.unacked() {
+                    self.wire.push_back((seq, *id));
+                }
+            }
+            Op::Reconnect => {
+                self.wire.clear();
+                self.acks.clear();
+                let inflight = self.window.reset();
+                for id in inflight.into_iter().rev() {
+                    self.queue.push_front(id);
+                }
+                self.recv = RecvWindow::new();
+                self.refill();
+            }
+        }
+    }
+
+    /// Everything the sender still holds responsibility for.
+    fn outstanding(&self) -> Vec<u32> {
+        let mut ids: Vec<u32> = self.queue.iter().copied().collect();
+        ids.extend(self.window.unacked().map(|(_, id)| *id));
+        ids
+    }
+
+    fn check_invariants(&self) {
+        // Exactly-once into the forward hook.
+        let unique: HashSet<u32> = self.forwarded.iter().copied().collect();
+        prop_assert_eq!(
+            unique.len(),
+            self.forwarded.len(),
+            "forward hook ran twice for some frame"
+        );
+        // No completion duplication on the sender either.
+        let unique: HashSet<u32> = self.completed.iter().copied().collect();
+        prop_assert_eq!(unique.len(), self.completed.len(), "a send completed twice");
+        // Conservation: every frame is completed or still tracked.
+        let mut all: Vec<u32> = self.completed.clone();
+        all.extend(self.outstanding());
+        all.sort_unstable();
+        prop_assert_eq!(
+            all,
+            (0..self.next_id).collect::<Vec<u32>>(),
+            "an unacked frame vanished"
+        );
+    }
+}
+
+proptest! {
+    /// Under any interleaving, the invariants hold at every step, and
+    /// once the network behaves (a clean drain), every frame completes
+    /// exactly once on both sides.
+    #[test]
+    fn window_never_double_delivers_or_loses(
+        capacity in 1usize..9,
+        ops in prop::collection::vec(arb_op(), 0..250),
+    ) {
+        let mut m = Model::new(capacity);
+        for op in ops {
+            m.apply(op);
+            m.check_invariants();
+        }
+        // Drain: retransmit and deliver until everything lands.
+        let mut rounds = 0;
+        while !(m.queue.is_empty() && m.window.is_empty()) {
+            m.apply(Op::Timeout);
+            while !m.wire.is_empty() {
+                m.apply(Op::DeliverFrame);
+            }
+            while !m.acks.is_empty() {
+                m.apply(Op::DeliverAck);
+            }
+            m.check_invariants();
+            rounds += 1;
+            prop_assert!(rounds < 10_000, "drain did not converge");
+        }
+        let mut completed = m.completed.clone();
+        completed.sort_unstable();
+        prop_assert_eq!(completed, (0..m.next_id).collect::<Vec<u32>>());
+        let mut forwarded = m.forwarded.clone();
+        forwarded.sort_unstable();
+        prop_assert_eq!(forwarded, (0..m.next_id).collect::<Vec<u32>>());
+    }
+
+    /// The sender window is total over arbitrary (even hostile) ack
+    /// sequences: no panic, no double release.
+    #[test]
+    fn send_window_is_total_over_hostile_acks(
+        capacity in 1usize..9,
+        acks in prop::collection::vec(any::<u64>(), 0..64),
+    ) {
+        let mut w = SendWindow::new(capacity);
+        let mut pushed = 0u32;
+        let mut released = 0usize;
+        for ack in acks {
+            while w.has_room() && pushed < 32 {
+                w.push(pushed);
+                pushed += 1;
+            }
+            released += w.ack(ack).len();
+            prop_assert!(released <= pushed as usize);
+        }
+    }
+}

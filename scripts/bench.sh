@@ -1,13 +1,14 @@
 #!/usr/bin/env sh
 # Regenerates the checked-in benchmark JSON — BENCH_6.json (parallel-fleet
 # scheduler, briefcase CoW migration, firewall admission cache),
-# BENCH_7.json (durable-journal park/ship pipeline), and BENCH_8.json
+# BENCH_7.json (durable-journal park/ship pipeline), BENCH_8.json
 # (hostile-network scenarios: track determinism, itinerary planner,
-# local-vs-remote tier gap).
+# local-vs-remote tier gap), and BENCH_9.json (sharded reactor
+# transport: pipelined acks vs stop-and-wait, bounded backpressure,
+# peer scale).
 #
-#   scripts/bench.sh           full run, writes BENCH_6.json,
-#                              BENCH_7.json, and BENCH_8.json at the
-#                              repo root
+#   scripts/bench.sh           full run, writes BENCH_6.json through
+#                              BENCH_9.json at the repo root
 #   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
 #                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
@@ -22,6 +23,8 @@ if [ "${1:-}" = "--smoke" ]; then
     cargo run -q --release -p tacoma-bench --bin exp_e10_durable_journal -- --json --smoke --check
     echo "==> bench (smoke): exp_e11_scenario_matrix --check"
     cargo run -q --release -p tacoma-bench --bin exp_e11_scenario_matrix -- --json --smoke --check
+    echo "==> bench (smoke): exp_e12_reactor_transport --check (256-peer variant)"
+    cargo run -q --release -p tacoma-bench --bin exp_e12_reactor_transport -- --json --smoke --check
 else
     echo "==> bench: exp_e9_parallel_fleet -> BENCH_6.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
@@ -35,4 +38,8 @@ else
     cargo run -q --release -p tacoma-bench --bin exp_e11_scenario_matrix -- --json \
         > BENCH_8.json
     cat BENCH_8.json
+    echo "==> bench: exp_e12_reactor_transport -> BENCH_9.json"
+    cargo run -q --release -p tacoma-bench --bin exp_e12_reactor_transport -- --json \
+        > BENCH_9.json
+    cat BENCH_9.json
 fi

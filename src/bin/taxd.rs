@@ -4,17 +4,24 @@
 //!
 //! ```text
 //! taxd --host alpha --listen 127.0.0.1:7001 --peer beta=127.0.0.1:7002 \
-//!      [--launch file.tax --itinerary beta,alpha] \
+//!      [--launch file.tax]... [--itinerary beta,alpha] \
 //!      [--journal-dir DIR] [--crash-after-record KIND[:N]] \
-//!      [--idle-exit-ms 2000] [--require-signed] [--threads N]
+//!      [--idle-exit-ms 2000] [--require-signed] [--threads N] \
+//!      [--transport-shards N] [--ack-window W]
 //! ```
 //!
 //! The daemon binds a [`TransportListener`], routes every arriving frame
 //! through its firewall exactly as a simulated envelope would be, and
-//! ships outbound decisions over a [`TcpTransport`] (retry with backoff;
-//! undeliverable mail parks in the pending queue and a periodic sweep
-//! retries it). With `--idle-exit-ms` the process exits once nothing has
-//! happened for that long — the mode the loopback integration test uses.
+//! ships outbound decisions over a sharded nonblocking
+//! [`ReactorTransport`]: frames enter a bounded per-peer queue, ride a
+//! pipelined ack window (up to `--ack-window` frames in flight, acked
+//! cumulatively), and complete asynchronously — the main loop pumps
+//! completions back into the firewall, which parks any frame whose retry
+//! budget ran out for the periodic redelivery sweep. `--transport-shards`
+//! sets the number of reactor threads (peers are assigned by host hash);
+//! `--launch` may repeat to start several agents on the same itinerary.
+//! With `--idle-exit-ms` the process exits once nothing has happened for
+//! that long — the mode the loopback integration test uses.
 //!
 //! With `--journal-dir` every park, delivery, and migration hop is
 //! write-ahead logged to an on-disk journal; restarting the daemon with
@@ -26,7 +33,7 @@
 //! the Nth durable record of the named kind.
 //!
 //! [`TransportListener`]: tacoma::transport::TransportListener
-//! [`TcpTransport`]: tacoma::transport::TcpTransport
+//! [`ReactorTransport`]: tacoma::transport::ReactorTransport
 
 use std::env;
 use std::fs;
@@ -36,7 +43,9 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use tacoma::core::{AgentSpec, SystemBuilder, TaxSystem};
-use tacoma::transport::{ListenerConfig, TcpConfig, TcpTransport, Transport, TransportListener};
+use tacoma::transport::{
+    ListenerConfig, ReactorConfig, ReactorTransport, Transport, TransportListener,
+};
 
 /// How often the pending-queue sweep retries parked remote mail.
 const SWEEP_EVERY: Duration = Duration::from_millis(250);
@@ -48,19 +57,22 @@ struct Options {
     host: String,
     listen: String,
     peers: Vec<(String, String)>,
-    launch: Option<String>,
+    launches: Vec<String>,
     itinerary: Vec<String>,
     idle_exit: Option<Duration>,
     require_signed: bool,
     threads: usize,
+    transport_shards: usize,
+    ack_window: usize,
     journal_dir: Option<String>,
     crash_after: Option<tacoma::journal::CrashPoint>,
 }
 
 fn usage() -> String {
     "usage: taxd --host NAME --listen ADDR [--peer HOST=ADDR]... \
-     [--launch FILE.tax] [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed] \
-     [--threads N] [--journal-dir DIR] [--crash-after-record KIND[:N]]"
+     [--launch FILE.tax]... [--itinerary H1,H2,...] [--idle-exit-ms N] [--require-signed] \
+     [--threads N] [--transport-shards N] [--ack-window W] \
+     [--journal-dir DIR] [--crash-after-record KIND[:N]]"
         .to_owned()
 }
 
@@ -68,11 +80,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
     let mut host = None;
     let mut listen = None;
     let mut peers = Vec::new();
-    let mut launch = None;
+    let mut launches = Vec::new();
     let mut itinerary = Vec::new();
     let mut idle_exit = None;
     let mut require_signed = false;
     let mut threads = 0;
+    let mut transport_shards = 0;
+    let mut ack_window = 0;
     let mut journal_dir = None;
     let mut crash_after = None;
 
@@ -93,7 +107,7 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .ok_or_else(|| format!("--peer wants HOST=ADDR, got {spec:?}"))?;
                 peers.push((name.to_owned(), addr.to_owned()));
             }
-            "--launch" => launch = Some(value("--launch")?),
+            "--launch" => launches.push(value("--launch")?),
             "--itinerary" => {
                 itinerary = value("--itinerary")?
                     .split(',')
@@ -112,6 +126,16 @@ fn parse(args: &[String]) -> Result<Options, String> {
                     .parse()
                     .map_err(|_| "--threads wants a number".to_owned())?;
             }
+            "--transport-shards" => {
+                transport_shards = value("--transport-shards")?
+                    .parse()
+                    .map_err(|_| "--transport-shards wants a number".to_owned())?;
+            }
+            "--ack-window" => {
+                ack_window = value("--ack-window")?
+                    .parse()
+                    .map_err(|_| "--ack-window wants a number >= 1".to_owned())?;
+            }
             "--journal-dir" => journal_dir = Some(value("--journal-dir")?),
             "--crash-after-record" => {
                 let spec = value("--crash-after-record")?;
@@ -126,11 +150,13 @@ fn parse(args: &[String]) -> Result<Options, String> {
         host: host.ok_or_else(usage)?,
         listen: listen.ok_or_else(usage)?,
         peers,
-        launch,
+        launches,
         itinerary,
         idle_exit,
         require_signed,
         threads,
+        transport_shards,
+        ack_window,
         journal_dir,
         crash_after,
     })
@@ -149,10 +175,18 @@ fn main() -> ExitCode {
 }
 
 fn run(opts: &Options) -> Result<(), String> {
-    // Outbound: real TCP with retry/backoff, peer table from --peer.
-    let mut config = TcpConfig::default();
+    // Outbound: the sharded nonblocking reactor, peer table from --peer.
+    // Frames queue per peer with bounded backpressure and ride a
+    // pipelined ack window; the loop below pumps completions.
+    let mut config = ReactorConfig::default();
     config.connect.local_host.clone_from(&opts.host);
-    let transport = Arc::new(TcpTransport::new(config));
+    if opts.transport_shards > 0 {
+        config.shards = opts.transport_shards;
+    }
+    if opts.ack_window > 0 {
+        config.ack_window = opts.ack_window;
+    }
+    let transport = Arc::new(ReactorTransport::new(config));
     for (name, addr) in &opts.peers {
         transport.add_peer(name.clone(), addr.clone());
     }
@@ -254,14 +288,14 @@ fn run(opts: &Options) -> Result<(), String> {
     println!("taxd: {} listening on {}", opts.host, listener.local_addr());
     let _ = std::io::stdout().flush();
 
-    if let Some(path) = &opts.launch {
+    let itinerary: Vec<String> = opts
+        .itinerary
+        .iter()
+        .map(|h| format!("tacoma://{h}/vm_script"))
+        .collect();
+    for path in &opts.launches {
         let source = fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-        let itinerary: Vec<String> = opts
-            .itinerary
-            .iter()
-            .map(|h| format!("tacoma://{h}/vm_script"))
-            .collect();
-        let spec = AgentSpec::script("taxd", source).itinerary(itinerary);
+        let spec = AgentSpec::script("taxd", source).itinerary(itinerary.clone());
         system.launch(&opts.host, spec).map_err(|e| e.to_string())?;
     }
 
@@ -270,6 +304,15 @@ fn run(opts: &Options) -> Result<(), String> {
     let mut last_sweep = Instant::now();
     loop {
         if system.run_until_quiet().steps() > 0 {
+            last_activity = Instant::now();
+        }
+        // Settle acked/failed nonblocking sends: commits hops, parks
+        // frames whose retry budget ran out.
+        if system
+            .pump_transport(&opts.host)
+            .map_err(|e| e.to_string())?
+            > 0
+        {
             last_activity = Instant::now();
         }
         printed = print_new_events(&system, printed);
@@ -296,10 +339,33 @@ fn run(opts: &Options) -> Result<(), String> {
             }
         }
         if let Some(limit) = opts.idle_exit {
-            if last_activity.elapsed() >= limit {
+            if last_activity.elapsed() >= limit
+                && system
+                    .transport_inflight(&opts.host)
+                    .map_err(|e| e.to_string())?
+                    == 0
+            {
                 break;
             }
         }
+    }
+    // Drain whatever is still riding the reactor so the final stats and
+    // journal checkpoint reflect settled sends, not frames in limbo.
+    let drain_deadline = Instant::now() + Duration::from_secs(5);
+    while system
+        .transport_inflight(&opts.host)
+        .map_err(|e| e.to_string())?
+        > 0
+        && Instant::now() < drain_deadline
+    {
+        if system
+            .pump_transport(&opts.host)
+            .map_err(|e| e.to_string())?
+            == 0
+        {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        system.run_until_quiet();
     }
     listener.shutdown();
 

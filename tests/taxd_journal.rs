@@ -402,6 +402,137 @@ fn receiver_crash_after_commit_resumes_nothing() {
     let _ = fs::remove_dir_all(&beta_journal);
 }
 
+/// A round-trip agent with a per-agent marker baked into the source.
+/// Hop keys are content-derived, so three agents on the same itinerary
+/// must carry three distinct scripts to count as three distinct hops.
+fn marked_hello(tag: &str) -> String {
+    format!(
+        r#"
+    fn main() {{
+        display("visiting {tag} " + host_name());
+        let next = bc_remove("HOSTS", 0);
+        if (next == nil) {{ display("home {tag}"); exit(0); }}
+        go(next);
+    }}
+"#
+    )
+}
+
+/// Kill the receiver mid-stream while several pipelined hops are in
+/// various stages — durably accepted but unexecuted, executed but with
+/// the return hop uncommitted, or still unacknowledged on the wire.
+/// Three agents are launched back to back on the same itinerary; beta
+/// aborts after its third `hop-begin` fsync, which lands while earlier
+/// arrivals are still queued and the latest frame is unacked. After the
+/// restart every hop must execute exactly once: the journal replays
+/// accepted-but-open hops, the sender's retransmits are deduplicated at
+/// the door, and all three agents come home exactly once.
+#[test]
+fn receiver_crash_mid_window_executes_every_hop_exactly_once() {
+    let tags = ["one", "two", "three"];
+    let scripts: Vec<PathBuf> = tags
+        .iter()
+        .map(|tag| script_file(&format!("midwin_{tag}"), &marked_hello(tag)))
+        .collect();
+    let alpha_journal = journal_dir("midwin_alpha");
+    let beta_journal = journal_dir("midwin_beta");
+    let (alpha_port, beta_port) = free_ports();
+    let alpha_addr = format!("127.0.0.1:{alpha_port}");
+    let beta_addr = format!("127.0.0.1:{beta_port}");
+
+    let beta1 = spawn_daemon(&daemon_args(
+        "beta",
+        &beta_addr,
+        Some(("alpha", &alpha_addr)),
+        &beta_journal,
+        6000,
+        // The third hop-begin at beta lands mid-stream: depending on how
+        // the door thread interleaves with the scheduler it is the third
+        // arrival, or an arrival racing an outbound return hop. Either
+        // way at least one accepted hop is still open and the newest
+        // frame is never acked.
+        vec!["--crash-after-record".into(), "hop-begin:3".into()],
+    ));
+    let mut alpha_extra = Vec::new();
+    for script in &scripts {
+        alpha_extra.push("--launch".into());
+        alpha_extra.push(script.to_string_lossy().into_owned());
+    }
+    alpha_extra.push("--itinerary".into());
+    alpha_extra.push("beta,alpha".into());
+    let alpha = spawn_daemon(&daemon_args(
+        "alpha",
+        &alpha_addr,
+        Some(("beta", &beta_addr)),
+        &alpha_journal,
+        6000,
+        alpha_extra,
+    ));
+
+    // Beta aborts before acking the newest frame; alpha's transport is
+    // retrying inside its budget. Restart beta on the same journal.
+    let beta1_log = beta1.crash_finish();
+    let beta2 = spawn_daemon(&daemon_args(
+        "beta",
+        &beta_addr,
+        Some(("alpha", &alpha_addr)),
+        &beta_journal,
+        4000,
+        vec![],
+    ));
+
+    let alpha_log = alpha.finish();
+    let beta2_log = beta2.finish();
+    for script in &scripts {
+        let _ = fs::remove_file(script);
+    }
+
+    // Exactly-once, proven downstream: alpha never crashed, so its log is
+    // complete. Every agent visited alpha twice (launch leg and return
+    // leg) and came home exactly once — no lost hop, no doubled hop.
+    let mut got = displays(&alpha_log);
+    got.sort();
+    let mut want: Vec<String> = tags
+        .iter()
+        .flat_map(|tag| {
+            [
+                format!("visiting {tag} alpha"),
+                format!("visiting {tag} alpha"),
+                format!("home {tag}"),
+            ]
+        })
+        .collect();
+    want.sort();
+    assert_eq!(got, want, "{alpha_log}\nbeta1:\n{beta1_log}");
+    // No transfer was ever given up on.
+    assert_eq!(stats_field(&alpha_log, "retry-timeouts"), 0, "{alpha_log}");
+
+    // The restart found journaled work to resume: at least one accepted
+    // inbound hop or uncommitted return hop was open at the crash.
+    let resumed = replay_field(&beta2_log, "resumed-in") + replay_field(&beta2_log, "resumed-out");
+    assert!(resumed >= 1, "expected open hops at restart:\n{beta2_log}");
+
+    // The agents each ran at beta at most once across both incarnations
+    // (a print can be lost to the crash, never duplicated — execution is
+    // proven by the completed round trips above).
+    let beta2_displays = displays(&beta2_log);
+    for tag in tags {
+        let marker = format!("visiting {tag} beta");
+        let count = displays(&beta1_log)
+            .iter()
+            .chain(beta2_displays.iter())
+            .filter(|d| **d == marker)
+            .count();
+        assert!(
+            count <= 1,
+            "{marker} ran {count} times:\nbeta1:\n{beta1_log}\nbeta2:\n{beta2_log}"
+        );
+    }
+
+    let _ = fs::remove_dir_all(&alpha_journal);
+    let _ = fs::remove_dir_all(&beta_journal);
+}
+
 /// Crash right after a `mail-parked` record fsyncs (a send to an absent
 /// local agent parks). The restart re-parks the message with its deadline
 /// recomputed against the fresh scheduler clock — no mail lost, no stale

@@ -5,13 +5,36 @@
 //! allocation (asserted by the briefcase element tests), plus
 //! [`Bytes::slice`] for carving zero-copy views out of that allocation —
 //! the operation the zero-copy briefcase decoder is built on. Backed by
-//! `Arc<[u8]>` plus an offset window rather than the real crate's
-//! refcount-in-prefix layout — same sharing semantics, no `unsafe`.
+//! a shared allocation plus an offset window rather than the real
+//! crate's refcount-in-prefix layout — same sharing semantics, no
+//! `unsafe`. A `Vec<u8>` converts without copying (the vector's heap
+//! buffer is adopted wholesale), so encode-once wire buffers flow into
+//! `Bytes` for free — the property the transport's vectored write path
+//! relies on.
 
 use std::borrow::Borrow;
 use std::fmt;
 use std::ops::{Bound, Deref, RangeBounds};
 use std::sync::Arc;
+
+/// The shared backing allocation: either an `Arc<[u8]>` built from a
+/// borrowed slice, or an adopted `Vec<u8>` whose heap buffer is reused
+/// as-is. Both hand out stable `&[u8]` views for as long as any clone
+/// lives.
+#[derive(Clone)]
+enum Backing {
+    Shared(Arc<[u8]>),
+    Owned(Arc<Vec<u8>>),
+}
+
+impl Backing {
+    fn as_slice(&self) -> &[u8] {
+        match self {
+            Backing::Shared(data) => data,
+            Backing::Owned(data) => data.as_slice(),
+        }
+    }
+}
 
 /// A cheaply cloneable, contiguous, immutable buffer of bytes.
 ///
@@ -19,7 +42,7 @@ use std::sync::Arc;
 /// the `(start, end)` window differs.
 #[derive(Clone)]
 pub struct Bytes {
-    data: Arc<[u8]>,
+    data: Backing,
     start: usize,
     end: usize,
 }
@@ -28,7 +51,7 @@ impl Bytes {
     /// Creates an empty `Bytes`.
     pub fn new() -> Self {
         Bytes {
-            data: Arc::from(&[][..]),
+            data: Backing::Shared(Arc::from(&[][..])),
             start: 0,
             end: 0,
         }
@@ -37,7 +60,7 @@ impl Bytes {
     fn whole(data: Arc<[u8]>) -> Self {
         let end = data.len();
         Bytes {
-            data,
+            data: Backing::Shared(data),
             start: 0,
             end,
         }
@@ -93,7 +116,7 @@ impl Bytes {
             "slice index out of range: {begin}..{end} of {len}"
         );
         Bytes {
-            data: Arc::clone(&self.data),
+            data: self.data.clone(),
             start: self.start + begin,
             end: self.start + end,
         }
@@ -110,7 +133,7 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data[self.start..self.end]
+        &self.data.as_slice()[self.start..self.end]
     }
 }
 
@@ -165,8 +188,14 @@ impl std::hash::Hash for Bytes {
 }
 
 impl From<Vec<u8>> for Bytes {
+    /// Adopts the vector's heap buffer without copying it.
     fn from(v: Vec<u8>) -> Self {
-        Bytes::whole(Arc::from(v))
+        let end = v.len();
+        Bytes {
+            data: Backing::Owned(Arc::new(v)),
+            start: 0,
+            end,
+        }
     }
 }
 
@@ -242,6 +271,16 @@ mod tests {
     // Pointer arithmetic via indexing, not `unsafe`.
     fn unsafe_free_offset(b: &Bytes, i: usize) -> *const u8 {
         std::ptr::from_ref(&b[i])
+    }
+
+    #[test]
+    fn vec_conversion_adopts_the_heap_buffer() {
+        let v = vec![1u8, 2, 3, 4];
+        let heap = v.as_ptr();
+        let b = Bytes::from(v);
+        assert_eq!(b.as_ptr(), heap, "Vec -> Bytes must not copy");
+        let s = b.slice(1..3);
+        assert_eq!(&s[..], &[2, 3]);
     }
 
     #[test]
