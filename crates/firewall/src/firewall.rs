@@ -194,6 +194,10 @@ impl Firewall {
         stats.analysis_cache_evictions = tacoma_taxscript::analysis::AnalysisCache::shared()
             .stats()
             .evictions;
+        stats.absorb_vm(
+            &tacoma_vm::ProgramCache::shared().stats(),
+            &tacoma_vm::VmPool::shared().stats(),
+        );
         if let Some(journal) = &self.journal {
             stats.absorb_journal(&journal.stats());
         }

@@ -81,6 +81,22 @@ pub struct FirewallStats {
     /// Duplicate hop arrivals suppressed by the journal's dedup set
     /// (sender retries and replayed re-ships of already-executed hops).
     pub hops_deduped: u64,
+    /// `vm_bin` launches answered from the shared compiled-program cache
+    /// (gauge, absorbed from the cache when stats are read).
+    pub program_cache_hits: u64,
+    /// `vm_bin` launches that paid the cold decode + lowering (gauge,
+    /// absorbed).
+    pub program_cache_misses: u64,
+    /// Programs the shared cache evicted to stay within capacity (gauge,
+    /// absorbed).
+    pub program_cache_evictions: u64,
+    /// VM launches served a warm pooled scratch (gauge, absorbed from
+    /// the shared pool when stats are read).
+    pub vm_pool_hits: u64,
+    /// VM launches that allocated a cold scratch (gauge, absorbed).
+    pub vm_pool_misses: u64,
+    /// Scratches dropped because the pool was full (gauge, absorbed).
+    pub vm_pool_evictions: u64,
 }
 
 impl FirewallStats {
@@ -117,6 +133,17 @@ impl FirewallStats {
         self.journal_bytes = j.bytes;
         self.journal_fsyncs = j.fsyncs;
     }
+
+    /// Overwrites the warm-launch gauge fields from the shared
+    /// compiled-program cache and VM pool snapshots.
+    pub fn absorb_vm(&mut self, cache: &tacoma_vm::PoolStats, pool: &tacoma_vm::PoolStats) {
+        self.program_cache_hits = cache.hits;
+        self.program_cache_misses = cache.misses;
+        self.program_cache_evictions = cache.evictions;
+        self.vm_pool_hits = pool.hits;
+        self.vm_pool_misses = pool.misses;
+        self.vm_pool_evictions = pool.evictions;
+    }
 }
 
 impl fmt::Display for FirewallStats {
@@ -127,7 +154,8 @@ impl fmt::Display for FirewallStats {
              cache-hits={} cache-misses={} cache-evictions={} \
              tx-frames={} tx-bytes={} rx-frames={} rx-bytes={} reconnects={} handshake-fail={} retry-timeouts={} \
              acks={} retransmits={} q-depth={} q-high={} q-drops={} \
-             jr-records={} jr-bytes={} jr-fsyncs={} jr-replayed={} jr-reparked={} jr-resumed={} hop-dedup={}",
+             jr-records={} jr-bytes={} jr-fsyncs={} jr-replayed={} jr-reparked={} jr-resumed={} hop-dedup={} \
+             prog-hits={} prog-misses={} prog-evictions={} pool-hits={} pool-misses={} pool-evictions={}",
             self.delivered_local,
             self.forwarded_remote,
             self.queued,
@@ -158,7 +186,13 @@ impl fmt::Display for FirewallStats {
             self.journal_replayed,
             self.journal_reparked,
             self.journal_resumed,
-            self.hops_deduped
+            self.hops_deduped,
+            self.program_cache_hits,
+            self.program_cache_misses,
+            self.program_cache_evictions,
+            self.vm_pool_hits,
+            self.vm_pool_misses,
+            self.vm_pool_evictions
         )
     }
 }

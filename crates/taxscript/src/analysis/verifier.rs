@@ -505,16 +505,16 @@ mod tests {
 
     /// A minimal hand-built program whose single `main` runs `code`.
     fn program_with(code: Vec<Op>) -> Program {
-        Program {
-            constants: vec![Const::Int(7), Const::Str("x".into())],
-            functions: vec![FnProto {
+        Program::from_parts(
+            vec![Const::Int(7), Const::Str("x".into())],
+            vec![FnProto {
                 name: "main".into(),
                 arity: 0,
                 n_locals: 2,
                 code,
             }],
-            main_idx: 0,
-        }
+            0,
+        )
     }
 
     #[test]

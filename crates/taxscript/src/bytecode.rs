@@ -87,7 +87,13 @@ mod tests {
 
     #[test]
     fn ops_are_small() {
-        // The interpreter copies Ops freely; keep them register-sized.
+        // The wire `Op` is the interchange format: it is copied into
+        // encode buffers, analysis tables, and golden fixtures, so it
+        // must stay register-sized (≤ 8 bytes). The execution-tier
+        // `ExecOp` is a different type with different constraints —
+        // u32 constant indices and multi-operand fused forms — and is
+        // allowed up to 16 bytes; its bound is asserted separately by
+        // `opt::tests::exec_ops_are_small`.
         assert!(
             std::mem::size_of::<Op>() <= 8,
             "{}",

@@ -38,11 +38,7 @@ pub fn compile(items: &[FnDef]) -> Result<Program, CompileError> {
         functions.push(FnCompiler::new(items, &fn_indices, &mut pool).compile_fn(f)?);
     }
 
-    let program = Program {
-        constants: pool.constants,
-        functions,
-        main_idx,
-    };
+    let program = Program::from_parts(pool.constants, functions, main_idx);
     debug_assert!(
         program.validate().is_ok(),
         "compiler emitted invalid bytecode"

@@ -1,0 +1,387 @@
+//! The fused dispatcher — the execution half of the compile tier.
+//!
+//! Runs the lowered [`ExecOp`] form produced by [`crate::opt`] with the
+//! interpreter state the legacy loop kept re-deriving held in locals:
+//! `pc` is a plain integer, the current function's code slice is
+//! re-borrowed only at calls and returns (not per instruction), locals
+//! live in one contiguous arena indexed by per-frame bases (no per-call
+//! `Vec` allocation), and fuel is charged per basic block at each
+//! [`ExecOp::Fence`] instead of per instruction.
+//!
+//! Observable behavior is identical to [`Vm::run_legacy`]
+//! (`crate::Vm::run_legacy`) — same outcomes, same `display` output,
+//! same briefcase mutations, same error classes — proven by the
+//! `prop_differential` suite. The one documented divergence is fuel
+//! *granularity*: out-of-fuel (and the value-stack bound) is detected
+//! at block entry, so under a budget too small to finish, the fused
+//! tier reports [`RuntimeError::OutOfFuel`] at the start of the block
+//! in which the legacy interpreter would have died — never more than
+//! [`Program::max_block_cost`](crate::Program::max_block_cost) fuel
+//! units early, and with identical totals at every block boundary and
+//! every termination point.
+
+use tacoma_briefcase::Briefcase;
+
+use crate::opt::{ExecOp, ExecProgram};
+use crate::vm::{
+    add_values, call_builtin, compare_values, index_value, int_binop, pop, pop2, BuiltinResult,
+    MAX_CALL_DEPTH, MAX_VALUE_STACK,
+};
+use crate::{HostHooks, Outcome, RuntimeError, Value};
+
+/// One call-stack entry. Unlike the legacy `Frame`, locals are slices
+/// of the shared arena, not an owned `Vec`.
+#[derive(Debug, Clone, Copy)]
+struct ExecFrame {
+    fn_idx: u32,
+    /// Where to resume in the *caller* once this frame returns.
+    ret_pc: u32,
+    stack_base: u32,
+    locals_base: u32,
+}
+
+/// Reusable interpreter state: the value stack, the locals arena, the
+/// frame stack, and a builtin-argument buffer.
+///
+/// A fresh launch's dominant allocations are exactly these vectors;
+/// checking a warm `ExecScratch` out of a pool (see `tacoma-vm`'s
+/// `VmPool`) lets an agent hop reuse the previous launch's capacity.
+/// The scratch is cleared on every run, so reuse never leaks values
+/// between agents.
+#[derive(Debug, Default)]
+pub struct ExecScratch {
+    stack: Vec<Value>,
+    locals: Vec<Value>,
+    frames: Vec<ExecFrame>,
+    args: Vec<Value>,
+}
+
+impl ExecScratch {
+    /// An empty scratch; capacity grows with use.
+    pub fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// Combined capacity of the buffers, in values — a rough measure of
+    /// how "warm" this scratch is (used by pool stats and tests).
+    pub fn capacity(&self) -> usize {
+        self.stack.capacity() + self.locals.capacity() + self.args.capacity()
+    }
+
+    fn reset(&mut self) {
+        self.stack.clear();
+        self.locals.clear();
+        self.frames.clear();
+        self.args.clear();
+    }
+}
+
+fn corrupt(detail: &'static str) -> RuntimeError {
+    RuntimeError::CorruptProgram { detail }
+}
+
+/// Loads local `slot` of the current frame, with the legacy
+/// interpreter's "bad local slot" fault for out-of-range slots.
+#[inline]
+fn slot_ref(
+    locals: &[Value],
+    base: usize,
+    n_locals: u16,
+    slot: u16,
+) -> Result<&Value, RuntimeError> {
+    if slot >= n_locals {
+        return Err(corrupt("bad local slot"));
+    }
+    Ok(&locals[base + slot as usize])
+}
+
+/// Runs a lowered program to completion. `fuel` is decremented in
+/// place so callers can observe consumption afterwards.
+pub(crate) fn run_fused<H: HostHooks>(
+    exec: &ExecProgram,
+    hooks: &mut H,
+    fuel: &mut u64,
+    scratch: &mut ExecScratch,
+    briefcase: &mut Briefcase,
+) -> Result<Outcome, RuntimeError> {
+    scratch.reset();
+    let ExecScratch {
+        stack,
+        locals,
+        frames,
+        args,
+    } = scratch;
+
+    let main_idx = exec.main_idx as usize;
+    let Some(mut cur) = exec.fns.get(main_idx) else {
+        return Err(corrupt("bad call target"));
+    };
+    locals.resize(cur.n_locals as usize, Value::Nil);
+    frames.push(ExecFrame {
+        fn_idx: main_idx as u32,
+        ret_pc: 0,
+        stack_base: 0,
+        locals_base: 0,
+    });
+    let mut pc = 0usize;
+    let mut locals_base = 0usize;
+
+    loop {
+        let Some(&op) = cur.code.get(pc) else {
+            return Err(corrupt("pc ran off the end"));
+        };
+        pc += 1;
+
+        match op {
+            ExecOp::Fence(cost) => {
+                let cost = u64::from(cost);
+                if *fuel < cost {
+                    return Err(RuntimeError::OutOfFuel);
+                }
+                *fuel -= cost;
+                if stack.len() > MAX_VALUE_STACK {
+                    return Err(RuntimeError::StackOverflow);
+                }
+            }
+            ExecOp::Const(i) => {
+                let v = exec
+                    .consts
+                    .get(i as usize)
+                    .ok_or(corrupt("bad constant index"))?;
+                stack.push(v.clone());
+            }
+            ExecOp::BadConst => return Err(corrupt("bad constant index")),
+            ExecOp::Nil => stack.push(Value::Nil),
+            ExecOp::True => stack.push(Value::Bool(true)),
+            ExecOp::False => stack.push(Value::Bool(false)),
+            ExecOp::Load(slot) => {
+                let v = slot_ref(locals, locals_base, cur.n_locals, slot)?.clone();
+                stack.push(v);
+            }
+            ExecOp::Store(slot) => {
+                let v = pop(stack)?;
+                if slot >= cur.n_locals {
+                    return Err(corrupt("bad local slot"));
+                }
+                locals[locals_base + slot as usize] = v;
+            }
+            ExecOp::Pop => {
+                pop(stack)?;
+            }
+            ExecOp::Dup => {
+                let v = stack.last().cloned().ok_or(corrupt("dup on empty stack"))?;
+                stack.push(v);
+            }
+            ExecOp::Add => {
+                let (a, b) = pop2(stack)?;
+                stack.push(add_values(&a, &b)?);
+            }
+            ExecOp::Sub => int_binop(stack, "subtract", |a, b| Ok(a.wrapping_sub(b)))?,
+            ExecOp::Mul => int_binop(stack, "multiply", |a, b| Ok(a.wrapping_mul(b)))?,
+            ExecOp::Div => int_binop(stack, "divide", |a, b| {
+                if b == 0 {
+                    Err(RuntimeError::DivisionByZero)
+                } else {
+                    Ok(a.wrapping_div(b))
+                }
+            })?,
+            ExecOp::Mod => int_binop(stack, "modulo", |a, b| {
+                if b == 0 {
+                    Err(RuntimeError::DivisionByZero)
+                } else {
+                    Ok(a.wrapping_rem(b))
+                }
+            })?,
+            ExecOp::Neg => {
+                let v = pop(stack)?;
+                match v {
+                    Value::Int(i) => stack.push(Value::Int(i.wrapping_neg())),
+                    other => {
+                        return Err(RuntimeError::TypeError {
+                            op: "negate",
+                            got: other.type_name().to_owned(),
+                        })
+                    }
+                }
+            }
+            ExecOp::Not => {
+                let v = pop(stack)?;
+                stack.push(Value::Bool(!v.truthy()));
+            }
+            ExecOp::Eq => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(a == b));
+            }
+            ExecOp::Ne => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(a != b));
+            }
+            ExecOp::Lt => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(compare_values(&a, &b, "<")?.is_lt()));
+            }
+            ExecOp::Le => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(compare_values(&a, &b, "<=")?.is_le()));
+            }
+            ExecOp::Gt => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(compare_values(&a, &b, ">")?.is_gt()));
+            }
+            ExecOp::Ge => {
+                let (a, b) = pop2(stack)?;
+                stack.push(Value::Bool(compare_values(&a, &b, ">=")?.is_ge()));
+            }
+            ExecOp::Jump(t) => pc = t as usize,
+            ExecOp::JumpIfFalse(t) => {
+                if !pop(stack)?.truthy() {
+                    pc = t as usize;
+                }
+            }
+            ExecOp::JumpIfTrue(t) => {
+                if pop(stack)?.truthy() {
+                    pc = t as usize;
+                }
+            }
+            ExecOp::MakeList(n) => {
+                let n = n as usize;
+                if stack.len() < n {
+                    return Err(corrupt("list underflow"));
+                }
+                let items = stack.split_off(stack.len() - n);
+                stack.push(Value::List(items));
+            }
+            ExecOp::Index => {
+                let (target, index) = pop2(stack)?;
+                stack.push(index_value(&target, &index));
+            }
+            ExecOp::Call {
+                fn_idx: callee,
+                argc,
+            } => {
+                if frames.len() >= MAX_CALL_DEPTH {
+                    return Err(RuntimeError::StackOverflow);
+                }
+                let Some(callee_fn) = exec.fns.get(callee as usize) else {
+                    return Err(corrupt("bad call target"));
+                };
+                let argc = argc as usize;
+                if stack.len() < argc {
+                    return Err(corrupt("call underflow"));
+                }
+                let new_base = locals.len();
+                locals.resize(new_base + callee_fn.n_locals as usize, Value::Nil);
+                let split = stack.len() - argc;
+                for (slot, arg) in stack.drain(split..).enumerate() {
+                    if slot < callee_fn.n_locals as usize {
+                        locals[new_base + slot] = arg;
+                    }
+                }
+                frames.push(ExecFrame {
+                    fn_idx: u32::from(callee),
+                    ret_pc: pc as u32,
+                    stack_base: split as u32,
+                    locals_base: new_base as u32,
+                });
+                cur = callee_fn;
+                pc = 0;
+                locals_base = new_base;
+            }
+            ExecOp::Return => {
+                let ret = pop(stack)?;
+                let done = frames.pop().expect("frame stack nonempty");
+                stack.truncate(done.stack_base as usize);
+                locals.truncate(done.locals_base as usize);
+                let Some(top) = frames.last() else {
+                    return Ok(Outcome::Finished);
+                };
+                stack.push(ret);
+                cur = &exec.fns[top.fn_idx as usize];
+                pc = done.ret_pc as usize;
+                locals_base = top.locals_base as usize;
+            }
+            ExecOp::CallBuiltin { builtin, argc } => {
+                if let Some(outcome) = run_builtin(builtin, argc, stack, args, hooks, briefcase)? {
+                    return Ok(outcome);
+                }
+            }
+            ExecOp::ConstCallBuiltin {
+                cidx,
+                builtin,
+                argc,
+            } => {
+                let v = exec
+                    .consts
+                    .get(cidx as usize)
+                    .ok_or(corrupt("bad constant index"))?;
+                stack.push(v.clone());
+                if let Some(outcome) = run_builtin(builtin, argc, stack, args, hooks, briefcase)? {
+                    return Ok(outcome);
+                }
+            }
+            ExecOp::LoadLoadAddStore { a, b, dst } => {
+                let n = cur.n_locals;
+                let va = slot_ref(locals, locals_base, n, a)?;
+                let vb = slot_ref(locals, locals_base, n, b)?;
+                let v = add_values(va, vb)?;
+                if dst >= n {
+                    return Err(corrupt("bad local slot"));
+                }
+                locals[locals_base + dst as usize] = v;
+            }
+            ExecOp::LoadConstAddStore { slot, cidx, dst } => {
+                let n = cur.n_locals;
+                let va = slot_ref(locals, locals_base, n, slot)?;
+                let vb = exec
+                    .consts
+                    .get(cidx as usize)
+                    .ok_or(corrupt("bad constant index"))?;
+                let v = match (va, vb) {
+                    // The hot counter-bump shape, no clones.
+                    (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+                    _ => add_values(va, vb)?,
+                };
+                if dst >= n {
+                    return Err(corrupt("bad local slot"));
+                }
+                locals[locals_base + dst as usize] = v;
+            }
+            ExecOp::LoadConstLtJf { slot, cidx, target } => {
+                let va = slot_ref(locals, locals_base, cur.n_locals, slot)?;
+                let vb = exec
+                    .consts
+                    .get(cidx as usize)
+                    .ok_or(corrupt("bad constant index"))?;
+                if !compare_values(va, vb, "<")?.is_lt() {
+                    pc = target as usize;
+                }
+            }
+        }
+    }
+}
+
+/// Shared builtin tail for `CallBuiltin` and `ConstCallBuiltin`:
+/// pops arguments into the reusable buffer and dispatches. Returns
+/// `Some(outcome)` for terminal builtins (`exit`, accepted `go`).
+fn run_builtin<H: HostHooks>(
+    builtin: crate::Builtin,
+    argc: u8,
+    stack: &mut Vec<Value>,
+    args: &mut Vec<Value>,
+    hooks: &mut H,
+    briefcase: &mut Briefcase,
+) -> Result<Option<Outcome>, RuntimeError> {
+    let argc = argc as usize;
+    if stack.len() < argc {
+        return Err(corrupt("builtin underflow"));
+    }
+    args.clear();
+    args.extend(stack.drain(stack.len() - argc..));
+    match call_builtin(hooks, builtin, args, briefcase)? {
+        BuiltinResult::Value(v) => {
+            stack.push(v);
+            Ok(None)
+        }
+        BuiltinResult::Terminal(outcome) => Ok(Some(outcome)),
+    }
+}

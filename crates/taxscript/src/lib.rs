@@ -59,9 +59,11 @@ pub mod ast;
 mod builtins;
 mod bytecode;
 mod compiler;
+mod dispatch;
 mod error;
 mod hooks;
 mod lexer;
+mod opt;
 mod parser;
 mod program;
 mod value;
@@ -71,6 +73,7 @@ pub use analysis::{analyze, AnalysisReport, Capabilities, Diagnostic, VerifyErro
 pub use builtins::Builtin;
 pub use bytecode::Op;
 pub use compiler::compile;
+pub use dispatch::ExecScratch;
 pub use error::{CompileError, LexError, ParseError, RuntimeError, ScriptError};
 pub use hooks::{GoDecision, HostHooks, NullHooks};
 pub use lexer::lex;

@@ -1,0 +1,596 @@
+//! The compile tier: lowering wire [`Op`] programs into the dense
+//! internal [`ExecOp`] form the fused dispatcher runs.
+//!
+//! The wire `Op` enum stays the stable interchange format — the
+//! analyzer, golden corpus, and briefcase encoding never see `ExecOp`.
+//! Lowering happens lazily (and exactly once) per [`Program`] via
+//! [`Program::exec`](crate::Program), and performs three rewrites:
+//!
+//! 1. **Constant folding** — `Const a; Const b; <op>` with statically
+//!    known operands collapses to a single push (or `True`/`False` for
+//!    comparisons). Division and modulo are never folded so a constant
+//!    zero divisor still faults at run time exactly like the legacy
+//!    interpreter.
+//! 2. **Superinstruction fusion** — the hot sequences
+//!    `Load+Load+Add+Store`, `Load+Const+Add+Store` (the `i = i + 1`
+//!    shape), `Load+Const+Lt+JumpIfFalse` (the `while (i < n)` loop
+//!    header), and `Const+CallBuiltin` each become one `ExecOp`.
+//! 3. **Basic-block fuel accounting** — every block begins with an
+//!    [`ExecOp::Fence`] carrying the block's *wire* instruction count.
+//!    The dispatcher charges the whole block at entry instead of
+//!    checking fuel per instruction, so a fused op's cost is exactly
+//!    the number of wire ops it replaced and totals agree with the
+//!    legacy interpreter at every block boundary.
+//!
+//! Fusion never crosses a block boundary: a window is only fused when
+//! none of its interior instructions is a jump target, so every wire
+//! jump target maps 1:1 onto a lowered block entry.
+
+use std::collections::BTreeSet;
+
+use crate::program::{Const, FnProto};
+use crate::vm::add_values;
+use crate::{Builtin, Op, Program, Value};
+
+/// Straight-line runs longer than this are split into multiple blocks,
+/// bounding how far the fused tier's fuel and stack checks can drift
+/// from the legacy per-instruction points.
+pub(crate) const MAX_BLOCK_WIRE_OPS: usize = 64;
+
+/// One lowered instruction. Unlike the wire [`Op`], constant indices
+/// are `u32` (folding can grow the pool past `u16`) and the fused
+/// variants carry several operands, so `ExecOp` is allowed to be wider
+/// than `Op` — 16 bytes instead of 8 (asserted by `exec_ops_are_small`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub(crate) enum ExecOp {
+    /// Block prologue: charge `cost` fuel (the wire instruction count of
+    /// the block) and bounds-check the value stack.
+    Fence(u32),
+    /// Push `consts[idx]`.
+    Const(u32),
+    /// A wire `Const` whose pool index was out of range; faults with the
+    /// same error the legacy interpreter raises when it executes.
+    BadConst,
+    Nil,
+    True,
+    False,
+    Load(u16),
+    Store(u16),
+    Pop,
+    Dup,
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Neg,
+    Not,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    Jump(u32),
+    JumpIfFalse(u32),
+    JumpIfTrue(u32),
+    MakeList(u16),
+    Index,
+    Call {
+        fn_idx: u16,
+        argc: u8,
+    },
+    CallBuiltin {
+        builtin: Builtin,
+        argc: u8,
+    },
+    Return,
+    /// `Load a; Load b; Add; Store dst` (4 wire ops).
+    LoadLoadAddStore {
+        a: u16,
+        b: u16,
+        dst: u16,
+    },
+    /// `Load slot; Const cidx; Add; Store dst` (4 wire ops) — the
+    /// `i = i + 1` counter bump.
+    LoadConstAddStore {
+        slot: u16,
+        cidx: u32,
+        dst: u16,
+    },
+    /// `Load slot; Const cidx; Lt; JumpIfFalse target` (4 wire ops) —
+    /// the `while (i < n)` loop header. Jumps when `!(slot < cidx)`.
+    LoadConstLtJf {
+        slot: u16,
+        cidx: u32,
+        target: u32,
+    },
+    /// `Const cidx; CallBuiltin` (2 wire ops) — e.g. `exit(0)`,
+    /// `display("…")`, `bc_len("HOSTS")`.
+    ConstCallBuiltin {
+        cidx: u32,
+        builtin: Builtin,
+        argc: u8,
+    },
+}
+
+/// One lowered function body.
+#[derive(Debug)]
+pub(crate) struct ExecFn {
+    pub(crate) code: Vec<ExecOp>,
+    pub(crate) n_locals: u16,
+}
+
+/// A lowered program: the constant pool pre-converted to [`Value`]s
+/// (plus any constants materialized by folding) and one [`ExecFn`] per
+/// wire function.
+#[derive(Debug)]
+pub(crate) struct ExecProgram {
+    pub(crate) consts: Vec<Value>,
+    pub(crate) fns: Vec<ExecFn>,
+    pub(crate) main_idx: u16,
+    /// The largest single block charge in the program — the bound on
+    /// how much earlier (in fuel units) the fused tier can report
+    /// out-of-fuel relative to the legacy interpreter.
+    pub(crate) max_block_cost: u32,
+}
+
+impl ExecProgram {
+    /// Lowers a wire program. Never fails: statically malformed
+    /// references become runtime-faulting ops with the same error the
+    /// legacy interpreter raises, so lowering needs no `Result` and the
+    /// fused tier accepts exactly the programs the legacy tier accepts.
+    pub(crate) fn lower(program: &Program) -> ExecProgram {
+        let mut consts: Vec<Value> = program
+            .constants()
+            .iter()
+            .map(|c| match c {
+                Const::Int(v) => Value::Int(*v),
+                Const::Str(s) => Value::Str(s.clone()),
+            })
+            .collect();
+        let mut max_block_cost = 0u32;
+        let fns = program
+            .functions()
+            .iter()
+            .map(|f| lower_fn(f, program.constants(), &mut consts, &mut max_block_cost))
+            .collect();
+        ExecProgram {
+            consts,
+            fns,
+            main_idx: program.main_index() as u16,
+            max_block_cost,
+        }
+    }
+}
+
+/// Ops that end a basic block: control transfers plus builtin calls
+/// (builtins can terminate the run, so ending the block there keeps
+/// fused and legacy fuel totals equal at every termination point).
+fn is_terminator(op: Op) -> bool {
+    matches!(
+        op,
+        Op::Jump(_)
+            | Op::JumpIfFalse(_)
+            | Op::JumpIfTrue(_)
+            | Op::Call { .. }
+            | Op::CallBuiltin { .. }
+            | Op::Return
+    )
+}
+
+fn lower_fn(
+    f: &FnProto,
+    wire_consts: &[Const],
+    consts: &mut Vec<Value>,
+    max_block_cost: &mut u32,
+) -> ExecFn {
+    let len = f.code.len();
+
+    // Pass 1: basic-block boundaries — function entry, every jump
+    // target, every post-terminator position, and cap-splits of long
+    // straight-line runs.
+    let mut starts = BTreeSet::new();
+    starts.insert(0);
+    starts.insert(len);
+    for (i, &op) in f.code.iter().enumerate() {
+        if is_terminator(op) {
+            starts.insert(i + 1);
+        }
+        match op {
+            Op::Jump(t) | Op::JumpIfFalse(t) | Op::JumpIfTrue(t) => {
+                let t = t as usize;
+                if t <= len {
+                    starts.insert(t);
+                }
+            }
+            _ => {}
+        }
+    }
+    let natural: Vec<usize> = starts.iter().copied().collect();
+    for w in natural.windows(2) {
+        let mut at = w[0] + MAX_BLOCK_WIRE_OPS;
+        while at < w[1] {
+            starts.insert(at);
+            at += MAX_BLOCK_WIRE_OPS;
+        }
+    }
+    let starts: Vec<usize> = starts.iter().copied().collect();
+
+    // Pass 2: emit, fusing within blocks; `map[wire_pc] -> lowered pc`.
+    let mut code: Vec<ExecOp> = Vec::with_capacity(len + starts.len());
+    let mut map = vec![0u32; len + 1];
+    for w in starts.windows(2) {
+        let (start, end) = (w[0], w[1]);
+        let cost = (end - start) as u32;
+        *max_block_cost = (*max_block_cost).max(cost);
+        let fence_at = code.len() as u32;
+        code.push(ExecOp::Fence(cost));
+        let mut pc = start;
+        while pc < end {
+            let at = code.len() as u32;
+            let (op, used) = fuse_at(&f.code[pc..end], wire_consts, consts);
+            code.push(op);
+            for k in 0..used {
+                map[pc + k] = at;
+            }
+            pc += used;
+        }
+        // A jump to the block start must land on the Fence (charging the
+        // block), not on its first instruction.
+        map[start] = fence_at;
+    }
+    map[len] = code.len() as u32;
+
+    // Pass 3: retarget jumps into the lowered index space. In-range
+    // targets are always block starts, so they land on a Fence;
+    // off-the-end targets (legal per `Program::validate`) map past the
+    // lowered code and fault as "pc ran off the end", like the legacy
+    // interpreter.
+    let off_end = code.len() as u32;
+    for op in &mut code {
+        match op {
+            ExecOp::Jump(t)
+            | ExecOp::JumpIfFalse(t)
+            | ExecOp::JumpIfTrue(t)
+            | ExecOp::LoadConstLtJf { target: t, .. } => {
+                let wire_t = *t as usize;
+                *t = if wire_t <= len { map[wire_t] } else { off_end };
+            }
+            _ => {}
+        }
+    }
+
+    ExecFn {
+        code,
+        n_locals: f.n_locals,
+    }
+}
+
+/// Tries each fusion window (longest first) at the head of `w`, which
+/// never extends past the current block. Returns the lowered op and how
+/// many wire ops it consumed.
+fn fuse_at(w: &[Op], wire_consts: &[Const], consts: &mut Vec<Value>) -> (ExecOp, usize) {
+    if w.len() >= 4 {
+        match w[..4] {
+            [Op::Load(a), Op::Load(b), Op::Add, Op::Store(dst)] => {
+                return (ExecOp::LoadLoadAddStore { a, b, dst }, 4);
+            }
+            [Op::Load(slot), Op::Const(c), Op::Add, Op::Store(dst)]
+                if (c as usize) < wire_consts.len() =>
+            {
+                return (
+                    ExecOp::LoadConstAddStore {
+                        slot,
+                        cidx: c as u32,
+                        dst,
+                    },
+                    4,
+                );
+            }
+            [Op::Load(slot), Op::Const(c), Op::Lt, Op::JumpIfFalse(target)]
+                if (c as usize) < wire_consts.len() =>
+            {
+                return (
+                    ExecOp::LoadConstLtJf {
+                        slot,
+                        cidx: c as u32,
+                        target,
+                    },
+                    4,
+                );
+            }
+            _ => {}
+        }
+    }
+    if w.len() >= 3 {
+        if let [Op::Const(i), Op::Const(j), op] = w[..3] {
+            if let Some(folded) = fold_consts(i, j, op, wire_consts, consts) {
+                return (folded, 3);
+            }
+        }
+    }
+    if w.len() >= 2 {
+        if let [Op::Const(c), Op::CallBuiltin { builtin, argc }] = w[..2] {
+            if (c as usize) < wire_consts.len() {
+                return (
+                    ExecOp::ConstCallBuiltin {
+                        cidx: c as u32,
+                        builtin,
+                        argc,
+                    },
+                    2,
+                );
+            }
+        }
+    }
+    (mirror(w[0], wire_consts.len()), 1)
+}
+
+/// Folds `Const i; Const j; op` when the result is statically known
+/// *and* the legacy interpreter could not fault on it. Division/modulo
+/// (zero divisors) and mixed-type comparisons are left to run time.
+fn fold_consts(
+    i: u16,
+    j: u16,
+    op: Op,
+    wire_consts: &[Const],
+    consts: &mut Vec<Value>,
+) -> Option<ExecOp> {
+    let a = const_value(wire_consts.get(i as usize)?);
+    let b = const_value(wire_consts.get(j as usize)?);
+    match op {
+        Op::Add => add_values(&a, &b).ok().map(|v| push_const(consts, v)),
+        Op::Sub | Op::Mul => match (&a, &b) {
+            (Value::Int(x), Value::Int(y)) => {
+                let v = if matches!(op, Op::Sub) {
+                    x.wrapping_sub(*y)
+                } else {
+                    x.wrapping_mul(*y)
+                };
+                Some(push_const(consts, Value::Int(v)))
+            }
+            _ => None,
+        },
+        Op::Eq => Some(bool_op(a == b)),
+        Op::Ne => Some(bool_op(a != b)),
+        Op::Lt | Op::Le | Op::Gt | Op::Ge => {
+            let ord = match (&a, &b) {
+                (Value::Int(x), Value::Int(y)) => x.cmp(y),
+                (Value::Str(x), Value::Str(y)) => x.cmp(y),
+                _ => return None,
+            };
+            Some(bool_op(match op {
+                Op::Lt => ord.is_lt(),
+                Op::Le => ord.is_le(),
+                Op::Gt => ord.is_gt(),
+                _ => ord.is_ge(),
+            }))
+        }
+        _ => None,
+    }
+}
+
+fn const_value(c: &Const) -> Value {
+    match c {
+        Const::Int(v) => Value::Int(*v),
+        Const::Str(s) => Value::Str(s.clone()),
+    }
+}
+
+fn bool_op(b: bool) -> ExecOp {
+    if b {
+        ExecOp::True
+    } else {
+        ExecOp::False
+    }
+}
+
+/// Interns `v` in the lowered constant pool, reusing an equal entry.
+fn push_const(consts: &mut Vec<Value>, v: Value) -> ExecOp {
+    if let Some(i) = consts.iter().position(|c| *c == v) {
+        return ExecOp::Const(i as u32);
+    }
+    consts.push(v);
+    ExecOp::Const((consts.len() - 1) as u32)
+}
+
+/// 1:1 lowering for everything outside a fusion window.
+fn mirror(op: Op, n_wire_consts: usize) -> ExecOp {
+    match op {
+        // Wire constant indices are validated at decode, but programs
+        // built in memory can carry bad ones. The lowered pool is the
+        // wire pool *plus folded extras*, so an out-of-range wire index
+        // must not be allowed to alias a folded constant — it lowers to
+        // the op that raises the legacy "bad constant index" fault.
+        Op::Const(i) if (i as usize) >= n_wire_consts => ExecOp::BadConst,
+        Op::Const(i) => ExecOp::Const(u32::from(i)),
+        Op::Nil => ExecOp::Nil,
+        Op::True => ExecOp::True,
+        Op::False => ExecOp::False,
+        Op::Load(s) => ExecOp::Load(s),
+        Op::Store(s) => ExecOp::Store(s),
+        Op::Pop => ExecOp::Pop,
+        Op::Dup => ExecOp::Dup,
+        Op::Add => ExecOp::Add,
+        Op::Sub => ExecOp::Sub,
+        Op::Mul => ExecOp::Mul,
+        Op::Div => ExecOp::Div,
+        Op::Mod => ExecOp::Mod,
+        Op::Neg => ExecOp::Neg,
+        Op::Not => ExecOp::Not,
+        Op::Eq => ExecOp::Eq,
+        Op::Ne => ExecOp::Ne,
+        Op::Lt => ExecOp::Lt,
+        Op::Le => ExecOp::Le,
+        Op::Gt => ExecOp::Gt,
+        Op::Ge => ExecOp::Ge,
+        Op::Jump(t) => ExecOp::Jump(t),
+        Op::JumpIfFalse(t) => ExecOp::JumpIfFalse(t),
+        Op::JumpIfTrue(t) => ExecOp::JumpIfTrue(t),
+        Op::MakeList(n) => ExecOp::MakeList(n),
+        Op::Index => ExecOp::Index,
+        Op::Call { fn_idx, argc } => ExecOp::Call { fn_idx, argc },
+        Op::CallBuiltin { builtin, argc } => ExecOp::CallBuiltin { builtin, argc },
+        Op::Return => ExecOp::Return,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compile_source;
+
+    #[test]
+    fn exec_ops_are_small() {
+        // The wire `Op` must stay register-sized (≤ 8 bytes, asserted
+        // in bytecode.rs) because it is the interchange format copied
+        // into encode buffers and analysis tables. `ExecOp` trades that
+        // for wider operands — u32 constant indices and three-operand
+        // fused forms — and is allowed up to one cache-line half.
+        assert!(
+            std::mem::size_of::<ExecOp>() <= 16,
+            "{}",
+            std::mem::size_of::<ExecOp>()
+        );
+    }
+
+    fn lowered_main(src: &str) -> (ExecProgram, usize) {
+        let p = compile_source(src).unwrap();
+        let main = p.main_index();
+        (ExecProgram::lower(&p), main)
+    }
+
+    #[test]
+    fn loop_header_and_counter_bump_fuse() {
+        let (exec, main) = lowered_main("fn main() { let i = 0; while (i < 10) { i = i + 1; } }");
+        let code = &exec.fns[main].code;
+        assert!(
+            code.iter()
+                .any(|op| matches!(op, ExecOp::LoadConstLtJf { .. })),
+            "{code:?}"
+        );
+        assert!(
+            code.iter()
+                .any(|op| matches!(op, ExecOp::LoadConstAddStore { .. })),
+            "{code:?}"
+        );
+    }
+
+    #[test]
+    fn local_sum_fuses() {
+        let (exec, main) =
+            lowered_main("fn main() { let a = 1; let b = 2; let c = 0; c = a + b; }");
+        assert!(
+            exec.fns[main]
+                .code
+                .iter()
+                .any(|op| matches!(op, ExecOp::LoadLoadAddStore { .. })),
+            "{:?}",
+            exec.fns[main].code
+        );
+    }
+
+    #[test]
+    fn const_builtin_fuses() {
+        let (exec, main) = lowered_main(r#"fn main() { exit(0); }"#);
+        assert!(
+            exec.fns[main]
+                .code
+                .iter()
+                .any(|op| matches!(op, ExecOp::ConstCallBuiltin { .. })),
+            "{:?}",
+            exec.fns[main].code
+        );
+    }
+
+    #[test]
+    fn constants_fold() {
+        let (exec, main) = lowered_main("fn main() { let x = 2 + 3; }");
+        let code = &exec.fns[main].code;
+        assert!(!code.iter().any(|op| matches!(op, ExecOp::Add)), "{code:?}");
+        assert!(exec.consts.contains(&Value::Int(5)), "{:?}", exec.consts);
+    }
+
+    #[test]
+    fn division_by_constant_zero_is_not_folded() {
+        let (exec, main) = lowered_main("fn main() { let x = 1 / 0; }");
+        assert!(
+            exec.fns[main]
+                .code
+                .iter()
+                .any(|op| matches!(op, ExecOp::Div)),
+            "{:?}",
+            exec.fns[main].code
+        );
+    }
+
+    #[test]
+    fn every_block_starts_with_a_fence_and_costs_cover_the_wire() {
+        // Total fuel charged on a straight-line path equals the wire
+        // instruction count: the sum of all fence costs equals the
+        // function's wire length.
+        let p = compile_source(
+            r#"
+            fn helper(x) { return x * 2; }
+            fn main() {
+                let total = 0;
+                let i = 0;
+                while (i < 10) { total = total + helper(i); i = i + 1; }
+                display("total " + str(total));
+                exit(0);
+            }
+            "#,
+        )
+        .unwrap();
+        let exec = ExecProgram::lower(&p);
+        for (f, wire) in exec.fns.iter().zip(p.functions()) {
+            assert!(matches!(f.code[0], ExecOp::Fence(_)), "{:?}", f.code);
+            let fenced: u32 = f
+                .code
+                .iter()
+                .filter_map(|op| match op {
+                    ExecOp::Fence(c) => Some(*c),
+                    _ => None,
+                })
+                .sum();
+            assert_eq!(fenced as usize, wire.code.len());
+        }
+        assert!(exec.max_block_cost >= 1);
+    }
+
+    #[test]
+    fn long_straightline_blocks_are_capped() {
+        let body: String = (0..200).map(|i| format!("let x{i} = {i};")).collect();
+        let (exec, main) = lowered_main(&format!("fn main() {{ {body} }}"));
+        for op in &exec.fns[main].code {
+            if let ExecOp::Fence(c) = op {
+                assert!(*c as usize <= MAX_BLOCK_WIRE_OPS, "block cost {c}");
+            }
+        }
+    }
+
+    #[test]
+    fn jump_targets_land_on_fences() {
+        let (exec, main) = lowered_main(
+            r#"fn main() {
+                let i = 0;
+                while (i < 3) { if (i == 1) { display("mid"); } i = i + 1; }
+            }"#,
+        );
+        let code = &exec.fns[main].code;
+        for op in code {
+            let t = match op {
+                ExecOp::Jump(t)
+                | ExecOp::JumpIfFalse(t)
+                | ExecOp::JumpIfTrue(t)
+                | ExecOp::LoadConstLtJf { target: t, .. } => *t as usize,
+                _ => continue,
+            };
+            assert!(
+                t == code.len() || matches!(code[t], ExecOp::Fence(_)),
+                "target {t} in {code:?}"
+            );
+        }
+    }
+}

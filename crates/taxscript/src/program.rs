@@ -2,7 +2,9 @@
 //! carries in its briefcase `CODE` folder.
 
 use std::fmt;
+use std::sync::{Arc, OnceLock};
 
+use crate::opt::ExecProgram;
 use crate::{Builtin, Op, RuntimeError};
 
 /// Magic bytes opening an encoded program.
@@ -34,14 +36,78 @@ pub struct FnProto {
 
 /// A compiled TaxScript program: constant pool, function table, and the
 /// index of `main`.
-#[derive(Debug, Clone, PartialEq)]
+///
+/// Also carries the lazily-lowered compile-tier form ([`crate::opt`])
+/// behind a `OnceLock`: lowering is deterministic and happens at most
+/// once per program, and clones share the already-lowered `Arc` — so a
+/// cached `Program` (e.g. in the verified-script cache) pays for
+/// lowering on its first launch only. The cache is invisible to
+/// equality, ordering, and the wire format.
+#[derive(Debug)]
 pub struct Program {
     pub(crate) constants: Vec<Const>,
     pub(crate) functions: Vec<FnProto>,
     pub(crate) main_idx: u16,
+    pub(crate) exec: OnceLock<Arc<ExecProgram>>,
+}
+
+impl Clone for Program {
+    fn clone(&self) -> Self {
+        let exec = OnceLock::new();
+        if let Some(lowered) = self.exec.get() {
+            let _ = exec.set(Arc::clone(lowered));
+        }
+        Program {
+            constants: self.constants.clone(),
+            functions: self.functions.clone(),
+            main_idx: self.main_idx,
+            exec,
+        }
+    }
+}
+
+impl PartialEq for Program {
+    fn eq(&self, other: &Self) -> bool {
+        self.constants == other.constants
+            && self.functions == other.functions
+            && self.main_idx == other.main_idx
+    }
 }
 
 impl Program {
+    /// Assembles a program; the compile-tier cache starts cold.
+    pub(crate) fn from_parts(
+        constants: Vec<Const>,
+        functions: Vec<FnProto>,
+        main_idx: u16,
+    ) -> Program {
+        Program {
+            constants,
+            functions,
+            main_idx,
+            exec: OnceLock::new(),
+        }
+    }
+
+    /// The lowered compile-tier form, lowering on first use.
+    pub(crate) fn exec(&self) -> &Arc<ExecProgram> {
+        self.exec.get_or_init(|| Arc::new(ExecProgram::lower(self)))
+    }
+
+    /// Forces the compile-tier lowering now (e.g. to warm a cache entry
+    /// off the hot path). Idempotent.
+    pub fn prepare(&self) {
+        let _ = self.exec();
+    }
+
+    /// The largest basic-block fuel charge in the lowered program — the
+    /// documented bound on how much earlier than the legacy
+    /// per-instruction interpreter the fused tier can report
+    /// [`RuntimeError::OutOfFuel`]. Lowers the program if needed.
+    pub fn max_block_cost(&self) -> u64 {
+        u64::from(self.exec().max_block_cost)
+    }
+
     /// The function table.
     pub fn functions(&self) -> &[FnProto] {
         &self.functions
@@ -49,8 +115,10 @@ impl Program {
 
     /// Mutable access to the function table — used by tooling and tests
     /// that construct adversarial programs for the verifier. The VM
-    /// revalidates what it runs, so this cannot break safety.
+    /// revalidates what it runs, so this cannot break safety. Drops any
+    /// cached lowering, since the caller may rewrite code.
     pub fn functions_mut(&mut self) -> &mut [FnProto] {
+        self.exec = OnceLock::new();
         &mut self.functions
     }
 
@@ -203,11 +271,7 @@ impl Program {
         if r.pos != wire.len() {
             return Err(corrupt("trailing bytes"));
         }
-        let program = Program {
-            constants,
-            functions,
-            main_idx,
-        };
+        let program = Program::from_parts(constants, functions, main_idx);
         program.validate()?;
         Ok(program)
     }

@@ -8,6 +8,7 @@
 
 use tacoma_briefcase::Briefcase;
 
+use crate::dispatch::{run_fused, ExecScratch};
 use crate::program::Const;
 use crate::{Builtin, GoDecision, HostHooks, Op, Program, RuntimeError, Value};
 
@@ -80,13 +81,54 @@ impl<'p, H: HostHooks> Vm<'p, H> {
         self.hooks
     }
 
-    /// Runs `main` against the agent's briefcase.
+    /// Runs `main` against the agent's briefcase on the fused compile
+    /// tier (the program is lowered on first use and the lowering is
+    /// cached on the [`Program`], so repeat launches skip it).
     ///
     /// # Errors
     ///
     /// Any [`RuntimeError`]; the briefcase retains all mutations made up
     /// to the fault (consistent with an agent crashing mid-computation).
     pub fn run(&mut self, briefcase: &mut Briefcase) -> Result<Outcome, RuntimeError> {
+        let mut scratch = ExecScratch::new();
+        self.run_with_scratch(briefcase, &mut scratch)
+    }
+
+    /// Like [`Vm::run`], but reusing a caller-provided [`ExecScratch`]
+    /// so warm launches skip the stack/locals/frame allocations.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`], as for [`Vm::run`].
+    pub fn run_with_scratch(
+        &mut self,
+        briefcase: &mut Briefcase,
+        scratch: &mut ExecScratch,
+    ) -> Result<Outcome, RuntimeError> {
+        let program = self.program;
+        run_fused(
+            program.exec(),
+            &mut self.hooks,
+            &mut self.fuel,
+            scratch,
+            briefcase,
+        )
+    }
+
+    /// Fuel remaining after a run (both tiers decrement the budget in
+    /// place); benchmarks use it to count executed wire instructions.
+    pub fn fuel_remaining(&self) -> u64 {
+        self.fuel
+    }
+
+    /// The legacy per-instruction interpreter, kept as the reference
+    /// tier: the `prop_differential` suite proves the fused dispatcher
+    /// matches it and `exp_e13` measures the speedup against it.
+    ///
+    /// # Errors
+    ///
+    /// Any [`RuntimeError`], as for [`Vm::run`].
+    pub fn run_legacy(&mut self, briefcase: &mut Briefcase) -> Result<Outcome, RuntimeError> {
         let main_idx = self.program.main_index();
         let main = &self.program.functions[main_idx];
         let mut stack: Vec<Value> = Vec::with_capacity(64);
@@ -277,7 +319,7 @@ impl<'p, H: HostHooks> Vm<'p, H> {
                         });
                     }
                     let args = stack.split_off(stack.len() - argc);
-                    match self.call_builtin(builtin, &args, briefcase)? {
+                    match call_builtin(&mut self.hooks, builtin, &args, briefcase)? {
                         BuiltinResult::Value(v) => stack.push(v),
                         BuiltinResult::Terminal(outcome) => return Ok(outcome),
                     }
@@ -285,227 +327,235 @@ impl<'p, H: HostHooks> Vm<'p, H> {
             }
         }
     }
+}
 
-    fn call_builtin(
-        &mut self,
-        builtin: Builtin,
-        args: &[Value],
-        bc: &mut Briefcase,
-    ) -> Result<BuiltinResult, RuntimeError> {
-        use Builtin as B;
-        let value = match builtin {
-            B::Display => {
-                let text: Vec<String> = args.iter().map(Value::render).collect();
-                self.hooks.display(&text.join(" "));
-                Value::Nil
-            }
-            B::Exit => {
-                let code = args[0].expect_int("exit")?;
-                return Ok(BuiltinResult::Terminal(Outcome::Exit(code)));
-            }
-            B::Go => {
-                let uri = args[0].expect_str("go")?;
-                match self.hooks.go(uri, bc) {
-                    GoDecision::Moved => {
-                        return Ok(BuiltinResult::Terminal(Outcome::Moved {
-                            to: uri.to_owned(),
-                        }))
-                    }
-                    // Figure 4: `if (go(next, bc)) { display("Unable…") }`
-                    // — go returns truthy exactly on failure.
-                    GoDecision::Unreachable => Value::Int(1),
+/// Executes one builtin against the hooks and briefcase. Shared by the
+/// legacy interpreter and the fused dispatcher so host-visible behavior
+/// cannot drift between tiers.
+pub(crate) fn call_builtin<H: HostHooks>(
+    hooks: &mut H,
+    builtin: Builtin,
+    args: &[Value],
+    bc: &mut Briefcase,
+) -> Result<BuiltinResult, RuntimeError> {
+    use Builtin as B;
+    let value = match builtin {
+        B::Display => {
+            let text: Vec<String> = args.iter().map(Value::render).collect();
+            hooks.display(&text.join(" "));
+            Value::Nil
+        }
+        B::Exit => {
+            let code = args[0].expect_int("exit")?;
+            return Ok(BuiltinResult::Terminal(Outcome::Exit(code)));
+        }
+        B::Go => {
+            let uri = args[0].expect_str("go")?;
+            match hooks.go(uri, bc) {
+                GoDecision::Moved => {
+                    return Ok(BuiltinResult::Terminal(Outcome::Moved {
+                        to: uri.to_owned(),
+                    }))
                 }
+                // Figure 4: `if (go(next, bc)) { display("Unable…") }`
+                // — go returns truthy exactly on failure.
+                GoDecision::Unreachable => Value::Int(1),
             }
-            B::Spawn => {
-                let uri = args[0].expect_str("spawn")?;
-                match self.hooks.spawn(uri, bc) {
-                    Some(instance) => Value::Str(instance),
+        }
+        B::Spawn => {
+            let uri = args[0].expect_str("spawn")?;
+            match hooks.spawn(uri, bc) {
+                Some(instance) => Value::Str(instance),
+                None => Value::Nil,
+            }
+        }
+        B::Activate => {
+            let uri = args[0].expect_str("activate")?;
+            Value::Int(hooks.activate(uri, bc) as i64)
+        }
+        B::Meet => {
+            let uri = args[0].expect_str("meet")?;
+            match hooks.meet(uri, bc) {
+                Some(reply) => {
+                    bc.merge(reply);
+                    Value::Int(1)
+                }
+                None => Value::Int(0),
+            }
+        }
+        B::AwaitBc => {
+            let timeout = args[0].expect_int("await_bc")?;
+            match hooks.await_bc(timeout) {
+                Some(incoming) => {
+                    bc.merge(incoming);
+                    Value::Int(1)
+                }
+                None => Value::Int(0),
+            }
+        }
+        B::BcGet => {
+            let folder = args[0].expect_str("bc_get")?;
+            let idx = args[1].expect_int("bc_get")?;
+            element_at(bc, folder, idx)
+        }
+        B::BcRemove => {
+            let folder = args[0].expect_str("bc_remove")?;
+            let idx = args[1].expect_int("bc_remove")?;
+            if idx < 0 {
+                Value::Nil
+            } else {
+                match bc.folder_mut(folder).and_then(|f| f.remove(idx as usize)) {
+                    Some(e) => Value::from_element(&e),
                     None => Value::Nil,
                 }
             }
-            B::Activate => {
-                let uri = args[0].expect_str("activate")?;
-                Value::Int(self.hooks.activate(uri, bc) as i64)
-            }
-            B::Meet => {
-                let uri = args[0].expect_str("meet")?;
-                match self.hooks.meet(uri, bc) {
-                    Some(reply) => {
-                        bc.merge(reply);
-                        Value::Int(1)
-                    }
-                    None => Value::Int(0),
-                }
-            }
-            B::AwaitBc => {
-                let timeout = args[0].expect_int("await_bc")?;
-                match self.hooks.await_bc(timeout) {
-                    Some(incoming) => {
-                        bc.merge(incoming);
-                        Value::Int(1)
-                    }
-                    None => Value::Int(0),
-                }
-            }
-            B::BcGet => {
-                let folder = args[0].expect_str("bc_get")?;
-                let idx = args[1].expect_int("bc_get")?;
-                element_at(bc, folder, idx)
-            }
-            B::BcRemove => {
-                let folder = args[0].expect_str("bc_remove")?;
-                let idx = args[1].expect_int("bc_remove")?;
-                if idx < 0 {
-                    Value::Nil
-                } else {
-                    match bc.folder_mut(folder).and_then(|f| f.remove(idx as usize)) {
-                        Some(e) => Value::from_element(&e),
-                        None => Value::Nil,
-                    }
-                }
-            }
-            B::BcAppend => {
-                let folder = args[0].expect_str("bc_append")?;
-                bc.append(folder, args[1].to_element());
-                Value::Nil
-            }
-            B::BcSet => {
-                let folder = args[0].expect_str("bc_set")?;
-                bc.set_single(folder, args[1].to_element());
-                Value::Nil
-            }
-            B::BcLen => {
-                let folder = args[0].expect_str("bc_len")?;
-                Value::Int(bc.folder(folder).map_or(0, |f| f.len() as i64))
-            }
-            B::BcClear => {
-                let folder = args[0].expect_str("bc_clear")?;
-                bc.remove_folder(folder);
-                Value::Nil
-            }
-            B::BcHas => {
-                let folder = args[0].expect_str("bc_has")?;
-                Value::Bool(bc.contains_folder(folder))
-            }
-            B::Str => Value::Str(args[0].render()),
-            B::Int => match &args[0] {
-                Value::Int(v) => Value::Int(*v),
-                Value::Bool(b) => Value::Int(*b as i64),
-                Value::Str(s) => match s.trim().parse::<i64>() {
-                    Ok(v) => Value::Int(v),
-                    Err(_) => Value::Nil,
-                },
-                _ => Value::Nil,
+        }
+        B::BcAppend => {
+            let folder = args[0].expect_str("bc_append")?;
+            bc.append(folder, args[1].to_element());
+            Value::Nil
+        }
+        B::BcSet => {
+            let folder = args[0].expect_str("bc_set")?;
+            bc.set_single(folder, args[1].to_element());
+            Value::Nil
+        }
+        B::BcLen => {
+            let folder = args[0].expect_str("bc_len")?;
+            Value::Int(bc.folder(folder).map_or(0, |f| f.len() as i64))
+        }
+        B::BcClear => {
+            let folder = args[0].expect_str("bc_clear")?;
+            bc.remove_folder(folder);
+            Value::Nil
+        }
+        B::BcHas => {
+            let folder = args[0].expect_str("bc_has")?;
+            Value::Bool(bc.contains_folder(folder))
+        }
+        B::Str => Value::Str(args[0].render()),
+        B::Int => match &args[0] {
+            Value::Int(v) => Value::Int(*v),
+            Value::Bool(b) => Value::Int(*b as i64),
+            Value::Str(s) => match s.trim().parse::<i64>() {
+                Ok(v) => Value::Int(v),
+                Err(_) => Value::Nil,
             },
-            B::Len => match &args[0] {
-                Value::Str(s) => Value::Int(s.len() as i64),
-                Value::List(l) => Value::Int(l.len() as i64),
-                _ => {
-                    return Err(RuntimeError::BuiltinType {
-                        name: "len",
-                        expected: "a string or list",
-                    })
-                }
-            },
-            B::Substr => {
-                let s = args[0].expect_str("substr")?;
-                let start = args[1].expect_int("substr")?.max(0) as usize;
-                let count = args[2].expect_int("substr")?.max(0) as usize;
-                let start = start.min(s.len());
-                let end = start.saturating_add(count).min(s.len());
-                // Clamp to char boundaries so slicing can't fault.
-                let start = floor_char_boundary(s, start);
-                let end = floor_char_boundary(s, end).max(start);
-                Value::Str(s[start..end].to_owned())
+            _ => Value::Nil,
+        },
+        B::Len => match &args[0] {
+            Value::Str(s) => Value::Int(s.len() as i64),
+            Value::List(l) => Value::Int(l.len() as i64),
+            _ => {
+                return Err(RuntimeError::BuiltinType {
+                    name: "len",
+                    expected: "a string or list",
+                })
             }
-            B::Find => {
-                let s = args[0].expect_str("find")?;
-                let needle = args[1].expect_str("find")?;
-                Value::Int(s.find(needle).map_or(-1, |i| i as i64))
-            }
-            B::Split => {
-                let s = args[0].expect_str("split")?;
-                let sep = args[1].expect_str("split")?;
-                let parts: Vec<Value> = if sep.is_empty() {
-                    s.chars().map(|c| Value::Str(c.to_string())).collect()
-                } else {
-                    s.split(sep).map(|p| Value::Str(p.to_owned())).collect()
-                };
-                Value::List(parts)
-            }
-            B::Join => {
-                let list = args[0].expect_list("join")?;
-                let sep = args[1].expect_str("join")?;
-                let parts: Vec<String> = list.iter().map(Value::render).collect();
-                Value::Str(parts.join(sep))
-            }
-            B::StartsWith => {
-                let s = args[0].expect_str("starts_with")?;
-                let prefix = args[1].expect_str("starts_with")?;
-                Value::Bool(s.starts_with(prefix))
-            }
-            B::Contains => {
-                let s = args[0].expect_str("contains")?;
-                let needle = args[1].expect_str("contains")?;
-                Value::Bool(s.contains(needle))
-            }
-            B::Push => {
-                let mut list = args[0].expect_list("push")?.to_vec();
-                list.push(args[1].clone());
-                Value::List(list)
-            }
-            B::Get => {
-                let index = args[1].clone();
-                index_value(&args[0], &index)
-            }
-            B::NowMs => Value::Int(self.hooks.now_ms()),
-            B::HostName => Value::Str(self.hooks.host_name()),
-        };
-        Ok(BuiltinResult::Value(value))
-    }
+        },
+        B::Substr => {
+            let s = args[0].expect_str("substr")?;
+            let start = args[1].expect_int("substr")?.max(0) as usize;
+            let count = args[2].expect_int("substr")?.max(0) as usize;
+            let start = start.min(s.len());
+            let end = start.saturating_add(count).min(s.len());
+            // Clamp to char boundaries so slicing can't fault.
+            let start = floor_char_boundary(s, start);
+            let end = floor_char_boundary(s, end).max(start);
+            Value::Str(s[start..end].to_owned())
+        }
+        B::Find => {
+            let s = args[0].expect_str("find")?;
+            let needle = args[1].expect_str("find")?;
+            Value::Int(s.find(needle).map_or(-1, |i| i as i64))
+        }
+        B::Split => {
+            let s = args[0].expect_str("split")?;
+            let sep = args[1].expect_str("split")?;
+            let parts: Vec<Value> = if sep.is_empty() {
+                s.chars().map(|c| Value::Str(c.to_string())).collect()
+            } else {
+                s.split(sep).map(|p| Value::Str(p.to_owned())).collect()
+            };
+            Value::List(parts)
+        }
+        B::Join => {
+            let list = args[0].expect_list("join")?;
+            let sep = args[1].expect_str("join")?;
+            let parts: Vec<String> = list.iter().map(Value::render).collect();
+            Value::Str(parts.join(sep))
+        }
+        B::StartsWith => {
+            let s = args[0].expect_str("starts_with")?;
+            let prefix = args[1].expect_str("starts_with")?;
+            Value::Bool(s.starts_with(prefix))
+        }
+        B::Contains => {
+            let s = args[0].expect_str("contains")?;
+            let needle = args[1].expect_str("contains")?;
+            Value::Bool(s.contains(needle))
+        }
+        B::Push => {
+            let mut list = args[0].expect_list("push")?.to_vec();
+            list.push(args[1].clone());
+            Value::List(list)
+        }
+        B::Get => {
+            let index = args[1].clone();
+            index_value(&args[0], &index)
+        }
+        B::NowMs => Value::Int(hooks.now_ms()),
+        B::HostName => Value::Str(hooks.host_name()),
+    };
+    Ok(BuiltinResult::Value(value))
 }
 
-enum BuiltinResult {
+pub(crate) enum BuiltinResult {
     Value(Value),
     Terminal(Outcome),
 }
 
-fn pop(stack: &mut Vec<Value>) -> Result<Value, RuntimeError> {
+pub(crate) fn pop(stack: &mut Vec<Value>) -> Result<Value, RuntimeError> {
     stack.pop().ok_or(RuntimeError::CorruptProgram {
         detail: "value stack underflow",
     })
 }
 
-fn pop2(stack: &mut Vec<Value>) -> Result<(Value, Value), RuntimeError> {
+pub(crate) fn pop2(stack: &mut Vec<Value>) -> Result<(Value, Value), RuntimeError> {
     let b = pop(stack)?;
     let a = pop(stack)?;
     Ok((a, b))
 }
 
-fn binary_add(stack: &mut Vec<Value>) -> Result<(), RuntimeError> {
-    let (a, b) = pop2(stack)?;
-    let result = match (&a, &b) {
-        (Value::Int(x), Value::Int(y)) => Value::Int(x.wrapping_add(*y)),
+/// `Add` semantics on two values: wrapping integer addition, list
+/// concatenation, string rendering when either side is a string.
+/// Shared by both tiers and the lowering pass's constant folder.
+pub(crate) fn add_values(a: &Value, b: &Value) -> Result<Value, RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(Value::Int(x.wrapping_add(*y))),
         (Value::List(x), Value::List(y)) => {
             let mut joined = x.clone();
             joined.extend(y.iter().cloned());
-            Value::List(joined)
+            Ok(Value::List(joined))
         }
         (Value::Str(_), _) | (_, Value::Str(_)) => {
-            Value::Str(format!("{}{}", a.render(), b.render()))
+            Ok(Value::Str(format!("{}{}", a.render(), b.render())))
         }
-        _ => {
-            return Err(RuntimeError::TypeError {
-                op: "add",
-                got: format!("{} and {}", a.type_name(), b.type_name()),
-            })
-        }
-    };
+        _ => Err(RuntimeError::TypeError {
+            op: "add",
+            got: format!("{} and {}", a.type_name(), b.type_name()),
+        }),
+    }
+}
+
+fn binary_add(stack: &mut Vec<Value>) -> Result<(), RuntimeError> {
+    let (a, b) = pop2(stack)?;
+    let result = add_values(&a, &b)?;
     stack.push(result);
     Ok(())
 }
 
-fn int_binop(
+pub(crate) fn int_binop(
     stack: &mut Vec<Value>,
     op: &'static str,
     f: impl Fn(i64, i64) -> Result<i64, RuntimeError>,
@@ -523,27 +573,35 @@ fn int_binop(
     }
 }
 
+/// Comparison ordering for `<`/`<=`/`>`/`>=`: ints and strings only,
+/// with the tier-shared type error for anything else.
+pub(crate) fn compare_values(
+    a: &Value,
+    b: &Value,
+    op: &'static str,
+) -> Result<std::cmp::Ordering, RuntimeError> {
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => Ok(x.cmp(y)),
+        (Value::Str(x), Value::Str(y)) => Ok(x.cmp(y)),
+        _ => Err(RuntimeError::TypeError {
+            op,
+            got: format!("{} and {}", a.type_name(), b.type_name()),
+        }),
+    }
+}
+
 fn compare(
     stack: &mut Vec<Value>,
     op: &'static str,
     accept: impl Fn(std::cmp::Ordering) -> bool,
 ) -> Result<(), RuntimeError> {
     let (a, b) = pop2(stack)?;
-    let ordering = match (&a, &b) {
-        (Value::Int(x), Value::Int(y)) => x.cmp(y),
-        (Value::Str(x), Value::Str(y)) => x.cmp(y),
-        _ => {
-            return Err(RuntimeError::TypeError {
-                op,
-                got: format!("{} and {}", a.type_name(), b.type_name()),
-            })
-        }
-    };
+    let ordering = compare_values(&a, &b, op)?;
     stack.push(Value::Bool(accept(ordering)));
     Ok(())
 }
 
-fn index_value(target: &Value, index: &Value) -> Value {
+pub(crate) fn index_value(target: &Value, index: &Value) -> Value {
     let Value::Int(i) = index else {
         return Value::Nil;
     };

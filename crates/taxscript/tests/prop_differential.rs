@@ -1,0 +1,409 @@
+//! Differential properties: the fused compile-tier dispatcher
+//! ([`Vm::run`]) must be observationally identical to the legacy
+//! per-instruction interpreter ([`Vm::run_legacy`]) — same outcomes,
+//! same `display` trace, same briefcase mutations, same error classes —
+//! on generated programs covering loops, conditionals, arithmetic
+//! faults, string work, briefcase builtins, and calls.
+//!
+//! Fuel is the one documented divergence: the fused tier charges per
+//! basic block, so under a too-small budget it may report out-of-fuel
+//! up to [`Program::max_block_cost`] units before the legacy point —
+//! never after, and with *equal* totals on every run that terminates
+//! (normally or via `exit`/`go`). Those bounds are asserted here too.
+
+use proptest::prelude::*;
+use tacoma_briefcase::Briefcase;
+use tacoma_taxscript::{
+    compile_source, NullHooks, Outcome, Program, RuntimeError, Vm, DEFAULT_FUEL,
+};
+
+/// A small statement AST rendered to TaxScript source. Loops always
+/// bump a dedicated counter the body never reassigns, so every
+/// generated program terminates under generous fuel.
+#[derive(Debug, Clone)]
+enum Stmt {
+    /// `vN = <int expr>;`
+    Assign(usize, IntExpr),
+    /// `sN = <str expr>;`
+    AssignStr(usize, StrExpr),
+    Display(IntExpr),
+    DisplayStr(StrExpr),
+    BcAppend(StrExpr),
+    BcSetInt(IntExpr),
+    If(Cond, Vec<Stmt>, Vec<Stmt>),
+    /// `while (wD < bound) { body; wD = wD + 1; }` where `wD` is the
+    /// reserved counter for nesting depth D — no generated statement
+    /// can assign a `w` variable, so every loop terminates.
+    While(i64, Vec<Stmt>),
+    /// `if (bc_len("LOG") > t) { exit(code); }` — exercises terminal
+    /// builtins on data-dependent paths.
+    MaybeExit(i64, i64),
+    /// `go("…")` — NullHooks refuse the move, so this exercises the
+    /// non-terminal branch of `go`.
+    Go,
+    /// `vN = helper(vM);` — exercises Call/Return frames.
+    CallHelper(usize, usize),
+}
+
+#[derive(Debug, Clone)]
+enum IntExpr {
+    Lit(i64),
+    Var(usize),
+    Add(Box<IntExpr>, Box<IntExpr>),
+    Sub(Box<IntExpr>, Box<IntExpr>),
+    Mul(Box<IntExpr>, Box<IntExpr>),
+    /// May fault with DivisionByZero — error parity is part of the
+    /// property.
+    Div(Box<IntExpr>, Box<IntExpr>),
+    Mod(Box<IntExpr>, Box<IntExpr>),
+    BcLen,
+}
+
+#[derive(Debug, Clone)]
+enum StrExpr {
+    Lit(String),
+    Var(usize),
+    /// String + int renders the int — the mixed-type `Add` path.
+    ConcatInt(Box<StrExpr>, IntExpr),
+    Concat(Box<StrExpr>, Box<StrExpr>),
+}
+
+#[derive(Debug, Clone)]
+enum Cond {
+    Lt(IntExpr, IntExpr),
+    Eq(IntExpr, IntExpr),
+    StrLt(StrExpr, StrExpr),
+}
+
+const N_INT_VARS: usize = 3;
+const N_STR_VARS: usize = 2;
+
+impl IntExpr {
+    fn render(&self) -> String {
+        match self {
+            IntExpr::Lit(v) => {
+                if *v < 0 {
+                    format!("(0 - {})", v.unsigned_abs())
+                } else {
+                    v.to_string()
+                }
+            }
+            IntExpr::Var(i) => format!("v{i}"),
+            IntExpr::Add(a, b) => format!("({} + {})", a.render(), b.render()),
+            IntExpr::Sub(a, b) => format!("({} - {})", a.render(), b.render()),
+            IntExpr::Mul(a, b) => format!("({} * {})", a.render(), b.render()),
+            IntExpr::Div(a, b) => format!("({} / {})", a.render(), b.render()),
+            IntExpr::Mod(a, b) => format!("({} % {})", a.render(), b.render()),
+            IntExpr::BcLen => "bc_len(\"LOG\")".to_owned(),
+        }
+    }
+}
+
+impl StrExpr {
+    fn render(&self) -> String {
+        match self {
+            StrExpr::Lit(s) => format!("{s:?}"),
+            StrExpr::Var(i) => format!("s{i}"),
+            StrExpr::ConcatInt(a, b) => format!("({} + {})", a.render(), b.render()),
+            StrExpr::Concat(a, b) => format!("({} + {})", a.render(), b.render()),
+        }
+    }
+}
+
+impl Cond {
+    fn render(&self) -> String {
+        match self {
+            Cond::Lt(a, b) => format!("({} < {})", a.render(), b.render()),
+            Cond::Eq(a, b) => format!("({} == {})", a.render(), b.render()),
+            Cond::StrLt(a, b) => format!("({} < {})", a.render(), b.render()),
+        }
+    }
+}
+
+/// Reserved `w` counters to declare — comfortably above the deepest
+/// loop nesting the generator can produce (`prop_recursive` depth 3),
+/// so distinct nesting levels never share a counter.
+const MAX_LOOP_DEPTH: usize = 8;
+
+fn render_block(stmts: &[Stmt], depth: usize, out: &mut String) {
+    for s in stmts {
+        match s {
+            Stmt::Assign(i, e) => out.push_str(&format!("v{i} = {};\n", e.render())),
+            Stmt::AssignStr(i, e) => out.push_str(&format!("s{i} = {};\n", e.render())),
+            Stmt::Display(e) => out.push_str(&format!("display({});\n", e.render())),
+            Stmt::DisplayStr(e) => out.push_str(&format!("display({});\n", e.render())),
+            Stmt::BcAppend(e) => out.push_str(&format!("bc_append(\"LOG\", {});\n", e.render())),
+            Stmt::BcSetInt(e) => out.push_str(&format!("bc_set(\"SUM\", {});\n", e.render())),
+            Stmt::If(c, then, els) => {
+                out.push_str(&format!("if {} {{\n", c.render()));
+                render_block(then, depth, out);
+                if els.is_empty() {
+                    out.push_str("}\n");
+                } else {
+                    out.push_str("} else {\n");
+                    render_block(els, depth, out);
+                    out.push_str("}\n");
+                }
+            }
+            Stmt::While(bound, body) => {
+                assert!(
+                    depth < MAX_LOOP_DEPTH,
+                    "generator nested deeper than declared counters"
+                );
+                out.push_str(&format!("w{depth} = 0;\nwhile (w{depth} < {bound}) {{\n"));
+                render_block(body, depth + 1, out);
+                out.push_str(&format!("w{depth} = w{depth} + 1;\n}}\n"));
+            }
+            Stmt::MaybeExit(threshold, code) => out.push_str(&format!(
+                "if (bc_len(\"LOG\") > {threshold}) {{ exit({code}); }}\n"
+            )),
+            Stmt::Go => out.push_str("if (go(\"tacoma://h1/vm_script\")) { display(\"miss\"); }\n"),
+            Stmt::CallHelper(dst, src) => out.push_str(&format!("v{dst} = helper(v{src});\n")),
+        }
+    }
+}
+
+fn render_program(stmts: &[Stmt]) -> String {
+    let mut body = String::new();
+    for i in 0..N_INT_VARS {
+        body.push_str(&format!("let v{i} = {i};\n"));
+    }
+    for i in 0..N_STR_VARS {
+        body.push_str(&format!("let s{i} = \"s{i}\";\n"));
+    }
+    for i in 0..MAX_LOOP_DEPTH {
+        body.push_str(&format!("let w{i} = 0;\n"));
+    }
+    render_block(stmts, 0, &mut body);
+    body.push_str("display(v0, v1, v2, s0, s1);\n");
+    format!(
+        "fn helper(x) {{ if (x < 0) {{ return 0 - x; }} return x * 2 + 1; }}\n\
+         fn main() {{\n{body}}}\n"
+    )
+}
+
+fn arb_int_expr() -> impl Strategy<Value = IntExpr> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(IntExpr::Lit),
+        (0..N_INT_VARS).prop_map(IntExpr::Var),
+        Just(IntExpr::BcLen),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| IntExpr::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| IntExpr::Mod(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_str_expr() -> impl Strategy<Value = StrExpr> {
+    let leaf = prop_oneof![
+        "[a-z]{0,6}".prop_map(StrExpr::Lit),
+        (0..N_STR_VARS).prop_map(StrExpr::Var),
+    ];
+    leaf.prop_recursive(2, 8, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), arb_int_expr()).prop_map(|(a, b)| StrExpr::ConcatInt(Box::new(a), b)),
+            (inner.clone(), inner).prop_map(|(a, b)| StrExpr::Concat(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn arb_cond() -> impl Strategy<Value = Cond> {
+    prop_oneof![
+        (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| Cond::Lt(a, b)),
+        (arb_int_expr(), arb_int_expr()).prop_map(|(a, b)| Cond::Eq(a, b)),
+        (arb_str_expr(), arb_str_expr()).prop_map(|(a, b)| Cond::StrLt(a, b)),
+    ]
+}
+
+fn arb_stmt() -> impl Strategy<Value = Stmt> {
+    let leaf = prop_oneof![
+        ((0..N_INT_VARS), arb_int_expr()).prop_map(|(i, e)| Stmt::Assign(i, e)),
+        ((0..N_STR_VARS), arb_str_expr()).prop_map(|(i, e)| Stmt::AssignStr(i, e)),
+        arb_int_expr().prop_map(Stmt::Display),
+        arb_str_expr().prop_map(Stmt::DisplayStr),
+        arb_str_expr().prop_map(Stmt::BcAppend),
+        arb_int_expr().prop_map(Stmt::BcSetInt),
+        ((2i64..12), (0i64..50)).prop_map(|(t, c)| Stmt::MaybeExit(t, c)),
+        Just(Stmt::Go),
+        ((0..N_INT_VARS), (0..N_INT_VARS)).prop_map(|(d, s)| Stmt::CallHelper(d, s)),
+    ];
+    leaf.prop_recursive(3, 24, 4, |inner| {
+        prop_oneof![
+            (
+                arb_cond(),
+                prop::collection::vec(inner.clone(), 0..4),
+                prop::collection::vec(inner.clone(), 0..3)
+            )
+                .prop_map(|(c, t, e)| Stmt::If(c, t, e)),
+            ((1i64..6), prop::collection::vec(inner, 0..4))
+                .prop_map(|(b, body)| Stmt::While(b, body)),
+        ]
+    })
+}
+
+fn arb_program() -> impl Strategy<Value = String> {
+    prop::collection::vec(arb_stmt(), 1..8).prop_map(|stmts| render_program(&stmts))
+}
+
+/// Everything one run can observe from the outside.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: Result<Outcome, RuntimeError>,
+    displayed: Vec<String>,
+    briefcase: Briefcase,
+}
+
+fn seeded_briefcase() -> Briefcase {
+    let mut bc = Briefcase::new();
+    bc.append("LOG", "seed");
+    bc
+}
+
+fn run_tier(program: &Program, fuel: u64, legacy: bool) -> (Observed, u64) {
+    let mut bc = seeded_briefcase();
+    let mut vm = Vm::new(program, NullHooks::default()).with_fuel(fuel);
+    let result = if legacy {
+        vm.run_legacy(&mut bc)
+    } else {
+        vm.run(&mut bc)
+    };
+    let used = fuel - vm.fuel_remaining();
+    (
+        Observed {
+            result,
+            displayed: vm.into_hooks().displayed,
+            briefcase: bc,
+        },
+        used,
+    )
+}
+
+fn assert_parity(program: &Program, src: &str) {
+    let (legacy, used_legacy) = run_tier(program, DEFAULT_FUEL, true);
+    let (fused, used_fused) = run_tier(program, DEFAULT_FUEL, false);
+
+    assert_eq!(legacy, fused, "tiers diverged on:\n{src}");
+    assert_eq!(
+        legacy.briefcase.encode(),
+        fused.briefcase.encode(),
+        "briefcase wire images diverged on:\n{src}"
+    );
+
+    // Fuel: equal totals whenever the run terminated (normally, exit,
+    // or go) — terminators end blocks, so fused charges catch up
+    // exactly. Errors may leave the fused tier up to one block ahead.
+    let max_block = program.max_block_cost();
+    match &legacy.result {
+        Ok(_) => assert_eq!(
+            used_legacy, used_fused,
+            "fuel totals diverged on a terminating run:\n{src}"
+        ),
+        Err(_) => {
+            assert!(
+                used_fused >= used_legacy && used_fused - used_legacy <= max_block,
+                "fused used {used_fused}, legacy used {used_legacy}, \
+                 max block {max_block}:\n{src}"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// With generous fuel both tiers agree on outcome, display trace,
+    /// briefcase mutations, error class, and (for terminating runs)
+    /// exact fuel totals.
+    #[test]
+    fn fused_matches_legacy(src in arb_program()) {
+        let program = compile_source(&src).expect("generated source compiles");
+        assert_parity(&program, &src);
+    }
+
+    /// Out-of-fuel parity at every budget below the full cost of a
+    /// cleanly terminating run: legacy out-of-fuel implies fused
+    /// out-of-fuel at the same budget (fused never runs *longer*), and
+    /// the fused tier never fires more than one basic block early.
+    #[test]
+    fn out_of_fuel_fires_within_one_block(src in arb_program(), frac_pct in 0u64..100) {
+        let program = compile_source(&src).expect("generated source compiles");
+        let (legacy_full, used_legacy) = run_tier(&program, DEFAULT_FUEL, true);
+        // Only cleanly terminating programs have a well-defined "full
+        // cost"; faulting samples are covered by `fused_matches_legacy`.
+        if legacy_full.result.is_ok() && used_legacy > 0 {
+            let (_, used_fused) = run_tier(&program, DEFAULT_FUEL, false);
+            prop_assert_eq!(used_legacy, used_fused);
+
+            // Sample a budget below the requirement: both tiers must
+            // report OutOfFuel — the fused tier can fire early (at the
+            // failing block's fence) but never late.
+            let budget = (used_legacy * frac_pct / 100).min(used_legacy - 1);
+            let (legacy_short, _) = run_tier(&program, budget, true);
+            let (fused_short, _) = run_tier(&program, budget, false);
+            prop_assert_eq!(legacy_short.result, Err(RuntimeError::OutOfFuel));
+            prop_assert_eq!(fused_short.result, Err(RuntimeError::OutOfFuel));
+
+            // And at exactly the required budget, both complete.
+            let (legacy_exact, _) = run_tier(&program, used_legacy, true);
+            let (fused_exact, _) = run_tier(&program, used_legacy, false);
+            prop_assert!(legacy_exact.result.is_ok());
+            prop_assert!(fused_exact.result.is_ok());
+        }
+    }
+}
+
+/// The golden Figure-4 itinerary agent behaves identically on both
+/// tiers, including its display trace and drained HOSTS folder.
+#[test]
+fn figure4_agent_parity() {
+    let src = r#"fn main() {
+        while (1) {
+            display("Hello world");
+            let e = bc_remove("HOSTS", 0);
+            if (e == nil) { exit(0); }
+            if (go(e)) { display("Unable to reach " + e); }
+        }
+    }"#;
+    let program = compile_source(src).unwrap();
+    let run = |legacy: bool| {
+        let mut bc = Briefcase::new();
+        bc.append("HOSTS", "tacoma://h1/vm")
+            .append("HOSTS", "tacoma://h2/vm");
+        let mut vm = Vm::new(&program, NullHooks::default());
+        let result = if legacy {
+            vm.run_legacy(&mut bc)
+        } else {
+            vm.run(&mut bc)
+        };
+        (result, vm.into_hooks().displayed, bc)
+    };
+    assert_eq!(run(true), run(false));
+}
+
+/// Known error shapes survive lowering with identical classes.
+#[test]
+fn error_classes_match() {
+    for src in [
+        "fn main() { let x = 1 / 0; }",
+        "fn main() { let x = 1 % 0; }",
+        r#"fn main() { let x = 1 - "a"; }"#,
+        r#"fn main() { let x = nil < 1; }"#,
+        "fn f() { return f(); } fn main() { f(); }",
+        "fn main() { let i = 0; while (i < 10) { i = i + nil; } }",
+    ] {
+        let program = compile_source(src).unwrap();
+        let (legacy, _) = run_tier(&program, DEFAULT_FUEL, true);
+        let (fused, _) = run_tier(&program, DEFAULT_FUEL, false);
+        assert_eq!(legacy, fused, "on {src}");
+        assert!(legacy.result.is_err(), "on {src}");
+    }
+}

@@ -7,7 +7,25 @@ use tacoma_taxscript::{Program, Vm};
 
 use crate::vm_script::HooksProxy;
 use crate::vmtrait::{code_bytes, code_type_of, code_types};
-use crate::{ArtifactBundle, ExecContext, Execution, HostHooks, VirtualMachine, VmError};
+use crate::{
+    ArtifactBundle, ExecContext, Execution, HostHooks, ProgramCache, VirtualMachine, VmError,
+    VmPool,
+};
+
+/// Runs a decoded program with a pooled scratch, returning the pool's
+/// scratch afterwards even on a fault.
+fn launch(
+    program: &Program,
+    briefcase: &mut Briefcase,
+    hooks: &mut dyn HostHooks,
+    fuel: u64,
+) -> Result<tacoma_taxscript::Outcome, VmError> {
+    let mut scratch = VmPool::shared().checkout();
+    let mut vm = Vm::new(program, HooksProxy(hooks)).with_fuel(fuel);
+    let outcome = vm.run_with_scratch(briefcase, &mut scratch);
+    VmPool::shared().checkin(scratch);
+    Ok(outcome?)
+}
 
 /// The binary VM. Safety mechanism: code signing — efficient execution
 /// "once sufficient trust has been established".
@@ -91,14 +109,15 @@ impl VirtualMachine for VmBin {
         match code_type.as_str() {
             code_types::TAXSCRIPT_BYTECODE => {
                 // A raw compiled program (the vm_c pipeline's output).
-                let program = Program::decode(&code)?;
+                // The decode + lowering are memoized by content hash, so
+                // a repeat visitor launches from the warm program.
+                let (program, hit) = ProgramCache::shared().decode(&code)?;
                 trace.push(format!(
-                    "vm_bin: executing {} bytecode instructions",
-                    program.instruction_count()
+                    "vm_bin: executing {} bytecode instructions ({})",
+                    program.instruction_count(),
+                    if hit { "cache-hit" } else { "decoded" },
                 ));
-                let outcome = Vm::new(&program, HooksProxy(hooks))
-                    .with_fuel(ctx.fuel)
-                    .run(briefcase)?;
+                let outcome = launch(&program, briefcase, hooks, ctx.fuel)?;
                 trace.push(format!("vm_bin: agent ended with {outcome:?}"));
                 Ok(Execution { outcome, trace })
             }
@@ -121,14 +140,13 @@ impl VirtualMachine for VmBin {
                     trace.push(format!("vm_bin: agent ended with {outcome:?}"));
                     Ok(Execution { outcome, trace })
                 } else {
-                    let program = Program::decode(&artifact.payload)?;
+                    let (program, hit) = ProgramCache::shared().decode(&artifact.payload)?;
                     trace.push(format!(
-                        "vm_bin: executing {} bytecode instructions",
-                        program.instruction_count()
+                        "vm_bin: executing {} bytecode instructions ({})",
+                        program.instruction_count(),
+                        if hit { "cache-hit" } else { "decoded" },
                     ));
-                    let outcome = Vm::new(&program, HooksProxy(hooks))
-                        .with_fuel(ctx.fuel)
-                        .run(briefcase)?;
+                    let outcome = launch(&program, briefcase, hooks, ctx.fuel)?;
                     trace.push(format!("vm_bin: agent ended with {outcome:?}"));
                     Ok(Execution { outcome, trace })
                 }

@@ -7,7 +7,7 @@ use tacoma_taxscript::analysis::{AnalysisCache, AnalysisFailure};
 use tacoma_taxscript::{compile_source, HostHooks, Program, Vm};
 
 use crate::vmtrait::{code_bytes, code_type_of, code_types};
-use crate::{ExecContext, Execution, VirtualMachine, VmError};
+use crate::{ExecContext, Execution, VirtualMachine, VmError, VmPool};
 
 /// The scripting VM. Safety mechanism: the TaxScript sandbox (fuel,
 /// bounded stacks, contained faults) — the "sand-boxing" option of §3.3.
@@ -64,19 +64,39 @@ impl VirtualMachine for VmScript {
         let code = code_bytes(briefcase)?;
         let mut trace = Vec::new();
 
-        let compiled;
         let cached;
         let program: &Program = match code_type.as_str() {
             code_types::TAXSCRIPT_SOURCE => {
                 let source = String::from_utf8(code).map_err(|_| VmError::BadArtifact {
                     detail: "source code is not UTF-8",
                 })?;
+                // Source rides the same content-hash cache as bytecode:
+                // an itinerant agent carrying source pays compilation
+                // (and superinstruction lowering) once, not per hop.
+                let (result, hit) = AnalysisCache::shared().analyze_source(&source);
+                cached = match result {
+                    Ok(verified) => verified,
+                    Err(AnalysisFailure::Compile(_)) => {
+                        // Recompile for the structured error; failures
+                        // are rare and the compiler fails fast.
+                        compile_source(&source)?;
+                        return Err(VmError::BadArtifact {
+                            detail: "source failed to compile",
+                        });
+                    }
+                    Err(AnalysisFailure::Verify(e)) => return Err(VmError::Unverifiable(e)),
+                    Err(AnalysisFailure::Decode(_)) => {
+                        return Err(VmError::BadArtifact {
+                            detail: "source keyed a decode failure",
+                        })
+                    }
+                };
                 trace.push(format!(
-                    "vm_script: interpreting {} bytes of source",
+                    "vm_script: {} {} bytes of source",
+                    if hit { "cache-hit" } else { "compiled" },
                     source.len()
                 ));
-                compiled = compile_source(&source)?;
-                &compiled
+                &cached.program
             }
             code_types::TAXSCRIPT_BYTECODE => {
                 // Arriving bytecode is untrusted: prove it cannot fault
@@ -115,8 +135,11 @@ impl VirtualMachine for VmScript {
             }
         };
 
+        let mut scratch = VmPool::shared().checkout();
         let mut vm = Vm::new(program, HooksProxy(hooks)).with_fuel(ctx.fuel);
-        let outcome = vm.run(briefcase)?;
+        let outcome = vm.run_with_scratch(briefcase, &mut scratch);
+        VmPool::shared().checkin(scratch);
+        let outcome = outcome?;
         trace.push(format!("vm_script: agent ended with {outcome:?}"));
         Ok(Execution { outcome, trace })
     }

@@ -3,12 +3,13 @@
 # scheduler, briefcase CoW migration, firewall admission cache),
 # BENCH_7.json (durable-journal park/ship pipeline), BENCH_8.json
 # (hostile-network scenarios: track determinism, itinerary planner,
-# local-vs-remote tier gap), and BENCH_9.json (sharded reactor
+# local-vs-remote tier gap), BENCH_9.json (sharded reactor
 # transport: pipelined acks vs stop-and-wait, bounded backpressure,
-# peer scale).
+# peer scale), and BENCH_10.json (TaxScript compile tier: fused
+# dispatch vs the legacy interpreter, cold vs warm launches).
 #
 #   scripts/bench.sh           full run, writes BENCH_6.json through
-#                              BENCH_9.json at the repo root
+#                              BENCH_10.json at the repo root
 #   scripts/bench.sh --smoke   small workload, prints JSON, writes nothing,
 #                              and enforces the perf gates via --check
 #                              (the CI smoke mode)
@@ -25,6 +26,8 @@ if [ "${1:-}" = "--smoke" ]; then
     cargo run -q --release -p tacoma-bench --bin exp_e11_scenario_matrix -- --json --smoke --check
     echo "==> bench (smoke): exp_e12_reactor_transport --check (256-peer variant)"
     cargo run -q --release -p tacoma-bench --bin exp_e12_reactor_transport -- --json --smoke --check
+    echo "==> bench (smoke): exp_e13_vm_dispatch --check"
+    cargo run -q --release -p tacoma-bench --bin exp_e13_vm_dispatch -- --json --smoke --check
 else
     echo "==> bench: exp_e9_parallel_fleet -> BENCH_6.json"
     cargo run -q --release -p tacoma-bench --bin exp_e9_parallel_fleet -- --json \
@@ -42,4 +45,8 @@ else
     cargo run -q --release -p tacoma-bench --bin exp_e12_reactor_transport -- --json \
         > BENCH_9.json
     cat BENCH_9.json
+    echo "==> bench: exp_e13_vm_dispatch -> BENCH_10.json"
+    cargo run -q --release -p tacoma-bench --bin exp_e13_vm_dispatch -- --json \
+        > BENCH_10.json
+    cat BENCH_10.json
 fi

@@ -23,4 +23,8 @@ cargo test -q
 echo "==> crash recovery (journal kill tests, release)"
 cargo test --release --test taxd_journal -q
 
+echo "==> execution-tier differential (serial + parallel harness, release)"
+cargo test --release -p tacoma-taxscript --test prop_differential -q -- --test-threads 1
+cargo test --release -p tacoma-taxscript --test prop_differential -q -- --test-threads 4
+
 echo "ok: all checks passed"
